@@ -1,0 +1,50 @@
+//! Criterion benches for the SGX simulator's crypto substrate: the
+//! cost of measurement, MACs and sealing that every attested
+//! interaction pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use acctee_sgx::crypto::{hmac_sha256, sha256};
+use acctee_sgx::{enclave::report_data, AttestationAuthority, Platform};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| std::hint::black_box(sha256(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("hmac", size), &data, |b, d| {
+            b.iter(|| std::hint::black_box(hmac_sha256(b"key", d)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("attestation");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let authority = AttestationAuthority::new(1);
+    let platform = Platform::new("bench", 1);
+    let qe = authority.provision(&platform);
+    let enclave = platform.create_enclave(b"bench-enclave");
+    group.bench_function("quote+verify", |b| {
+        b.iter(|| {
+            let quote =
+                qe.quote(&enclave.report(report_data(b"payload"))).expect("quote");
+            std::hint::black_box(authority.verify(&quote).expect("verify"))
+        });
+    });
+    group.bench_function("seal+unseal-4k", |b| {
+        let data = vec![7u8; 4096];
+        b.iter(|| {
+            let sealed = acctee_sgx::seal::seal(&enclave, [9; 16], &data);
+            std::hint::black_box(acctee_sgx::seal::unseal(&enclave, &sealed).expect("unseal"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

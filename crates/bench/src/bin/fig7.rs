@@ -1,0 +1,93 @@
+//! Regenerates **Fig 7**: the distribution of cycles per WebAssembly
+//! instruction over the 127 non-memory opcodes (123 numeric + 4
+//! constants), measured by executing each instruction `n` times and
+//! costing the run with the cycle model (including the dispatch
+//! overhead the paper's TSC harness also pays).
+//!
+//! Usage: `fig7 [n]` (default n=10000).
+
+use acctee_cachesim::costs::DISPATCH_OVERHEAD_CYCLES;
+use acctee_cachesim::CycleModel;
+use acctee_interp::{Imports, Instance};
+use acctee_wasm::builder::ModuleBuilder;
+use acctee_wasm::instr::Instr;
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+
+/// Builds a module whose `run` executes `op` exactly `n` times,
+/// pushing fresh operands each time (matching the paper's harness).
+fn op_module(op: NumOp, n: usize) -> acctee_wasm::Module {
+    let mut b = ModuleBuilder::new();
+    let f = b.func("run", &[], &[], |f| {
+        let (params, _result) = op.sig();
+        for _ in 0..n {
+            for p in params {
+                match p {
+                    ValType::I32 => f.i32_const(7),
+                    ValType::I64 => f.i64_const(7),
+                    ValType::F32 => f.f32_const(7.5),
+                    ValType::F64 => f.f64_const(7.5),
+                };
+            }
+            f.num(op);
+            f.drop_();
+        }
+    });
+    b.export_func("run", f);
+    b.build()
+}
+
+/// Measured cycles per executed instance of `op` (operand pushes and
+/// the drop are subtracted out).
+fn cycles_per_op(op: NumOp, n: usize) -> f64 {
+    let module = op_module(op, n);
+    let mut model = CycleModel::plain();
+    model.include_dispatch = true;
+    let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+    inst.invoke_observed("run", &[], &mut model).expect("run");
+    // Subtract the scaffold: per repetition, |params| consts + 1 drop.
+    let n_params = op.sig().0.len() as u64;
+    let scaffold_per_rep = (n_params
+        * (acctee_cachesim::instr_base_cost(&Instr::I32Const(0)) + DISPATCH_OVERHEAD_CYCLES))
+        + acctee_cachesim::instr_base_cost(&Instr::Drop)
+        + DISPATCH_OVERHEAD_CYCLES;
+    let total = model.cycles().saturating_sub(scaffold_per_rep * n as u64);
+    total as f64 / n as f64
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    println!("# Fig 7 — cycles per instruction over {} opcodes, n={n} each", NumOp::ALL.len() + 4);
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for op in NumOp::ALL {
+        rows.push((op.mnemonic().to_string(), cycles_per_op(*op, n)));
+    }
+    // The four const instructions round out the paper's 127.
+    for (name, c) in [
+        ("i32.const", acctee_cachesim::instr_base_cost(&Instr::I32Const(0))),
+        ("i64.const", acctee_cachesim::instr_base_cost(&Instr::I64Const(0))),
+        ("f32.const", acctee_cachesim::instr_base_cost(&Instr::F32Const(0.0))),
+        ("f64.const", acctee_cachesim::instr_base_cost(&Instr::F64Const(0.0))),
+    ] {
+        rows.push((name.to_string(), (c + DISPATCH_OVERHEAD_CYCLES) as f64));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+
+    println!("{:<22} {:>10}", "instruction", "cycles");
+    for (name, c) in &rows {
+        println!("{name:<22} {c:>10.2}");
+    }
+
+    let below_10 = rows.iter().filter(|(_, c)| *c < 10.0).count();
+    let above_50 = rows.iter().filter(|(_, c)| *c > 50.0).count();
+    println!("#");
+    println!(
+        "# distribution: {}/{} ({:.0}%) below 10 cycles; {} above 50 cycles (div/sqrt tail)",
+        below_10,
+        rows.len(),
+        below_10 as f64 * 100.0 / rows.len() as f64,
+        above_50
+    );
+    println!("# paper: 74% below 10 cycles; floor/ceil band near 30; div & sqrt above 50");
+}

@@ -1,0 +1,61 @@
+//! Regenerates the **§5.4 binary-size table**: instrumentation size
+//! overhead over all evaluation binaries, without and with
+//! optimisations.
+//!
+//! Paper: 4-39 % larger naive, 4-27 % larger with all optimisations.
+
+use acctee_instrument::{instrument, Level, WeightTable};
+use acctee_wasm::Module;
+
+fn evaluation_binaries() -> Vec<(String, Module)> {
+    let mut out: Vec<(String, Module)> = Vec::new();
+    for k in acctee_workloads::polybench::all() {
+        out.push((k.name.to_string(), (k.build)(k.default_n)));
+    }
+    out.push(("echo".into(), acctee_workloads::faas_fns::echo_module()));
+    out.push(("resize".into(), acctee_workloads::faas_fns::resize_module()));
+    out.push(("msieve".into(), acctee_workloads::msieve::msieve_module(4, 1)));
+    out.push(("pc".into(), acctee_workloads::pc::pc_module(8, 40)));
+    out.push(("subsetsum".into(), acctee_workloads::subsetsum::subsetsum_module(12, 1)));
+    out.push(("darknet".into(), acctee_workloads::darknet::darknet_module(16)));
+    out
+}
+
+fn main() {
+    let weights = WeightTable::uniform();
+    println!("# §5.4 — binary size overhead of instrumentation");
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "binary", "orig[B]", "naive[B]", "naive%", "loop[B]", "loop%"
+    );
+    let mut naive_ovh = Vec::new();
+    let mut opt_ovh = Vec::new();
+    for (name, module) in evaluation_binaries() {
+        let naive = instrument(&module, Level::Naive, &weights).expect("instrumentable");
+        let opt = instrument(&module, Level::LoopBased, &weights).expect("instrumentable");
+        let n_pct = naive.stats.size_overhead() * 100.0;
+        let o_pct = opt.stats.size_overhead() * 100.0;
+        println!(
+            "{:<14} {:>9} {:>9} {:>7.1}% {:>9} {:>7.1}%",
+            name,
+            naive.stats.size_before,
+            naive.stats.size_after,
+            n_pct,
+            opt.stats.size_after,
+            o_pct
+        );
+        naive_ovh.push(n_pct);
+        opt_ovh.push(o_pct);
+    }
+    let minmax = |v: &[f64]| {
+        (
+            v.iter().cloned().fold(f64::INFINITY, f64::min),
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    };
+    let (nmin, nmax) = minmax(&naive_ovh);
+    let (omin, omax) = minmax(&opt_ovh);
+    println!("#");
+    println!("# measured: naive {nmin:.0}-{nmax:.0}% | optimised {omin:.0}-{omax:.0}%");
+    println!("# paper:    naive 4-39%  | optimised 4-27%");
+}

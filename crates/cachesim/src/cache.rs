@@ -1,0 +1,183 @@
+//! A single level of set-associative cache with LRU replacement and
+//! write-back / write-allocate semantics.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Cycles charged on a hit at this level.
+    pub hit_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A dirty line evicted to make room, if any (line-address).
+    pub writeback: Option<u64>,
+}
+
+/// One level of cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per-set lines, most-recently-used last.
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    line_shift: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two arrangement.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); sets],
+            set_mask: (sets - 1) as u64,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The line-address (address >> line bits) of `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Accesses the line containing `addr`. `is_store` marks the line
+    /// dirty. On a miss the line is allocated (write-allocate), which
+    /// may evict a dirty victim reported in the result.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> AccessResult {
+        let line = self.line_addr(addr);
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            let mut l = set.remove(pos);
+            l.dirty |= is_store;
+            set.push(l);
+            self.hits += 1;
+            return AccessResult { hit: true, writeback: None };
+        }
+        self.misses += 1;
+        let mut writeback = None;
+        if set.len() == self.cfg.ways {
+            let victim = set.remove(0); // LRU at the front
+            if victim.dirty {
+                let victim_line =
+                    (victim.tag << self.set_mask.count_ones()) | set_idx as u64;
+                writeback = Some(victim_line);
+            }
+        }
+        set.push(Line { tag, dirty: is_store });
+        AccessResult { hit: false, writeback }
+    }
+
+    /// Clears all lines and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, hit_cycles: 4 })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(63, false).hit); // same line
+        assert!(!c.access(64, false).hit); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line addresses 0, 4, 8 (4 sets).
+        c.access(0, false);
+        c.access(4 * 64, false);
+        c.access(0, false); // touch 0 so 4*64 becomes LRU
+        c.access(8 * 64, false); // evicts line 4
+        assert!(c.access(0, false).hit);
+        assert!(!c.access(4 * 64, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(4 * 64, false);
+        let r = c.access(8 * 64, false); // evicts dirty line 0
+        assert_eq!(r.writeback, Some(0));
+        // Clean evictions report nothing.
+        let r = c.access(12 * 64, false); // evicts clean 4*64... (LRU order)
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access(0, false).hit);
+    }
+}

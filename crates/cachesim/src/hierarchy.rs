@@ -1,0 +1,305 @@
+//! The multi-level memory hierarchy: L1 → L2 → LLC → DRAM, with an
+//! optional SGX EPC layer.
+//!
+//! In SGX hardware mode every DRAM access pays the memory-encryption
+//! engine surcharge, and once the enclave's working set exceeds the
+//! usable EPC (93 MiB) accesses fault pages in and out with page-
+//! granular encryption — the dominant overhead the paper observes for
+//! large workloads (§5.1).
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::EPC_USABLE_BYTES;
+
+/// Latency parameters for the levels below the caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCosts {
+    /// DRAM access latency in cycles.
+    pub dram_cycles: u64,
+    /// Extra cycles per DRAM access through the SGX memory-encryption
+    /// engine.
+    pub mee_cycles: u64,
+    /// Cycles to write back a dirty line to DRAM.
+    pub writeback_cycles: u64,
+    /// Cycles to fault in an EPC page on a *load* (decrypt one page).
+    pub epc_fault_load_cycles: u64,
+    /// Cycles to fault in an EPC page on a *store* (decrypt + later
+    /// encrypt the evicted dirty page — stores are costlier, the 1.8x
+    /// asymmetry of Fig. 8).
+    pub epc_fault_store_cycles: u64,
+}
+
+impl Default for MemCosts {
+    fn default() -> MemCosts {
+        MemCosts {
+            dram_cycles: 180,
+            mee_cycles: 120,
+            writeback_cycles: 60,
+            epc_fault_load_cycles: 2_200,
+            epc_fault_store_cycles: 4_000,
+        }
+    }
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// DRAM / MEE / EPC latencies.
+    pub mem: MemCosts,
+    /// Whether the SGX layer (MEE + EPC paging) is active.
+    pub sgx: bool,
+    /// Usable EPC bytes when `sgx` is on.
+    pub epc_bytes: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        // Skylake-client-like geometry (Xeon E3-1230 v5).
+        HierarchyConfig {
+            l1: CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64, hit_cycles: 4 },
+            l2: CacheConfig { size_bytes: 256 << 10, ways: 4, line_bytes: 64, hit_cycles: 12 },
+            llc: CacheConfig {
+                size_bytes: 8 << 20,
+                ways: 16,
+                line_bytes: 64,
+                hit_cycles: 42,
+            },
+            mem: MemCosts::default(),
+            sgx: false,
+            epc_bytes: EPC_USABLE_BYTES,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// The default geometry with the SGX layer enabled.
+    pub fn sgx() -> HierarchyConfig {
+        HierarchyConfig { sgx: true, ..HierarchyConfig::default() }
+    }
+}
+
+const PAGE_BYTES: u64 = 4096;
+
+/// A simulated memory hierarchy. Feed it accesses; it returns cycles.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    llc: Cache,
+    /// EPC residency set with FIFO eviction order.
+    epc_resident: HashSet<u64>,
+    epc_fifo: VecDeque<u64>,
+    epc_capacity_pages: usize,
+    /// Statistics.
+    dram_accesses: u64,
+    epc_faults: u64,
+    total_cycles: u64,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from the configuration.
+    pub fn new(cfg: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            cfg,
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            llc: Cache::new(cfg.llc),
+            epc_resident: HashSet::new(),
+            epc_fifo: VecDeque::new(),
+            epc_capacity_pages: cfg.epc_bytes / PAGE_BYTES as usize,
+            dram_accesses: 0,
+            epc_faults: 0,
+            total_cycles: 0,
+        }
+    }
+
+    /// Total cycles accumulated by all accesses so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// DRAM accesses observed.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// EPC page faults observed.
+    pub fn epc_faults(&self) -> u64 {
+        self.epc_faults
+    }
+
+    /// Simulates one access of `len` bytes at `addr`; returns cycles.
+    pub fn access(&mut self, addr: u64, len: u32, is_store: bool) -> u64 {
+        let first_line = addr / 64;
+        let last_line = (addr + u64::from(len).max(1) - 1) / 64;
+        let mut cycles = 0;
+        for line in first_line..=last_line {
+            cycles += self.access_line(line * 64, is_store);
+        }
+        self.total_cycles += cycles;
+        cycles
+    }
+
+    fn access_line(&mut self, addr: u64, is_store: bool) -> u64 {
+        let r1 = self.l1.access(addr, is_store);
+        if r1.hit {
+            return self.cfg.l1.hit_cycles;
+        }
+        let mut cycles = self.cfg.l1.hit_cycles;
+        // Writebacks from L1 land in L2; model only the cycle cost.
+        let r2 = self.l2.access(addr, is_store);
+        if r2.hit {
+            return cycles + self.cfg.l2.hit_cycles;
+        }
+        cycles += self.cfg.l2.hit_cycles;
+        let r3 = self.llc.access(addr, is_store);
+        if r3.hit {
+            return cycles + self.cfg.llc.hit_cycles;
+        }
+        cycles += self.cfg.llc.hit_cycles;
+        // DRAM.
+        self.dram_accesses += 1;
+        cycles += self.cfg.mem.dram_cycles;
+        if r3.writeback.is_some() {
+            cycles += self.cfg.mem.writeback_cycles;
+        }
+        if self.cfg.sgx {
+            cycles += self.cfg.mem.mee_cycles;
+            cycles += self.epc_access(addr, is_store);
+        }
+        cycles
+    }
+
+    /// EPC paging: fault the page in if not resident, evicting FIFO.
+    fn epc_access(&mut self, addr: u64, is_store: bool) -> u64 {
+        let page = addr / PAGE_BYTES;
+        if self.epc_resident.contains(&page) {
+            return 0;
+        }
+        self.epc_faults += 1;
+        if self.epc_resident.len() >= self.epc_capacity_pages {
+            // Evict the oldest page (FIFO).
+            if let Some(victim) = self.epc_fifo.pop_front() {
+                self.epc_resident.remove(&victim);
+            }
+        }
+        self.epc_fifo.push_back(page);
+        self.epc_resident.insert(page);
+        if is_store {
+            self.cfg.mem.epc_fault_store_cycles
+        } else {
+            self.cfg.mem.epc_fault_load_cycles
+        }
+    }
+
+    /// Clears all cache and EPC state and statistics.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.llc.reset();
+        self.epc_resident.clear();
+        self.epc_fifo.clear();
+        self.dram_accesses = 0;
+        self.epc_faults = 0;
+        self.total_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_access_is_cheap() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let mut cycles = 0;
+        for i in 0..10_000u64 {
+            cycles += h.access(i * 8, 8, false);
+        }
+        let avg = cycles as f64 / 10_000.0;
+        // One miss per 8 accesses at most; average well under 100.
+        assert!(avg < 100.0, "avg {avg}");
+    }
+
+    #[test]
+    fn random_access_over_large_range_is_expensive() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        // Deterministic LCG addresses over 64 MiB.
+        let mut x: u64 = 12345;
+        let mut cycles = 0;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = (x >> 11) % (64 << 20);
+            cycles += h.access(addr, 8, false);
+        }
+        let avg = cycles as f64 / 10_000.0;
+        assert!(avg > 150.0, "avg {avg}");
+    }
+
+    #[test]
+    fn epc_paging_kicks_in_beyond_93mib() {
+        let mut small = Hierarchy::new(HierarchyConfig::sgx());
+        let mut large = Hierarchy::new(HierarchyConfig::sgx());
+        let mut x: u64 = 999;
+        let mut lcg = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        let (mut c_small, mut c_large) = (0, 0);
+        // Enough accesses that the small working set reaches steady
+        // state (all pages resident) while the large one keeps faulting.
+        for _ in 0..60_000 {
+            let r = lcg();
+            c_small += small.access(r % (32 << 20), 8, true);
+            c_large += large.access(r % (256 << 20), 8, true);
+        }
+        // 32 MiB fits entirely in the EPC: only cold (first-touch)
+        // faults, bounded by the number of pages in the range.
+        assert!(small.epc_faults() <= (32 << 20) / 4096);
+        assert!(large.epc_faults() > 30_000, "large working set thrashes the EPC");
+        assert!(c_large > 3 * c_small);
+    }
+
+    #[test]
+    fn stores_cost_more_than_loads_when_paging() {
+        let mut loads = Hierarchy::new(HierarchyConfig::sgx());
+        let mut stores = Hierarchy::new(HierarchyConfig::sgx());
+        let mut x: u64 = 7;
+        let mut lcg = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 11) % (256 << 20)
+        };
+        let (mut cl, mut cs) = (0, 0);
+        for _ in 0..20_000 {
+            let a = lcg();
+            cl += loads.access(a, 8, false);
+            cs += stores.access(a, 8, true);
+        }
+        let ratio = cs as f64 / cl as f64;
+        assert!(ratio > 1.3 && ratio < 2.5, "store/load ratio {ratio} (paper: ~1.8)");
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let c = h.access(60, 8, false); // crosses the 64-byte boundary
+        assert!(c >= 2 * h.cfg.l1.hit_cycles);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut h = Hierarchy::new(HierarchyConfig::sgx());
+        h.access(0, 8, true);
+        h.reset();
+        assert_eq!(h.total_cycles(), 0);
+        assert_eq!(h.epc_faults(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! `acctee-cachesim` — a deterministic cycle-cost model.
+//!
+//! The paper obtains WebAssembly instruction weights (Fig. 7) and
+//! memory-access costs (Fig. 8) by reading the TSC on a Skylake Xeon
+//! E3-1230 v5. We do not have that testbed, so this crate substitutes a
+//! deterministic simulator with the same observable structure:
+//!
+//! * a per-opcode **base-cost table** modelled on published Skylake
+//!   instruction latencies ([`costs`]);
+//! * a set-associative, write-back/write-allocate **cache hierarchy**
+//!   (L1 → L2 → LLC → DRAM) that makes the cost of a load/store depend
+//!   on the access pattern and working-set size ([`cache`],
+//!   [`hierarchy`]);
+//! * an **EPC model**: accesses beyond the 93 MiB usable enclave page
+//!   cache trigger paging with page-granular en-/decryption, the cost
+//!   cliff SGX hardware mode exhibits in Figs. 6 and 8 ([`hierarchy`]).
+//!
+//! [`model::CycleModel`] ties these together as an
+//! `acctee_interp::Observer`, so any execution can be costed by simply
+//! attaching it.
+
+pub mod cache;
+pub mod costs;
+pub mod hierarchy;
+pub mod model;
+
+pub use cache::{Cache, CacheConfig};
+pub use costs::{instr_base_cost, numop_cost};
+pub use hierarchy::{Hierarchy, HierarchyConfig, MemCosts};
+pub use model::CycleModel;
+
+/// Nominal clock frequency of the paper's Xeon E3-1230 v5, used to
+/// convert simulated cycles into virtual seconds.
+pub const CLOCK_HZ: u64 = 3_400_000_000;
+
+/// Usable enclave page cache in bytes (the paper: 93 MiB of 128 MiB).
+pub const EPC_USABLE_BYTES: usize = 93 * 1024 * 1024;

@@ -1,0 +1,142 @@
+//! [`CycleModel`] — an `acctee_interp::Observer` that costs an
+//! execution in simulated cycles.
+
+use acctee_interp::Observer;
+use acctee_wasm::instr::Instr;
+
+use crate::costs::{instr_base_cost, DISPATCH_OVERHEAD_CYCLES};
+use crate::hierarchy::{Hierarchy, HierarchyConfig};
+use crate::CLOCK_HZ;
+
+/// Accumulates the simulated cycle cost of an execution: per-opcode
+/// base costs plus cache-hierarchy costs for every memory access.
+#[derive(Debug, Clone)]
+pub struct CycleModel {
+    hierarchy: Hierarchy,
+    cycles: u64,
+    /// Charge the interpreter dispatch overhead per instruction
+    /// (matches the paper's measurement methodology for Fig. 7).
+    pub include_dispatch: bool,
+}
+
+impl CycleModel {
+    /// A model without the SGX layer.
+    pub fn plain() -> CycleModel {
+        CycleModel::new(HierarchyConfig::default())
+    }
+
+    /// A model with MEE + EPC paging active (SGX hardware mode).
+    pub fn sgx() -> CycleModel {
+        CycleModel::new(HierarchyConfig::sgx())
+    }
+
+    /// A model over an explicit hierarchy configuration.
+    pub fn new(cfg: HierarchyConfig) -> CycleModel {
+        CycleModel { hierarchy: Hierarchy::new(cfg), cycles: 0, include_dispatch: false }
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Simulated wall time in seconds at the nominal clock.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / CLOCK_HZ as f64
+    }
+
+    /// The underlying hierarchy (for fault/DRAM statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Resets cycles and hierarchy state.
+    pub fn reset(&mut self) {
+        self.cycles = 0;
+        self.hierarchy.reset();
+    }
+}
+
+impl Observer for CycleModel {
+    fn on_instr(&mut self, instr: &Instr) {
+        self.cycles += instr_base_cost(instr);
+        if self.include_dispatch {
+            self.cycles += DISPATCH_OVERHEAD_CYCLES;
+        }
+    }
+
+    fn on_mem_access(&mut self, addr: u64, len: u32, is_store: bool) {
+        self.cycles += self.hierarchy.access(addr, len, is_store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance};
+    use acctee_wasm::builder::{Bound, ModuleBuilder};
+    use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
+    use acctee_wasm::types::ValType;
+
+    /// Builds a module that sweeps a `total_bytes` buffer once,
+    /// linearly, with 8-byte stores.
+    fn linear_store_module(total_bytes: i32) -> acctee_wasm::Module {
+        let mut b = ModuleBuilder::new();
+        let pages = (total_bytes as u32).div_ceil(65536) + 1;
+        b.memory(pages, None);
+        let f = b.func("run", &[], &[], |f| {
+            let i = f.local(ValType::I32);
+            f.for_loop(i, Bound::Const(0), Bound::Const(total_bytes / 8), |f| {
+                f.local_get(i);
+                f.i32_const(3);
+                f.i32_shl();
+                f.i64_const(7);
+                f.store(StoreOp::I64Store, 0);
+            });
+        });
+        b.export_func("run", f);
+        b.build()
+    }
+
+    #[test]
+    fn sgx_costs_more_than_plain() {
+        let m = linear_store_module(1 << 20);
+        let mut plain = CycleModel::plain();
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        inst.invoke_observed("run", &[], &mut plain).unwrap();
+        let mut sgx = CycleModel::sgx();
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        inst.invoke_observed("run", &[], &mut sgx).unwrap();
+        assert!(sgx.cycles() > plain.cycles());
+        assert!(sgx.hierarchy().epc_faults() > 0);
+    }
+
+    #[test]
+    fn dispatch_overhead_is_optional() {
+        let mut with = CycleModel::plain();
+        with.include_dispatch = true;
+        let mut without = CycleModel::plain();
+        let i = Instr::Num(NumOp::I32Add);
+        with.on_instr(&i);
+        without.on_instr(&i);
+        assert_eq!(with.cycles(), without.cycles() + DISPATCH_OVERHEAD_CYCLES);
+    }
+
+    #[test]
+    fn loads_feed_the_hierarchy() {
+        let mut model = CycleModel::plain();
+        model.on_instr(&Instr::Load(LoadOp::I64Load, Default::default()));
+        let before = model.cycles();
+        model.on_mem_access(0, 8, false);
+        assert!(model.cycles() > before);
+        model.reset();
+        assert_eq!(model.cycles(), 0);
+    }
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let mut m = CycleModel::plain();
+        m.cycles = CLOCK_HZ;
+        assert!((m.seconds() - 1.0).abs() < 1e-12);
+    }
+}

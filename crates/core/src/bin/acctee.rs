@@ -1,0 +1,232 @@
+//! `acctee` — command-line front end to the two-way sandbox.
+//!
+//! ```text
+//! acctee wat2wasm <in.wat> <out.wasm>     assemble text to binary
+//! acctee wasm2wat <in.wasm>               disassemble to text (stdout)
+//! acctee validate <in.wasm|in.wat>        validate a module
+//! acctee instrument <in> <out.wasm> [--level naive|flow|loop]
+//! acctee run <in> [--invoke F] [--arg V]* [--input STR] [--fuel N]
+//! acctee account <in> [--invoke F] [--arg V]* [--input STR]
+//!                                          full pipeline: instrument,
+//!                                          attest, execute, verify,
+//!                                          print the signed log
+//! ```
+//!
+//! Arguments of the invoked function are parsed against its signature
+//! (`17`, `-3`, `2.5`, …).
+
+use std::process::ExitCode;
+
+use acctee::{Deployment, Level, PricingModel};
+use acctee_instrument::{instrument, WeightTable};
+use acctee_interp::{Config, Imports, Instance, Value};
+use acctee_wasm::decode::decode_module;
+use acctee_wasm::encode::encode_module;
+use acctee_wasm::text::{parse_module, print_module};
+use acctee_wasm::types::ValType;
+use acctee_wasm::validate::validate_module;
+use acctee_wasm::Module;
+
+fn load_module(path: &str) -> Result<Module, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(b"\0asm") {
+        decode_module(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+        parse_module(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn parse_level(s: &str) -> Result<Level, String> {
+    match s {
+        "naive" => Ok(Level::Naive),
+        "flow" | "flow-based" => Ok(Level::FlowBased),
+        "loop" | "loop-based" => Ok(Level::LoopBased),
+        other => Err(format!("unknown level {other:?} (naive|flow|loop)")),
+    }
+}
+
+fn parse_args_for(module: &Module, func: &str, raw: &[String]) -> Result<Vec<Value>, String> {
+    let idx = module
+        .exported_func(func)
+        .ok_or_else(|| format!("no exported function {func:?}"))?;
+    let ty = module.func_type(idx).ok_or("missing function type")?;
+    if ty.params.len() != raw.len() {
+        return Err(format!("{func:?} takes {} args, got {}", ty.params.len(), raw.len()));
+    }
+    ty.params
+        .iter()
+        .zip(raw)
+        .map(|(t, s)| {
+            let bad = |e: std::num::ParseIntError| format!("bad {t} {s:?}: {e}");
+            Ok(match t {
+                ValType::I32 => Value::I32(s.parse().map_err(bad)?),
+                ValType::I64 => Value::I64(s.parse().map_err(bad)?),
+                ValType::F32 => Value::F32(s.parse().map_err(|e| format!("bad f32: {e}"))?),
+                ValType::F64 => Value::F64(s.parse().map_err(|e| format!("bad f64: {e}"))?),
+            })
+        })
+        .collect()
+}
+
+struct Opts {
+    invoke: String,
+    args: Vec<String>,
+    input: Vec<u8>,
+    fuel: Option<u64>,
+    level: Level,
+    rest: Vec<String>,
+}
+
+fn parse_opts(argv: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        invoke: "main".into(),
+        args: Vec::new(),
+        input: Vec::new(),
+        fuel: None,
+        level: Level::LoopBased,
+        rest: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let want = |it: &mut std::slice::Iter<String>| {
+            it.next().cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--invoke" => o.invoke = want(&mut it)?,
+            "--arg" => o.args.push(want(&mut it)?),
+            "--input" => o.input = want(&mut it)?.into_bytes(),
+            "--fuel" => o.fuel = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?),
+            "--level" => o.level = parse_level(&want(&mut it)?)?,
+            other => o.rest.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn real_main() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err("usage: acctee <wat2wasm|wasm2wat|validate|instrument|run|account> ...\n\
+                    see `acctee help`"
+            .into());
+    };
+    let opts = parse_opts(&argv[1..])?;
+    match cmd.as_str() {
+        "help" => {
+            println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
+            println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account");
+            Ok(())
+        }
+        "wat2wasm" => {
+            let [inp, out] = opts.rest.as_slice() else {
+                return Err("usage: acctee wat2wasm <in.wat> <out.wasm>".into());
+            };
+            let m = load_module(inp)?;
+            validate_module(&m).map_err(|e| e.to_string())?;
+            std::fs::write(out, encode_module(&m)).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "wasm2wat" => {
+            let [inp] = opts.rest.as_slice() else {
+                return Err("usage: acctee wasm2wat <in.wasm>".into());
+            };
+            print!("{}", print_module(&load_module(inp)?));
+            Ok(())
+        }
+        "validate" => {
+            let [inp] = opts.rest.as_slice() else {
+                return Err("usage: acctee validate <module>".into());
+            };
+            validate_module(&load_module(inp)?).map_err(|e| e.to_string())?;
+            println!("ok");
+            Ok(())
+        }
+        "instrument" => {
+            let [inp, out] = opts.rest.as_slice() else {
+                return Err("usage: acctee instrument <in> <out.wasm> [--level L]".into());
+            };
+            let m = load_module(inp)?;
+            let r = instrument(&m, opts.level, &WeightTable::calibrated())
+                .map_err(|e| e.to_string())?;
+            std::fs::write(out, encode_module(&r.module)).map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} -> {} bytes (+{:.1}%), {} increments ({} elided, {} loops hoisted)",
+                opts.level,
+                r.stats.size_before,
+                r.stats.size_after,
+                r.stats.size_overhead() * 100.0,
+                r.stats.increments,
+                r.stats.elided,
+                r.stats.loops_hoisted
+            );
+            Ok(())
+        }
+        "run" => {
+            let [inp] = opts.rest.as_slice() else {
+                return Err("usage: acctee run <module> [--invoke F] [--arg V]...".into());
+            };
+            let m = load_module(inp)?;
+            validate_module(&m).map_err(|e| e.to_string())?;
+            let args = parse_args_for(&m, &opts.invoke, &opts.args)?;
+            let meter = acctee::IoMeter::with_input(&opts.input);
+            let imports = meter.register(Imports::new());
+            let mut inst = Instance::with_config(
+                &m,
+                imports,
+                Config { fuel: opts.fuel, ..Config::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            let out = inst.invoke(&opts.invoke, &args).map_err(|e| e.to_string())?;
+            for v in out {
+                println!("{v}");
+            }
+            let output = meter.take_output();
+            if !output.is_empty() {
+                println!("output: {}", String::from_utf8_lossy(&output));
+            }
+            let s = inst.stats();
+            eprintln!(
+                "[{} instructions, {} loads, {} stores, peak memory {} B]",
+                s.instructions, s.loads, s.stores, s.peak_memory_bytes
+            );
+            Ok(())
+        }
+        "account" => {
+            let [inp] = opts.rest.as_slice() else {
+                return Err("usage: acctee account <module> [--invoke F] [--arg V]...".into());
+            };
+            let m = load_module(inp)?;
+            let args = parse_args_for(&m, &opts.invoke, &opts.args)?;
+            let bytes = encode_module(&m);
+            let mut dep = Deployment::new(0xacc7ee);
+            let (ib, ev) =
+                dep.instrument(&bytes, opts.level).map_err(|e| e.to_string())?;
+            let outcome = dep
+                .execute(&ib, &ev, &opts.invoke, &args, &opts.input)
+                .map_err(|e| e.to_string())?;
+            dep.workload_provider().verify_log(&outcome.log).map_err(|e| e.to_string())?;
+            println!("results: {:?}", outcome.results);
+            let log = &outcome.log.log;
+            println!("signed resource usage log (verified):");
+            println!("  weighted instructions: {}", log.weighted_instructions);
+            println!("  peak memory:           {} B", log.peak_memory_bytes);
+            println!("  memory integral:       {}", log.memory_integral);
+            println!("  io:                    {} in / {} out", log.io_bytes_in, log.io_bytes_out);
+            let inv = PricingModel::default().invoice(log);
+            println!("  invoice:               {} nano-credits", inv.total());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `acctee help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Instrumentation cache (§3.3): "The code only needs to be
+//! instrumented once. A cached copy of the instrumented code can be
+//! re-used across many invocations."
+//!
+//! The cache is keyed by the hash of the *original* module plus the
+//! instrumentation level and weight-table hash, so a cache hit is
+//! exactly as trustworthy as a fresh instrumentation: the stored
+//! evidence still binds everything.
+
+use std::collections::HashMap;
+
+use acctee_instrument::Level;
+use acctee_sgx::crypto::{sha256, Digest};
+
+use crate::enclave::InstrumentationEnclave;
+use crate::error::AccTeeError;
+use crate::evidence::InstrumentationEvidence;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    original: Digest,
+    level: Level,
+}
+
+/// A cache of instrumented modules with their evidence.
+pub struct InstrumentationCache {
+    entries: HashMap<Key, (Vec<u8>, InstrumentationEvidence)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for InstrumentationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrumentationCache")
+            .field("entries", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl Default for InstrumentationCache {
+    fn default() -> Self {
+        InstrumentationCache::new()
+    }
+}
+
+impl InstrumentationCache {
+    /// Creates an empty cache.
+    pub fn new() -> InstrumentationCache {
+        InstrumentationCache { entries: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the instrumented module + evidence for `module_bytes`,
+    /// instrumenting through `ie` only on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instrumentation failures (which are not cached).
+    pub fn instrument(
+        &mut self,
+        ie: &InstrumentationEnclave,
+        module_bytes: &[u8],
+        level: Level,
+    ) -> Result<(Vec<u8>, InstrumentationEvidence), AccTeeError> {
+        let key = Key { original: sha256(module_bytes), level };
+        if let Some((bytes, evidence)) = self.entries.get(&key) {
+            self.hits += 1;
+            return Ok((bytes.clone(), evidence.clone()));
+        }
+        self.misses += 1;
+        let out = ie.instrument(module_bytes, level)?;
+        self.entries.insert(key, out.clone());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_instrument::WeightTable;
+    use acctee_sgx::{AttestationAuthority, Platform};
+    use acctee_wasm::builder::ModuleBuilder;
+    use acctee_wasm::encode::encode_module;
+    use acctee_wasm::types::ValType;
+
+    fn ie() -> InstrumentationEnclave {
+        let authority = AttestationAuthority::new(8);
+        let p = Platform::new("cache-test", 8);
+        let qe = authority.provision(&p);
+        InstrumentationEnclave::launch(&p, qe, WeightTable::uniform())
+    }
+
+    fn module_bytes(c: i32) -> Vec<u8> {
+        let mut b = ModuleBuilder::new();
+        let f = b.func("run", &[], &[ValType::I32], |f| {
+            f.i32_const(c);
+        });
+        b.export_func("run", f);
+        encode_module(&b.build())
+    }
+
+    #[test]
+    fn second_request_hits() {
+        let ie = ie();
+        let mut cache = InstrumentationCache::new();
+        let a1 = cache.instrument(&ie, &module_bytes(1), Level::Naive).unwrap();
+        let a2 = cache.instrument(&ie, &module_bytes(1), Level::Naive).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn level_and_module_are_part_of_the_key() {
+        let ie = ie();
+        let mut cache = InstrumentationCache::new();
+        cache.instrument(&ie, &module_bytes(1), Level::Naive).unwrap();
+        cache.instrument(&ie, &module_bytes(1), Level::LoopBased).unwrap();
+        cache.instrument(&ie, &module_bytes(2), Level::Naive).unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cached_evidence_still_verifies() {
+        let authority = AttestationAuthority::new(8);
+        let p = Platform::new("cache-test", 8);
+        let qe = authority.provision(&p);
+        let ie = InstrumentationEnclave::launch(&p, qe, WeightTable::uniform());
+        let provider = crate::session::WorkloadProvider::new(
+            authority,
+            ie.measurement(),
+            ie.measurement(), // AE measurement irrelevant here
+            &WeightTable::uniform(),
+        );
+        let mut cache = InstrumentationCache::new();
+        let bytes = module_bytes(7);
+        let _ = cache.instrument(&ie, &bytes, Level::Naive).unwrap();
+        let (instr, evidence) = cache.instrument(&ie, &bytes, Level::Naive).unwrap();
+        provider.verify_evidence(&instr, &evidence).expect("cached evidence verifies");
+    }
+}

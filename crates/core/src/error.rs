@@ -1,0 +1,63 @@
+//! The crate-wide error type.
+
+use acctee_interp::Trap;
+use acctee_sgx::AttestationError;
+
+/// Everything that can go wrong in the AccTEE pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccTeeError {
+    /// The supplied module bytes did not decode or validate.
+    BadModule(String),
+    /// Instrumentation failed.
+    Instrumentation(String),
+    /// A quote or report failed verification.
+    Attestation(AttestationError),
+    /// The evidence does not match the module or the expected
+    /// environment (wrong hash, wrong weight table, wrong enclave).
+    EvidenceMismatch(String),
+    /// The signed log failed verification.
+    LogMismatch(String),
+    /// The workload trapped.
+    Trap(Trap),
+}
+
+impl std::fmt::Display for AccTeeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccTeeError::BadModule(e) => write!(f, "bad module: {e}"),
+            AccTeeError::Instrumentation(e) => write!(f, "instrumentation failed: {e}"),
+            AccTeeError::Attestation(e) => write!(f, "attestation failed: {e}"),
+            AccTeeError::EvidenceMismatch(e) => write!(f, "evidence mismatch: {e}"),
+            AccTeeError::LogMismatch(e) => write!(f, "log mismatch: {e}"),
+            AccTeeError::Trap(t) => write!(f, "workload trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for AccTeeError {}
+
+impl From<AttestationError> for AccTeeError {
+    fn from(e: AttestationError) -> AccTeeError {
+        AccTeeError::Attestation(e)
+    }
+}
+
+impl From<Trap> for AccTeeError {
+    fn from(t: Trap) -> AccTeeError {
+        AccTeeError::Trap(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AccTeeError::BadModule("x".into()).to_string().contains("bad module"));
+        assert!(AccTeeError::from(Trap::Unreachable).to_string().contains("trapped"));
+        assert!(AccTeeError::from(AttestationError::BadQuote)
+            .to_string()
+            .contains("attestation"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Pricing models: turning a resource usage log into an invoice.
+//!
+//! §3.2: per-instruction pricing makes offerings comparable across
+//! providers; each provider still folds its own cost structure
+//! (management, energy, hardware) into the published rates.
+
+use crate::log::{MemoryPolicy, ResourceUsageLog};
+
+/// Prices in nano-credits per unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PricingModel {
+    /// Nano-credits per weighted instruction.
+    pub per_weighted_instruction: u64,
+    /// Nano-credits per byte of peak memory ([`MemoryPolicy::Peak`]).
+    pub per_peak_byte: u64,
+    /// Nano-credits per 2^20 byte-instructions
+    /// ([`MemoryPolicy::Integral`]).
+    pub per_mebi_byte_instruction: u64,
+    /// Nano-credits per I/O byte (either direction).
+    pub per_io_byte: u64,
+    /// Which memory policy the parties agreed on.
+    pub memory_policy: MemoryPolicy,
+}
+
+impl Default for PricingModel {
+    fn default() -> PricingModel {
+        PricingModel {
+            per_weighted_instruction: 1,
+            per_peak_byte: 2,
+            per_mebi_byte_instruction: 50,
+            per_io_byte: 10,
+            memory_policy: MemoryPolicy::Peak,
+        }
+    }
+}
+
+/// An itemised bill for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Invoice {
+    /// CPU cost (weighted instructions).
+    pub compute: u128,
+    /// Memory cost (per the agreed policy).
+    pub memory: u128,
+    /// I/O cost.
+    pub io: u128,
+}
+
+impl Invoice {
+    /// The grand total in nano-credits.
+    pub fn total(&self) -> u128 {
+        self.compute + self.memory + self.io
+    }
+}
+
+impl PricingModel {
+    /// Prices a log.
+    pub fn invoice(&self, log: &ResourceUsageLog) -> Invoice {
+        let compute =
+            u128::from(log.weighted_instructions) * u128::from(self.per_weighted_instruction);
+        let memory = match self.memory_policy {
+            MemoryPolicy::Peak => {
+                u128::from(log.peak_memory_bytes) * u128::from(self.per_peak_byte)
+            }
+            MemoryPolicy::Integral => {
+                log.memory_integral / (1 << 20) * u128::from(self.per_mebi_byte_instruction)
+            }
+        };
+        let io = (u128::from(log.io_bytes_in) + u128::from(log.io_bytes_out))
+            * u128::from(self.per_io_byte);
+        Invoice { compute, memory, io }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_sgx::crypto::sha256;
+
+    fn log() -> ResourceUsageLog {
+        ResourceUsageLog {
+            weighted_instructions: 1_000,
+            peak_memory_bytes: 65536,
+            memory_integral: 10 << 20,
+            io_bytes_in: 100,
+            io_bytes_out: 50,
+            module_hash: sha256(b"m"),
+            session_id: 0,
+        }
+    }
+
+    #[test]
+    fn peak_policy_bills_peak() {
+        let p = PricingModel::default();
+        let inv = p.invoice(&log());
+        assert_eq!(inv.compute, 1_000);
+        assert_eq!(inv.memory, 65536 * 2);
+        assert_eq!(inv.io, 150 * 10);
+        assert_eq!(inv.total(), 1_000 + 131_072 + 1_500);
+    }
+
+    #[test]
+    fn integral_policy_bills_integral() {
+        let p = PricingModel { memory_policy: MemoryPolicy::Integral, ..Default::default() };
+        let inv = p.invoice(&log());
+        assert_eq!(inv.memory, 10 * 50);
+    }
+
+    #[test]
+    fn zero_log_costs_nothing() {
+        let p = PricingModel::default();
+        let inv = p.invoice(&ResourceUsageLog::default());
+        assert_eq!(inv.total(), 0);
+    }
+}

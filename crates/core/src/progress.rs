@@ -1,0 +1,124 @@
+//! Periodic accounting feedback (§2.1 "pay-by-computation": "provides
+//! periodic feedback to the content provider on the task's progress";
+//! §3.3: the accounting enclave produces the log "either periodically
+//! or upon request").
+//!
+//! [`ProgressMeter`] is an interpreter observer that mirrors the
+//! weighted instruction counter and invokes a callback every
+//! `interval` weighted units. Because it runs inside the trusted
+//! runtime (the same boundary as the counter itself), its reports are
+//! as trustworthy as the final log.
+
+use acctee_instrument::WeightTable;
+use acctee_interp::Observer;
+use acctee_wasm::instr::Instr;
+
+/// An observer that reports accounting progress periodically.
+pub struct ProgressMeter<'w, F: FnMut(u64)> {
+    weights: &'w WeightTable,
+    interval: u64,
+    next_report: u64,
+    wic: u64,
+    callback: F,
+}
+
+impl<'w, F: FnMut(u64)> ProgressMeter<'w, F> {
+    /// Creates a meter reporting every `interval` weighted
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(weights: &'w WeightTable, interval: u64, callback: F) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        ProgressMeter { weights, interval, next_report: interval, wic: 0, callback }
+    }
+
+    /// The weighted instruction count accumulated so far.
+    pub fn weighted_instructions(&self) -> u64 {
+        self.wic
+    }
+}
+
+impl<F: FnMut(u64)> Observer for ProgressMeter<'_, F> {
+    fn on_instr(&mut self, instr: &Instr) {
+        self.wic += self.weights.weight(instr);
+        while self.wic >= self.next_report {
+            (self.callback)(self.wic);
+            self.next_report += self.interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance, Value};
+    use acctee_wasm::builder::{Bound, ModuleBuilder};
+    use acctee_wasm::types::ValType;
+
+    fn loopy_module() -> acctee_wasm::Module {
+        let mut b = ModuleBuilder::new();
+        let f = b.func("run", &[ValType::I32], &[], |f| {
+            let i = f.local(ValType::I32);
+            f.for_loop(i, Bound::Const(0), Bound::Local(0), |f| {
+                f.emit(acctee_wasm::instr::Instr::Nop);
+            });
+        });
+        b.export_func("run", f);
+        b.build()
+    }
+
+    #[test]
+    fn reports_fire_at_the_interval() {
+        let m = loopy_module();
+        let weights = WeightTable::uniform();
+        let mut reports = Vec::new();
+        let mut meter = ProgressMeter::new(&weights, 100, |wic| reports.push(wic));
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        inst.invoke_observed("run", &[Value::I32(200)], &mut meter).unwrap();
+        let total = meter.weighted_instructions();
+        let _ = meter;
+        assert!(total > 1000);
+        // One report per 100 units, monotonically increasing.
+        assert_eq!(reports.len(), (total / 100) as usize);
+        assert!(reports.windows(2).all(|w| w[0] < w[1]));
+        assert!(reports[0] >= 100 && reports[0] < 200);
+    }
+
+    #[test]
+    fn no_reports_for_short_runs() {
+        let m = loopy_module();
+        let weights = WeightTable::uniform();
+        let mut count = 0;
+        let mut meter = ProgressMeter::new(&weights, 1_000_000, |_| count += 1);
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        inst.invoke_observed("run", &[Value::I32(3)], &mut meter).unwrap();
+        let _ = meter;
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let weights = WeightTable::uniform();
+        let _ = ProgressMeter::new(&weights, 0, |_| {});
+    }
+
+    #[test]
+    fn progress_total_matches_injected_counter() {
+        use acctee_instrument::{instrument, Level, COUNTER_EXPORT};
+        let m = loopy_module();
+        let weights = WeightTable::calibrated();
+        let r = instrument(&m, Level::LoopBased, &weights).unwrap();
+        let mut meter = ProgressMeter::new(&weights, 50, |_| {});
+        // Run the ORIGINAL with the meter...
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        inst.invoke_observed("run", &[Value::I32(77)], &mut meter).unwrap();
+        // ...and the instrumented module for the attested count.
+        let mut inst2 = Instance::new(&r.module, Imports::new()).unwrap();
+        inst2.invoke("run", &[Value::I32(77)]).unwrap();
+        let counter = inst2.global(COUNTER_EXPORT).unwrap().as_i64() as u64;
+        assert_eq!(meter.weighted_instructions(), counter);
+    }
+}

@@ -1,0 +1,91 @@
+//! Sealed weight-table storage (§3.7: "In AccTEE, runtime adjustments
+//! are possible, allowing weight adjustment without requiring the
+//! release of new enclaves").
+//!
+//! A weight table is part of the attested environment, so it cannot be
+//! swapped silently — but it can be *persisted* across enclave
+//! restarts by sealing it to the enclave identity. A provider tunes
+//! weights for its hardware, seals them, and any later instance of the
+//! same enclave code on the same platform unseals exactly that table
+//! (anything else fails the MAC).
+
+use acctee_instrument::WeightTable;
+use acctee_sgx::seal::{seal, unseal, Sealed};
+use acctee_sgx::Enclave;
+
+/// Errors from the sealed weight store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightStoreError {
+    /// The sealed blob failed authentication (wrong enclave/platform
+    /// or tampered).
+    Unsealable,
+    /// The blob unsealed but did not contain a weight table.
+    Malformed,
+}
+
+impl std::fmt::Display for WeightStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightStoreError::Unsealable => write!(f, "sealed weights failed authentication"),
+            WeightStoreError::Malformed => write!(f, "sealed blob is not a weight table"),
+        }
+    }
+}
+
+impl std::error::Error for WeightStoreError {}
+
+/// Seals `weights` to `enclave`'s identity. The `nonce` must be fresh
+/// per seal.
+pub fn seal_weights(enclave: &Enclave, nonce: [u8; 16], weights: &WeightTable) -> Sealed {
+    seal(enclave, nonce, &weights.to_bytes())
+}
+
+/// Recovers a weight table sealed by (an instance of) this enclave.
+///
+/// # Errors
+///
+/// [`WeightStoreError::Unsealable`] on authentication failure,
+/// [`WeightStoreError::Malformed`] if the payload does not parse.
+pub fn unseal_weights(enclave: &Enclave, sealed: &Sealed) -> Result<WeightTable, WeightStoreError> {
+    let bytes = unseal(enclave, sealed).ok_or(WeightStoreError::Unsealable)?;
+    WeightTable::from_bytes(&bytes).ok_or(WeightStoreError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_sgx::Platform;
+    use acctee_wasm::instr::Instr;
+
+    #[test]
+    fn weights_survive_enclave_restart() {
+        let platform = Platform::new("provider", 4);
+        let code = b"accounting-enclave";
+        let e1 = platform.create_enclave(code);
+        let mut w = WeightTable::calibrated();
+        w.set(&Instr::Nop, 3); // provider-tuned adjustment
+        let sealed = seal_weights(&e1, [1; 16], &w);
+        let _ = e1; // "restart"
+        // A fresh instance of the same code unseals the table.
+        let e2 = platform.create_enclave(code);
+        let recovered = unseal_weights(&e2, &sealed).unwrap();
+        assert_eq!(recovered, w);
+    }
+
+    #[test]
+    fn other_enclave_cannot_recover_weights() {
+        let platform = Platform::new("provider", 4);
+        let e1 = platform.create_enclave(b"accounting-enclave-v1");
+        let e2 = platform.create_enclave(b"accounting-enclave-v2");
+        let sealed = seal_weights(&e1, [1; 16], &WeightTable::uniform());
+        assert_eq!(unseal_weights(&e2, &sealed), Err(WeightStoreError::Unsealable));
+    }
+
+    #[test]
+    fn truncated_payload_is_malformed() {
+        let platform = Platform::new("provider", 4);
+        let e = platform.create_enclave(b"code");
+        let sealed = seal(&e, [2; 16], b"acctee-wnot-a-table");
+        assert_eq!(unseal_weights(&e, &sealed), Err(WeightStoreError::Malformed));
+    }
+}

@@ -1,0 +1,149 @@
+//! A closed-loop discrete-event simulator, standing in for `h2load`.
+//!
+//! The paper drives each configuration with 10 concurrent clients in a
+//! closed loop (a client issues its next request as soon as the
+//! previous response arrives) against a server with a fixed worker
+//! pool. Throughput is requests completed per unit of virtual time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Result of a simulated load run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// Requests completed.
+    pub completed: u64,
+    /// Virtual duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Mean response latency in nanoseconds.
+    pub mean_latency_ns: u64,
+}
+
+impl SimReport {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.duration_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1e9 / self.duration_ns as f64
+    }
+}
+
+/// Closed-loop load generator + worker-pool server.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopSim {
+    /// Number of concurrent clients (the paper: 10).
+    pub clients: usize,
+    /// Server worker pool (the paper's Xeon E3: 4 cores / 8 threads).
+    pub workers: usize,
+}
+
+impl Default for ClosedLoopSim {
+    fn default() -> ClosedLoopSim {
+        ClosedLoopSim { clients: 10, workers: 8 }
+    }
+}
+
+impl ClosedLoopSim {
+    /// Runs until `total_requests` complete. `service_ns(i)` gives the
+    /// service time of the i-th request (deterministic or measured).
+    pub fn run(
+        &self,
+        total_requests: u64,
+        mut service_ns: impl FnMut(u64) -> u64,
+    ) -> SimReport {
+        // Event: (completion_time, worker). Pending queue holds request
+        // arrival times.
+        let mut now: u64 = 0;
+        let mut free_workers = self.workers;
+        let mut queue: VecDeque<u64> = VecDeque::new(); // arrival times
+        let mut completions: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut issued: u64 = 0;
+        let mut completed: u64 = 0;
+        let mut latency_sum: u64 = 0;
+
+        // All clients issue immediately.
+        for _ in 0..self.clients.min(total_requests as usize) {
+            queue.push_back(0);
+            issued += 1;
+        }
+
+        while completed < total_requests {
+            // Dispatch queued requests to free workers.
+            while free_workers > 0 {
+                let Some(arrival) = queue.pop_front() else { break };
+                free_workers -= 1;
+                let s = service_ns(completed + completions.len() as u64);
+                completions.push(Reverse((now.max(arrival) + s, arrival)));
+            }
+            // Advance to next completion.
+            let Some(Reverse((t, arrival))) = completions.pop() else {
+                break; // nothing in flight and queue empty
+            };
+            now = t;
+            free_workers += 1;
+            completed += 1;
+            latency_sum += now - arrival;
+            // Closed loop: the client immediately issues the next one.
+            if issued < total_requests {
+                queue.push_back(now);
+                issued += 1;
+            }
+        }
+        SimReport {
+            completed,
+            duration_ns: now,
+            mean_latency_ns: latency_sum.checked_div(completed).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_matches_theory_when_workers_exceed_clients() {
+        // 10 clients, 16 workers, 1ms service: each client cycles every
+        // 1ms -> 10 kreq/s.
+        let sim = ClosedLoopSim { clients: 10, workers: 16 };
+        let r = sim.run(10_000, |_| 1_000_000);
+        let tp = r.throughput();
+        assert!((tp - 10_000.0).abs() / 10_000.0 < 0.02, "{tp}");
+    }
+
+    #[test]
+    fn workers_cap_throughput() {
+        // 10 clients but only 2 workers: 2 kreq/s at 1ms service.
+        let sim = ClosedLoopSim { clients: 10, workers: 2 };
+        let r = sim.run(10_000, |_| 1_000_000);
+        let tp = r.throughput();
+        assert!((tp - 2_000.0).abs() / 2_000.0 < 0.02, "{tp}");
+    }
+
+    #[test]
+    fn slower_service_means_lower_throughput_and_higher_latency() {
+        let sim = ClosedLoopSim::default();
+        let fast = sim.run(5_000, |_| 500_000);
+        let slow = sim.run(5_000, |_| 5_000_000);
+        assert!(fast.throughput() > 5.0 * slow.throughput());
+        assert!(slow.mean_latency_ns > fast.mean_latency_ns);
+    }
+
+    #[test]
+    fn completes_exactly_the_requested_number() {
+        let sim = ClosedLoopSim { clients: 3, workers: 2 };
+        let r = sim.run(17, |_| 100);
+        assert_eq!(r.completed, 17);
+        assert!(r.duration_ns > 0);
+    }
+
+    #[test]
+    fn variable_service_times_are_averaged() {
+        let sim = ClosedLoopSim { clients: 1, workers: 1 };
+        // alternating 1ms / 3ms -> mean 2ms -> 500 req/s
+        let r = sim.run(1_000, |i| if i % 2 == 0 { 1_000_000 } else { 3_000_000 });
+        let tp = r.throughput();
+        assert!((tp - 500.0).abs() / 500.0 < 0.02, "{tp}");
+    }
+}

@@ -1,0 +1,571 @@
+//! Segmentation and counter injection: the instrumentation pass.
+//!
+//! The pass walks each function's structured body, partitioning it into
+//! accounting segments (the CFG nodes of [`crate::cfg`]) and recording,
+//! for every segment, the single point where its counter increment (a
+//! *flush*) is materialised:
+//!
+//! * immediately **before** a segment-terminating control instruction
+//!   (`br`, `br_if`, `br_table`, `return`, `unreachable`, `if`,
+//!   `loop`, `call`, `call_indirect`) — so the transfer itself is
+//!   already accounted when control leaves; or
+//! * at the **end of the enclosing structured body** on fall-through.
+//!
+//! Increments are `global.get $c; i64.const w; i64.add; global.set $c`
+//! on a fresh module global the workload cannot name (the module is
+//! validated first, so no pre-existing instruction can reference the
+//! appended global index — requirement R4 / design point D4).
+
+use acctee_wasm::instr::{BlockType, ConstExpr, Instr};
+use acctee_wasm::module::{Export, ExportKind, Global, Module};
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::{GlobalType, ValType};
+use acctee_wasm::validate::validate_module;
+
+use crate::cfg::{flow_optimise, Cfg, FlowStats};
+use crate::loopopt;
+use crate::weights::WeightTable;
+
+/// The instrumentation level (§3.6, evaluated in Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// One increment per basic block.
+    Naive,
+    /// Naive + the two CFG transformations (push-down, min-pred).
+    FlowBased,
+    /// Flow-based + hoisting increments out of counted loops.
+    #[default]
+    LoopBased,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::Naive => write!(f, "naive"),
+            Level::FlowBased => write!(f, "flow-based"),
+            Level::LoopBased => write!(f, "loop-based"),
+        }
+    }
+}
+
+/// Why instrumentation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// The input module is invalid; instrumenting it would be unsound
+    /// (e.g. it could reference the counter global's future index).
+    InvalidModule(String),
+}
+
+impl std::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstrumentError::InvalidModule(e) => write!(f, "invalid input module: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+/// Statistics about one instrumentation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrumentStats {
+    /// Accounting segments found across all functions.
+    pub segments: usize,
+    /// Counter increments actually materialised.
+    pub increments: usize,
+    /// Increments elided (zero amount after optimisation).
+    pub elided: usize,
+    /// Loops whose increments were hoisted ([`Level::LoopBased`]).
+    pub loops_hoisted: usize,
+    /// Binary size before instrumentation.
+    pub size_before: usize,
+    /// Binary size after instrumentation.
+    pub size_after: usize,
+}
+
+impl InstrumentStats {
+    /// Relative binary-size overhead (the §5.4 metric).
+    pub fn size_overhead(&self) -> f64 {
+        if self.size_before == 0 {
+            return 0.0;
+        }
+        self.size_after as f64 / self.size_before as f64 - 1.0
+    }
+}
+
+/// The result of instrumenting a module.
+#[derive(Debug, Clone)]
+pub struct Instrumented {
+    /// The rewritten module.
+    pub module: Module,
+    /// Index of the injected counter global.
+    pub counter_global: u32,
+    /// Level used.
+    pub level: Level,
+    /// Statistics.
+    pub stats: InstrumentStats,
+}
+
+/// Name under which the counter global is exported, so the embedder
+/// (the accounting enclave) can read it.
+pub const COUNTER_EXPORT: &str = "__acctee_wic";
+
+/// An instruction stream with flush markers, mirroring the structured
+/// body.
+#[derive(Debug, Clone)]
+pub(crate) enum Item {
+    /// A real instruction (never block/loop/if).
+    Instr(Instr),
+    /// A nested block.
+    Block { ty: BlockType, body: Vec<Item> },
+    /// A nested loop.
+    Loop { ty: BlockType, body: Vec<Item> },
+    /// A nested conditional.
+    If { ty: BlockType, then: Vec<Item>, els: Vec<Item> },
+    /// The flush point of segment `id`.
+    Flush(usize),
+}
+
+pub(crate) struct SegmentedFunc {
+    pub items: Vec<Item>,
+    pub cfg: Cfg,
+}
+
+struct Walker<'w> {
+    cfg: Cfg,
+    weights: &'w WeightTable,
+}
+
+impl Walker<'_> {
+    /// Walks `body`, appending items to `out`. `cur` is the current
+    /// segment; returns the segment live at the end of `body`, or
+    /// `None` if that point is unreachable.
+    fn walk(
+        &mut self,
+        body: &[Instr],
+        mut cur: Option<usize>,
+        labels: &mut Vec<usize>,
+        out: &mut Vec<Item>,
+    ) -> Option<usize> {
+        for instr in body {
+            // Dead code still gets a segment so its (never-executed)
+            // increments keep the module well-formed.
+            let c = *cur.get_or_insert_with(|| self.cfg.add_node());
+            let w = self.weights.weight(instr);
+            match instr {
+                Instr::Block { ty, body } => {
+                    // Fall-through entry: the segment continues inside.
+                    self.cfg.weight[c] += w;
+                    let after = self.cfg.add_node();
+                    labels.push(after);
+                    let mut inner = Vec::new();
+                    let end = self.walk(body, Some(c), labels, &mut inner);
+                    labels.pop();
+                    if let Some(end) = end {
+                        inner.push(Item::Flush(end));
+                        self.cfg.add_edge(end, after);
+                    }
+                    out.push(Item::Block { ty: *ty, body: inner });
+                    cur = Some(after);
+                }
+                Instr::Loop { ty, body } => {
+                    // The loop header is a branch target: fresh segment.
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    let header = self.cfg.add_node();
+                    self.cfg.add_edge(c, header);
+                    let after = self.cfg.add_node();
+                    labels.push(header);
+                    let mut inner = Vec::new();
+                    let end = self.walk(body, Some(header), labels, &mut inner);
+                    labels.pop();
+                    if let Some(end) = end {
+                        inner.push(Item::Flush(end));
+                        self.cfg.add_edge(end, after);
+                    }
+                    out.push(Item::Loop { ty: *ty, body: inner });
+                    cur = Some(after);
+                }
+                Instr::If { ty, then, els } => {
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    let after = self.cfg.add_node();
+                    let t_entry = self.cfg.add_node();
+                    let e_entry = self.cfg.add_node();
+                    self.cfg.add_edge(c, t_entry);
+                    self.cfg.add_edge(c, e_entry);
+                    labels.push(after);
+                    let mut t_items = Vec::new();
+                    if let Some(end) = self.walk(then, Some(t_entry), labels, &mut t_items) {
+                        t_items.push(Item::Flush(end));
+                        self.cfg.add_edge(end, after);
+                    }
+                    let mut e_items = Vec::new();
+                    if let Some(end) = self.walk(els, Some(e_entry), labels, &mut e_items) {
+                        e_items.push(Item::Flush(end));
+                        self.cfg.add_edge(end, after);
+                    }
+                    labels.pop();
+                    out.push(Item::If { ty: *ty, then: t_items, els: e_items });
+                    cur = Some(after);
+                }
+                Instr::Br(l) => {
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    let target = labels[labels.len() - 1 - *l as usize];
+                    self.cfg.add_edge(c, target);
+                    out.push(Item::Instr(instr.clone()));
+                    cur = None;
+                }
+                Instr::BrIf(l) => {
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    let target = labels[labels.len() - 1 - *l as usize];
+                    self.cfg.add_edge(c, target);
+                    out.push(Item::Instr(instr.clone()));
+                    let cont = self.cfg.add_node();
+                    self.cfg.add_edge(c, cont);
+                    cur = Some(cont);
+                }
+                Instr::BrTable { targets, default } => {
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    for l in targets.iter().chain(std::iter::once(default)) {
+                        let target = labels[labels.len() - 1 - *l as usize];
+                        self.cfg.add_edge(c, target);
+                    }
+                    out.push(Item::Instr(instr.clone()));
+                    cur = None;
+                }
+                Instr::Return | Instr::Unreachable => {
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    out.push(Item::Instr(instr.clone()));
+                    cur = None;
+                }
+                Instr::Call(_) | Instr::CallIndirect(_) => {
+                    // Basic-block boundary (the paper's REM-style
+                    // segmentation): flush before transferring into the
+                    // callee so periodic log reads see it.
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Flush(c));
+                    out.push(Item::Instr(instr.clone()));
+                    let cont = self.cfg.add_node();
+                    self.cfg.add_edge(c, cont);
+                    cur = Some(cont);
+                }
+                simple => {
+                    self.cfg.weight[c] += w;
+                    out.push(Item::Instr(simple.clone()));
+                }
+            }
+        }
+        cur
+    }
+}
+
+pub(crate) fn segment_function(
+    body: &[Instr],
+    weights: &WeightTable,
+) -> SegmentedFunc {
+    let mut w = Walker { cfg: Cfg::new(), weights };
+    let entry = w.cfg.entry;
+    let mut items = Vec::new();
+    let mut labels = Vec::new();
+    if let Some(end) = w.walk(body, Some(entry), &mut labels, &mut items) {
+        items.push(Item::Flush(end));
+    }
+    SegmentedFunc { items, cfg: w.cfg }
+}
+
+/// Materialises items into instructions, emitting increments for
+/// non-zero amounts.
+fn materialise(
+    items: &[Item],
+    amounts: &[u64],
+    counter: u32,
+    stats: &mut InstrumentStats,
+) -> Vec<Instr> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Item::Instr(i) => out.push(i.clone()),
+            Item::Block { ty, body } => out.push(Instr::Block {
+                ty: *ty,
+                body: materialise(body, amounts, counter, stats),
+            }),
+            Item::Loop { ty, body } => out.push(Instr::Loop {
+                ty: *ty,
+                body: materialise(body, amounts, counter, stats),
+            }),
+            Item::If { ty, then, els } => out.push(Instr::If {
+                ty: *ty,
+                then: materialise(then, amounts, counter, stats),
+                els: materialise(els, amounts, counter, stats),
+            }),
+            Item::Flush(id) => {
+                let amount = amounts[*id];
+                if amount == 0 {
+                    stats.elided += 1;
+                } else {
+                    stats.increments += 1;
+                    out.push(Instr::GlobalGet(counter));
+                    out.push(Instr::I64Const(amount as i64));
+                    out.push(Instr::Num(NumOp::I64Add));
+                    out.push(Instr::GlobalSet(counter));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Instruments `module` at `level` with `weights`.
+///
+/// The returned module maintains the weighted instruction counter in a
+/// fresh global exported as [`COUNTER_EXPORT`]. For any terminating
+/// execution the counter equals the weighted count of executed original
+/// instructions.
+///
+/// # Errors
+///
+/// [`InstrumentError::InvalidModule`] if the input does not validate —
+/// instrumenting an invalid module would be unsound (its code could
+/// name the counter global's index).
+pub fn instrument(
+    module: &Module,
+    level: Level,
+    weights: &WeightTable,
+) -> Result<Instrumented, InstrumentError> {
+    validate_module(module).map_err(|e| InstrumentError::InvalidModule(e.to_string()))?;
+
+    let mut out = module.clone();
+    let counter = out.num_globals();
+    out.globals.push(Global {
+        ty: GlobalType::mutable(ValType::I64),
+        init: ConstExpr::I64(0),
+        name: Some("__acctee_wic".into()),
+    });
+    out.exports.push(Export {
+        name: COUNTER_EXPORT.into(),
+        kind: ExportKind::Global(counter),
+    });
+
+    let mut stats = InstrumentStats {
+        size_before: acctee_wasm::encode::encode_module(module).len(),
+        ..InstrumentStats::default()
+    };
+
+    let types = out.types.clone();
+    for f in &mut out.funcs {
+        let n_params = types[f.ty as usize].params.len() as u32;
+        let seg = segment_function(&f.body, weights);
+        stats.segments += seg.cfg.len();
+        let (amounts, _flow): (Vec<u64>, FlowStats) = match level {
+            Level::Naive => (seg.cfg.weight.clone(), FlowStats::default()),
+            Level::FlowBased | Level::LoopBased => flow_optimise(&seg.cfg),
+        };
+        let (items, amounts, hoisted) = if level == Level::LoopBased {
+            loopopt::hoist_loops(seg.items, amounts, counter, &mut f.locals, n_params, weights)
+        } else {
+            (seg.items, amounts, 0)
+        };
+        stats.loops_hoisted += hoisted;
+        f.body = materialise(&items, &amounts, counter, &mut stats);
+    }
+
+    stats.size_after = acctee_wasm::encode::encode_module(&out).len();
+    debug_assert!(validate_module(&out).is_ok(), "instrumented module must validate");
+    Ok(Instrumented { module: out, counter_global: counter, level, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{CountingObserver, Imports, Instance, Value};
+    use acctee_wasm::builder::{Bound, ModuleBuilder};
+
+    /// Runs `m` both raw (with a weighted oracle observer) and
+    /// instrumented at `level`, asserting the counter matches the
+    /// oracle exactly.
+    fn assert_counter_matches_oracle(
+        m: &Module,
+        level: Level,
+        func: &str,
+        args: &[Value],
+    ) -> u64 {
+        let weights = WeightTable::uniform();
+        let mut oracle = CountingObserver::unit();
+        let mut inst = Instance::new(m, Imports::new()).expect("instantiate original");
+        inst.invoke_observed(func, args, &mut oracle).expect("run original");
+
+        let instrumented = instrument(m, level, &weights).expect("instrument");
+        validate_module(&instrumented.module).expect("instrumented validates");
+        let mut inst2 =
+            Instance::new(&instrumented.module, Imports::new()).expect("instantiate instr");
+        inst2.invoke("f", args).expect("run instrumented");
+        let counter =
+            inst2.global(COUNTER_EXPORT).expect("counter exported").as_i64() as u64;
+        assert_eq!(counter, oracle.count, "level {level}");
+        counter
+    }
+
+    fn sum_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let f = b.func("f", &[ValType::I32], &[ValType::I64], |f| {
+            let i = f.local(ValType::I32);
+            let acc = f.local(ValType::I64);
+            f.for_loop(i, Bound::Const(0), Bound::Local(0), |f| {
+                f.local_get(acc);
+                f.local_get(i);
+                f.num(NumOp::I64ExtendI32S);
+                f.num(NumOp::I64Add);
+                f.local_set(acc);
+            });
+            f.local_get(acc);
+        });
+        b.export_func("f", f);
+        b.build()
+    }
+
+    #[test]
+    fn counter_matches_oracle_all_levels() {
+        let m = sum_module();
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            for n in [0, 1, 7, 100] {
+                assert_counter_matches_oracle(&m, level, "f", &[Value::I32(n)]);
+            }
+        }
+    }
+
+    #[test]
+    fn branchy_module_matches_oracle() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+            f.block(BlockType::Value(ValType::I32), |f| {
+                f.local_get(0);
+                f.if_else(
+                    BlockType::Value(ValType::I32),
+                    |f| {
+                        f.local_get(0);
+                        f.i32_const(2);
+                        f.i32_mul();
+                    },
+                    |f| {
+                        f.i32_const(7);
+                    },
+                );
+            });
+        });
+        b.export_func("f", f);
+        let m = b.build();
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            for n in [0, 1, -3] {
+                assert_counter_matches_oracle(&m, level, "f", &[Value::I32(n)]);
+            }
+        }
+    }
+
+    #[test]
+    fn calls_are_accounted_across_functions() {
+        let mut b = ModuleBuilder::new();
+        let helper = b.func("helper", &[ValType::I32], &[ValType::I32], |f| {
+            f.local_get(0);
+            f.i32_const(1);
+            f.i32_add();
+        });
+        let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+            f.local_get(0);
+            f.call(helper);
+            f.call(helper);
+        });
+        b.export_func("f", f);
+        let m = b.build();
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            assert_counter_matches_oracle(&m, level, "f", &[Value::I32(5)]);
+        }
+    }
+
+    #[test]
+    fn flow_based_emits_fewer_increments() {
+        let m = sum_module();
+        let w = WeightTable::uniform();
+        let naive = instrument(&m, Level::Naive, &w).unwrap();
+        let flow = instrument(&m, Level::FlowBased, &w).unwrap();
+        assert!(
+            flow.stats.increments <= naive.stats.increments,
+            "flow {} vs naive {}",
+            flow.stats.increments,
+            naive.stats.increments
+        );
+        assert!(flow.stats.elided > 0);
+    }
+
+    #[test]
+    fn invalid_module_rejected() {
+        let mut b = ModuleBuilder::new();
+        // References global 1 which does not exist (but will after the
+        // counter is appended): the counter-capture attack of D4.
+        let f = b.func("f", &[], &[], |f| {
+            f.i64_const(0);
+            f.emit(Instr::GlobalSet(0));
+        });
+        b.export_func("f", f);
+        let m = b.build();
+        assert!(matches!(
+            instrument(&m, Level::Naive, &WeightTable::uniform()),
+            Err(InstrumentError::InvalidModule(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_counter_matches_weighted_oracle() {
+        let m = sum_module();
+        let weights = WeightTable::calibrated();
+        let mut oracle = CountingObserver::with_weight(|i| weights.weight(i));
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        inst.invoke_observed("f", &[Value::I32(50)], &mut oracle).unwrap();
+        let instrumented = instrument(&m, Level::LoopBased, &weights).unwrap();
+        let mut inst2 = Instance::new(&instrumented.module, Imports::new()).unwrap();
+        inst2.invoke("f", &[Value::I32(50)]).unwrap();
+        let counter = inst2.global(COUNTER_EXPORT).unwrap().as_i64() as u64;
+        assert_eq!(counter, oracle.count);
+    }
+
+    #[test]
+    fn results_unchanged_by_instrumentation() {
+        let m = sum_module();
+        let w = WeightTable::calibrated();
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            let inst_m = instrument(&m, level, &w).unwrap();
+            let mut a = Instance::new(&m, Imports::new()).unwrap();
+            let mut b = Instance::new(&inst_m.module, Imports::new()).unwrap();
+            for n in [0, 3, 17] {
+                assert_eq!(
+                    a.invoke("f", &[Value::I32(n)]).unwrap(),
+                    b.invoke("f", &[Value::I32(n)]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size_overhead_in_paper_range() {
+        let m = sum_module();
+        let w = WeightTable::uniform();
+        let naive = instrument(&m, Level::Naive, &w).unwrap();
+        let opt = instrument(&m, Level::LoopBased, &w).unwrap();
+        // §5.4: 4-39% naive, 4-27% optimised, measured on real-sized
+        // binaries. This module is tiny (the loop-hoist bookkeeping
+        // outweighs the saved increment), so we only assert that
+        // instrumentation grows the binary by a bounded amount here;
+        // the full §5.4 distribution is regenerated by the bench
+        // harness over the evaluation binaries.
+        assert!(naive.stats.size_after > naive.stats.size_before);
+        assert!(naive.stats.size_overhead() < 1.0);
+        assert!(opt.stats.size_overhead() < 1.0);
+    }
+
+    use acctee_wasm::instr::BlockType;
+    use acctee_wasm::types::ValType;
+}

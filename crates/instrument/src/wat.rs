@@ -1,0 +1,74 @@
+//! Text-format front end (§4: the paper's prototype instruments the
+//! WebAssembly *text* format because it "is easier to parse, analyze
+//! and manipulate").
+//!
+//! [`instrument_wat`] parses WAT, runs the selected pass, and returns
+//! the instrumented module as WAT again — the exact workflow of the
+//! paper's 605-line JavaScript instrumenter, as a library call.
+
+use acctee_wasm::text::{parse_module, print_module};
+
+use crate::segment::{instrument, InstrumentError, Instrumented, Level};
+use crate::weights::WeightTable;
+
+/// Instruments WebAssembly text, returning the instrumented text and
+/// the instrumentation result (stats, counter index).
+///
+/// # Errors
+///
+/// [`InstrumentError::InvalidModule`] on parse or validation failure.
+pub fn instrument_wat(
+    source: &str,
+    level: Level,
+    weights: &WeightTable,
+) -> Result<(String, Instrumented), InstrumentError> {
+    let module =
+        parse_module(source).map_err(|e| InstrumentError::InvalidModule(e.to_string()))?;
+    let result = instrument(&module, level, weights)?;
+    let text = print_module(&result.module);
+    Ok((text, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance, Value};
+    use acctee_wasm::text::parse_module;
+
+    const SRC: &str = r#"(module
+        (func $triple (export "triple") (param $n i32) (result i32)
+          local.get $n
+          i32.const 3
+          i32.mul))"#;
+
+    #[test]
+    fn wat_round_trip_instrumentation() {
+        let (text, result) =
+            instrument_wat(SRC, Level::Naive, &WeightTable::uniform()).unwrap();
+        assert!(text.contains("global.set"), "counter updates visible in text:\n{text}");
+        assert!(text.contains("__acctee_wic"));
+        // The emitted text is itself a valid, runnable module.
+        let m = parse_module(&text).unwrap();
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        assert_eq!(inst.invoke("triple", &[Value::I32(5)]).unwrap(), vec![Value::I32(15)]);
+        let counter = inst
+            .global_by_index(result.counter_global)
+            .expect("counter present")
+            .as_i64();
+        assert_eq!(counter, 3, "three instructions executed");
+    }
+
+    #[test]
+    fn malformed_wat_rejected() {
+        assert!(matches!(
+            instrument_wat("(module (func $f i32.bogus))", Level::Naive,
+                &WeightTable::uniform()),
+            Err(InstrumentError::InvalidModule(_))
+        ));
+        assert!(matches!(
+            instrument_wat("(module (func $f global.set 0))", Level::Naive,
+                &WeightTable::uniform()),
+            Err(InstrumentError::InvalidModule(_))
+        ));
+    }
+}

@@ -1,0 +1,4 @@
+//! `acctee-integration` — umbrella crate wiring the repository-level
+//! integration tests (`/tests`) and runnable examples (`/examples`)
+//! to the workspace. It re-exports nothing; see the test and example
+//! sources for the cross-crate scenarios.

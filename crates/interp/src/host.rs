@@ -1,0 +1,91 @@
+//! Host functions and import resolution.
+
+use std::collections::HashMap;
+
+use crate::memory::Memory;
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// The context a host function receives: access to the instance's
+/// linear memory (if any).
+pub struct HostCtx<'a> {
+    /// The instance's linear memory, if the module declares one.
+    pub memory: Option<&'a mut Memory>,
+}
+
+impl HostCtx<'_> {
+    /// Borrows the memory, trapping if the module has none.
+    pub fn memory(&mut self) -> Result<&mut Memory, Trap> {
+        self.memory
+            .as_deref_mut()
+            .ok_or_else(|| Trap::Host("host function requires a memory".into()))
+    }
+}
+
+/// A host function: receives the call context and arguments, returns
+/// result values (checked against the import's declared type).
+pub type HostFunc = Box<dyn FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap>>;
+
+/// Resolved imports for instantiation.
+#[derive(Default)]
+pub struct Imports {
+    funcs: HashMap<(String, String), HostFunc>,
+    globals: HashMap<(String, String), Value>,
+}
+
+impl Imports {
+    /// Creates an empty import set.
+    pub fn new() -> Imports {
+        Imports::default()
+    }
+
+    /// Registers a host function under `module.name`.
+    pub fn func(
+        mut self,
+        module: &str,
+        name: &str,
+        f: impl FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Vec<Value>, Trap> + 'static,
+    ) -> Imports {
+        self.funcs.insert((module.into(), name.into()), Box::new(f));
+        self
+    }
+
+    /// Registers an imported (immutable) global value.
+    pub fn global(mut self, module: &str, name: &str, v: Value) -> Imports {
+        self.globals.insert((module.into(), name.into()), v);
+        self
+    }
+
+    pub(crate) fn take_func(&mut self, module: &str, name: &str) -> Option<HostFunc> {
+        self.funcs.remove(&(module.to_string(), name.to_string()))
+    }
+
+    pub(crate) fn get_global(&self, module: &str, name: &str) -> Option<Value> {
+        self.globals.get(&(module.to_string(), name.to_string())).copied()
+    }
+}
+
+impl std::fmt::Debug for Imports {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Imports")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .field("globals", &self.globals)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imports_register_and_resolve() {
+        let mut imp = Imports::new()
+            .func("env", "f", |_, _| Ok(vec![]))
+            .global("env", "g", Value::I32(7));
+        assert!(imp.take_func("env", "f").is_some());
+        assert!(imp.take_func("env", "f").is_none());
+        assert_eq!(imp.get_global("env", "g"), Some(Value::I32(7)));
+        assert_eq!(imp.get_global("env", "missing"), None);
+    }
+}

@@ -1,0 +1,156 @@
+//! Linear memory: a bounds-checked, growable byte array.
+
+use crate::trap::Trap;
+use acctee_wasm::PAGE_SIZE;
+
+/// A WebAssembly linear memory instance.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    max_pages: u32,
+}
+
+impl Memory {
+    /// Creates a memory with `min` initial pages and an optional
+    /// maximum (defaults to the 4 GiB architectural limit).
+    pub fn new(min_pages: u32, max_pages: Option<u32>) -> Memory {
+        Memory {
+            bytes: vec![0; min_pages as usize * PAGE_SIZE],
+            max_pages: max_pages.unwrap_or(65536).min(65536),
+        }
+    }
+
+    /// Current size in pages.
+    pub fn size_pages(&self) -> u32 {
+        (self.bytes.len() / PAGE_SIZE) as u32
+    }
+
+    /// Current size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Grows by `delta` pages. Returns the previous size in pages, or
+    /// -1 if the growth would exceed the maximum.
+    pub fn grow(&mut self, delta: u32) -> i32 {
+        let old = self.size_pages();
+        let new = match old.checked_add(delta) {
+            Some(n) if n <= self.max_pages => n,
+            _ => return -1,
+        };
+        self.bytes.resize(new as usize * PAGE_SIZE, 0);
+        old as i32
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, len: u32) -> Result<usize, Trap> {
+        let end = addr.checked_add(u64::from(len)).ok_or(Trap::MemoryOutOfBounds {
+            addr,
+            len,
+        })?;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::MemoryOutOfBounds { addr, len });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads `N` bytes at `addr`.
+    #[inline]
+    pub fn read<const N: usize>(&self, addr: u64) -> Result<[u8; N], Trap> {
+        let a = self.check(addr, N as u32)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[a..a + N]);
+        Ok(out)
+    }
+
+    /// Writes `N` bytes at `addr`.
+    #[inline]
+    pub fn write<const N: usize>(&mut self, addr: u64, data: [u8; N]) -> Result<(), Trap> {
+        let a = self.check(addr, N as u32)?;
+        self.bytes[a..a + N].copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Borrows a byte range.
+    pub fn slice(&self, addr: u64, len: u32) -> Result<&[u8], Trap> {
+        let a = self.check(addr, len)?;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+
+    /// Mutably borrows a byte range.
+    pub fn slice_mut(&mut self, addr: u64, len: u32) -> Result<&mut [u8], Trap> {
+        let a = self.check(addr, len)?;
+        Ok(&mut self.bytes[a..a + len as usize])
+    }
+
+    /// Copies `data` into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
+        self.slice_mut(addr, data.len() as u32)?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh vector.
+    pub fn read_bytes(&self, addr: u64, len: u32) -> Result<Vec<u8>, Trap> {
+        Ok(self.slice(addr, len)?.to_vec())
+    }
+
+    /// Convenience typed accessors used by host functions and tests.
+    pub fn read_i32(&self, addr: u64) -> Result<i32, Trap> {
+        Ok(i32::from_le_bytes(self.read::<4>(addr)?))
+    }
+    /// Reads a little-endian `i64`.
+    pub fn read_i64(&self, addr: u64) -> Result<i64, Trap> {
+        Ok(i64::from_le_bytes(self.read::<8>(addr)?))
+    }
+    /// Reads a little-endian `f64`.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, Trap> {
+        Ok(f64::from_le_bytes(self.read::<8>(addr)?))
+    }
+    /// Writes a little-endian `i32`.
+    pub fn write_i32(&mut self, addr: u64, v: i32) -> Result<(), Trap> {
+        self.write(addr, v.to_le_bytes())
+    }
+    /// Writes a little-endian `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), Trap> {
+        self.write(addr, v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_respects_max() {
+        let mut m = Memory::new(1, Some(2));
+        assert_eq!(m.size_pages(), 1);
+        assert_eq!(m.grow(1), 1);
+        assert_eq!(m.grow(1), -1);
+        assert_eq!(m.size_pages(), 2);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = Memory::new(1, None);
+        assert!(m.write_i32(PAGE_SIZE as u64 - 4, 7).is_ok());
+        assert_eq!(m.read_i32(PAGE_SIZE as u64 - 4).unwrap(), 7);
+        assert!(m.read_i32(PAGE_SIZE as u64 - 3).is_err());
+        assert!(m.read_i32(u64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn new_pages_are_zeroed() {
+        let mut m = Memory::new(0, None);
+        assert_eq!(m.grow(1), 0);
+        assert_eq!(m.read_i64(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn byte_helpers_round_trip() {
+        let mut m = Memory::new(1, None);
+        m.write_bytes(10, b"hello").unwrap();
+        assert_eq!(m.read_bytes(10, 5).unwrap(), b"hello");
+        m.write_f64(64, 2.75).unwrap();
+        assert_eq!(m.read_f64(64).unwrap(), 2.75);
+    }
+}

@@ -1,0 +1,97 @@
+//! Execution observers: hooks that see every executed instruction and
+//! memory access.
+//!
+//! Observers provide the *oracle* against which AccTEE's instrumented
+//! counter is validated, and the event stream that drives the
+//! cycle-cost model in `acctee-cachesim`.
+
+use acctee_wasm::instr::Instr;
+
+/// A hook invoked by the interpreter during execution.
+///
+/// The default implementations do nothing, so implementors override
+/// only the events they need.
+pub trait Observer {
+    /// Called before each instruction is executed.
+    ///
+    /// Structured instructions (`block`, `loop`, `if`) are reported
+    /// once each time they are *entered*; their `end` delimiters are
+    /// never reported. This matches the accounting semantics of the
+    /// instrumenter: the injected counter and an observer summing
+    /// weights over this event stream agree exactly.
+    fn on_instr(&mut self, _instr: &Instr) {}
+
+    /// Called for each linear-memory access with the effective address.
+    fn on_mem_access(&mut self, _addr: u64, _len: u32, _is_store: bool) {}
+
+    /// Called when memory is grown, with the new size in bytes.
+    fn on_mem_grow(&mut self, _new_size_bytes: usize) {}
+
+    /// Called on function entry (after arguments are bound).
+    fn on_call(&mut self, _func_idx: u32) {}
+}
+
+/// An observer that does nothing (zero overhead beyond the virtual
+/// dispatch).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Counts executed instructions, optionally weighted.
+///
+/// With the default unit weight this is the paper's *instruction
+/// counter*; with a weight function it is the *weighted instruction
+/// counter* oracle.
+pub struct CountingObserver<F = fn(&Instr) -> u64>
+where
+    F: FnMut(&Instr) -> u64,
+{
+    /// Total accumulated (weighted) count.
+    pub count: u64,
+    weight: F,
+}
+
+impl CountingObserver {
+    /// A unit-weight counter: every instruction counts 1.
+    pub fn unit() -> CountingObserver {
+        CountingObserver { count: 0, weight: |_| 1 }
+    }
+}
+
+impl<F: FnMut(&Instr) -> u64> CountingObserver<F> {
+    /// A counter using `weight` to weigh each executed instruction.
+    pub fn with_weight(weight: F) -> CountingObserver<F> {
+        CountingObserver { count: 0, weight }
+    }
+}
+
+impl<F: FnMut(&Instr) -> u64> Observer for CountingObserver<F> {
+    fn on_instr(&mut self, instr: &Instr) {
+        self.count += (self.weight)(instr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_counter_counts() {
+        let mut c = CountingObserver::unit();
+        c.on_instr(&Instr::Nop);
+        c.on_instr(&Instr::I32Const(3));
+        assert_eq!(c.count, 2);
+    }
+
+    #[test]
+    fn weighted_counter_weighs() {
+        let mut c = CountingObserver::with_weight(|i| match i {
+            Instr::Nop => 0,
+            _ => 5,
+        });
+        c.on_instr(&Instr::Nop);
+        c.on_instr(&Instr::Drop);
+        assert_eq!(c.count, 5);
+    }
+}

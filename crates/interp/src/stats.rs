@@ -1,0 +1,46 @@
+//! Execution statistics collected by the interpreter itself
+//! (independent of any attached [`crate::Observer`]).
+
+/// Counters describing one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total instructions executed (structured constructs count once
+    /// per entry, matching the accounting semantics).
+    pub instructions: u64,
+    /// Linear-memory loads executed.
+    pub loads: u64,
+    /// Linear-memory stores executed.
+    pub stores: u64,
+    /// Direct + indirect calls executed.
+    pub calls: u64,
+    /// Peak linear-memory size in bytes observed during execution.
+    pub peak_memory_bytes: usize,
+    /// `memory.grow` invocations.
+    pub mem_grows: u64,
+}
+
+impl ExecStats {
+    /// Merges another stats record into this one (peak = max).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.calls += other.calls;
+        self.mem_grows += other.mem_grows;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = ExecStats { instructions: 10, peak_memory_bytes: 100, ..Default::default() };
+        let b = ExecStats { instructions: 5, peak_memory_bytes: 300, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.peak_memory_bytes, 300);
+    }
+}

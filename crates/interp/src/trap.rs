@@ -1,0 +1,70 @@
+//! Traps: the ways WebAssembly execution can abort.
+
+use std::fmt;
+
+/// A runtime trap. Traps abort the computation; the sandbox stays
+/// intact and the embedder decides what to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// `unreachable` was executed.
+    Unreachable,
+    /// A linear-memory access was out of bounds.
+    MemoryOutOfBounds {
+        /// First byte of the attempted access.
+        addr: u64,
+        /// Width of the attempted access in bytes.
+        len: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// `i32.div_s`/`i64.div_s` overflow (MIN / -1).
+    IntegerOverflow,
+    /// Float-to-integer conversion of NaN or out-of-range value.
+    InvalidConversion,
+    /// The call stack exceeded the configured depth limit.
+    CallStackExhausted,
+    /// An indirect call hit a null table entry.
+    UndefinedElement,
+    /// An indirect call found a function of the wrong type.
+    IndirectCallTypeMismatch,
+    /// The table index was out of bounds.
+    TableOutOfBounds,
+    /// The configured fuel budget was exhausted.
+    OutOfFuel,
+    /// A host function reported an error.
+    Host(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::MemoryOutOfBounds { addr, len } => {
+                write!(f, "out-of-bounds memory access at {addr}+{len}")
+            }
+            Trap::DivisionByZero => write!(f, "integer division by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::InvalidConversion => write!(f, "invalid conversion to integer"),
+            Trap::CallStackExhausted => write!(f, "call stack exhausted"),
+            Trap::UndefinedElement => write!(f, "undefined table element"),
+            Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::TableOutOfBounds => write!(f, "table index out of bounds"),
+            Trap::OutOfFuel => write!(f, "fuel exhausted"),
+            Trap::Host(msg) => write!(f, "host error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::MemoryOutOfBounds { addr: 65536, len: 4 };
+        assert_eq!(t.to_string(), "out-of-bounds memory access at 65536+4");
+        assert_eq!(Trap::OutOfFuel.to_string(), "fuel exhausted");
+    }
+}

@@ -1,0 +1,134 @@
+//! Runtime values.
+
+use acctee_wasm::types::ValType;
+use std::fmt;
+
+/// A WebAssembly runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// The zero value of type `ty` (used to initialise locals).
+    pub fn zero(ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Extracts an `i32`, panicking on type confusion (validated code
+    /// cannot reach the panic).
+    pub fn as_i32(&self) -> i32 {
+        match self {
+            Value::I32(v) => *v,
+            other => panic!("expected i32, found {other:?}"),
+        }
+    }
+
+    /// Extracts an `i64`.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            other => panic!("expected i64, found {other:?}"),
+        }
+    }
+
+    /// Extracts an `f32`.
+    pub fn as_f32(&self) -> f32 {
+        match self {
+            Value::F32(v) => *v,
+            other => panic!("expected f32, found {other:?}"),
+        }
+    }
+
+    /// Extracts an `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            other => panic!("expected f64, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}:i32"),
+            Value::I64(v) => write!(f, "{v}:i64"),
+            Value::F32(v) => write!(f, "{v}:f32"),
+            Value::F64(v) => write!(f, "{v}:f64"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::I32(v as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(ValType::I32), Value::I32(0));
+        assert_eq!(Value::zero(ValType::F64), Value::F64(0.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i32).ty(), ValType::I32);
+        assert_eq!(Value::from(5u32), Value::I32(5));
+        assert_eq!(Value::from(u32::MAX), Value::I32(-1));
+        assert_eq!(Value::from(1.5f64).as_f64(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn type_confusion_panics() {
+        Value::F32(1.0).as_i32();
+    }
+}

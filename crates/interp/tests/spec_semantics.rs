@@ -1,0 +1,240 @@
+//! Specification-level semantic tests for the interpreter: the corner
+//! cases of MVP numeric and memory semantics that differential tests
+//! against native mirrors would only catch by accident.
+
+use acctee_interp::{Imports, Instance, Trap, Value};
+use acctee_wasm::builder::ModuleBuilder;
+use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
+use acctee_wasm::types::ValType;
+
+/// Runs a single numeric op with the given operands.
+fn run_op(op: NumOp, args: &[Value]) -> Result<Value, Trap> {
+    let (params, result) = op.sig();
+    let mut b = ModuleBuilder::new();
+    let f = b.func("f", params, &[result], |f| {
+        for (i, _) in params.iter().enumerate() {
+            f.local_get(i as u32);
+        }
+        f.num(op);
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    acctee_wasm::validate::validate_module(&m).expect("valid");
+    let mut inst = Instance::new(&m, Imports::new())?;
+    Ok(inst.invoke("f", args)?[0])
+}
+
+#[test]
+fn integer_comparison_signedness() {
+    // -1 unsigned is the largest u32.
+    assert_eq!(run_op(NumOp::I32LtU, &[Value::I32(-1), Value::I32(1)]).unwrap(), Value::I32(0));
+    assert_eq!(run_op(NumOp::I32LtS, &[Value::I32(-1), Value::I32(1)]).unwrap(), Value::I32(1));
+    assert_eq!(run_op(NumOp::I64GtU, &[Value::I64(-1), Value::I64(1)]).unwrap(), Value::I32(1));
+}
+
+#[test]
+fn division_and_remainder_signs() {
+    assert_eq!(run_op(NumOp::I32RemS, &[Value::I32(-7), Value::I32(2)]).unwrap(), Value::I32(-1));
+    assert_eq!(run_op(NumOp::I32RemU, &[Value::I32(-7), Value::I32(2)]).unwrap(), Value::I32(1));
+    // MIN % -1 is 0, not a trap (only div traps).
+    assert_eq!(
+        run_op(NumOp::I32RemS, &[Value::I32(i32::MIN), Value::I32(-1)]).unwrap(),
+        Value::I32(0)
+    );
+    assert_eq!(
+        run_op(NumOp::I64RemS, &[Value::I64(i64::MIN), Value::I64(-1)]).unwrap(),
+        Value::I64(0)
+    );
+    assert_eq!(
+        run_op(NumOp::I64DivS, &[Value::I64(i64::MIN), Value::I64(-1)]).unwrap_err(),
+        Trap::IntegerOverflow
+    );
+}
+
+#[test]
+fn shift_and_rotate_semantics() {
+    assert_eq!(
+        run_op(NumOp::I32ShrS, &[Value::I32(-8), Value::I32(1)]).unwrap(),
+        Value::I32(-4),
+        "arithmetic shift keeps sign"
+    );
+    assert_eq!(
+        run_op(NumOp::I32ShrU, &[Value::I32(-8), Value::I32(1)]).unwrap(),
+        Value::I32(0x7FFF_FFFC),
+        "logical shift zero-fills"
+    );
+    assert_eq!(
+        run_op(NumOp::I32Rotl, &[Value::I32(0x8000_0001u32 as i32), Value::I32(1)]).unwrap(),
+        Value::I32(3)
+    );
+    assert_eq!(
+        run_op(NumOp::I64Rotr, &[Value::I64(1), Value::I64(1)]).unwrap(),
+        Value::I64(i64::MIN)
+    );
+}
+
+#[test]
+fn clz_ctz_popcnt_edges() {
+    assert_eq!(run_op(NumOp::I32Clz, &[Value::I32(0)]).unwrap(), Value::I32(32));
+    assert_eq!(run_op(NumOp::I32Ctz, &[Value::I32(0)]).unwrap(), Value::I32(32));
+    assert_eq!(run_op(NumOp::I64Clz, &[Value::I64(0)]).unwrap(), Value::I64(64));
+    assert_eq!(run_op(NumOp::I64Popcnt, &[Value::I64(-1)]).unwrap(), Value::I64(64));
+}
+
+#[test]
+fn float_comparisons_with_nan() {
+    for op in [NumOp::F64Lt, NumOp::F64Gt, NumOp::F64Le, NumOp::F64Ge, NumOp::F64Eq] {
+        assert_eq!(
+            run_op(op, &[Value::F64(f64::NAN), Value::F64(1.0)]).unwrap(),
+            Value::I32(0),
+            "{op} with NaN is false"
+        );
+    }
+    assert_eq!(
+        run_op(NumOp::F64Ne, &[Value::F64(f64::NAN), Value::F64(f64::NAN)]).unwrap(),
+        Value::I32(1)
+    );
+}
+
+#[test]
+fn conversions_round_correctly() {
+    // u32 -> f32 loses precision but must round to nearest even.
+    assert_eq!(
+        run_op(NumOp::F32ConvertI32U, &[Value::I32(-1)]).unwrap(),
+        Value::F32(4294967296.0)
+    );
+    assert_eq!(
+        run_op(NumOp::F64ConvertI64U, &[Value::I64(-1)]).unwrap(),
+        Value::F64(18446744073709551616.0)
+    );
+    assert_eq!(
+        run_op(NumOp::I64ExtendI32U, &[Value::I32(-1)]).unwrap(),
+        Value::I64(0xFFFF_FFFF)
+    );
+    assert_eq!(
+        run_op(NumOp::I64ExtendI32S, &[Value::I32(-1)]).unwrap(),
+        Value::I64(-1)
+    );
+    assert_eq!(run_op(NumOp::I32WrapI64, &[Value::I64(1 << 40 | 5)]).unwrap(), Value::I32(5));
+}
+
+#[test]
+fn trunc_boundary_values() {
+    // Largest f64 below 2^31 converts; 2^31 itself traps for signed.
+    assert_eq!(
+        run_op(NumOp::I32TruncF64S, &[Value::F64(2147483647.9)]).unwrap(),
+        Value::I32(i32::MAX)
+    );
+    assert_eq!(
+        run_op(NumOp::I32TruncF64S, &[Value::F64(2147483648.0)]).unwrap_err(),
+        Trap::InvalidConversion
+    );
+    assert_eq!(
+        run_op(NumOp::I32TruncF64S, &[Value::F64(-2147483648.9)]).unwrap(),
+        Value::I32(i32::MIN)
+    );
+    assert_eq!(
+        run_op(NumOp::I64TruncF64U, &[Value::F64(18446744073709551616.0)]).unwrap_err(),
+        Trap::InvalidConversion
+    );
+    // -0.9 truncates to 0 for unsigned (in range after truncation).
+    assert_eq!(run_op(NumOp::I32TruncF64U, &[Value::F64(-0.9)]).unwrap(), Value::I32(0));
+}
+
+#[test]
+fn reinterpret_preserves_bits() {
+    let bits = 0x7ff8_0000_0000_0001u64 as i64; // NaN payload
+    let f = run_op(NumOp::F64ReinterpretI64, &[Value::I64(bits)]).unwrap();
+    let back = run_op(NumOp::I64ReinterpretF64, &[f]).unwrap();
+    assert_eq!(back, Value::I64(bits));
+}
+
+#[test]
+fn copysign_and_neg_affect_only_the_sign() {
+    assert_eq!(
+        run_op(NumOp::F64Copysign, &[Value::F64(3.5), Value::F64(-0.0)]).unwrap(),
+        Value::F64(-3.5)
+    );
+    let neg_nan = run_op(NumOp::F64Neg, &[Value::F64(f64::NAN)]).unwrap().as_f64();
+    assert!(neg_nan.is_nan() && neg_nan.is_sign_negative());
+}
+
+#[test]
+fn sub_width_loads_extend_correctly() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let f = b.func("f", &[], &[ValType::I64], |f| {
+        // store 0x80 at address 0, then i64.load8_s
+        f.i32_const(0);
+        f.i32_const(0x80);
+        f.store(StoreOp::I32Store8, 0);
+        f.i32_const(0);
+        f.load(LoadOp::I64Load8S, 0);
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    let mut inst = Instance::new(&m, Imports::new()).unwrap();
+    assert_eq!(inst.invoke("f", &[]).unwrap(), vec![Value::I64(-128)]);
+}
+
+#[test]
+fn sixteen_bit_load_pairs() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let f = b.func("f", &[], &[ValType::I32], |f| {
+        f.i32_const(0);
+        f.i32_const(0xFFFF);
+        f.store(StoreOp::I32Store16, 0);
+        f.i32_const(0);
+        f.load(LoadOp::I32Load16S, 0);
+        f.i32_const(0);
+        f.load(LoadOp::I32Load16U, 0);
+        f.i32_add();
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    let mut inst = Instance::new(&m, Imports::new()).unwrap();
+    // -1 + 65535 = 65534
+    assert_eq!(inst.invoke("f", &[]).unwrap(), vec![Value::I32(65534)]);
+}
+
+#[test]
+fn effective_address_includes_static_offset() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.local_get(0);
+        // addr + static offset may cross the end of memory
+        f.load(LoadOp::I32Load, 65532);
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    let mut inst = Instance::new(&m, Imports::new()).unwrap();
+    assert_eq!(inst.invoke("f", &[Value::I32(0)]).unwrap(), vec![Value::I32(0)]);
+    // addr 8 + offset 65532 crosses the 64 KiB page: trap, not wrap.
+    assert!(matches!(
+        inst.invoke("f", &[Value::I32(8)]).unwrap_err(),
+        Trap::MemoryOutOfBounds { .. }
+    ));
+    // Negative address is a *large* unsigned address: trap.
+    assert!(matches!(
+        inst.invoke("f", &[Value::I32(-4)]).unwrap_err(),
+        Trap::MemoryOutOfBounds { .. }
+    ));
+}
+
+#[test]
+fn float_arithmetic_is_ieee() {
+    assert_eq!(
+        run_op(NumOp::F64Div, &[Value::F64(1.0), Value::F64(0.0)]).unwrap(),
+        Value::F64(f64::INFINITY)
+    );
+    assert_eq!(
+        run_op(NumOp::F64Div, &[Value::F64(-1.0), Value::F64(0.0)]).unwrap(),
+        Value::F64(f64::NEG_INFINITY)
+    );
+    let nan = run_op(NumOp::F64Div, &[Value::F64(0.0), Value::F64(0.0)]).unwrap().as_f64();
+    assert!(nan.is_nan());
+    let sq = run_op(NumOp::F64Sqrt, &[Value::F64(-1.0)]).unwrap().as_f64();
+    assert!(sq.is_nan());
+}

@@ -1,0 +1,262 @@
+//! A `.wast`-style script runner over the interpreter, with a small
+//! specification-test suite written in the script format — the classic
+//! way WebAssembly engines are conformance-tested.
+
+use acctee_interp::{Imports, Instance, Trap, Value};
+use acctee_wasm::instr::ConstExpr;
+use acctee_wasm::text::script::{parse_script, Directive, Invoke};
+use acctee_wasm::validate::validate_module;
+use acctee_wasm::Module;
+
+fn const_to_value(c: &ConstExpr) -> Value {
+    match c {
+        ConstExpr::I32(v) => Value::I32(*v),
+        ConstExpr::I64(v) => Value::I64(*v),
+        ConstExpr::F32(v) => Value::F32(*v),
+        ConstExpr::F64(v) => Value::F64(*v),
+        ConstExpr::GlobalGet(_) => panic!("global.get is not a script constant"),
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        // NaN-aware bitwise comparison for floats, as the spec suite does.
+        (Value::F32(x), Value::F32(y)) => x.to_bits() == y.to_bits(),
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Runs a script, panicking with a directive-indexed report on
+/// failure. Directives are grouped by their governing module so each
+/// group shares one live instance (state persists across invocations,
+/// as in the spec suite), with traps isolated in fresh instances.
+fn run_script(name: &str, src: &str) {
+    let directives = parse_script(src).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+
+    // Group directives under their current module.
+    let mut groups: Vec<(Option<Module>, Vec<(usize, Directive)>)> = vec![(None, Vec::new())];
+    for (i, d) in directives.into_iter().enumerate() {
+        match d {
+            Directive::Module(m) => {
+                validate_module(&m).unwrap_or_else(|e| panic!("{name}[{i}]: invalid: {e}"));
+                groups.push((Some(m), Vec::new()));
+            }
+            other => groups.last_mut().expect("group").1.push((i, other)),
+        }
+    }
+
+    for (module, group) in &groups {
+        let mut instance = module.as_ref().map(|m| {
+            Instance::new(m, Imports::new())
+                .unwrap_or_else(|e| panic!("{name}: instantiation: {e}"))
+        });
+        for (i, d) in group {
+            match d {
+                Directive::Module(_) => unreachable!("modules start new groups"),
+                Directive::AssertReturn(inv, expected) => {
+                    let inst = instance
+                        .as_mut()
+                        .unwrap_or_else(|| panic!("{name}[{i}]: no module"));
+                    let args: Vec<Value> = inv.args.iter().map(const_to_value).collect();
+                    let got = inst
+                        .invoke(&inv.func, &args)
+                        .unwrap_or_else(|e| panic!("{name}[{i}] {}: trapped: {e}", inv.func));
+                    let want: Vec<Value> = expected.iter().map(const_to_value).collect();
+                    assert!(
+                        got.len() == want.len()
+                            && got.iter().zip(&want).all(|(a, b)| values_equal(a, b)),
+                        "{name}[{i}] {}: got {got:?}, want {want:?}",
+                        inv.func
+                    );
+                }
+                Directive::AssertTrap(inv, msg) => {
+                    let module =
+                        module.as_ref().unwrap_or_else(|| panic!("{name}[{i}]: no module"));
+                    // A fresh instance: traps may leave partial state.
+                    let mut inst = Instance::new(module, Imports::new())
+                        .unwrap_or_else(|e| panic!("{name}[{i}]: {e}"));
+                    let args: Vec<Value> = inv.args.iter().map(const_to_value).collect();
+                    let err: Trap =
+                        inst.invoke(&inv.func, &args).expect_err("expected a trap");
+                    assert!(
+                        err.to_string().contains(msg),
+                        "{name}[{i}] {}: trap {err:?} does not mention {msg:?}",
+                        inv.func
+                    );
+                }
+                Directive::AssertInvalid(m, _msg) => {
+                    assert!(
+                        validate_module(m).is_err(),
+                        "{name}[{i}]: module validated but should be invalid"
+                    );
+                }
+                Directive::Invoke(Invoke { func, args }) => {
+                    let inst = instance
+                        .as_mut()
+                        .unwrap_or_else(|| panic!("{name}[{i}]: no module"));
+                    let args: Vec<Value> = args.iter().map(const_to_value).collect();
+                    inst.invoke(func, &args)
+                        .unwrap_or_else(|e| panic!("{name}[{i}] {func}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn arithmetic_suite() {
+    run_script(
+        "arith",
+        r#"
+        (module
+          (func (export "add") (param i32 i32) (result i32)
+            local.get 0 local.get 1 i32.add)
+          (func (export "div_s") (param i32 i32) (result i32)
+            local.get 0 local.get 1 i32.div_s)
+          (func (export "rem_u") (param i32 i32) (result i32)
+            local.get 0 local.get 1 i32.rem_u)
+          (func (export "mul64") (param i64 i64) (result i64)
+            local.get 0 local.get 1 i64.mul))
+        (assert_return (invoke "add" (i32.const 1) (i32.const 2)) (i32.const 3))
+        (assert_return (invoke "add" (i32.const 2147483647) (i32.const 1)) (i32.const -2147483648))
+        (assert_return (invoke "div_s" (i32.const -7) (i32.const 2)) (i32.const -3))
+        (assert_return (invoke "rem_u" (i32.const -1) (i32.const 10)) (i32.const 5))
+        (assert_return (invoke "mul64" (i64.const 4294967296) (i64.const 4294967296)) (i64.const 0))
+        (assert_trap (invoke "div_s" (i32.const 1) (i32.const 0)) "division by zero")
+        (assert_trap (invoke "div_s" (i32.const -2147483648) (i32.const -1)) "overflow")
+    "#,
+    );
+}
+
+#[test]
+fn float_suite() {
+    run_script(
+        "float",
+        r#"
+        (module
+          (func (export "min") (param f64 f64) (result f64)
+            local.get 0 local.get 1 f64.min)
+          (func (export "floor") (param f64) (result f64)
+            local.get 0 f64.floor)
+          (func (export "trunc_s") (param f64) (result i32)
+            local.get 0 i32.trunc_f64_s))
+        (assert_return (invoke "min" (f64.const -0.0) (f64.const 0.0)) (f64.const -0.0))
+        (assert_return (invoke "floor" (f64.const -0.5)) (f64.const -1.0))
+        (assert_return (invoke "trunc_s" (f64.const -1.9)) (i32.const -1))
+        (assert_trap (invoke "trunc_s" (f64.const nan)) "invalid conversion")
+    "#,
+    );
+}
+
+#[test]
+fn control_flow_suite() {
+    run_script(
+        "control",
+        r#"
+        (module
+          (func (export "select3") (param i32) (result i32)
+            block $b2
+              block $b1
+                block $b0
+                  local.get 0
+                  br_table 0 1 2
+                end
+                i32.const 10
+                return
+              end
+              i32.const 20
+              return
+            end
+            i32.const 30)
+          (func (export "loop_sum") (param i32) (result i32) (local $i i32) (local $s i32)
+            block $out
+              loop $top
+                local.get $i
+                local.get 0
+                i32.ge_s
+                br_if $out
+                local.get $s
+                local.get $i
+                i32.add
+                local.set $s
+                local.get $i
+                i32.const 1
+                i32.add
+                local.set $i
+                br $top
+              end
+            end
+            local.get $s))
+        (assert_return (invoke "select3" (i32.const 0)) (i32.const 10))
+        (assert_return (invoke "select3" (i32.const 1)) (i32.const 20))
+        (assert_return (invoke "select3" (i32.const 2)) (i32.const 30))
+        (assert_return (invoke "select3" (i32.const 99)) (i32.const 30))
+        (assert_return (invoke "loop_sum" (i32.const 10)) (i32.const 45))
+        (assert_return (invoke "loop_sum" (i32.const 0)) (i32.const 0))
+    "#,
+    );
+}
+
+#[test]
+fn memory_suite() {
+    run_script(
+        "memory",
+        r#"
+        (module
+          (memory 1 2)
+          (data (i32.const 8) "\2a\00\00\00")
+          (func (export "peek") (param i32) (result i32)
+            local.get 0 i32.load)
+          (func (export "poke") (param i32 i32)
+            local.get 0 local.get 1 i32.store)
+          (func (export "grow") (param i32) (result i32)
+            local.get 0 memory.grow)
+          (func (export "size") (result i32) memory.size))
+        (assert_return (invoke "peek" (i32.const 8)) (i32.const 42))
+        (invoke "poke" (i32.const 100) (i32.const 7))
+        (assert_return (invoke "peek" (i32.const 100)) (i32.const 7))
+        (assert_return (invoke "size") (i32.const 1))
+        (assert_return (invoke "grow" (i32.const 1)) (i32.const 1))
+        (assert_return (invoke "grow" (i32.const 1)) (i32.const -1))
+        (assert_trap (invoke "peek" (i32.const -4)) "out-of-bounds")
+    "#,
+    );
+}
+
+#[test]
+fn validation_suite() {
+    run_script(
+        "invalid",
+        r#"
+        (assert_invalid (module (func $f (result i32) i64.const 1)) "type mismatch")
+        (assert_invalid (module (func $f br 3)) "branch depth")
+        (assert_invalid (module (func $f i32.const 1)) "leftover")
+        (assert_invalid (module (func $f (local $x i32) local.get 1 drop)) "local")
+        (assert_invalid (module (func $f i32.const 0 i32.load drop)) "memory")
+    "#,
+    );
+}
+
+#[test]
+fn globals_suite() {
+    run_script(
+        "globals",
+        r#"
+        (module
+          (global $g (mut i64) (i64.const 5))
+          (func (export "bump") (result i64)
+            global.get $g
+            i64.const 1
+            i64.add
+            global.set $g
+            global.get $g))
+        (assert_return (invoke "bump") (i64.const 6))
+        (assert_return (invoke "bump") (i64.const 7))
+        (assert_invalid
+          (module (global $c i32 (i32.const 1))
+                  (func $f i32.const 2 global.set $c))
+          "immutable")
+    "#,
+    );
+}

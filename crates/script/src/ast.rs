@@ -1,0 +1,71 @@
+//! MiniJS abstract syntax tree.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e`.
+    Not(Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;`
+    Let(String, Expr),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `a[i] = e;`
+    IndexAssign(Expr, Expr, Expr),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (c) {..} else {..}`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) {..}`
+    While(Expr, Vec<Stmt>),
+    /// `return e;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `fn name(params) {..}`
+    FnDef(String, Vec<String>, Vec<Stmt>),
+}

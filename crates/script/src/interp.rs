@@ -1,0 +1,518 @@
+//! The MiniJS tree-walking interpreter.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{BinOp, Expr, Stmt};
+use crate::parser::parse;
+use crate::value::Value;
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// Parse failure.
+    Parse(String),
+    /// Unknown variable.
+    UnknownVar(String),
+    /// Unknown function.
+    UnknownFn(String),
+    /// Type error.
+    Type(String),
+    /// Index out of bounds.
+    OutOfBounds(f64),
+    /// Step budget exhausted (runaway script).
+    OutOfSteps,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "parse error: {e}"),
+            ScriptError::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            ScriptError::UnknownFn(v) => write!(f, "unknown function {v}"),
+            ScriptError::Type(e) => write!(f, "type error: {e}"),
+            ScriptError::OutOfBounds(i) => write!(f, "index {i} out of bounds"),
+            ScriptError::OutOfSteps => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[derive(Debug, Clone)]
+struct FnDef {
+    params: Vec<String>,
+    body: Rc<Vec<Stmt>>,
+}
+
+/// Control flow escaping a statement.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// A MiniJS interpreter instance with a persistent global scope.
+pub struct Interpreter {
+    fns: HashMap<String, FnDef>,
+    globals: HashMap<String, Value>,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Interpreter {
+        Interpreter::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with a 500M step budget.
+    pub fn new() -> Interpreter {
+        Interpreter {
+            fns: HashMap::new(),
+            globals: HashMap::new(),
+            steps: 0,
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Sets a global (used to pass inputs, e.g. a pixel array).
+    pub fn set_global(&mut self, name: &str, v: Value) {
+        self.globals.insert(name.to_string(), v);
+    }
+
+    /// Steps executed so far (a rough work measure).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs a program; returns the value of the top-level `return`, or
+    /// `Null` if it falls off the end.
+    ///
+    /// # Errors
+    ///
+    /// Parse and runtime errors.
+    pub fn run(&mut self, src: &str) -> Result<Value, ScriptError> {
+        let prog = parse(src).map_err(|e| ScriptError::Parse(format!("{} at {}", e.msg, e.at)))?;
+        // Hoist function definitions.
+        for s in &prog {
+            if let Stmt::FnDef(name, params, body) = s {
+                self.fns.insert(
+                    name.clone(),
+                    FnDef { params: params.clone(), body: Rc::new(body.clone()) },
+                );
+            }
+        }
+        let mut scope = Scope { vars: Vec::new() };
+        match self.exec_block(&prog, &mut scope)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Null),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), ScriptError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(ScriptError::OutOfSteps);
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], scope: &mut Scope) -> Result<Flow, ScriptError> {
+        let mark = scope.vars.len();
+        for s in stmts {
+            match self.exec_stmt(s, scope)? {
+                Flow::Normal => {}
+                other => {
+                    scope.vars.truncate(mark);
+                    return Ok(other);
+                }
+            }
+        }
+        scope.vars.truncate(mark);
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, scope: &mut Scope) -> Result<Flow, ScriptError> {
+        self.tick()?;
+        match s {
+            Stmt::Let(name, e) => {
+                let v = self.eval(e, scope)?;
+                scope.vars.push((name.clone(), v));
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.eval(e, scope)?;
+                if let Some(slot) = scope.lookup_mut(name) {
+                    *slot = v;
+                } else if let Some(slot) = self.globals.get_mut(name) {
+                    *slot = v;
+                } else {
+                    return Err(ScriptError::UnknownVar(name.clone()));
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::IndexAssign(target, idx, e) => {
+                let arr = self
+                    .eval(target, scope)?
+                    .as_array()
+                    .ok_or_else(|| ScriptError::Type("indexing a non-array".into()))?;
+                let i = self
+                    .eval(idx, scope)?
+                    .as_num()
+                    .ok_or_else(|| ScriptError::Type("index must be a number".into()))?;
+                let v = self.eval(e, scope)?;
+                let mut a = arr.borrow_mut();
+                let ii = i as usize;
+                if i < 0.0 || ii >= a.len() {
+                    return Err(ScriptError::OutOfBounds(i));
+                }
+                a[ii] = v;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, scope)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(c, then, els) => {
+                if self.eval(c, scope)?.truthy() {
+                    self.exec_block(then, scope)
+                } else {
+                    self.exec_block(els, scope)
+                }
+            }
+            Stmt::While(c, body) => {
+                while self.eval(c, scope)?.truthy() {
+                    match self.exec_block(body, scope)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, scope)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::FnDef(name, params, body) => {
+                self.fns.insert(
+                    name.clone(),
+                    FnDef { params: params.clone(), body: Rc::new(body.clone()) },
+                );
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, scope: &mut Scope) -> Result<Value, ScriptError> {
+        self.tick()?;
+        match e {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Var(name) => scope
+                .lookup(name)
+                .or_else(|| self.globals.get(name).cloned())
+                .ok_or_else(|| ScriptError::UnknownVar(name.clone())),
+            Expr::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, scope)?);
+                }
+                Ok(Value::array(out))
+            }
+            Expr::Index(target, idx) => {
+                let arr = self
+                    .eval(target, scope)?
+                    .as_array()
+                    .ok_or_else(|| ScriptError::Type("indexing a non-array".into()))?;
+                let i = self
+                    .eval(idx, scope)?
+                    .as_num()
+                    .ok_or_else(|| ScriptError::Type("index must be a number".into()))?;
+                let a = arr.borrow();
+                let ii = i as usize;
+                if i < 0.0 || ii >= a.len() {
+                    return Err(ScriptError::OutOfBounds(i));
+                }
+                Ok(a[ii].clone())
+            }
+            Expr::Neg(e) => {
+                let n = self
+                    .eval(e, scope)?
+                    .as_num()
+                    .ok_or_else(|| ScriptError::Type("negating a non-number".into()))?;
+                Ok(Value::Num(-n))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!self.eval(e, scope)?.truthy())),
+            Expr::Bin(op, a, b) => {
+                // Short-circuit logicals.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(a, scope)?;
+                        return if l.truthy() { self.eval(b, scope) } else { Ok(l) };
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(a, scope)?;
+                        return if l.truthy() { Ok(l) } else { self.eval(b, scope) };
+                    }
+                    _ => {}
+                }
+                let l = self.eval(a, scope)?;
+                let r = self.eval(b, scope)?;
+                self.binop(*op, l, r)
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, scope)?);
+                }
+                self.call(name, vals)
+            }
+        }
+    }
+
+    fn binop(&self, op: BinOp, l: Value, r: Value) -> Result<Value, ScriptError> {
+        use BinOp::*;
+        if let (Value::Num(a), Value::Num(b)) = (&l, &r) {
+            return Ok(match op {
+                Add => Value::Num(a + b),
+                Sub => Value::Num(a - b),
+                Mul => Value::Num(a * b),
+                Div => Value::Num(a / b),
+                Rem => Value::Num(a % b),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                And | Or => unreachable!("short-circuited"),
+            });
+        }
+        match op {
+            Add => {
+                if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+                    return Ok(Value::str(format!("{a}{b}")));
+                }
+                Err(ScriptError::Type("`+` needs two numbers or two strings".into()))
+            }
+            Eq => Ok(Value::Bool(l.eq_value(&r))),
+            Ne => Ok(Value::Bool(!l.eq_value(&r))),
+            _ => Err(ScriptError::Type(format!("{op:?} needs numbers"))),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Value, ScriptError> {
+        // Builtins first.
+        match name {
+            "len" => {
+                let v = args.first().ok_or_else(|| ScriptError::Type("len needs 1 arg".into()))?;
+                return match v {
+                    Value::Array(a) => Ok(Value::Num(a.borrow().len() as f64)),
+                    Value::Str(s) => Ok(Value::Num(s.len() as f64)),
+                    _ => Err(ScriptError::Type("len of non-collection".into())),
+                };
+            }
+            "push" => {
+                let arr = args
+                    .first()
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ScriptError::Type("push needs an array".into()))?;
+                arr.borrow_mut()
+                    .push(args.get(1).cloned().unwrap_or(Value::Null));
+                return Ok(Value::Null);
+            }
+            "zeros" => {
+                let n = args
+                    .first()
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| ScriptError::Type("zeros needs a count".into()))?;
+                return Ok(Value::array(vec![Value::Num(0.0); n as usize]));
+            }
+            "floor" | "sqrt" | "abs" => {
+                let n = args
+                    .first()
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| ScriptError::Type(format!("{name} needs a number")))?;
+                return Ok(Value::Num(match name {
+                    "floor" => n.floor(),
+                    "sqrt" => n.sqrt(),
+                    _ => n.abs(),
+                }));
+            }
+            "min" | "max" => {
+                let a = args.first().and_then(Value::as_num);
+                let b = args.get(1).and_then(Value::as_num);
+                let (a, b) = match (a, b) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(ScriptError::Type(format!("{name} needs two numbers"))),
+                };
+                return Ok(Value::Num(if name == "min" { a.min(b) } else { a.max(b) }));
+            }
+            _ => {}
+        }
+        let def = self
+            .fns
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ScriptError::UnknownFn(name.to_string()))?;
+        if def.params.len() != args.len() {
+            return Err(ScriptError::Type(format!(
+                "{name} expects {} args, got {}",
+                def.params.len(),
+                args.len()
+            )));
+        }
+        let mut scope = Scope {
+            vars: def.params.iter().cloned().zip(args).collect(),
+        };
+        match self.exec_block(&def.body, &mut scope)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Null),
+        }
+    }
+}
+
+struct Scope {
+    vars: Vec<(String, Value)>,
+}
+
+impl Scope {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+    }
+
+    fn lookup_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.vars.iter_mut().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// One-shot evaluation with initial globals.
+///
+/// # Errors
+///
+/// Parse and runtime errors.
+pub fn eval_program(src: &str, globals: &[(&str, Value)]) -> Result<Value, ScriptError> {
+    let mut interp = Interpreter::new();
+    for (name, v) in globals {
+        interp.set_global(name, v.clone());
+    }
+    interp.run(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_functions() {
+        let v = eval_program(
+            r#"fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+               return fib(15);"#,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(v.as_num().unwrap(), 610.0);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let v = eval_program(
+            r#"let xs = zeros(10);
+               for (let i = 0; i < len(xs); i = i + 1) { xs[i] = i * i; }
+               let total = 0;
+               for (let i = 0; i < len(xs); i = i + 1) { total = total + xs[i]; }
+               return total;"#,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(v.as_num().unwrap(), 285.0);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let v = eval_program(
+            r#"let total = 0;
+               let i = 0;
+               while (true) {
+                 i = i + 1;
+                 if (i > 10) { break; }
+                 if (i % 2 == 0) { continue; }
+                 total = total + i;
+               }
+               return total;"#,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(v.as_num().unwrap(), 25.0);
+    }
+
+    #[test]
+    fn globals_flow_in_and_arrays_are_shared() {
+        let input = Value::array(vec![Value::Num(1.0), Value::Num(2.0)]);
+        let v = eval_program(
+            "input[0] = 9; return input[0] + input[1];",
+            &[("input", input.clone())],
+        )
+        .unwrap();
+        assert_eq!(v.as_num().unwrap(), 11.0);
+        assert_eq!(input.as_array().unwrap().borrow()[0].as_num().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn runtime_errors() {
+        assert!(matches!(
+            eval_program("return missing;", &[]),
+            Err(ScriptError::UnknownVar(_))
+        ));
+        assert!(matches!(
+            eval_program("let a = [1]; return a[5];", &[]),
+            Err(ScriptError::OutOfBounds(_))
+        ));
+        assert!(matches!(
+            eval_program("return 1 + \"x\";", &[]),
+            Err(ScriptError::Type(_))
+        ));
+        assert!(matches!(
+            eval_program("return nothere(1);", &[]),
+            Err(ScriptError::UnknownFn(_))
+        ));
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loops() {
+        let mut interp = Interpreter::new();
+        interp.max_steps = 10_000;
+        assert!(matches!(
+            interp.run("while (true) { let x = 1; }"),
+            Err(ScriptError::OutOfSteps)
+        ));
+    }
+
+    #[test]
+    fn string_concat_and_compare() {
+        let v = eval_program(r#"return "a" + "b" == "ab";"#, &[]).unwrap();
+        assert!(v.truthy());
+    }
+
+    #[test]
+    fn short_circuit() {
+        // Would trap on index if not short-circuited.
+        let v = eval_program(
+            "let a = [1]; let i = 5; if (i < len(a) && a[i] > 0) { return 1; } return 0;",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(v.as_num().unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! MiniJS tokenizer.
+
+/// A MiniJS token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Let,
+    Fn,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    True,
+    False,
+    Null,
+    Break,
+    Continue,
+}
+
+/// Lexing errors with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+const PUNCTS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")",
+    "{", "}", "[", "]", ",", ";", "!",
+];
+
+/// Tokenizes MiniJS source.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    'outer: while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let n = text
+                .parse::<f64>()
+                .map_err(|_| LexError { pos: start, msg: format!("bad number {text}") })?;
+            out.push(Tok::Num(n));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "let" => Tok::Kw(Kw::Let),
+                "fn" => Tok::Kw(Kw::Fn),
+                "if" => Tok::Kw(Kw::If),
+                "else" => Tok::Kw(Kw::Else),
+                "while" => Tok::Kw(Kw::While),
+                "for" => Tok::Kw(Kw::For),
+                "return" => Tok::Kw(Kw::Return),
+                "true" => Tok::Kw(Kw::True),
+                "false" => Tok::Kw(Kw::False),
+                "null" => Tok::Kw(Kw::Null),
+                "break" => Tok::Kw(Kw::Break),
+                "continue" => Tok::Kw(Kw::Continue),
+                _ => Tok::Ident(word.to_string()),
+            };
+            out.push(tok);
+            continue;
+        }
+        if c == b'"' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            while i < b.len() {
+                match b[i] {
+                    b'"' => {
+                        i += 1;
+                        out.push(Tok::Str(s));
+                        continue 'outer;
+                    }
+                    b'\\' if i + 1 < b.len() => {
+                        s.push(match b[i + 1] {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            other => other as char,
+                        });
+                        i += 2;
+                    }
+                    other => {
+                        s.push(other as char);
+                        i += 1;
+                    }
+                }
+            }
+            return Err(LexError { pos: start, msg: "unterminated string".into() });
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Tok::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError { pos: i, msg: format!("unexpected character {:?}", c as char) });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_mixed_input() {
+        let toks = lex(r#"let x = 1.5; // comment
+            if (x >= 2) { f("hi\n"); }"#)
+        .unwrap();
+        assert_eq!(toks[0], Tok::Kw(Kw::Let));
+        assert_eq!(toks[1], Tok::Ident("x".into()));
+        assert_eq!(toks[2], Tok::Punct("="));
+        assert_eq!(toks[3], Tok::Num(1.5));
+        assert!(toks.contains(&Tok::Punct(">=")));
+        assert!(toks.contains(&Tok::Str("hi\n".into())));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(lex("let x = @;").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("1.2.3").is_err());
+    }
+}

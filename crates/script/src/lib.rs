@@ -1,0 +1,34 @@
+//! `acctee-script` — MiniJS, a small dynamically-typed scripting
+//! language with a tree-walking interpreter.
+//!
+//! In the paper's Fig. 9, the baseline bars labelled "JS" are the FaaS
+//! functions implemented in JavaScript (with JIMP for image work) on
+//! Node.js/V8. We have no V8; MiniJS is the substitution — a dynamic
+//! language executed by a tree-walking interpreter, capturing the
+//! qualitative property the figure demonstrates (a dynamic language
+//! baseline losing to WebAssembly). Because V8 JITs and we interpret,
+//! our WASM-vs-script gap is *larger* than the paper's 16x; this is
+//! recorded in EXPERIMENTS.md.
+//!
+//! The language: `let`, assignment, `if`/`else`, `while`, `for`,
+//! functions, arrays, strings, floats, integers-as-floats, and a small
+//! builtin library (`len`, `push`, `floor`, `min`, `max`, `sqrt`).
+//!
+//! ```
+//! let out = acctee_script::eval_program(r#"
+//!     fn add(a, b) { return a + b; }
+//!     let total = 0;
+//!     for (let i = 0; i < 10; i = i + 1) { total = add(total, i); }
+//!     return total;
+//! "#, &[]).unwrap();
+//! assert_eq!(out.as_num().unwrap(), 45.0);
+//! ```
+
+mod ast;
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use interp::{eval_program, Interpreter, ScriptError};
+pub use value::Value;

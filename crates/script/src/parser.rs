@@ -1,0 +1,357 @@
+//! MiniJS recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, Stmt};
+use crate::lexer::{lex, Kw, Tok};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Token index where parsing failed.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+/// Parses a MiniJS program into a statement list.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError { at: e.pos, msg: e.msg })?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.eof() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(stmts)
+}
+
+impl Parser {
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, msg: msg.into() }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| self.err("unexpected EOF"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Punct(q) if q == p => Ok(()),
+            other => Err(self.err(format!("expected {p:?}, found {other:?}"))),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Punct(q)) if *q == p)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Tok::Kw(Kw::Let)) => {
+                self.next()?;
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Let(name, e))
+            }
+            Some(Tok::Kw(Kw::Fn)) => {
+                self.next()?;
+                let name = self.ident()?;
+                self.eat_punct("(")?;
+                let mut params = Vec::new();
+                if !self.at_punct(")") {
+                    loop {
+                        params.push(self.ident()?);
+                        if self.at_punct(",") {
+                            self.next()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::FnDef(name, params, body))
+            }
+            Some(Tok::Kw(Kw::If)) => {
+                self.next()?;
+                self.eat_punct("(")?;
+                let c = self.expr()?;
+                self.eat_punct(")")?;
+                let then = self.block()?;
+                let els = if matches!(self.peek(), Some(Tok::Kw(Kw::Else))) {
+                    self.next()?;
+                    if matches!(self.peek(), Some(Tok::Kw(Kw::If))) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then, els))
+            }
+            Some(Tok::Kw(Kw::While)) => {
+                self.next()?;
+                self.eat_punct("(")?;
+                let c = self.expr()?;
+                self.eat_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While(c, body))
+            }
+            Some(Tok::Kw(Kw::For)) => {
+                // Desugar: for (init; cond; step) body => init; while
+                // (cond) { body; step; }
+                self.next()?;
+                self.eat_punct("(")?;
+                let init = self.stmt()?; // consumes its `;`
+                let cond = self.expr()?;
+                self.eat_punct(";")?;
+                let step = self.simple_stmt_no_semi()?;
+                self.eat_punct(")")?;
+                let mut body = self.block()?;
+                body.push(step);
+                Ok(Stmt::If(
+                    Expr::Bool(true),
+                    vec![init, Stmt::While(cond, body)],
+                    Vec::new(),
+                ))
+            }
+            Some(Tok::Kw(Kw::Return)) => {
+                self.next()?;
+                if self.at_punct(";") {
+                    self.next()?;
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Some(Tok::Kw(Kw::Break)) => {
+                self.next()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            Some(Tok::Kw(Kw::Continue)) => {
+                self.next()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.eat_punct(";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment or expression statement (no trailing `;`).
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, ParseError> {
+        let save = self.pos;
+        let e = self.expr()?;
+        if self.at_punct("=") {
+            self.next()?;
+            let rhs = self.expr()?;
+            match e {
+                Expr::Var(name) => return Ok(Stmt::Assign(name, rhs)),
+                Expr::Index(target, idx) => {
+                    return Ok(Stmt::IndexAssign(*target, *idx, rhs))
+                }
+                _ => {
+                    self.pos = save;
+                    return Err(self.err("invalid assignment target"));
+                }
+            }
+        }
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(Tok::Punct("||")) => (BinOp::Or, 1),
+                Some(Tok::Punct("&&")) => (BinOp::And, 2),
+                Some(Tok::Punct("==")) => (BinOp::Eq, 3),
+                Some(Tok::Punct("!=")) => (BinOp::Ne, 3),
+                Some(Tok::Punct("<")) => (BinOp::Lt, 4),
+                Some(Tok::Punct("<=")) => (BinOp::Le, 4),
+                Some(Tok::Punct(">")) => (BinOp::Gt, 4),
+                Some(Tok::Punct(">=")) => (BinOp::Ge, 4),
+                Some(Tok::Punct("+")) => (BinOp::Add, 5),
+                Some(Tok::Punct("-")) => (BinOp::Sub, 5),
+                Some(Tok::Punct("*")) => (BinOp::Mul, 6),
+                Some(Tok::Punct("/")) => (BinOp::Div, 6),
+                Some(Tok::Punct("%")) => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.next()?;
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.at_punct("-") {
+            self.next()?;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.at_punct("!") {
+            self.next()?;
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.at_punct("[") {
+            self.next()?;
+            let idx = self.expr()?;
+            self.eat_punct("]")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.next()? {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Kw(Kw::True) => Ok(Expr::Bool(true)),
+            Tok::Kw(Kw::False) => Ok(Expr::Bool(false)),
+            Tok::Kw(Kw::Null) => Ok(Expr::Null),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("[") => {
+                let mut items = Vec::new();
+                if !self.at_punct("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.at_punct(",") {
+                            self.next()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct("]")?;
+                Ok(Expr::Array(items))
+            }
+            Tok::Ident(name) => {
+                if self.at_punct("(") {
+                    self.next()?;
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(",") {
+                                self.next()?;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_program() {
+        let p = parse(
+            r#"fn f(a) { return a * 2; }
+               let xs = [1, 2, 3];
+               xs[0] = f(xs[1]);
+               if (xs[0] >= 4) { xs[2] = 0; } else { xs[2] = 1; }
+               while (xs[2] < 3) { xs[2] = xs[2] + 1; }"#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p[0], Stmt::FnDef(..)));
+        assert!(matches!(p[2], Stmt::IndexAssign(..)));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("let x = 1 + 2 * 3;").unwrap();
+        match &p[0] {
+            Stmt::Let(_, Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let p = parse("for (let i = 0; i < 3; i = i + 1) { let y = i; }").unwrap();
+        match &p[0] {
+            Stmt::If(_, body, _) => {
+                assert!(matches!(body[0], Stmt::Let(..)));
+                assert!(matches!(body[1], Stmt::While(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("let = 5;").is_err());
+        assert!(parse("f(1,;").is_err());
+        assert!(parse("1 + 2 = 3;").is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! MiniJS runtime values.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A MiniJS value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The null value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// All numbers are f64 (like JavaScript).
+    Num(f64),
+    /// Immutable string.
+    Str(Rc<String>),
+    /// Mutable shared array.
+    Array(Rc<RefCell<Vec<Value>>>),
+}
+
+impl Value {
+    /// Creates an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// JavaScript-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(_) => true,
+        }
+    }
+
+    /// The number inside, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array inside, if this is an array.
+    pub fn as_array(&self) -> Option<Rc<RefCell<Vec<Value>>>> {
+        match self {
+            Value::Array(a) => Some(a.clone()),
+            _ => None,
+        }
+    }
+
+    /// Structural equality (numbers by value, arrays by identity).
+    pub fn eq_value(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::array(vec![]).truthy());
+    }
+
+    #[test]
+    fn equality() {
+        assert!(Value::Num(2.0).eq_value(&Value::Num(2.0)));
+        assert!(!Value::Num(2.0).eq_value(&Value::str("2")));
+        let a = Value::array(vec![]);
+        assert!(a.eq_value(&a.clone()));
+        assert!(!a.eq_value(&Value::array(vec![])));
+    }
+
+    #[test]
+    fn display() {
+        let v = Value::array(vec![Value::Num(1.0), Value::str("x")]);
+        assert_eq!(v.to_string(), "[1, x]");
+    }
+}

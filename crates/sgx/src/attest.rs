@@ -1,0 +1,221 @@
+//! Remote attestation: quoting enclave + attestation service.
+//!
+//! In real SGX, the quoting enclave signs reports with an EPID /
+//! ECDSA key provisioned by Intel, and the Intel Attestation Service
+//! (IAS) vouches for the signature. The simulation collapses this into
+//! an [`AttestationAuthority`] holding a root secret: each registered
+//! platform's quoting enclave gets a derived key, quotes are MACs under
+//! that key, and verification goes back through the authority — exactly
+//! the trust topology of IAS, with MACs standing in for signatures
+//! (unforgeable within the simulation; documented substitution, see
+//! DESIGN.md §2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::crypto::{digest_eq, hmac_sha256, Digest};
+use crate::enclave::{Measurement, Platform, Report};
+
+/// Why attestation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestationError {
+    /// The local report MAC did not verify on this platform.
+    BadReport,
+    /// The platform is not registered with the authority.
+    UnknownPlatform,
+    /// The quote signature did not verify.
+    BadQuote,
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::BadReport => write!(f, "local report verification failed"),
+            AttestationError::UnknownPlatform => write!(f, "platform not registered"),
+            AttestationError::BadQuote => write!(f, "quote signature invalid"),
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+/// A remotely verifiable quote: a report plus the quoting enclave's
+/// signature over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// The attested enclave's measurement.
+    pub mrenclave: Measurement,
+    /// User data bound into the report.
+    pub report_data: [u8; 64],
+    /// Name of the platform whose quoting enclave signed.
+    pub platform: String,
+    /// Signature (MAC under the platform's provisioned key).
+    pub signature: Digest,
+}
+
+impl Quote {
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(32 + 64 + self.platform.len());
+        p.extend_from_slice(&self.mrenclave.0);
+        p.extend_from_slice(&self.report_data);
+        p.extend_from_slice(self.platform.as_bytes());
+        p
+    }
+}
+
+/// The root of trust: registers platforms (provisioning) and verifies
+/// quotes (the IAS role).
+#[derive(Debug, Clone)]
+pub struct AttestationAuthority {
+    root: Digest,
+    registered: Arc<Mutex<HashMap<String, ()>>>,
+}
+
+impl AttestationAuthority {
+    /// Creates an authority with a deterministic root secret.
+    pub fn new(seed: u64) -> AttestationAuthority {
+        let mut material = b"acctee-attestation-root".to_vec();
+        material.extend_from_slice(&seed.to_le_bytes());
+        AttestationAuthority {
+            root: crate::crypto::sha256(&material),
+            registered: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn platform_quote_key(&self, platform: &str) -> Digest {
+        hmac_sha256(&self.root, platform.as_bytes())
+    }
+
+    /// Provisions a platform's quoting enclave, returning it. This is
+    /// the moment the authority decides the platform is genuine.
+    pub fn provision(&self, platform: &Platform) -> QuotingEnclave {
+        self.registered.lock().insert(platform.name.clone(), ());
+        QuotingEnclave {
+            platform: platform.clone(),
+            quote_key: self.platform_quote_key(&platform.name),
+        }
+    }
+
+    /// Verifies a quote, returning the attested measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestationError::UnknownPlatform`] if the platform was never
+    /// provisioned; [`AttestationError::BadQuote`] if the signature
+    /// does not verify.
+    pub fn verify(&self, quote: &Quote) -> Result<Measurement, AttestationError> {
+        if !self.registered.lock().contains_key(&quote.platform) {
+            return Err(AttestationError::UnknownPlatform);
+        }
+        let key = self.platform_quote_key(&quote.platform);
+        let expected = hmac_sha256(&key, &quote.payload());
+        if !digest_eq(&expected, &quote.signature) {
+            return Err(AttestationError::BadQuote);
+        }
+        Ok(quote.mrenclave)
+    }
+}
+
+/// The platform's quoting enclave: converts local reports into
+/// remotely-verifiable quotes.
+#[derive(Debug, Clone)]
+pub struct QuotingEnclave {
+    platform: Platform,
+    quote_key: Digest,
+}
+
+impl QuotingEnclave {
+    /// Produces a quote from a local report.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestationError::BadReport`] if the report does not verify on
+    /// this platform (it was forged or produced elsewhere).
+    pub fn quote(&self, report: &Report) -> Result<Quote, AttestationError> {
+        if !self.platform.verify_report(report) {
+            return Err(AttestationError::BadReport);
+        }
+        let mut q = Quote {
+            mrenclave: report.mrenclave,
+            report_data: report.report_data,
+            platform: self.platform.name.clone(),
+            signature: [0; 32],
+        };
+        q.signature = hmac_sha256(&self.quote_key, &q.payload());
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::report_data;
+
+    fn setup() -> (AttestationAuthority, Platform, QuotingEnclave) {
+        let authority = AttestationAuthority::new(42);
+        let platform = Platform::new("prov-1", 7);
+        let qe = authority.provision(&platform);
+        (authority, platform, qe)
+    }
+
+    #[test]
+    fn end_to_end_attestation() {
+        let (authority, platform, qe) = setup();
+        let enclave = platform.create_enclave(b"accounting-enclave-v1");
+        let report = enclave.report(report_data(b"session-key-hash"));
+        let quote = qe.quote(&report).unwrap();
+        let m = authority.verify(&quote).unwrap();
+        assert_eq!(m, enclave.measurement());
+    }
+
+    #[test]
+    fn forged_quotes_rejected() {
+        let (authority, platform, qe) = setup();
+        let enclave = platform.create_enclave(b"code");
+        let quote = qe.quote(&enclave.report(report_data(b"x"))).unwrap();
+
+        let mut wrong_measurement = quote.clone();
+        wrong_measurement.mrenclave = Measurement::of(b"evil");
+        assert_eq!(authority.verify(&wrong_measurement), Err(AttestationError::BadQuote));
+
+        let mut wrong_data = quote.clone();
+        wrong_data.report_data[0] ^= 0xff;
+        assert_eq!(authority.verify(&wrong_data), Err(AttestationError::BadQuote));
+
+        let mut wrong_sig = quote;
+        wrong_sig.signature[0] ^= 1;
+        assert_eq!(authority.verify(&wrong_sig), Err(AttestationError::BadQuote));
+    }
+
+    #[test]
+    fn unprovisioned_platform_rejected() {
+        let (authority, _platform, _qe) = setup();
+        let rogue = Platform::new("rogue", 666);
+        let rogue_authority = AttestationAuthority::new(666);
+        let rogue_qe = rogue_authority.provision(&rogue);
+        let enclave = rogue.create_enclave(b"code");
+        let quote = rogue_qe.quote(&enclave.report(report_data(b"x"))).unwrap();
+        assert_eq!(authority.verify(&quote), Err(AttestationError::UnknownPlatform));
+    }
+
+    #[test]
+    fn report_from_other_platform_not_quotable() {
+        let (_authority, _platform, qe) = setup();
+        let other = Platform::new("other", 9);
+        let enclave = other.create_enclave(b"code");
+        let report = enclave.report(report_data(b"x"));
+        assert_eq!(qe.quote(&report), Err(AttestationError::BadReport));
+    }
+
+    #[test]
+    fn different_authorities_do_not_trust_each_other() {
+        let (_, platform, qe) = setup();
+        let enclave = platform.create_enclave(b"code");
+        let quote = qe.quote(&enclave.report(report_data(b"x"))).unwrap();
+        let other_authority = AttestationAuthority::new(43);
+        // Other authority never provisioned this platform.
+        assert_eq!(other_authority.verify(&quote), Err(AttestationError::UnknownPlatform));
+    }
+}

@@ -1,0 +1,31 @@
+//! `acctee-sgx` — a functional simulator of Intel SGX.
+//!
+//! AccTEE needs four properties from SGX (§2.2 of the paper):
+//!
+//! 1. **Isolation** — enclave state is unreachable from outside. In the
+//!    simulation, enclave state lives behind Rust ownership: the host
+//!    only holds opaque handles.
+//! 2. **Measurement** — an enclave is identified by a hash of its code
+//!    (MRENCLAVE). We compute it with a from-scratch SHA-256
+//!    ([`crypto::sha256`]).
+//! 3. **Attestation** — a remote party can verify that a *specific*
+//!    enclave runs on a genuine platform. We model the quoting enclave
+//!    and the Intel Attestation Service with an
+//!    [`attest::AttestationAuthority`] that holds a root secret; quotes
+//!    are MACs under keys only the authority can derive. Within the
+//!    simulation these are unforgeable, which is the property the
+//!    protocol needs.
+//! 4. **Sealing** — data encrypted to the enclave identity
+//!    ([`seal`]).
+//!
+//! The *performance* side of SGX (MEE latency, EPC paging) is modelled
+//! separately in `acctee-cachesim`; this crate provides the functional
+//! and trust substrate.
+
+pub mod attest;
+pub mod crypto;
+pub mod enclave;
+pub mod seal;
+
+pub use attest::{AttestationAuthority, AttestationError, Quote, QuotingEnclave};
+pub use enclave::{Enclave, Measurement, Platform, Report};

@@ -1,0 +1,379 @@
+//! The project server: distributes work units and tallies credit
+//! under the two verification regimes.
+
+use std::collections::HashMap;
+
+use acctee::{InstrumentationEnclave, Level, WeightTable, WorkloadProvider};
+use acctee_sgx::{AttestationAuthority, Platform};
+use acctee_wasm::encode::encode_module;
+use acctee_workloads::msieve;
+
+use crate::parties::{Volunteer, VolunteerKind};
+
+/// A work unit: a batch of semiprimes identified by seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// Work-unit id.
+    pub id: u64,
+    /// Batch seed.
+    pub seed: u64,
+    /// Numbers per batch.
+    pub count: usize,
+}
+
+impl Task {
+    /// The correct result (the server uses this only for reporting;
+    /// it does not know it during the campaign).
+    pub fn expected_result(&self) -> i64 {
+        msieve::msieve_native(self.count, self.seed) as i64
+    }
+}
+
+/// How the server verifies work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Replicate each task and accept the majority result; credit is
+    /// taken from the volunteers' claims.
+    Redundancy {
+        /// Replicas per task (BOINC commonly uses 2-3).
+        replicas: usize,
+    },
+    /// AccTEE: one execution, attested log.
+    AccTee,
+}
+
+/// What happened during a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Module executions actually performed (the resource bill).
+    pub executions: u64,
+    /// Tasks whose accepted result was correct.
+    pub correct_accepted: u64,
+    /// Tasks whose accepted result was wrong (undetected cheating).
+    pub wrong_accepted: u64,
+    /// Tasks with no accepted result (disagreement / all rejected).
+    pub unresolved: u64,
+    /// Submissions rejected by verification.
+    pub rejected_submissions: u64,
+    /// Credit granted per volunteer.
+    pub credit: HashMap<String, u64>,
+    /// Credit that honest accounting would have granted.
+    pub deserved_credit: HashMap<String, u64>,
+}
+
+impl CampaignReport {
+    /// Leaderboard, highest credit first.
+    pub fn leaderboard(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self.credit.clone().into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Credit over-granted to cheaters, as a fraction of total.
+    pub fn overcredit_fraction(&self) -> f64 {
+        let granted: u64 = self.credit.values().sum();
+        let deserved: u64 = self.deserved_credit.values().sum();
+        if granted == 0 {
+            return 0.0;
+        }
+        (granted.saturating_sub(deserved)) as f64 / granted as f64
+    }
+}
+
+/// Runs a campaign of `tasks` over `volunteers` in the given mode.
+///
+/// # Panics
+///
+/// Panics if instrumentation of the built-in work-unit module fails
+/// (cannot happen for shipped modules).
+pub fn run_campaign(
+    tasks: &[Task],
+    volunteers: &[Volunteer],
+    mode: ServerMode,
+    authority: &AttestationAuthority,
+    ie: &InstrumentationEnclave,
+    provider: &WorkloadProvider,
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for v in volunteers {
+        report.credit.insert(v.name.clone(), 0);
+        report.deserved_credit.insert(v.name.clone(), 0);
+    }
+
+    for (ti, task) in tasks.iter().enumerate() {
+        let module = msieve::msieve_module(task.count, task.seed);
+        let bytes = encode_module(&module);
+        match mode {
+            ServerMode::Redundancy { replicas } => {
+                // Assign round-robin.
+                let assigned: Vec<&Volunteer> = (0..replicas)
+                    .map(|r| &volunteers[(ti * replicas + r) % volunteers.len()])
+                    .collect();
+                let mut claims = Vec::new();
+                for v in &assigned {
+                    let claim = v.run_unattested(&bytes, task.id).expect("execution");
+                    if claim.actually_executed {
+                        report.executions += 1;
+                    }
+                    claims.push((v, claim));
+                }
+                // Majority vote over results.
+                let mut counts: HashMap<i64, usize> = HashMap::new();
+                for (_, c) in &claims {
+                    *counts.entry(c.result).or_insert(0) += 1;
+                }
+                let (winner, votes) =
+                    counts.iter().max_by_key(|(_, c)| **c).map(|(r, c)| (*r, *c)).expect("claims");
+                if votes * 2 > claims.len() || claims.len() == 1 {
+                    if winner == task.expected_result() {
+                        report.correct_accepted += 1;
+                    } else {
+                        report.wrong_accepted += 1;
+                    }
+                    // Credit everyone who voted with the majority, by
+                    // their own claim — the BOINC-style weakness.
+                    for (v, c) in &claims {
+                        if c.result == winner {
+                            *report.credit.get_mut(&v.name).expect("known") +=
+                                c.claimed_credit;
+                        }
+                        if c.actually_executed {
+                            *report.deserved_credit.get_mut(&v.name).expect("known") +=
+                                c.claimed_credit.min(honest_claim(c));
+                        }
+                    }
+                } else {
+                    report.unresolved += 1;
+                }
+            }
+            ServerMode::AccTee => {
+                let (instr_bytes, evidence) =
+                    ie.instrument(&bytes, Level::LoopBased).expect("instrumentable");
+                provider.verify_evidence(&instr_bytes, &evidence).expect("evidence ok");
+                let v = &volunteers[ti % volunteers.len()];
+                let outcome =
+                    v.run_attested(authority, &instr_bytes, &evidence, task.id);
+                match outcome {
+                    Ok((outcome, executed)) => {
+                        if executed {
+                            report.executions += 1;
+                        }
+                        // Server-side verification of the signed log.
+                        match provider.verify_log(&outcome.log) {
+                            Ok(()) => {
+                                let result = outcome.results[0].as_i64();
+                                if result == task.expected_result() {
+                                    report.correct_accepted += 1;
+                                } else {
+                                    report.wrong_accepted += 1;
+                                }
+                                let credit = outcome.log.log.weighted_instructions;
+                                *report.credit.get_mut(&v.name).expect("known") += credit;
+                                *report.deserved_credit.get_mut(&v.name).expect("known") +=
+                                    credit;
+                            }
+                            Err(_) => {
+                                report.rejected_submissions += 1;
+                                report.unresolved += 1;
+                                if executed {
+                                    // Work was done but the submission
+                                    // was tampered: deserved, not paid.
+                                    *report
+                                        .deserved_credit
+                                        .get_mut(&v.name)
+                                        .expect("known") +=
+                                        outcome.log.log.weighted_instructions / 10;
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        report.rejected_submissions += 1;
+                        report.unresolved += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+fn honest_claim(c: &crate::parties::Claim) -> u64 {
+    // For the deserved-credit bookkeeping: inflated claims are 10x.
+    if c.claimed_credit >= 10 && c.claimed_credit.is_multiple_of(10) {
+        c.claimed_credit / 10
+    } else {
+        c.claimed_credit
+    }
+}
+
+/// Builds a standard campaign environment: authority, project server
+/// platform, IE, verifier, and a volunteer pool with `cheater_every`
+/// cheaters interleaved.
+pub fn standard_environment(
+    n_volunteers: usize,
+    cheater_every: usize,
+) -> (AttestationAuthority, InstrumentationEnclave, WorkloadProvider, Vec<Volunteer>) {
+    let authority = AttestationAuthority::new(77);
+    let server_platform = Platform::new("project-server", 1);
+    let qe = authority.provision(&server_platform);
+    let weights = WeightTable::uniform();
+    let ie = InstrumentationEnclave::launch(&server_platform, qe, weights.clone());
+    // The reference AE measurement every volunteer must match: the
+    // accounting enclave code with these weights.
+    let reference_ae = acctee::enclave::AccountingEnclave::launch(
+        &server_platform,
+        authority.provision(&server_platform),
+        weights.clone(),
+        ie.measurement(),
+    );
+    let provider = WorkloadProvider::new(
+        authority.clone(),
+        ie.measurement(),
+        reference_ae.measurement(),
+        &weights,
+    );
+    let volunteers = (0..n_volunteers)
+        .map(|i| {
+            let kind = if cheater_every > 0 && i % cheater_every == cheater_every - 1 {
+                if i % (2 * cheater_every) == cheater_every - 1 {
+                    VolunteerKind::Bogus
+                } else {
+                    VolunteerKind::InflatedCredit
+                }
+            } else {
+                VolunteerKind::Honest
+            };
+            Volunteer::new(
+                &format!("vol-{i:02}"),
+                kind,
+                &authority,
+                ie.measurement(),
+                weights.clone(),
+                i as u64 + 100,
+            )
+        })
+        .collect();
+    (authority, ie, provider, volunteers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: usize) -> Vec<Task> {
+        (0..n).map(|i| Task { id: i as u64, seed: i as u64 + 1, count: 2 }).collect()
+    }
+
+    #[test]
+    fn redundancy_doubles_work() {
+        let (authority, ie, provider, volunteers) = standard_environment(6, 0);
+        let t = tasks(6);
+        let r = run_campaign(
+            &t,
+            &volunteers,
+            ServerMode::Redundancy { replicas: 2 },
+            &authority,
+            &ie,
+            &provider,
+        );
+        assert_eq!(r.executions, 12, "each task executed twice");
+        assert_eq!(r.correct_accepted, 6);
+        let a = run_campaign(&t, &volunteers, ServerMode::AccTee, &authority, &ie, &provider);
+        assert_eq!(a.executions, 6, "AccTEE executes once per task");
+        assert_eq!(a.correct_accepted, 6);
+    }
+
+    #[test]
+    fn acctee_rejects_all_cheating() {
+        let (authority, ie, provider, volunteers) = standard_environment(6, 2);
+        let t = tasks(12);
+        let r = run_campaign(&t, &volunteers, ServerMode::AccTee, &authority, &ie, &provider);
+        assert_eq!(r.wrong_accepted, 0, "no forged result is ever accepted");
+        assert!(r.rejected_submissions > 0, "cheaters were caught");
+        assert!(r.overcredit_fraction() < 1e-9, "no cheater got credit");
+    }
+
+    #[test]
+    fn redundancy_overpays_inflated_claims() {
+        // Three honest volunteers plus one inflated-credit cheater who
+        // computes correct results but claims 10x.
+        let (authority, ie, provider, _) = standard_environment(0, 0);
+        let weights = WeightTable::uniform();
+        let mut volunteers: Vec<Volunteer> = (0..3)
+            .map(|i| {
+                Volunteer::new(
+                    &format!("honest-{i}"),
+                    VolunteerKind::Honest,
+                    &authority,
+                    ie.measurement(),
+                    weights.clone(),
+                    i + 300,
+                )
+            })
+            .collect();
+        volunteers.push(Volunteer::new(
+            "greedy",
+            VolunteerKind::InflatedCredit,
+            &authority,
+            ie.measurement(),
+            weights.clone(),
+            400,
+        ));
+        let t = tasks(8);
+        let r = run_campaign(
+            &t,
+            &volunteers,
+            ServerMode::Redundancy { replicas: 2 },
+            &authority,
+            &ie,
+            &provider,
+        );
+        // The inflated-credit volunteer submits correct results, so the
+        // majority accepts them and the inflated claim is paid.
+        assert!(r.overcredit_fraction() > 0.0, "{:?}", r.credit);
+    }
+
+    #[test]
+    fn colluding_bogus_majority_defeats_redundancy() {
+        // A pool where both replicas of some task are bogus colluders.
+        let (authority, ie, provider, _):
+            (AttestationAuthority, InstrumentationEnclave, WorkloadProvider, Vec<Volunteer>) =
+            standard_environment(0, 0);
+        let weights = WeightTable::uniform();
+        let volunteers: Vec<Volunteer> = (0..2)
+            .map(|i| {
+                Volunteer::new(
+                    &format!("mallory-{i}"),
+                    VolunteerKind::Bogus,
+                    &authority,
+                    ie.measurement(),
+                    weights.clone(),
+                    i + 500,
+                )
+            })
+            .collect();
+        let t = tasks(3);
+        let r = run_campaign(
+            &t,
+            &volunteers,
+            ServerMode::Redundancy { replicas: 2 },
+            &authority,
+            &ie,
+            &provider,
+        );
+        assert_eq!(r.wrong_accepted, 3, "colluders agree and win the vote");
+        assert_eq!(r.executions, 0, "without doing any work at all");
+    }
+
+    #[test]
+    fn leaderboard_sorts_by_credit() {
+        let mut rep = CampaignReport::default();
+        rep.credit.insert("a".into(), 10);
+        rep.credit.insert("b".into(), 30);
+        rep.credit.insert("c".into(), 20);
+        let lb = rep.leaderboard();
+        assert_eq!(lb[0].0, "b");
+        assert_eq!(lb[2].0, "a");
+    }
+}

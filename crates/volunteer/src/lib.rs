@@ -1,0 +1,27 @@
+//! `acctee-volunteer` — a volunteer-computing platform simulation
+//! (§2.1 "Volunteer Computing", Fig 10's workload domain).
+//!
+//! Models a BOINC-style project server distributing work units
+//! (integer-factorisation tasks from `acctee-workloads::msieve`) to
+//! volunteers, in two modes:
+//!
+//! * [`ServerMode::Redundancy`] — today's practice: no attestation,
+//!   every task is executed by `replicas` volunteers and results are
+//!   accepted by majority; credit is whatever the volunteer *claims*.
+//! * [`ServerMode::AccTee`] — each volunteer runs the accounting
+//!   enclave; one execution per task, results and credit come from the
+//!   attested resource-usage log.
+//!
+//! The [`campaign`] runner injects cheating volunteers (bogus results,
+//! inflated credit claims) and reports how each mode fares: redundancy
+//! wastes multiples of the work and can still be defeated by
+//! colluding cheaters, while AccTEE executes once and rejects every
+//! forgery — the paper's core claim for this scenario.
+
+pub mod campaign;
+pub mod parties;
+pub mod reimburse;
+
+pub use campaign::{run_campaign, CampaignReport, ServerMode, Task};
+pub use parties::{Volunteer, VolunteerKind};
+pub use reimburse::{Escrow, PaymentError};

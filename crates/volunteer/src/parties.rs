@@ -1,0 +1,233 @@
+//! Volunteers: honest participants and the cheater archetypes the
+//! paper's threat model worries about.
+
+use acctee::{AccTeeError, AccountingEnclave, ExecutionOutcome, InstrumentationEvidence};
+use acctee_interp::{Imports, Instance, Value};
+use acctee_sgx::{AttestationAuthority, Measurement, Platform};
+use acctee_wasm::decode::decode_module;
+
+/// What kind of participant this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolunteerKind {
+    /// Runs tasks faithfully.
+    Honest,
+    /// Submits a fabricated result without doing the work (and, in
+    /// redundancy mode, a fabricated credit claim). Colluding bogus
+    /// volunteers fabricate the *same* value per task.
+    Bogus,
+    /// Computes the correct result but claims 10x the credit.
+    InflatedCredit,
+}
+
+/// A submission in redundancy mode: unverifiable claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Claim {
+    /// The claimed task result.
+    pub result: i64,
+    /// The claimed computational effort (credit units).
+    pub claimed_credit: u64,
+    /// Whether work was actually performed (bookkeeping for the
+    /// report; the server cannot see this field!).
+    pub actually_executed: bool,
+}
+
+/// A volunteer client.
+pub struct Volunteer {
+    /// Display name for the leaderboard.
+    pub name: String,
+    /// Behaviour.
+    pub kind: VolunteerKind,
+    platform: Platform,
+    ae: Option<AccountingEnclave>,
+}
+
+impl std::fmt::Debug for Volunteer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Volunteer({}, {:?})", self.name, self.kind)
+    }
+}
+
+impl Volunteer {
+    /// Creates a volunteer. Honest and inflated-credit volunteers run
+    /// a genuine provisioned accounting enclave (the cheating happens
+    /// *outside* it); bogus volunteers skip the enclave entirely.
+    pub fn new(
+        name: &str,
+        kind: VolunteerKind,
+        authority: &AttestationAuthority,
+        expected_ie: Measurement,
+        weights: acctee::WeightTable,
+        seed: u64,
+    ) -> Volunteer {
+        let platform = Platform::new(name, seed);
+        let ae = if kind == VolunteerKind::Bogus {
+            None
+        } else {
+            let qe = authority.provision(&platform);
+            Some(AccountingEnclave::launch(&platform, qe, weights, expected_ie))
+        };
+        Volunteer { name: name.to_string(), kind, platform: platform.clone(), ae }
+    }
+
+    /// Redundancy-mode execution: returns an unverifiable [`Claim`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when honest execution traps.
+    pub fn run_unattested(&self, module_bytes: &[u8], task_id: u64) -> Result<Claim, String> {
+        match self.kind {
+            VolunteerKind::Bogus => Ok(Claim {
+                // Colluders agree on the fabricated value.
+                result: (task_id as i64).wrapping_mul(41) + 7,
+                claimed_credit: 5_000_000,
+                actually_executed: false,
+            }),
+            VolunteerKind::Honest | VolunteerKind::InflatedCredit => {
+                let module = decode_module(module_bytes).map_err(|e| e.to_string())?;
+                let mut inst =
+                    Instance::new(&module, Imports::new()).map_err(|e| e.to_string())?;
+                let out = inst.invoke("run", &[]).map_err(|e| e.to_string())?;
+                let result = out[0].as_i64();
+                let actual = inst.stats().instructions;
+                let claimed_credit = match self.kind {
+                    VolunteerKind::InflatedCredit => actual * 10,
+                    _ => actual,
+                };
+                Ok(Claim { result, claimed_credit, actually_executed: true })
+            }
+        }
+    }
+
+    /// AccTEE-mode execution: runs inside the accounting enclave and
+    /// returns the outcome with its signed log. Cheaters attempt their
+    /// manipulations on the way out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave errors; bogus volunteers fabricate an
+    /// outcome-free error (they have no enclave to sign anything).
+    pub fn run_attested(
+        &self,
+        authority: &AttestationAuthority,
+        module_bytes: &[u8],
+        evidence: &InstrumentationEvidence,
+        session_id: u64,
+    ) -> Result<(ExecutionOutcome, bool), AccTeeError> {
+        match (&self.ae, self.kind) {
+            (None, _) => {
+                // Bogus volunteer: forge a quote with a home-made
+                // "authority". Verification at the server will fail.
+                let rogue_authority = AttestationAuthority::new(0xbad);
+                let rogue_qe = rogue_authority.provision(&self.platform);
+                let enclave = self.platform.create_enclave(b"not-the-accounting-enclave");
+                let log = acctee::ResourceUsageLog {
+                    weighted_instructions: 5_000_000,
+                    session_id,
+                    ..Default::default()
+                };
+                let quote = rogue_qe
+                    .quote(&enclave.report(acctee_sgx::enclave::report_data(&log.binding())))
+                    .expect("rogue quote over own report");
+                Ok((
+                    ExecutionOutcome {
+                        results: vec![Value::I64((session_id as i64).wrapping_mul(41) + 7)],
+                        output: Vec::new(),
+                        log: acctee::SignedLog { log, quote },
+                    },
+                    false,
+                ))
+            }
+            (Some(ae), VolunteerKind::InflatedCredit) => {
+                let loaded = ae.load(authority, module_bytes, evidence)?;
+                let mut outcome = ae.execute(&loaded, "run", &[], b"", session_id)?;
+                // Tamper with the log outside the enclave: the quote no
+                // longer matches.
+                outcome.log.log.weighted_instructions *= 10;
+                Ok((outcome, true))
+            }
+            (Some(ae), _) => {
+                let loaded = ae.load(authority, module_bytes, evidence)?;
+                let outcome = ae.execute(&loaded, "run", &[], b"", session_id)?;
+                Ok((outcome, true))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee::WeightTable;
+    use acctee_sgx::Platform as SgxPlatform;
+    use acctee_workloads::msieve;
+
+    fn setup() -> (AttestationAuthority, acctee::InstrumentationEnclave) {
+        let authority = AttestationAuthority::new(5);
+        let p = SgxPlatform::new("project-server", 1);
+        let qe = authority.provision(&p);
+        let ie =
+            acctee::InstrumentationEnclave::launch(&p, qe, WeightTable::uniform());
+        (authority, ie)
+    }
+
+    #[test]
+    fn honest_unattested_claim_is_truthful() {
+        let (authority, ie) = setup();
+        let module = acctee_wasm::encode::encode_module(&msieve::msieve_module(2, 3));
+        let v = Volunteer::new(
+            "alice",
+            VolunteerKind::Honest,
+            &authority,
+            ie.measurement(),
+            WeightTable::uniform(),
+            11,
+        );
+        let claim = v.run_unattested(&module, 0).unwrap();
+        assert!(claim.actually_executed);
+        assert_eq!(claim.result, msieve::msieve_native(2, 3) as i64);
+        assert!(claim.claimed_credit > 0);
+    }
+
+    #[test]
+    fn inflated_claim_is_ten_x() {
+        let (authority, ie) = setup();
+        let module = acctee_wasm::encode::encode_module(&msieve::msieve_module(2, 3));
+        let honest = Volunteer::new(
+            "a",
+            VolunteerKind::Honest,
+            &authority,
+            ie.measurement(),
+            WeightTable::uniform(),
+            1,
+        );
+        let cheat = Volunteer::new(
+            "b",
+            VolunteerKind::InflatedCredit,
+            &authority,
+            ie.measurement(),
+            WeightTable::uniform(),
+            2,
+        );
+        let hc = honest.run_unattested(&module, 0).unwrap();
+        let cc = cheat.run_unattested(&module, 0).unwrap();
+        assert_eq!(cc.result, hc.result); // correct result...
+        assert_eq!(cc.claimed_credit, hc.claimed_credit * 10); // ...inflated credit
+    }
+
+    #[test]
+    fn bogus_volunteer_does_no_work() {
+        let (authority, ie) = setup();
+        let module = acctee_wasm::encode::encode_module(&msieve::msieve_module(2, 3));
+        let v = Volunteer::new(
+            "mallory",
+            VolunteerKind::Bogus,
+            &authority,
+            ie.measurement(),
+            WeightTable::uniform(),
+            13,
+        );
+        let claim = v.run_unattested(&module, 4).unwrap();
+        assert!(!claim.actually_executed);
+        assert_ne!(claim.result, msieve::msieve_native(2, 3) as i64);
+    }
+}

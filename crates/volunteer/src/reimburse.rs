@@ -1,0 +1,180 @@
+//! Reimbursed computing (§2.1): the commercialisation of volunteer
+//! computing. Participants sell spare resources and are paid in tokens
+//! *per attested weighted instruction* — the incentive model that, per
+//! the paper, "would certainly attract malicious infrastructure
+//! providers who will try to cheat and wrongfully collect
+//! reimbursements".
+//!
+//! The [`Escrow`] follows the Airtnt pattern the paper cites: the
+//! workload provider deposits tokens up front; a payment is released
+//! only against a *verified* signed resource-usage log, each log at
+//! most once (anti-replay via the session id).
+
+use std::collections::{HashMap, HashSet};
+
+use acctee::{SignedLog, WorkloadProvider};
+
+/// Why a payment was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaymentError {
+    /// The log failed verification (forged, tampered, wrong enclave).
+    InvalidLog,
+    /// This session's log was already paid out.
+    Replay,
+    /// The escrow does not hold enough tokens.
+    InsufficientEscrow,
+}
+
+impl std::fmt::Display for PaymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaymentError::InvalidLog => write!(f, "log failed verification"),
+            PaymentError::Replay => write!(f, "log already reimbursed"),
+            PaymentError::InsufficientEscrow => write!(f, "escrow exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for PaymentError {}
+
+/// An escrowed token pool releasing payments against attested logs.
+#[derive(Debug)]
+pub struct Escrow {
+    funded: u128,
+    released: u128,
+    /// Nano-tokens per weighted instruction.
+    pub rate: u128,
+    paid_sessions: HashSet<u64>,
+    balances: HashMap<String, u128>,
+}
+
+impl Escrow {
+    /// Creates an escrow holding `funded` nano-tokens at `rate`
+    /// nano-tokens per weighted instruction.
+    pub fn new(funded: u128, rate: u128) -> Escrow {
+        Escrow {
+            funded,
+            released: 0,
+            rate,
+            paid_sessions: HashSet::new(),
+            balances: HashMap::new(),
+        }
+    }
+
+    /// Tokens still locked in the escrow.
+    pub fn remaining(&self) -> u128 {
+        self.funded - self.released
+    }
+
+    /// A participant's accumulated balance.
+    pub fn balance(&self, who: &str) -> u128 {
+        self.balances.get(who).copied().unwrap_or(0)
+    }
+
+    /// Releases payment for one verified log to `who`.
+    ///
+    /// # Errors
+    ///
+    /// [`PaymentError`] if the log does not verify, was already paid,
+    /// or the escrow cannot cover it.
+    pub fn release(
+        &mut self,
+        verifier: &WorkloadProvider,
+        who: &str,
+        log: &SignedLog,
+    ) -> Result<u128, PaymentError> {
+        if verifier.verify_log(log).is_err() {
+            return Err(PaymentError::InvalidLog);
+        }
+        if self.paid_sessions.contains(&log.log.session_id) {
+            return Err(PaymentError::Replay);
+        }
+        let amount = u128::from(log.log.weighted_instructions) * self.rate;
+        if amount > self.remaining() {
+            return Err(PaymentError::InsufficientEscrow);
+        }
+        self.paid_sessions.insert(log.log.session_id);
+        self.released += amount;
+        *self.balances.entry(who.to_string()).or_insert(0) += amount;
+        Ok(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee::{Deployment, Level};
+    use acctee_wasm::encode::encode_module;
+
+    fn deployment_and_log(
+        dep: &mut Deployment,
+    ) -> (Vec<u8>, acctee::InstrumentationEvidence) {
+        let bytes = encode_module(&acctee_workloads::subsetsum::subsetsum_module(8, 4));
+        dep.instrument(&bytes, Level::LoopBased).expect("instrument")
+    }
+
+    #[test]
+    fn verified_work_is_paid_once() {
+        let mut dep = Deployment::new(60);
+        let (b, e) = deployment_and_log(&mut dep);
+        let outcome = dep.execute(&b, &e, "run", &[], b"").expect("execute");
+        let mut escrow = Escrow::new(1 << 40, 2);
+        let paid = escrow.release(dep.workload_provider(), "worker-1", &outcome.log).unwrap();
+        assert_eq!(paid, u128::from(outcome.log.log.weighted_instructions) * 2);
+        assert_eq!(escrow.balance("worker-1"), paid);
+        // Replay is refused.
+        assert_eq!(
+            escrow.release(dep.workload_provider(), "worker-1", &outcome.log),
+            Err(PaymentError::Replay)
+        );
+        assert_eq!(escrow.balance("worker-1"), paid);
+    }
+
+    #[test]
+    fn forged_logs_are_never_paid() {
+        let mut dep = Deployment::new(61);
+        let (b, e) = deployment_and_log(&mut dep);
+        let outcome = dep.execute(&b, &e, "run", &[], b"").expect("execute");
+        let mut forged = outcome.log.clone();
+        forged.log.weighted_instructions *= 1000;
+        let mut escrow = Escrow::new(1 << 40, 1);
+        assert_eq!(
+            escrow.release(dep.workload_provider(), "mallory", &forged),
+            Err(PaymentError::InvalidLog)
+        );
+        assert_eq!(escrow.balance("mallory"), 0);
+        assert_eq!(escrow.remaining(), 1 << 40);
+    }
+
+    #[test]
+    fn escrow_cannot_overdraw() {
+        let mut dep = Deployment::new(62);
+        let (b, e) = deployment_and_log(&mut dep);
+        let outcome = dep.execute(&b, &e, "run", &[], b"").expect("execute");
+        let mut escrow = Escrow::new(10, 1); // far too small
+        assert_eq!(
+            escrow.release(dep.workload_provider(), "worker-1", &outcome.log),
+            Err(PaymentError::InsufficientEscrow)
+        );
+        // And the failed attempt does not mark the session as paid.
+        let mut bigger = Escrow::new(1 << 40, 1);
+        assert!(bigger.release(dep.workload_provider(), "worker-1", &outcome.log).is_ok());
+    }
+
+    #[test]
+    fn distinct_sessions_both_pay() {
+        let mut dep = Deployment::new(63);
+        let (b, e) = deployment_and_log(&mut dep);
+        let o1 = dep.execute(&b, &e, "run", &[], b"").expect("execute");
+        let o2 = dep.execute(&b, &e, "run", &[], b"").expect("execute");
+        assert_ne!(o1.log.log.session_id, o2.log.log.session_id);
+        let mut escrow = Escrow::new(1 << 40, 1);
+        escrow.release(dep.workload_provider(), "w", &o1.log).unwrap();
+        escrow.release(dep.workload_provider(), "w", &o2.log).unwrap();
+        assert_eq!(
+            escrow.balance("w"),
+            u128::from(o1.log.log.weighted_instructions)
+                + u128::from(o2.log.log.weighted_instructions)
+        );
+    }
+}

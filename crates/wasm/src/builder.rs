@@ -1,0 +1,537 @@
+//! An ergonomic builder DSL for authoring WebAssembly modules in Rust.
+//!
+//! All evaluation workloads in the AccTEE reproduction (PolyBench
+//! kernels, FaaS functions, volunteer-computing programs) are authored
+//! through this builder, which plays the role Emscripten plays in the
+//! paper: it turns a high-level program into a WebAssembly module.
+//!
+//! The loop helpers emit the canonical *do-while* loop shape produced
+//! by LLVM-style compilers (`loop ... local.get i / i32.const step /
+//! i32.add / local.set i / <cond> / br_if 0 end`), which is exactly the
+//! shape the paper's loop-based instrumentation optimisation targets.
+
+use crate::instr::{BlockType, ConstExpr, Instr, MemArg};
+use crate::module::{
+    Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module,
+};
+use crate::op::{LoadOp, NumOp, StoreOp};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+/// A loop bound: either a compile-time constant or a local variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// A constant bound.
+    Const(i32),
+    /// The value of a local at loop entry (re-read every iteration).
+    Local(u32),
+}
+
+/// Builds a [`Module`] incrementally.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder::default()
+    }
+
+    /// Declares the module's linear memory (in 64 KiB pages) and
+    /// exports it as `"memory"`.
+    pub fn memory(&mut self, min_pages: u32, max_pages: Option<u32>) -> &mut Self {
+        assert!(self.module.memories.is_empty(), "memory already declared");
+        self.module.memories.push(MemoryType { limits: Limits::new(min_pages, max_pages) });
+        self.module
+            .exports
+            .push(Export { name: "memory".into(), kind: ExportKind::Memory(0) });
+        self
+    }
+
+    /// Declares a function table with `min` elements.
+    pub fn table(&mut self, min: u32, max: Option<u32>) -> &mut Self {
+        assert!(self.module.tables.is_empty(), "table already declared");
+        self.module.tables.push(TableType { limits: Limits::new(min, max) });
+        self
+    }
+
+    /// Imports a function. Must be called before any local function is
+    /// defined (imports precede local functions in the index space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local function has already been defined.
+    pub fn import_func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+    ) -> u32 {
+        assert!(
+            self.module.funcs.is_empty(),
+            "imports must be declared before local functions"
+        );
+        let ty = self.module.intern_type(FuncType::new(params, results));
+        let idx = self.module.num_imported_funcs();
+        self.module.imports.push(Import {
+            module: module.into(),
+            name: name.into(),
+            kind: ImportKind::Func(ty),
+        });
+        idx
+    }
+
+    /// Defines a named mutable/immutable global, returning its index.
+    pub fn global(&mut self, name: &str, ty: GlobalType, init: ConstExpr) -> u32 {
+        let idx = self.module.num_globals();
+        self.module.globals.push(Global { ty, init, name: Some(name.into()) });
+        idx
+    }
+
+    /// Defines a function; the closure receives a [`FuncBuilder`] to
+    /// emit the body. Returns the function index.
+    pub fn func(
+        &mut self,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+        f: impl FnOnce(&mut FuncBuilder),
+    ) -> u32 {
+        let ty = self.module.intern_type(FuncType::new(params, results));
+        let mut fb = FuncBuilder {
+            n_params: params.len() as u32,
+            locals: Vec::new(),
+            sinks: vec![Vec::new()],
+        };
+        f(&mut fb);
+        assert_eq!(fb.sinks.len(), 1, "unclosed block in function {name}");
+        let body = fb.sinks.pop().expect("root sink");
+        let idx = self.module.num_funcs();
+        self.module.funcs.push(Func {
+            ty,
+            locals: fb.locals,
+            body,
+            name: Some(name.into()),
+        });
+        idx
+    }
+
+    /// Exports function `idx` under `name`.
+    pub fn export_func(&mut self, name: &str, idx: u32) -> &mut Self {
+        self.module.exports.push(Export { name: name.into(), kind: ExportKind::Func(idx) });
+        self
+    }
+
+    /// Exports global `idx` under `name`.
+    pub fn export_global(&mut self, name: &str, idx: u32) -> &mut Self {
+        self.module.exports.push(Export { name: name.into(), kind: ExportKind::Global(idx) });
+        self
+    }
+
+    /// Adds an active data segment at `offset`.
+    pub fn data(&mut self, offset: u32, bytes: &[u8]) -> &mut Self {
+        self.module.datas.push(Data {
+            memory: 0,
+            offset: ConstExpr::I32(offset as i32),
+            bytes: bytes.to_vec(),
+        });
+        self
+    }
+
+    /// Adds an element segment placing `funcs` at table `offset`.
+    pub fn elem(&mut self, offset: u32, funcs: &[u32]) -> &mut Self {
+        self.module.elems.push(Elem {
+            table: 0,
+            offset: ConstExpr::I32(offset as i32),
+            funcs: funcs.to_vec(),
+        });
+        self
+    }
+
+    /// Sets the start function.
+    pub fn start(&mut self, idx: u32) -> &mut Self {
+        self.module.start = Some(idx);
+        self
+    }
+
+    /// Finishes building and returns the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds a single function body.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    n_params: u32,
+    locals: Vec<ValType>,
+    /// Stack of instruction sinks; nested blocks push a new sink.
+    sinks: Vec<Vec<Instr>>,
+}
+
+impl FuncBuilder {
+    /// Declares a new local of type `ty`, returning its index.
+    pub fn local(&mut self, ty: ValType) -> u32 {
+        self.locals.push(ty);
+        self.n_params + self.locals.len() as u32 - 1
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.sinks.last_mut().expect("sink").push(i);
+        self
+    }
+
+    // --- constants -----------------------------------------------------
+
+    /// `i32.const`.
+    pub fn i32_const(&mut self, v: i32) -> &mut Self {
+        self.emit(Instr::I32Const(v))
+    }
+    /// `i64.const`.
+    pub fn i64_const(&mut self, v: i64) -> &mut Self {
+        self.emit(Instr::I64Const(v))
+    }
+    /// `f32.const`.
+    pub fn f32_const(&mut self, v: f32) -> &mut Self {
+        self.emit(Instr::F32Const(v))
+    }
+    /// `f64.const`.
+    pub fn f64_const(&mut self, v: f64) -> &mut Self {
+        self.emit(Instr::F64Const(v))
+    }
+
+    // --- variables -----------------------------------------------------
+
+    /// `local.get`.
+    pub fn local_get(&mut self, x: u32) -> &mut Self {
+        self.emit(Instr::LocalGet(x))
+    }
+    /// `local.set`.
+    pub fn local_set(&mut self, x: u32) -> &mut Self {
+        self.emit(Instr::LocalSet(x))
+    }
+    /// `local.tee`.
+    pub fn local_tee(&mut self, x: u32) -> &mut Self {
+        self.emit(Instr::LocalTee(x))
+    }
+    /// `global.get`.
+    pub fn global_get(&mut self, x: u32) -> &mut Self {
+        self.emit(Instr::GlobalGet(x))
+    }
+    /// `global.set`.
+    pub fn global_set(&mut self, x: u32) -> &mut Self {
+        self.emit(Instr::GlobalSet(x))
+    }
+
+    // --- numeric sugar ---------------------------------------------------
+
+    /// Emits any plain numeric instruction.
+    pub fn num(&mut self, op: NumOp) -> &mut Self {
+        self.emit(Instr::Num(op))
+    }
+    /// `i32.add`.
+    pub fn i32_add(&mut self) -> &mut Self {
+        self.num(NumOp::I32Add)
+    }
+    /// `i32.sub`.
+    pub fn i32_sub(&mut self) -> &mut Self {
+        self.num(NumOp::I32Sub)
+    }
+    /// `i32.mul`.
+    pub fn i32_mul(&mut self) -> &mut Self {
+        self.num(NumOp::I32Mul)
+    }
+    /// `i32.and`.
+    pub fn i32_and(&mut self) -> &mut Self {
+        self.num(NumOp::I32And)
+    }
+    /// `i32.shl`.
+    pub fn i32_shl(&mut self) -> &mut Self {
+        self.num(NumOp::I32Shl)
+    }
+    /// `i32.lt_s`.
+    pub fn i32_lt_s(&mut self) -> &mut Self {
+        self.num(NumOp::I32LtS)
+    }
+    /// `i32.ge_s`.
+    pub fn i32_ge_s(&mut self) -> &mut Self {
+        self.num(NumOp::I32GeS)
+    }
+    /// `f64.add`.
+    pub fn f64_add(&mut self) -> &mut Self {
+        self.num(NumOp::F64Add)
+    }
+    /// `f64.sub`.
+    pub fn f64_sub(&mut self) -> &mut Self {
+        self.num(NumOp::F64Sub)
+    }
+    /// `f64.mul`.
+    pub fn f64_mul(&mut self) -> &mut Self {
+        self.num(NumOp::F64Mul)
+    }
+    /// `f64.div`.
+    pub fn f64_div(&mut self) -> &mut Self {
+        self.num(NumOp::F64Div)
+    }
+    /// `f64.sqrt`.
+    pub fn f64_sqrt(&mut self) -> &mut Self {
+        self.num(NumOp::F64Sqrt)
+    }
+
+    // --- memory ----------------------------------------------------------
+
+    /// Emits a load with a static byte `offset`.
+    pub fn load(&mut self, op: LoadOp, offset: u32) -> &mut Self {
+        self.emit(Instr::Load(op, MemArg { align: op.natural_align(), offset }))
+    }
+    /// Emits a store with a static byte `offset`.
+    pub fn store(&mut self, op: StoreOp, offset: u32) -> &mut Self {
+        self.emit(Instr::Store(op, MemArg { align: op.natural_align(), offset }))
+    }
+    /// `f64.load` at static `offset`.
+    pub fn f64_load(&mut self, offset: u32) -> &mut Self {
+        self.load(LoadOp::F64Load, offset)
+    }
+    /// `f64.store` at static `offset`.
+    pub fn f64_store(&mut self, offset: u32) -> &mut Self {
+        self.store(StoreOp::F64Store, offset)
+    }
+    /// `i32.load` at static `offset`.
+    pub fn i32_load(&mut self, offset: u32) -> &mut Self {
+        self.load(LoadOp::I32Load, offset)
+    }
+    /// `i32.store` at static `offset`.
+    pub fn i32_store(&mut self, offset: u32) -> &mut Self {
+        self.store(StoreOp::I32Store, offset)
+    }
+
+    // --- control ---------------------------------------------------------
+
+    /// `br depth`.
+    pub fn br(&mut self, depth: u32) -> &mut Self {
+        self.emit(Instr::Br(depth))
+    }
+    /// `br_if depth`.
+    pub fn br_if(&mut self, depth: u32) -> &mut Self {
+        self.emit(Instr::BrIf(depth))
+    }
+    /// `return`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Return)
+    }
+    /// `call f`.
+    pub fn call(&mut self, f: u32) -> &mut Self {
+        self.emit(Instr::Call(f))
+    }
+    /// `drop`.
+    pub fn drop_(&mut self) -> &mut Self {
+        self.emit(Instr::Drop)
+    }
+    /// `select`.
+    pub fn select(&mut self) -> &mut Self {
+        self.emit(Instr::Select)
+    }
+
+    fn nested(&mut self, f: impl FnOnce(&mut Self)) -> Vec<Instr> {
+        self.sinks.push(Vec::new());
+        f(self);
+        self.sinks.pop().expect("nested sink")
+    }
+
+    /// Emits a `block` with the given result type.
+    pub fn block(&mut self, ty: BlockType, f: impl FnOnce(&mut Self)) -> &mut Self {
+        let body = self.nested(f);
+        self.emit(Instr::Block { ty, body })
+    }
+
+    /// Emits a `loop` with the given result type.
+    pub fn loop_(&mut self, ty: BlockType, f: impl FnOnce(&mut Self)) -> &mut Self {
+        let body = self.nested(f);
+        self.emit(Instr::Loop { ty, body })
+    }
+
+    /// Emits an `if` (no else).
+    pub fn if_(&mut self, ty: BlockType, then: impl FnOnce(&mut Self)) -> &mut Self {
+        let t = self.nested(then);
+        self.emit(Instr::If { ty, then: t, els: Vec::new() })
+    }
+
+    /// Emits an `if`/`else`.
+    pub fn if_else(
+        &mut self,
+        ty: BlockType,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        let t = self.nested(then);
+        let e = self.nested(els);
+        self.emit(Instr::If { ty, then: t, els: e })
+    }
+
+    fn emit_bound(&mut self, b: Bound) {
+        match b {
+            Bound::Const(c) => {
+                self.i32_const(c);
+            }
+            Bound::Local(l) => {
+                self.local_get(l);
+            }
+        }
+    }
+
+    /// Emits a counted `for` loop: `for (i = start; i < end; i += 1)`.
+    ///
+    /// The emitted shape is the guarded do-while form:
+    ///
+    /// ```text
+    /// i = start
+    /// if (i < end) {
+    ///   loop {
+    ///     <body>
+    ///     i += 1
+    ///     if (i < end) continue;
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// When both bounds are constants the guard is resolved statically.
+    /// The loop variable update is the single `local.set` the paper's
+    /// loop-based optimisation looks for.
+    pub fn for_loop(
+        &mut self,
+        i: u32,
+        start: Bound,
+        end: Bound,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.emit_bound(start);
+        self.local_set(i);
+        let statically_nonempty = match (start, end) {
+            (Bound::Const(s), Bound::Const(e)) => {
+                if s >= e {
+                    return self; // empty loop, emit nothing further
+                }
+                true
+            }
+            _ => false,
+        };
+        let emit_loop = |b: &mut Self| {
+            b.loop_(BlockType::Empty, |b| {
+                body(b);
+                b.local_get(i).i32_const(1).i32_add().local_set(i);
+                b.local_get(i);
+                b.emit_bound(end);
+                b.i32_lt_s().br_if(0);
+            });
+        };
+        if statically_nonempty {
+            emit_loop(self);
+        } else {
+            self.local_get(i);
+            self.emit_bound(end);
+            self.i32_lt_s();
+            self.if_(BlockType::Empty, emit_loop);
+        }
+        self
+    }
+
+    /// Pushes the flat index `(i * ncols + j) * elem_size` as an `i32`
+    /// address, for indexing a 2-D row-major array. Combine with a
+    /// load/store whose static offset is the array base.
+    pub fn idx2(&mut self, i: u32, j: u32, ncols: i32, elem_log2: u32) -> &mut Self {
+        self.local_get(i)
+            .i32_const(ncols)
+            .i32_mul()
+            .local_get(j)
+            .i32_add()
+            .i32_const(elem_log2 as i32)
+            .i32_shl()
+    }
+
+    /// Pushes the flat index `i * elem_size` for a 1-D array.
+    pub fn idx1(&mut self, i: u32, elem_log2: u32) -> &mut Self {
+        self.local_get(i).i32_const(elem_log2 as i32).i32_shl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_module;
+
+    #[test]
+    fn builder_produces_valid_module() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let g = b.global(
+            "acc",
+            GlobalType::mutable(ValType::I64),
+            ConstExpr::I64(0),
+        );
+        let f = b.func("sum", &[ValType::I32], &[ValType::I64], |f| {
+            let i = f.local(ValType::I32);
+            let acc = f.local(ValType::I64);
+            f.for_loop(i, Bound::Const(0), Bound::Local(0), |f| {
+                f.local_get(acc);
+                f.local_get(i);
+                f.num(NumOp::I64ExtendI32S);
+                f.num(NumOp::I64Add);
+                f.local_set(acc);
+            });
+            f.local_get(acc);
+            f.global_get(g);
+            f.num(NumOp::I64Add);
+        });
+        b.export_func("sum", f);
+        let m = b.build();
+        validate_module(&m).unwrap();
+        assert_eq!(m.exported_func("sum"), Some(0));
+    }
+
+    #[test]
+    fn const_loop_with_empty_range_emits_nothing() {
+        let mut b = ModuleBuilder::new();
+        b.func("f", &[], &[], |f| {
+            let i = f.local(ValType::I32);
+            f.for_loop(i, Bound::Const(5), Bound::Const(5), |f| {
+                f.emit(Instr::Unreachable);
+            });
+        });
+        let m = b.build();
+        // Only `i32.const 5; local.set i` remains; no loop, no body.
+        assert_eq!(m.funcs[0].body.len(), 2);
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn const_loop_is_do_while_shaped() {
+        let mut b = ModuleBuilder::new();
+        b.func("f", &[], &[], |f| {
+            let i = f.local(ValType::I32);
+            f.for_loop(i, Bound::Const(0), Bound::Const(10), |f| {
+                f.emit(Instr::Nop);
+            });
+        });
+        let m = b.build();
+        // body = [const, set, loop]; last instr of loop body is br_if 0.
+        assert_eq!(m.funcs[0].body.len(), 3);
+        match &m.funcs[0].body[2] {
+            Instr::Loop { body, .. } => {
+                assert_eq!(body.last(), Some(&Instr::BrIf(0)));
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "imports must be declared before local functions")]
+    fn import_after_func_panics() {
+        let mut b = ModuleBuilder::new();
+        b.func("f", &[], &[], |_| {});
+        b.import_func("env", "x", &[], &[]);
+    }
+}

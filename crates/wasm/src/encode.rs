@@ -1,0 +1,458 @@
+//! WebAssembly binary encoder.
+//!
+//! Produces spec-conformant MVP binaries, including a `name` custom
+//! section carrying function and global names so that symbolic names
+//! survive a binary round trip.
+
+use crate::instr::{BlockType, ConstExpr, Instr};
+use crate::leb;
+use crate::module::{Data, Elem, ExportKind, Func, ImportKind, Module};
+use crate::types::{FuncType, GlobalType, Limits, Mutability, ValType};
+
+const MAGIC: &[u8; 4] = b"\0asm";
+const VERSION: &[u8; 4] = &[1, 0, 0, 0];
+
+/// Encodes a module into its binary representation.
+pub fn encode_module(m: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(VERSION);
+
+    if !m.types.is_empty() {
+        section(&mut out, 1, |b| {
+            leb::write_u32(b, m.types.len() as u32);
+            for t in &m.types {
+                func_type(b, t);
+            }
+        });
+    }
+    if !m.imports.is_empty() {
+        section(&mut out, 2, |b| {
+            leb::write_u32(b, m.imports.len() as u32);
+            for imp in &m.imports {
+                name(b, &imp.module);
+                name(b, &imp.name);
+                match &imp.kind {
+                    ImportKind::Func(t) => {
+                        b.push(0x00);
+                        leb::write_u32(b, *t);
+                    }
+                    ImportKind::Table(t) => {
+                        b.push(0x01);
+                        b.push(0x70);
+                        limits(b, &t.limits);
+                    }
+                    ImportKind::Memory(mt) => {
+                        b.push(0x02);
+                        limits(b, &mt.limits);
+                    }
+                    ImportKind::Global(g) => {
+                        b.push(0x03);
+                        global_type(b, g);
+                    }
+                }
+            }
+        });
+    }
+    if !m.funcs.is_empty() {
+        section(&mut out, 3, |b| {
+            leb::write_u32(b, m.funcs.len() as u32);
+            for f in &m.funcs {
+                leb::write_u32(b, f.ty);
+            }
+        });
+    }
+    if !m.tables.is_empty() {
+        section(&mut out, 4, |b| {
+            leb::write_u32(b, m.tables.len() as u32);
+            for t in &m.tables {
+                b.push(0x70);
+                limits(b, &t.limits);
+            }
+        });
+    }
+    if !m.memories.is_empty() {
+        section(&mut out, 5, |b| {
+            leb::write_u32(b, m.memories.len() as u32);
+            for mem in &m.memories {
+                limits(b, &mem.limits);
+            }
+        });
+    }
+    if !m.globals.is_empty() {
+        section(&mut out, 6, |b| {
+            leb::write_u32(b, m.globals.len() as u32);
+            for g in &m.globals {
+                global_type(b, &g.ty);
+                const_expr(b, &g.init);
+            }
+        });
+    }
+    if !m.exports.is_empty() {
+        section(&mut out, 7, |b| {
+            leb::write_u32(b, m.exports.len() as u32);
+            for e in &m.exports {
+                name(b, &e.name);
+                let (tag, idx) = match e.kind {
+                    ExportKind::Func(i) => (0x00, i),
+                    ExportKind::Table(i) => (0x01, i),
+                    ExportKind::Memory(i) => (0x02, i),
+                    ExportKind::Global(i) => (0x03, i),
+                };
+                b.push(tag);
+                leb::write_u32(b, idx);
+            }
+        });
+    }
+    if let Some(s) = m.start {
+        section(&mut out, 8, |b| leb::write_u32(b, s));
+    }
+    if !m.elems.is_empty() {
+        section(&mut out, 9, |b| {
+            leb::write_u32(b, m.elems.len() as u32);
+            for e in &m.elems {
+                elem(b, e);
+            }
+        });
+    }
+    if !m.funcs.is_empty() {
+        section(&mut out, 10, |b| {
+            leb::write_u32(b, m.funcs.len() as u32);
+            for f in &m.funcs {
+                code_entry(b, f);
+            }
+        });
+    }
+    if !m.datas.is_empty() {
+        section(&mut out, 11, |b| {
+            leb::write_u32(b, m.datas.len() as u32);
+            for d in &m.datas {
+                data(b, d);
+            }
+        });
+    }
+    name_section(&mut out, m);
+    out
+}
+
+/// Encodes a single function body exactly as it would appear in the
+/// code section (locals + instructions + `end`), without the size
+/// prefix. Useful for measurement and hashing.
+pub fn encode_func_body(f: &Func) -> Vec<u8> {
+    let mut b = Vec::new();
+    locals(&mut b, &f.locals);
+    instrs(&mut b, &f.body);
+    b.push(0x0b);
+    b
+}
+
+fn section(out: &mut Vec<u8>, id: u8, f: impl FnOnce(&mut Vec<u8>)) {
+    let mut body = Vec::new();
+    f(&mut body);
+    out.push(id);
+    leb::write_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+fn name(out: &mut Vec<u8>, s: &str) {
+    leb::write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn func_type(out: &mut Vec<u8>, t: &FuncType) {
+    out.push(0x60);
+    leb::write_u32(out, t.params.len() as u32);
+    for p in &t.params {
+        out.push(p.code());
+    }
+    leb::write_u32(out, t.results.len() as u32);
+    for r in &t.results {
+        out.push(r.code());
+    }
+}
+
+fn limits(out: &mut Vec<u8>, l: &Limits) {
+    match l.max {
+        None => {
+            out.push(0x00);
+            leb::write_u32(out, l.min);
+        }
+        Some(max) => {
+            out.push(0x01);
+            leb::write_u32(out, l.min);
+            leb::write_u32(out, max);
+        }
+    }
+}
+
+fn global_type(out: &mut Vec<u8>, g: &GlobalType) {
+    out.push(g.val.code());
+    out.push(match g.mutability {
+        Mutability::Const => 0x00,
+        Mutability::Var => 0x01,
+    });
+}
+
+fn const_expr(out: &mut Vec<u8>, e: &ConstExpr) {
+    match e {
+        ConstExpr::I32(v) => {
+            out.push(0x41);
+            leb::write_i32(out, *v);
+        }
+        ConstExpr::I64(v) => {
+            out.push(0x42);
+            leb::write_i64(out, *v);
+        }
+        ConstExpr::F32(v) => {
+            out.push(0x43);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        ConstExpr::F64(v) => {
+            out.push(0x44);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        ConstExpr::GlobalGet(i) => {
+            out.push(0x23);
+            leb::write_u32(out, *i);
+        }
+    }
+    out.push(0x0b);
+}
+
+fn elem(out: &mut Vec<u8>, e: &Elem) {
+    leb::write_u32(out, e.table);
+    const_expr(out, &e.offset);
+    leb::write_u32(out, e.funcs.len() as u32);
+    for f in &e.funcs {
+        leb::write_u32(out, *f);
+    }
+}
+
+fn data(out: &mut Vec<u8>, d: &Data) {
+    leb::write_u32(out, d.memory);
+    const_expr(out, &d.offset);
+    leb::write_u32(out, d.bytes.len() as u32);
+    out.extend_from_slice(&d.bytes);
+}
+
+fn locals(out: &mut Vec<u8>, l: &[ValType]) {
+    // Run-length encode consecutive equal local types.
+    let mut runs: Vec<(u32, ValType)> = Vec::new();
+    for &t in l {
+        match runs.last_mut() {
+            Some((n, rt)) if *rt == t => *n += 1,
+            _ => runs.push((1, t)),
+        }
+    }
+    leb::write_u32(out, runs.len() as u32);
+    for (n, t) in runs {
+        leb::write_u32(out, n);
+        out.push(t.code());
+    }
+}
+
+fn code_entry(out: &mut Vec<u8>, f: &Func) {
+    let body = encode_func_body(f);
+    leb::write_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+fn block_type(out: &mut Vec<u8>, ty: &BlockType) {
+    match ty {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(v) => out.push(v.code()),
+    }
+}
+
+fn instrs(out: &mut Vec<u8>, body: &[Instr]) {
+    for i in body {
+        instr(out, i);
+    }
+}
+
+fn instr(out: &mut Vec<u8>, i: &Instr) {
+    match i {
+        Instr::Unreachable => out.push(0x00),
+        Instr::Nop => out.push(0x01),
+        Instr::Block { ty, body } => {
+            out.push(0x02);
+            block_type(out, ty);
+            instrs(out, body);
+            out.push(0x0b);
+        }
+        Instr::Loop { ty, body } => {
+            out.push(0x03);
+            block_type(out, ty);
+            instrs(out, body);
+            out.push(0x0b);
+        }
+        Instr::If { ty, then, els } => {
+            out.push(0x04);
+            block_type(out, ty);
+            instrs(out, then);
+            if !els.is_empty() {
+                out.push(0x05);
+                instrs(out, els);
+            }
+            out.push(0x0b);
+        }
+        Instr::Br(l) => {
+            out.push(0x0c);
+            leb::write_u32(out, *l);
+        }
+        Instr::BrIf(l) => {
+            out.push(0x0d);
+            leb::write_u32(out, *l);
+        }
+        Instr::BrTable { targets, default } => {
+            out.push(0x0e);
+            leb::write_u32(out, targets.len() as u32);
+            for t in targets {
+                leb::write_u32(out, *t);
+            }
+            leb::write_u32(out, *default);
+        }
+        Instr::Return => out.push(0x0f),
+        Instr::Call(f) => {
+            out.push(0x10);
+            leb::write_u32(out, *f);
+        }
+        Instr::CallIndirect(t) => {
+            out.push(0x11);
+            leb::write_u32(out, *t);
+            out.push(0x00); // table index (MVP: 0)
+        }
+        Instr::Drop => out.push(0x1a),
+        Instr::Select => out.push(0x1b),
+        Instr::LocalGet(x) => {
+            out.push(0x20);
+            leb::write_u32(out, *x);
+        }
+        Instr::LocalSet(x) => {
+            out.push(0x21);
+            leb::write_u32(out, *x);
+        }
+        Instr::LocalTee(x) => {
+            out.push(0x22);
+            leb::write_u32(out, *x);
+        }
+        Instr::GlobalGet(x) => {
+            out.push(0x23);
+            leb::write_u32(out, *x);
+        }
+        Instr::GlobalSet(x) => {
+            out.push(0x24);
+            leb::write_u32(out, *x);
+        }
+        Instr::Load(op, m) => {
+            out.push(op.opcode());
+            leb::write_u32(out, m.align);
+            leb::write_u32(out, m.offset);
+        }
+        Instr::Store(op, m) => {
+            out.push(op.opcode());
+            leb::write_u32(out, m.align);
+            leb::write_u32(out, m.offset);
+        }
+        Instr::MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        Instr::MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        Instr::I32Const(v) => {
+            out.push(0x41);
+            leb::write_i32(out, *v);
+        }
+        Instr::I64Const(v) => {
+            out.push(0x42);
+            leb::write_i64(out, *v);
+        }
+        Instr::F32Const(v) => {
+            out.push(0x43);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Instr::F64Const(v) => {
+            out.push(0x44);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Instr::Num(op) => out.push(op.opcode()),
+    }
+}
+
+fn name_map(out: &mut Vec<u8>, entries: &[(u32, &str)]) {
+    leb::write_u32(out, entries.len() as u32);
+    for (idx, n) in entries {
+        leb::write_u32(out, *idx);
+        name(out, n);
+    }
+}
+
+fn name_section(out: &mut Vec<u8>, m: &Module) {
+    let n_imp_f = m.num_imported_funcs();
+    let func_names: Vec<(u32, &str)> = m
+        .funcs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.name.as_deref().map(|n| (i as u32 + n_imp_f, n)))
+        .collect();
+    let n_imp_g = m.num_imported_globals();
+    let global_names: Vec<(u32, &str)> = m
+        .globals
+        .iter()
+        .enumerate()
+        .filter_map(|(i, g)| g.name.as_deref().map(|n| (i as u32 + n_imp_g, n)))
+        .collect();
+    if func_names.is_empty() && global_names.is_empty() {
+        return;
+    }
+    section(out, 0, |b| {
+        name(b, "name");
+        if !func_names.is_empty() {
+            let mut sub = Vec::new();
+            name_map(&mut sub, &func_names);
+            b.push(1);
+            leb::write_u32(b, sub.len() as u32);
+            b.extend_from_slice(&sub);
+        }
+        if !global_names.is_empty() {
+            let mut sub = Vec::new();
+            name_map(&mut sub, &global_names);
+            b.push(7);
+            leb::write_u32(b, sub.len() as u32);
+            b.extend_from_slice(&sub);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_module_is_just_header() {
+        let bytes = encode_module(&Module::new());
+        assert_eq!(bytes, b"\0asm\x01\0\0\0");
+    }
+
+    #[test]
+    fn locals_are_run_length_encoded() {
+        let mut out = Vec::new();
+        locals(&mut out, &[ValType::I32, ValType::I32, ValType::F64]);
+        // 2 runs: (2 x i32), (1 x f64)
+        assert_eq!(out, vec![2, 2, 0x7f, 1, 0x7c]);
+    }
+
+    #[test]
+    fn if_without_else_omits_else_opcode() {
+        let mut out = Vec::new();
+        instr(&mut out, &Instr::If {
+            ty: BlockType::Empty,
+            then: vec![Instr::Nop],
+            els: vec![],
+        });
+        assert_eq!(out, vec![0x04, 0x40, 0x01, 0x0b]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for decoding, parsing and validation.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// An error produced while decoding, parsing or validating a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed binary input.
+    Decode {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Malformed text input.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Column number (1-based).
+        col: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The module is structurally well-formed but invalid.
+    Validate(String),
+}
+
+impl Error {
+    pub(crate) fn decode(offset: usize, msg: impl Into<String>) -> Error {
+        Error::Decode { offset, msg: msg.into() }
+    }
+
+    pub(crate) fn parse(line: usize, col: usize, msg: impl Into<String>) -> Error {
+        Error::Parse { line, col, msg: msg.into() }
+    }
+
+    pub(crate) fn validate(msg: impl Into<String>) -> Error {
+        Error::Validate(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Decode { offset, msg } => {
+                write!(f, "decode error at byte {offset}: {msg}")
+            }
+            Error::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Error::Validate(msg) => write!(f, "validation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::decode(5, "bad magic").to_string(),
+            "decode error at byte 5: bad magic"
+        );
+        assert_eq!(
+            Error::parse(2, 7, "unexpected token").to_string(),
+            "parse error at 2:7: unexpected token"
+        );
+        assert_eq!(
+            Error::validate("type mismatch").to_string(),
+            "validation error: type mismatch"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! LEB128 variable-length integer encoding, as used throughout the
+//! WebAssembly binary format.
+
+use crate::error::{Error, Result};
+
+/// Appends an unsigned LEB128 encoding of `v` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of `v` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `v` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, v: i32) {
+    write_i64(out, v as i64);
+}
+
+/// Appends a signed LEB128 encoding of `v` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (v == 0 && sign_clear) || (v == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A cursor over a byte slice that tracks its offset for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`, starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads a single byte.
+    pub fn byte(&mut self) -> Result<u8> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| Error::decode(self.pos, "unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::decode(self.pos, format!("need {n} bytes, have {}", self.remaining())));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads an unsigned LEB128 `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let start = self.pos;
+        let mut result: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.byte()?;
+            if shift == 28 && byte & 0xf0 != 0 {
+                return Err(Error::decode(start, "u32 LEB128 overflow"));
+            }
+            result |= u32::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if shift >= 32 {
+                return Err(Error::decode(start, "u32 LEB128 too long"));
+            }
+        }
+    }
+
+    /// Reads an unsigned LEB128 `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let start = self.pos;
+        let mut result: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.byte()?;
+            if shift == 63 && byte & 0x7e != 0 {
+                return Err(Error::decode(start, "u64 LEB128 overflow"));
+            }
+            result |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(Error::decode(start, "u64 LEB128 too long"));
+            }
+        }
+    }
+
+    /// Reads a signed LEB128 `i32`.
+    pub fn i32(&mut self) -> Result<i32> {
+        let start = self.pos;
+        let v = self.i64()?;
+        i32::try_from(v).map_err(|_| Error::decode(start, "i32 LEB128 out of range"))
+    }
+
+    /// Reads a signed LEB128 `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        let start = self.pos;
+        let mut result: i64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.byte()?;
+            result |= i64::from(byte & 0x7f) << shift;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                return Ok(result);
+            }
+            if shift >= 70 {
+                return Err(Error::decode(start, "i64 LEB128 too long"));
+            }
+        }
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a length-prefixed UTF-8 name.
+    pub fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::decode(start, "name is not valid UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_u32(v: u32) {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, v);
+        assert_eq!(Reader::new(&buf).u32().unwrap(), v);
+    }
+
+    fn rt_i64(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        assert_eq!(Reader::new(&buf).i64().unwrap(), v);
+    }
+
+    #[test]
+    fn u32_round_trips() {
+        for v in [0, 1, 127, 128, 300, 16384, u32::MAX, u32::MAX - 1] {
+            rt_u32(v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trips() {
+        for v in [0, 1, -1, 63, 64, -64, -65, 127, 128, i64::MAX, i64::MIN, -123456789] {
+            rt_i64(v);
+        }
+    }
+
+    #[test]
+    fn i32_range_check() {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, i64::from(i32::MAX) + 1);
+        assert!(Reader::new(&buf).i32().is_err());
+        buf.clear();
+        write_i64(&mut buf, i64::from(i32::MIN));
+        assert_eq!(Reader::new(&buf).i32().unwrap(), i32::MIN);
+    }
+
+    #[test]
+    fn overlong_u32_rejected() {
+        // 6 continuation bytes is too long for u32.
+        let buf = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert!(Reader::new(&buf).u32().is_err());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = [0x80];
+        assert!(Reader::new(&buf).u32().is_err());
+        assert!(Reader::new(&[]).byte().is_err());
+        assert!(Reader::new(&[1, 2]).take(3).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        buf.extend_from_slice(&(-2.25f64).to_le_bytes());
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn names_decode() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 5);
+        buf.extend_from_slice(b"hello");
+        assert_eq!(Reader::new(&buf).name().unwrap(), "hello");
+        let bad = [2, 0xff, 0xfe];
+        assert!(Reader::new(&bad).name().is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! The complete MVP numeric / memory opcode tables.
+//!
+//! A single macro, `for_each_numop!`, is the source of truth for all
+//! 123 numeric instructions (opcodes `0x45..=0xbf`). The decoder,
+//! encoder, text format, validator, interpreter and the cost model all
+//! derive their tables from it, so the instruction set cannot drift
+//! between components.
+
+use crate::types::ValType;
+
+/// Invokes the given macro once with the full numeric-opcode table.
+///
+/// Each row is `(Variant, "wat.mnemonic", opcode_byte, SIG_CLASS)` where
+/// `SIG_CLASS` names one of the signature constants in [`sig`].
+#[macro_export]
+macro_rules! for_each_numop {
+    ($m:ident) => {
+        $m! {
+            (I32Eqz, "i32.eqz", 0x45, TEST_I32),
+            (I32Eq, "i32.eq", 0x46, REL_I32),
+            (I32Ne, "i32.ne", 0x47, REL_I32),
+            (I32LtS, "i32.lt_s", 0x48, REL_I32),
+            (I32LtU, "i32.lt_u", 0x49, REL_I32),
+            (I32GtS, "i32.gt_s", 0x4a, REL_I32),
+            (I32GtU, "i32.gt_u", 0x4b, REL_I32),
+            (I32LeS, "i32.le_s", 0x4c, REL_I32),
+            (I32LeU, "i32.le_u", 0x4d, REL_I32),
+            (I32GeS, "i32.ge_s", 0x4e, REL_I32),
+            (I32GeU, "i32.ge_u", 0x4f, REL_I32),
+            (I64Eqz, "i64.eqz", 0x50, TEST_I64),
+            (I64Eq, "i64.eq", 0x51, REL_I64),
+            (I64Ne, "i64.ne", 0x52, REL_I64),
+            (I64LtS, "i64.lt_s", 0x53, REL_I64),
+            (I64LtU, "i64.lt_u", 0x54, REL_I64),
+            (I64GtS, "i64.gt_s", 0x55, REL_I64),
+            (I64GtU, "i64.gt_u", 0x56, REL_I64),
+            (I64LeS, "i64.le_s", 0x57, REL_I64),
+            (I64LeU, "i64.le_u", 0x58, REL_I64),
+            (I64GeS, "i64.ge_s", 0x59, REL_I64),
+            (I64GeU, "i64.ge_u", 0x5a, REL_I64),
+            (F32Eq, "f32.eq", 0x5b, REL_F32),
+            (F32Ne, "f32.ne", 0x5c, REL_F32),
+            (F32Lt, "f32.lt", 0x5d, REL_F32),
+            (F32Gt, "f32.gt", 0x5e, REL_F32),
+            (F32Le, "f32.le", 0x5f, REL_F32),
+            (F32Ge, "f32.ge", 0x60, REL_F32),
+            (F64Eq, "f64.eq", 0x61, REL_F64),
+            (F64Ne, "f64.ne", 0x62, REL_F64),
+            (F64Lt, "f64.lt", 0x63, REL_F64),
+            (F64Gt, "f64.gt", 0x64, REL_F64),
+            (F64Le, "f64.le", 0x65, REL_F64),
+            (F64Ge, "f64.ge", 0x66, REL_F64),
+            (I32Clz, "i32.clz", 0x67, UN_I32),
+            (I32Ctz, "i32.ctz", 0x68, UN_I32),
+            (I32Popcnt, "i32.popcnt", 0x69, UN_I32),
+            (I32Add, "i32.add", 0x6a, BIN_I32),
+            (I32Sub, "i32.sub", 0x6b, BIN_I32),
+            (I32Mul, "i32.mul", 0x6c, BIN_I32),
+            (I32DivS, "i32.div_s", 0x6d, BIN_I32),
+            (I32DivU, "i32.div_u", 0x6e, BIN_I32),
+            (I32RemS, "i32.rem_s", 0x6f, BIN_I32),
+            (I32RemU, "i32.rem_u", 0x70, BIN_I32),
+            (I32And, "i32.and", 0x71, BIN_I32),
+            (I32Or, "i32.or", 0x72, BIN_I32),
+            (I32Xor, "i32.xor", 0x73, BIN_I32),
+            (I32Shl, "i32.shl", 0x74, BIN_I32),
+            (I32ShrS, "i32.shr_s", 0x75, BIN_I32),
+            (I32ShrU, "i32.shr_u", 0x76, BIN_I32),
+            (I32Rotl, "i32.rotl", 0x77, BIN_I32),
+            (I32Rotr, "i32.rotr", 0x78, BIN_I32),
+            (I64Clz, "i64.clz", 0x79, UN_I64),
+            (I64Ctz, "i64.ctz", 0x7a, UN_I64),
+            (I64Popcnt, "i64.popcnt", 0x7b, UN_I64),
+            (I64Add, "i64.add", 0x7c, BIN_I64),
+            (I64Sub, "i64.sub", 0x7d, BIN_I64),
+            (I64Mul, "i64.mul", 0x7e, BIN_I64),
+            (I64DivS, "i64.div_s", 0x7f, BIN_I64),
+            (I64DivU, "i64.div_u", 0x80, BIN_I64),
+            (I64RemS, "i64.rem_s", 0x81, BIN_I64),
+            (I64RemU, "i64.rem_u", 0x82, BIN_I64),
+            (I64And, "i64.and", 0x83, BIN_I64),
+            (I64Or, "i64.or", 0x84, BIN_I64),
+            (I64Xor, "i64.xor", 0x85, BIN_I64),
+            (I64Shl, "i64.shl", 0x86, BIN_I64),
+            (I64ShrS, "i64.shr_s", 0x87, BIN_I64),
+            (I64ShrU, "i64.shr_u", 0x88, BIN_I64),
+            (I64Rotl, "i64.rotl", 0x89, BIN_I64),
+            (I64Rotr, "i64.rotr", 0x8a, BIN_I64),
+            (F32Abs, "f32.abs", 0x8b, UN_F32),
+            (F32Neg, "f32.neg", 0x8c, UN_F32),
+            (F32Ceil, "f32.ceil", 0x8d, UN_F32),
+            (F32Floor, "f32.floor", 0x8e, UN_F32),
+            (F32Trunc, "f32.trunc", 0x8f, UN_F32),
+            (F32Nearest, "f32.nearest", 0x90, UN_F32),
+            (F32Sqrt, "f32.sqrt", 0x91, UN_F32),
+            (F32Add, "f32.add", 0x92, BIN_F32),
+            (F32Sub, "f32.sub", 0x93, BIN_F32),
+            (F32Mul, "f32.mul", 0x94, BIN_F32),
+            (F32Div, "f32.div", 0x95, BIN_F32),
+            (F32Min, "f32.min", 0x96, BIN_F32),
+            (F32Max, "f32.max", 0x97, BIN_F32),
+            (F32Copysign, "f32.copysign", 0x98, BIN_F32),
+            (F64Abs, "f64.abs", 0x99, UN_F64),
+            (F64Neg, "f64.neg", 0x9a, UN_F64),
+            (F64Ceil, "f64.ceil", 0x9b, UN_F64),
+            (F64Floor, "f64.floor", 0x9c, UN_F64),
+            (F64Trunc, "f64.trunc", 0x9d, UN_F64),
+            (F64Nearest, "f64.nearest", 0x9e, UN_F64),
+            (F64Sqrt, "f64.sqrt", 0x9f, UN_F64),
+            (F64Add, "f64.add", 0xa0, BIN_F64),
+            (F64Sub, "f64.sub", 0xa1, BIN_F64),
+            (F64Mul, "f64.mul", 0xa2, BIN_F64),
+            (F64Div, "f64.div", 0xa3, BIN_F64),
+            (F64Min, "f64.min", 0xa4, BIN_F64),
+            (F64Max, "f64.max", 0xa5, BIN_F64),
+            (F64Copysign, "f64.copysign", 0xa6, BIN_F64),
+            (I32WrapI64, "i32.wrap_i64", 0xa7, CVT_I64_I32),
+            (I32TruncF32S, "i32.trunc_f32_s", 0xa8, CVT_F32_I32),
+            (I32TruncF32U, "i32.trunc_f32_u", 0xa9, CVT_F32_I32),
+            (I32TruncF64S, "i32.trunc_f64_s", 0xaa, CVT_F64_I32),
+            (I32TruncF64U, "i32.trunc_f64_u", 0xab, CVT_F64_I32),
+            (I64ExtendI32S, "i64.extend_i32_s", 0xac, CVT_I32_I64),
+            (I64ExtendI32U, "i64.extend_i32_u", 0xad, CVT_I32_I64),
+            (I64TruncF32S, "i64.trunc_f32_s", 0xae, CVT_F32_I64),
+            (I64TruncF32U, "i64.trunc_f32_u", 0xaf, CVT_F32_I64),
+            (I64TruncF64S, "i64.trunc_f64_s", 0xb0, CVT_F64_I64),
+            (I64TruncF64U, "i64.trunc_f64_u", 0xb1, CVT_F64_I64),
+            (F32ConvertI32S, "f32.convert_i32_s", 0xb2, CVT_I32_F32),
+            (F32ConvertI32U, "f32.convert_i32_u", 0xb3, CVT_I32_F32),
+            (F32ConvertI64S, "f32.convert_i64_s", 0xb4, CVT_I64_F32),
+            (F32ConvertI64U, "f32.convert_i64_u", 0xb5, CVT_I64_F32),
+            (F32DemoteF64, "f32.demote_f64", 0xb6, CVT_F64_F32),
+            (F64ConvertI32S, "f64.convert_i32_s", 0xb7, CVT_I32_F64),
+            (F64ConvertI32U, "f64.convert_i32_u", 0xb8, CVT_I32_F64),
+            (F64ConvertI64S, "f64.convert_i64_s", 0xb9, CVT_I64_F64),
+            (F64ConvertI64U, "f64.convert_i64_u", 0xba, CVT_I64_F64),
+            (F64PromoteF32, "f64.promote_f32", 0xbb, CVT_F32_F64),
+            (I32ReinterpretF32, "i32.reinterpret_f32", 0xbc, CVT_F32_I32),
+            (I64ReinterpretF64, "i64.reinterpret_f64", 0xbd, CVT_F64_I64),
+            (F32ReinterpretI32, "f32.reinterpret_i32", 0xbe, CVT_I32_F32),
+            (F64ReinterpretI64, "f64.reinterpret_i64", 0xbf, CVT_I64_F64),
+        }
+    };
+}
+
+/// Signature constants used by the `for_each_numop!` table.
+pub mod sig {
+    use crate::types::ValType::{self, F32, F64, I32, I64};
+
+    /// An instruction signature: operand types and result type.
+    pub type Sig = (&'static [ValType], ValType);
+
+    pub const TEST_I32: Sig = (&[I32], I32);
+    pub const REL_I32: Sig = (&[I32, I32], I32);
+    pub const TEST_I64: Sig = (&[I64], I32);
+    pub const REL_I64: Sig = (&[I64, I64], I32);
+    pub const REL_F32: Sig = (&[F32, F32], I32);
+    pub const REL_F64: Sig = (&[F64, F64], I32);
+    pub const UN_I32: Sig = (&[I32], I32);
+    pub const BIN_I32: Sig = (&[I32, I32], I32);
+    pub const UN_I64: Sig = (&[I64], I64);
+    pub const BIN_I64: Sig = (&[I64, I64], I64);
+    pub const UN_F32: Sig = (&[F32], F32);
+    pub const BIN_F32: Sig = (&[F32, F32], F32);
+    pub const UN_F64: Sig = (&[F64], F64);
+    pub const BIN_F64: Sig = (&[F64, F64], F64);
+    pub const CVT_I64_I32: Sig = (&[I64], I32);
+    pub const CVT_F32_I32: Sig = (&[F32], I32);
+    pub const CVT_F64_I32: Sig = (&[F64], I32);
+    pub const CVT_I32_I64: Sig = (&[I32], I64);
+    pub const CVT_F32_I64: Sig = (&[F32], I64);
+    pub const CVT_F64_I64: Sig = (&[F64], I64);
+    pub const CVT_I32_F32: Sig = (&[I32], F32);
+    pub const CVT_I64_F32: Sig = (&[I64], F32);
+    pub const CVT_F64_F32: Sig = (&[F64], F32);
+    pub const CVT_I32_F64: Sig = (&[I32], F64);
+    pub const CVT_I64_F64: Sig = (&[I64], F64);
+    pub const CVT_F32_F64: Sig = (&[F32], F64);
+}
+
+macro_rules! define_numop_enum {
+    ($(($v:ident, $mn:literal, $op:literal, $sig:ident),)*) => {
+        /// A plain numeric instruction (no immediates): comparisons,
+        /// arithmetic, bit manipulation and conversions.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum NumOp {
+            $(#[doc = $mn] $v,)*
+        }
+
+        impl NumOp {
+            /// All numeric opcodes, in opcode order.
+            pub const ALL: &'static [NumOp] = &[$(NumOp::$v,)*];
+
+            /// The WAT mnemonic of the instruction.
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(NumOp::$v => $mn,)* }
+            }
+
+            /// The binary opcode byte.
+            pub fn opcode(self) -> u8 {
+                match self { $(NumOp::$v => $op,)* }
+            }
+
+            /// Decodes a numeric opcode from its binary byte.
+            pub fn from_opcode(b: u8) -> Option<NumOp> {
+                match b { $($op => Some(NumOp::$v),)* _ => None }
+            }
+
+            /// Looks up a numeric opcode by its WAT mnemonic.
+            pub fn from_mnemonic(s: &str) -> Option<NumOp> {
+                match s { $($mn => Some(NumOp::$v),)* _ => None }
+            }
+
+            /// The stack signature `(operands, result)`.
+            pub fn sig(self) -> sig::Sig {
+                match self { $(NumOp::$v => sig::$sig,)* }
+            }
+        }
+    };
+}
+
+for_each_numop!(define_numop_enum);
+
+impl NumOp {
+    /// Result value type of the instruction.
+    pub fn result(self) -> ValType {
+        self.sig().1
+    }
+}
+
+impl std::fmt::Display for NumOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+macro_rules! define_mem_ops {
+    (
+        $name:ident, $doc:literal:
+        $(($v:ident, $mn:literal, $op:literal, $vt:ident, $bytes:literal, $align:literal),)*
+    ) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $name {
+            $(#[doc = $mn] $v,)*
+        }
+
+        impl $name {
+            /// All variants, in opcode order.
+            pub const ALL: &'static [$name] = &[$($name::$v,)*];
+
+            /// The WAT mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self { $($name::$v => $mn,)* }
+            }
+
+            /// The binary opcode byte.
+            pub fn opcode(self) -> u8 {
+                match self { $($name::$v => $op,)* }
+            }
+
+            /// Decodes from a binary opcode byte.
+            pub fn from_opcode(b: u8) -> Option<$name> {
+                match b { $($op => Some($name::$v),)* _ => None }
+            }
+
+            /// Looks up by WAT mnemonic.
+            pub fn from_mnemonic(s: &str) -> Option<$name> {
+                match s { $($mn => Some($name::$v),)* _ => None }
+            }
+
+            /// The value type moved to/from the stack.
+            pub fn val_type(self) -> ValType {
+                match self { $($name::$v => ValType::$vt,)* }
+            }
+
+            /// Number of bytes accessed in linear memory.
+            pub fn access_bytes(self) -> u32 {
+                match self { $($name::$v => $bytes,)* }
+            }
+
+            /// The natural alignment exponent (log2 of access width).
+            pub fn natural_align(self) -> u32 {
+                match self { $($name::$v => $align,)* }
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.mnemonic())
+            }
+        }
+    };
+}
+
+define_mem_ops! {
+    LoadOp, "A linear-memory load instruction.":
+    (I32Load, "i32.load", 0x28, I32, 4, 2),
+    (I64Load, "i64.load", 0x29, I64, 8, 3),
+    (F32Load, "f32.load", 0x2a, F32, 4, 2),
+    (F64Load, "f64.load", 0x2b, F64, 8, 3),
+    (I32Load8S, "i32.load8_s", 0x2c, I32, 1, 0),
+    (I32Load8U, "i32.load8_u", 0x2d, I32, 1, 0),
+    (I32Load16S, "i32.load16_s", 0x2e, I32, 2, 1),
+    (I32Load16U, "i32.load16_u", 0x2f, I32, 2, 1),
+    (I64Load8S, "i64.load8_s", 0x30, I64, 1, 0),
+    (I64Load8U, "i64.load8_u", 0x31, I64, 1, 0),
+    (I64Load16S, "i64.load16_s", 0x32, I64, 2, 1),
+    (I64Load16U, "i64.load16_u", 0x33, I64, 2, 1),
+    (I64Load32S, "i64.load32_s", 0x34, I64, 4, 2),
+    (I64Load32U, "i64.load32_u", 0x35, I64, 4, 2),
+}
+
+define_mem_ops! {
+    StoreOp, "A linear-memory store instruction.":
+    (I32Store, "i32.store", 0x36, I32, 4, 2),
+    (I64Store, "i64.store", 0x37, I64, 8, 3),
+    (F32Store, "f32.store", 0x38, F32, 4, 2),
+    (F64Store, "f64.store", 0x39, F64, 8, 3),
+    (I32Store8, "i32.store8", 0x3a, I32, 1, 0),
+    (I32Store16, "i32.store16", 0x3b, I32, 2, 1),
+    (I64Store8, "i64.store8", 0x3c, I64, 1, 0),
+    (I64Store16, "i64.store16", 0x3d, I64, 2, 1),
+    (I64Store32, "i64.store32", 0x3e, I64, 4, 2),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numop_table_is_dense_and_consistent() {
+        assert_eq!(NumOp::ALL.len(), 123);
+        // Opcodes are exactly 0x45..=0xbf in order.
+        for (i, op) in NumOp::ALL.iter().enumerate() {
+            assert_eq!(op.opcode() as usize, 0x45 + i, "{op}");
+            assert_eq!(NumOp::from_opcode(op.opcode()), Some(*op));
+            assert_eq!(NumOp::from_mnemonic(op.mnemonic()), Some(*op));
+        }
+        assert_eq!(NumOp::from_opcode(0x44), None);
+        assert_eq!(NumOp::from_opcode(0xc0), None);
+    }
+
+    #[test]
+    fn memop_tables_round_trip() {
+        assert_eq!(LoadOp::ALL.len(), 14);
+        assert_eq!(StoreOp::ALL.len(), 9);
+        for op in LoadOp::ALL {
+            assert_eq!(LoadOp::from_opcode(op.opcode()), Some(*op));
+            assert_eq!(LoadOp::from_mnemonic(op.mnemonic()), Some(*op));
+            assert!(op.access_bytes().is_power_of_two());
+            assert_eq!(1 << op.natural_align(), op.access_bytes());
+        }
+        for op in StoreOp::ALL {
+            assert_eq!(StoreOp::from_opcode(op.opcode()), Some(*op));
+            assert_eq!(StoreOp::from_mnemonic(op.mnemonic()), Some(*op));
+            assert_eq!(1 << op.natural_align(), op.access_bytes());
+        }
+    }
+
+    #[test]
+    fn signatures_are_sensible() {
+        use crate::types::ValType::*;
+        assert_eq!(NumOp::I32Add.sig(), (&[I32, I32][..], I32));
+        assert_eq!(NumOp::F64Ge.sig(), (&[F64, F64][..], I32));
+        assert_eq!(NumOp::I64ExtendI32U.sig(), (&[I32][..], I64));
+        assert_eq!(NumOp::F32DemoteF64.sig(), (&[F64][..], F32));
+        assert_eq!(NumOp::I64ReinterpretF64.sig(), (&[F64][..], I64));
+    }
+}

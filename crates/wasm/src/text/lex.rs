@@ -1,0 +1,230 @@
+//! Tokenizer for the WAT subset.
+
+use crate::error::{Error, Result};
+
+/// A WAT token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// A bare atom: keyword, mnemonic, number, `offset=N`, etc.
+    Atom(String),
+    /// A `$`-prefixed identifier (without the `$`).
+    Id(String),
+    /// A string literal (decoded bytes).
+    Str(Vec<u8>),
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes WAT source text.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b';' if i + 1 < bytes.len() && bytes[i + 1] == b';' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'(' if i + 1 < bytes.len() && bytes[i + 1] == b';' => {
+                // block comment, nestable
+                let (sl, sc) = (line, col);
+                let mut depth = 0;
+                while i < bytes.len() {
+                    if bytes[i] == b'(' && i + 1 < bytes.len() && bytes[i + 1] == b';' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if bytes[i] == b';' && i + 1 < bytes.len() && bytes[i + 1] == b')' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        bump!();
+                    }
+                }
+                if depth != 0 {
+                    return Err(Error::parse(sl, sc, "unterminated block comment"));
+                }
+            }
+            b'(' => {
+                out.push(Token { tok: Tok::LParen, line, col });
+                bump!();
+            }
+            b')' => {
+                out.push(Token { tok: Tok::RParen, line, col });
+                bump!();
+            }
+            b'"' => {
+                let (sl, sc) = (line, col);
+                bump!();
+                let mut s = Vec::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::parse(sl, sc, "unterminated string"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            if i >= bytes.len() {
+                                return Err(Error::parse(line, col, "bad escape"));
+                            }
+                            let e = bytes[i];
+                            bump!();
+                            match e {
+                                b'n' => s.push(b'\n'),
+                                b't' => s.push(b'\t'),
+                                b'r' => s.push(b'\r'),
+                                b'\\' => s.push(b'\\'),
+                                b'"' => s.push(b'"'),
+                                b'\'' => s.push(b'\''),
+                                h1 if h1.is_ascii_hexdigit() => {
+                                    if i >= bytes.len() || !bytes[i].is_ascii_hexdigit() {
+                                        return Err(Error::parse(line, col, "bad hex escape"));
+                                    }
+                                    let h2 = bytes[i];
+                                    bump!();
+                                    let hex = |b: u8| -> u8 {
+                                        match b {
+                                            b'0'..=b'9' => b - b'0',
+                                            b'a'..=b'f' => b - b'a' + 10,
+                                            b'A'..=b'F' => b - b'A' + 10,
+                                            _ => unreachable!(),
+                                        }
+                                    };
+                                    s.push(hex(h1) * 16 + hex(h2));
+                                }
+                                _ => return Err(Error::parse(line, col, "unknown escape")),
+                            }
+                        }
+                        b => {
+                            s.push(b);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(Token { tok: Tok::Str(s), line: sl, col: sc });
+            }
+            b'$' => {
+                let (sl, sc) = (line, col);
+                bump!();
+                let start = i;
+                while i < bytes.len() && is_idchar(bytes[i]) {
+                    bump!();
+                }
+                if start == i {
+                    return Err(Error::parse(sl, sc, "empty identifier"));
+                }
+                out.push(Token {
+                    tok: Tok::Id(String::from_utf8_lossy(&bytes[start..i]).into_owned()),
+                    line: sl,
+                    col: sc,
+                });
+            }
+            _ if is_idchar(c) => {
+                let (sl, sc) = (line, col);
+                let start = i;
+                while i < bytes.len() && is_idchar(bytes[i]) {
+                    bump!();
+                }
+                out.push(Token {
+                    tok: Tok::Atom(String::from_utf8_lossy(&bytes[start..i]).into_owned()),
+                    line: sl,
+                    col: sc,
+                });
+            }
+            _ => {
+                return Err(Error::parse(line, col, format!("unexpected character {:?}", c as char)))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_idchar(c: u8) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            b'!' | b'#' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' | b'/' | b':'
+                | b'<' | b'=' | b'>' | b'?' | b'@' | b'\\' | b'^' | b'_' | b'`' | b'|' | b'~'
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex(r#"(module $m "a\00b" i32.const -5) ;; comment"#).unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(kinds.len(), 7);
+        assert_eq!(*kinds[0], Tok::LParen);
+        assert_eq!(*kinds[1], Tok::Atom("module".into()));
+        assert_eq!(*kinds[2], Tok::Id("m".into()));
+        assert_eq!(*kinds[3], Tok::Str(b"a\0b".to_vec()));
+        assert_eq!(*kinds[4], Tok::Atom("i32.const".into()));
+        assert_eq!(*kinds[5], Tok::Atom("-5".into()));
+        assert_eq!(*kinds[6], Tok::RParen);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("(\n  foo)").unwrap();
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("(; outer (; inner ;) still ;) x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].tok, Tok::Atom("x".into()));
+        assert!(lex("(; unterminated").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""\n\t\"\\\41""#).unwrap();
+        assert_eq!(toks[0].tok, Tok::Str(b"\n\t\"\\A".to_vec()));
+        assert!(lex(r#""\q""#).is_err());
+        assert!(lex(r#""open"#).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! The WebAssembly text format (WAT), subset.
+//!
+//! The paper's instrumentation prototype operates on the text format
+//! (§4: "the WebAssembly text format is easier to parse, analyze and
+//! manipulate"). We support a practical subset — every module field of
+//! the MVP, symbolic `$names` for functions / globals / locals, flat
+//! instruction sequences with `block`/`loop`/`if`/`else`/`end`, and
+//! folded form for plain (non-control) instructions.
+//!
+//! # Example
+//!
+//! ```
+//! let m = acctee_wasm::text::parse_module(r#"
+//!   (module
+//!     (memory 1)
+//!     (func $add (param $a i32) (param $b i32) (result i32)
+//!       local.get $a
+//!       local.get $b
+//!       i32.add)
+//!     (export "add" (func $add)))
+//! "#).unwrap();
+//! acctee_wasm::validate::validate_module(&m).unwrap();
+//! let text = acctee_wasm::text::print_module(&m);
+//! let again = acctee_wasm::text::parse_module(&text).unwrap();
+//! assert_eq!(m, again);
+//! ```
+
+mod lex;
+mod parse;
+mod print;
+pub mod script;
+
+pub use parse::parse_module;
+pub use print::print_module;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_module;
+
+    #[test]
+    fn parse_print_round_trip() {
+        let src = r#"
+          (module
+            (memory 2 16)
+            (global $c (mut i64) (i64.const 0))
+            (func $f (param $n i32) (result i64) (local $i i32)
+              block
+                loop
+                  local.get $i
+                  local.get $n
+                  i32.ge_s
+                  br_if 1
+                  global.get $c
+                  i64.const 3
+                  i64.add
+                  global.set $c
+                  local.get $i
+                  i32.const 1
+                  i32.add
+                  local.set $i
+                  br 0
+                end
+              end
+              global.get $c)
+            (export "f" (func $f)))
+        "#;
+        let m = parse_module(src).unwrap();
+        validate_module(&m).unwrap();
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn folded_plain_instructions() {
+        let m = parse_module(
+            "(module (func $f (result i32) (i32.add (i32.const 1) (i32.const 2))))",
+        )
+        .unwrap();
+        validate_module(&m).unwrap();
+        assert_eq!(m.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn if_else_flat() {
+        let m = parse_module(
+            r#"(module (func $f (param i32) (result i32)
+                 local.get 0
+                 if (result i32)
+                   i32.const 1
+                 else
+                   i32.const 2
+                 end))"#,
+        )
+        .unwrap();
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn data_and_import() {
+        let m = parse_module(
+            r#"(module
+                 (import "env" "io_write" (func $w (param i32 i32) (result i32)))
+                 (memory 1)
+                 (data (i32.const 16) "hi\00")
+               )"#,
+        )
+        .unwrap();
+        assert_eq!(m.imports.len(), 1);
+        assert_eq!(m.datas[0].bytes, b"hi\0");
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_module("(module (func $f i32.bogus))").unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("parse error"), "{s}");
+    }
+}

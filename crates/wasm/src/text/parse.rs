@@ -1,0 +1,968 @@
+//! Parser for the WAT subset: token stream → s-expression tree →
+//! [`Module`].
+
+use std::collections::HashMap;
+
+use super::lex::{lex, Tok, Token};
+use crate::error::{Error, Result};
+use crate::instr::{BlockType, ConstExpr, Instr, MemArg};
+use crate::module::{
+    Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module,
+};
+use crate::op::{LoadOp, NumOp, StoreOp};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+/// A parsed s-expression.
+#[derive(Debug, Clone)]
+pub(crate) enum SExpr {
+    List(Vec<SExpr>, usize, usize),
+    Atom(String, usize, usize),
+    Id(String, usize, usize),
+    Str(Vec<u8>, usize, usize),
+}
+
+impl SExpr {
+    fn pos(&self) -> (usize, usize) {
+        match self {
+            SExpr::List(_, l, c) | SExpr::Atom(_, l, c) | SExpr::Id(_, l, c)
+            | SExpr::Str(_, l, c) => (*l, *c),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (l, c) = self.pos();
+        Error::parse(l, c, msg)
+    }
+
+    pub(crate) fn as_list(&self) -> Result<&[SExpr]> {
+        match self {
+            SExpr::List(items, _, _) => Ok(items),
+            _ => Err(self.err("expected a parenthesised list")),
+        }
+    }
+
+    pub(crate) fn as_atom(&self) -> Option<&str> {
+        match self {
+            SExpr::Atom(a, _, _) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_string(&self) -> Option<String> {
+        match self {
+            SExpr::Str(s, _, _) => Some(String::from_utf8_lossy(s).into_owned()),
+            _ => None,
+        }
+    }
+
+    fn head(&self) -> Result<&str> {
+        match self.as_list()?.first() {
+            Some(SExpr::Atom(a, _, _)) => Ok(a),
+            _ => Err(self.err("expected a keyword-headed list")),
+        }
+    }
+}
+
+fn build_sexprs(tokens: &[Token]) -> Result<Vec<SExpr>> {
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < tokens.len() {
+        let (e, next) = build_one(tokens, pos)?;
+        out.push(e);
+        pos = next;
+    }
+    Ok(out)
+}
+
+fn build_one(tokens: &[Token], pos: usize) -> Result<(SExpr, usize)> {
+    let t = tokens
+        .get(pos)
+        .ok_or_else(|| Error::parse(0, 0, "unexpected end of input"))?;
+    match &t.tok {
+        Tok::LParen => {
+            let mut items = Vec::new();
+            let mut p = pos + 1;
+            loop {
+                match tokens.get(p) {
+                    Some(Token { tok: Tok::RParen, .. }) => {
+                        return Ok((SExpr::List(items, t.line, t.col), p + 1));
+                    }
+                    Some(_) => {
+                        let (e, next) = build_one(tokens, p)?;
+                        items.push(e);
+                        p = next;
+                    }
+                    None => return Err(Error::parse(t.line, t.col, "unclosed `(`")),
+                }
+            }
+        }
+        Tok::RParen => Err(Error::parse(t.line, t.col, "unexpected `)`")),
+        Tok::Atom(a) => Ok((SExpr::Atom(a.clone(), t.line, t.col), pos + 1)),
+        Tok::Id(i) => Ok((SExpr::Id(i.clone(), t.line, t.col), pos + 1)),
+        Tok::Str(s) => Ok((SExpr::Str(s.clone(), t.line, t.col), pos + 1)),
+    }
+}
+
+/// Symbol tables for index-space name resolution.
+#[derive(Debug, Default)]
+struct Names {
+    funcs: HashMap<String, u32>,
+    globals: HashMap<String, u32>,
+}
+
+/// Parses WAT source text into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with line/column info on malformed input.
+pub fn parse_module(src: &str) -> Result<Module> {
+    let tokens = lex(src)?;
+    let exprs = build_sexprs(&tokens)?;
+    let module_expr = match exprs.as_slice() {
+        [one] => one,
+        _ => return Err(Error::parse(1, 1, "expected exactly one (module ...) form")),
+    };
+    parse_module_sexpr(module_expr)
+}
+
+/// Alias used by the script front end.
+pub(crate) use SExpr as SExprPub;
+
+/// Splits a multi-form source (a script) into `(head, form)` pairs.
+pub(crate) fn split_top_level(src: &str) -> Result<Vec<(String, SExpr)>> {
+    let tokens = lex(src)?;
+    let exprs = build_sexprs(&tokens)?;
+    exprs
+        .into_iter()
+        .map(|e| {
+            let head = e.head()?.to_string();
+            Ok((head, e))
+        })
+        .collect()
+}
+
+/// Parses a list of constant expressions (script arguments/results).
+pub(crate) fn parse_const_list(items: &[SExpr]) -> Result<Vec<ConstExpr>> {
+    let names = Names::default();
+    items.iter().map(|e| parse_const_expr(e, &names)).collect()
+}
+
+/// Parses a single `(module ...)` s-expression.
+pub(crate) fn parse_module_sexpr(module_expr: &SExpr) -> Result<Module> {
+    let items = module_expr.as_list()?;
+    match items.first() {
+        Some(SExpr::Atom(a, _, _)) if a == "module" => {}
+        _ => return Err(module_expr.err("expected (module ...)")),
+    }
+    let fields = &items[1..];
+
+    // Pass A: assign indices to named functions/globals (imports first).
+    let mut names = Names::default();
+    let mut n_func = 0u32;
+    let mut n_global = 0u32;
+    for f in fields {
+        match f.head()? {
+            "import" => {
+                let l = f.as_list()?;
+                let desc = l.get(3).ok_or_else(|| f.err("import needs a descriptor"))?;
+                match desc.head()? {
+                    "func" => {
+                        if let Some(SExpr::Id(n, _, _)) = desc.as_list()?.get(1) {
+                            names.funcs.insert(n.clone(), n_func);
+                        }
+                        n_func += 1;
+                    }
+                    "global" => {
+                        if let Some(SExpr::Id(n, _, _)) = desc.as_list()?.get(1) {
+                            names.globals.insert(n.clone(), n_global);
+                        }
+                        n_global += 1;
+                    }
+                    _ => {}
+                }
+            }
+            "func" => {
+                if let Some(SExpr::Id(n, _, _)) = f.as_list()?.get(1) {
+                    names.funcs.insert(n.clone(), n_func);
+                }
+                n_func += 1;
+            }
+            "global" => {
+                if let Some(SExpr::Id(n, _, _)) = f.as_list()?.get(1) {
+                    names.globals.insert(n.clone(), n_global);
+                }
+                n_global += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Pass B: parse fields.
+    let mut m = Module::new();
+    for f in fields {
+        parse_field(&mut m, &names, f)?;
+    }
+    Ok(m)
+}
+
+fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
+    match f.head()? {
+        "memory" => {
+            let l = f.as_list()?;
+            let limits = parse_limits(&l[1..], f)?;
+            m.memories.push(MemoryType { limits });
+        }
+        "table" => {
+            let l = f.as_list()?;
+            // (table MIN [MAX] funcref)
+            let mut nums = Vec::new();
+            for e in &l[1..] {
+                if let SExpr::Atom(a, _, _) = e {
+                    if a == "funcref" || a == "anyfunc" {
+                        continue;
+                    }
+                    nums.push(parse_u32(a, e)?);
+                }
+            }
+            let limits = match nums.as_slice() {
+                [min] => Limits::new(*min, None),
+                [min, max] => Limits::new(*min, Some(*max)),
+                _ => return Err(f.err("table needs limits")),
+            };
+            m.tables.push(TableType { limits });
+        }
+        "global" => {
+            let l = f.as_list()?;
+            let mut i = 1;
+            let name = match l.get(i) {
+                Some(SExpr::Id(n, _, _)) => {
+                    i += 1;
+                    Some(n.clone())
+                }
+                _ => None,
+            };
+            let ty = parse_global_type(l.get(i).ok_or_else(|| f.err("global needs a type"))?)?;
+            i += 1;
+            let init = parse_const_expr(
+                l.get(i).ok_or_else(|| f.err("global needs an initialiser"))?,
+                names,
+            )?;
+            m.globals.push(Global { ty, init, name });
+        }
+        "func" => {
+            parse_func(m, names, f)?;
+        }
+        "import" => {
+            let l = f.as_list()?;
+            let (module, name) = match (&l[1], &l[2]) {
+                (SExpr::Str(a, _, _), SExpr::Str(b, _, _)) => (
+                    String::from_utf8_lossy(a).into_owned(),
+                    String::from_utf8_lossy(b).into_owned(),
+                ),
+                _ => return Err(f.err("import needs two string names")),
+            };
+            let desc = &l[3];
+            let kind = match desc.head()? {
+                "func" => {
+                    let (params, results, _) = parse_func_sig(&desc.as_list()?[1..])?;
+                    let ty = m.intern_type(FuncType { params, results });
+                    ImportKind::Func(ty)
+                }
+                "memory" => {
+                    let dl = desc.as_list()?;
+                    ImportKind::Memory(MemoryType { limits: parse_limits(&dl[1..], desc)? })
+                }
+                "table" => {
+                    let dl = desc.as_list()?;
+                    let nums: Vec<u32> = dl[1..]
+                        .iter()
+                        .filter_map(|e| match e {
+                            SExpr::Atom(a, _, _) if a != "funcref" => parse_u32(a, e).ok(),
+                            _ => None,
+                        })
+                        .collect();
+                    let limits = match nums.as_slice() {
+                        [min] => Limits::new(*min, None),
+                        [min, max] => Limits::new(*min, Some(*max)),
+                        _ => return Err(desc.err("table import needs limits")),
+                    };
+                    ImportKind::Table(TableType { limits })
+                }
+                "global" => {
+                    let dl = desc.as_list()?;
+                    let idx = if matches!(dl.get(1), Some(SExpr::Id(_, _, _))) { 2 } else { 1 };
+                    ImportKind::Global(parse_global_type(
+                        dl.get(idx).ok_or_else(|| desc.err("global import needs type"))?,
+                    )?)
+                }
+                other => return Err(desc.err(format!("unsupported import kind {other}"))),
+            };
+            m.imports.push(Import { module, name, kind });
+        }
+        "export" => {
+            let l = f.as_list()?;
+            let name = match &l[1] {
+                SExpr::Str(s, _, _) => String::from_utf8_lossy(s).into_owned(),
+                _ => return Err(f.err("export needs a string name")),
+            };
+            let desc = &l[2];
+            let dl = desc.as_list()?;
+            let idx_expr = dl.get(1).ok_or_else(|| desc.err("export descriptor needs index"))?;
+            let kind = match desc.head()? {
+                "func" => ExportKind::Func(resolve_idx(idx_expr, &names.funcs)?),
+                "global" => ExportKind::Global(resolve_idx(idx_expr, &names.globals)?),
+                "memory" => ExportKind::Memory(resolve_raw_idx(idx_expr)?),
+                "table" => ExportKind::Table(resolve_raw_idx(idx_expr)?),
+                other => return Err(desc.err(format!("unsupported export kind {other}"))),
+            };
+            m.exports.push(Export { name, kind });
+        }
+        "start" => {
+            let l = f.as_list()?;
+            m.start = Some(resolve_idx(&l[1], &names.funcs)?);
+        }
+        "data" => {
+            let l = f.as_list()?;
+            let offset = parse_const_expr(&l[1], names)?;
+            let mut bytes = Vec::new();
+            for e in &l[2..] {
+                match e {
+                    SExpr::Str(s, _, _) => bytes.extend_from_slice(s),
+                    _ => return Err(e.err("data segment expects strings")),
+                }
+            }
+            m.datas.push(Data { memory: 0, offset, bytes });
+        }
+        "elem" => {
+            let l = f.as_list()?;
+            let offset = parse_const_expr(&l[1], names)?;
+            let mut funcs = Vec::new();
+            for e in &l[2..] {
+                funcs.push(resolve_idx(e, &names.funcs)?);
+            }
+            m.elems.push(Elem { table: 0, offset, funcs });
+        }
+        "type" => { /* explicit type declarations are interned on use */ }
+        other => return Err(f.err(format!("unsupported module field {other}"))),
+    }
+    Ok(())
+}
+
+/// Parsed signature: parameter types, result types, parameter names.
+type ParsedSig = (Vec<ValType>, Vec<ValType>, Vec<Option<String>>);
+
+/// Parses `(param ...)* (result ...)*` returning param names too.
+fn parse_func_sig(items: &[SExpr]) -> Result<ParsedSig> {
+    let mut params = Vec::new();
+    let mut param_names = Vec::new();
+    let mut results = Vec::new();
+    for e in items {
+        match e {
+            SExpr::Id(_, _, _) => continue, // inline name, handled by caller
+            SExpr::List(l, _, _) => match l.first() {
+                Some(SExpr::Atom(a, _, _)) if a == "param" => match l.get(1) {
+                    Some(SExpr::Id(n, _, _)) => {
+                        let t = expect_valtype(l.get(2), e)?;
+                        params.push(t);
+                        param_names.push(Some(n.clone()));
+                    }
+                    _ => {
+                        for te in &l[1..] {
+                            params.push(expect_valtype(Some(te), e)?);
+                            param_names.push(None);
+                        }
+                    }
+                },
+                Some(SExpr::Atom(a, _, _)) if a == "result" => {
+                    for te in &l[1..] {
+                        results.push(expect_valtype(Some(te), e)?);
+                    }
+                }
+                _ => return Err(e.err("expected (param ...) or (result ...)")),
+            },
+            _ => return Err(e.err("unexpected token in signature")),
+        }
+    }
+    Ok((params, results, param_names))
+}
+
+fn expect_valtype(e: Option<&SExpr>, ctx: &SExpr) -> Result<ValType> {
+    match e {
+        Some(SExpr::Atom(a, _, _)) => {
+            ValType::from_mnemonic(a).ok_or_else(|| ctx.err(format!("unknown type {a}")))
+        }
+        _ => Err(ctx.err("expected a value type")),
+    }
+}
+
+fn parse_limits(items: &[SExpr], ctx: &SExpr) -> Result<Limits> {
+    let mut nums = Vec::new();
+    for e in items {
+        if let SExpr::Atom(a, _, _) = e {
+            nums.push(parse_u32(a, e)?);
+        }
+    }
+    match nums.as_slice() {
+        [min] => Ok(Limits::new(*min, None)),
+        [min, max] => Ok(Limits::new(*min, Some(*max))),
+        _ => Err(ctx.err("expected limits: MIN [MAX]")),
+    }
+}
+
+fn parse_global_type(e: &SExpr) -> Result<GlobalType> {
+    match e {
+        SExpr::Atom(a, _, _) => ValType::from_mnemonic(a)
+            .map(GlobalType::immutable)
+            .ok_or_else(|| e.err(format!("unknown type {a}"))),
+        SExpr::List(l, _, _) => match (l.first(), l.get(1)) {
+            (Some(SExpr::Atom(k, _, _)), Some(SExpr::Atom(t, _, _))) if k == "mut" => {
+                ValType::from_mnemonic(t)
+                    .map(GlobalType::mutable)
+                    .ok_or_else(|| e.err(format!("unknown type {t}")))
+            }
+            _ => Err(e.err("expected (mut TYPE)")),
+        },
+        _ => Err(e.err("expected a global type")),
+    }
+}
+
+fn parse_const_expr(e: &SExpr, names: &Names) -> Result<ConstExpr> {
+    let l = e.as_list()?;
+    let head = e.head()?;
+    let arg = l.get(1).ok_or_else(|| e.err("const expr needs an operand"))?;
+    match head {
+        "i32.const" => Ok(ConstExpr::I32(parse_i32(atom(arg)?, arg)?)),
+        "i64.const" => Ok(ConstExpr::I64(parse_i64(atom(arg)?, arg)?)),
+        "f32.const" => Ok(ConstExpr::F32(parse_f64(atom(arg)?, arg)? as f32)),
+        "f64.const" => Ok(ConstExpr::F64(parse_f64(atom(arg)?, arg)?)),
+        "global.get" => Ok(ConstExpr::GlobalGet(resolve_idx(arg, &names.globals)?)),
+        other => Err(e.err(format!("unsupported const expr {other}"))),
+    }
+}
+
+fn atom(e: &SExpr) -> Result<&str> {
+    match e {
+        SExpr::Atom(a, _, _) => Ok(a),
+        _ => Err(e.err("expected an atom")),
+    }
+}
+
+fn resolve_idx(e: &SExpr, table: &HashMap<String, u32>) -> Result<u32> {
+    match e {
+        SExpr::Id(n, _, _) => table
+            .get(n)
+            .copied()
+            .ok_or_else(|| e.err(format!("unknown name ${n}"))),
+        SExpr::Atom(a, _, _) => parse_u32(a, e),
+        _ => Err(e.err("expected an index or $name")),
+    }
+}
+
+fn resolve_raw_idx(e: &SExpr) -> Result<u32> {
+    match e {
+        SExpr::Atom(a, _, _) => parse_u32(a, e),
+        SExpr::Id(_, _, _) => Ok(0),
+        _ => Err(e.err("expected an index")),
+    }
+}
+
+fn strip_underscores(s: &str) -> String {
+    s.replace('_', "")
+}
+
+fn parse_u32(s: &str, ctx: &SExpr) -> Result<u32> {
+    let s = strip_underscores(s);
+    let r = if let Some(h) = s.strip_prefix("0x") {
+        u32::from_str_radix(h, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| ctx.err(format!("bad u32 {s}")))
+}
+
+fn parse_i32(s: &str, ctx: &SExpr) -> Result<i32> {
+    parse_i64(s, ctx).and_then(|v| {
+        // Accept the full u32 range written unsigned, per WAT rules.
+        if v >= i64::from(i32::MIN) && v <= i64::from(u32::MAX) {
+            Ok(v as i32)
+        } else {
+            Err(ctx.err(format!("i32 out of range: {s}")))
+        }
+    })
+}
+
+fn parse_i64(s: &str, ctx: &SExpr) -> Result<i64> {
+    let s = strip_underscores(s);
+    let (neg, rest) = match s.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, s.strip_prefix('+').unwrap_or(&s)),
+    };
+    let mag = if let Some(h) = rest.strip_prefix("0x") {
+        u64::from_str_radix(h, 16)
+    } else {
+        rest.parse::<u64>()
+    }
+    .map_err(|_| ctx.err(format!("bad integer {s}")))?;
+    if neg {
+        if mag > (i64::MAX as u64) + 1 {
+            return Err(ctx.err(format!("integer out of range: {s}")));
+        }
+        Ok((mag as i64).wrapping_neg())
+    } else {
+        Ok(mag as i64)
+    }
+}
+
+fn parse_f64(s: &str, ctx: &SExpr) -> Result<f64> {
+    let t = strip_underscores(s);
+    match t.as_str() {
+        "inf" | "+inf" => return Ok(f64::INFINITY),
+        "-inf" => return Ok(f64::NEG_INFINITY),
+        "nan" | "+nan" => return Ok(f64::NAN),
+        "-nan" => return Ok(-f64::NAN),
+        _ => {}
+    }
+    if let Some(hex) = t.strip_prefix("nan:0x") {
+        let bits = u64::from_str_radix(hex, 16).map_err(|_| ctx.err("bad nan payload"))?;
+        return Ok(f64::from_bits(0x7ff0_0000_0000_0000 | bits));
+    }
+    t.parse::<f64>().map_err(|_| ctx.err(format!("bad float {s}")))
+}
+
+// ---------------------------------------------------------------------
+// Function bodies
+// ---------------------------------------------------------------------
+
+struct BodyCtx<'a> {
+    names: &'a Names,
+    locals: HashMap<String, u32>,
+    labels: Vec<Option<String>>,
+}
+
+impl BodyCtx<'_> {
+    fn resolve_local(&self, e: &SExpr) -> Result<u32> {
+        match e {
+            SExpr::Id(n, _, _) => self
+                .locals
+                .get(n)
+                .copied()
+                .ok_or_else(|| e.err(format!("unknown local ${n}"))),
+            SExpr::Atom(a, _, _) => parse_u32(a, e),
+            _ => Err(e.err("expected local index")),
+        }
+    }
+
+    fn resolve_label(&self, e: &SExpr) -> Result<u32> {
+        match e {
+            SExpr::Id(n, _, _) => {
+                for (depth, l) in self.labels.iter().rev().enumerate() {
+                    if l.as_deref() == Some(n) {
+                        return Ok(depth as u32);
+                    }
+                }
+                Err(e.err(format!("unknown label ${n}")))
+            }
+            SExpr::Atom(a, _, _) => parse_u32(a, e),
+            _ => Err(e.err("expected label")),
+        }
+    }
+}
+
+fn parse_func(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
+    let l = f.as_list()?;
+    let mut i = 1;
+    let name = match l.get(i) {
+        Some(SExpr::Id(n, _, _)) => {
+            i += 1;
+            Some(n.clone())
+        }
+        _ => None,
+    };
+    // Inline (export "n") sugar.
+    let mut inline_exports = Vec::new();
+    while let Some(SExpr::List(dl, _, _)) = l.get(i) {
+        if let Some(SExpr::Atom(a, _, _)) = dl.first() {
+            if a == "export" {
+                if let Some(SExpr::Str(s, _, _)) = dl.get(1) {
+                    inline_exports.push(String::from_utf8_lossy(s).into_owned());
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    // Signature: consume (param ...) and (result ...) forms.
+    let mut sig_items = Vec::new();
+    while let Some(SExpr::List(dl, _, _)) = l.get(i) {
+        match dl.first() {
+            Some(SExpr::Atom(a, _, _)) if a == "param" || a == "result" => {
+                sig_items.push(l[i].clone());
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let (params, results, param_names) = parse_func_sig(&sig_items)?;
+    // Locals.
+    let mut locals = Vec::new();
+    let mut local_names: Vec<Option<String>> = Vec::new();
+    while let Some(SExpr::List(dl, _, _)) = l.get(i) {
+        match dl.first() {
+            Some(SExpr::Atom(a, _, _)) if a == "local" => {
+                match dl.get(1) {
+                    Some(SExpr::Id(n, _, _)) => {
+                        locals.push(expect_valtype(dl.get(2), &l[i])?);
+                        local_names.push(Some(n.clone()));
+                    }
+                    _ => {
+                        for te in &dl[1..] {
+                            locals.push(expect_valtype(Some(te), &l[i])?);
+                            local_names.push(None);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+
+    let mut ctx = BodyCtx { names, locals: HashMap::new(), labels: Vec::new() };
+    for (idx, n) in param_names.iter().enumerate() {
+        if let Some(n) = n {
+            ctx.locals.insert(n.clone(), idx as u32);
+        }
+    }
+    for (idx, n) in local_names.iter().enumerate() {
+        if let Some(n) = n {
+            ctx.locals.insert(n.clone(), (params.len() + idx) as u32);
+        }
+    }
+
+    let mut body = Vec::new();
+    let mut rest = &l[i..];
+    while !rest.is_empty() {
+        let consumed = parse_instr(&mut body, rest, &mut ctx)?;
+        rest = &rest[consumed..];
+    }
+
+    let ty = m.intern_type(FuncType { params, results });
+    let idx = m.num_funcs();
+    m.funcs.push(Func { ty, locals, body, name });
+    for e in inline_exports {
+        m.exports.push(Export { name: e, kind: ExportKind::Func(idx) });
+    }
+    Ok(())
+}
+
+/// Parses one instruction (which may be a folded list or a flat atom
+/// with trailing immediates / block structure) from `rest`, appending
+/// to `out`. Returns how many s-expressions were consumed.
+fn parse_instr(out: &mut Vec<Instr>, rest: &[SExpr], ctx: &mut BodyCtx) -> Result<usize> {
+    match &rest[0] {
+        SExpr::List(items, _, _) => {
+            // Folded plain instruction: (op operand* )
+            let head = rest[0].head()?;
+            if matches!(head, "block" | "loop" | "if" | "else" | "end") {
+                return Err(rest[0].err("folded control instructions are not supported"));
+            }
+            // Operands may themselves be folded lists; trailing atoms are
+            // immediates of the head instruction.
+            let mut imm_end = items.len();
+            let mut operands_start = 1;
+            // immediates directly follow the mnemonic (atoms / $ids that
+            // are not instruction mnemonics)
+            while operands_start < imm_end {
+                match &items[operands_start] {
+                    SExpr::List(_, _, _) => break,
+                    _ => operands_start += 1,
+                }
+            }
+            // parse nested operand expressions first
+            for op in &items[operands_start..] {
+                let consumed = parse_instr(out, std::slice::from_ref(op), ctx)?;
+                debug_assert_eq!(consumed, 1);
+            }
+            imm_end = operands_start;
+            emit_flat(out, head, &items[1..imm_end], &rest[0], ctx)?;
+            Ok(1)
+        }
+        SExpr::Atom(a, _, _) => {
+            match a.as_str() {
+                "block" | "loop" | "if" => {
+                    let kind = a.clone();
+                    let mut used = 1;
+                    let label = match rest.get(used) {
+                        Some(SExpr::Id(n, _, _)) => {
+                            used += 1;
+                            Some(n.clone())
+                        }
+                        _ => None,
+                    };
+                    let mut ty = BlockType::Empty;
+                    if let Some(SExpr::List(dl, _, _)) = rest.get(used) {
+                        if let Some(SExpr::Atom(h, _, _)) = dl.first() {
+                            if h == "result" {
+                                ty = BlockType::Value(expect_valtype(dl.get(1), &rest[used])?);
+                                used += 1;
+                            }
+                        }
+                    }
+                    ctx.labels.push(label);
+                    let mut body = Vec::new();
+                    let mut els = Vec::new();
+                    let mut in_else = false;
+                    loop {
+                        match rest.get(used) {
+                            Some(SExpr::Atom(t, _, _)) if t == "end" => {
+                                used += 1;
+                                break;
+                            }
+                            Some(SExpr::Atom(t, _, _)) if t == "else" && kind == "if" => {
+                                used += 1;
+                                in_else = true;
+                            }
+                            Some(_) => {
+                                let sink = if in_else { &mut els } else { &mut body };
+                                used += parse_instr(sink, &rest[used..], ctx)?;
+                            }
+                            None => return Err(rest[0].err("missing `end`")),
+                        }
+                    }
+                    ctx.labels.pop();
+                    let instr = match kind.as_str() {
+                        "block" => Instr::Block { ty, body },
+                        "loop" => Instr::Loop { ty, body },
+                        _ => Instr::If { ty, then: body, els },
+                    };
+                    out.push(instr);
+                    Ok(used)
+                }
+                "else" | "end" => Err(rest[0].err(format!("unexpected `{a}`"))),
+                _ => {
+                    // flat instruction: mnemonic + immediates
+                    let n_imm = immediate_count(a, &rest[1..]);
+                    emit_flat(out, a, &rest[1..1 + n_imm], &rest[0], ctx)?;
+                    Ok(1 + n_imm)
+                }
+            }
+        }
+        other => Err(other.err("expected an instruction")),
+    }
+}
+
+/// How many of the following s-exprs are immediates of mnemonic `a`.
+fn immediate_count(a: &str, following: &[SExpr]) -> usize {
+    match a {
+        "br" | "br_if" | "call" | "call_indirect" | "local.get" | "local.set" | "local.tee"
+        | "global.get" | "global.set" | "i32.const" | "i64.const" | "f32.const"
+        | "f64.const" => 1,
+        "br_table" => {
+            // all following atoms/ids that look like labels (numbers or
+            // `$`-names); stops at keywords like `end`
+            following
+                .iter()
+                .take_while(|e| match e {
+                    SExpr::Id(_, _, _) => true,
+                    SExpr::Atom(a, _, _) => a.chars().next().is_some_and(|c| c.is_ascii_digit()),
+                    _ => false,
+                })
+                .count()
+        }
+        _ if LoadOp::from_mnemonic(a).is_some() || StoreOp::from_mnemonic(a).is_some() => {
+            following
+                .iter()
+                .take_while(|e| {
+                    matches!(e, SExpr::Atom(s, _, _)
+                        if s.starts_with("offset=") || s.starts_with("align="))
+                })
+                .count()
+        }
+        _ => 0,
+    }
+}
+
+fn emit_flat(
+    out: &mut Vec<Instr>,
+    mnemonic: &str,
+    imms: &[SExpr],
+    ctx_e: &SExpr,
+    ctx: &mut BodyCtx,
+) -> Result<()> {
+    let imm0 = imms.first();
+    let instr = match mnemonic {
+        "unreachable" => Instr::Unreachable,
+        "nop" => Instr::Nop,
+        "br" => Instr::Br(ctx.resolve_label(req(imm0, ctx_e)?)?),
+        "br_if" => Instr::BrIf(ctx.resolve_label(req(imm0, ctx_e)?)?),
+        "br_table" => {
+            if imms.is_empty() {
+                return Err(ctx_e.err("br_table needs targets"));
+            }
+            let mut all = Vec::new();
+            for e in imms {
+                all.push(ctx.resolve_label(e)?);
+            }
+            let default = all.pop().expect("non-empty");
+            Instr::BrTable { targets: all, default }
+        }
+        "return" => Instr::Return,
+        "call" => Instr::Call(resolve_idx(req(imm0, ctx_e)?, &ctx.names.funcs)?),
+        "call_indirect" => {
+            // we only support numeric type index immediates
+            Instr::CallIndirect(parse_u32(atom(req(imm0, ctx_e)?)?, ctx_e)?)
+        }
+        "drop" => Instr::Drop,
+        "select" => Instr::Select,
+        "local.get" => Instr::LocalGet(ctx.resolve_local(req(imm0, ctx_e)?)?),
+        "local.set" => Instr::LocalSet(ctx.resolve_local(req(imm0, ctx_e)?)?),
+        "local.tee" => Instr::LocalTee(ctx.resolve_local(req(imm0, ctx_e)?)?),
+        "global.get" => Instr::GlobalGet(resolve_idx(req(imm0, ctx_e)?, &ctx.names.globals)?),
+        "global.set" => Instr::GlobalSet(resolve_idx(req(imm0, ctx_e)?, &ctx.names.globals)?),
+        "memory.size" => Instr::MemorySize,
+        "memory.grow" => Instr::MemoryGrow,
+        "i32.const" => Instr::I32Const(parse_i32(atom(req(imm0, ctx_e)?)?, ctx_e)?),
+        "i64.const" => Instr::I64Const(parse_i64(atom(req(imm0, ctx_e)?)?, ctx_e)?),
+        "f32.const" => Instr::F32Const(parse_f64(atom(req(imm0, ctx_e)?)?, ctx_e)? as f32),
+        "f64.const" => Instr::F64Const(parse_f64(atom(req(imm0, ctx_e)?)?, ctx_e)?),
+        _ => {
+            if let Some(op) = LoadOp::from_mnemonic(mnemonic) {
+                let m = parse_memarg(imms, op.natural_align(), ctx_e)?;
+                Instr::Load(op, m)
+            } else if let Some(op) = StoreOp::from_mnemonic(mnemonic) {
+                let m = parse_memarg(imms, op.natural_align(), ctx_e)?;
+                Instr::Store(op, m)
+            } else if let Some(op) = NumOp::from_mnemonic(mnemonic) {
+                Instr::Num(op)
+            } else {
+                return Err(ctx_e.err(format!("unknown instruction {mnemonic}")));
+            }
+        }
+    };
+    out.push(instr);
+    Ok(())
+}
+
+fn req<'a>(e: Option<&'a SExpr>, ctx: &SExpr) -> Result<&'a SExpr> {
+    e.ok_or_else(|| ctx.err("missing immediate"))
+}
+
+fn parse_memarg(imms: &[SExpr], natural_align: u32, ctx: &SExpr) -> Result<MemArg> {
+    let mut m = MemArg { align: natural_align, offset: 0 };
+    for e in imms {
+        let a = atom(e)?;
+        if let Some(v) = a.strip_prefix("offset=") {
+            m.offset = parse_u32(v, e)?;
+        } else if let Some(v) = a.strip_prefix("align=") {
+            let bytes = parse_u32(v, e)?;
+            if !bytes.is_power_of_two() {
+                return Err(ctx.err("align must be a power of two"));
+            }
+            m.align = bytes.trailing_zeros();
+        } else {
+            return Err(ctx.err(format!("bad memarg {a}")));
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_labels_resolve() {
+        let m = parse_module(
+            r#"(module (func $f
+                 block $out
+                   loop $top
+                     br $top
+                   end
+                 end))"#,
+        )
+        .unwrap();
+        match &m.funcs[0].body[0] {
+            Instr::Block { body, .. } => match &body[0] {
+                Instr::Loop { body, .. } => assert_eq!(body[0], Instr::Br(0)),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memarg_parses() {
+        let m = parse_module(
+            "(module (memory 1) (func $f (result i32) i32.const 0 i32.load offset=8 align=4))",
+        )
+        .unwrap();
+        match &m.funcs[0].body[1] {
+            Instr::Load(LoadOp::I32Load, ma) => {
+                assert_eq!(ma.offset, 8);
+                assert_eq!(ma.align, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let m = parse_module(
+            "(module (func $f
+               i64.const -0x10
+               drop
+               i32.const 4294967295
+               drop
+               f64.const -inf
+               drop
+               i64.const 1_000_000
+               drop))",
+        )
+        .unwrap();
+        assert_eq!(m.funcs[0].body[0], Instr::I64Const(-16));
+        assert_eq!(m.funcs[0].body[2], Instr::I32Const(-1));
+        assert_eq!(m.funcs[0].body[4], Instr::F64Const(f64::NEG_INFINITY));
+        assert_eq!(m.funcs[0].body[6], Instr::I64Const(1_000_000));
+    }
+
+    #[test]
+    fn inline_export_sugar() {
+        let m = parse_module(r#"(module (func $f (export "go") (result i32) i32.const 1))"#)
+            .unwrap();
+        assert_eq!(m.exported_func("go"), Some(0));
+    }
+
+    #[test]
+    fn br_table_targets() {
+        let m = parse_module(
+            "(module (func $f (param i32)
+               block block block
+                 local.get 0
+                 br_table 0 1 2
+               end end end))",
+        )
+        .unwrap();
+        fn innermost(body: &[Instr]) -> &Instr {
+            match &body[0] {
+                Instr::Block { body: b, .. } if matches!(b.first(), Some(Instr::Block { .. })) => {
+                    innermost(b)
+                }
+                Instr::Block { body: b, .. } => b.last().expect("instr"),
+                other => other,
+            }
+        }
+        match innermost(&m.funcs[0].body) {
+            Instr::BrTable { targets, default } => {
+                assert_eq!(targets, &vec![0, 1]);
+                assert_eq!(*default, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_instruction_is_error() {
+        assert!(parse_module("(module (func $f i32.frobnicate))").is_err());
+    }
+}

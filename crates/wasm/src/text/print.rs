@@ -1,0 +1,309 @@
+//! Printer for the WAT subset: [`Module`] → canonical flat text.
+
+use std::fmt::Write;
+
+use crate::instr::{BlockType, ConstExpr, Instr};
+use crate::module::{ExportKind, ImportKind, Module};
+use crate::types::{FuncType, GlobalType, Mutability};
+
+/// Prints a module in the canonical flat text form understood by
+/// [`super::parse_module`]. Function and global names are emitted when
+/// present.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    out.push_str("(module\n");
+
+    for imp in &m.imports {
+        let desc = match &imp.kind {
+            ImportKind::Func(t) => {
+                let ty = &m.types[*t as usize];
+                format!("(func {})", sig_string(ty))
+            }
+            ImportKind::Memory(mt) => format!("(memory {})", limits_string(&mt.limits)),
+            ImportKind::Table(tt) => format!("(table {} funcref)", limits_string(&tt.limits)),
+            ImportKind::Global(g) => format!("(global {})", global_type_string(g)),
+        };
+        let _ = writeln!(out, "  (import {:?} {:?} {})", imp.module, imp.name, desc);
+    }
+    for mem in &m.memories {
+        let _ = writeln!(out, "  (memory {})", limits_string(&mem.limits));
+    }
+    for t in &m.tables {
+        let _ = writeln!(out, "  (table {} funcref)", limits_string(&t.limits));
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        let name = g
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("g{}", i as u32 + m.num_imported_globals()));
+        let _ = writeln!(
+            out,
+            "  (global ${name} {} ({}))",
+            global_type_string(&g.ty),
+            const_expr_string(&g.init)
+        );
+    }
+    for (i, f) in m.funcs.iter().enumerate() {
+        let idx = i as u32 + m.num_imported_funcs();
+        let name = f.name.clone().unwrap_or_else(|| format!("f{idx}"));
+        let ty = &m.types[f.ty as usize];
+        let mut header = format!("  (func ${name}");
+        let sig = sig_string(ty);
+        if !sig.is_empty() {
+            header.push(' ');
+            header.push_str(&sig);
+        }
+        if !f.locals.is_empty() {
+            header.push_str(" (local");
+            for l in &f.locals {
+                let _ = write!(header, " {l}");
+            }
+            header.push(')');
+        }
+        out.push_str(&header);
+        out.push('\n');
+        print_body(&mut out, &f.body, 2);
+        out.push_str("  )\n");
+    }
+    for e in &m.exports {
+        let desc = match e.kind {
+            ExportKind::Func(i) => format!("(func {i})"),
+            ExportKind::Global(i) => format!("(global {i})"),
+            ExportKind::Memory(i) => format!("(memory {i})"),
+            ExportKind::Table(i) => format!("(table {i})"),
+        };
+        let _ = writeln!(out, "  (export {:?} {})", e.name, desc);
+    }
+    if let Some(s) = m.start {
+        let _ = writeln!(out, "  (start {s})");
+    }
+    for e in &m.elems {
+        let mut funcs = String::new();
+        for f in &e.funcs {
+            let _ = write!(funcs, " {f}");
+        }
+        let _ = writeln!(out, "  (elem ({}){})", const_expr_string(&e.offset), funcs);
+    }
+    for d in &m.datas {
+        let _ = writeln!(
+            out,
+            "  (data ({}) \"{}\")",
+            const_expr_string(&d.offset),
+            escape_bytes(&d.bytes)
+        );
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn sig_string(ty: &FuncType) -> String {
+    let mut s = String::new();
+    if !ty.params.is_empty() {
+        s.push_str("(param");
+        for p in &ty.params {
+            let _ = write!(s, " {p}");
+        }
+        s.push(')');
+    }
+    if !ty.results.is_empty() {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str("(result");
+        for r in &ty.results {
+            let _ = write!(s, " {r}");
+        }
+        s.push(')');
+    }
+    s
+}
+
+fn limits_string(l: &crate::types::Limits) -> String {
+    match l.max {
+        None => format!("{}", l.min),
+        Some(max) => format!("{} {}", l.min, max),
+    }
+}
+
+fn global_type_string(g: &GlobalType) -> String {
+    match g.mutability {
+        Mutability::Const => g.val.to_string(),
+        Mutability::Var => format!("(mut {})", g.val),
+    }
+}
+
+fn const_expr_string(e: &ConstExpr) -> String {
+    match e {
+        ConstExpr::I32(v) => format!("i32.const {v}"),
+        ConstExpr::I64(v) => format!("i64.const {v}"),
+        ConstExpr::F32(v) => format!("f32.const {}", float_string(f64::from(*v))),
+        ConstExpr::F64(v) => format!("f64.const {}", float_string(*v)),
+        ConstExpr::GlobalGet(i) => format!("global.get {i}"),
+    }
+}
+
+fn float_string(v: f64) -> String {
+    if v.is_nan() {
+        let bits = v.to_bits() & 0x000f_ffff_ffff_ffff;
+        // The canonical quiet NaN payload prints as plain `nan`.
+        if bits == 0 || bits == 0x0008_0000_0000_0000 {
+            if v.is_sign_negative() { "-nan".into() } else { "nan".into() }
+        } else {
+            format!("nan:0x{bits:x}")
+        }
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf".into() } else { "-inf".into() }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        // Shortest representation that round-trips.
+        format!("{v:?}")
+    }
+}
+
+fn escape_bytes(bytes: &[u8]) -> String {
+    let mut s = String::new();
+    for &b in bytes {
+        match b {
+            b'"' => s.push_str("\\\""),
+            b'\\' => s.push_str("\\\\"),
+            0x20..=0x7e => s.push(b as char),
+            _ => {
+                let _ = write!(s, "\\{b:02x}");
+            }
+        }
+    }
+    s
+}
+
+fn print_body(out: &mut String, body: &[Instr], indent: usize) {
+    for i in body {
+        print_instr(out, i, indent);
+    }
+}
+
+fn indent_str(n: usize) -> String {
+    "  ".repeat(n)
+}
+
+fn block_type_suffix(ty: &BlockType) -> String {
+    match ty {
+        BlockType::Empty => String::new(),
+        BlockType::Value(v) => format!(" (result {v})"),
+    }
+}
+
+fn print_instr(out: &mut String, i: &Instr, indent: usize) {
+    let pad = indent_str(indent);
+    match i {
+        Instr::Block { ty, body } => {
+            let _ = writeln!(out, "{pad}block{}", block_type_suffix(ty));
+            print_body(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}end");
+        }
+        Instr::Loop { ty, body } => {
+            let _ = writeln!(out, "{pad}loop{}", block_type_suffix(ty));
+            print_body(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}end");
+        }
+        Instr::If { ty, then, els } => {
+            let _ = writeln!(out, "{pad}if{}", block_type_suffix(ty));
+            print_body(out, then, indent + 1);
+            if !els.is_empty() {
+                let _ = writeln!(out, "{pad}else");
+                print_body(out, els, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        _ => {
+            let _ = writeln!(out, "{pad}{}", flat_string(i));
+        }
+    }
+}
+
+fn flat_string(i: &Instr) -> String {
+    match i {
+        Instr::Unreachable => "unreachable".into(),
+        Instr::Nop => "nop".into(),
+        Instr::Br(l) => format!("br {l}"),
+        Instr::BrIf(l) => format!("br_if {l}"),
+        Instr::BrTable { targets, default } => {
+            let mut s = "br_table".to_string();
+            for t in targets {
+                let _ = write!(s, " {t}");
+            }
+            let _ = write!(s, " {default}");
+            s
+        }
+        Instr::Return => "return".into(),
+        Instr::Call(f) => format!("call {f}"),
+        Instr::CallIndirect(t) => format!("call_indirect {t}"),
+        Instr::Drop => "drop".into(),
+        Instr::Select => "select".into(),
+        Instr::LocalGet(x) => format!("local.get {x}"),
+        Instr::LocalSet(x) => format!("local.set {x}"),
+        Instr::LocalTee(x) => format!("local.tee {x}"),
+        Instr::GlobalGet(x) => format!("global.get {x}"),
+        Instr::GlobalSet(x) => format!("global.set {x}"),
+        Instr::Load(op, m) => {
+            let mut s = op.mnemonic().to_string();
+            if m.offset != 0 {
+                let _ = write!(s, " offset={}", m.offset);
+            }
+            if m.align != op.natural_align() {
+                let _ = write!(s, " align={}", 1u32 << m.align);
+            }
+            s
+        }
+        Instr::Store(op, m) => {
+            let mut s = op.mnemonic().to_string();
+            if m.offset != 0 {
+                let _ = write!(s, " offset={}", m.offset);
+            }
+            if m.align != op.natural_align() {
+                let _ = write!(s, " align={}", 1u32 << m.align);
+            }
+            s
+        }
+        Instr::MemorySize => "memory.size".into(),
+        Instr::MemoryGrow => "memory.grow".into(),
+        Instr::I32Const(v) => format!("i32.const {v}"),
+        Instr::I64Const(v) => format!("i64.const {v}"),
+        Instr::F32Const(v) => format!("f32.const {}", float_string(f64::from(*v))),
+        Instr::F64Const(v) => format!("f64.const {}", float_string(*v)),
+        Instr::Num(op) => op.mnemonic().into(),
+        Instr::Block { .. } | Instr::Loop { .. } | Instr::If { .. } => {
+            unreachable!("structured instructions handled by print_instr")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_module;
+
+    #[test]
+    fn float_strings_round_trip() {
+        for v in [0.0, -0.0, 1.5, -2.25, 1e300, f64::INFINITY, f64::NEG_INFINITY, 0.1] {
+            let s = float_string(v);
+            let parsed: f64 = match s.as_str() {
+                "inf" => f64::INFINITY,
+                "-inf" => f64::NEG_INFINITY,
+                _ => s.parse().unwrap(),
+            };
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} -> {s}");
+        }
+        assert_eq!(float_string(f64::NAN), "nan");
+    }
+
+    #[test]
+    fn escaped_data_round_trips() {
+        let src = "(module (memory 1) (data (i32.const 0) \"a\\00\\ff\\\"b\"))";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.datas[0].bytes, vec![b'a', 0, 0xff, b'"', b'b']);
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(m, m2);
+    }
+}

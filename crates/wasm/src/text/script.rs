@@ -1,0 +1,161 @@
+//! A `.wast`-style script format: modules interleaved with
+//! `assert_return` / `assert_trap` / `assert_invalid` directives, as
+//! used by the WebAssembly specification test suite.
+//!
+//! Supported directives:
+//!
+//! ```text
+//! (module ...)                                  set the current module
+//! (assert_return (invoke "f" CONST*) CONST*)    run and compare
+//! (assert_trap (invoke "f" CONST*) "message")   run, expect a trap
+//! (assert_invalid (module ...) "message")       module must not validate
+//! (invoke "f" CONST*)                           run for side effects
+//! ```
+//!
+//! The runner itself lives with the embedder (it needs an interpreter);
+//! this module parses scripts into [`Directive`]s.
+
+use crate::error::{Error, Result};
+use crate::instr::ConstExpr;
+use crate::module::Module;
+use crate::text::parse::{parse_const_list, parse_module_sexpr, split_top_level};
+
+/// A parsed script action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invoke {
+    /// Exported function name.
+    pub func: String,
+    /// Constant arguments.
+    pub args: Vec<ConstExpr>,
+}
+
+/// One directive of a script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// Instantiate this module and make it current.
+    Module(Module),
+    /// Invoke and expect the given results.
+    AssertReturn(Invoke, Vec<ConstExpr>),
+    /// Invoke and expect a trap whose message contains the string.
+    AssertTrap(Invoke, String),
+    /// The module text must fail validation.
+    AssertInvalid(Module, String),
+    /// Invoke, ignore results.
+    Invoke(Invoke),
+}
+
+/// Parses a `.wast`-style script into directives.
+///
+/// # Errors
+///
+/// [`Error::Parse`] on malformed scripts, including
+/// `assert_invalid` bodies that do not even parse.
+pub fn parse_script(src: &str) -> Result<Vec<Directive>> {
+    let forms = split_top_level(src)?;
+    let mut out = Vec::new();
+    for (head, form) in forms {
+        match head.as_str() {
+            "module" => out.push(Directive::Module(parse_module_sexpr(&form)?)),
+            "assert_return" => {
+                let (invoke, rest) = parse_invoke(&form, 1)?;
+                let expected = parse_const_list(&rest)?;
+                out.push(Directive::AssertReturn(invoke, expected));
+            }
+            "assert_trap" => {
+                let (invoke, rest) = parse_invoke(&form, 1)?;
+                let msg = rest
+                    .first()
+                    .and_then(|e| e.as_string())
+                    .ok_or_else(|| Error::parse(0, 0, "assert_trap needs a message"))?;
+                out.push(Directive::AssertTrap(invoke, msg));
+            }
+            "assert_invalid" => {
+                let items = form.as_list()?;
+                let module = parse_module_sexpr(
+                    items.get(1).ok_or_else(|| Error::parse(0, 0, "assert_invalid needs a module"))?,
+                )?;
+                let msg = items.get(2).and_then(|e| e.as_string()).unwrap_or_default();
+                out.push(Directive::AssertInvalid(module, msg));
+            }
+            "invoke" => {
+                let (invoke, _) = parse_invoke_direct(&form)?;
+                out.push(Directive::Invoke(invoke));
+            }
+            other => {
+                return Err(Error::parse(0, 0, format!("unsupported directive {other}")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+use crate::text::parse::SExprPub as SExpr;
+
+fn parse_invoke(form: &SExpr, at: usize) -> Result<(Invoke, Vec<SExpr>)> {
+    let items = form.as_list()?;
+    let inv = items
+        .get(at)
+        .ok_or_else(|| Error::parse(0, 0, "expected (invoke ...)"))?;
+    let (invoke, _) = parse_invoke_direct(inv)?;
+    Ok((invoke, items[at + 1..].to_vec()))
+}
+
+fn parse_invoke_direct(inv: &SExpr) -> Result<(Invoke, Vec<SExpr>)> {
+    let items = inv.as_list()?;
+    match items.first().and_then(|e| e.as_atom()) {
+        Some("invoke") => {}
+        _ => return Err(Error::parse(0, 0, "expected (invoke ...)")),
+    }
+    let func = items
+        .get(1)
+        .and_then(|e| e.as_string())
+        .ok_or_else(|| Error::parse(0, 0, "invoke needs a function name"))?;
+    let args = parse_const_list(&items[2..])?;
+    Ok((Invoke { func, args }, Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_mixed_script() {
+        let script = r#"
+            (module
+              (func $add (export "add") (param i32 i32) (result i32)
+                local.get 0
+                local.get 1
+                i32.add))
+            (assert_return (invoke "add" (i32.const 2) (i32.const 3)) (i32.const 5))
+            (assert_trap (invoke "div" (i32.const 1) (i32.const 0)) "division by zero")
+            (assert_invalid (module (func $f (result i32) i64.const 1)) "type mismatch")
+            (invoke "add" (i32.const 1) (i32.const 1))
+        "#;
+        let ds = parse_script(script).unwrap();
+        assert_eq!(ds.len(), 5);
+        assert!(matches!(&ds[0], Directive::Module(_)));
+        match &ds[1] {
+            Directive::AssertReturn(inv, expected) => {
+                assert_eq!(inv.func, "add");
+                assert_eq!(inv.args, vec![ConstExpr::I32(2), ConstExpr::I32(3)]);
+                assert_eq!(expected, &vec![ConstExpr::I32(5)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &ds[2] {
+            Directive::AssertTrap(inv, msg) => {
+                assert_eq!(inv.func, "div");
+                assert_eq!(msg, "division by zero");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&ds[3], Directive::AssertInvalid(_, _)));
+        assert!(matches!(&ds[4], Directive::Invoke(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_directives() {
+        assert!(parse_script("(assert_exhaustion (invoke \"f\") \"x\")").is_err());
+        assert!(parse_script("(assert_return)").is_err());
+    }
+}

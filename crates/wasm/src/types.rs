@@ -1,0 +1,228 @@
+//! Core WebAssembly type definitions: value types, function types,
+//! limits, and the composite entity types (memories, tables, globals).
+
+use std::fmt;
+
+/// A WebAssembly value type (MVP: the four numeric types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValType {
+    /// 32-bit integer (sign-agnostic).
+    I32,
+    /// 64-bit integer (sign-agnostic).
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// Binary encoding of the value type.
+    pub fn code(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Decodes a value type from its binary code.
+    pub fn from_code(code: u8) -> Option<ValType> {
+        match code {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// The WAT mnemonic (`i32`, `i64`, `f32`, `f64`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        }
+    }
+
+    /// Parses a WAT mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<ValType> {
+        match s {
+            "i32" => Some(ValType::I32),
+            "i64" => Some(ValType::I64),
+            "f32" => Some(ValType::F32),
+            "f64" => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// Size of a value of this type in bytes.
+    pub fn byte_size(self) -> usize {
+        match self {
+            ValType::I32 | ValType::F32 => 4,
+            ValType::I64 | ValType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ValType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A function signature: parameter types and result types.
+///
+/// MVP allows at most one result; the representation is a vector to keep
+/// the door open for multi-value, but the validator enforces the MVP
+/// restriction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (MVP: zero or one).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Creates a function type from parameter and result slices.
+    pub fn new(params: &[ValType], results: &[ValType]) -> FuncType {
+        FuncType { params: params.to_vec(), results: results.to_vec() }
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(func")?;
+        if !self.params.is_empty() {
+            write!(f, " (param")?;
+            for p in &self.params {
+                write!(f, " {p}")?;
+            }
+            write!(f, ")")?;
+        }
+        if !self.results.is_empty() {
+            write!(f, " (result")?;
+            for r in &self.results {
+                write!(f, " {r}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Size limits for memories and tables, in units of pages or elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// Creates limits with the given minimum and optional maximum.
+    pub fn new(min: u32, max: Option<u32>) -> Limits {
+        Limits { min, max }
+    }
+
+    /// Whether `other` fits within (is a sub-range of) these limits,
+    /// per the import-matching rules of the spec.
+    pub fn subsumes(&self, other: &Limits) -> bool {
+        other.min >= self.min
+            && match (self.max, other.max) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => b <= a,
+            }
+    }
+}
+
+/// A linear memory type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryType {
+    /// Limits in units of 64 KiB pages.
+    pub limits: Limits,
+}
+
+/// A table type (MVP: `funcref` only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableType {
+    /// Limits in units of elements.
+    pub limits: Limits,
+}
+
+/// Mutability of a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutability {
+    /// Immutable (`const`).
+    Const,
+    /// Mutable (`mut`).
+    Var,
+}
+
+/// A global variable type: value type plus mutability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalType {
+    /// The value type stored in the global.
+    pub val: ValType,
+    /// Whether the global may be written after instantiation.
+    pub mutability: Mutability,
+}
+
+impl GlobalType {
+    /// An immutable global of type `val`.
+    pub fn immutable(val: ValType) -> GlobalType {
+        GlobalType { val, mutability: Mutability::Const }
+    }
+
+    /// A mutable global of type `val`.
+    pub fn mutable(val: ValType) -> GlobalType {
+        GlobalType { val, mutability: Mutability::Var }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_codes_round_trip() {
+        for v in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_code(v.code()), Some(v));
+            assert_eq!(ValType::from_mnemonic(v.mnemonic()), Some(v));
+        }
+        assert_eq!(ValType::from_code(0x70), None);
+        assert_eq!(ValType::from_mnemonic("v128"), None);
+    }
+
+    #[test]
+    fn valtype_sizes() {
+        assert_eq!(ValType::I32.byte_size(), 4);
+        assert_eq!(ValType::F32.byte_size(), 4);
+        assert_eq!(ValType::I64.byte_size(), 8);
+        assert_eq!(ValType::F64.byte_size(), 8);
+    }
+
+    #[test]
+    fn limits_subsumption() {
+        let outer = Limits::new(1, Some(10));
+        assert!(outer.subsumes(&Limits::new(1, Some(10))));
+        assert!(outer.subsumes(&Limits::new(5, Some(7))));
+        assert!(!outer.subsumes(&Limits::new(0, Some(10))));
+        assert!(!outer.subsumes(&Limits::new(1, Some(11))));
+        assert!(!outer.subsumes(&Limits::new(1, None)));
+        assert!(Limits::new(0, None).subsumes(&Limits::new(3, None)));
+    }
+
+    #[test]
+    fn functype_display() {
+        let t = FuncType::new(&[ValType::I32, ValType::F64], &[ValType::I32]);
+        assert_eq!(t.to_string(), "(func (param i32 f64) (result i32))");
+        assert_eq!(FuncType::default().to_string(), "(func)");
+    }
+}

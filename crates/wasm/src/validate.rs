@@ -1,0 +1,628 @@
+//! Module validation (type checking), following the algorithm in the
+//! appendix of the WebAssembly core specification.
+//!
+//! Validation is what makes WebAssembly a *sandbox*: a validated module
+//! cannot touch state it does not name, which is the property AccTEE's
+//! accounting relies on (the injected counter global is unreachable
+//! from workload code).
+
+use crate::error::{Error, Result};
+use crate::instr::{ConstExpr, Instr};
+use crate::module::{ImportKind, Module};
+use crate::types::{Mutability, ValType};
+
+/// An entry on the abstract type stack: a concrete type or `Unknown`
+/// (produced by stack-polymorphic instructions in unreachable code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Val(ValType),
+    Unknown,
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Types the frame yields on fall-through.
+    end_types: Vec<ValType>,
+    /// Types a branch to this label must provide (loop: params=[]).
+    label_types: Vec<ValType>,
+    /// Stack height at frame entry.
+    height: usize,
+    /// Set once an unconditional transfer has happened.
+    unreachable: bool,
+}
+
+struct FuncValidator<'m> {
+    module: &'m Module,
+    locals: Vec<ValType>,
+    stack: Vec<Ty>,
+    frames: Vec<Frame>,
+}
+
+impl<'m> FuncValidator<'m> {
+    fn push(&mut self, t: ValType) {
+        self.stack.push(Ty::Val(t));
+    }
+
+    fn pop_any(&mut self) -> Result<Ty> {
+        let frame = self.frames.last().expect("frame");
+        if self.stack.len() == frame.height {
+            if frame.unreachable {
+                return Ok(Ty::Unknown);
+            }
+            return Err(Error::validate("stack underflow"));
+        }
+        Ok(self.stack.pop().expect("non-empty stack"))
+    }
+
+    fn pop(&mut self, expect: ValType) -> Result<()> {
+        match self.pop_any()? {
+            Ty::Unknown => Ok(()),
+            Ty::Val(v) if v == expect => Ok(()),
+            Ty::Val(v) => Err(Error::validate(format!("expected {expect}, found {v}"))),
+        }
+    }
+
+    fn pop_many(&mut self, types: &[ValType]) -> Result<()> {
+        for t in types.iter().rev() {
+            self.pop(*t)?;
+        }
+        Ok(())
+    }
+
+    fn push_frame(&mut self, label_types: Vec<ValType>, end_types: Vec<ValType>) {
+        self.frames.push(Frame {
+            end_types,
+            label_types,
+            height: self.stack.len(),
+            unreachable: false,
+        });
+    }
+
+    fn pop_frame(&mut self) -> Result<Vec<ValType>> {
+        let end_types = self.frames.last().expect("frame").end_types.clone();
+        self.pop_many(&end_types)?;
+        let frame = self.frames.pop().expect("frame");
+        if self.stack.len() != frame.height {
+            return Err(Error::validate("values remain on stack at end of block"));
+        }
+        Ok(end_types)
+    }
+
+    fn set_unreachable(&mut self) {
+        let frame = self.frames.last_mut().expect("frame");
+        self.stack.truncate(frame.height);
+        frame.unreachable = true;
+    }
+
+    fn label_types(&self, depth: u32) -> Result<Vec<ValType>> {
+        let idx = self
+            .frames
+            .len()
+            .checked_sub(1 + depth as usize)
+            .ok_or_else(|| Error::validate(format!("branch depth {depth} out of range")))?;
+        Ok(self.frames[idx].label_types.clone())
+    }
+
+    fn local(&self, idx: u32) -> Result<ValType> {
+        self.locals
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| Error::validate(format!("local {idx} out of range")))
+    }
+
+    fn check_mem(&self) -> Result<()> {
+        if self.module.memory().is_none() {
+            return Err(Error::validate("memory instruction without memory"));
+        }
+        Ok(())
+    }
+
+    fn instr(&mut self, i: &Instr) -> Result<()> {
+        match i {
+            Instr::Unreachable => self.set_unreachable(),
+            Instr::Nop => {}
+            Instr::Block { ty, body } => {
+                let results = ty.results().to_vec();
+                self.push_frame(results.clone(), results);
+                self.body(body)?;
+                let results = self.pop_frame()?;
+                for t in results {
+                    self.push(t);
+                }
+            }
+            Instr::Loop { ty, body } => {
+                let results = ty.results().to_vec();
+                // Branches to a loop label re-enter the loop: they carry
+                // the loop *parameters*, which are empty in the MVP.
+                self.push_frame(Vec::new(), results);
+                self.body(body)?;
+                let results = self.pop_frame()?;
+                for t in results {
+                    self.push(t);
+                }
+            }
+            Instr::If { ty, then, els } => {
+                self.pop(ValType::I32)?;
+                let results = ty.results().to_vec();
+                if els.is_empty() && !results.is_empty() {
+                    return Err(Error::validate("if with result requires else"));
+                }
+                self.push_frame(results.clone(), results.clone());
+                self.body(then)?;
+                self.pop_frame()?;
+                self.push_frame(results.clone(), results.clone());
+                self.body(els)?;
+                let results = self.pop_frame()?;
+                for t in results {
+                    self.push(t);
+                }
+            }
+            Instr::Br(l) => {
+                let types = self.label_types(*l)?;
+                self.pop_many(&types)?;
+                self.set_unreachable();
+            }
+            Instr::BrIf(l) => {
+                self.pop(ValType::I32)?;
+                let types = self.label_types(*l)?;
+                self.pop_many(&types)?;
+                for t in types {
+                    self.push(t);
+                }
+            }
+            Instr::BrTable { targets, default } => {
+                self.pop(ValType::I32)?;
+                let default_types = self.label_types(*default)?;
+                for t in targets {
+                    let types = self.label_types(*t)?;
+                    if types != default_types {
+                        return Err(Error::validate("br_table label type mismatch"));
+                    }
+                }
+                self.pop_many(&default_types)?;
+                self.set_unreachable();
+            }
+            Instr::Return => {
+                let types = self.frames[0].end_types.clone();
+                self.pop_many(&types)?;
+                self.set_unreachable();
+            }
+            Instr::Call(f) => {
+                let ty = self
+                    .module
+                    .func_type(*f)
+                    .ok_or_else(|| Error::validate(format!("call to unknown function {f}")))?
+                    .clone();
+                self.pop_many(&ty.params)?;
+                for r in ty.results {
+                    self.push(r);
+                }
+            }
+            Instr::CallIndirect(t) => {
+                if self.module.table().is_none() {
+                    return Err(Error::validate("call_indirect without table"));
+                }
+                let ty = self
+                    .module
+                    .types
+                    .get(*t as usize)
+                    .ok_or_else(|| Error::validate(format!("unknown type index {t}")))?
+                    .clone();
+                self.pop(ValType::I32)?;
+                self.pop_many(&ty.params)?;
+                for r in ty.results {
+                    self.push(r);
+                }
+            }
+            Instr::Drop => {
+                self.pop_any()?;
+            }
+            Instr::Select => {
+                self.pop(ValType::I32)?;
+                let a = self.pop_any()?;
+                let b = self.pop_any()?;
+                match (a, b) {
+                    (Ty::Val(x), Ty::Val(y)) if x != y => {
+                        return Err(Error::validate("select operands differ in type"));
+                    }
+                    (Ty::Val(x), _) | (_, Ty::Val(x)) => self.push(x),
+                    (Ty::Unknown, Ty::Unknown) => self.stack.push(Ty::Unknown),
+                }
+            }
+            Instr::LocalGet(x) => {
+                let t = self.local(*x)?;
+                self.push(t);
+            }
+            Instr::LocalSet(x) => {
+                let t = self.local(*x)?;
+                self.pop(t)?;
+            }
+            Instr::LocalTee(x) => {
+                let t = self.local(*x)?;
+                self.pop(t)?;
+                self.push(t);
+            }
+            Instr::GlobalGet(x) => {
+                let g = self
+                    .module
+                    .global_type(*x)
+                    .ok_or_else(|| Error::validate(format!("global {x} out of range")))?;
+                self.push(g.val);
+            }
+            Instr::GlobalSet(x) => {
+                let g = self
+                    .module
+                    .global_type(*x)
+                    .ok_or_else(|| Error::validate(format!("global {x} out of range")))?;
+                if g.mutability != Mutability::Var {
+                    return Err(Error::validate(format!("global {x} is immutable")));
+                }
+                self.pop(g.val)?;
+            }
+            Instr::Load(op, m) => {
+                self.check_mem()?;
+                if m.align > op.natural_align() {
+                    return Err(Error::validate("alignment exceeds natural alignment"));
+                }
+                self.pop(ValType::I32)?;
+                self.push(op.val_type());
+            }
+            Instr::Store(op, m) => {
+                self.check_mem()?;
+                if m.align > op.natural_align() {
+                    return Err(Error::validate("alignment exceeds natural alignment"));
+                }
+                self.pop(op.val_type())?;
+                self.pop(ValType::I32)?;
+            }
+            Instr::MemorySize => {
+                self.check_mem()?;
+                self.push(ValType::I32);
+            }
+            Instr::MemoryGrow => {
+                self.check_mem()?;
+                self.pop(ValType::I32)?;
+                self.push(ValType::I32);
+            }
+            Instr::I32Const(_) => self.push(ValType::I32),
+            Instr::I64Const(_) => self.push(ValType::I64),
+            Instr::F32Const(_) => self.push(ValType::F32),
+            Instr::F64Const(_) => self.push(ValType::F64),
+            Instr::Num(op) => {
+                let (params, result) = op.sig();
+                self.pop_many(params)?;
+                self.push(result);
+            }
+        }
+        Ok(())
+    }
+
+    fn body(&mut self, body: &[Instr]) -> Result<()> {
+        for i in body {
+            self.instr(i)?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates a whole module. Returns `Ok(())` if the module is valid.
+///
+/// # Errors
+///
+/// Returns [`Error::Validate`] describing the first problem found.
+pub fn validate_module(m: &Module) -> Result<()> {
+    // Types: MVP allows at most one result.
+    for (i, t) in m.types.iter().enumerate() {
+        if t.results.len() > 1 {
+            return Err(Error::validate(format!("type {i}: multiple results not supported")));
+        }
+    }
+    // Imports reference valid type indices.
+    for imp in &m.imports {
+        if let ImportKind::Func(t) = imp.kind {
+            if t as usize >= m.types.len() {
+                return Err(Error::validate(format!(
+                    "import {}.{} has unknown type {t}",
+                    imp.module, imp.name
+                )));
+            }
+        }
+    }
+    // At most one memory / table.
+    let imported_mems =
+        m.imports.iter().filter(|i| matches!(i.kind, ImportKind::Memory(_))).count();
+    if imported_mems + m.memories.len() > 1 {
+        return Err(Error::validate("multiple memories"));
+    }
+    let imported_tables =
+        m.imports.iter().filter(|i| matches!(i.kind, ImportKind::Table(_))).count();
+    if imported_tables + m.tables.len() > 1 {
+        return Err(Error::validate("multiple tables"));
+    }
+    // Memory limits are within the 32-bit address space (max 65536 pages).
+    if let Some(mem) = m.memory() {
+        if mem.limits.min > 65536 || mem.limits.max.is_some_and(|x| x > 65536) {
+            return Err(Error::validate("memory limits exceed 4 GiB"));
+        }
+        if let Some(max) = mem.limits.max {
+            if max < mem.limits.min {
+                return Err(Error::validate("memory max below min"));
+            }
+        }
+    }
+    // Globals: initialisers type-check; global.get refers to imported
+    // immutable globals only.
+    let n_imp_globals = m.num_imported_globals();
+    for (i, g) in m.globals.iter().enumerate() {
+        let init_ty = match &g.init {
+            ConstExpr::GlobalGet(idx) => {
+                if *idx >= n_imp_globals {
+                    return Err(Error::validate(format!(
+                        "global {i}: initialiser references non-imported global {idx}"
+                    )));
+                }
+                let gt = m.global_type(*idx).expect("checked above");
+                if gt.mutability != Mutability::Const {
+                    return Err(Error::validate(format!(
+                        "global {i}: initialiser references mutable global"
+                    )));
+                }
+                gt.val
+            }
+            other => other.val_type(|_| None).expect("const has type"),
+        };
+        if init_ty != g.ty.val {
+            return Err(Error::validate(format!(
+                "global {i}: initialiser type {init_ty} != declared {}",
+                g.ty.val
+            )));
+        }
+    }
+    // Functions.
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let ty = m
+            .types
+            .get(f.ty as usize)
+            .ok_or_else(|| Error::validate(format!("function {fi} has unknown type")))?;
+        let mut locals = ty.params.clone();
+        locals.extend_from_slice(&f.locals);
+        let mut v = FuncValidator { module: m, locals, stack: Vec::new(), frames: Vec::new() };
+        v.push_frame(ty.results.clone(), ty.results.clone());
+        v.body(&f.body).map_err(|e| {
+            let name = f.name.as_deref().unwrap_or("<anon>");
+            Error::validate(format!("function {fi} ({name}): {e}"))
+        })?;
+        v.pop_frame().map_err(|e| {
+            let name = f.name.as_deref().unwrap_or("<anon>");
+            Error::validate(format!("function {fi} ({name}) at end: {e}"))
+        })?;
+    }
+    // Start function: must exist and have type [] -> [].
+    if let Some(s) = m.start {
+        let ty = m
+            .func_type(s)
+            .ok_or_else(|| Error::validate(format!("start function {s} out of range")))?;
+        if !ty.params.is_empty() || !ty.results.is_empty() {
+            return Err(Error::validate("start function must have type [] -> []"));
+        }
+    }
+    // Exports: indices in range, names unique.
+    let mut seen = std::collections::HashSet::new();
+    for e in &m.exports {
+        if !seen.insert(e.name.as_str()) {
+            return Err(Error::validate(format!("duplicate export name {:?}", e.name)));
+        }
+        let ok = match e.kind {
+            crate::module::ExportKind::Func(i) => i < m.num_funcs(),
+            crate::module::ExportKind::Global(i) => i < m.num_globals(),
+            crate::module::ExportKind::Memory(i) => i == 0 && m.memory().is_some(),
+            crate::module::ExportKind::Table(i) => i == 0 && m.table().is_some(),
+        };
+        if !ok {
+            return Err(Error::validate(format!("export {:?} index out of range", e.name)));
+        }
+    }
+    // Element segments.
+    for (i, e) in m.elems.iter().enumerate() {
+        if e.table != 0 || m.table().is_none() {
+            return Err(Error::validate(format!("element segment {i}: no such table")));
+        }
+        if !matches!(e.offset, ConstExpr::I32(_) | ConstExpr::GlobalGet(_)) {
+            return Err(Error::validate(format!("element segment {i}: offset must be i32")));
+        }
+        for f in &e.funcs {
+            if *f >= m.num_funcs() {
+                return Err(Error::validate(format!(
+                    "element segment {i}: function {f} out of range"
+                )));
+            }
+        }
+    }
+    // Data segments.
+    for (i, d) in m.datas.iter().enumerate() {
+        if d.memory != 0 || m.memory().is_none() {
+            return Err(Error::validate(format!("data segment {i}: no such memory")));
+        }
+        if !matches!(d.offset, ConstExpr::I32(_) | ConstExpr::GlobalGet(_)) {
+            return Err(Error::validate(format!("data segment {i}: offset must be i32")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BlockType;
+    use crate::module::{Export, ExportKind, Func, Global};
+    use crate::op::NumOp;
+    use crate::types::FuncType;
+    use crate::types::{GlobalType, Limits, MemoryType};
+
+    fn module_with_body(
+        params: &[ValType],
+        results: &[ValType],
+        body: Vec<Instr>,
+    ) -> Module {
+        let mut m = Module::new();
+        let t = m.intern_type(FuncType::new(params, results));
+        m.memories.push(MemoryType { limits: Limits::new(1, None) });
+        m.funcs.push(Func { ty: t, locals: vec![], body, name: None });
+        m
+    }
+
+    #[test]
+    fn simple_add_validates() {
+        let m = module_with_body(
+            &[ValType::I32, ValType::I32],
+            &[ValType::I32],
+            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::Num(NumOp::I32Add)],
+        );
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let m = module_with_body(
+            &[],
+            &[ValType::I32],
+            vec![Instr::I64Const(1), Instr::I32Const(2), Instr::Num(NumOp::I32Add)],
+        );
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn stack_underflow_rejected() {
+        let m = module_with_body(&[], &[], vec![Instr::Num(NumOp::I32Add)]);
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn leftover_values_rejected() {
+        let m = module_with_body(&[], &[], vec![Instr::I32Const(1)]);
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn unreachable_makes_stack_polymorphic() {
+        let m = module_with_body(
+            &[],
+            &[ValType::I32],
+            vec![Instr::Unreachable, Instr::Num(NumOp::I32Add)],
+        );
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn branch_depths_checked() {
+        let m = module_with_body(&[], &[], vec![Instr::Br(1)]);
+        assert!(validate_module(&m).is_err());
+        let ok = module_with_body(&[], &[], vec![Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![Instr::Br(1)],
+        }]);
+        validate_module(&ok).unwrap();
+    }
+
+    #[test]
+    fn loop_label_has_no_types() {
+        // br 0 inside a loop with a result type targets the loop header,
+        // which takes no values.
+        let m = module_with_body(&[], &[ValType::I32], vec![Instr::Loop {
+            ty: BlockType::Value(ValType::I32),
+            body: vec![Instr::Br(0)],
+        }]);
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn immutable_global_cannot_be_set() {
+        let mut m = module_with_body(&[], &[], vec![Instr::I32Const(0), Instr::GlobalSet(0)]);
+        m.globals.push(Global {
+            ty: GlobalType::immutable(ValType::I32),
+            init: ConstExpr::I32(0),
+            name: None,
+        });
+        assert!(validate_module(&m).is_err());
+        m.globals[0].ty = GlobalType::mutable(ValType::I32);
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn if_with_result_requires_else() {
+        let m = module_with_body(
+            &[ValType::I32],
+            &[ValType::I32],
+            vec![Instr::LocalGet(0), Instr::If {
+                ty: BlockType::Value(ValType::I32),
+                then: vec![Instr::I32Const(1)],
+                els: vec![],
+            }],
+        );
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn select_requires_same_types() {
+        let m = module_with_body(
+            &[],
+            &[],
+            vec![
+                Instr::I32Const(1),
+                Instr::F64Const(1.0),
+                Instr::I32Const(0),
+                Instr::Select,
+                Instr::Drop,
+            ],
+        );
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn memory_instructions_require_memory() {
+        let mut m = module_with_body(&[], &[ValType::I32], vec![Instr::MemorySize]);
+        m.memories.clear();
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn over_aligned_access_rejected() {
+        let m = module_with_body(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::I32Const(0),
+                Instr::Load(crate::op::LoadOp::I32Load, crate::instr::MemArg {
+                    align: 3,
+                    offset: 0,
+                }),
+            ],
+        );
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn duplicate_export_names_rejected() {
+        let mut m = module_with_body(&[], &[], vec![]);
+        m.exports.push(Export { name: "x".into(), kind: ExportKind::Func(0) });
+        m.exports.push(Export { name: "x".into(), kind: ExportKind::Memory(0) });
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn br_table_validates_all_targets() {
+        let m = module_with_body(&[ValType::I32], &[], vec![Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![Instr::Block {
+                ty: BlockType::Value(ValType::I32),
+                body: vec![
+                    Instr::I32Const(0),
+                    Instr::LocalGet(0),
+                    // depth 0 yields i32, depth 1 yields nothing: mismatch
+                    Instr::BrTable { targets: vec![0], default: 1 },
+                ],
+            }, Instr::Drop],
+        }]);
+        assert!(validate_module(&m).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Darknet stand-in (pay-by-computation, Fig 10): a small
+//! convolutional network classifying images.
+//!
+//! The paper compiles Darknet's reference classifier to WebAssembly;
+//! we substitute a self-contained CNN with the same computational
+//! character — convolution, ReLU, max-pooling, dense layer — over
+//! deterministic fixed-point "pre-trained" weights, classifying the
+//! same deterministic image patterns the FaaS scenario uses.
+//!
+//! Architecture (input `S x S` grayscale):
+//! conv 3x3 x `FILTERS` (valid) -> ReLU -> maxpool 2x2 -> flatten ->
+//! dense 10 -> argmax.
+
+use acctee_wasm::builder::{Bound, ModuleBuilder};
+use acctee_wasm::op::{NumOp, StoreOp};
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+/// Number of convolution filters.
+pub const FILTERS: usize = 4;
+/// Number of output classes.
+pub const CLASSES: usize = 10;
+
+/// Deterministic "pre-trained" weight generator.
+fn weight(tag: u32, i: u32) -> f64 {
+    let x = (u64::from(tag) << 32 | u64::from(i))
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((x >> 40) as f64 / (1u64 << 24) as f64) - 0.5
+}
+
+/// Deterministic input image (`s x s`, values in [0, 1)).
+fn image_value(x: i32, y: i32, variant: i32) -> f64 {
+    f64::from((x * 3 + y * 7 + variant * 13 + 5) % 256) / 256.0
+}
+
+/// Builds the classifier module: `run(variant: i32) -> f64` returns
+/// `argmax * 1000 + round(score * 100)` as an f64 checksum.
+pub fn darknet_module(s: usize) -> Module {
+    let conv_out = s - 2;
+    let pool_out = conv_out / 2;
+    let dense_in = pool_out * pool_out * FILTERS;
+
+    let l_img = 64u32;
+    let l_conv = l_img + (s * s * 8) as u32;
+    let l_pool = l_conv + (conv_out * conv_out * FILTERS * 8) as u32;
+    let l_kern = l_pool + (pool_out * pool_out * FILTERS * 8) as u32;
+    let l_dense = l_kern + (FILTERS * 9 * 8) as u32;
+    let l_scores = l_dense + (dense_in * CLASSES * 8) as u32;
+    let total = l_scores + (CLASSES * 8) as u32;
+
+    // Bake weights into data segments.
+    let mut kern_bytes = Vec::new();
+    for fi in 0..FILTERS {
+        for k in 0..9 {
+            kern_bytes.extend_from_slice(&weight(1, (fi * 9 + k) as u32).to_le_bytes());
+        }
+    }
+    let mut dense_bytes = Vec::new();
+    for i in 0..dense_in {
+        for c in 0..CLASSES {
+            dense_bytes
+                .extend_from_slice(&weight(2, (i * CLASSES + c) as u32).to_le_bytes());
+        }
+    }
+
+    let mut b = ModuleBuilder::new();
+    b.memory(total.div_ceil(65536) + 1, None);
+    b.data(l_kern, &kern_bytes);
+    b.data(l_dense, &dense_bytes);
+
+    let run = b.func("run", &[ValType::I32], &[ValType::F64], move |f| {
+        use Bound::Const as C;
+        let variant = 0u32; // param index
+        let x = f.local(ValType::I32);
+        let y = f.local(ValType::I32);
+        let fi = f.local(ValType::I32);
+        let kx = f.local(ValType::I32);
+        let ky = f.local(ValType::I32);
+        let c = f.local(ValType::I32);
+        let i = f.local(ValType::I32);
+        let t = f.local(ValType::F64);
+        let best = f.local(ValType::F64);
+        let best_idx = f.local(ValType::I32);
+        let si = s as i32;
+        let co = conv_out as i32;
+        let po = pool_out as i32;
+
+        // image init: img[y][x] = ((x*3 + y*7 + variant*13 + 5) % 256)/256
+        f.for_loop(y, C(0), C(si), |f| {
+            f.for_loop(x, C(0), C(si), |f| {
+                f.local_get(y);
+                f.i32_const(si);
+                f.i32_mul();
+                f.local_get(x);
+                f.i32_add();
+                f.i32_const(3);
+                f.i32_shl();
+                f.local_get(x);
+                f.i32_const(3);
+                f.i32_mul();
+                f.local_get(y);
+                f.i32_const(7);
+                f.i32_mul();
+                f.i32_add();
+                f.local_get(variant);
+                f.i32_const(13);
+                f.i32_mul();
+                f.i32_add();
+                f.i32_const(5);
+                f.i32_add();
+                f.i32_const(256);
+                f.num(NumOp::I32RemS);
+                f.num(NumOp::F64ConvertI32S);
+                f.f64_const(256.0);
+                f.f64_div();
+                f.store(StoreOp::F64Store, l_img);
+            });
+        });
+        // conv + relu: conv[f][y][x] = relu(Σ img[y+ky][x+kx]*k[f][ky][kx])
+        f.for_loop(fi, C(0), C(FILTERS as i32), |f| {
+            f.for_loop(y, C(0), C(co), |f| {
+                f.for_loop(x, C(0), C(co), |f| {
+                    f.f64_const(0.0);
+                    f.local_set(t);
+                    f.for_loop(ky, C(0), C(3), |f| {
+                        f.for_loop(kx, C(0), C(3), |f| {
+                            f.local_get(t);
+                            // img[(y+ky)*s + (x+kx)]
+                            f.local_get(y);
+                            f.local_get(ky);
+                            f.i32_add();
+                            f.i32_const(si);
+                            f.i32_mul();
+                            f.local_get(x);
+                            f.i32_add();
+                            f.local_get(kx);
+                            f.i32_add();
+                            f.i32_const(3);
+                            f.i32_shl();
+                            f.f64_load(l_img);
+                            // kern[fi*9 + ky*3 + kx]
+                            f.local_get(fi);
+                            f.i32_const(9);
+                            f.i32_mul();
+                            f.local_get(ky);
+                            f.i32_const(3);
+                            f.i32_mul();
+                            f.i32_add();
+                            f.local_get(kx);
+                            f.i32_add();
+                            f.i32_const(3);
+                            f.i32_shl();
+                            f.f64_load(l_kern);
+                            f.f64_mul();
+                            f.f64_add();
+                            f.local_set(t);
+                        });
+                    });
+                    // relu + store at conv[(fi*co + y)*co + x]
+                    f.local_get(fi);
+                    f.i32_const(co);
+                    f.i32_mul();
+                    f.local_get(y);
+                    f.i32_add();
+                    f.i32_const(co);
+                    f.i32_mul();
+                    f.local_get(x);
+                    f.i32_add();
+                    f.i32_const(3);
+                    f.i32_shl();
+                    f.local_get(t);
+                    f.f64_const(0.0);
+                    f.num(NumOp::F64Max);
+                    f.store(StoreOp::F64Store, l_conv);
+                });
+            });
+        });
+        // maxpool 2x2: pool[(fi*po+y)*po+x] = max of 4
+        f.for_loop(fi, C(0), C(FILTERS as i32), |f| {
+            f.for_loop(y, C(0), C(po), |f| {
+                f.for_loop(x, C(0), C(po), |f| {
+                    let conv_at = |f: &mut acctee_wasm::builder::FuncBuilder,
+                                   dy: i32,
+                                   dx: i32| {
+                        f.local_get(fi);
+                        f.i32_const(co);
+                        f.i32_mul();
+                        f.local_get(y);
+                        f.i32_const(2);
+                        f.i32_mul();
+                        f.i32_const(dy);
+                        f.i32_add();
+                        f.i32_add();
+                        f.i32_const(co);
+                        f.i32_mul();
+                        f.local_get(x);
+                        f.i32_const(2);
+                        f.i32_mul();
+                        f.i32_const(dx);
+                        f.i32_add();
+                        f.i32_add();
+                        f.i32_const(3);
+                        f.i32_shl();
+                        f.f64_load(l_conv);
+                    };
+                    // address first
+                    f.local_get(fi);
+                    f.i32_const(po);
+                    f.i32_mul();
+                    f.local_get(y);
+                    f.i32_add();
+                    f.i32_const(po);
+                    f.i32_mul();
+                    f.local_get(x);
+                    f.i32_add();
+                    f.i32_const(3);
+                    f.i32_shl();
+                    conv_at(f, 0, 0);
+                    conv_at(f, 0, 1);
+                    f.num(NumOp::F64Max);
+                    conv_at(f, 1, 0);
+                    f.num(NumOp::F64Max);
+                    conv_at(f, 1, 1);
+                    f.num(NumOp::F64Max);
+                    f.store(StoreOp::F64Store, l_pool);
+                });
+            });
+        });
+        // dense: scores[c] = Σ_i pool[i] * W[i*CLASSES + c]
+        f.for_loop(c, C(0), C(CLASSES as i32), |f| {
+            f.f64_const(0.0);
+            f.local_set(t);
+            f.for_loop(i, C(0), C(dense_in as i32), |f| {
+                f.local_get(t);
+                f.local_get(i);
+                f.i32_const(3);
+                f.i32_shl();
+                f.f64_load(l_pool);
+                f.local_get(i);
+                f.i32_const(CLASSES as i32);
+                f.i32_mul();
+                f.local_get(c);
+                f.i32_add();
+                f.i32_const(3);
+                f.i32_shl();
+                f.f64_load(l_dense);
+                f.f64_mul();
+                f.f64_add();
+                f.local_set(t);
+            });
+            f.local_get(c);
+            f.i32_const(3);
+            f.i32_shl();
+            f.local_get(t);
+            f.store(StoreOp::F64Store, l_scores);
+        });
+        // argmax
+        f.f64_const(f64::NEG_INFINITY);
+        f.local_set(best);
+        f.i32_const(0);
+        f.local_set(best_idx);
+        f.for_loop(c, C(0), C(CLASSES as i32), |f| {
+            f.local_get(c);
+            f.i32_const(3);
+            f.i32_shl();
+            f.f64_load(l_scores);
+            f.local_get(best);
+            f.num(NumOp::F64Gt);
+            f.if_(acctee_wasm::instr::BlockType::Empty, |f| {
+                f.local_get(c);
+                f.i32_const(3);
+                f.i32_shl();
+                f.f64_load(l_scores);
+                f.local_set(best);
+                f.local_get(c);
+                f.local_set(best_idx);
+            });
+        });
+        // result = best_idx * 1000 + floor(best * 100 + 0.5)
+        f.local_get(best_idx);
+        f.i32_const(1000);
+        f.i32_mul();
+        f.num(NumOp::F64ConvertI32S);
+        f.local_get(best);
+        f.f64_const(100.0);
+        f.f64_mul();
+        f.f64_const(0.5);
+        f.f64_add();
+        f.num(NumOp::F64Floor);
+        f.f64_add();
+    });
+    b.export_func("run", run);
+    b.build()
+}
+
+/// Native mirror of [`darknet_module`].
+pub fn darknet_native(s: usize, variant: i32) -> f64 {
+    let conv_out = s - 2;
+    let pool_out = conv_out / 2;
+    let dense_in = pool_out * pool_out * FILTERS;
+    let mut img = vec![0.0; s * s];
+    for y in 0..s {
+        for x in 0..s {
+            img[y * s + x] = image_value(x as i32, y as i32, variant);
+        }
+    }
+    let mut conv = vec![0.0; conv_out * conv_out * FILTERS];
+    for fi in 0..FILTERS {
+        for y in 0..conv_out {
+            for x in 0..conv_out {
+                let mut t = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        t += img[(y + ky) * s + x + kx]
+                            * weight(1, (fi * 9 + ky * 3 + kx) as u32);
+                    }
+                }
+                conv[(fi * conv_out + y) * conv_out + x] = t.max(0.0);
+            }
+        }
+    }
+    let mut pool = vec![0.0; pool_out * pool_out * FILTERS];
+    for fi in 0..FILTERS {
+        for y in 0..pool_out {
+            for x in 0..pool_out {
+                let at = |dy: usize, dx: usize| {
+                    conv[(fi * conv_out + y * 2 + dy) * conv_out + x * 2 + dx]
+                };
+                pool[(fi * pool_out + y) * pool_out + x] =
+                    at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1));
+            }
+        }
+    }
+    let mut best = f64::NEG_INFINITY;
+    let mut best_idx = 0usize;
+    for c in 0..CLASSES {
+        let mut t = 0.0;
+        for (i, p) in pool.iter().enumerate().take(dense_in) {
+            t += p * weight(2, (i * CLASSES + c) as u32);
+        }
+        if t > best {
+            best = t;
+            best_idx = c;
+        }
+    }
+    f64::from(best_idx as i32 * 1000) + (best * 100.0 + 0.5).floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance, Value};
+
+    #[test]
+    fn wasm_matches_native() {
+        let m = darknet_module(16);
+        acctee_wasm::validate::validate_module(&m).unwrap();
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        for variant in [0, 1, 5] {
+            let out = inst.invoke("run", &[Value::I32(variant)]).unwrap()[0].as_f64();
+            let native = darknet_native(16, variant);
+            assert_eq!(out.to_bits(), native.to_bits(), "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn different_variants_can_classify_differently() {
+        // Not all variants should produce the identical result value.
+        let outs: Vec<f64> = (0..8).map(|v| darknet_native(16, v)).collect();
+        let first = outs[0];
+        assert!(outs.iter().any(|o| (o - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn weights_are_centred() {
+        let mean: f64 = (0..1000).map(|i| weight(1, i)).sum::<f64>() / 1000.0;
+        assert!(mean.abs() < 0.1, "{mean}");
+    }
+}

@@ -1,0 +1,24 @@
+//! `acctee-workloads` — the evaluation workloads of the AccTEE paper,
+//! authored as WebAssembly modules (through the `acctee-wasm` builder,
+//! standing in for Emscripten) with native Rust reference
+//! implementations.
+//!
+//! * [`polybench`] — all 29 kernels of PolyBench/C 4.2.1 (§5.1, Fig 6);
+//! * [`faas_fns`] — the `echo` and `resize` FaaS functions (§5.3,
+//!   Fig 9), including a MiniJS source for the "JS" baseline;
+//! * [`msieve`] — integer factorisation (NFS@Home stand-in, Fig 10);
+//! * [`pc`] — the PC causal-discovery algorithm (gene@home, Fig 10);
+//! * [`subsetsum`] — SubsetSum@Home's density search (Fig 10);
+//! * [`darknet`] — a small CNN image classifier (pay-by-computation,
+//!   Fig 10).
+//!
+//! Every wasm workload has a native mirror computing the identical
+//! result, which doubles as a differential test of the whole
+//! WebAssembly stack.
+
+pub mod darknet;
+pub mod faas_fns;
+pub mod msieve;
+pub mod pc;
+pub mod polybench;
+pub mod subsetsum;

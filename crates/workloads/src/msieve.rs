@@ -1,0 +1,272 @@
+//! MSieve stand-in (volunteer computing, Fig 10): integer
+//! factorisation of semiprimes.
+//!
+//! NFS@Home distributed lattice-sieving work units; we substitute the
+//! closest self-contained equivalent — trial division plus Pollard's
+//! rho with Floyd cycle detection over a batch of deterministic
+//! semiprimes — which has the same character (integer-heavy inner
+//! loops, data-dependent trip counts, negligible I/O).
+
+use acctee_wasm::builder::{Bound, ModuleBuilder};
+use acctee_wasm::instr::BlockType;
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+/// Deterministic batch of semiprimes (products of two primes drawn
+/// from a fixed table by a seeded LCG). Factors stay below 2^15 so the
+/// semiprime is below 2^31 and the rho iterate `x*x + c` never
+/// overflows a signed 64-bit multiply.
+pub fn semiprimes(count: usize, seed: u64) -> Vec<u64> {
+    const PRIMES: &[u64] = &[8191, 12289, 16381, 17389, 24593, 28657, 32749];
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let p = PRIMES[(x >> 33) as usize % PRIMES.len()];
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let q = PRIMES[(x >> 33) as usize % PRIMES.len()];
+        out.push(p * q);
+    }
+    out
+}
+
+/// Builds the factorisation module: `run() -> i64` factors the batch
+/// baked into linear memory and returns the sum of smallest factors.
+pub fn msieve_module(count: usize, seed: u64) -> Module {
+    let numbers = semiprimes(count, seed);
+    let mut data = Vec::with_capacity(numbers.len() * 8);
+    for n in &numbers {
+        data.extend_from_slice(&n.to_le_bytes());
+    }
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    b.data(64, &data);
+
+    // gcd(a, b) for positive i64.
+    let gcd = b.func("gcd", &[ValType::I64, ValType::I64], &[ValType::I64], |f| {
+        let t = f.local(ValType::I64);
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                // if b == 0 break
+                f.local_get(1);
+                f.num(NumOp::I64Eqz);
+                f.br_if(1);
+                // t = a % b; a = b; b = t
+                f.local_get(0);
+                f.local_get(1);
+                f.num(NumOp::I64RemU);
+                f.local_set(t);
+                f.local_get(1);
+                f.local_set(0);
+                f.local_get(t);
+                f.local_set(1);
+                f.br(0);
+            });
+        });
+        f.local_get(0);
+    });
+
+    // rho(n, c) -> a non-trivial factor of composite odd n (or n on
+    // failure). x,y start at 2; f(x) = (x*x + c) mod n.
+    let rho = b.func("rho", &[ValType::I64, ValType::I64], &[ValType::I64], |f| {
+        let x = f.local(ValType::I64);
+        let y = f.local(ValType::I64);
+        let d = f.local(ValType::I64);
+        let step = |f: &mut acctee_wasm::builder::FuncBuilder, v: u32| {
+            // v = (v*v + c) mod n
+            f.local_get(v);
+            f.local_get(v);
+            f.num(NumOp::I64Mul);
+            f.local_get(1);
+            f.num(NumOp::I64Add);
+            f.local_get(0);
+            f.num(NumOp::I64RemU);
+            f.local_set(v);
+        };
+        f.i64_const(2);
+        f.local_set(x);
+        f.i64_const(2);
+        f.local_set(y);
+        f.i64_const(1);
+        f.local_set(d);
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                // d != 1 -> done
+                f.local_get(d);
+                f.i64_const(1);
+                f.num(NumOp::I64Ne);
+                f.br_if(1);
+                step(f, x);
+                step(f, y);
+                step(f, y);
+                // d = gcd(|x - y|, n)
+                f.local_get(x);
+                f.local_get(y);
+                f.num(NumOp::I64Sub);
+                // abs via select(v, -v, v >= 0)
+                f.local_get(x);
+                f.local_get(y);
+                f.num(NumOp::I64Sub);
+                f.i64_const(-1);
+                f.num(NumOp::I64Mul);
+                f.local_get(x);
+                f.local_get(y);
+                f.num(NumOp::I64Sub);
+                f.i64_const(0);
+                f.num(NumOp::I64GeS);
+                f.select();
+                f.local_get(0);
+                f.call(gcd);
+                f.local_set(d);
+                f.br(0);
+            });
+        });
+        f.local_get(d);
+    });
+
+    // factor(n) -> smallest prime factor: trial division by 2,3,5
+    // then rho with increasing c.
+    let factor = b.func("factor", &[ValType::I64], &[ValType::I64], |f| {
+        let c = f.local(ValType::I64);
+        let d = f.local(ValType::I64);
+        for p in [2i64, 3, 5, 7, 11, 13] {
+            f.local_get(0);
+            f.i64_const(p);
+            f.num(NumOp::I64RemU);
+            f.num(NumOp::I64Eqz);
+            f.if_(BlockType::Empty, |f| {
+                f.i64_const(p);
+                f.ret();
+            });
+        }
+        f.i64_const(1);
+        f.local_set(c);
+        f.block(BlockType::Empty, |f| {
+            f.loop_(BlockType::Empty, |f| {
+                f.local_get(0);
+                f.local_get(c);
+                f.call(rho);
+                f.local_set(d);
+                // success if 1 < d < n
+                f.local_get(d);
+                f.i64_const(1);
+                f.num(NumOp::I64GtU);
+                f.local_get(d);
+                f.local_get(0);
+                f.num(NumOp::I64LtU);
+                f.i32_and();
+                f.br_if(1);
+                f.local_get(c);
+                f.i64_const(1);
+                f.num(NumOp::I64Add);
+                f.local_set(c);
+                f.br(0);
+            });
+        });
+        // return min(d, n/d)
+        f.local_get(d);
+        f.local_get(0);
+        f.local_get(d);
+        f.num(NumOp::I64DivU);
+        f.local_get(d);
+        f.local_get(0);
+        f.local_get(d);
+        f.num(NumOp::I64DivU);
+        f.num(NumOp::I64LtU);
+        f.select();
+    });
+
+    let run = b.func("run", &[], &[ValType::I64], move |f| {
+        let i = f.local(ValType::I32);
+        let sum = f.local(ValType::I64);
+        f.for_loop(i, Bound::Const(0), Bound::Const(count as i32), |f| {
+            f.local_get(sum);
+            f.local_get(i);
+            f.i32_const(3);
+            f.i32_shl();
+            f.load(acctee_wasm::op::LoadOp::I64Load, 64);
+            f.call(factor);
+            f.num(NumOp::I64Add);
+            f.local_set(sum);
+        });
+        f.local_get(sum);
+    });
+    b.export_func("run", run);
+    b.build()
+}
+
+/// Native mirror: same algorithm, same iteration order.
+pub fn msieve_native(count: usize, seed: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    fn rho(n: u64, c: u64) -> u64 {
+        // n < 2^31 so v*v < 2^62: no overflow, matching the wasm i64
+        // arithmetic exactly.
+        let f = |v: u64| (v * v + c) % n;
+        let (mut x, mut y, mut d) = (2u64, 2u64, 1u64);
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = gcd(x.abs_diff(y), n);
+        }
+        d
+    }
+    fn factor(n: u64) -> u64 {
+        for p in [2u64, 3, 5, 7, 11, 13] {
+            if n.is_multiple_of(p) {
+                return p;
+            }
+        }
+        let mut c = 1;
+        loop {
+            let d = rho(n, c);
+            if d > 1 && d < n {
+                return d.min(n / d);
+            }
+            c += 1;
+        }
+    }
+    semiprimes(count, seed).iter().map(|n| factor(*n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance, Value};
+
+    #[test]
+    fn semiprimes_are_deterministic_and_composite() {
+        let a = semiprimes(5, 42);
+        let b = semiprimes(5, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, semiprimes(5, 43));
+        for n in a {
+            assert!(n > 8191 * 8191 / 2, "{n}");
+            assert!(n < 1 << 31, "{n} must stay below 2^31");
+        }
+    }
+
+    #[test]
+    fn wasm_factors_match_native() {
+        let m = msieve_module(4, 7);
+        acctee_wasm::validate::validate_module(&m).unwrap();
+        let mut inst = Instance::new(&m, Imports::new()).unwrap();
+        let out = inst.invoke("run", &[]).unwrap();
+        assert_eq!(out, vec![Value::I64(msieve_native(4, 7) as i64)]);
+    }
+
+    #[test]
+    fn factor_of_first_semiprime_divides_it() {
+        let first = semiprimes(1, 99)[0];
+        let f = msieve_native(1, 99); // sum over one number = its factor
+        assert!(f > 1 && f < first);
+        assert_eq!(first % f, 0);
+    }
+}

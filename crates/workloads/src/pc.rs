@@ -1,0 +1,395 @@
+//! PC-algorithm stand-in (gene@home, Fig 10): causal-skeleton
+//! discovery over synthetic expression data.
+//!
+//! The BOINC `pc-boinc` work units run the PC algorithm's
+//! conditional-independence pruning over gene-expression matrices. We
+//! implement the order-0 and order-1 phases: compute the correlation
+//! matrix, drop edges with |r| below a threshold, then drop edges whose
+//! first-order partial correlation `r_ij.k` falls below the threshold
+//! for some k. (The paper's implementation uses Fisher's z; WebAssembly
+//! has no `ln` instruction, so both our wasm and native versions
+//! threshold the correlation directly — same workload shape, see
+//! DESIGN.md.)
+
+use acctee_wasm::builder::{Bound, ModuleBuilder};
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+const THRESHOLD: f64 = 0.08;
+
+/// Deterministic synthetic data: `vars` variables x `samples` rows,
+/// with some built-in linear structure so edges exist.
+fn data_value(s: i32, v: i32, vars: i32) -> f64 {
+    // base noise
+    let noise = f64::from((s * 37 + v * 17 + 11) % 101) / 101.0;
+    // couple variable v to v-1 for structure
+    let coupled = f64::from((s * 37 + (v - 1).rem_euclid(vars) * 17 + 11) % 101) / 101.0;
+    noise + 0.5 * coupled
+}
+
+/// Builds the PC module: `run() -> f64` returns
+/// `remaining_edges + Σ removed_orders`.
+pub fn pc_module(vars: usize, samples: usize) -> Module {
+    let p = vars;
+    let n = samples;
+    let mut b = ModuleBuilder::new();
+    let bytes = 64 + (p * n + p * p + p * p + 2 * p) * 8;
+    b.memory((bytes as u32).div_ceil(65536) + 1, None);
+    // layout
+    let data_off = 64u32;
+    let corr_off = data_off + (p * n * 8) as u32;
+    let adj_off = corr_off + (p * p * 8) as u32;
+    let mean_off = adj_off + (p * p * 8) as u32;
+    let sd_off = mean_off + (p * 8) as u32;
+
+    let run = b.func("run", &[], &[ValType::F64], move |f| {
+        use Bound::Const as C;
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let s = f.local(ValType::I32);
+        let t = f.local(ValType::F64);
+        let rij = f.local(ValType::F64);
+        let rik = f.local(ValType::F64);
+        let rjk = f.local(ValType::F64);
+        let result = f.local(ValType::F64);
+        let pi = p as i32;
+        let ni = n as i32;
+
+        let data_addr = |f: &mut acctee_wasm::builder::FuncBuilder, s: u32, v: u32| {
+            f.local_get(s);
+            f.i32_const(pi);
+            f.i32_mul();
+            f.local_get(v);
+            f.i32_add();
+            f.i32_const(3);
+            f.i32_shl();
+        };
+        let mat_addr = |f: &mut acctee_wasm::builder::FuncBuilder, a: u32, b_: u32| {
+            f.local_get(a);
+            f.i32_const(pi);
+            f.i32_mul();
+            f.local_get(b_);
+            f.i32_add();
+            f.i32_const(3);
+            f.i32_shl();
+        };
+        let vec_addr = |f: &mut acctee_wasm::builder::FuncBuilder, a: u32| {
+            f.local_get(a);
+            f.i32_const(3);
+            f.i32_shl();
+        };
+
+        // init data
+        f.for_loop(s, C(0), C(ni), |f| {
+            f.for_loop(j, C(0), C(pi), |f| {
+                data_addr(f, s, j);
+                // noise
+                f.local_get(s);
+                f.i32_const(37);
+                f.i32_mul();
+                f.local_get(j);
+                f.i32_const(17);
+                f.i32_mul();
+                f.i32_add();
+                f.i32_const(11);
+                f.i32_add();
+                f.i32_const(101);
+                f.num(NumOp::I32RemS);
+                f.num(NumOp::F64ConvertI32S);
+                f.f64_const(101.0);
+                f.f64_div();
+                // coupled: ((j-1) mod p) via rem_euclid = ((j-1)%p+p)%p
+                f.f64_const(0.5);
+                f.local_get(s);
+                f.i32_const(37);
+                f.i32_mul();
+                f.local_get(j);
+                f.i32_const(1);
+                f.i32_sub();
+                f.i32_const(pi);
+                f.num(NumOp::I32RemS);
+                f.i32_const(pi);
+                f.i32_add();
+                f.i32_const(pi);
+                f.num(NumOp::I32RemS);
+                f.i32_const(17);
+                f.i32_mul();
+                f.i32_add();
+                f.i32_const(11);
+                f.i32_add();
+                f.i32_const(101);
+                f.num(NumOp::I32RemS);
+                f.num(NumOp::F64ConvertI32S);
+                f.f64_const(101.0);
+                f.f64_div();
+                f.f64_mul();
+                f.f64_add();
+                f.store(acctee_wasm::op::StoreOp::F64Store, data_off);
+            });
+        });
+        // means
+        f.for_loop(j, C(0), C(pi), |f| {
+            f.f64_const(0.0);
+            f.local_set(t);
+            f.for_loop(s, C(0), C(ni), |f| {
+                f.local_get(t);
+                data_addr(f, s, j);
+                f.f64_load(data_off);
+                f.f64_add();
+                f.local_set(t);
+            });
+            vec_addr(f, j);
+            f.local_get(t);
+            f.f64_const(n as f64);
+            f.f64_div();
+            f.store(acctee_wasm::op::StoreOp::F64Store, mean_off);
+        });
+        // stddevs
+        f.for_loop(j, C(0), C(pi), |f| {
+            f.f64_const(0.0);
+            f.local_set(t);
+            f.for_loop(s, C(0), C(ni), |f| {
+                f.local_get(t);
+                data_addr(f, s, j);
+                f.f64_load(data_off);
+                vec_addr(f, j);
+                f.f64_load(mean_off);
+                f.f64_sub();
+                data_addr(f, s, j);
+                f.f64_load(data_off);
+                vec_addr(f, j);
+                f.f64_load(mean_off);
+                f.f64_sub();
+                f.f64_mul();
+                f.f64_add();
+                f.local_set(t);
+            });
+            vec_addr(f, j);
+            f.local_get(t);
+            f.f64_const(n as f64);
+            f.f64_div();
+            f.f64_sqrt();
+            f.store(acctee_wasm::op::StoreOp::F64Store, sd_off);
+        });
+        // correlation matrix
+        f.for_loop(i, C(0), C(pi), |f| {
+            f.for_loop(j, C(0), C(pi), |f| {
+                f.f64_const(0.0);
+                f.local_set(t);
+                f.for_loop(s, C(0), C(ni), |f| {
+                    f.local_get(t);
+                    data_addr(f, s, i);
+                    f.f64_load(data_off);
+                    vec_addr(f, i);
+                    f.f64_load(mean_off);
+                    f.f64_sub();
+                    data_addr(f, s, j);
+                    f.f64_load(data_off);
+                    vec_addr(f, j);
+                    f.f64_load(mean_off);
+                    f.f64_sub();
+                    f.f64_mul();
+                    f.f64_add();
+                    f.local_set(t);
+                });
+                mat_addr(f, i, j);
+                f.local_get(t);
+                f.f64_const(n as f64);
+                f.f64_div();
+                vec_addr(f, i);
+                f.f64_load(sd_off);
+                vec_addr(f, j);
+                f.f64_load(sd_off);
+                f.f64_mul();
+                f.f64_div();
+                f.store(acctee_wasm::op::StoreOp::F64Store, corr_off);
+            });
+        });
+        // adjacency: order-0 pruning. adj = |r| > THRESHOLD (off-diag).
+        f.for_loop(i, C(0), C(pi), |f| {
+            f.for_loop(j, C(0), C(pi), |f| {
+                mat_addr(f, i, j);
+                // value: (i != j) && |r| > thr
+                mat_addr(f, i, j);
+                f.f64_load(corr_off);
+                f.num(NumOp::F64Abs);
+                f.f64_const(THRESHOLD);
+                f.num(NumOp::F64Gt);
+                f.local_get(i);
+                f.local_get(j);
+                f.num(NumOp::I32Ne);
+                f.i32_and();
+                f.num(NumOp::F64ConvertI32S);
+                f.store(acctee_wasm::op::StoreOp::F64Store, adj_off);
+            });
+        });
+        // order-1: remove edge (i,j) if exists k adjacent to i with
+        // |r_ij.k| <= THRESHOLD.
+        f.for_loop(i, C(0), C(pi), |f| {
+            f.for_loop(j, C(0), C(pi), |f| {
+                // skip non-edges
+                mat_addr(f, i, j);
+                f.f64_load(adj_off);
+                f.f64_const(0.5);
+                f.num(NumOp::F64Gt);
+                f.if_(acctee_wasm::instr::BlockType::Empty, |f| {
+                    f.for_loop(k, C(0), C(pi), |f| {
+                        // k != i, k != j
+                        f.local_get(k);
+                        f.local_get(i);
+                        f.num(NumOp::I32Ne);
+                        f.local_get(k);
+                        f.local_get(j);
+                        f.num(NumOp::I32Ne);
+                        f.i32_and();
+                        f.if_(acctee_wasm::instr::BlockType::Empty, |f| {
+                            mat_addr(f, i, j);
+                            f.f64_load(corr_off);
+                            f.local_set(rij);
+                            mat_addr(f, i, k);
+                            f.f64_load(corr_off);
+                            f.local_set(rik);
+                            mat_addr(f, j, k);
+                            f.f64_load(corr_off);
+                            f.local_set(rjk);
+                            // pr = (rij - rik*rjk)/sqrt((1-rik^2)(1-rjk^2))
+                            f.local_get(rij);
+                            f.local_get(rik);
+                            f.local_get(rjk);
+                            f.f64_mul();
+                            f.f64_sub();
+                            f.f64_const(1.0);
+                            f.local_get(rik);
+                            f.local_get(rik);
+                            f.f64_mul();
+                            f.f64_sub();
+                            f.f64_const(1.0);
+                            f.local_get(rjk);
+                            f.local_get(rjk);
+                            f.f64_mul();
+                            f.f64_sub();
+                            f.f64_mul();
+                            f.f64_sqrt();
+                            f.f64_div();
+                            f.num(NumOp::F64Abs);
+                            f.f64_const(THRESHOLD);
+                            f.num(NumOp::F64Le);
+                            f.if_(acctee_wasm::instr::BlockType::Empty, |f| {
+                                mat_addr(f, i, j);
+                                f.f64_const(0.0);
+                                f.store(acctee_wasm::op::StoreOp::F64Store, adj_off);
+                            });
+                        });
+                    });
+                });
+            });
+        });
+        // result = Σ adj
+        f.f64_const(0.0);
+        f.local_set(result);
+        f.for_loop(i, C(0), C(pi), |f| {
+            f.for_loop(j, C(0), C(pi), |f| {
+                f.local_get(result);
+                mat_addr(f, i, j);
+                f.f64_load(adj_off);
+                f.f64_add();
+                f.local_set(result);
+            });
+        });
+        f.local_get(result);
+    });
+    b.export_func("run", run);
+    b.build()
+}
+
+/// Native mirror of [`pc_module`].
+pub fn pc_native(vars: usize, samples: usize) -> f64 {
+    let p = vars;
+    let n = samples;
+    let mut data = vec![0.0; n * p];
+    for s in 0..n {
+        for v in 0..p {
+            data[s * p + v] = data_value(s as i32, v as i32, p as i32);
+        }
+    }
+    let mut mean = vec![0.0; p];
+    for j in 0..p {
+        let mut t = 0.0;
+        for s in 0..n {
+            t += data[s * p + j];
+        }
+        mean[j] = t / n as f64;
+    }
+    let mut sd = vec![0.0; p];
+    for j in 0..p {
+        let mut t = 0.0;
+        for s in 0..n {
+            t += (data[s * p + j] - mean[j]) * (data[s * p + j] - mean[j]);
+        }
+        sd[j] = (t / n as f64).sqrt();
+    }
+    let mut corr = vec![0.0; p * p];
+    for i in 0..p {
+        for j in 0..p {
+            let mut t = 0.0;
+            for s in 0..n {
+                t += (data[s * p + i] - mean[i]) * (data[s * p + j] - mean[j]);
+            }
+            corr[i * p + j] = t / n as f64 / (sd[i] * sd[j]);
+        }
+    }
+    let mut adj = vec![0.0; p * p];
+    for i in 0..p {
+        for j in 0..p {
+            adj[i * p + j] =
+                f64::from(u8::from(corr[i * p + j].abs() > THRESHOLD && i != j));
+        }
+    }
+    for i in 0..p {
+        for j in 0..p {
+            if adj[i * p + j] > 0.5 {
+                for k in 0..p {
+                    if k != i && k != j {
+                        let rij = corr[i * p + j];
+                        let rik = corr[i * p + k];
+                        let rjk = corr[j * p + k];
+                        let pr = (rij - rik * rjk)
+                            / ((1.0 - rik * rik) * (1.0 - rjk * rjk)).sqrt();
+                        if pr.abs() <= THRESHOLD {
+                            adj[i * p + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    adj.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance};
+
+    #[test]
+    fn wasm_matches_native() {
+        for (p, n) in [(6usize, 20usize), (8, 30)] {
+            let m = pc_module(p, n);
+            acctee_wasm::validate::validate_module(&m).unwrap();
+            let mut inst = Instance::new(&m, Imports::new()).unwrap();
+            let out = inst.invoke("run", &[]).unwrap()[0].as_f64();
+            assert_eq!(out.to_bits(), pc_native(p, n).to_bits(), "p={p} n={n}");
+        }
+    }
+
+    #[test]
+    fn skeleton_has_some_structure() {
+        // The coupled generator must produce a non-trivial graph:
+        // neither empty nor complete.
+        let edges = pc_native(8, 40);
+        assert!(edges > 0.0, "graph must not be empty");
+        assert!(edges < (8.0 * 7.0), "graph must not be complete");
+    }
+}

@@ -1,0 +1,299 @@
+//! PolyBench data-mining kernels: `correlation`, `covariance`.
+
+use acctee_wasm::builder::Bound;
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+use super::helpers::*;
+
+// ---------------------------------------------------------- covariance
+
+/// Covariance matrix of an n x n data set.
+pub fn covariance_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let data = l.mat(n, n);
+    let cov = l.mat(n, n);
+    let mean = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        let nf = n as f64;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                data.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 1, m, f64::from(m)));
+            });
+        });
+        // mean[j] = Σ_i data[i][j] / n
+        for_n(f, j, n, |f| {
+            mean.store(f, j, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, i, n, |f| {
+                mean.addr(f, j);
+                mean.load(f, j);
+                data.load(f, i, j);
+                f.f64_add();
+                f.f64_store(mean.base);
+            });
+            mean.store(f, j, |f| {
+                mean.load(f, j);
+                f.f64_const(nf);
+                f.f64_div();
+            });
+        });
+        // data -= mean
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                data.addr(f, i, j);
+                data.load(f, i, j);
+                mean.load(f, j);
+                f.f64_sub();
+                f.f64_store(data.base);
+            });
+        });
+        // cov[i][j] = Σ_k data[k][i]*data[k][j] / (n-1), j >= i, mirrored
+        for_n(f, i, n, |f| {
+            f.for_loop(j, Bound::Local(i), Bound::Const(m), |f| {
+                cov.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+                for_n(f, k, n, |f| {
+                    cov.addr(f, i, j);
+                    cov.load(f, i, j);
+                    data.load(f, k, i);
+                    data.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(cov.base);
+                });
+                cov.store(f, i, j, |f| {
+                    cov.load(f, i, j);
+                    f.f64_const(nf - 1.0);
+                    f.f64_div();
+                });
+                cov.store(f, j, i, |f| {
+                    cov.load(f, i, j);
+                });
+            });
+        });
+        checksum_mat(f, cov, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`covariance_build`].
+pub fn covariance_native(n: usize) -> f64 {
+    let m = n as i32;
+    let nf = n as f64;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut data = vec![0.0; n * n];
+    let mut cov = vec![0.0; n * n];
+    let mut mean = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            data[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 3, 1, m, f64::from(m));
+        }
+    }
+    for j in 0..n {
+        mean[j] = 0.0;
+        for i in 0..n {
+            mean[j] += data[idx(i, j)];
+        }
+        mean[j] /= nf;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            data[idx(i, j)] -= mean[j];
+        }
+    }
+    for i in 0..n {
+        for j in i..n {
+            cov[idx(i, j)] = 0.0;
+            for k in 0..n {
+                cov[idx(i, j)] += data[idx(k, i)] * data[idx(k, j)];
+            }
+            cov[idx(i, j)] /= nf - 1.0;
+            cov[idx(j, i)] = cov[idx(i, j)];
+        }
+    }
+    checksum_mat_native(&cov, n, n)
+}
+
+// --------------------------------------------------------- correlation
+
+/// Correlation matrix of an n x n data set.
+pub fn correlation_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let data = l.mat(n, n);
+    let corr = l.mat(n, n);
+    let mean = l.vec(n);
+    let stddev = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let jp1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        let nf = n as f64;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                data.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m)));
+            });
+        });
+        // mean
+        for_n(f, j, n, |f| {
+            mean.store(f, j, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, i, n, |f| {
+                mean.addr(f, j);
+                mean.load(f, j);
+                data.load(f, i, j);
+                f.f64_add();
+                f.f64_store(mean.base);
+            });
+            mean.store(f, j, |f| {
+                mean.load(f, j);
+                f.f64_const(nf);
+                f.f64_div();
+            });
+        });
+        // stddev[j] = sqrt(Σ (d-mean)^2 / n); guard <= 0.1 -> 1.0
+        for_n(f, j, n, |f| {
+            stddev.store(f, j, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, i, n, |f| {
+                stddev.addr(f, j);
+                stddev.load(f, j);
+                data.load(f, i, j);
+                mean.load(f, j);
+                f.f64_sub();
+                data.load(f, i, j);
+                mean.load(f, j);
+                f.f64_sub();
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(stddev.base);
+            });
+            stddev.store(f, j, |f| {
+                // sd = sqrt(s/n); select(sd, 1.0, sd > 0.1)
+                stddev.load(f, j);
+                f.f64_const(nf);
+                f.f64_div();
+                f.f64_sqrt();
+                f.local_set(acc); // reuse acc as scratch f64
+                f.local_get(acc);
+                f.f64_const(1.0);
+                f.local_get(acc);
+                f.f64_const(0.1);
+                f.num(NumOp::F64Gt);
+                f.select();
+            });
+        });
+        f.f64_const(0.0);
+        f.local_set(acc);
+        // normalise
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                data.addr(f, i, j);
+                data.load(f, i, j);
+                mean.load(f, j);
+                f.f64_sub();
+                f.f64_const(nf);
+                f.f64_sqrt();
+                stddev.load(f, j);
+                f.f64_mul();
+                f.f64_div();
+                f.f64_store(data.base);
+            });
+        });
+        // corr: upper triangle, diag 1
+        for_n(f, i, n, |f| {
+            corr.store(f, i, i, |f| {
+                f.f64_const(1.0);
+            });
+        });
+        f.for_loop(i, Bound::Const(0), Bound::Const(m - 1), |f| {
+            f.local_get(i);
+            f.i32_const(1);
+            f.i32_add();
+            f.local_set(jp1);
+            f.for_loop(j, Bound::Local(jp1), Bound::Const(m), |f| {
+                corr.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+                for_n(f, k, n, |f| {
+                    corr.addr(f, i, j);
+                    corr.load(f, i, j);
+                    data.load(f, k, i);
+                    data.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(corr.base);
+                });
+                corr.store(f, j, i, |f| {
+                    corr.load(f, i, j);
+                });
+            });
+        });
+        f.f64_const(0.0);
+        f.local_set(acc);
+        checksum_mat(f, corr, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`correlation_build`].
+pub fn correlation_native(n: usize) -> f64 {
+    let m = n as i32;
+    let nf = n as f64;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut data = vec![0.0; n * n];
+    let mut corr = vec![0.0; n * n];
+    let mut mean = vec![0.0; n];
+    let mut stddev = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            data[idx(i, j)] = frac_init_native(i as i32, j as i32, 2, 1, 1, m, f64::from(m));
+        }
+    }
+    for j in 0..n {
+        mean[j] = 0.0;
+        for i in 0..n {
+            mean[j] += data[idx(i, j)];
+        }
+        mean[j] /= nf;
+    }
+    for j in 0..n {
+        stddev[j] = 0.0;
+        for i in 0..n {
+            stddev[j] += (data[idx(i, j)] - mean[j]) * (data[idx(i, j)] - mean[j]);
+        }
+        let sd = (stddev[j] / nf).sqrt();
+        stddev[j] = if sd > 0.1 { sd } else { 1.0 };
+    }
+    for i in 0..n {
+        for j in 0..n {
+            data[idx(i, j)] = (data[idx(i, j)] - mean[j]) / (nf.sqrt() * stddev[j]);
+        }
+    }
+    for i in 0..n {
+        corr[idx(i, i)] = 1.0;
+    }
+    for i in 0..n - 1 {
+        for j in i + 1..n {
+            corr[idx(i, j)] = 0.0;
+            for k in 0..n {
+                corr[idx(i, j)] += data[idx(k, i)] * data[idx(k, j)];
+            }
+            corr[idx(j, i)] = corr[idx(i, j)];
+        }
+    }
+    checksum_mat_native(&corr, n, n)
+}

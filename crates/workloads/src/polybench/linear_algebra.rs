@@ -1,0 +1,1189 @@
+//! PolyBench linear-algebra kernels: BLAS routines and kernels
+//! (`gemm`, `gemver`, `gesummv`, `symm`, `syr2k`, `syrk`, `trmm`,
+//! `2mm`, `3mm`, `atax`, `bicg`, `doitgen`, `mvt`).
+
+use acctee_wasm::builder::Bound;
+
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+use super::helpers::*;
+
+const ALPHA: f64 = 1.5;
+const BETA: f64 = 1.2;
+
+// ---------------------------------------------------------------- gemm
+
+/// `C = alpha*A*B + beta*C`.
+pub fn gemm_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    let c = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        // init
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 2, m, f64::from(m)));
+                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 3, 3, m, f64::from(m)));
+            });
+        });
+        // kernel
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                c.addr(f, i, j);
+                c.load(f, i, j);
+                f.f64_const(BETA);
+                f.f64_mul();
+                f.f64_store(c.base);
+            });
+            for_n(f, k, n, |f| {
+                for_n(f, j, n, |f| {
+                    c.addr(f, i, j);
+                    c.load(f, i, j);
+                    f.f64_const(ALPHA);
+                    a.load(f, i, k);
+                    f.f64_mul();
+                    b.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(c.base);
+                });
+            });
+        });
+        checksum_mat(f, c, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`gemm_build`].
+pub fn gemm_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 2, 1, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(i as i32, j as i32, 3, 1, 2, m, f64::from(m));
+            c[idx(i, j)] = frac_init_native(i as i32, j as i32, 2, 3, 3, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c[idx(i, j)] *= BETA;
+        }
+        for k in 0..n {
+            for j in 0..n {
+                c[idx(i, j)] += ALPHA * a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+    checksum_mat_native(&c, n, n)
+}
+
+// ----------------------------------------------------------------- 2mm
+
+/// `D = alpha*A*B*C + beta*D` via `tmp = alpha*A*B`.
+pub fn mm2_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    let c = l.mat(n, n);
+    let d = l.mat(n, n);
+    let tmp = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
+                c.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 3, m, f64::from(m)));
+                d.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 2, 4, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                tmp.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+                for_n(f, k, n, |f| {
+                    tmp.addr(f, i, j);
+                    tmp.load(f, i, j);
+                    f.f64_const(ALPHA);
+                    a.load(f, i, k);
+                    f.f64_mul();
+                    b.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(tmp.base);
+                });
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                d.addr(f, i, j);
+                d.load(f, i, j);
+                f.f64_const(BETA);
+                f.f64_mul();
+                f.f64_store(d.base);
+                for_n(f, k, n, |f| {
+                    d.addr(f, i, j);
+                    d.load(f, i, j);
+                    tmp.load(f, i, k);
+                    c.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(d.base);
+                });
+            });
+        });
+        checksum_mat(f, d, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`mm2_build`].
+pub fn mm2_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    let mut d = vec![0.0; n * n];
+    let mut tmp = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            a[idx(i, j)] = frac_init_native(fi, fj, 1, 1, 1, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(fi, fj, 1, 2, 2, m, f64::from(m));
+            c[idx(i, j)] = frac_init_native(fi, fj, 3, 1, 3, m, f64::from(m));
+            d[idx(i, j)] = frac_init_native(fi, fj, 2, 2, 4, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            tmp[idx(i, j)] = 0.0;
+            for k in 0..n {
+                tmp[idx(i, j)] += ALPHA * a[idx(i, k)] * b[idx(k, j)];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            d[idx(i, j)] *= BETA;
+            for k in 0..n {
+                d[idx(i, j)] += tmp[idx(i, k)] * c[idx(k, j)];
+            }
+        }
+    }
+    checksum_mat_native(&d, n, n)
+}
+
+// ----------------------------------------------------------------- 3mm
+
+/// `G = (A*B)*(C*D)`.
+pub fn mm3_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    let c = l.mat(n, n);
+    let d = l.mat(n, n);
+    let e = l.mat(n, n);
+    let ff = l.mat(n, n);
+    let g = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
+                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m)));
+                d.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 3, 3, m, f64::from(m)));
+            });
+        });
+        let product = |f: &mut acctee_wasm::builder::FuncBuilder,
+                       out: Mat,
+                       x: Mat,
+                       y: Mat,
+                       i: u32,
+                       j: u32,
+                       k: u32| {
+            for_n(f, i, n, |f| {
+                for_n(f, j, n, |f| {
+                    out.store(f, i, j, |f| {
+                        f.f64_const(0.0);
+                    });
+                    for_n(f, k, n, |f| {
+                        out.addr(f, i, j);
+                        out.load(f, i, j);
+                        x.load(f, i, k);
+                        y.load(f, k, j);
+                        f.f64_mul();
+                        f.f64_add();
+                        f.f64_store(out.base);
+                    });
+                });
+            });
+        };
+        product(f, e, a, b, i, j, k);
+        product(f, ff, c, d, i, j, k);
+        product(f, g, e, ff, i, j, k);
+        checksum_mat(f, g, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`mm3_build`].
+pub fn mm3_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            a[idx(i, j)] = frac_init_native(fi, fj, 1, 1, 0, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(fi, fj, 1, 2, 1, m, f64::from(m));
+            c[idx(i, j)] = frac_init_native(fi, fj, 2, 1, 2, m, f64::from(m));
+            d[idx(i, j)] = frac_init_native(fi, fj, 2, 3, 3, m, f64::from(m));
+        }
+    }
+    let product = |x: &[f64], y: &[f64]| {
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    out[idx(i, j)] += x[idx(i, k)] * y[idx(k, j)];
+                }
+            }
+        }
+        out
+    };
+    let e = product(&a, &b);
+    let ff = product(&c, &d);
+    let g = product(&e, &ff);
+    checksum_mat_native(&g, n, n)
+}
+
+// ---------------------------------------------------------------- atax
+
+/// `y = A' * (A * x)`.
+pub fn atax_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let x = l.vec(n);
+    let y = l.vec(n);
+    let tmp = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            x.store(f, i, |f| frac_init(f, i, None, 1, 0, 1, m, f64::from(m)));
+            y.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 0, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            tmp.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, j, n, |f| {
+                tmp.addr(f, i);
+                tmp.load(f, i);
+                a.load(f, i, j);
+                x.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(tmp.base);
+            });
+            for_n(f, j, n, |f| {
+                y.addr(f, j);
+                y.load(f, j);
+                a.load(f, i, j);
+                tmp.load(f, i);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(y.base);
+            });
+        });
+        checksum_vec(f, y, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`atax_build`].
+pub fn atax_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        x[i] = frac_init_native(i as i32, 0, 1, 0, 1, m, f64::from(m));
+        y[i] = 0.0;
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 3, 0, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        tmp[i] = 0.0;
+        for j in 0..n {
+            tmp[i] += a[idx(i, j)] * x[j];
+        }
+        for j in 0..n {
+            y[j] += a[idx(i, j)] * tmp[i];
+        }
+    }
+    checksum_vec_native(&y)
+}
+
+// ---------------------------------------------------------------- bicg
+
+/// `s = A' * r; q = A * p`.
+pub fn bicg_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let p = l.vec(n);
+    let r = l.vec(n);
+    let s = l.vec(n);
+    let q = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            p.store(f, i, |f| frac_init(f, i, None, 1, 0, 0, m, f64::from(m)));
+            r.store(f, i, |f| frac_init(f, i, None, 2, 0, 1, m, f64::from(m)));
+            s.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 0, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            q.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, j, n, |f| {
+                s.addr(f, j);
+                s.load(f, j);
+                r.load(f, i);
+                a.load(f, i, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(s.base);
+                q.addr(f, i);
+                q.load(f, i);
+                a.load(f, i, j);
+                p.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(q.base);
+            });
+        });
+        checksum_vec(f, s, n, i, acc);
+        checksum_vec(f, q, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`bicg_build`].
+pub fn bicg_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut p = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    for i in 0..n {
+        p[i] = frac_init_native(i as i32, 0, 1, 0, 0, m, f64::from(m));
+        r[i] = frac_init_native(i as i32, 0, 2, 0, 1, m, f64::from(m));
+        s[i] = 0.0;
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 2, 0, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        q[i] = 0.0;
+        for j in 0..n {
+            s[j] += r[i] * a[idx(i, j)];
+            q[i] += a[idx(i, j)] * p[j];
+        }
+    }
+    checksum_vec_native_acc(&q, checksum_vec_native(&s))
+}
+
+// ----------------------------------------------------------------- mvt
+
+/// `x1 += A*y1; x2 += A'*y2`.
+pub fn mvt_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let x1 = l.vec(n);
+    let x2 = l.vec(n);
+    let y1 = l.vec(n);
+    let y2 = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            x1.store(f, i, |f| frac_init(f, i, None, 1, 0, 0, m, f64::from(m)));
+            x2.store(f, i, |f| frac_init(f, i, None, 1, 0, 1, m, f64::from(m)));
+            y1.store(f, i, |f| frac_init(f, i, None, 3, 0, 2, m, f64::from(m)));
+            y2.store(f, i, |f| frac_init(f, i, None, 2, 0, 3, m, f64::from(m)));
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                x1.addr(f, i);
+                x1.load(f, i);
+                a.load(f, i, j);
+                y1.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(x1.base);
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                x2.addr(f, i);
+                x2.load(f, i);
+                a.load(f, j, i);
+                y2.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(x2.base);
+            });
+        });
+        checksum_vec(f, x1, n, i, acc);
+        checksum_vec(f, x2, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`mvt_build`].
+pub fn mvt_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut x1 = vec![0.0; n];
+    let mut x2 = vec![0.0; n];
+    let mut y1 = vec![0.0; n];
+    let mut y2 = vec![0.0; n];
+    for i in 0..n {
+        x1[i] = frac_init_native(i as i32, 0, 1, 0, 0, m, f64::from(m));
+        x2[i] = frac_init_native(i as i32, 0, 1, 0, 1, m, f64::from(m));
+        y1[i] = frac_init_native(i as i32, 0, 3, 0, 2, m, f64::from(m));
+        y2[i] = frac_init_native(i as i32, 0, 2, 0, 3, m, f64::from(m));
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 1, 0, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x1[i] += a[idx(i, j)] * y1[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x2[i] += a[idx(j, i)] * y2[j];
+        }
+    }
+    checksum_vec_native_acc(&x2, checksum_vec_native(&x1))
+}
+
+// ------------------------------------------------------------- gesummv
+
+/// `y = alpha*A*x + beta*B*x`.
+pub fn gesummv_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    let x = l.vec(n);
+    let y = l.vec(n);
+    let tmp = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            x.store(f, i, |f| frac_init(f, i, None, 1, 0, 0, m, f64::from(m)));
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            tmp.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            y.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, j, n, |f| {
+                tmp.addr(f, i);
+                a.load(f, i, j);
+                x.load(f, j);
+                f.f64_mul();
+                tmp.load(f, i);
+                f.f64_add();
+                f.f64_store(tmp.base);
+                y.addr(f, i);
+                b.load(f, i, j);
+                x.load(f, j);
+                f.f64_mul();
+                y.load(f, i);
+                f.f64_add();
+                f.f64_store(y.base);
+            });
+            y.store(f, i, |f| {
+                f.f64_const(ALPHA);
+                tmp.load(f, i);
+                f.f64_mul();
+                f.f64_const(BETA);
+                y.load(f, i);
+                f.f64_mul();
+                f.f64_add();
+            });
+        });
+        checksum_vec(f, y, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`gesummv_build`].
+pub fn gesummv_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        x[i] = frac_init_native(i as i32, 0, 1, 0, 0, m, f64::from(m));
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 1, 0, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(i as i32, j as i32, 2, 1, 1, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        tmp[i] = 0.0;
+        y[i] = 0.0;
+        for j in 0..n {
+            tmp[i] += a[idx(i, j)] * x[j];
+            y[i] += b[idx(i, j)] * x[j];
+        }
+        y[i] = ALPHA * tmp[i] + BETA * y[i];
+    }
+    checksum_vec_native(&y)
+}
+
+// -------------------------------------------------------------- gemver
+
+/// `A += u1 v1' + u2 v2'; x += beta*A'y + z; w += alpha*A*x`.
+pub fn gemver_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let u1 = l.vec(n);
+    let v1 = l.vec(n);
+    let u2 = l.vec(n);
+    let v2 = l.vec(n);
+    let x = l.vec(n);
+    let y = l.vec(n);
+    let z = l.vec(n);
+    let w = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            u1.store(f, i, |f| frac_init(f, i, None, 1, 0, 0, m, f64::from(m)));
+            u2.store(f, i, |f| frac_init(f, i, None, 1, 0, 1, m, 2.0 * f64::from(m)));
+            v1.store(f, i, |f| frac_init(f, i, None, 1, 0, 2, m, 4.0 * f64::from(m)));
+            v2.store(f, i, |f| frac_init(f, i, None, 1, 0, 3, m, 6.0 * f64::from(m)));
+            y.store(f, i, |f| frac_init(f, i, None, 1, 0, 4, m, 8.0 * f64::from(m)));
+            z.store(f, i, |f| frac_init(f, i, None, 1, 0, 5, m, 9.0 * f64::from(m)));
+            x.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            w.store(f, i, |f| {
+                f.f64_const(0.0);
+            });
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.addr(f, i, j);
+                a.load(f, i, j);
+                u1.load(f, i);
+                v1.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                u2.load(f, i);
+                v2.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(a.base);
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                x.addr(f, i);
+                x.load(f, i);
+                f.f64_const(BETA);
+                a.load(f, j, i);
+                f.f64_mul();
+                y.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(x.base);
+            });
+        });
+        for_n(f, i, n, |f| {
+            x.addr(f, i);
+            x.load(f, i);
+            z.load(f, i);
+            f.f64_add();
+            f.f64_store(x.base);
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                w.addr(f, i);
+                w.load(f, i);
+                f.f64_const(ALPHA);
+                a.load(f, i, j);
+                f.f64_mul();
+                x.load(f, j);
+                f.f64_mul();
+                f.f64_add();
+                f.f64_store(w.base);
+            });
+        });
+        checksum_vec(f, w, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`gemver_build`].
+pub fn gemver_native(n: usize) -> f64 {
+    let m = n as i32;
+    let fm = f64::from(m);
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut u1 = vec![0.0; n];
+    let mut u2 = vec![0.0; n];
+    let mut v1 = vec![0.0; n];
+    let mut v2 = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    for i in 0..n {
+        let fi = i as i32;
+        u1[i] = frac_init_native(fi, 0, 1, 0, 0, m, fm);
+        u2[i] = frac_init_native(fi, 0, 1, 0, 1, m, 2.0 * fm);
+        v1[i] = frac_init_native(fi, 0, 1, 0, 2, m, 4.0 * fm);
+        v2[i] = frac_init_native(fi, 0, 1, 0, 3, m, 6.0 * fm);
+        y[i] = frac_init_native(fi, 0, 1, 0, 4, m, 8.0 * fm);
+        z[i] = frac_init_native(fi, 0, 1, 0, 5, m, 9.0 * fm);
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(fi, j as i32, 1, 1, 0, m, fm);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            a[idx(i, j)] = a[idx(i, j)] + u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x[i] += BETA * a[idx(j, i)] * y[j];
+        }
+    }
+    for i in 0..n {
+        x[i] += z[i];
+    }
+    for i in 0..n {
+        for j in 0..n {
+            w[i] += ALPHA * a[idx(i, j)] * x[j];
+        }
+    }
+    checksum_vec_native(&w)
+}
+
+// ------------------------------------------------------------- doitgen
+
+/// Tensor contraction `A[r][q][p] = Σ_s A[r][q][s] * C4[s][p]`.
+pub fn doitgen_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    // A is n*n x n (rows indexed by r*n+q).
+    let a = l.mat(n * n, n);
+    let c4 = l.mat(n, n);
+    let sum = l.vec(n);
+    kernel_module(&l, move |f| {
+        let r = f.local(ValType::I32);
+        let q = f.local(ValType::I32);
+        let p = f.local(ValType::I32);
+        let s = f.local(ValType::I32);
+        let rq = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let m = n as i32;
+        for_n(f, r, n, |f| {
+            for_n(f, q, n, |f| {
+                f.local_get(r);
+                f.i32_const(m);
+                f.i32_mul();
+                f.local_get(q);
+                f.i32_add();
+                f.local_set(rq);
+                for_n(f, p, n, |f| {
+                    a.store(f, rq, p, |f| frac_init(f, rq, Some(p), 1, 1, 0, m, f64::from(m)));
+                });
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                c4.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
+            });
+        });
+        for_n(f, r, n, |f| {
+            for_n(f, q, n, |f| {
+                f.local_get(r);
+                f.i32_const(m);
+                f.i32_mul();
+                f.local_get(q);
+                f.i32_add();
+                f.local_set(rq);
+                for_n(f, p, n, |f| {
+                    sum.store(f, p, |f| {
+                        f.f64_const(0.0);
+                    });
+                    for_n(f, s, n, |f| {
+                        sum.addr(f, p);
+                        sum.load(f, p);
+                        a.load(f, rq, s);
+                        c4.load(f, s, p);
+                        f.f64_mul();
+                        f.f64_add();
+                        f.f64_store(sum.base);
+                    });
+                });
+                for_n(f, p, n, |f| {
+                    a.store(f, rq, p, |f| {
+                        sum.load(f, p);
+                    });
+                });
+            });
+        });
+        checksum_mat(f, a, n * n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`doitgen_build`].
+pub fn doitgen_native(n: usize) -> f64 {
+    let m = n as i32;
+    let mut a = vec![0.0; n * n * n];
+    let mut c4 = vec![0.0; n * n];
+    let mut sum = vec![0.0; n];
+    for r in 0..n {
+        for q in 0..n {
+            let rq = r * n + q;
+            for p in 0..n {
+                a[rq * n + p] = frac_init_native(rq as i32, p as i32, 1, 1, 0, m, f64::from(m));
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            c4[i * n + j] = frac_init_native(i as i32, j as i32, 1, 2, 1, m, f64::from(m));
+        }
+    }
+    for r in 0..n {
+        for q in 0..n {
+            let rq = r * n + q;
+            for p in 0..n {
+                sum[p] = 0.0;
+                for s in 0..n {
+                    sum[p] += a[rq * n + s] * c4[s * n + p];
+                }
+            }
+            for p in 0..n {
+                a[rq * n + p] = sum[p];
+            }
+        }
+    }
+    checksum_mat_native(&a, n * n, n)
+}
+
+// ---------------------------------------------------------------- symm
+
+/// Symmetric matrix multiply (PolyBench variant).
+pub fn symm_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    let c = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let temp2 = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m)));
+                c.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                f.f64_const(0.0);
+                f.local_set(temp2);
+                // for k < i
+                f.for_loop(k, Bound::Const(0), Bound::Local(i), |f| {
+                    c.addr(f, k, j);
+                    c.load(f, k, j);
+                    f.f64_const(ALPHA);
+                    b.load(f, i, j);
+                    f.f64_mul();
+                    a.load(f, i, k);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(c.base);
+                    f.local_get(temp2);
+                    b.load(f, k, j);
+                    a.load(f, i, k);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.local_set(temp2);
+                });
+                c.store(f, i, j, |f| {
+                    f.f64_const(BETA);
+                    c.load(f, i, j);
+                    f.f64_mul();
+                    f.f64_const(ALPHA);
+                    b.load(f, i, j);
+                    f.f64_mul();
+                    a.load(f, i, i);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_const(ALPHA);
+                    f.local_get(temp2);
+                    f.f64_mul();
+                    f.f64_add();
+                });
+            });
+        });
+        checksum_mat(f, c, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`symm_build`].
+pub fn symm_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            a[idx(i, j)] = frac_init_native(fi, fj, 1, 1, 0, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(fi, fj, 2, 1, 1, m, f64::from(m));
+            c[idx(i, j)] = frac_init_native(fi, fj, 1, 2, 2, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut temp2 = 0.0;
+            for k in 0..i {
+                c[idx(k, j)] += ALPHA * b[idx(i, j)] * a[idx(i, k)];
+                temp2 += b[idx(k, j)] * a[idx(i, k)];
+            }
+            c[idx(i, j)] =
+                BETA * c[idx(i, j)] + ALPHA * b[idx(i, j)] * a[idx(i, i)] + ALPHA * temp2;
+        }
+    }
+    checksum_mat_native(&c, n, n)
+}
+
+// --------------------------------------------------------------- syr2k
+
+/// Symmetric rank-2k update (lower triangle).
+pub fn syr2k_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    let c = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
+                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            f.local_get(i);
+            f.i32_const(1);
+            f.i32_add();
+            f.local_set(ip1);
+            f.for_loop(j, Bound::Const(0), Bound::Local(ip1), |f| {
+                c.addr(f, i, j);
+                c.load(f, i, j);
+                f.f64_const(BETA);
+                f.f64_mul();
+                f.f64_store(c.base);
+            });
+            for_n(f, k, n, |f| {
+                f.for_loop(j, Bound::Const(0), Bound::Local(ip1), |f| {
+                    c.addr(f, i, j);
+                    c.load(f, i, j);
+                    a.load(f, j, k);
+                    f.f64_const(ALPHA);
+                    f.f64_mul();
+                    b.load(f, i, k);
+                    f.f64_mul();
+                    f.f64_add();
+                    b.load(f, j, k);
+                    f.f64_const(ALPHA);
+                    f.f64_mul();
+                    a.load(f, i, k);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(c.base);
+                });
+            });
+        });
+        checksum_mat(f, c, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`syr2k_build`].
+pub fn syr2k_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            a[idx(i, j)] = frac_init_native(fi, fj, 1, 1, 0, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(fi, fj, 1, 2, 1, m, f64::from(m));
+            c[idx(i, j)] = frac_init_native(fi, fj, 2, 1, 2, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..=i {
+            c[idx(i, j)] *= BETA;
+        }
+        for k in 0..n {
+            for j in 0..=i {
+                c[idx(i, j)] = c[idx(i, j)]
+                    + a[idx(j, k)] * ALPHA * b[idx(i, k)]
+                    + b[idx(j, k)] * ALPHA * a[idx(i, k)];
+            }
+        }
+    }
+    checksum_mat_native(&c, n, n)
+}
+
+// ---------------------------------------------------------------- syrk
+
+/// Symmetric rank-k update (lower triangle).
+pub fn syrk_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let c = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 1, m, f64::from(m)));
+                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            f.local_get(i);
+            f.i32_const(1);
+            f.i32_add();
+            f.local_set(ip1);
+            f.for_loop(j, Bound::Const(0), Bound::Local(ip1), |f| {
+                c.addr(f, i, j);
+                c.load(f, i, j);
+                f.f64_const(BETA);
+                f.f64_mul();
+                f.f64_store(c.base);
+            });
+            for_n(f, k, n, |f| {
+                f.for_loop(j, Bound::Const(0), Bound::Local(ip1), |f| {
+                    c.addr(f, i, j);
+                    c.load(f, i, j);
+                    f.f64_const(ALPHA);
+                    a.load(f, i, k);
+                    f.f64_mul();
+                    a.load(f, j, k);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(c.base);
+                });
+            });
+        });
+        checksum_mat(f, c, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`syrk_build`].
+pub fn syrk_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            a[idx(i, j)] = frac_init_native(fi, fj, 1, 3, 1, m, f64::from(m));
+            c[idx(i, j)] = frac_init_native(fi, fj, 2, 1, 2, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..=i {
+            c[idx(i, j)] *= BETA;
+        }
+        for k in 0..n {
+            for j in 0..=i {
+                c[idx(i, j)] += ALPHA * a[idx(i, k)] * a[idx(j, k)];
+            }
+        }
+    }
+    checksum_mat_native(&c, n, n)
+}
+
+// ---------------------------------------------------------------- trmm
+
+/// Triangular matrix multiply `B := alpha * A' * B`.
+pub fn trmm_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 1, m, f64::from(m)));
+            });
+        });
+        for_n(f, i, n, |f| {
+            f.local_get(i);
+            f.i32_const(1);
+            f.i32_add();
+            f.local_set(ip1);
+            for_n(f, j, n, |f| {
+                f.for_loop(k, Bound::Local(ip1), Bound::Const(n as i32), |f| {
+                    b.addr(f, i, j);
+                    b.load(f, i, j);
+                    a.load(f, k, i);
+                    b.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(b.base);
+                });
+                b.addr(f, i, j);
+                f.f64_const(ALPHA);
+                b.load(f, i, j);
+                f.f64_mul();
+                f.f64_store(b.base);
+            });
+        });
+        checksum_mat(f, b, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`trmm_build`].
+pub fn trmm_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            a[idx(i, j)] = frac_init_native(fi, fj, 1, 1, 0, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(fi, fj, 3, 1, 1, m, f64::from(m));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in i + 1..n {
+                b[idx(i, j)] += a[idx(k, i)] * b[idx(k, j)];
+            }
+            b[idx(i, j)] = ALPHA * b[idx(i, j)];
+        }
+    }
+    checksum_mat_native(&b, n, n)
+}

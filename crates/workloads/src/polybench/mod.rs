@@ -1,0 +1,225 @@
+//! All 29 kernels of PolyBench/C 4.2.1 (the §5.1 / Fig 6 benchmark
+//! suite), hand-ported to WebAssembly through the builder DSL with
+//! native Rust mirrors.
+//!
+//! Every kernel builds a module exporting `run() -> f64` returning a
+//! position-weighted checksum of its output arrays; the native mirror
+//! performs the identical floating-point operations in the identical
+//! order, so the checksums agree **bit-for-bit** — a differential test
+//! of the whole decoder/validator/interpreter stack.
+
+pub mod datamining;
+pub mod helpers;
+pub mod linear_algebra;
+pub mod medley;
+pub mod solvers;
+pub mod stencils;
+
+use acctee_wasm::Module;
+
+/// One PolyBench kernel: a wasm builder and a native mirror.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    /// PolyBench kernel name (e.g. `"gemm"`).
+    pub name: &'static str,
+    /// Builds the wasm module for problem size `n`.
+    pub build: fn(usize) -> Module,
+    /// Runs the native mirror, returning the same checksum.
+    pub native: fn(usize) -> f64,
+    /// A small default problem size for tests (MINI-like).
+    pub default_n: usize,
+}
+
+/// The full suite, in the order of the paper's Fig. 6.
+pub fn all() -> Vec<Kernel> {
+    use datamining as dm;
+    use linear_algebra as la;
+    use medley as md;
+    use solvers as so;
+    use stencils as st;
+    vec![
+        Kernel { name: "2mm", build: la::mm2_build, native: la::mm2_native, default_n: 12 },
+        Kernel { name: "3mm", build: la::mm3_build, native: la::mm3_native, default_n: 12 },
+        Kernel { name: "adi", build: st::adi_build, native: st::adi_native, default_n: 12 },
+        Kernel { name: "atax", build: la::atax_build, native: la::atax_native, default_n: 16 },
+        Kernel { name: "bicg", build: la::bicg_build, native: la::bicg_native, default_n: 16 },
+        Kernel {
+            name: "cholesky",
+            build: so::cholesky_build,
+            native: so::cholesky_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "correlation",
+            build: dm::correlation_build,
+            native: dm::correlation_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "covariance",
+            build: dm::covariance_build,
+            native: dm::covariance_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "deriche",
+            build: md::deriche_build,
+            native: md::deriche_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "doitgen",
+            build: la::doitgen_build,
+            native: la::doitgen_native,
+            default_n: 8,
+        },
+        Kernel {
+            name: "durbin",
+            build: so::durbin_build,
+            native: so::durbin_native,
+            default_n: 16,
+        },
+        Kernel {
+            name: "fdtd-2d",
+            build: st::fdtd2d_build,
+            native: st::fdtd2d_native,
+            default_n: 12,
+        },
+        Kernel { name: "gemm", build: la::gemm_build, native: la::gemm_native, default_n: 12 },
+        Kernel {
+            name: "gemver",
+            build: la::gemver_build,
+            native: la::gemver_native,
+            default_n: 14,
+        },
+        Kernel {
+            name: "gesummv",
+            build: la::gesummv_build,
+            native: la::gesummv_native,
+            default_n: 16,
+        },
+        Kernel {
+            name: "gramschmidt",
+            build: so::gramschmidt_build,
+            native: so::gramschmidt_native,
+            default_n: 10,
+        },
+        Kernel {
+            name: "heat-3d",
+            build: st::heat3d_build,
+            native: st::heat3d_native,
+            default_n: 8,
+        },
+        Kernel {
+            name: "jacobi-1d",
+            build: st::jacobi1d_build,
+            native: st::jacobi1d_native,
+            default_n: 24,
+        },
+        Kernel {
+            name: "jacobi-2d",
+            build: st::jacobi2d_build,
+            native: st::jacobi2d_native,
+            default_n: 12,
+        },
+        Kernel { name: "lu", build: so::lu_build, native: so::lu_native, default_n: 12 },
+        Kernel {
+            name: "ludcmp",
+            build: so::ludcmp_build,
+            native: so::ludcmp_native,
+            default_n: 12,
+        },
+        Kernel { name: "mvt", build: la::mvt_build, native: la::mvt_native, default_n: 16 },
+        Kernel {
+            name: "nussinov",
+            build: md::nussinov_build,
+            native: md::nussinov_native,
+            default_n: 14,
+        },
+        Kernel {
+            name: "seidel-2d",
+            build: st::seidel2d_build,
+            native: st::seidel2d_native,
+            default_n: 12,
+        },
+        Kernel { name: "symm", build: la::symm_build, native: la::symm_native, default_n: 12 },
+        Kernel {
+            name: "syr2k",
+            build: la::syr2k_build,
+            native: la::syr2k_native,
+            default_n: 12,
+        },
+        Kernel { name: "syrk", build: la::syrk_build, native: la::syrk_native, default_n: 12 },
+        Kernel {
+            name: "trisolv",
+            build: so::trisolv_build,
+            native: so::trisolv_native,
+            default_n: 16,
+        },
+        Kernel { name: "trmm", build: la::trmm_build, native: la::trmm_native, default_n: 12 },
+    ]
+}
+
+/// Looks a kernel up by name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    all().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance};
+    use acctee_wasm::validate::validate_module;
+
+    #[test]
+    fn suite_is_complete() {
+        let names: Vec<&str> = all().iter().map(|k| k.name).collect();
+        assert_eq!(names.len(), 29, "PolyBench/C 4.2.1 has 29 kernels");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 29, "no duplicates");
+        assert!(by_name("gemm").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    /// The central differential test: for every kernel, the wasm
+    /// execution reproduces the native checksum bit-for-bit.
+    #[test]
+    fn every_kernel_matches_native_bit_for_bit() {
+        for k in all() {
+            let n = k.default_n;
+            let module = (k.build)(n);
+            validate_module(&module)
+                .unwrap_or_else(|e| panic!("{} does not validate: {e}", k.name));
+            let mut inst = Instance::new(&module, Imports::new())
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let out = inst
+                .invoke("run", &[])
+                .unwrap_or_else(|e| panic!("{} trapped: {e}", k.name));
+            let wasm = out[0].as_f64();
+            let native = (k.native)(n);
+            assert_eq!(
+                wasm.to_bits(),
+                native.to_bits(),
+                "{}: wasm {wasm} != native {native}",
+                k.name
+            );
+            assert!(wasm.is_finite(), "{}: checksum must be finite", k.name);
+        }
+    }
+
+    /// Kernels must remain exact under a second problem size (guards
+    /// against size-dependent indexing bugs).
+    #[test]
+    fn kernels_match_at_alternate_size() {
+        for k in all() {
+            let n = k.default_n / 2 + 3;
+            let module = (k.build)(n);
+            let mut inst = Instance::new(&module, Imports::new()).unwrap();
+            let wasm = inst.invoke("run", &[]).unwrap()[0].as_f64();
+            let native = (k.native)(n);
+            assert_eq!(wasm.to_bits(), native.to_bits(), "{} at n={n}", k.name);
+        }
+    }
+}

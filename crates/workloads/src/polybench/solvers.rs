@@ -1,0 +1,699 @@
+//! PolyBench linear-algebra solvers: `cholesky`, `durbin`,
+//! `gramschmidt`, `lu`, `ludcmp`, `trisolv`.
+
+use acctee_wasm::builder::{Bound, FuncBuilder};
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+use super::helpers::*;
+
+/// Emits the symmetric positive-definite init used by the
+/// factorisation kernels: `A[i][j] = A[j][i] = 0.1 * ((i + 2j) % n)/n`
+/// for `i != j`, and `A[i][i] = n + ((i) % n)/n`.
+fn spd_init(f: &mut FuncBuilder, a: Mat, n: usize, i: u32, j: u32) {
+    let m = n as i32;
+    for_n(f, i, n, |f| {
+        for_n(f, j, n, |f| {
+            a.store(f, i, j, |f| {
+                // symmetric: use (min+2*max) which is symmetric in i,j?
+                // Simpler: (i+j) is symmetric already.
+                frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m));
+                f.f64_const(0.1);
+                f.f64_mul();
+            });
+        });
+        a.store(f, i, i, |f| {
+            f.f64_const(n as f64);
+            frac_init(f, i, None, 1, 0, 0, m, f64::from(m));
+            f.f64_add();
+        });
+    });
+}
+
+fn spd_init_native(n: usize) -> Vec<f64> {
+    let m = n as i32;
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = frac_init_native(i as i32, j as i32, 1, 1, 0, m, f64::from(m)) * 0.1;
+        }
+        a[i * n + i] = n as f64 + frac_init_native(i as i32, 0, 1, 0, 0, m, f64::from(m));
+    }
+    a
+}
+
+// ------------------------------------------------------------ cholesky
+
+/// In-place Cholesky factorisation of an SPD matrix.
+pub fn cholesky_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let w = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        spd_init(f, a, n, i, j);
+        for_n(f, i, n, |f| {
+            // for j < i: A[i][j] = (A[i][j] - Σ_{k<j} A[i][k]A[j][k]) / A[j][j]
+            f.for_loop(j, Bound::Const(0), Bound::Local(i), |f| {
+                a.load(f, i, j);
+                f.local_set(w);
+                f.for_loop(k, Bound::Const(0), Bound::Local(j), |f| {
+                    f.local_get(w);
+                    a.load(f, i, k);
+                    a.load(f, j, k);
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.local_set(w);
+                });
+                a.store(f, i, j, |f| {
+                    f.local_get(w);
+                    a.load(f, j, j);
+                    f.f64_div();
+                });
+            });
+            // diagonal
+            a.load(f, i, i);
+            f.local_set(w);
+            f.for_loop(k, Bound::Const(0), Bound::Local(i), |f| {
+                f.local_get(w);
+                a.load(f, i, k);
+                a.load(f, i, k);
+                f.f64_mul();
+                f.f64_sub();
+                f.local_set(w);
+            });
+            a.store(f, i, i, |f| {
+                f.local_get(w);
+                f.f64_sqrt();
+            });
+        });
+        checksum_mat(f, a, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`cholesky_build`].
+pub fn cholesky_native(n: usize) -> f64 {
+    let mut a = spd_init_native(n);
+    let idx = |i: usize, j: usize| i * n + j;
+    for i in 0..n {
+        for j in 0..i {
+            let mut w = a[idx(i, j)];
+            for k in 0..j {
+                w -= a[idx(i, k)] * a[idx(j, k)];
+            }
+            a[idx(i, j)] = w / a[idx(j, j)];
+        }
+        let mut w = a[idx(i, i)];
+        for k in 0..i {
+            w -= a[idx(i, k)] * a[idx(i, k)];
+        }
+        a[idx(i, i)] = w.sqrt();
+    }
+    checksum_mat_native(&a, n, n)
+}
+
+// -------------------------------------------------------------- durbin
+
+/// Levinson-Durbin recursion.
+pub fn durbin_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let r = l.vec(n);
+    let y = l.vec(n);
+    let z = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let tmp_idx = f.local(ValType::I32);
+        let alpha = f.local(ValType::F64);
+        let beta = f.local(ValType::F64);
+        let sum = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        // r[i] = 1 / (i + 2)
+        for_n(f, i, n, |f| {
+            r.store(f, i, |f| {
+                f.f64_const(1.0);
+                f.local_get(i);
+                f.num(NumOp::F64ConvertI32S);
+                f.f64_const(2.0);
+                f.f64_add();
+                f.f64_div();
+            });
+        });
+        // y[0] = -r[0]; beta = 1; alpha = -r[0];
+        {
+            let zero = f.local(ValType::I32);
+            f.i32_const(0);
+            f.local_set(zero);
+            y.store(f, zero, |f| {
+                r.load(f, zero);
+                f.num(NumOp::F64Neg);
+            });
+            f.f64_const(1.0);
+            f.local_set(beta);
+            r.load(f, zero);
+            f.num(NumOp::F64Neg);
+            f.local_set(alpha);
+        }
+        f.for_loop(k, Bound::Const(1), Bound::Const(n as i32), |f| {
+            // beta = (1 - alpha^2) * beta
+            f.f64_const(1.0);
+            f.local_get(alpha);
+            f.local_get(alpha);
+            f.f64_mul();
+            f.f64_sub();
+            f.local_get(beta);
+            f.f64_mul();
+            f.local_set(beta);
+            // sum = Σ_{i<k} r[k-i-1] * y[i]
+            f.f64_const(0.0);
+            f.local_set(sum);
+            f.for_loop(i, Bound::Const(0), Bound::Local(k), |f| {
+                f.local_get(k);
+                f.local_get(i);
+                f.i32_sub();
+                f.i32_const(1);
+                f.i32_sub();
+                f.local_set(tmp_idx);
+                f.local_get(sum);
+                r.load(f, tmp_idx);
+                y.load(f, i);
+                f.f64_mul();
+                f.f64_add();
+                f.local_set(sum);
+            });
+            // alpha = -(r[k] + sum) / beta
+            r.load(f, k);
+            f.local_get(sum);
+            f.f64_add();
+            f.num(NumOp::F64Neg);
+            f.local_get(beta);
+            f.f64_div();
+            f.local_set(alpha);
+            // z[i] = y[i] + alpha * y[k-i-1]
+            f.for_loop(i, Bound::Const(0), Bound::Local(k), |f| {
+                f.local_get(k);
+                f.local_get(i);
+                f.i32_sub();
+                f.i32_const(1);
+                f.i32_sub();
+                f.local_set(tmp_idx);
+                z.store(f, i, |f| {
+                    y.load(f, i);
+                    f.local_get(alpha);
+                    y.load(f, tmp_idx);
+                    f.f64_mul();
+                    f.f64_add();
+                });
+            });
+            f.for_loop(i, Bound::Const(0), Bound::Local(k), |f| {
+                y.store(f, i, |f| {
+                    z.load(f, i);
+                });
+            });
+            y.store(f, k, |f| {
+                f.local_get(alpha);
+            });
+        });
+        checksum_vec(f, y, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`durbin_build`].
+pub fn durbin_native(n: usize) -> f64 {
+    let mut r = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    for (i, ri) in r.iter_mut().enumerate() {
+        *ri = 1.0 / (i as f64 + 2.0);
+    }
+    y[0] = -r[0];
+    let mut beta = 1.0;
+    let mut alpha = -r[0];
+    for k in 1..n {
+        beta *= 1.0 - alpha * alpha;
+        let mut sum = 0.0;
+        for i in 0..k {
+            sum += r[k - i - 1] * y[i];
+        }
+        alpha = -(r[k] + sum) / beta;
+        for i in 0..k {
+            z[i] = y[i] + alpha * y[k - i - 1];
+        }
+        y[..k].copy_from_slice(&z[..k]);
+        y[k] = alpha;
+    }
+    checksum_vec_native(&y)
+}
+
+// --------------------------------------------------------- gramschmidt
+
+/// Modified Gram-Schmidt QR factorisation.
+pub fn gramschmidt_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let q = l.mat(n, n);
+    let rr = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let kp1 = f.local(ValType::I32);
+        let nrm = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| {
+                    // ((i*j + 3i + 2j + 1) % n)/n, plus 1 on the
+                    // diagonal: full-rank, well conditioned.
+                    f.local_get(i);
+                    f.local_get(j);
+                    f.i32_mul();
+                    f.local_get(i);
+                    f.i32_const(3);
+                    f.i32_mul();
+                    f.i32_add();
+                    f.local_get(j);
+                    f.i32_const(2);
+                    f.i32_mul();
+                    f.i32_add();
+                    f.i32_const(1);
+                    f.i32_add();
+                    f.i32_const(m);
+                    f.num(NumOp::I32RemS);
+                    f.num(NumOp::F64ConvertI32S);
+                    f.f64_const(f64::from(m));
+                    f.f64_div();
+                    f.f64_const(1.0);
+                    f.f64_const(0.0);
+                    f.local_get(i);
+                    f.local_get(j);
+                    f.num(NumOp::I32Eq);
+                    f.select();
+                    f.f64_add();
+                });
+                rr.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+                q.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+            });
+        });
+        for_n(f, k, n, |f| {
+            f.f64_const(0.0);
+            f.local_set(nrm);
+            for_n(f, i, n, |f| {
+                f.local_get(nrm);
+                a.load(f, i, k);
+                a.load(f, i, k);
+                f.f64_mul();
+                f.f64_add();
+                f.local_set(nrm);
+            });
+            rr.store(f, k, k, |f| {
+                f.local_get(nrm);
+                f.f64_sqrt();
+            });
+            for_n(f, i, n, |f| {
+                q.store(f, i, k, |f| {
+                    a.load(f, i, k);
+                    rr.load(f, k, k);
+                    f.f64_div();
+                });
+            });
+            f.local_get(k);
+            f.i32_const(1);
+            f.i32_add();
+            f.local_set(kp1);
+            f.for_loop(j, Bound::Local(kp1), Bound::Const(n as i32), |f| {
+                rr.store(f, k, j, |f| {
+                    f.f64_const(0.0);
+                });
+                for_n(f, i, n, |f| {
+                    rr.addr(f, k, j);
+                    rr.load(f, k, j);
+                    q.load(f, i, k);
+                    a.load(f, i, j);
+                    f.f64_mul();
+                    f.f64_add();
+                    f.f64_store(rr.base);
+                });
+                for_n(f, i, n, |f| {
+                    a.addr(f, i, j);
+                    a.load(f, i, j);
+                    q.load(f, i, k);
+                    rr.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.f64_store(a.base);
+                });
+            });
+        });
+        checksum_mat(f, q, n, n, i, j, acc);
+        checksum_mat(f, rr, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`gramschmidt_build`].
+pub fn gramschmidt_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut q = vec![0.0; n * n];
+    let mut rr = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            let frac =
+                f64::from((fi * fj + 3 * fi + 2 * fj + 1) % m) / f64::from(m);
+            a[idx(i, j)] = frac + if i == j { 1.0 } else { 0.0 };
+        }
+    }
+    for k in 0..n {
+        let mut nrm = 0.0;
+        for i in 0..n {
+            nrm += a[idx(i, k)] * a[idx(i, k)];
+        }
+        rr[idx(k, k)] = nrm.sqrt();
+        for i in 0..n {
+            q[idx(i, k)] = a[idx(i, k)] / rr[idx(k, k)];
+        }
+        for j in k + 1..n {
+            rr[idx(k, j)] = 0.0;
+            for i in 0..n {
+                rr[idx(k, j)] += q[idx(i, k)] * a[idx(i, j)];
+            }
+            for i in 0..n {
+                a[idx(i, j)] -= q[idx(i, k)] * rr[idx(k, j)];
+            }
+        }
+    }
+    checksum_mat_native_acc(&rr, n, n, checksum_mat_native(&q, n, n))
+}
+
+// ------------------------------------------------------------------ lu
+
+/// In-place LU decomposition (no pivoting; diagonally dominant input).
+pub fn lu_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let w = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        spd_init(f, a, n, i, j);
+        for_n(f, i, n, |f| {
+            f.for_loop(j, Bound::Const(0), Bound::Local(i), |f| {
+                a.load(f, i, j);
+                f.local_set(w);
+                f.for_loop(k, Bound::Const(0), Bound::Local(j), |f| {
+                    f.local_get(w);
+                    a.load(f, i, k);
+                    a.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.local_set(w);
+                });
+                a.store(f, i, j, |f| {
+                    f.local_get(w);
+                    a.load(f, j, j);
+                    f.f64_div();
+                });
+            });
+            f.for_loop(j, Bound::Local(i), Bound::Const(n as i32), |f| {
+                a.load(f, i, j);
+                f.local_set(w);
+                f.for_loop(k, Bound::Const(0), Bound::Local(i), |f| {
+                    f.local_get(w);
+                    a.load(f, i, k);
+                    a.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.local_set(w);
+                });
+                a.store(f, i, j, |f| {
+                    f.local_get(w);
+                });
+            });
+        });
+        checksum_mat(f, a, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`lu_build`].
+pub fn lu_native(n: usize) -> f64 {
+    let mut a = spd_init_native(n);
+    let idx = |i: usize, j: usize| i * n + j;
+    for i in 0..n {
+        for j in 0..i {
+            let mut w = a[idx(i, j)];
+            for k in 0..j {
+                w -= a[idx(i, k)] * a[idx(k, j)];
+            }
+            a[idx(i, j)] = w / a[idx(j, j)];
+        }
+        for j in i..n {
+            let mut w = a[idx(i, j)];
+            for k in 0..i {
+                w -= a[idx(i, k)] * a[idx(k, j)];
+            }
+            a[idx(i, j)] = w;
+        }
+    }
+    checksum_mat_native(&a, n, n)
+}
+
+// -------------------------------------------------------------- ludcmp
+
+/// LU decomposition plus forward/backward substitution.
+pub fn ludcmp_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.vec(n);
+    let x = l.vec(n);
+    let y = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let rev = f.local(ValType::I32);
+        let w = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        spd_init(f, a, n, i, j);
+        for_n(f, i, n, |f| {
+            b.store(f, i, |f| {
+                f.local_get(i);
+                f.num(NumOp::F64ConvertI32S);
+                f.f64_const(2.0);
+                f.f64_add();
+                f.f64_const(n as f64);
+                f.f64_div();
+            });
+        });
+        // LU (same as the lu kernel)
+        for_n(f, i, n, |f| {
+            f.for_loop(j, Bound::Const(0), Bound::Local(i), |f| {
+                a.load(f, i, j);
+                f.local_set(w);
+                f.for_loop(k, Bound::Const(0), Bound::Local(j), |f| {
+                    f.local_get(w);
+                    a.load(f, i, k);
+                    a.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.local_set(w);
+                });
+                a.store(f, i, j, |f| {
+                    f.local_get(w);
+                    a.load(f, j, j);
+                    f.f64_div();
+                });
+            });
+            f.for_loop(j, Bound::Local(i), Bound::Const(n as i32), |f| {
+                a.load(f, i, j);
+                f.local_set(w);
+                f.for_loop(k, Bound::Const(0), Bound::Local(i), |f| {
+                    f.local_get(w);
+                    a.load(f, i, k);
+                    a.load(f, k, j);
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.local_set(w);
+                });
+                a.store(f, i, j, |f| {
+                    f.local_get(w);
+                });
+            });
+        });
+        // forward: y[i] = b[i] - Σ_{j<i} A[i][j] y[j]
+        for_n(f, i, n, |f| {
+            b.load(f, i);
+            f.local_set(w);
+            f.for_loop(j, Bound::Const(0), Bound::Local(i), |f| {
+                f.local_get(w);
+                a.load(f, i, j);
+                y.load(f, j);
+                f.f64_mul();
+                f.f64_sub();
+                f.local_set(w);
+            });
+            y.store(f, i, |f| {
+                f.local_get(w);
+            });
+        });
+        // backward: x[i] = (y[i] - Σ_{j>i} A[i][j] x[j]) / A[i][i],
+        // i from n-1 down to 0 (manual reverse loop).
+        f.i32_const(n as i32 - 1);
+        f.local_set(i);
+        f.loop_(acctee_wasm::instr::BlockType::Empty, |f| {
+            y.load(f, i);
+            f.local_set(w);
+            f.local_get(i);
+            f.i32_const(1);
+            f.i32_add();
+            f.local_set(rev);
+            f.for_loop(j, Bound::Local(rev), Bound::Const(n as i32), |f| {
+                f.local_get(w);
+                a.load(f, i, j);
+                x.load(f, j);
+                f.f64_mul();
+                f.f64_sub();
+                f.local_set(w);
+            });
+            x.store(f, i, |f| {
+                f.local_get(w);
+                a.load(f, i, i);
+                f.f64_div();
+            });
+            f.local_get(i);
+            f.i32_const(-1);
+            f.i32_add();
+            f.local_set(i);
+            f.local_get(i);
+            f.i32_const(0);
+            f.i32_ge_s();
+            f.br_if(0);
+        });
+        checksum_vec(f, x, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`ludcmp_build`].
+pub fn ludcmp_native(n: usize) -> f64 {
+    let mut a = spd_init_native(n);
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut b = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    for (i, bi) in b.iter_mut().enumerate() {
+        *bi = (i as f64 + 2.0) / n as f64;
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let mut w = a[idx(i, j)];
+            for k in 0..j {
+                w -= a[idx(i, k)] * a[idx(k, j)];
+            }
+            a[idx(i, j)] = w / a[idx(j, j)];
+        }
+        for j in i..n {
+            let mut w = a[idx(i, j)];
+            for k in 0..i {
+                w -= a[idx(i, k)] * a[idx(k, j)];
+            }
+            a[idx(i, j)] = w;
+        }
+    }
+    for i in 0..n {
+        let mut w = b[i];
+        for j in 0..i {
+            w -= a[idx(i, j)] * y[j];
+        }
+        y[i] = w;
+    }
+    for i in (0..n).rev() {
+        let mut w = y[i];
+        for j in i + 1..n {
+            w -= a[idx(i, j)] * x[j];
+        }
+        x[i] = w / a[idx(i, i)];
+    }
+    checksum_vec_native(&x)
+}
+
+// ------------------------------------------------------------- trisolv
+
+/// Lower-triangular solve `L x = b`.
+pub fn trisolv_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.vec(n);
+    let x = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let w = f.local(ValType::F64);
+        let acc = f.local(ValType::F64);
+        spd_init(f, a, n, i, j);
+        for_n(f, i, n, |f| {
+            b.store(f, i, |f| {
+                f.local_get(i);
+                f.num(NumOp::F64ConvertI32S);
+                f.f64_const(1.0);
+                f.f64_add();
+                f.f64_const(n as f64);
+                f.f64_div();
+            });
+        });
+        for_n(f, i, n, |f| {
+            b.load(f, i);
+            f.local_set(w);
+            f.for_loop(j, Bound::Const(0), Bound::Local(i), |f| {
+                f.local_get(w);
+                a.load(f, i, j);
+                x.load(f, j);
+                f.f64_mul();
+                f.f64_sub();
+                f.local_set(w);
+            });
+            x.store(f, i, |f| {
+                f.local_get(w);
+                a.load(f, i, i);
+                f.f64_div();
+            });
+        });
+        checksum_vec(f, x, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`trisolv_build`].
+pub fn trisolv_native(n: usize) -> f64 {
+    let a = spd_init_native(n);
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut b = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    for (i, bi) in b.iter_mut().enumerate() {
+        *bi = (i as f64 + 1.0) / n as f64;
+    }
+    for i in 0..n {
+        let mut w = b[i];
+        for j in 0..i {
+            w -= a[idx(i, j)] * x[j];
+        }
+        x[i] = w / a[idx(i, i)];
+    }
+    checksum_vec_native(&x)
+}

@@ -1,0 +1,765 @@
+//! PolyBench stencil kernels: `adi`, `fdtd-2d`, `heat-3d`,
+//! `jacobi-1d`, `jacobi-2d`, `seidel-2d`. All run `TSTEPS = 2` time
+//! steps (MINI-like).
+
+use acctee_wasm::builder::FuncBuilder;
+use acctee_wasm::instr::BlockType;
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+use super::helpers::*;
+
+const TSTEPS: usize = 2;
+
+/// Emits `dst = base + local` into `dst` (i32 helper).
+fn add_const(f: &mut FuncBuilder, src: u32, c: i32, dst: u32) {
+    f.local_get(src);
+    f.i32_const(c);
+    f.i32_add();
+    f.local_set(dst);
+}
+
+// ----------------------------------------------------------- jacobi-1d
+
+/// 1-D Jacobi relaxation, ping-pong between A and B.
+pub fn jacobi1d_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.vec(n);
+    let b = l.vec(n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let im1 = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            a.store(f, i, |f| frac_init(f, i, None, 1, 0, 2, m, f64::from(m)));
+            b.store(f, i, |f| frac_init(f, i, None, 1, 0, 3, m, f64::from(m)));
+        });
+        let sweep = |f: &mut FuncBuilder, dst: Vec1, src: Vec1, i: u32, im1: u32, ip1: u32| {
+            f.for_loop(i, acctee_wasm::builder::Bound::Const(1),
+                acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
+                add_const(f, i, -1, im1);
+                add_const(f, i, 1, ip1);
+                dst.store(f, i, |f| {
+                    f.f64_const(0.33333);
+                    src.load(f, im1);
+                    src.load(f, i);
+                    f.f64_add();
+                    src.load(f, ip1);
+                    f.f64_add();
+                    f.f64_mul();
+                });
+            });
+        };
+        for _ in 0..TSTEPS {
+            sweep(f, b, a, i, im1, ip1);
+            sweep(f, a, b, i, im1, ip1);
+        }
+        checksum_vec(f, a, n, i, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`jacobi1d_build`].
+pub fn jacobi1d_native(n: usize) -> f64 {
+    let m = n as i32;
+    let mut a = vec![0.0; n];
+    let mut b = vec![0.0; n];
+    for i in 0..n {
+        a[i] = frac_init_native(i as i32, 0, 1, 0, 2, m, f64::from(m));
+        b[i] = frac_init_native(i as i32, 0, 1, 0, 3, m, f64::from(m));
+    }
+    for _ in 0..TSTEPS {
+        for i in 1..n - 1 {
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+        }
+        for i in 1..n - 1 {
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+        }
+    }
+    checksum_vec_native(&a)
+}
+
+// ----------------------------------------------------------- jacobi-2d
+
+/// 2-D Jacobi 5-point relaxation.
+pub fn jacobi2d_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    let b = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let im1 = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let jm1 = f.local(ValType::I32);
+        let jp1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
+                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 3, m, f64::from(m)));
+            });
+        });
+        let sweep = |f: &mut FuncBuilder, dst: Mat, src: Mat| {
+            f.for_loop(i, acctee_wasm::builder::Bound::Const(1),
+                acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
+                add_const(f, i, -1, im1);
+                add_const(f, i, 1, ip1);
+                f.for_loop(j, acctee_wasm::builder::Bound::Const(1),
+                    acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
+                    add_const(f, j, -1, jm1);
+                    add_const(f, j, 1, jp1);
+                    dst.store(f, i, j, |f| {
+                        f.f64_const(0.2);
+                        src.load(f, i, j);
+                        src.load(f, i, jm1);
+                        f.f64_add();
+                        src.load(f, i, jp1);
+                        f.f64_add();
+                        src.load(f, ip1, j);
+                        f.f64_add();
+                        src.load(f, im1, j);
+                        f.f64_add();
+                        f.f64_mul();
+                    });
+                });
+            });
+        };
+        for _ in 0..TSTEPS {
+            sweep(f, b, a);
+            sweep(f, a, b);
+        }
+        checksum_mat(f, a, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`jacobi2d_build`].
+pub fn jacobi2d_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 2, 2, m, f64::from(m));
+            b[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 3, 3, m, f64::from(m));
+        }
+    }
+    let sweep = |dst_is_b: bool, a: &mut Vec<f64>, b: &mut Vec<f64>| {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let (src, dst): (&[f64], &mut [f64]) =
+                    if dst_is_b { (a, b) } else { (b, a) };
+                dst[idx(i, j)] = 0.2
+                    * (src[idx(i, j)]
+                        + src[idx(i, j - 1)]
+                        + src[idx(i, j + 1)]
+                        + src[idx(i + 1, j)]
+                        + src[idx(i - 1, j)]);
+            }
+        }
+    };
+    for _ in 0..TSTEPS {
+        sweep(true, &mut a, &mut b);
+        sweep(false, &mut a, &mut b);
+    }
+    checksum_mat_native(&a, n, n)
+}
+
+// ----------------------------------------------------------- seidel-2d
+
+/// In-place Gauss-Seidel 9-point relaxation.
+pub fn seidel2d_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let im1 = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let jm1 = f.local(ValType::I32);
+        let jp1 = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 2, m, f64::from(m)));
+            });
+        });
+        for _ in 0..TSTEPS {
+            f.for_loop(i, acctee_wasm::builder::Bound::Const(1),
+                acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
+                add_const(f, i, -1, im1);
+                add_const(f, i, 1, ip1);
+                f.for_loop(j, acctee_wasm::builder::Bound::Const(1),
+                    acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
+                    add_const(f, j, -1, jm1);
+                    add_const(f, j, 1, jp1);
+                    a.store(f, i, j, |f| {
+                        a.load(f, im1, jm1);
+                        a.load(f, im1, j);
+                        f.f64_add();
+                        a.load(f, im1, jp1);
+                        f.f64_add();
+                        a.load(f, i, jm1);
+                        f.f64_add();
+                        a.load(f, i, j);
+                        f.f64_add();
+                        a.load(f, i, jp1);
+                        f.f64_add();
+                        a.load(f, ip1, jm1);
+                        f.f64_add();
+                        a.load(f, ip1, j);
+                        f.f64_add();
+                        a.load(f, ip1, jp1);
+                        f.f64_add();
+                        f.f64_const(9.0);
+                        f.f64_div();
+                    });
+                });
+            });
+        }
+        checksum_mat(f, a, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`seidel2d_build`].
+pub fn seidel2d_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 1, 2, m, f64::from(m));
+        }
+    }
+    for _ in 0..TSTEPS {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[idx(i, j)] = (a[idx(i - 1, j - 1)]
+                    + a[idx(i - 1, j)]
+                    + a[idx(i - 1, j + 1)]
+                    + a[idx(i, j - 1)]
+                    + a[idx(i, j)]
+                    + a[idx(i, j + 1)]
+                    + a[idx(i + 1, j - 1)]
+                    + a[idx(i + 1, j)]
+                    + a[idx(i + 1, j + 1)])
+                    / 9.0;
+            }
+        }
+    }
+    checksum_mat_native(&a, n, n)
+}
+
+// ------------------------------------------------------------- fdtd-2d
+
+/// 2-D finite-difference time-domain (electromagnetics).
+pub fn fdtd2d_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let ex = l.mat(n, n);
+    let ey = l.mat(n, n);
+    let hz = l.mat(n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let im1 = f.local(ValType::I32);
+        let ip1 = f.local(ValType::I32);
+        let jm1 = f.local(ValType::I32);
+        let jp1 = f.local(ValType::I32);
+        let zero = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        use acctee_wasm::builder::Bound as B;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                ex.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m)));
+                ey.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
+                hz.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 3, m, f64::from(m)));
+            });
+        });
+        for t in 0..TSTEPS {
+            f.i32_const(0);
+            f.local_set(zero);
+            // ey[0][j] = t
+            for_n(f, j, n, |f| {
+                ey.store(f, zero, j, |f| {
+                    f.f64_const(t as f64);
+                });
+            });
+            // ey[i][j] -= 0.5*(hz[i][j] - hz[i-1][j]) for i in 1..n
+            f.for_loop(i, B::Const(1), B::Const(n as i32), |f| {
+                add_const(f, i, -1, im1);
+                for_n(f, j, n, |f| {
+                    ey.addr(f, i, j);
+                    ey.load(f, i, j);
+                    f.f64_const(0.5);
+                    hz.load(f, i, j);
+                    hz.load(f, im1, j);
+                    f.f64_sub();
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.f64_store(ey.base);
+                });
+            });
+            // ex[i][j] -= 0.5*(hz[i][j] - hz[i][j-1]) for j in 1..n
+            for_n(f, i, n, |f| {
+                f.for_loop(j, B::Const(1), B::Const(n as i32), |f| {
+                    add_const(f, j, -1, jm1);
+                    ex.addr(f, i, j);
+                    ex.load(f, i, j);
+                    f.f64_const(0.5);
+                    hz.load(f, i, j);
+                    hz.load(f, i, jm1);
+                    f.f64_sub();
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.f64_store(ex.base);
+                });
+            });
+            // hz[i][j] -= 0.7*(ex[i][j+1]-ex[i][j]+ey[i+1][j]-ey[i][j])
+            f.for_loop(i, B::Const(0), B::Const(n as i32 - 1), |f| {
+                add_const(f, i, 1, ip1);
+                f.for_loop(j, B::Const(0), B::Const(n as i32 - 1), |f| {
+                    add_const(f, j, 1, jp1);
+                    hz.addr(f, i, j);
+                    hz.load(f, i, j);
+                    f.f64_const(0.7);
+                    ex.load(f, i, jp1);
+                    ex.load(f, i, j);
+                    f.f64_sub();
+                    ey.load(f, ip1, j);
+                    f.f64_add();
+                    ey.load(f, i, j);
+                    f.f64_sub();
+                    f.f64_mul();
+                    f.f64_sub();
+                    f.f64_store(hz.base);
+                });
+            });
+        }
+        checksum_mat(f, hz, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`fdtd2d_build`].
+pub fn fdtd2d_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut ex = vec![0.0; n * n];
+    let mut ey = vec![0.0; n * n];
+    let mut hz = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (fi, fj) = (i as i32, j as i32);
+            ex[idx(i, j)] = frac_init_native(fi, fj, 1, 1, 1, m, f64::from(m));
+            ey[idx(i, j)] = frac_init_native(fi, fj, 1, 2, 2, m, f64::from(m));
+            hz[idx(i, j)] = frac_init_native(fi, fj, 1, 3, 3, m, f64::from(m));
+        }
+    }
+    for t in 0..TSTEPS {
+        for j in 0..n {
+            ey[idx(0, j)] = t as f64;
+        }
+        for i in 1..n {
+            for j in 0..n {
+                ey[idx(i, j)] -= 0.5 * (hz[idx(i, j)] - hz[idx(i - 1, j)]);
+            }
+        }
+        for i in 0..n {
+            for j in 1..n {
+                ex[idx(i, j)] -= 0.5 * (hz[idx(i, j)] - hz[idx(i, j - 1)]);
+            }
+        }
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                hz[idx(i, j)] -= 0.7
+                    * (ex[idx(i, j + 1)] - ex[idx(i, j)] + ey[idx(i + 1, j)] - ey[idx(i, j)]);
+            }
+        }
+    }
+    checksum_mat_native(&hz, n, n)
+}
+
+// ------------------------------------------------------------- heat-3d
+
+/// 3-D heat equation; arrays stored as `(i*n+j, k)` matrices.
+pub fn heat3d_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let a = l.mat(n * n, n);
+    let b = l.mat(n * n, n);
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let k = f.local(ValType::I32);
+        let ij = f.local(ValType::I32); // i*n+j
+        let im = f.local(ValType::I32); // (i-1)*n+j
+        let ip = f.local(ValType::I32); // (i+1)*n+j
+        let jm = f.local(ValType::I32); // i*n+j-1
+        let jp = f.local(ValType::I32); // i*n+j+1
+        let km = f.local(ValType::I32);
+        let kp = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        use acctee_wasm::builder::Bound as B;
+        // init: A[i][j][k] = B[i][j][k] = (i+j+(n-k))*10/n
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                f.local_get(i);
+                f.i32_const(m);
+                f.i32_mul();
+                f.local_get(j);
+                f.i32_add();
+                f.local_set(ij);
+                for_n(f, k, n, |f| {
+                    let val = |f: &mut FuncBuilder| {
+                        f.local_get(i);
+                        f.local_get(j);
+                        f.i32_add();
+                        f.i32_const(m);
+                        f.local_get(k);
+                        f.i32_sub();
+                        f.i32_add();
+                        f.num(NumOp::F64ConvertI32S);
+                        f.f64_const(10.0);
+                        f.f64_mul();
+                        f.f64_const(n as f64);
+                        f.f64_div();
+                    };
+                    a.store(f, ij, k, val);
+                    b.store(f, ij, k, val);
+                });
+            });
+        });
+        let stencil = |f: &mut FuncBuilder, dst: Mat, src: Mat| {
+            f.for_loop(i, B::Const(1), B::Const(m - 1), |f| {
+                f.for_loop(j, B::Const(1), B::Const(m - 1), |f| {
+                    f.local_get(i);
+                    f.i32_const(m);
+                    f.i32_mul();
+                    f.local_get(j);
+                    f.i32_add();
+                    f.local_set(ij);
+                    add_const(f, ij, -m, im);
+                    add_const(f, ij, m, ip);
+                    add_const(f, ij, -1, jm);
+                    add_const(f, ij, 1, jp);
+                    f.for_loop(k, B::Const(1), B::Const(m - 1), |f| {
+                        add_const(f, k, -1, km);
+                        add_const(f, k, 1, kp);
+                        dst.store(f, ij, k, |f| {
+                            // 0.125*(src[ip]-2*src+src[im]) + same for j,k + src
+                            f.f64_const(0.125);
+                            src.load(f, ip, k);
+                            f.f64_const(2.0);
+                            src.load(f, ij, k);
+                            f.f64_mul();
+                            f.f64_sub();
+                            src.load(f, im, k);
+                            f.f64_add();
+                            f.f64_mul();
+                            f.f64_const(0.125);
+                            src.load(f, jp, k);
+                            f.f64_const(2.0);
+                            src.load(f, ij, k);
+                            f.f64_mul();
+                            f.f64_sub();
+                            src.load(f, jm, k);
+                            f.f64_add();
+                            f.f64_mul();
+                            f.f64_add();
+                            f.f64_const(0.125);
+                            src.load(f, ij, kp);
+                            f.f64_const(2.0);
+                            src.load(f, ij, k);
+                            f.f64_mul();
+                            f.f64_sub();
+                            src.load(f, ij, km);
+                            f.f64_add();
+                            f.f64_mul();
+                            f.f64_add();
+                            src.load(f, ij, k);
+                            f.f64_add();
+                        });
+                    });
+                });
+            });
+        };
+        for _ in 0..TSTEPS {
+            stencil(f, b, a);
+            stencil(f, a, b);
+        }
+        checksum_mat(f, a, n * n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`heat3d_build`].
+pub fn heat3d_native(n: usize) -> f64 {
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    let mut a = vec![0.0; n * n * n];
+    let mut b = vec![0.0; n * n * n];
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let v = ((i + j) as i32 + (n as i32 - k as i32)) as f64 * 10.0 / n as f64;
+                a[idx(i, j, k)] = v;
+                b[idx(i, j, k)] = v;
+            }
+        }
+    }
+    let stencil = |dst: &mut [f64], src: &[f64]| {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    dst[idx(i, j, k)] = 0.125
+                        * (src[idx(i + 1, j, k)] - 2.0 * src[idx(i, j, k)]
+                            + src[idx(i - 1, j, k)])
+                        + 0.125
+                            * (src[idx(i, j + 1, k)] - 2.0 * src[idx(i, j, k)]
+                                + src[idx(i, j - 1, k)])
+                        + 0.125
+                            * (src[idx(i, j, k + 1)] - 2.0 * src[idx(i, j, k)]
+                                + src[idx(i, j, k - 1)])
+                        + src[idx(i, j, k)];
+                }
+            }
+        }
+    };
+    for _ in 0..TSTEPS {
+        stencil(&mut b, &a);
+        stencil(&mut a, &b);
+    }
+    checksum_mat_native(&a, n * n, n)
+}
+
+// ----------------------------------------------------------------- adi
+
+/// Alternating-direction implicit integration (PolyBench structure
+/// with simplified coefficients; forward sweeps + reverse
+/// back-substitution in both directions).
+pub fn adi_build(n: usize) -> Module {
+    let mut l = Layout::new();
+    let u = l.mat(n, n);
+    let v = l.mat(n, n);
+    let p = l.mat(n, n);
+    let q = l.mat(n, n);
+    const A: f64 = -0.0125;
+    const BC: f64 = 1.025;
+    const C: f64 = -0.0125;
+    kernel_module(&l, move |f| {
+        let i = f.local(ValType::I32);
+        let j = f.local(ValType::I32);
+        let jm1 = f.local(ValType::I32);
+        let jp1 = f.local(ValType::I32);
+        let zero = f.local(ValType::I32);
+        let last = f.local(ValType::I32);
+        let acc = f.local(ValType::F64);
+        let m = n as i32;
+        use acctee_wasm::builder::Bound as B;
+        for_n(f, i, n, |f| {
+            for_n(f, j, n, |f| {
+                u.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m)));
+                v.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+                p.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+                q.store(f, i, j, |f| {
+                    f.f64_const(0.0);
+                });
+            });
+        });
+        f.i32_const(0);
+        f.local_set(zero);
+        f.i32_const(m - 1);
+        f.local_set(last);
+        for _ in 0..TSTEPS {
+            // Column sweep: compute v from u.
+            f.for_loop(i, B::Const(1), B::Const(m - 1), |f| {
+                v.store(f, zero, i, |f| {
+                    f.f64_const(1.0);
+                });
+                p.store(f, i, zero, |f| {
+                    f.f64_const(0.0);
+                });
+                q.store(f, i, zero, |f| {
+                    f.f64_const(1.0);
+                });
+                f.for_loop(j, B::Const(1), B::Const(m - 1), |f| {
+                    add_const(f, j, -1, jm1);
+                    // denom = a*p[i][j-1] + bc
+                    // p[i][j] = -c / denom
+                    p.store(f, i, j, |f| {
+                        f.f64_const(-C);
+                        f.f64_const(A);
+                        p.load(f, i, jm1);
+                        f.f64_mul();
+                        f.f64_const(BC);
+                        f.f64_add();
+                        f.f64_div();
+                    });
+                    // q[i][j] = (u[j][i-1] - a*q[i][j-1]) / denom
+                    q.store(f, i, j, |f| {
+                        add_const(f, i, -1, jp1); // reuse jp1 as i-1
+                        u.load(f, j, jp1);
+                        f.f64_const(A);
+                        q.load(f, i, jm1);
+                        f.f64_mul();
+                        f.f64_sub();
+                        f.f64_const(A);
+                        p.load(f, i, jm1);
+                        f.f64_mul();
+                        f.f64_const(BC);
+                        f.f64_add();
+                        f.f64_div();
+                    });
+                });
+                v.store(f, last, i, |f| {
+                    f.f64_const(1.0);
+                });
+                // reverse: v[j][i] = p[i][j]*v[j+1][i] + q[i][j]
+                f.i32_const(m - 2);
+                f.local_set(j);
+                f.loop_(BlockType::Empty, |f| {
+                    add_const(f, j, 1, jp1);
+                    v.store(f, j, i, |f| {
+                        p.load(f, i, j);
+                        v.load(f, jp1, i);
+                        f.f64_mul();
+                        q.load(f, i, j);
+                        f.f64_add();
+                    });
+                    f.local_get(j);
+                    f.i32_const(-1);
+                    f.i32_add();
+                    f.local_set(j);
+                    f.local_get(j);
+                    f.i32_const(1);
+                    f.i32_ge_s();
+                    f.br_if(0);
+                });
+            });
+            // Row sweep: compute u from v (same structure transposed).
+            f.for_loop(i, B::Const(1), B::Const(m - 1), |f| {
+                u.store(f, i, zero, |f| {
+                    f.f64_const(1.0);
+                });
+                p.store(f, i, zero, |f| {
+                    f.f64_const(0.0);
+                });
+                q.store(f, i, zero, |f| {
+                    f.f64_const(1.0);
+                });
+                f.for_loop(j, B::Const(1), B::Const(m - 1), |f| {
+                    add_const(f, j, -1, jm1);
+                    p.store(f, i, j, |f| {
+                        f.f64_const(-C);
+                        f.f64_const(A);
+                        p.load(f, i, jm1);
+                        f.f64_mul();
+                        f.f64_const(BC);
+                        f.f64_add();
+                        f.f64_div();
+                    });
+                    q.store(f, i, j, |f| {
+                        add_const(f, i, -1, jp1);
+                        v.load(f, jp1, j);
+                        f.f64_const(A);
+                        q.load(f, i, jm1);
+                        f.f64_mul();
+                        f.f64_sub();
+                        f.f64_const(A);
+                        p.load(f, i, jm1);
+                        f.f64_mul();
+                        f.f64_const(BC);
+                        f.f64_add();
+                        f.f64_div();
+                    });
+                });
+                u.store(f, i, last, |f| {
+                    f.f64_const(1.0);
+                });
+                f.i32_const(m - 2);
+                f.local_set(j);
+                f.loop_(BlockType::Empty, |f| {
+                    add_const(f, j, 1, jp1);
+                    u.store(f, i, j, |f| {
+                        p.load(f, i, j);
+                        u.load(f, i, jp1);
+                        f.f64_mul();
+                        q.load(f, i, j);
+                        f.f64_add();
+                    });
+                    f.local_get(j);
+                    f.i32_const(-1);
+                    f.i32_add();
+                    f.local_set(j);
+                    f.local_get(j);
+                    f.i32_const(1);
+                    f.i32_ge_s();
+                    f.br_if(0);
+                });
+            });
+        }
+        checksum_mat(f, u, n, n, i, j, acc);
+        f.local_get(acc);
+    })
+}
+
+/// Native mirror of [`adi_build`].
+pub fn adi_native(n: usize) -> f64 {
+    let m = n as i32;
+    let idx = |i: usize, j: usize| i * n + j;
+    const A: f64 = -0.0125;
+    const BC: f64 = 1.025;
+    const C: f64 = -0.0125;
+    let mut u = vec![0.0; n * n];
+    let mut v = vec![0.0; n * n];
+    let mut p = vec![0.0; n * n];
+    let mut q = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            u[idx(i, j)] = frac_init_native(i as i32, j as i32, 1, 1, 1, m, f64::from(m));
+        }
+    }
+    for _ in 0..TSTEPS {
+        for i in 1..n - 1 {
+            v[idx(0, i)] = 1.0;
+            p[idx(i, 0)] = 0.0;
+            q[idx(i, 0)] = 1.0;
+            for j in 1..n - 1 {
+                p[idx(i, j)] = -C / (A * p[idx(i, j - 1)] + BC);
+                q[idx(i, j)] =
+                    (u[idx(j, i - 1)] - A * q[idx(i, j - 1)]) / (A * p[idx(i, j - 1)] + BC);
+            }
+            v[idx(n - 1, i)] = 1.0;
+            for j in (1..=n - 2).rev() {
+                v[idx(j, i)] = p[idx(i, j)] * v[idx(j + 1, i)] + q[idx(i, j)];
+            }
+        }
+        for i in 1..n - 1 {
+            u[idx(i, 0)] = 1.0;
+            p[idx(i, 0)] = 0.0;
+            q[idx(i, 0)] = 1.0;
+            for j in 1..n - 1 {
+                p[idx(i, j)] = -C / (A * p[idx(i, j - 1)] + BC);
+                q[idx(i, j)] =
+                    (v[idx(i - 1, j)] - A * q[idx(i, j - 1)]) / (A * p[idx(i, j - 1)] + BC);
+            }
+            u[idx(i, n - 1)] = 1.0;
+            for j in (1..=n - 2).rev() {
+                u[idx(i, j)] = p[idx(i, j)] * u[idx(i, j + 1)] + q[idx(i, j)];
+            }
+        }
+    }
+    checksum_mat_native(&u, n, n)
+}

@@ -1,0 +1,155 @@
+//! SubsetSum@Home stand-in (volunteer computing, Fig 10).
+//!
+//! The BOINC project enumerates subset-sum instances to chart the
+//! decision threshold for high-density instances. We implement the
+//! same inner computation: for a deterministic multiset of positive
+//! integers, a dense dynamic program marks every achievable subset sum
+//! and the work unit reports how many sums in the target range are
+//! achievable.
+
+use acctee_wasm::builder::{Bound, ModuleBuilder};
+use acctee_wasm::instr::BlockType;
+use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+/// The deterministic element multiset for a work unit.
+pub fn elements(count: usize, seed: u64) -> Vec<u32> {
+    let mut x = seed | 1;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push(((x >> 40) % 97 + 3) as u32);
+    }
+    out
+}
+
+/// Builds the module: `run() -> i64` counts achievable subset sums.
+pub fn subsetsum_module(count: usize, seed: u64) -> Module {
+    let elems = elements(count, seed);
+    let max_sum: u32 = elems.iter().sum();
+    let mut data = Vec::new();
+    for e in &elems {
+        data.extend_from_slice(&e.to_le_bytes());
+    }
+    let mut b = ModuleBuilder::new();
+    let dp_off: u32 = 4096;
+    let bytes = dp_off + (max_sum + 1) * 4;
+    b.memory(bytes.div_ceil(65536) + 1, None);
+    b.data(64, &data);
+    let run = b.func("run", &[], &[ValType::I64], move |f| {
+        use Bound::Const as C;
+        let i = f.local(ValType::I32);
+        let s = f.local(ValType::I32);
+        let a = f.local(ValType::I32);
+        let cnt = f.local(ValType::I64);
+        // dp[0] = 1
+        f.i32_const(0);
+        f.i32_const(1);
+        f.store(StoreOp::I32Store, dp_off);
+        f.for_loop(i, C(0), C(count as i32), |f| {
+            // a = elems[i]
+            f.local_get(i);
+            f.i32_const(2);
+            f.i32_shl();
+            f.load(LoadOp::I32Load, 64);
+            f.local_set(a);
+            // for s from max_sum down to a: dp[s] |= dp[s-a]
+            f.i32_const(max_sum as i32);
+            f.local_set(s);
+            f.block(BlockType::Empty, |f| {
+                f.loop_(BlockType::Empty, |f| {
+                    f.local_get(s);
+                    f.local_get(a);
+                    f.i32_lt_s();
+                    f.br_if(1);
+                    // dp[s] = dp[s] | dp[s-a]
+                    f.local_get(s);
+                    f.i32_const(2);
+                    f.i32_shl();
+                    f.local_get(s);
+                    f.i32_const(2);
+                    f.i32_shl();
+                    f.load(LoadOp::I32Load, dp_off);
+                    f.local_get(s);
+                    f.local_get(a);
+                    f.i32_sub();
+                    f.i32_const(2);
+                    f.i32_shl();
+                    f.load(LoadOp::I32Load, dp_off);
+                    f.num(NumOp::I32Or);
+                    f.store(StoreOp::I32Store, dp_off);
+                    f.local_get(s);
+                    f.i32_const(-1);
+                    f.i32_add();
+                    f.local_set(s);
+                    f.br(0);
+                });
+            });
+        });
+        // count achievable sums
+        f.i64_const(0);
+        f.local_set(cnt);
+        f.for_loop(s, C(0), C(max_sum as i32 + 1), |f| {
+            f.local_get(cnt);
+            f.local_get(s);
+            f.i32_const(2);
+            f.i32_shl();
+            f.load(LoadOp::I32Load, dp_off);
+            f.num(NumOp::I64ExtendI32U);
+            f.num(NumOp::I64Add);
+            f.local_set(cnt);
+        });
+        f.local_get(cnt);
+    });
+    b.export_func("run", run);
+    b.build()
+}
+
+/// Native mirror of [`subsetsum_module`].
+pub fn subsetsum_native(count: usize, seed: u64) -> u64 {
+    let elems = elements(count, seed);
+    let max_sum: usize = elems.iter().map(|e| *e as usize).sum();
+    let mut dp = vec![0u32; max_sum + 1];
+    dp[0] = 1;
+    for a in &elems {
+        let a = *a as usize;
+        for s in (a..=max_sum).rev() {
+            dp[s] |= dp[s - a];
+        }
+    }
+    dp.iter().map(|b| u64::from(*b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_interp::{Imports, Instance, Value};
+
+    #[test]
+    fn wasm_matches_native() {
+        for (count, seed) in [(8usize, 1u64), (12, 5)] {
+            let m = subsetsum_module(count, seed);
+            acctee_wasm::validate::validate_module(&m).unwrap();
+            let mut inst = Instance::new(&m, Imports::new()).unwrap();
+            let out = inst.invoke("run", &[]).unwrap();
+            assert_eq!(out, vec![Value::I64(subsetsum_native(count, seed) as i64)]);
+        }
+    }
+
+    #[test]
+    fn dp_counts_are_sane() {
+        // The empty sum is always achievable; each element adds at
+        // least one new sum (all elements positive).
+        let c = subsetsum_native(6, 3);
+        assert!(c >= 7);
+        let total: u32 = elements(6, 3).iter().sum();
+        assert!(c <= u64::from(total) + 1);
+    }
+
+    #[test]
+    fn elements_deterministic() {
+        assert_eq!(elements(5, 9), elements(5, 9));
+        assert!(elements(5, 9).iter().all(|e| *e >= 3 && *e < 100));
+    }
+}

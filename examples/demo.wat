@@ -1,0 +1,31 @@
+;; Demo workload for the `acctee` CLI:
+;;   cargo run -p acctee --bin acctee -- account examples/demo.wat --invoke fib --arg 30
+(module
+  (func $fib (export "fib") (param $n i32) (result i64)
+        (local $i i32) (local $a i64) (local $b i64) (local $t i64)
+    i64.const 0
+    local.set $a
+    i64.const 1
+    local.set $b
+    block $out
+      loop $top
+        local.get $i
+        local.get $n
+        i32.ge_s
+        br_if $out
+        local.get $a
+        local.get $b
+        i64.add
+        local.set $t
+        local.get $b
+        local.set $a
+        local.get $t
+        local.set $b
+        local.get $i
+        i32.const 1
+        i32.add
+        local.set $i
+        br $top
+      end
+    end
+    local.get $a))

@@ -1,0 +1,59 @@
+//! Serverless gateway example (§2.1 "Serverless Computing").
+//!
+//! Deploys the `echo` and `resize` functions in several configurations,
+//! serves a batch of requests through each, and prints per-setup
+//! throughput (from the closed-loop simulator) plus the accounted bill
+//! for the fully-metered configuration.
+//!
+//! Run with: `cargo run -p acctee-integration --example faas_gateway --release`
+
+use acctee::{Deployment, Level, PricingModel};
+use acctee_faas::{ClosedLoopSim, FaasPlatform, FunctionKind, Setup};
+use acctee_wasm::encode::encode_module;
+use acctee_workloads::faas_fns::{echo_module, test_image};
+
+fn main() {
+    let payload = test_image(128, 128);
+    let sim = ClosedLoopSim::default();
+
+    println!("== gateway throughput (128x128 px requests, 10 closed-loop clients) ==");
+    for kind in [FunctionKind::Echo, FunctionKind::Resize] {
+        println!("{}:", kind.name());
+        for setup in Setup::ALL {
+            let platform = FaasPlatform::deploy(kind, *setup);
+            let (_, stats) = platform.handle(&payload).expect("request served");
+            let report = sim.run(100, |_| stats.service_ns().max(1));
+            println!(
+                "  {:<20} {:>9.1} req/s   (mean latency {:.2} ms)",
+                setup.to_string(),
+                report.throughput(),
+                report.mean_latency_ns as f64 / 1e6
+            );
+        }
+    }
+
+    println!();
+    println!("== metered billing through the accounting enclave ==");
+    let mut dep = Deployment::new(7);
+    let bytes = encode_module(&echo_module());
+    let (b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+    let pricing = PricingModel::default();
+    let mut total = 0u128;
+    for i in 0..5u32 {
+        let body = vec![i as u8; 256 * (i as usize + 1)];
+        let outcome = dep.execute(&b, &e, "main", &[], &body).expect("execute");
+        dep.workload_provider().verify_log(&outcome.log).expect("log verifies");
+        let inv = pricing.invoice(&outcome.log.log);
+        println!(
+            "  request {} ({} B): {} weighted instrs, io {}+{} B -> {} nano-credits",
+            i,
+            body.len(),
+            outcome.log.log.weighted_instructions,
+            outcome.log.log.io_bytes_in,
+            outcome.log.log.io_bytes_out,
+            inv.total()
+        );
+        total += inv.total();
+    }
+    println!("  session total: {total} nano-credits (mutually trusted)");
+}

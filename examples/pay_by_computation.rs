@@ -1,0 +1,53 @@
+//! Pay-by-computation example (§2.1): a browser visitor pays for
+//! ad-free articles by classifying images for the content provider
+//! inside the two-way sandbox.
+//!
+//! The content provider meters the donated computation through the
+//! attested log and unlocks articles when enough weighted instructions
+//! have been contributed; the visitor's browser is protected from the
+//! task by WebAssembly's isolation, the task from the visitor by the
+//! enclave.
+//!
+//! Run with: `cargo run -p acctee-integration --example pay_by_computation --release`
+
+use acctee::{Deployment, Level};
+use acctee_interp::Value;
+use acctee_wasm::encode::encode_module;
+use acctee_workloads::darknet;
+
+/// Price of one article in weighted instructions.
+const ARTICLE_PRICE: u64 = 2_000_000;
+
+fn main() {
+    let mut dep = Deployment::new(31);
+    let bytes = encode_module(&darknet::darknet_module(16));
+    let (module, evidence) =
+        dep.instrument(&bytes, Level::LoopBased).expect("instrumentation succeeds");
+
+    println!("visitor wants to read 3 articles (price: {ARTICLE_PRICE} weighted instrs each)");
+    let mut balance: u64 = 0;
+    let mut unlocked = 0;
+    let mut image = 0i32;
+    while unlocked < 3 {
+        let outcome = dep
+            .execute(&module, &evidence, "run", &[Value::I32(image)], b"")
+            .expect("classification runs");
+        dep.workload_provider().verify_log(&outcome.log).expect("provider trusts the log");
+        let earned = outcome.log.log.weighted_instructions;
+        balance += earned;
+        let class = (outcome.results[0].as_f64() / 1000.0) as i64;
+        println!(
+            "  image {image:>3} classified as {class} -> +{earned} (balance {balance})"
+        );
+        image += 1;
+        while balance >= ARTICLE_PRICE && unlocked < 3 {
+            balance -= ARTICLE_PRICE;
+            unlocked += 1;
+            println!("  >>> article {unlocked} unlocked <<<");
+        }
+    }
+    println!(
+        "done: {image} images classified, {unlocked} articles unlocked, {balance} instrs left over"
+    );
+    println!("(the provider periodically read the counter for progress feedback — §2.1)");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: the complete AccTEE flow in one file.
+//!
+//! A workload provider writes a small program, the instrumentation
+//! enclave injects the weighted instruction counter, the accounting
+//! enclave executes it, and both parties verify the signed resource
+//! usage log and settle the bill.
+//!
+//! Run with: `cargo run -p acctee-integration --example quickstart`
+
+use acctee::{Deployment, Level, PricingModel};
+use acctee_interp::Value;
+use acctee_wasm::builder::{Bound, ModuleBuilder};
+use acctee_wasm::encode::encode_module;
+use acctee_wasm::types::ValType;
+
+fn main() {
+    // 1. The workload: sum of squares below n, compiled to WebAssembly
+    //    through the builder (standing in for Emscripten/rustc).
+    let mut b = ModuleBuilder::new();
+    let f = b.func("main", &[ValType::I32], &[ValType::I64], |f| {
+        let i = f.local(ValType::I32);
+        let acc = f.local(ValType::I64);
+        f.for_loop(i, Bound::Const(0), Bound::Local(0), |f| {
+            f.local_get(acc);
+            f.local_get(i);
+            f.num(acctee_wasm::op::NumOp::I64ExtendI32S);
+            f.local_get(i);
+            f.num(acctee_wasm::op::NumOp::I64ExtendI32S);
+            f.num(acctee_wasm::op::NumOp::I64Mul);
+            f.num(acctee_wasm::op::NumOp::I64Add);
+            f.local_set(acc);
+        });
+        f.local_get(acc);
+    });
+    b.export_func("main", f);
+    let wasm = encode_module(&b.build());
+    println!("workload: {} bytes of wasm", wasm.len());
+
+    // 2. Set up the deployment: attestation authority, platforms,
+    //    instrumentation enclave (IE) and accounting enclave (AE).
+    let mut dep = Deployment::new(2024);
+
+    // 3. Instrument. The IE returns the rewritten module plus signed
+    //    evidence binding original hash -> instrumented hash.
+    let (instrumented, evidence) =
+        dep.instrument(&wasm, Level::LoopBased).expect("instrumentation succeeds");
+    println!(
+        "instrumented: {} bytes (+{:.1}%), level {}",
+        instrumented.len(),
+        (instrumented.len() as f64 / wasm.len() as f64 - 1.0) * 100.0,
+        evidence.level
+    );
+
+    // 4. Execute inside the accounting enclave.
+    let outcome = dep
+        .execute(&instrumented, &evidence, "main", &[Value::I32(1000)], b"")
+        .expect("execution succeeds");
+    println!("result: {:?}", outcome.results);
+
+    // 5. The signed log both parties trust.
+    let log = &outcome.log.log;
+    println!("resource usage log:");
+    println!("  weighted instructions: {}", log.weighted_instructions);
+    println!("  peak memory:           {} bytes", log.peak_memory_bytes);
+    println!("  memory integral:       {} byte-instructions", log.memory_integral);
+    println!("  io in/out:             {}/{} bytes", log.io_bytes_in, log.io_bytes_out);
+    dep.workload_provider().verify_log(&outcome.log).expect("workload provider trusts it");
+    println!("log verified against the attestation authority ✓");
+
+    // 6. Settle.
+    let invoice = PricingModel::default().invoice(log);
+    println!(
+        "invoice: compute {} + memory {} + io {} = {} nano-credits",
+        invoice.compute,
+        invoice.memory,
+        invoice.io,
+        invoice.total()
+    );
+}

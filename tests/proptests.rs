@@ -1,0 +1,211 @@
+//! Property-based integration tests.
+//!
+//! The flagship property (design point D1): for *arbitrary* structured
+//! programs, the injected weighted instruction counter equals the
+//! oracle count of executed original instructions, at every
+//! instrumentation level — metering soundness.
+//!
+//! Programs are generated in a small IR that is valid by construction
+//! and compiled through the public builder API, so the property
+//! exercises builder → validator → instrumenter → interpreter
+//! together. Codec round-trips piggyback on the same generator.
+
+use proptest::prelude::*;
+
+use acctee_instrument::{instrument, Level, WeightTable, COUNTER_EXPORT};
+use acctee_interp::{CountingObserver, Imports, Instance, Value};
+use acctee_wasm::builder::{Bound, FuncBuilder, ModuleBuilder};
+use acctee_wasm::decode::decode_module;
+use acctee_wasm::encode::encode_module;
+use acctee_wasm::instr::BlockType;
+use acctee_wasm::op::NumOp;
+use acctee_wasm::text::{parse_module, print_module};
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+/// A structured program that cannot be invalid.
+#[derive(Debug, Clone)]
+enum S {
+    /// `n` straight-line accumulator updates.
+    Work(u8),
+    /// Two-armed conditional on the accumulator's parity.
+    If(Vec<S>, Vec<S>),
+    /// A counted loop of `1 + iters` iterations (do-while shape).
+    Counted(u8, Vec<S>),
+    /// A block with a data-dependent early exit after `body`.
+    EarlyExit(Vec<S>),
+}
+
+fn program() -> impl Strategy<Value = Vec<S>> {
+    let leaf = (0u8..6).prop_map(S::Work);
+    let node = leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (0u8..6).prop_map(S::Work),
+            (prop::collection::vec(inner.clone(), 0..3),
+             prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(t, e)| S::If(t, e)),
+            ((0u8..4), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, b)| S::Counted(n, b)),
+            prop::collection::vec(inner, 0..3).prop_map(S::EarlyExit),
+        ]
+    });
+    prop::collection::vec(node, 0..4)
+}
+
+struct Compiler {
+    acc: u32,
+    salt: i64,
+}
+
+impl Compiler {
+    fn compile(&mut self, f: &mut FuncBuilder, stmts: &[S]) {
+        for s in stmts {
+            match s {
+                S::Work(n) => {
+                    for k in 0..*n {
+                        self.salt = self.salt.wrapping_mul(31).wrapping_add(7);
+                        f.local_get(self.acc);
+                        f.i64_const(self.salt | 1);
+                        f.num(if k % 3 == 2 { NumOp::I64Mul } else { NumOp::I64Add });
+                        f.local_set(self.acc);
+                    }
+                }
+                S::If(t, e) => {
+                    f.local_get(self.acc);
+                    f.i64_const(1);
+                    f.num(NumOp::I64And);
+                    f.num(NumOp::I64Eqz);
+                    let cell = std::cell::RefCell::new(std::mem::replace(
+                        self,
+                        Compiler { acc: 0, salt: 0 },
+                    ));
+                    f.if_else(
+                        BlockType::Empty,
+                        |f| cell.borrow_mut().compile(f, t),
+                        |f| cell.borrow_mut().compile(f, e),
+                    );
+                    *self = cell.into_inner();
+                }
+                S::Counted(n, body) => {
+                    let var = f.local(ValType::I32);
+                    let mut this = std::mem::replace(self, Compiler { acc: 0, salt: 0 });
+                    f.for_loop(var, Bound::Const(0), Bound::Const(i32::from(*n) + 1), |f| {
+                        this.compile(f, body);
+                        // ensure the body is never empty so the shape
+                        // is interesting
+                        f.local_get(this.acc);
+                        f.i64_const(1);
+                        f.num(NumOp::I64Add);
+                        f.local_set(this.acc);
+                    });
+                    *self = this;
+                }
+                S::EarlyExit(body) => {
+                    let mut this = std::mem::replace(self, Compiler { acc: 0, salt: 0 });
+                    f.block(BlockType::Empty, |f| {
+                        this.compile(f, body);
+                        // if (acc & 3) == 0 break out of the block
+                        f.local_get(this.acc);
+                        f.i64_const(3);
+                        f.num(NumOp::I64And);
+                        f.num(NumOp::I64Eqz);
+                        f.br_if(0);
+                        f.local_get(this.acc);
+                        f.i64_const(5);
+                        f.num(NumOp::I64Add);
+                        f.local_set(this.acc);
+                    });
+                    *self = this;
+                }
+            }
+        }
+    }
+}
+
+/// Compiles a generated program into a module: `run(seed: i64) -> i64`.
+fn build_module(prog: &[S]) -> Module {
+    let mut b = ModuleBuilder::new();
+    let f = b.func("run", &[ValType::I64], &[ValType::I64], |f| {
+        let acc = f.local(ValType::I64);
+        f.local_get(0);
+        f.local_set(acc);
+        let mut c = Compiler { acc, salt: 0x1234 };
+        c.compile(f, prog);
+        f.local_get(acc);
+    });
+    b.export_func("run", f);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Metering soundness: counter == oracle for arbitrary programs at
+    /// every level, and instrumentation never changes results.
+    #[test]
+    fn counter_equals_oracle(prog in program(), seed in any::<i64>()) {
+        let module = build_module(&prog);
+        acctee_wasm::validate::validate_module(&module).expect("generated module valid");
+        let weights = WeightTable::calibrated();
+        let mut oracle = CountingObserver::with_weight(|i| weights.weight(i));
+        let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+        let expected =
+            inst.invoke_observed("run", &[Value::I64(seed)], &mut oracle).expect("run");
+
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            let r = instrument(&module, level, &weights).expect("instrument");
+            acctee_wasm::validate::validate_module(&r.module).expect("instrumented valid");
+            let mut inst = Instance::new(&r.module, Imports::new()).expect("instantiate");
+            let got = inst.invoke("run", &[Value::I64(seed)]).expect("run");
+            prop_assert_eq!(&got, &expected, "{} result", level);
+            let counter = inst.global(COUNTER_EXPORT).expect("counter").as_i64() as u64;
+            prop_assert_eq!(counter, oracle.count, "{} counter", level);
+        }
+    }
+
+    /// Binary codec round-trip over generated modules.
+    #[test]
+    fn binary_round_trip(prog in program()) {
+        let module = build_module(&prog);
+        let bytes = encode_module(&module);
+        let back = decode_module(&bytes).expect("decodes");
+        prop_assert_eq!(back, module);
+    }
+
+    /// Text round-trip: parse(print(m)) == parse(print(parse(print(m)))).
+    #[test]
+    fn text_round_trip(prog in program()) {
+        let module = build_module(&prog);
+        let text = print_module(&module);
+        let once = parse_module(&text).expect("parses");
+        let twice = parse_module(&print_module(&once)).expect("reparses");
+        prop_assert_eq!(once, twice);
+    }
+
+    /// LEB128 round-trips for the full i64 range.
+    #[test]
+    fn leb_round_trip(v in any::<i64>(), u in any::<u64>()) {
+        let mut buf = Vec::new();
+        acctee_wasm::leb::write_i64(&mut buf, v);
+        prop_assert_eq!(acctee_wasm::leb::Reader::new(&buf).i64().expect("read"), v);
+        buf.clear();
+        acctee_wasm::leb::write_u64(&mut buf, u);
+        prop_assert_eq!(acctee_wasm::leb::Reader::new(&buf).u64().expect("read"), u);
+    }
+
+    /// Sealing round-trips for arbitrary payloads and is tamper-proof.
+    #[test]
+    fn sealing_round_trip(data in prop::collection::vec(any::<u8>(), 0..512),
+                          flip in any::<u8>()) {
+        use acctee_sgx::{seal, Platform};
+        let e = Platform::new("prop", 1).create_enclave(b"code");
+        let sealed = seal::seal(&e, [3; 16], &data);
+        prop_assert_eq!(seal::unseal(&e, &sealed).expect("unseals"), data.clone());
+        if !sealed.ciphertext.is_empty() {
+            let mut bad = sealed.clone();
+            let i = flip as usize % bad.ciphertext.len();
+            bad.ciphertext[i] ^= 1;
+            prop_assert!(seal::unseal(&e, &bad).is_none());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Robustness: hostile bytes and hostile text must produce errors,
+//! never panics — the decoder and parser sit directly on the trust
+//! boundary (the accounting enclave decodes provider-supplied bytes).
+
+use proptest::prelude::*;
+
+use acctee_wasm::decode::decode_module;
+use acctee_wasm::encode::encode_module;
+use acctee_wasm::text::parse_module;
+use acctee_wasm::validate::validate_module;
+
+/// A seed module with a bit of everything, used as a mutation base.
+fn seed_bytes() -> Vec<u8> {
+    let k = acctee_workloads::polybench::by_name("gemm").expect("gemm");
+    encode_module(&(k.build)(4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_module(&bytes);
+    }
+
+    /// Headers that look right but truncate mid-module never panic.
+    #[test]
+    fn decoder_never_panics_on_truncation(cut in 0usize..1000) {
+        let bytes = seed_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = decode_module(&bytes[..cut]);
+    }
+
+    /// Random single-byte corruption of a valid module either decodes
+    /// to *something* (which must then validate or fail cleanly) or
+    /// errors — never panics, and never produces an invalid module
+    /// that the validator accepts and the interpreter then crashes on.
+    #[test]
+    fn bitflip_is_contained(pos in 0usize..2000, flip in 1u8..=255) {
+        let mut bytes = seed_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(module) = decode_module(&bytes) {
+            if validate_module(&module).is_ok() {
+                // A validated module must run without panicking (traps
+                // are fine; host panics are not).
+                let mut inst = match acctee_interp::Instance::with_config(
+                    &module,
+                    acctee_interp::Imports::new(),
+                    acctee_interp::Config { fuel: Some(200_000), ..Default::default() },
+                ) {
+                    Ok(i) => i,
+                    Err(_) => return Ok(()),
+                };
+                let _ = inst.invoke("run", &[]);
+            }
+        }
+    }
+
+    /// Arbitrary text never panics the WAT parser.
+    #[test]
+    fn parser_never_panics_on_garbage(s in "\\PC{0,200}") {
+        let _ = parse_module(&s);
+    }
+
+    /// Parenthesised noise (the parser's worst case) never panics.
+    #[test]
+    fn parser_never_panics_on_paren_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("module".to_string()),
+                Just("func".to_string()),
+                Just("i32.add".to_string()),
+                Just("br_table".to_string()),
+                Just("0".to_string()),
+                Just("$x".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..60
+        )
+    ) {
+        let s = tokens.join(" ");
+        let _ = parse_module(&s);
+    }
+}
