@@ -1,50 +1,35 @@
-//! Criterion benches for the SGX simulator's crypto substrate: the
-//! cost of measurement, MACs and sealing that every attested
-//! interaction pays.
+//! Benches for the SGX simulator's crypto substrate: the cost of
+//! measurement, MACs and sealing that every attested interaction pays.
+//! Harness-free (`fn main`), timed with `acctee_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
-
+use acctee_bench::bench;
 use acctee_sgx::crypto::{hmac_sha256, sha256};
 use acctee_sgx::{enclave::report_data, AttestationAuthority, Platform};
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crypto");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+fn main() {
     for size in [64usize, 4096, 65536] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
-            b.iter(|| std::hint::black_box(sha256(d)));
+        bench(&format!("crypto/sha256/{size}"), 30, || {
+            std::hint::black_box(sha256(&data));
         });
-        group.bench_with_input(BenchmarkId::new("hmac", size), &data, |b, d| {
-            b.iter(|| std::hint::black_box(hmac_sha256(b"key", d)));
+        bench(&format!("crypto/hmac/{size}"), 30, || {
+            std::hint::black_box(hmac_sha256(b"key", &data));
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("attestation");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
     let authority = AttestationAuthority::new(1);
     let platform = Platform::new("bench", 1);
     let qe = authority.provision(&platform);
     let enclave = platform.create_enclave(b"bench-enclave");
-    group.bench_function("quote+verify", |b| {
-        b.iter(|| {
-            let quote =
-                qe.quote(&enclave.report(report_data(b"payload"))).expect("quote");
-            std::hint::black_box(authority.verify(&quote).expect("verify"))
-        });
+    bench("attestation/quote+verify", 30, || {
+        let quote = qe
+            .quote(&enclave.report(report_data(b"payload")))
+            .expect("quote");
+        std::hint::black_box(authority.verify(&quote).expect("verify"));
     });
-    group.bench_function("seal+unseal-4k", |b| {
-        let data = vec![7u8; 4096];
-        b.iter(|| {
-            let sealed = acctee_sgx::seal::seal(&enclave, [9; 16], &data);
-            std::hint::black_box(acctee_sgx::seal::unseal(&enclave, &sealed).expect("unseal"))
-        });
+    let data = vec![7u8; 4096];
+    bench("attestation/seal+unseal-4k", 30, || {
+        let sealed = acctee_sgx::seal::seal(&enclave, [9; 16], &data);
+        std::hint::black_box(acctee_sgx::seal::unseal(&enclave, &sealed).expect("unseal"));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_crypto);
-criterion_main!(benches);

@@ -1,41 +1,26 @@
-//! Criterion benches for the instrumentation pass itself: cost of the
-//! three levels and of the decode→instrument→encode round trip (the
-//! work the instrumentation enclave performs once per workload).
+//! Benches for the instrumentation pass itself: cost of the three
+//! levels and of the decode→instrument→encode round trip (the work
+//! the instrumentation enclave performs once per workload).
+//! Harness-free (`fn main`), timed with `acctee_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-
+use acctee_bench::bench;
 use acctee_instrument::{instrument, Level, WeightTable};
 use acctee_wasm::{decode::decode_module, encode::encode_module};
 use acctee_workloads::polybench;
 
-fn bench_passes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("instrument");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+fn main() {
     let weights = WeightTable::uniform();
     let k = polybench::by_name("gemver").expect("gemver");
     let module = (k.build)(16);
     for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
-        group.bench_with_input(
-            BenchmarkId::new("pass", level.to_string()),
-            &module,
-            |b, m| {
-                b.iter(|| {
-                    std::hint::black_box(instrument(m, level, &weights).expect("instrument"))
-                });
-            },
-        );
+        bench(&format!("instrument/pass/{level}"), 20, || {
+            std::hint::black_box(instrument(&module, level, &weights).expect("instrument"));
+        });
     }
     let bytes = encode_module(&module);
-    group.bench_function("decode+instrument+encode", |b| {
-        b.iter(|| {
-            let m = decode_module(&bytes).expect("decode");
-            let i = instrument(&m, Level::LoopBased, &weights).expect("instrument");
-            std::hint::black_box(encode_module(&i.module))
-        });
+    bench("instrument/decode+instrument+encode", 20, || {
+        let m = decode_module(&bytes).expect("decode");
+        let i = instrument(&m, Level::LoopBased, &weights).expect("instrument");
+        std::hint::black_box(encode_module(&i.module));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_passes);
-criterion_main!(benches);

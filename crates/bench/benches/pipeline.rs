@@ -1,53 +1,46 @@
-//! Criterion benches for the end-to-end AccTEE pipeline: the full
-//! instrument → attest → execute → sign-log → verify round trip, and
-//! the FaaS request path.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+//! Benches for the end-to-end AccTEE pipeline: the full instrument →
+//! attest → execute → sign-log → verify round trip, and the FaaS
+//! request path. Harness-free (`fn main`), timed with
+//! `acctee_bench::bench`.
 
 use acctee::{Deployment, Level};
+use acctee_bench::bench;
 use acctee_faas::{FaasPlatform, FunctionKind, Setup};
 use acctee_interp::Value;
 use acctee_wasm::encode::encode_module;
 use acctee_workloads::faas_fns::test_image;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-
+fn main() {
     let wasm = encode_module(&acctee_workloads::subsetsum::subsetsum_module(10, 3));
-    group.bench_function("instrument+evidence", |b| {
+    {
         let dep = Deployment::new(3);
-        b.iter(|| std::hint::black_box(dep.instrument(&wasm, Level::LoopBased).expect("ok")));
-    });
-    group.bench_function("execute+log+verify", |b| {
+        bench("pipeline/instrument+evidence", 10, || {
+            std::hint::black_box(dep.instrument(&wasm, Level::LoopBased).expect("ok"));
+        });
+    }
+    {
         let mut dep = Deployment::new(3);
         let (bytes, evidence) = dep.instrument(&wasm, Level::LoopBased).expect("ok");
-        b.iter(|| {
+        bench("pipeline/execute+log+verify", 10, || {
             std::hint::black_box(
-                dep.execute(&bytes, &evidence, "run", &[], b"").expect("executes"),
-            )
+                dep.execute(&bytes, &evidence, "run", &[], b"")
+                    .expect("executes"),
+            );
         });
-    });
+    }
 
     let img = test_image(64, 64);
     for setup in [Setup::Wasm, Setup::WasmSgxHwIo] {
         let platform = FaasPlatform::deploy(FunctionKind::Resize, setup);
-        group.bench_function(format!("faas-resize-64px ({setup})"), |b| {
-            b.iter(|| std::hint::black_box(platform.handle(&img).expect("served")));
+        bench(&format!("pipeline/faas-resize-64px ({setup})"), 10, || {
+            std::hint::black_box(platform.handle(&img).expect("served"));
         });
     }
 
-    group.bench_function("darknet-classify", |b| {
-        let m = acctee_workloads::darknet::darknet_module(16);
-        b.iter(|| {
-            let mut inst =
-                acctee_interp::Instance::new(&m, acctee_interp::Imports::new()).expect("inst");
-            std::hint::black_box(inst.invoke("run", &[Value::I32(0)]).expect("run"))
-        });
+    let m = acctee_workloads::darknet::darknet_module(16);
+    bench("pipeline/darknet-classify", 10, || {
+        let mut inst =
+            acctee_interp::Instance::new(&m, acctee_interp::Imports::new()).expect("inst");
+        std::hint::black_box(inst.invoke("run", &[Value::I32(0)]).expect("run"));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

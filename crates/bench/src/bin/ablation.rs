@@ -28,11 +28,29 @@ impl Observer for IncrementCounter {
 
 fn cases() -> Vec<(&'static str, Module, Vec<Value>)> {
     vec![
-        ("msieve", acctee_workloads::msieve::msieve_module(4, 42), vec![]),
+        (
+            "msieve",
+            acctee_workloads::msieve::msieve_module(4, 42),
+            vec![],
+        ),
         ("pc", acctee_workloads::pc::pc_module(8, 40), vec![]),
-        ("subsetsum", acctee_workloads::subsetsum::subsetsum_module(16, 7), vec![]),
-        ("darknet", acctee_workloads::darknet::darknet_module(16), vec![Value::I32(1)]),
-        ("gemm", (acctee_workloads::polybench::by_name("gemm").expect("gemm").build)(16), vec![]),
+        (
+            "subsetsum",
+            acctee_workloads::subsetsum::subsetsum_module(16, 7),
+            vec![],
+        ),
+        (
+            "darknet",
+            acctee_workloads::darknet::darknet_module(16),
+            vec![Value::I32(1)],
+        ),
+        (
+            "gemm",
+            (acctee_workloads::polybench::by_name("gemm")
+                .expect("gemm")
+                .build)(16),
+            vec![],
+        ),
     ]
 }
 
@@ -46,10 +64,11 @@ fn main() {
     for (name, module, args) in cases() {
         for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
             let result = instrument(&module, level, &weights).expect("instrumentable");
-            let mut obs =
-                IncrementCounter { counter_global: result.counter_global, executed: 0 };
-            let mut inst =
-                Instance::new(&result.module, Imports::new()).expect("instantiate");
+            let mut obs = IncrementCounter {
+                counter_global: result.counter_global,
+                executed: 0,
+            };
+            let mut inst = Instance::new(&result.module, Imports::new()).expect("instantiate");
             inst.invoke_observed("run", &args, &mut obs).expect("run");
             // Sanity: the counter still matches the oracle.
             let counter = inst

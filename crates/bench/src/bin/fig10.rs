@@ -47,7 +47,10 @@ fn use_cases() -> Vec<UseCase> {
 }
 
 fn main() {
-    let reps: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
     let weights = WeightTable::uniform();
     println!("# Fig 10 — instrumentation overhead, normalised to uninstrumented (reps={reps})");
     println!(
@@ -62,7 +65,9 @@ fn main() {
         let hw = sgx_hw_factor(&uc.module, uc.func, &uc.args);
         let mut cols = Vec::new();
         for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
-            let m = instrument(&uc.module, level, &weights).expect("instrumentable").module;
+            let m = instrument(&uc.module, level, &weights)
+                .expect("instrumentable")
+                .module;
             let t = time_ns(reps, || {
                 std::hint::black_box(run_wall_ns(&m, uc.func, &uc.args));
             });

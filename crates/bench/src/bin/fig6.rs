@@ -20,7 +20,9 @@ fn main() {
     let weights = WeightTable::uniform();
 
     println!("# Fig 6 — PolyBench/C normalised runtimes (n={n}, reps={reps})");
-    println!("# columns: kernel  WASM  WASM-SGX-SIM  WASM-SGX-HW  WASM-SGX-HW-instr  instr-overhead");
+    println!(
+        "# columns: kernel  WASM  WASM-SGX-SIM  WASM-SGX-HW  WASM-SGX-HW-instr  instr-overhead"
+    );
     println!(
         "{:<14} {:>8} {:>8} {:>8} {:>10} {:>9}",
         "kernel", "wasm", "sgx-sim", "sgx-hw", "hw-instr", "instr-ovh"
@@ -32,8 +34,9 @@ fn main() {
 
     for k in polybench::all() {
         let module = (k.build)(n);
-        let instrumented =
-            instrument(&module, Level::LoopBased, &weights).expect("instrumentable").module;
+        let instrumented = instrument(&module, Level::LoopBased, &weights)
+            .expect("instrumentable")
+            .module;
 
         let t_native = time_ns(reps, || {
             std::hint::black_box((k.native)(n));

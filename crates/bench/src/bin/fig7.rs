@@ -56,8 +56,14 @@ fn cycles_per_op(op: NumOp, n: usize) -> f64 {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
-    println!("# Fig 7 — cycles per instruction over {} opcodes, n={n} each", NumOp::ALL.len() + 4);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
+    println!(
+        "# Fig 7 — cycles per instruction over {} opcodes, n={n} each",
+        NumOp::ALL.len() + 4
+    );
 
     let mut rows: Vec<(String, f64)> = Vec::new();
     for op in NumOp::ALL {
@@ -65,10 +71,22 @@ fn main() {
     }
     // The four const instructions round out the paper's 127.
     for (name, c) in [
-        ("i32.const", acctee_cachesim::instr_base_cost(&Instr::I32Const(0))),
-        ("i64.const", acctee_cachesim::instr_base_cost(&Instr::I64Const(0))),
-        ("f32.const", acctee_cachesim::instr_base_cost(&Instr::F32Const(0.0))),
-        ("f64.const", acctee_cachesim::instr_base_cost(&Instr::F64Const(0.0))),
+        (
+            "i32.const",
+            acctee_cachesim::instr_base_cost(&Instr::I32Const(0)),
+        ),
+        (
+            "i64.const",
+            acctee_cachesim::instr_base_cost(&Instr::I64Const(0)),
+        ),
+        (
+            "f32.const",
+            acctee_cachesim::instr_base_cost(&Instr::F32Const(0.0)),
+        ),
+        (
+            "f64.const",
+            acctee_cachesim::instr_base_cost(&Instr::F64Const(0.0)),
+        ),
     ] {
         rows.push((name.to_string(), (c + DISPATCH_OVERHEAD_CYCLES) as f64));
     }

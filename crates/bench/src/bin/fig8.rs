@@ -95,7 +95,11 @@ fn measure(bytes: usize, random: bool, store: bool, vt: ValType, n: usize) -> (f
     let module = sweep_module(bytes, random, store, vt, n);
     let mut out = [0.0f64; 2];
     for (slot, sgx) in [(0usize, false), (1, true)] {
-        let mut model = if sgx { CycleModel::sgx() } else { CycleModel::plain() };
+        let mut model = if sgx {
+            CycleModel::sgx()
+        } else {
+            CycleModel::plain()
+        };
         let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
         inst.invoke_observed("run", &[], &mut model).expect("run");
         // Only the hierarchy part: total hierarchy cycles / accesses.
@@ -105,7 +109,10 @@ fn measure(bytes: usize, random: bool, store: bool, vt: ValType, n: usize) -> (f
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
     let sizes_mb = [1usize, 4, 16, 64, 128, 256];
     println!("# Fig 8 — cycles per memory access vs linear-memory size ({n} accesses/cell)");
     println!("# columns: plain-hierarchy cycles | SGX-hierarchy cycles (MEE + EPC paging)");

@@ -14,10 +14,19 @@ fn evaluation_binaries() -> Vec<(String, Module)> {
     }
     out.push(("echo".into(), acctee_workloads::faas_fns::echo_module()));
     out.push(("resize".into(), acctee_workloads::faas_fns::resize_module()));
-    out.push(("msieve".into(), acctee_workloads::msieve::msieve_module(4, 1)));
+    out.push((
+        "msieve".into(),
+        acctee_workloads::msieve::msieve_module(4, 1),
+    ));
     out.push(("pc".into(), acctee_workloads::pc::pc_module(8, 40)));
-    out.push(("subsetsum".into(), acctee_workloads::subsetsum::subsetsum_module(12, 1)));
-    out.push(("darknet".into(), acctee_workloads::darknet::darknet_module(16)));
+    out.push((
+        "subsetsum".into(),
+        acctee_workloads::subsetsum::subsetsum_module(12, 1),
+    ));
+    out.push((
+        "darknet".into(),
+        acctee_workloads::darknet::darknet_module(16),
+    ));
     out
 }
 

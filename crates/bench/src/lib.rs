@@ -23,6 +23,14 @@ use acctee_cachesim::CycleModel;
 use acctee_interp::{Imports, Instance, Value};
 use acctee_wasm::Module;
 
+/// Times `f` (median of `reps`) and prints a one-line `cargo bench`
+/// style result. The bench targets are harness-free `fn main()`
+/// programs built on this, keeping the workspace dependency-free.
+pub fn bench(name: &str, reps: usize, f: impl FnMut()) {
+    let ns = time_ns(reps, f);
+    println!("{name:<50} {ns:>12} ns/iter (median of {reps})");
+}
+
 /// Median-of-`reps` wall time of `f`, in nanoseconds.
 pub fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
     let mut samples = Vec::with_capacity(reps);
@@ -91,14 +99,18 @@ mod tests {
         b.memory(4, None);
         let f = b.func("run", &[], &[], |f| {
             let i = f.local(ValType::I32);
-            f.for_loop(i, acctee_wasm::builder::Bound::Const(0),
-                acctee_wasm::builder::Bound::Const(10_000), |f| {
-                f.local_get(i);
-                f.i32_const(3);
-                f.i32_shl();
-                f.i64_const(1);
-                f.store(acctee_wasm::op::StoreOp::I64Store, 0);
-            });
+            f.for_loop(
+                i,
+                acctee_wasm::builder::Bound::Const(0),
+                acctee_wasm::builder::Bound::Const(10_000),
+                |f| {
+                    f.local_get(i);
+                    f.i32_const(3);
+                    f.i32_shl();
+                    f.i64_const(1);
+                    f.store(acctee_wasm::op::StoreOp::I64Store, 0);
+                },
+            );
         });
         b.export_func("run", f);
         let m = b.build();

@@ -57,7 +57,10 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             cfg,
             sets: vec![Vec::with_capacity(cfg.ways); sets],
@@ -102,20 +105,28 @@ impl Cache {
             l.dirty |= is_store;
             set.push(l);
             self.hits += 1;
-            return AccessResult { hit: true, writeback: None };
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
         }
         self.misses += 1;
         let mut writeback = None;
         if set.len() == self.cfg.ways {
             let victim = set.remove(0); // LRU at the front
             if victim.dirty {
-                let victim_line =
-                    (victim.tag << self.set_mask.count_ones()) | set_idx as u64;
+                let victim_line = (victim.tag << self.set_mask.count_ones()) | set_idx as u64;
                 writeback = Some(victim_line);
             }
         }
-        set.push(Line { tag, dirty: is_store });
-        AccessResult { hit: false, writeback }
+        set.push(Line {
+            tag,
+            dirty: is_store,
+        });
+        AccessResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Clears all lines and statistics.
@@ -134,7 +145,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512B
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, hit_cycles: 4 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            hit_cycles: 4,
+        })
     }
 
     #[test]

@@ -22,16 +22,16 @@ pub fn numop_cost(op: NumOp) -> u64 {
     use NumOp::*;
     match op {
         // Integer comparisons and tests: 1 cycle.
-        I32Eqz | I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU
-        | I32GeS | I32GeU | I64Eqz | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU
-        | I64LeS | I64LeU | I64GeS | I64GeU => 1,
+        I32Eqz | I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS
+        | I32GeU | I64Eqz | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU
+        | I64GeS | I64GeU => 1,
         // Float comparisons: 2-3 cycles.
         F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge => 2,
         F64Eq | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => 3,
         // Simple integer ALU: 1 cycle.
         I32Add | I32Sub | I32And | I32Or | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl
-        | I32Rotr | I64Add | I64Sub | I64And | I64Or | I64Xor | I64Shl | I64ShrS
-        | I64ShrU | I64Rotl | I64Rotr => 1,
+        | I32Rotr | I64Add | I64Sub | I64And | I64Or | I64Xor | I64Shl | I64ShrS | I64ShrU
+        | I64Rotl | I64Rotr => 1,
         // Bit counting: 3 cycles (lzcnt/tzcnt/popcnt).
         I32Clz | I32Ctz | I32Popcnt => 3,
         I64Clz | I64Ctz | I64Popcnt => 3,
@@ -104,11 +104,16 @@ mod tests {
         // near 30, and a few outliers above 50 (div, sqrt). We check the
         // same holds for the model (using cost + dispatch overhead as
         // the measured value).
-        let costs: Vec<u64> =
-            NumOp::ALL.iter().map(|op| numop_cost(*op) + DISPATCH_OVERHEAD_CYCLES).collect();
+        let costs: Vec<u64> = NumOp::ALL
+            .iter()
+            .map(|op| numop_cost(*op) + DISPATCH_OVERHEAD_CYCLES)
+            .collect();
         let below_10 = costs.iter().filter(|c| **c < 10).count();
         let frac = below_10 as f64 / costs.len() as f64;
-        assert!(frac > 0.65 && frac < 0.85, "fraction below 10 cycles: {frac}");
+        assert!(
+            frac > 0.65 && frac < 0.85,
+            "fraction below 10 cycles: {frac}"
+        );
         assert!(costs.iter().any(|c| *c > 50), "expensive tail exists");
         let max = *costs.iter().max().unwrap();
         assert!(max <= 90, "nothing absurdly expensive: {max}");

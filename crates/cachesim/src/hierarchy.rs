@@ -63,8 +63,18 @@ impl Default for HierarchyConfig {
     fn default() -> HierarchyConfig {
         // Skylake-client-like geometry (Xeon E3-1230 v5).
         HierarchyConfig {
-            l1: CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64, hit_cycles: 4 },
-            l2: CacheConfig { size_bytes: 256 << 10, ways: 4, line_bytes: 64, hit_cycles: 12 },
+            l1: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+                hit_cycles: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                ways: 4,
+                line_bytes: 64,
+                hit_cycles: 12,
+            },
             llc: CacheConfig {
                 size_bytes: 8 << 20,
                 ways: 16,
@@ -81,7 +91,10 @@ impl Default for HierarchyConfig {
 impl HierarchyConfig {
     /// The default geometry with the SGX layer enabled.
     pub fn sgx() -> HierarchyConfig {
-        HierarchyConfig { sgx: true, ..HierarchyConfig::default() }
+        HierarchyConfig {
+            sgx: true,
+            ..HierarchyConfig::default()
+        }
     }
 }
 
@@ -236,7 +249,9 @@ mod tests {
         let mut x: u64 = 12345;
         let mut cycles = 0;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (x >> 11) % (64 << 20);
             cycles += h.access(addr, 8, false);
         }
@@ -250,7 +265,9 @@ mod tests {
         let mut large = Hierarchy::new(HierarchyConfig::sgx());
         let mut x: u64 = 999;
         let mut lcg = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 11
         };
         let (mut c_small, mut c_large) = (0, 0);
@@ -264,7 +281,10 @@ mod tests {
         // 32 MiB fits entirely in the EPC: only cold (first-touch)
         // faults, bounded by the number of pages in the range.
         assert!(small.epc_faults() <= (32 << 20) / 4096);
-        assert!(large.epc_faults() > 30_000, "large working set thrashes the EPC");
+        assert!(
+            large.epc_faults() > 30_000,
+            "large working set thrashes the EPC"
+        );
         assert!(c_large > 3 * c_small);
     }
 
@@ -274,7 +294,9 @@ mod tests {
         let mut stores = Hierarchy::new(HierarchyConfig::sgx());
         let mut x: u64 = 7;
         let mut lcg = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 11) % (256 << 20)
         };
         let (mut cl, mut cs) = (0, 0);
@@ -284,7 +306,10 @@ mod tests {
             cs += stores.access(a, 8, true);
         }
         let ratio = cs as f64 / cl as f64;
-        assert!(ratio > 1.3 && ratio < 2.5, "store/load ratio {ratio} (paper: ~1.8)");
+        assert!(
+            ratio > 1.3 && ratio < 2.5,
+            "store/load ratio {ratio} (paper: ~1.8)"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl CycleModel {
 
     /// A model over an explicit hierarchy configuration.
     pub fn new(cfg: HierarchyConfig) -> CycleModel {
-        CycleModel { hierarchy: Hierarchy::new(cfg), cycles: 0, include_dispatch: false }
+        CycleModel {
+            hierarchy: Hierarchy::new(cfg),
+            cycles: 0,
+            include_dispatch: false,
+        }
     }
 
     /// Total simulated cycles so far.

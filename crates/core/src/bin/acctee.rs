@@ -14,12 +14,24 @@
 //!
 //! Arguments of the invoked function are parsed against its signature
 //! (`17`, `-3`, `2.5`, …).
+//!
+//! Observability: `run` and `account` accept `--trace-out FILE`
+//! (Chrome trace-event JSON, loadable in Perfetto) and
+//! `--metrics-out FILE` (Prometheus text exposition). With either flag
+//! present, `run` additionally instruments the module through the
+//! [`acctee::InstrumentationCache`] and executes under a
+//! [`ProfilingObserver`], so the exported metrics cover
+//! instrumentation pass durations, cache hit/miss counts, the
+//! hot-function profile and end-to-end invocation latency.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use acctee::{Deployment, Level, PricingModel};
+use acctee::{Deployment, InstrumentationCache, InstrumentationEnclave, Level, PricingModel};
 use acctee_instrument::{instrument, WeightTable};
-use acctee_interp::{Config, Imports, Instance, Value};
+use acctee_interp::{Config, Imports, Instance, ProfilingObserver, Value};
+use acctee_sgx::{AttestationAuthority, Platform};
+use acctee_telemetry::{CollectingSink, Telemetry};
 use acctee_wasm::decode::decode_module;
 use acctee_wasm::encode::encode_module;
 use acctee_wasm::text::{parse_module, print_module};
@@ -52,7 +64,11 @@ fn parse_args_for(module: &Module, func: &str, raw: &[String]) -> Result<Vec<Val
         .ok_or_else(|| format!("no exported function {func:?}"))?;
     let ty = module.func_type(idx).ok_or("missing function type")?;
     if ty.params.len() != raw.len() {
-        return Err(format!("{func:?} takes {} args, got {}", ty.params.len(), raw.len()));
+        return Err(format!(
+            "{func:?} takes {} args, got {}",
+            ty.params.len(),
+            raw.len()
+        ));
     }
     ty.params
         .iter()
@@ -75,6 +91,8 @@ struct Opts {
     input: Vec<u8>,
     fuel: Option<u64>,
     level: Level,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     rest: Vec<String>,
 }
 
@@ -85,12 +103,16 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         input: Vec::new(),
         fuel: None,
         level: Level::LoopBased,
+        trace_out: None,
+        metrics_out: None,
         rest: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         let want = |it: &mut std::slice::Iter<String>| {
-            it.next().cloned().ok_or_else(|| format!("{a} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{a} needs a value"))
         };
         match a.as_str() {
             "--invoke" => o.invoke = want(&mut it)?,
@@ -98,24 +120,71 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--input" => o.input = want(&mut it)?.into_bytes(),
             "--fuel" => o.fuel = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?),
             "--level" => o.level = parse_level(&want(&mut it)?)?,
+            "--trace-out" => o.trace_out = Some(want(&mut it)?),
+            "--metrics-out" => o.metrics_out = Some(want(&mut it)?),
             other => o.rest.push(other.to_string()),
         }
     }
     Ok(o)
 }
 
+/// Writes the collected trace and the metrics snapshot to the files
+/// requested by `--trace-out` / `--metrics-out`.
+fn flush_telemetry(opts: &Opts, sink: &CollectingSink) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let events = sink.events();
+        let json = acctee_telemetry::to_chrome_json(&events);
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("[trace: {} events -> {path}]", events.len());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let text = acctee_telemetry::global().metrics().export_prometheus();
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("[metrics -> {path}]");
+    }
+    Ok(())
+}
+
 fn real_main() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        return Err("usage: acctee <wat2wasm|wasm2wat|validate|instrument|run|account> ...\n\
+        return Err(
+            "usage: acctee <wat2wasm|wasm2wat|validate|instrument|run|account> ...\n\
                     see `acctee help`"
-            .into());
+                .into(),
+        );
     };
     let opts = parse_opts(&argv[1..])?;
-    match cmd.as_str() {
+    let sink = if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        let (tel, sink) = Telemetry::collecting();
+        // Register the cache counters up front so they appear in the
+        // exposition even when the command never touches the cache.
+        tel.metrics().counter("acctee_cache_hits_total");
+        tel.metrics().counter("acctee_cache_misses_total");
+        acctee_telemetry::install(Arc::new(tel));
+        Some(sink)
+    } else {
+        None
+    };
+    let result = dispatch(cmd, &opts);
+    if let Some(sink) = sink {
+        // Flush even on command failure: a trace of the failed run is
+        // exactly what one wants when debugging it.
+        let flushed = flush_telemetry(&opts, &sink);
+        acctee_telemetry::reset();
+        result.and(flushed)
+    } else {
+        result
+    }
+}
+
+fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
+    match cmd {
         "help" => {
             println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account");
+            println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
+            println!("                   --trace-out FILE --metrics-out FILE");
             Ok(())
         }
         "wat2wasm" => {
@@ -169,15 +238,73 @@ fn real_main() -> Result<(), String> {
             let m = load_module(inp)?;
             validate_module(&m).map_err(|e| e.to_string())?;
             let args = parse_args_for(&m, &opts.invoke, &opts.args)?;
+            let hub = acctee_telemetry::global();
+            // With telemetry on, route the module through the
+            // instrumentation cache first and execute the instrumented
+            // copy, so pass durations, cache counters and the injected
+            // counter's overhead all land in the exported data.
+            let m = if hub.enabled() {
+                let authority = AttestationAuthority::new(0xacc7ee);
+                let platform = Platform::new("acctee-cli", 0xacc7ee);
+                let qe = authority.provision(&platform);
+                let ie = InstrumentationEnclave::launch(&platform, qe, WeightTable::calibrated());
+                let mut cache = InstrumentationCache::new();
+                let bytes = encode_module(&m);
+                let (ib, _ev) = cache
+                    .instrument(&ie, &bytes, opts.level)
+                    .map_err(|e| e.to_string())?;
+                decode_module(&ib).map_err(|e| e.to_string())?
+            } else {
+                m
+            };
             let meter = acctee::IoMeter::with_input(&opts.input);
             let imports = meter.register(Imports::new());
             let mut inst = Instance::with_config(
                 &m,
                 imports,
-                Config { fuel: opts.fuel, ..Config::default() },
+                Config {
+                    fuel: opts.fuel,
+                    ..Config::default()
+                },
             )
             .map_err(|e| e.to_string())?;
-            let out = inst.invoke(&opts.invoke, &args).map_err(|e| e.to_string())?;
+            let started = std::time::Instant::now();
+            let out = if hub.enabled() {
+                let span = hub
+                    .span("cli.run", "cli")
+                    .with_arg("function", opts.invoke.as_str());
+                let mut prof = ProfilingObserver::unit(&m);
+                let out = inst
+                    .invoke_observed(&opts.invoke, &args, &mut prof)
+                    .map_err(|e| e.to_string())?;
+                let report = prof.report(10);
+                for f in &report.hot_functions {
+                    hub.metrics()
+                        .counter_with(
+                            "acctee_profile_self_weight_total",
+                            &[("function", f.name.as_str())],
+                        )
+                        .add(f.self_weight);
+                }
+                hub.metrics()
+                    .counter("acctee_profile_weight_total")
+                    .add(report.total_weight);
+                eprint!("{}", report.render());
+                drop(span);
+                out
+            } else {
+                inst.invoke(&opts.invoke, &args)
+                    .map_err(|e| e.to_string())?
+            };
+            if hub.enabled() {
+                hub.metrics()
+                    .histogram_with(
+                        "acctee_faas_request_latency_seconds",
+                        &[("function", opts.invoke.as_str())],
+                        1e-9,
+                    )
+                    .observe(started.elapsed().as_nanos() as u64);
+            }
             for v in out {
                 println!("{v}");
             }
@@ -199,20 +326,38 @@ fn real_main() -> Result<(), String> {
             let m = load_module(inp)?;
             let args = parse_args_for(&m, &opts.invoke, &opts.args)?;
             let bytes = encode_module(&m);
+            let hub = acctee_telemetry::global();
+            let _span = hub
+                .span("cli.account", "cli")
+                .with_arg("function", opts.invoke.as_str());
             let mut dep = Deployment::new(0xacc7ee);
-            let (ib, ev) =
-                dep.instrument(&bytes, opts.level).map_err(|e| e.to_string())?;
+            let (ib, ev) = dep
+                .instrument(&bytes, opts.level)
+                .map_err(|e| e.to_string())?;
+            let started = std::time::Instant::now();
             let outcome = dep
                 .execute(&ib, &ev, &opts.invoke, &args, &opts.input)
                 .map_err(|e| e.to_string())?;
-            dep.workload_provider().verify_log(&outcome.log).map_err(|e| e.to_string())?;
+            hub.metrics()
+                .histogram_with(
+                    "acctee_faas_request_latency_seconds",
+                    &[("function", opts.invoke.as_str())],
+                    1e-9,
+                )
+                .observe(started.elapsed().as_nanos() as u64);
+            dep.workload_provider()
+                .verify_log(&outcome.log)
+                .map_err(|e| e.to_string())?;
             println!("results: {:?}", outcome.results);
             let log = &outcome.log.log;
             println!("signed resource usage log (verified):");
             println!("  weighted instructions: {}", log.weighted_instructions);
             println!("  peak memory:           {} B", log.peak_memory_bytes);
             println!("  memory integral:       {}", log.memory_integral);
-            println!("  io:                    {} in / {} out", log.io_bytes_in, log.io_bytes_out);
+            println!(
+                "  io:                    {} in / {} out",
+                log.io_bytes_in, log.io_bytes_out
+            );
             let inv = PricingModel::default().invoice(log);
             println!("  invoice:               {} nano-credits", inv.total());
             Ok(())

@@ -48,7 +48,11 @@ impl Default for InstrumentationCache {
 impl InstrumentationCache {
     /// Creates an empty cache.
     pub fn new() -> InstrumentationCache {
-        InstrumentationCache { entries: HashMap::new(), hits: 0, misses: 0 }
+        InstrumentationCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Cache hits so far.
@@ -73,12 +77,23 @@ impl InstrumentationCache {
         module_bytes: &[u8],
         level: Level,
     ) -> Result<(Vec<u8>, InstrumentationEvidence), AccTeeError> {
-        let key = Key { original: sha256(module_bytes), level };
+        let key = Key {
+            original: sha256(module_bytes),
+            level,
+        };
         if let Some((bytes, evidence)) = self.entries.get(&key) {
             self.hits += 1;
+            acctee_telemetry::global()
+                .metrics()
+                .counter("acctee_cache_hits_total")
+                .inc();
             return Ok((bytes.clone(), evidence.clone()));
         }
         self.misses += 1;
+        acctee_telemetry::global()
+            .metrics()
+            .counter("acctee_cache_misses_total")
+            .inc();
         let out = ie.instrument(module_bytes, level)?;
         self.entries.insert(key, out.clone());
         Ok(out)
@@ -114,8 +129,12 @@ mod tests {
     fn second_request_hits() {
         let ie = ie();
         let mut cache = InstrumentationCache::new();
-        let a1 = cache.instrument(&ie, &module_bytes(1), Level::Naive).unwrap();
-        let a2 = cache.instrument(&ie, &module_bytes(1), Level::Naive).unwrap();
+        let a1 = cache
+            .instrument(&ie, &module_bytes(1), Level::Naive)
+            .unwrap();
+        let a2 = cache
+            .instrument(&ie, &module_bytes(1), Level::Naive)
+            .unwrap();
         assert_eq!(a1, a2);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -125,9 +144,15 @@ mod tests {
     fn level_and_module_are_part_of_the_key() {
         let ie = ie();
         let mut cache = InstrumentationCache::new();
-        cache.instrument(&ie, &module_bytes(1), Level::Naive).unwrap();
-        cache.instrument(&ie, &module_bytes(1), Level::LoopBased).unwrap();
-        cache.instrument(&ie, &module_bytes(2), Level::Naive).unwrap();
+        cache
+            .instrument(&ie, &module_bytes(1), Level::Naive)
+            .unwrap();
+        cache
+            .instrument(&ie, &module_bytes(1), Level::LoopBased)
+            .unwrap();
+        cache
+            .instrument(&ie, &module_bytes(2), Level::Naive)
+            .unwrap();
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 0);
     }
@@ -148,6 +173,8 @@ mod tests {
         let bytes = module_bytes(7);
         let _ = cache.instrument(&ie, &bytes, Level::Naive).unwrap();
         let (instr, evidence) = cache.instrument(&ie, &bytes, Level::Naive).unwrap();
-        provider.verify_evidence(&instr, &evidence).expect("cached evidence verifies");
+        provider
+            .verify_evidence(&instr, &evidence)
+            .expect("cached evidence verifies");
     }
 }

@@ -54,7 +54,11 @@ impl InstrumentationEnclave {
     /// enclave.
     pub fn launch(platform: &Platform, qe: QuotingEnclave, weights: WeightTable) -> Self {
         let enclave = platform.create_enclave(&ie_code(&weights));
-        InstrumentationEnclave { enclave, qe, weights }
+        InstrumentationEnclave {
+            enclave,
+            qe,
+            weights,
+        }
     }
 
     /// The IE's measurement (for the parties' allow-lists).
@@ -75,11 +79,21 @@ impl InstrumentationEnclave {
         module_bytes: &[u8],
         level: Level,
     ) -> Result<(Vec<u8>, InstrumentationEvidence), AccTeeError> {
-        let module =
-            decode_module(module_bytes).map_err(|e| AccTeeError::BadModule(e.to_string()))?;
+        let hub = acctee_telemetry::global();
+        let _span = hub
+            .span("enclave.ie.instrument", "enclave")
+            .with_arg("bytes", module_bytes.len())
+            .with_arg("level", level.to_string());
+        let module = {
+            let _s = hub.span("enclave.ie.decode", "enclave");
+            decode_module(module_bytes).map_err(|e| AccTeeError::BadModule(e.to_string()))?
+        };
         let result = instrument(&module, level, &self.weights)
             .map_err(|e| AccTeeError::Instrumentation(e.to_string()))?;
-        let instrumented_bytes = encode_module(&result.module);
+        let instrumented_bytes = {
+            let _s = hub.span("enclave.ie.encode", "enclave");
+            encode_module(&result.module)
+        };
         let original_hash = sha256(module_bytes);
         let instrumented_hash = sha256(&instrumented_bytes);
         let weight_hash = sha256(&self.weights.to_bytes());
@@ -90,7 +104,10 @@ impl InstrumentationEnclave {
             &weight_hash,
             result.counter_global,
         );
-        let quote = self.qe.quote(&self.enclave.report(report_data(&binding)))?;
+        let quote = {
+            let _s = hub.span("enclave.ie.quote", "enclave");
+            self.qe.quote(&self.enclave.report(report_data(&binding)))?
+        };
         Ok((
             instrumented_bytes,
             InstrumentationEvidence {
@@ -180,7 +197,13 @@ impl AccountingEnclave {
         expected_ie: Measurement,
     ) -> Self {
         let enclave = platform.create_enclave(&ae_code(&weights));
-        AccountingEnclave { enclave, qe, weights, expected_ie, exec_config: Config::default() }
+        AccountingEnclave {
+            enclave,
+            qe,
+            weights,
+            expected_ie,
+            exec_config: Config::default(),
+        }
     }
 
     /// The AE's measurement (for the parties' allow-lists).
@@ -203,6 +226,8 @@ impl AccountingEnclave {
         module_bytes: &[u8],
         evidence: &InstrumentationEvidence,
     ) -> Result<LoadedWorkload, AccTeeError> {
+        let _span = acctee_telemetry::span("enclave.ae.verify_load", "enclave")
+            .with_arg("bytes", module_bytes.len());
         let attested = authority.verify(&evidence.quote)?;
         if attested != self.expected_ie {
             return Err(AccTeeError::EvidenceMismatch(format!(
@@ -228,7 +253,11 @@ impl AccountingEnclave {
         }
         let module =
             decode_module(module_bytes).map_err(|e| AccTeeError::BadModule(e.to_string()))?;
-        Ok(LoadedWorkload { module, module_hash, counter_global: evidence.counter_global })
+        Ok(LoadedWorkload {
+            module,
+            module_hash,
+            counter_global: evidence.counter_global,
+        })
     }
 
     /// Executes `func` on a loaded workload, metering CPU, memory and
@@ -246,6 +275,10 @@ impl AccountingEnclave {
         input: &[u8],
         session_id: u64,
     ) -> Result<ExecutionOutcome, AccTeeError> {
+        let hub = acctee_telemetry::global();
+        let mut span = hub
+            .span("enclave.ae.execute", "enclave")
+            .with_arg("func", func);
         let meter = IoMeter::with_input(input);
         let imports = meter.register(Imports::new());
         let mut instance = Instance::with_config(&workload.module, imports, self.exec_config)?;
@@ -259,6 +292,7 @@ impl AccountingEnclave {
         let counter = instance
             .global_by_index(workload.counter_global)
             .map_or(0, |v| v.as_i64() as u64);
+        span.record_arg("weighted_instructions", counter);
         let log = ResourceUsageLog {
             weighted_instructions: counter,
             peak_memory_bytes: instance.stats().peak_memory_bytes as u64,
@@ -268,7 +302,11 @@ impl AccountingEnclave {
             module_hash: workload.module_hash,
             session_id,
         };
-        let quote = self.qe.quote(&self.enclave.report(report_data(&log.binding())))?;
+        let quote = {
+            let _s = hub.span("enclave.ae.sign_log", "enclave");
+            self.qe
+                .quote(&self.enclave.report(report_data(&log.binding())))?
+        };
         Ok(ExecutionOutcome {
             results,
             output: meter.take_output(),
@@ -284,7 +322,11 @@ mod tests {
     use acctee_wasm::builder::{Bound, ModuleBuilder};
     use acctee_wasm::types::ValType;
 
-    fn setup() -> (AttestationAuthority, InstrumentationEnclave, AccountingEnclave) {
+    fn setup() -> (
+        AttestationAuthority,
+        InstrumentationEnclave,
+        AccountingEnclave,
+    ) {
         let authority = AttestationAuthority::new(1);
         let ie_platform = Platform::new("provider-build", 10);
         let ae_platform = Platform::new("provider-exec", 20);
@@ -326,7 +368,9 @@ mod tests {
         let (authority, ie, ae) = setup();
         let (bytes, evidence) = ie.instrument(&workload_bytes(), Level::LoopBased).unwrap();
         let loaded = ae.load(&authority, &bytes, &evidence).unwrap();
-        let out = ae.execute(&loaded, "main", &[Value::I32(10)], b"", 99).unwrap();
+        let out = ae
+            .execute(&loaded, "main", &[Value::I32(10)], b"", 99)
+            .unwrap();
         assert_eq!(out.results, vec![Value::I64(20)]);
         assert!(out.log.log.weighted_instructions > 0);
         assert_eq!(out.log.log.session_id, 99);
@@ -370,7 +414,9 @@ mod tests {
         let (authority, ie, ae) = setup();
         let (bytes, evidence) = ie.instrument(&workload_bytes(), Level::FlowBased).unwrap();
         let loaded = ae.load(&authority, &bytes, &evidence).unwrap();
-        let out = ae.execute(&loaded, "main", &[Value::I32(25)], b"", 0).unwrap();
+        let out = ae
+            .execute(&loaded, "main", &[Value::I32(25)], b"", 0)
+            .unwrap();
         // Independently compute the oracle on the original module. The
         // instrumented module's own counter must equal the weighted
         // count of original instructions.
@@ -378,7 +424,8 @@ mod tests {
         let weights = WeightTable::uniform();
         let mut oracle = acctee_interp::CountingObserver::with_weight(|i| weights.weight(i));
         let mut inst = Instance::new(&original, Imports::new()).unwrap();
-        inst.invoke_observed("main", &[Value::I32(25)], &mut oracle).unwrap();
+        inst.invoke_observed("main", &[Value::I32(25)], &mut oracle)
+            .unwrap();
         assert_eq!(out.log.log.weighted_instructions, oracle.count);
     }
 
@@ -387,8 +434,12 @@ mod tests {
         let (authority, ie, ae) = setup();
         let (bytes, evidence) = ie.instrument(&workload_bytes(), Level::Naive).unwrap();
         let loaded = ae.load(&authority, &bytes, &evidence).unwrap();
-        let small = ae.execute(&loaded, "main", &[Value::I32(10)], b"", 0).unwrap();
-        let large = ae.execute(&loaded, "main", &[Value::I32(1000)], b"", 0).unwrap();
+        let small = ae
+            .execute(&loaded, "main", &[Value::I32(10)], b"", 0)
+            .unwrap();
+        let large = ae
+            .execute(&loaded, "main", &[Value::I32(1000)], b"", 0)
+            .unwrap();
         assert!(large.log.log.memory_integral > small.log.log.memory_integral);
         assert_eq!(small.log.log.peak_memory_bytes, 65536);
     }

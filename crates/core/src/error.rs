@@ -54,8 +54,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(AccTeeError::BadModule("x".into()).to_string().contains("bad module"));
-        assert!(AccTeeError::from(Trap::Unreachable).to_string().contains("trapped"));
+        assert!(AccTeeError::BadModule("x".into())
+            .to_string()
+            .contains("bad module"));
+        assert!(AccTeeError::from(Trap::Unreachable)
+            .to_string()
+            .contains("trapped"));
         assert!(AccTeeError::from(AttestationError::BadQuote)
             .to_string()
             .contains("attestation"));

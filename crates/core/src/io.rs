@@ -63,17 +63,16 @@ impl IoMeter {
         });
 
         let st = self.state.clone();
-        let imports =
-            imports.func("env", "read_input", move |ctx: &mut HostCtx<'_>, args| {
-                let dst = args[0].as_i32() as u32 as u64;
-                let len = args[1].as_i32().max(0) as usize;
-                let mut s = st.borrow_mut();
-                let n = len.min(s.input.len());
-                let data: Vec<u8> = s.input[..n].to_vec();
-                ctx.memory()?.write_bytes(dst, &data)?;
-                s.bytes_in += n as u64;
-                Ok(vec![Value::I32(n as i32)])
-            });
+        let imports = imports.func("env", "read_input", move |ctx: &mut HostCtx<'_>, args| {
+            let dst = args[0].as_i32() as u32 as u64;
+            let len = args[1].as_i32().max(0) as usize;
+            let mut s = st.borrow_mut();
+            let n = len.min(s.input.len());
+            let data: Vec<u8> = s.input[..n].to_vec();
+            ctx.memory()?.write_bytes(dst, &data)?;
+            s.bytes_in += n as u64;
+            Ok(vec![Value::I32(n as i32)])
+        });
 
         let st = self.state.clone();
         imports.func("env", "write_output", move |ctx: &mut HostCtx<'_>, args| {

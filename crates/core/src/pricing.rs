@@ -67,7 +67,11 @@ impl PricingModel {
         };
         let io = (u128::from(log.io_bytes_in) + u128::from(log.io_bytes_out))
             * u128::from(self.per_io_byte);
-        Invoice { compute, memory, io }
+        Invoice {
+            compute,
+            memory,
+            io,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ mod tests {
 
     #[test]
     fn integral_policy_bills_integral() {
-        let p = PricingModel { memory_policy: MemoryPolicy::Integral, ..Default::default() };
+        let p = PricingModel {
+            memory_policy: MemoryPolicy::Integral,
+            ..Default::default()
+        };
         let inv = p.invoice(&log());
         assert_eq!(inv.memory, 10 * 50);
     }

@@ -31,7 +31,13 @@ impl<'w, F: FnMut(u64)> ProgressMeter<'w, F> {
     /// Panics if `interval` is zero.
     pub fn new(weights: &'w WeightTable, interval: u64, callback: F) -> Self {
         assert!(interval > 0, "interval must be positive");
-        ProgressMeter { weights, interval, next_report: interval, wic: 0, callback }
+        ProgressMeter {
+            weights,
+            interval,
+            next_report: interval,
+            wic: 0,
+            callback,
+        }
     }
 
     /// The weighted instruction count accumulated so far.
@@ -43,8 +49,19 @@ impl<'w, F: FnMut(u64)> ProgressMeter<'w, F> {
 impl<F: FnMut(u64)> Observer for ProgressMeter<'_, F> {
     fn on_instr(&mut self, instr: &Instr) {
         self.wic += self.weights.weight(instr);
+        // A single heavy instruction can cross several thresholds at
+        // once; report each crossed threshold exactly once, with the
+        // threshold value (not the raw wic, which would repeat).
         while self.wic >= self.next_report {
-            (self.callback)(self.wic);
+            (self.callback)(self.next_report);
+            acctee_telemetry::instant(
+                "progress.report",
+                "core",
+                vec![(
+                    "wic".to_string(),
+                    acctee_telemetry::ArgValue::U64(self.next_report),
+                )],
+            );
             self.next_report += self.interval;
         }
     }
@@ -76,7 +93,8 @@ mod tests {
         let mut reports = Vec::new();
         let mut meter = ProgressMeter::new(&weights, 100, |wic| reports.push(wic));
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        inst.invoke_observed("run", &[Value::I32(200)], &mut meter).unwrap();
+        inst.invoke_observed("run", &[Value::I32(200)], &mut meter)
+            .unwrap();
         let total = meter.weighted_instructions();
         let _ = meter;
         assert!(total > 1000);
@@ -93,7 +111,8 @@ mod tests {
         let mut count = 0;
         let mut meter = ProgressMeter::new(&weights, 1_000_000, |_| count += 1);
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        inst.invoke_observed("run", &[Value::I32(3)], &mut meter).unwrap();
+        inst.invoke_observed("run", &[Value::I32(3)], &mut meter)
+            .unwrap();
         let _ = meter;
         assert_eq!(count, 0);
     }
@@ -106,6 +125,22 @@ mod tests {
     }
 
     #[test]
+    fn heavy_instruction_reports_each_threshold_once() {
+        // One instruction of weight 250 crosses thresholds 100 and 200
+        // in a single step: both must be reported, each exactly once,
+        // with the threshold value.
+        let mut weights = WeightTable::uniform();
+        weights.set(&Instr::Nop, 250);
+        let reports = std::cell::RefCell::new(Vec::new());
+        let mut meter = ProgressMeter::new(&weights, 100, |wic| reports.borrow_mut().push(wic));
+        meter.on_instr(&Instr::Nop);
+        assert_eq!(*reports.borrow(), vec![100, 200]);
+        meter.on_instr(&Instr::Nop); // wic 500: thresholds 300..=500
+        assert_eq!(*reports.borrow(), vec![100, 200, 300, 400, 500]);
+        assert_eq!(meter.weighted_instructions(), 500);
+    }
+
+    #[test]
     fn progress_total_matches_injected_counter() {
         use acctee_instrument::{instrument, Level, COUNTER_EXPORT};
         let m = loopy_module();
@@ -114,7 +149,8 @@ mod tests {
         let mut meter = ProgressMeter::new(&weights, 50, |_| {});
         // Run the ORIGINAL with the meter...
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        inst.invoke_observed("run", &[Value::I32(77)], &mut meter).unwrap();
+        inst.invoke_observed("run", &[Value::I32(77)], &mut meter)
+            .unwrap();
         // ...and the instrumented module for the attested count.
         let mut inst2 = Instance::new(&r.module, Imports::new()).unwrap();
         inst2.invoke("run", &[Value::I32(77)]).unwrap();

@@ -59,13 +59,17 @@ impl WorkloadProvider {
             )));
         }
         if evidence.quote.report_data[..32] != evidence.binding() {
-            return Err(AccTeeError::EvidenceMismatch("quote binding mismatch".into()));
+            return Err(AccTeeError::EvidenceMismatch(
+                "quote binding mismatch".into(),
+            ));
         }
         if sha256(module_bytes) != evidence.instrumented_hash {
             return Err(AccTeeError::EvidenceMismatch("module hash mismatch".into()));
         }
         if evidence.weight_hash != self.weight_hash {
-            return Err(AccTeeError::EvidenceMismatch("unexpected weight table".into()));
+            return Err(AccTeeError::EvidenceMismatch(
+                "unexpected weight table".into(),
+            ));
         }
         Ok(())
     }
@@ -85,7 +89,9 @@ impl WorkloadProvider {
             )));
         }
         if signed.quote.report_data[..32] != signed.log.binding() {
-            return Err(AccTeeError::LogMismatch("quote does not bind this log".into()));
+            return Err(AccTeeError::LogMismatch(
+                "quote does not bind this log".into(),
+            ));
         }
         Ok(())
     }
@@ -102,7 +108,9 @@ pub struct InfrastructureProvider {
 
 impl std::fmt::Debug for InfrastructureProvider {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InfrastructureProvider").field("ae", &self.ae).finish()
+        f.debug_struct("InfrastructureProvider")
+            .field("ae", &self.ae)
+            .finish()
     }
 }
 
@@ -113,7 +121,11 @@ impl InfrastructureProvider {
         ae: AccountingEnclave,
         pricing: PricingModel,
     ) -> InfrastructureProvider {
-        InfrastructureProvider { authority, ae, pricing }
+        InfrastructureProvider {
+            authority,
+            ae,
+            pricing,
+        }
     }
 
     /// The hosted accounting enclave.
@@ -168,7 +180,9 @@ pub struct Deployment {
 
 impl std::fmt::Debug for Deployment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Deployment").field("infra", &self.infra).finish()
+        f.debug_struct("Deployment")
+            .field("infra", &self.infra)
+            .finish()
     }
 }
 
@@ -201,9 +215,14 @@ impl Deployment {
             ae.measurement(),
             &weights,
         );
-        let infra =
-            InfrastructureProvider::new(authority.clone(), ae, PricingModel::default());
-        Deployment { authority, ie, infra, workload_provider, next_session: 1 }
+        let infra = InfrastructureProvider::new(authority.clone(), ae, PricingModel::default());
+        Deployment {
+            authority,
+            ie,
+            infra,
+            workload_provider,
+            next_session: 1,
+        }
     }
 
     /// The workload provider's verifier handle.
@@ -249,8 +268,9 @@ impl Deployment {
         let loaded = self.infra.load(module_bytes, evidence)?;
         let session = self.next_session;
         self.next_session += 1;
-        let (outcome, _invoice) =
-            self.infra.execute_billed(&loaded, func, args, input, session)?;
+        let (outcome, _invoice) = self
+            .infra
+            .execute_billed(&loaded, func, args, input, session)?;
         self.workload_provider.verify_log(&outcome.log)?;
         Ok(outcome)
     }
@@ -278,7 +298,9 @@ mod tests {
     fn deployment_end_to_end() {
         let mut dep = Deployment::new(7);
         let (bytes, evidence) = dep.instrument(&wasm(), Level::LoopBased).unwrap();
-        let out = dep.execute(&bytes, &evidence, "main", &[Value::I32(21)], b"").unwrap();
+        let out = dep
+            .execute(&bytes, &evidence, "main", &[Value::I32(21)], b"")
+            .unwrap();
         assert_eq!(out.results, vec![Value::I32(42)]);
         dep.workload_provider().verify_log(&out.log).unwrap();
     }
@@ -287,8 +309,12 @@ mod tests {
     fn session_ids_increment() {
         let mut dep = Deployment::new(7);
         let (bytes, evidence) = dep.instrument(&wasm(), Level::Naive).unwrap();
-        let a = dep.execute(&bytes, &evidence, "main", &[Value::I32(1)], b"").unwrap();
-        let b = dep.execute(&bytes, &evidence, "main", &[Value::I32(1)], b"").unwrap();
+        let a = dep
+            .execute(&bytes, &evidence, "main", &[Value::I32(1)], b"")
+            .unwrap();
+        let b = dep
+            .execute(&bytes, &evidence, "main", &[Value::I32(1)], b"")
+            .unwrap();
         assert_ne!(a.log.log.session_id, b.log.log.session_id);
     }
 
@@ -296,7 +322,9 @@ mod tests {
     fn forged_log_rejected_by_workload_provider() {
         let mut dep = Deployment::new(7);
         let (bytes, evidence) = dep.instrument(&wasm(), Level::Naive).unwrap();
-        let out = dep.execute(&bytes, &evidence, "main", &[Value::I32(1)], b"").unwrap();
+        let out = dep
+            .execute(&bytes, &evidence, "main", &[Value::I32(1)], b"")
+            .unwrap();
         // Infrastructure provider tries to inflate the bill after the
         // fact: the quote no longer binds the log.
         let mut forged = out.log.clone();
@@ -318,6 +346,9 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.results, vec![Value::I32(6)]);
         assert!(invoice.total() > 0);
-        assert_eq!(invoice.compute, u128::from(outcome.log.log.weighted_instructions));
+        assert_eq!(
+            invoice.compute,
+            u128::from(outcome.log.log.weighted_instructions)
+        );
     }
 }

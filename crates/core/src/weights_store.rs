@@ -66,7 +66,7 @@ mod tests {
         w.set(&Instr::Nop, 3); // provider-tuned adjustment
         let sealed = seal_weights(&e1, [1; 16], &w);
         let _ = e1; // "restart"
-        // A fresh instance of the same code unseals the table.
+                    // A fresh instance of the same code unseals the table.
         let e2 = platform.create_enclave(code);
         let recovered = unseal_weights(&e2, &sealed).unwrap();
         assert_eq!(recovered, w);
@@ -78,7 +78,10 @@ mod tests {
         let e1 = platform.create_enclave(b"accounting-enclave-v1");
         let e2 = platform.create_enclave(b"accounting-enclave-v2");
         let sealed = seal_weights(&e1, [1; 16], &WeightTable::uniform());
-        assert_eq!(unseal_weights(&e2, &sealed), Err(WeightStoreError::Unsealable));
+        assert_eq!(
+            unseal_weights(&e2, &sealed),
+            Err(WeightStoreError::Unsealable)
+        );
     }
 
     #[test]
@@ -86,6 +89,9 @@ mod tests {
         let platform = Platform::new("provider", 4);
         let e = platform.create_enclave(b"code");
         let sealed = seal(&e, [2; 16], b"acctee-wnot-a-table");
-        assert_eq!(unseal_weights(&e, &sealed), Err(WeightStoreError::Malformed));
+        assert_eq!(
+            unseal_weights(&e, &sealed),
+            Err(WeightStoreError::Malformed)
+        );
     }
 }

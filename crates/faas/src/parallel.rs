@@ -2,14 +2,17 @@
 //!
 //! The closed-loop simulator ([`crate::sim`]) computes throughput from
 //! deterministic service times; this module complements it by actually
-//! serving a batch of requests on a worker-thread pool (crossbeam
-//! channel as the dispatch queue), demonstrating that the platform's
-//! per-request isolation model (fresh instance per request, no shared
-//! mutable state) parallelises safely.
+//! serving a batch of requests on a worker-thread pool (an
+//! `std::sync::mpsc` channel behind a mutex as the dispatch queue),
+//! demonstrating that the platform's per-request isolation model
+//! (fresh instance per request, no shared mutable state) parallelises
+//! safely. Each served request opens a telemetry span and feeds the
+//! `acctee_faas_request_latency_seconds` histogram, so a batch leaves
+//! behind both a per-thread trace and latency percentiles.
 
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-use crossbeam::channel;
 
 use crate::platform::{FaasPlatform, RequestStats};
 
@@ -32,29 +35,94 @@ impl BatchReport {
         }
         self.stats.len() as f64 / self.elapsed.as_secs_f64()
     }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) of per-request service
+    /// latency, in nanoseconds, over this batch's successful requests.
+    /// Returns 0 for an empty batch. Exact (sorted-sample) rather than
+    /// bucketed — the batch is already in memory.
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        if self.stats.is_empty() {
+            return 0;
+        }
+        let mut lat: Vec<u64> = self.stats.iter().map(RequestStats::service_ns).collect();
+        lat.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * lat.len() as f64).ceil() as usize).max(1);
+        lat[rank - 1]
+    }
+
+    /// Median service latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.latency_quantile_ns(0.50)
+    }
+
+    /// 95th-percentile service latency in nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.latency_quantile_ns(0.95)
+    }
+
+    /// 99th-percentile service latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.latency_quantile_ns(0.99)
+    }
 }
 
 impl FaasPlatform {
     /// Serves every payload in `payloads` once, using `workers`
-    /// OS threads. Responses are checked against `expect` when given.
+    /// OS threads.
     pub fn serve_parallel(&self, payloads: &[Vec<u8>], workers: usize) -> BatchReport {
-        let (tx, rx) = channel::unbounded::<&[u8]>();
+        let hub = acctee_telemetry::global();
+        let latency = hub.metrics().histogram_with(
+            "acctee_faas_request_latency_seconds",
+            &[("function", self.kind().name())],
+            1e-9,
+        );
+        let fail_counter = hub.metrics().counter_with(
+            "acctee_faas_request_failures_total",
+            &[("function", self.kind().name())],
+        );
+        let io_in = hub.metrics().counter("acctee_faas_io_bytes_in_total");
+        let io_out = hub.metrics().counter("acctee_faas_io_bytes_out_total");
+
+        let (tx, rx) = mpsc::channel::<&[u8]>();
         for p in payloads {
             tx.send(p).expect("queue open");
         }
         drop(tx);
+        let rx = Arc::new(Mutex::new(rx));
+        let batch_span = hub
+            .span("faas.serve_parallel", "faas")
+            .with_arg("requests", payloads.len())
+            .with_arg("workers", workers.max(1));
         let start = Instant::now();
         let (stats, failures) = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..workers.max(1) {
                 let rx = rx.clone();
+                let latency = latency.clone();
+                let fail_counter = fail_counter.clone();
+                let io_in = io_in.clone();
+                let io_out = io_out.clone();
                 handles.push(scope.spawn(move || {
                     let mut stats = Vec::new();
                     let mut failures = Vec::new();
-                    while let Ok(payload) = rx.recv() {
+                    loop {
+                        // Hold the receiver lock only for the dequeue,
+                        // not for the request.
+                        let payload = match rx.lock().expect("queue lock").recv() {
+                            Ok(p) => p,
+                            Err(_) => break,
+                        };
                         match self.handle(payload) {
-                            Ok((_, s)) => stats.push(s),
-                            Err(e) => failures.push(e),
+                            Ok((_, s)) => {
+                                latency.observe(s.service_ns());
+                                io_in.add(s.io_bytes_in);
+                                io_out.add(s.io_bytes_out);
+                                stats.push(s);
+                            }
+                            Err(e) => {
+                                fail_counter.inc();
+                                failures.push(e);
+                            }
                         }
                     }
                     (stats, failures)
@@ -69,7 +137,12 @@ impl FaasPlatform {
             }
             (stats, failures)
         });
-        BatchReport { elapsed: start.elapsed(), stats, failures }
+        drop(batch_span);
+        BatchReport {
+            elapsed: start.elapsed(),
+            stats,
+            failures,
+        }
     }
 }
 
@@ -109,5 +182,38 @@ mod tests {
         let report = platform.serve_parallel(&payloads, 3);
         assert_eq!(report.stats.len(), 6);
         assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_cover_samples() {
+        let platform = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm);
+        let payloads: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 32]).collect();
+        let report = platform.serve_parallel(&payloads, 2);
+        let (p50, p95, p99) = (report.p50_ns(), report.p95_ns(), report.p99_ns());
+        assert!(p50 > 0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        let max = report.stats.iter().map(|s| s.service_ns()).max().unwrap();
+        assert_eq!(report.latency_quantile_ns(1.0), max);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_percentiles() {
+        let platform = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm);
+        let report = platform.serve_parallel(&[], 2);
+        assert_eq!(report.stats.len(), 0);
+        assert_eq!(report.p50_ns(), 0);
+        assert_eq!(report.p99_ns(), 0);
+    }
+
+    #[test]
+    fn io_accounting_setup_reports_request_bytes() {
+        let platform = FaasPlatform::deploy(FunctionKind::Echo, Setup::WasmSgxHwIo);
+        let (_, stats) = platform.handle(&[7u8; 128]).unwrap();
+        assert_eq!(stats.io_bytes_in, 128);
+        assert_eq!(stats.io_bytes_out, 128);
+        // Non-accounting setups keep the fields zero.
+        let plain = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm);
+        let (_, stats) = plain.handle(&[7u8; 128]).unwrap();
+        assert_eq!((stats.io_bytes_in, stats.io_bytes_out), (0, 0));
     }
 }

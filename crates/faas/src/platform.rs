@@ -39,6 +39,12 @@ pub struct RequestStats {
     pub overhead_ns: u64,
     /// Response bytes produced.
     pub response_bytes: usize,
+    /// Payload bytes the function read through `read_input` (0 unless
+    /// the setup does I/O accounting).
+    pub io_bytes_in: u64,
+    /// Bytes the function wrote through `write_output` (0 unless the
+    /// setup does I/O accounting).
+    pub io_bytes_out: u64,
 }
 
 impl RequestStats {
@@ -131,24 +137,37 @@ impl FaasPlatform {
     ///
     /// Returns a message if the function traps or the script fails.
     pub fn handle(&self, payload: &[u8]) -> Result<(Vec<u8>, RequestStats), String> {
+        let mut span = acctee_telemetry::span("faas.handle", "faas")
+            .with_arg("function", self.kind.name())
+            .with_arg("payload_bytes", payload.len());
         let start = Instant::now();
-        let response = match (&self.module, self.js_source) {
+        let (response, io) = match (&self.module, self.js_source) {
             (Some(module), _) => self.run_wasm(module, payload)?,
-            (None, Some(src)) => run_js(self.kind, src, payload)?,
+            (None, Some(src)) => (run_js(self.kind, src, payload)?, (0, 0)),
             _ => unreachable!("deploy always sets one of module/js"),
         };
         let mut exec_ns = start.elapsed().as_nanos() as u64;
         if self.setup.sgx_hw() {
             exec_ns = (exec_ns as f64 * self.hw_exec_factor) as u64;
         }
-        let overhead_ns = self.overheads.request_overhead_ns(self.setup, payload.len());
+        let overhead_ns = self
+            .overheads
+            .request_overhead_ns(self.setup, payload.len());
+        span.record_arg("exec_ns", exec_ns);
+        span.record_arg("response_bytes", response.len());
         Ok((
             response.clone(),
-            RequestStats { exec_ns, overhead_ns, response_bytes: response.len() },
+            RequestStats {
+                exec_ns,
+                overhead_ns,
+                response_bytes: response.len(),
+                io_bytes_in: io.0,
+                io_bytes_out: io.1,
+            },
         ))
     }
 
-    fn run_wasm(&self, module: &Module, payload: &[u8]) -> Result<Vec<u8>, String> {
+    fn run_wasm(&self, module: &Module, payload: &[u8]) -> Result<(Vec<u8>, (u64, u64)), String> {
         use std::cell::RefCell;
         use std::rc::Rc;
         let input = Rc::new(payload.to_vec());
@@ -190,21 +209,30 @@ impl FaasPlatform {
         let mut inst = Instance::new(module, imports).map_err(|e| e.to_string())?;
         inst.invoke("main", &[]).map_err(|e| e.to_string())?;
         let r = output.borrow().clone();
-        Ok(r)
+        let io = *io_counts.borrow();
+        Ok((r, io))
     }
 }
 
 fn run_js(kind: FunctionKind, src: &'static str, payload: &[u8]) -> Result<Vec<u8>, String> {
     let mut interp = Interpreter::new();
-    let input =
-        JsValue::array(payload.iter().map(|b| JsValue::Num(f64::from(*b))).collect());
+    let input = JsValue::array(
+        payload
+            .iter()
+            .map(|b| JsValue::Num(f64::from(*b)))
+            .collect(),
+    );
     interp.set_global("input", input);
     let out = interp.run(src).map_err(|e| e.to_string())?;
     match kind {
         FunctionKind::Echo => Ok(payload.to_vec()),
         FunctionKind::Resize => {
             let arr = out.as_array().ok_or("resize must return an array")?;
-            let r = arr.borrow().iter().map(|v| v.as_num().unwrap_or(0.0) as u8).collect();
+            let r = arr
+                .borrow()
+                .iter()
+                .map(|v| v.as_num().unwrap_or(0.0) as u8)
+                .collect();
             Ok(r)
         }
     }

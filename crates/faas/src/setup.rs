@@ -99,8 +99,8 @@ pub struct OverheadModel {
 impl Default for OverheadModel {
     fn default() -> OverheadModel {
         OverheadModel {
-            base_ns: 1_200_000,      // ~0.83 kreq/s ceiling, close to Fig 9 echo
-            lkl_ns: 1_400_000,       // SIM echo drops ~2.1x
+            base_ns: 1_200_000,        // ~0.83 kreq/s ceiling, close to Fig 9 echo
+            lkl_ns: 1_400_000,         // SIM echo drops ~2.1x
             hw_transition_ns: 600_000, // HW drops further on small requests
             per_byte_ns: 150,
             lkl_per_byte_ns: 550,

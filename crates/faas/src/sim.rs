@@ -40,18 +40,17 @@ pub struct ClosedLoopSim {
 
 impl Default for ClosedLoopSim {
     fn default() -> ClosedLoopSim {
-        ClosedLoopSim { clients: 10, workers: 8 }
+        ClosedLoopSim {
+            clients: 10,
+            workers: 8,
+        }
     }
 }
 
 impl ClosedLoopSim {
     /// Runs until `total_requests` complete. `service_ns(i)` gives the
     /// service time of the i-th request (deterministic or measured).
-    pub fn run(
-        &self,
-        total_requests: u64,
-        mut service_ns: impl FnMut(u64) -> u64,
-    ) -> SimReport {
+    pub fn run(&self, total_requests: u64, mut service_ns: impl FnMut(u64) -> u64) -> SimReport {
         // Event: (completion_time, worker). Pending queue holds request
         // arrival times.
         let mut now: u64 = 0;
@@ -71,7 +70,9 @@ impl ClosedLoopSim {
         while completed < total_requests {
             // Dispatch queued requests to free workers.
             while free_workers > 0 {
-                let Some(arrival) = queue.pop_front() else { break };
+                let Some(arrival) = queue.pop_front() else {
+                    break;
+                };
                 free_workers -= 1;
                 let s = service_ns(completed + completions.len() as u64);
                 completions.push(Reverse((now.max(arrival) + s, arrival)));
@@ -106,7 +107,10 @@ mod tests {
     fn throughput_matches_theory_when_workers_exceed_clients() {
         // 10 clients, 16 workers, 1ms service: each client cycles every
         // 1ms -> 10 kreq/s.
-        let sim = ClosedLoopSim { clients: 10, workers: 16 };
+        let sim = ClosedLoopSim {
+            clients: 10,
+            workers: 16,
+        };
         let r = sim.run(10_000, |_| 1_000_000);
         let tp = r.throughput();
         assert!((tp - 10_000.0).abs() / 10_000.0 < 0.02, "{tp}");
@@ -115,7 +119,10 @@ mod tests {
     #[test]
     fn workers_cap_throughput() {
         // 10 clients but only 2 workers: 2 kreq/s at 1ms service.
-        let sim = ClosedLoopSim { clients: 10, workers: 2 };
+        let sim = ClosedLoopSim {
+            clients: 10,
+            workers: 2,
+        };
         let r = sim.run(10_000, |_| 1_000_000);
         let tp = r.throughput();
         assert!((tp - 2_000.0).abs() / 2_000.0 < 0.02, "{tp}");
@@ -132,7 +139,10 @@ mod tests {
 
     #[test]
     fn completes_exactly_the_requested_number() {
-        let sim = ClosedLoopSim { clients: 3, workers: 2 };
+        let sim = ClosedLoopSim {
+            clients: 3,
+            workers: 2,
+        };
         let r = sim.run(17, |_| 100);
         assert_eq!(r.completed, 17);
         assert!(r.duration_ns > 0);
@@ -140,7 +150,10 @@ mod tests {
 
     #[test]
     fn variable_service_times_are_averaged() {
-        let sim = ClosedLoopSim { clients: 1, workers: 1 };
+        let sim = ClosedLoopSim {
+            clients: 1,
+            workers: 1,
+        };
         // alternating 1ms / 3ms -> mean 2ms -> 500 req/s
         let r = sim.run(1_000, |i| if i % 2 == 0 { 1_000_000 } else { 3_000_000 });
         let tp = r.throughput();

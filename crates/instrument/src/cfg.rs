@@ -23,7 +23,11 @@ pub struct Cfg {
 impl Cfg {
     /// Creates a CFG with a single entry node.
     pub fn new() -> Cfg {
-        Cfg { weight: vec![0], succs: vec![Vec::new()], entry: 0 }
+        Cfg {
+            weight: vec![0],
+            succs: vec![Vec::new()],
+            entry: 0,
+        }
     }
 
     /// Adds a node, returning its id.
@@ -227,7 +231,11 @@ pub fn flow_optimise(cfg: &Cfg) -> (Vec<u64>, FlowStats) {
         if !all_single_succ {
             continue;
         }
-        let m = ps.iter().map(|&p| amount[p]).min().expect("non-empty preds");
+        let m = ps
+            .iter()
+            .map(|&p| amount[p])
+            .min()
+            .expect("non-empty preds");
         if m == 0 {
             continue;
         }

@@ -23,6 +23,8 @@ pub mod segment;
 pub mod wat;
 pub mod weights;
 
-pub use segment::{instrument, Instrumented, InstrumentError, InstrumentStats, Level, COUNTER_EXPORT};
+pub use segment::{
+    instrument, InstrumentError, InstrumentStats, Instrumented, Level, COUNTER_EXPORT,
+};
 pub use wat::instrument_wat;
 pub use weights::WeightTable;

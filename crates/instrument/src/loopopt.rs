@@ -54,7 +54,10 @@ fn find_induction(instrs: &[&Instr]) -> Option<Induction> {
                     // either would be correct; keep the first.
                     continue;
                 }
-                found = Some(Induction { local: *a, step: *k });
+                found = Some(Induction {
+                    local: *a,
+                    step: *k,
+                });
             }
         }
     }
@@ -181,8 +184,7 @@ fn rewrite(
                         *hoisted += 1;
                     }
                     None => {
-                        let body =
-                            rewrite(body, amounts, counter, locals, n_params, hoisted);
+                        let body = rewrite(body, amounts, counter, locals, n_params, hoisted);
                         out.push(Item::Loop { ty, body });
                     }
                 }
@@ -241,7 +243,8 @@ mod tests {
         for n in [1, 2, 50] {
             let mut oracle = CountingObserver::unit();
             let mut orig = Instance::new(&m, Imports::new()).unwrap();
-            orig.invoke_observed("f", &[Value::I32(n)], &mut oracle).unwrap();
+            orig.invoke_observed("f", &[Value::I32(n)], &mut oracle)
+                .unwrap();
             let mut run = Instance::new(&inst.module, Imports::new()).unwrap();
             run.invoke("f", &[Value::I32(n)]).unwrap();
             let counter = run.global(COUNTER_EXPORT).unwrap().as_i64() as u64;
@@ -258,9 +261,9 @@ mod tests {
         // global.set of the counter inside it.
         fn loop_has_counter_write(body: &[Instr], counter: u32) -> bool {
             body.iter().any(|i| match i {
-                Instr::Loop { body, .. } => {
-                    body.iter().any(|j| matches!(j, Instr::GlobalSet(c) if *c == counter))
-                }
+                Instr::Loop { body, .. } => body
+                    .iter()
+                    .any(|j| matches!(j, Instr::GlobalSet(c) if *c == counter)),
                 Instr::Block { body, .. } => loop_has_counter_write(body, counter),
                 Instr::If { then, els, .. } => {
                     loop_has_counter_write(then, counter) || loop_has_counter_write(els, counter)
@@ -299,10 +302,14 @@ mod tests {
         // And the accounting is still exact.
         let mut oracle = CountingObserver::unit();
         let mut orig = Instance::new(&m, Imports::new()).unwrap();
-        orig.invoke_observed("f", &[Value::I32(10)], &mut oracle).unwrap();
+        orig.invoke_observed("f", &[Value::I32(10)], &mut oracle)
+            .unwrap();
         let mut run = Instance::new(&inst.module, Imports::new()).unwrap();
         run.invoke("f", &[Value::I32(10)]).unwrap();
-        assert_eq!(run.global(COUNTER_EXPORT).unwrap().as_i64() as u64, oracle.count);
+        assert_eq!(
+            run.global(COUNTER_EXPORT).unwrap().as_i64() as u64,
+            oracle.count
+        );
     }
 
     #[test]
@@ -347,7 +354,8 @@ mod tests {
         for n in [0, 1, 5] {
             let mut oracle = CountingObserver::unit();
             let mut orig = Instance::new(&m, Imports::new()).unwrap();
-            orig.invoke_observed("f", &[Value::I32(n)], &mut oracle).unwrap();
+            orig.invoke_observed("f", &[Value::I32(n)], &mut oracle)
+                .unwrap();
             let mut run = Instance::new(&inst.module, Imports::new()).unwrap();
             run.invoke("f", &[Value::I32(n)]).unwrap();
             assert_eq!(
@@ -372,7 +380,16 @@ mod tests {
         let view: Vec<&Instr> = seq.iter().collect();
         assert_eq!(find_induction(&view), None);
         // Written twice: not accepted.
-        let seq = [gets(2), k(1), add.clone(), set(2), gets(2), k(1), add, set(2)];
+        let seq = [
+            gets(2),
+            k(1),
+            add.clone(),
+            set(2),
+            gets(2),
+            k(1),
+            add,
+            set(2),
+        ];
         let view: Vec<&Instr> = seq.iter().collect();
         assert_eq!(find_induction(&view), None);
     }

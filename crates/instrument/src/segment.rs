@@ -121,7 +121,11 @@ pub(crate) enum Item {
     /// A nested loop.
     Loop { ty: BlockType, body: Vec<Item> },
     /// A nested conditional.
-    If { ty: BlockType, then: Vec<Item>, els: Vec<Item> },
+    If {
+        ty: BlockType,
+        then: Vec<Item>,
+        els: Vec<Item>,
+    },
     /// The flush point of segment `id`.
     Flush(usize),
 }
@@ -165,7 +169,10 @@ impl Walker<'_> {
                         inner.push(Item::Flush(end));
                         self.cfg.add_edge(end, after);
                     }
-                    out.push(Item::Block { ty: *ty, body: inner });
+                    out.push(Item::Block {
+                        ty: *ty,
+                        body: inner,
+                    });
                     cur = Some(after);
                 }
                 Instr::Loop { ty, body } => {
@@ -183,7 +190,10 @@ impl Walker<'_> {
                         inner.push(Item::Flush(end));
                         self.cfg.add_edge(end, after);
                     }
-                    out.push(Item::Loop { ty: *ty, body: inner });
+                    out.push(Item::Loop {
+                        ty: *ty,
+                        body: inner,
+                    });
                     cur = Some(after);
                 }
                 Instr::If { ty, then, els } => {
@@ -206,7 +216,11 @@ impl Walker<'_> {
                         self.cfg.add_edge(end, after);
                     }
                     labels.pop();
-                    out.push(Item::If { ty: *ty, then: t_items, els: e_items });
+                    out.push(Item::If {
+                        ty: *ty,
+                        then: t_items,
+                        els: e_items,
+                    });
                     cur = Some(after);
                 }
                 Instr::Br(l) => {
@@ -264,11 +278,11 @@ impl Walker<'_> {
     }
 }
 
-pub(crate) fn segment_function(
-    body: &[Instr],
-    weights: &WeightTable,
-) -> SegmentedFunc {
-    let mut w = Walker { cfg: Cfg::new(), weights };
+pub(crate) fn segment_function(body: &[Instr], weights: &WeightTable) -> SegmentedFunc {
+    let mut w = Walker {
+        cfg: Cfg::new(),
+        weights,
+    };
     let entry = w.cfg.entry;
     let mut items = Vec::new();
     let mut labels = Vec::new();
@@ -320,12 +334,25 @@ fn materialise(
     out
 }
 
+/// Records one pass's duration in the per-pass latency histogram.
+fn observe_pass(hub: &acctee_telemetry::Telemetry, pass: &str, start: std::time::Instant) {
+    hub.metrics()
+        .histogram_with("acctee_instrument_pass_seconds", &[("pass", pass)], 1e-9)
+        .observe(start.elapsed().as_nanos() as u64);
+}
+
 /// Instruments `module` at `level` with `weights`.
 ///
 /// The returned module maintains the weighted instruction counter in a
 /// fresh global exported as [`COUNTER_EXPORT`]. For any terminating
 /// execution the counter equals the weighted count of executed original
 /// instructions.
+///
+/// The pass pipeline is whole-module — validate, segment (CFG
+/// construction), flow-optimise (dominator push-down / min-pred),
+/// hoist loops, materialise, encode — and each pass records a
+/// telemetry span plus an `acctee_instrument_pass_seconds{pass=...}`
+/// histogram sample, so a trace shows where instrumentation time goes.
 ///
 /// # Errors
 ///
@@ -337,7 +364,19 @@ pub fn instrument(
     level: Level,
     weights: &WeightTable,
 ) -> Result<Instrumented, InstrumentError> {
-    validate_module(module).map_err(|e| InstrumentError::InvalidModule(e.to_string()))?;
+    use std::time::Instant;
+    let hub = acctee_telemetry::global();
+    let mut run_span = hub
+        .span("instrument", "instrument")
+        .with_arg("level", level.to_string())
+        .with_arg("funcs", module.funcs.len());
+
+    {
+        let _s = hub.span("instrument.validate", "instrument");
+        let t = Instant::now();
+        validate_module(module).map_err(|e| InstrumentError::InvalidModule(e.to_string()))?;
+        observe_pass(&hub, "validate", t);
+    }
 
     let mut out = module.clone();
     let counter = out.num_globals();
@@ -356,27 +395,117 @@ pub fn instrument(
         ..InstrumentStats::default()
     };
 
-    let types = out.types.clone();
-    for f in &mut out.funcs {
-        let n_params = types[f.ty as usize].params.len() as u32;
-        let seg = segment_function(&f.body, weights);
-        stats.segments += seg.cfg.len();
-        let (amounts, _flow): (Vec<u64>, FlowStats) = match level {
-            Level::Naive => (seg.cfg.weight.clone(), FlowStats::default()),
-            Level::FlowBased | Level::LoopBased => flow_optimise(&seg.cfg),
-        };
-        let (items, amounts, hoisted) = if level == Level::LoopBased {
-            loopopt::hoist_loops(seg.items, amounts, counter, &mut f.locals, n_params, weights)
-        } else {
-            (seg.items, amounts, 0)
-        };
-        stats.loops_hoisted += hoisted;
-        f.body = materialise(&items, &amounts, counter, &mut stats);
+    // Pass 1: segmentation — walk every function, building its CFG and
+    // flush-marked item stream.
+    let segmented: Vec<SegmentedFunc> = {
+        let _s = hub.span("instrument.segment", "instrument");
+        let t = Instant::now();
+        let segs: Vec<SegmentedFunc> = out
+            .funcs
+            .iter()
+            .map(|f| segment_function(&f.body, weights))
+            .collect();
+        stats.segments = segs.iter().map(|s| s.cfg.len()).sum();
+        observe_pass(&hub, "segment", t);
+        segs
+    };
+
+    // Pass 2: flow optimisation — dominator-based push-down and
+    // min-predecessor merging of per-segment amounts.
+    let optimised: Vec<(Vec<Item>, Vec<u64>)> = {
+        let _s = hub.span("instrument.flow_optimise", "instrument");
+        let t = Instant::now();
+        let o = segmented
+            .into_iter()
+            .map(|seg| {
+                let (amounts, _flow): (Vec<u64>, FlowStats) = match level {
+                    Level::Naive => (seg.cfg.weight.clone(), FlowStats::default()),
+                    Level::FlowBased | Level::LoopBased => flow_optimise(&seg.cfg),
+                };
+                (seg.items, amounts)
+            })
+            .collect();
+        observe_pass(&hub, "flow_optimise", t);
+        o
+    };
+
+    // Pass 3: loop hoisting — move per-iteration increments out of
+    // counted loops (LoopBased only; identity otherwise).
+    let hoisted: Vec<(Vec<Item>, Vec<u64>)> = {
+        let _s = hub.span("instrument.hoist_loops", "instrument");
+        let t = Instant::now();
+        let types = out.types.clone();
+        let h = optimised
+            .into_iter()
+            .zip(out.funcs.iter_mut())
+            .map(|((items, amounts), f)| {
+                if level == Level::LoopBased {
+                    let n_params = types[f.ty as usize].params.len() as u32;
+                    let (items, amounts, n) = loopopt::hoist_loops(
+                        items,
+                        amounts,
+                        counter,
+                        &mut f.locals,
+                        n_params,
+                        weights,
+                    );
+                    stats.loops_hoisted += n;
+                    (items, amounts)
+                } else {
+                    (items, amounts)
+                }
+            })
+            .collect();
+        observe_pass(&hub, "hoist_loops", t);
+        h
+    };
+
+    // Pass 4: materialisation — emit the surviving increments.
+    {
+        let _s = hub.span("instrument.materialise", "instrument");
+        let t = Instant::now();
+        for ((items, amounts), f) in hoisted.into_iter().zip(out.funcs.iter_mut()) {
+            f.body = materialise(&items, &amounts, counter, &mut stats);
+        }
+        observe_pass(&hub, "materialise", t);
     }
 
-    stats.size_after = acctee_wasm::encode::encode_module(&out).len();
-    debug_assert!(validate_module(&out).is_ok(), "instrumented module must validate");
-    Ok(Instrumented { module: out, counter_global: counter, level, stats })
+    // Pass 5: encode — for the §5.4 size metric.
+    {
+        let _s = hub.span("instrument.encode", "instrument");
+        let t = Instant::now();
+        stats.size_after = acctee_wasm::encode::encode_module(&out).len();
+        observe_pass(&hub, "encode", t);
+    }
+    debug_assert!(
+        validate_module(&out).is_ok(),
+        "instrumented module must validate"
+    );
+
+    let m = hub.metrics();
+    m.counter_with(
+        "acctee_instrument_runs_total",
+        &[("level", &level.to_string())],
+    )
+    .inc();
+    m.counter("acctee_instrument_segments_total")
+        .add(stats.segments as u64);
+    m.counter("acctee_instrument_increments_total")
+        .add(stats.increments as u64);
+    m.counter("acctee_instrument_increments_elided_total")
+        .add(stats.elided as u64);
+    m.counter("acctee_instrument_loops_hoisted_total")
+        .add(stats.loops_hoisted as u64);
+    run_span.record_arg("segments", stats.segments);
+    run_span.record_arg("increments", stats.increments);
+    run_span.record_arg("size_after", stats.size_after);
+
+    Ok(Instrumented {
+        module: out,
+        counter_global: counter,
+        level,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -388,24 +517,22 @@ mod tests {
     /// Runs `m` both raw (with a weighted oracle observer) and
     /// instrumented at `level`, asserting the counter matches the
     /// oracle exactly.
-    fn assert_counter_matches_oracle(
-        m: &Module,
-        level: Level,
-        func: &str,
-        args: &[Value],
-    ) -> u64 {
+    fn assert_counter_matches_oracle(m: &Module, level: Level, func: &str, args: &[Value]) -> u64 {
         let weights = WeightTable::uniform();
         let mut oracle = CountingObserver::unit();
         let mut inst = Instance::new(m, Imports::new()).expect("instantiate original");
-        inst.invoke_observed(func, args, &mut oracle).expect("run original");
+        inst.invoke_observed(func, args, &mut oracle)
+            .expect("run original");
 
         let instrumented = instrument(m, level, &weights).expect("instrument");
         validate_module(&instrumented.module).expect("instrumented validates");
         let mut inst2 =
             Instance::new(&instrumented.module, Imports::new()).expect("instantiate instr");
         inst2.invoke("f", args).expect("run instrumented");
-        let counter =
-            inst2.global(COUNTER_EXPORT).expect("counter exported").as_i64() as u64;
+        let counter = inst2
+            .global(COUNTER_EXPORT)
+            .expect("counter exported")
+            .as_i64() as u64;
         assert_eq!(counter, oracle.count, "level {level}");
         counter
     }
@@ -524,7 +651,8 @@ mod tests {
         let weights = WeightTable::calibrated();
         let mut oracle = CountingObserver::with_weight(|i| weights.weight(i));
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        inst.invoke_observed("f", &[Value::I32(50)], &mut oracle).unwrap();
+        inst.invoke_observed("f", &[Value::I32(50)], &mut oracle)
+            .unwrap();
         let instrumented = instrument(&m, Level::LoopBased, &weights).unwrap();
         let mut inst2 = Instance::new(&instrumented.module, Imports::new()).unwrap();
         inst2.invoke("f", &[Value::I32(50)]).unwrap();

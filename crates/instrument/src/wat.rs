@@ -22,8 +22,7 @@ pub fn instrument_wat(
     level: Level,
     weights: &WeightTable,
 ) -> Result<(String, Instrumented), InstrumentError> {
-    let module =
-        parse_module(source).map_err(|e| InstrumentError::InvalidModule(e.to_string()))?;
+    let module = parse_module(source).map_err(|e| InstrumentError::InvalidModule(e.to_string()))?;
     let result = instrument(&module, level, weights)?;
     let text = print_module(&result.module);
     Ok((text, result))
@@ -43,14 +42,19 @@ mod tests {
 
     #[test]
     fn wat_round_trip_instrumentation() {
-        let (text, result) =
-            instrument_wat(SRC, Level::Naive, &WeightTable::uniform()).unwrap();
-        assert!(text.contains("global.set"), "counter updates visible in text:\n{text}");
+        let (text, result) = instrument_wat(SRC, Level::Naive, &WeightTable::uniform()).unwrap();
+        assert!(
+            text.contains("global.set"),
+            "counter updates visible in text:\n{text}"
+        );
         assert!(text.contains("__acctee_wic"));
         // The emitted text is itself a valid, runnable module.
         let m = parse_module(&text).unwrap();
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        assert_eq!(inst.invoke("triple", &[Value::I32(5)]).unwrap(), vec![Value::I32(15)]);
+        assert_eq!(
+            inst.invoke("triple", &[Value::I32(5)]).unwrap(),
+            vec![Value::I32(15)]
+        );
         let counter = inst
             .global_by_index(result.counter_global)
             .expect("counter present")
@@ -61,13 +65,19 @@ mod tests {
     #[test]
     fn malformed_wat_rejected() {
         assert!(matches!(
-            instrument_wat("(module (func $f i32.bogus))", Level::Naive,
-                &WeightTable::uniform()),
+            instrument_wat(
+                "(module (func $f i32.bogus))",
+                Level::Naive,
+                &WeightTable::uniform()
+            ),
             Err(InstrumentError::InvalidModule(_))
         ));
         assert!(matches!(
-            instrument_wat("(module (func $f global.set 0))", Level::Naive,
-                &WeightTable::uniform()),
+            instrument_wat(
+                "(module (func $f global.set 0))",
+                Level::Naive,
+                &WeightTable::uniform()
+            ),
             Err(InstrumentError::InvalidModule(_))
         ));
     }

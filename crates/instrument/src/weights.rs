@@ -80,7 +80,9 @@ fn slot_of(i: &Instr) -> usize {
 impl WeightTable {
     /// Every instruction weighs 1: the plain *instruction counter*.
     pub fn uniform() -> WeightTable {
-        WeightTable { slots: vec![1; SLOTS] }
+        WeightTable {
+            slots: vec![1; SLOTS],
+        }
     }
 
     /// Weights derived from the cycle-cost model of `acctee-cachesim`
@@ -154,7 +156,10 @@ mod tests {
         let t = WeightTable::uniform();
         assert_eq!(t.weight(&Instr::Nop), 1);
         assert_eq!(t.weight(&Instr::Num(NumOp::F64Sqrt)), 1);
-        assert_eq!(t.weight(&Instr::Load(LoadOp::I64Load, MemArg::default())), 1);
+        assert_eq!(
+            t.weight(&Instr::Load(LoadOp::I64Load, MemArg::default())),
+            1
+        );
     }
 
     #[test]

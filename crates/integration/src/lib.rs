@@ -1,4 +1,120 @@
 //! `acctee-integration` — umbrella crate wiring the repository-level
 //! integration tests (`/tests`) and runnable examples (`/examples`)
-//! to the workspace. It re-exports nothing; see the test and example
-//! sources for the cross-crate scenarios.
+//! to the workspace, plus [`prop`], a tiny deterministic
+//! property-testing harness (seeded generator + case runner) that the
+//! randomized tests use so the workspace builds with no external
+//! dependencies.
+
+pub mod prop {
+    //! A miniature property-testing harness.
+    //!
+    //! [`check`] runs a closure over a sequence of deterministically
+    //! seeded [`Rng`]s; a failing case re-panics with the case's seed,
+    //! so `Rng::new(seed)` reproduces it exactly. No shrinking — the
+    //! generators here are small enough that the raw failing case is
+    //! readable.
+
+    /// A SplitMix64 generator: tiny, fast, and plenty for test-case
+    /// generation (not cryptographic).
+    #[derive(Debug, Clone)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// A generator with the given seed.
+        pub fn new(seed: u64) -> Rng {
+            Rng(seed)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform `usize` in `[lo, hi)`; `lo` when the range is empty.
+        pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+            lo + self.below(hi.saturating_sub(lo) as u64) as usize
+        }
+
+        /// A full-range `i64`.
+        pub fn i64(&mut self) -> i64 {
+            self.next_u64() as i64
+        }
+
+        /// A byte.
+        pub fn u8(&mut self) -> u8 {
+            self.next_u64() as u8
+        }
+
+        /// A boolean.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+
+        /// `len` random bytes.
+        pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+            (0..len).map(|_| self.u8()).collect()
+        }
+    }
+
+    /// Runs `body` for `cases` deterministic cases. On panic, reports
+    /// the failing case's seed and re-raises.
+    pub fn check(name: &str, cases: u64, body: impl Fn(&mut Rng)) {
+        for case in 0..cases {
+            // Seeds are independent per case but stable across runs.
+            let seed = 0xacc7_ee00_0000_0000 ^ (case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut Rng::new(seed))
+            }));
+            if let Err(e) = result {
+                eprintln!("property {name:?} failed at case {case} (seed {seed:#x})");
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn rng_is_deterministic() {
+            let mut a = Rng::new(1);
+            let mut b = Rng::new(1);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+            assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+        }
+
+        #[test]
+        fn range_respects_bounds() {
+            let mut r = Rng::new(7);
+            for _ in 0..1000 {
+                let v = r.range(3, 9);
+                assert!((3..9).contains(&v));
+            }
+            assert_eq!(r.range(5, 5), 5);
+        }
+
+        #[test]
+        fn check_reports_failures() {
+            let caught = std::panic::catch_unwind(|| {
+                check("always-fails", 3, |_| panic!("boom"));
+            });
+            assert!(caught.is_err());
+        }
+    }
+}

@@ -7,10 +7,10 @@
 //! [`Observer`], which is what the accounting oracle and the cycle
 //! model consume.
 
+use acctee_wasm::instr::ConstExpr;
 use acctee_wasm::instr::{Instr, MemArg};
 use acctee_wasm::module::{ExportKind, ImportKind, Module};
 use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
-use acctee_wasm::instr::ConstExpr;
 
 use crate::host::{HostCtx, HostFunc, Imports};
 use crate::memory::Memory;
@@ -35,7 +35,10 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Config {
-        Config { max_call_depth: 200, fuel: None }
+        Config {
+            max_call_depth: 200,
+            fuel: None,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ impl std::fmt::Debug for Instance<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Instance")
             .field("globals", &self.globals.len())
-            .field("memory_pages", &self.memory.as_ref().map(|m| m.size_pages()))
+            .field(
+                "memory_pages",
+                &self.memory.as_ref().map(|m| m.size_pages()),
+            )
             .field("stats", &self.stats)
             .finish()
     }
@@ -137,9 +143,13 @@ impl<'m> Instance<'m> {
             globals.push(v);
         }
 
-        let memory = module.memory().map(|mt| Memory::new(mt.limits.min, mt.limits.max));
-        let mut table: Vec<Option<u32>> =
-            module.table().map(|tt| vec![None; tt.limits.min as usize]).unwrap_or_default();
+        let memory = module
+            .memory()
+            .map(|mt| Memory::new(mt.limits.min, mt.limits.max));
+        let mut table: Vec<Option<u32>> = module
+            .table()
+            .map(|tt| vec![None; tt.limits.min as usize])
+            .unwrap_or_default();
 
         let mut inst = Instance {
             module,
@@ -225,9 +235,7 @@ impl<'m> Instance<'m> {
             .module
             .func_type(idx)
             .ok_or_else(|| Trap::Host("export references missing function".into()))?;
-        if ty.params.len() != args.len()
-            || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty())
-        {
+        if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty()) {
             return Err(Trap::Host(format!("argument mismatch calling {name:?}")));
         }
         self.call_function(idx, args, 0, observer)
@@ -297,7 +305,9 @@ impl<'m> Instance<'m> {
             let mut f = self.host_funcs[idx as usize]
                 .take()
                 .ok_or_else(|| Trap::Host("recursive host call".into()))?;
-            let mut ctx = HostCtx { memory: self.memory.as_mut() };
+            let mut ctx = HostCtx {
+                memory: self.memory.as_mut(),
+            };
             let result = f(&mut ctx, args);
             self.host_funcs[idx as usize] = Some(f);
             let values = result?;
@@ -307,6 +317,7 @@ impl<'m> Instance<'m> {
             {
                 return Err(Trap::Host("host function returned wrong types".into()));
             }
+            observer.on_return(idx);
             return Ok(values);
         }
         let func = &self.module.funcs[(idx - n_imported) as usize];
@@ -322,6 +333,7 @@ impl<'m> Instance<'m> {
         if stack.len() < n_results {
             return Err(Trap::Host("function left too few results".into()));
         }
+        observer.on_return(idx);
         Ok(stack.split_off(stack.len() - n_results))
     }
 
@@ -425,8 +437,7 @@ impl<'m> Instance<'m> {
                 }
                 Instr::BrTable { targets, default } => {
                     let i = stack.pop().expect("validated").as_i32() as u32;
-                    let target =
-                        targets.get(i as usize).copied().unwrap_or(*default);
+                    let target = targets.get(i as usize).copied().unwrap_or(*default);
                     return Ok(Flow::Br(target));
                 }
                 Instr::Return => return Ok(Flow::Return),
@@ -486,7 +497,11 @@ impl<'m> Instance<'m> {
                 Instr::MemoryGrow => {
                     let delta = stack.pop().expect("validated").as_i32();
                     let mem = self.memory.as_mut().expect("validated");
-                    let r = if delta < 0 { -1 } else { mem.grow(delta as u32) };
+                    let r = if delta < 0 {
+                        -1
+                    } else {
+                        mem.grow(delta as u32)
+                    };
                     self.stats.mem_grows += 1;
                     let new_size = mem.size_bytes();
                     self.stats.peak_memory_bytes = self.stats.peak_memory_bytes.max(new_size);
@@ -522,26 +537,14 @@ impl<'m> Instance<'m> {
             LoadOp::F64Load => Value::F64(f64::from_le_bytes(mem.read::<8>(addr)?)),
             LoadOp::I32Load8S => Value::I32(i32::from(mem.read::<1>(addr)?[0] as i8)),
             LoadOp::I32Load8U => Value::I32(i32::from(mem.read::<1>(addr)?[0])),
-            LoadOp::I32Load16S => {
-                Value::I32(i32::from(i16::from_le_bytes(mem.read::<2>(addr)?)))
-            }
-            LoadOp::I32Load16U => {
-                Value::I32(i32::from(u16::from_le_bytes(mem.read::<2>(addr)?)))
-            }
+            LoadOp::I32Load16S => Value::I32(i32::from(i16::from_le_bytes(mem.read::<2>(addr)?))),
+            LoadOp::I32Load16U => Value::I32(i32::from(u16::from_le_bytes(mem.read::<2>(addr)?))),
             LoadOp::I64Load8S => Value::I64(i64::from(mem.read::<1>(addr)?[0] as i8)),
             LoadOp::I64Load8U => Value::I64(i64::from(mem.read::<1>(addr)?[0])),
-            LoadOp::I64Load16S => {
-                Value::I64(i64::from(i16::from_le_bytes(mem.read::<2>(addr)?)))
-            }
-            LoadOp::I64Load16U => {
-                Value::I64(i64::from(u16::from_le_bytes(mem.read::<2>(addr)?)))
-            }
-            LoadOp::I64Load32S => {
-                Value::I64(i64::from(i32::from_le_bytes(mem.read::<4>(addr)?)))
-            }
-            LoadOp::I64Load32U => {
-                Value::I64(i64::from(u32::from_le_bytes(mem.read::<4>(addr)?)))
-            }
+            LoadOp::I64Load16S => Value::I64(i64::from(i16::from_le_bytes(mem.read::<2>(addr)?))),
+            LoadOp::I64Load16U => Value::I64(i64::from(u16::from_le_bytes(mem.read::<2>(addr)?))),
+            LoadOp::I64Load32S => Value::I64(i64::from(i32::from_le_bytes(mem.read::<4>(addr)?))),
+            LoadOp::I64Load32U => Value::I64(i64::from(u32::from_le_bytes(mem.read::<4>(addr)?))),
         };
         Ok(v)
     }
@@ -785,7 +788,8 @@ fn exec_num(op: NumOp, stack: &mut Vec<Value>) -> Result<(), Trap> {
         I32Xor => bin!(as_i32, I32, |a, b| a ^ b),
         I32Shl => bin!(as_i32, I32, |a, b| a.wrapping_shl(b as u32)),
         I32ShrS => bin!(as_i32, I32, |a, b| a.wrapping_shr(b as u32)),
-        I32ShrU => bin!(as_i32, I32, |a, b| ((a as u32).wrapping_shr(b as u32)) as i32),
+        I32ShrU => bin!(as_i32, I32, |a, b| ((a as u32).wrapping_shr(b as u32))
+            as i32),
         I32Rotl => bin!(as_i32, I32, |a, b| a.rotate_left(b as u32 & 31)),
         I32Rotr => bin!(as_i32, I32, |a, b| a.rotate_right(b as u32 & 31)),
         // i64 arithmetic
@@ -830,7 +834,8 @@ fn exec_num(op: NumOp, stack: &mut Vec<Value>) -> Result<(), Trap> {
         I64Xor => bin!(as_i64, I64, |a, b| a ^ b),
         I64Shl => bin!(as_i64, I64, |a, b| a.wrapping_shl(b as u32)),
         I64ShrS => bin!(as_i64, I64, |a, b| a.wrapping_shr(b as u32)),
-        I64ShrU => bin!(as_i64, I64, |a, b| ((a as u64).wrapping_shr(b as u32)) as i64),
+        I64ShrU => bin!(as_i64, I64, |a, b| ((a as u64).wrapping_shr(b as u32))
+            as i64),
         I64Rotl => bin!(as_i64, I64, |a, b| a.rotate_left(b as u32 & 63)),
         I64Rotr => bin!(as_i64, I64, |a, b| a.rotate_right(b as u32 & 63)),
         // f32 arithmetic
@@ -1010,14 +1015,23 @@ mod tests {
     #[test]
     fn trunc_conversion_traps() {
         let mut s = vec![Value::F64(f64::NAN)];
-        assert_eq!(exec_num(NumOp::I32TruncF64S, &mut s).unwrap_err(), Trap::InvalidConversion);
+        assert_eq!(
+            exec_num(NumOp::I32TruncF64S, &mut s).unwrap_err(),
+            Trap::InvalidConversion
+        );
         let mut s = vec![Value::F64(3e9)];
-        assert_eq!(exec_num(NumOp::I32TruncF64S, &mut s).unwrap_err(), Trap::InvalidConversion);
+        assert_eq!(
+            exec_num(NumOp::I32TruncF64S, &mut s).unwrap_err(),
+            Trap::InvalidConversion
+        );
         let mut s = vec![Value::F64(3e9)];
         exec_num(NumOp::I32TruncF64U, &mut s).unwrap();
         assert_eq!(s[0].as_i32() as u32, 3_000_000_000);
         let mut s = vec![Value::F64(-1.0)];
-        assert_eq!(exec_num(NumOp::I32TruncF64U, &mut s).unwrap_err(), Trap::InvalidConversion);
+        assert_eq!(
+            exec_num(NumOp::I32TruncF64U, &mut s).unwrap_err(),
+            Trap::InvalidConversion
+        );
     }
 
     #[test]
@@ -1044,7 +1058,10 @@ mod tests {
         b.export_func("f", f);
         let m = b.build();
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        assert_eq!(inst.invoke("f", &[Value::I32(64)]).unwrap(), vec![Value::I32(12345)]);
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(64)]).unwrap(),
+            vec![Value::I32(12345)]
+        );
         let err = inst.invoke("f", &[Value::I32(65533)]).unwrap_err();
         assert!(matches!(err, Trap::MemoryOutOfBounds { .. }));
         // Both stores were attempted (and counted); the second trapped.
@@ -1083,7 +1100,10 @@ mod tests {
             Ok(vec![Value::I32(args[0].as_i32() * 2)])
         });
         let mut inst = Instance::new(&m, imports).unwrap();
-        assert_eq!(inst.invoke("f", &[Value::I32(21)]).unwrap(), vec![Value::I32(42)]);
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(21)]).unwrap(),
+            vec![Value::I32(42)]
+        );
     }
 
     #[test]
@@ -1091,7 +1111,10 @@ mod tests {
         let mut b = ModuleBuilder::new();
         b.import_func("env", "missing", &[], &[]);
         let m = b.build();
-        assert!(matches!(Instance::new(&m, Imports::new()), Err(Trap::Host(_))));
+        assert!(matches!(
+            Instance::new(&m, Imports::new()),
+            Err(Trap::Host(_))
+        ));
     }
 
     #[test]
@@ -1113,9 +1136,18 @@ mod tests {
         let m = b.build();
         acctee_wasm::validate::validate_module(&m).unwrap();
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        assert_eq!(inst.invoke("f", &[Value::I32(0)]).unwrap(), vec![Value::I32(10)]);
-        assert_eq!(inst.invoke("f", &[Value::I32(1)]).unwrap(), vec![Value::I32(20)]);
-        assert_eq!(inst.invoke("f", &[Value::I32(5)]).unwrap_err(), Trap::TableOutOfBounds);
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(0)]).unwrap(),
+            vec![Value::I32(10)]
+        );
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(1)]).unwrap(),
+            vec![Value::I32(20)]
+        );
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(5)]).unwrap_err(),
+            Trap::TableOutOfBounds
+        );
     }
 
     #[test]
@@ -1131,7 +1163,10 @@ mod tests {
         let mut inst = Instance::with_config(
             &m,
             Imports::new(),
-            Config { fuel: Some(10_000), ..Config::default() },
+            Config {
+                fuel: Some(10_000),
+                ..Config::default()
+            },
         )
         .unwrap();
         assert_eq!(inst.invoke("f", &[]).unwrap_err(), Trap::OutOfFuel);
@@ -1158,7 +1193,10 @@ mod tests {
                 f.block(BlockType::Empty, |f| {
                     f.block(BlockType::Empty, |f| {
                         f.local_get(0);
-                        f.emit(Instr::BrTable { targets: vec![0, 1], default: 1 });
+                        f.emit(Instr::BrTable {
+                            targets: vec![0, 1],
+                            default: 1,
+                        });
                     });
                     // case 0
                     f.i32_const(100);
@@ -1172,9 +1210,18 @@ mod tests {
         let m = b.build();
         acctee_wasm::validate::validate_module(&m).unwrap();
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
-        assert_eq!(inst.invoke("f", &[Value::I32(0)]).unwrap(), vec![Value::I32(100)]);
-        assert_eq!(inst.invoke("f", &[Value::I32(1)]).unwrap(), vec![Value::I32(200)]);
-        assert_eq!(inst.invoke("f", &[Value::I32(9)]).unwrap(), vec![Value::I32(200)]);
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(0)]).unwrap(),
+            vec![Value::I32(100)]
+        );
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(1)]).unwrap(),
+            vec![Value::I32(200)]
+        );
+        assert_eq!(
+            inst.invoke("f", &[Value::I32(9)]).unwrap(),
+            vec![Value::I32(200)]
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl Imports {
     }
 
     pub(crate) fn get_global(&self, module: &str, name: &str) -> Option<Value> {
-        self.globals.get(&(module.to_string(), name.to_string())).copied()
+        self.globals
+            .get(&(module.to_string(), name.to_string()))
+            .copied()
     }
 }
 
@@ -80,9 +82,10 @@ mod tests {
 
     #[test]
     fn imports_register_and_resolve() {
-        let mut imp = Imports::new()
-            .func("env", "f", |_, _| Ok(vec![]))
-            .global("env", "g", Value::I32(7));
+        let mut imp =
+            Imports::new()
+                .func("env", "f", |_, _| Ok(vec![]))
+                .global("env", "g", Value::I32(7));
         assert!(imp.take_func("env", "f").is_some());
         assert!(imp.take_func("env", "f").is_none());
         assert_eq!(imp.get_global("env", "g"), Some(Value::I32(7)));

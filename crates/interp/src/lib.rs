@@ -38,6 +38,7 @@ mod exec;
 mod host;
 mod memory;
 mod observer;
+mod profile;
 mod stats;
 mod trap;
 mod value;
@@ -46,6 +47,7 @@ pub use exec::{Config, Instance};
 pub use host::{HostCtx, HostFunc, Imports};
 pub use memory::Memory;
 pub use observer::{CountingObserver, NullObserver, Observer};
+pub use profile::{FuncProfile, OpClass, ProfileReport, ProfilingObserver};
 pub use stats::ExecStats;
 pub use trap::Trap;
 pub use value::Value;

@@ -44,10 +44,9 @@ impl Memory {
 
     #[inline]
     fn check(&self, addr: u64, len: u32) -> Result<usize, Trap> {
-        let end = addr.checked_add(u64::from(len)).ok_or(Trap::MemoryOutOfBounds {
-            addr,
-            len,
-        })?;
+        let end = addr
+            .checked_add(u64::from(len))
+            .ok_or(Trap::MemoryOutOfBounds { addr, len })?;
         if end > self.bytes.len() as u64 {
             return Err(Trap::MemoryOutOfBounds { addr, len });
         }
@@ -85,7 +84,8 @@ impl Memory {
 
     /// Copies `data` into memory at `addr`.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
-        self.slice_mut(addr, data.len() as u32)?.copy_from_slice(data);
+        self.slice_mut(addr, data.len() as u32)?
+            .copy_from_slice(data);
         Ok(())
     }
 

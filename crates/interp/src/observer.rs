@@ -29,6 +29,13 @@ pub trait Observer {
 
     /// Called on function entry (after arguments are bound).
     fn on_call(&mut self, _func_idx: u32) {}
+
+    /// Called on normal function exit (after results are produced),
+    /// pairing each [`Observer::on_call`]. *Not* called when the
+    /// function unwinds on a trap — observers that keep a shadow call
+    /// stack must tolerate unpaired calls (see
+    /// `ProfilingObserver::report`, which drains still-open frames).
+    fn on_return(&mut self, _func_idx: u32) {}
 }
 
 /// An observer that does nothing (zero overhead beyond the virtual
@@ -55,7 +62,10 @@ where
 impl CountingObserver {
     /// A unit-weight counter: every instruction counts 1.
     pub fn unit() -> CountingObserver {
-        CountingObserver { count: 0, weight: |_| 1 }
+        CountingObserver {
+            count: 0,
+            weight: |_| 1,
+        }
     }
 }
 

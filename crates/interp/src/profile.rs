@@ -1,0 +1,479 @@
+//! An execution profiler built on the [`Observer`] hooks.
+//!
+//! [`ProfilingObserver`] keeps a shadow call stack and attributes every
+//! executed instruction's weight to the function executing it —
+//! *self* weight to the innermost frame, *total* (inclusive) weight to
+//! every distinct function on the stack — plus per-opcode-class
+//! counts. [`ProfilingObserver::report`] renders a top-N hot-functions
+//! profile. With the default unit weight, the profile's grand total
+//! equals [`crate::ExecStats::instructions`] exactly; with the
+//! instrumenter's weight table it equals the injected counter.
+
+use acctee_wasm::instr::Instr;
+use acctee_wasm::Module;
+
+use crate::observer::Observer;
+
+/// Coarse opcode classes for the per-class execution histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Structured control flow and branches.
+    Control,
+    /// Direct and indirect calls.
+    Call,
+    /// `drop` / `select`.
+    Parametric,
+    /// Local variable access.
+    Local,
+    /// Global variable access.
+    Global,
+    /// Linear-memory loads, stores, size and grow.
+    Memory,
+    /// Constants.
+    Const,
+    /// Plain numeric operations.
+    Numeric,
+}
+
+impl OpClass {
+    /// Every class, in display order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Control,
+        OpClass::Call,
+        OpClass::Parametric,
+        OpClass::Local,
+        OpClass::Global,
+        OpClass::Memory,
+        OpClass::Const,
+        OpClass::Numeric,
+    ];
+
+    /// Classifies one instruction.
+    pub fn of(instr: &Instr) -> OpClass {
+        match instr {
+            Instr::Unreachable
+            | Instr::Nop
+            | Instr::Block { .. }
+            | Instr::Loop { .. }
+            | Instr::If { .. }
+            | Instr::Br(_)
+            | Instr::BrIf(_)
+            | Instr::BrTable { .. }
+            | Instr::Return => OpClass::Control,
+            Instr::Call(_) | Instr::CallIndirect(_) => OpClass::Call,
+            Instr::Drop | Instr::Select => OpClass::Parametric,
+            Instr::LocalGet(_) | Instr::LocalSet(_) | Instr::LocalTee(_) => OpClass::Local,
+            Instr::GlobalGet(_) | Instr::GlobalSet(_) => OpClass::Global,
+            Instr::Load(..) | Instr::Store(..) | Instr::MemorySize | Instr::MemoryGrow => {
+                OpClass::Memory
+            }
+            Instr::I32Const(_) | Instr::I64Const(_) | Instr::F32Const(_) | Instr::F64Const(_) => {
+                OpClass::Const
+            }
+            Instr::Num(_) => OpClass::Numeric,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Control => "control",
+            OpClass::Call => "call",
+            OpClass::Parametric => "parametric",
+            OpClass::Local => "local",
+            OpClass::Global => "global",
+            OpClass::Memory => "memory",
+            OpClass::Const => "const",
+            OpClass::Numeric => "numeric",
+        }
+    }
+
+    fn index(self) -> usize {
+        OpClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class listed")
+    }
+}
+
+struct Frame {
+    idx: u32,
+    /// Grand-total weight when this frame was entered.
+    entry_total: u64,
+}
+
+/// One function's row in the profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncProfile {
+    /// Function index in the module's combined (imports-first) space.
+    pub idx: u32,
+    /// Display name (export/debug name, or `func[idx]`).
+    pub name: String,
+    /// Times the function was entered.
+    pub calls: u64,
+    /// Weight of instructions executed directly in the function.
+    pub self_weight: u64,
+    /// Inclusive weight: self plus everything executed beneath it.
+    /// Recursion is counted once (attributed to the outermost
+    /// activation).
+    pub total_weight: u64,
+}
+
+/// The finished profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Grand-total weight over the whole execution. With unit weights
+    /// this equals [`crate::ExecStats::instructions`].
+    pub total_weight: u64,
+    /// The hottest functions by self weight, descending, at most the
+    /// requested N.
+    pub hot_functions: Vec<FuncProfile>,
+    /// Executed-instruction counts per opcode class (unweighted), in
+    /// [`OpClass::ALL`] order, zero-count classes included.
+    pub class_counts: Vec<(&'static str, u64)>,
+}
+
+impl ProfileReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "total weighted instructions: {}", self.total_weight);
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>12}  {:>12}  {:>8}  {:>6}  name",
+            "#", "self", "total", "calls", "self%"
+        );
+        for (rank, f) in self.hot_functions.iter().enumerate() {
+            let pct = if self.total_weight == 0 {
+                0.0
+            } else {
+                100.0 * f.self_weight as f64 / self.total_weight as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>12}  {:>12}  {:>8}  {:>5.1}%  {}",
+                rank + 1,
+                f.self_weight,
+                f.total_weight,
+                f.calls,
+                pct,
+                f.name
+            );
+        }
+        let _ = writeln!(out, "opcode classes:");
+        for (name, count) in &self.class_counts {
+            if *count > 0 {
+                let _ = writeln!(out, "  {name:<10} {count}");
+            }
+        }
+        out
+    }
+}
+
+/// An [`Observer`] building a per-function weighted-instruction
+/// profile. See the module docs for the attribution rules.
+pub struct ProfilingObserver<F = fn(&Instr) -> u64>
+where
+    F: FnMut(&Instr) -> u64,
+{
+    weight: F,
+    names: Vec<String>,
+    stack: Vec<Frame>,
+    /// Per-function count of activations currently on the stack,
+    /// used to attribute recursion to the outermost activation only.
+    active: Vec<u32>,
+    calls: Vec<u64>,
+    self_weight: Vec<u64>,
+    total_weight: Vec<u64>,
+    class_counts: [u64; OpClass::ALL.len()],
+    grand_total: u64,
+}
+
+fn display_names(module: &Module) -> Vec<String> {
+    let n_imports = module.num_imported_funcs() as usize;
+    let mut names: Vec<String> = module
+        .imports
+        .iter()
+        .filter(|i| matches!(i.kind, acctee_wasm::module::ImportKind::Func(_)))
+        .map(|i| format!("{}.{}", i.module, i.name))
+        .collect();
+    for (i, f) in module.funcs.iter().enumerate() {
+        names.push(
+            f.name
+                .clone()
+                .unwrap_or_else(|| format!("func[{}]", n_imports + i)),
+        );
+    }
+    // Exported names win over debug names.
+    for e in &module.exports {
+        if let acctee_wasm::module::ExportKind::Func(idx) = e.kind {
+            if let Some(slot) = names.get_mut(idx as usize) {
+                *slot = e.name.clone();
+            }
+        }
+    }
+    names
+}
+
+impl ProfilingObserver {
+    /// A unit-weight profiler: every instruction weighs 1, so the
+    /// grand total equals the executed-instruction count.
+    pub fn unit(module: &Module) -> ProfilingObserver {
+        ProfilingObserver::with_weight(module, |_| 1)
+    }
+}
+
+impl<F: FnMut(&Instr) -> u64> ProfilingObserver<F> {
+    /// A profiler weighing instructions with `weight` (pass the
+    /// instrumenter's `WeightTable::weight` to make totals comparable
+    /// with the injected counter).
+    pub fn with_weight(module: &Module, weight: F) -> ProfilingObserver<F> {
+        let names = display_names(module);
+        let n = names.len();
+        ProfilingObserver {
+            weight,
+            names,
+            stack: Vec::new(),
+            active: vec![0; n],
+            calls: vec![0; n],
+            self_weight: vec![0; n],
+            total_weight: vec![0; n],
+            class_counts: [0; OpClass::ALL.len()],
+            grand_total: 0,
+        }
+    }
+
+    fn ensure(&mut self, idx: u32) {
+        let need = idx as usize + 1;
+        if self.names.len() < need {
+            for i in self.names.len()..need {
+                self.names.push(format!("func[{i}]"));
+            }
+            self.active.resize(need, 0);
+            self.calls.resize(need, 0);
+            self.self_weight.resize(need, 0);
+            self.total_weight.resize(need, 0);
+        }
+    }
+
+    fn close_frame(&mut self, frame: Frame) {
+        let idx = frame.idx as usize;
+        self.active[idx] = self.active[idx].saturating_sub(1);
+        if self.active[idx] == 0 {
+            self.total_weight[idx] += self.grand_total - frame.entry_total;
+        }
+    }
+
+    /// Finishes the profile, returning the `top_n` hottest functions by
+    /// self weight. Frames still open (the execution trapped before
+    /// they returned) are closed as if they returned now, so a trapped
+    /// run still yields a complete, consistent profile.
+    pub fn report(&mut self, top_n: usize) -> ProfileReport {
+        while let Some(frame) = self.stack.pop() {
+            self.close_frame(frame);
+        }
+        let mut rows: Vec<FuncProfile> = (0..self.names.len())
+            .filter(|i| self.calls[*i] > 0)
+            .map(|i| FuncProfile {
+                idx: i as u32,
+                name: self.names[i].clone(),
+                calls: self.calls[i],
+                self_weight: self.self_weight[i],
+                total_weight: self.total_weight[i],
+            })
+            .collect();
+        rows.sort_by(|a, b| b.self_weight.cmp(&a.self_weight).then(a.idx.cmp(&b.idx)));
+        rows.truncate(top_n);
+        ProfileReport {
+            total_weight: self.grand_total,
+            hot_functions: rows,
+            class_counts: OpClass::ALL
+                .iter()
+                .map(|c| (c.name(), self.class_counts[c.index()]))
+                .collect(),
+        }
+    }
+}
+
+impl<F: FnMut(&Instr) -> u64> Observer for ProfilingObserver<F> {
+    fn on_instr(&mut self, instr: &Instr) {
+        let w = (self.weight)(instr);
+        self.grand_total += w;
+        self.class_counts[OpClass::of(instr).index()] += 1;
+        if let Some(top) = self.stack.last() {
+            self.self_weight[top.idx as usize] += w;
+        }
+    }
+
+    fn on_call(&mut self, func_idx: u32) {
+        self.ensure(func_idx);
+        self.calls[func_idx as usize] += 1;
+        self.active[func_idx as usize] += 1;
+        self.stack.push(Frame {
+            idx: func_idx,
+            entry_total: self.grand_total,
+        });
+    }
+
+    fn on_return(&mut self, func_idx: u32) {
+        // Normal returns pop in LIFO order; tolerate a mismatch (it
+        // would mean unpaired events) by popping to the matching frame.
+        while let Some(frame) = self.stack.pop() {
+            let done = frame.idx == func_idx;
+            self.close_frame(frame);
+            if done {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Imports, Instance, Value};
+    use acctee_wasm::builder::{Bound, ModuleBuilder};
+    use acctee_wasm::op::NumOp;
+    use acctee_wasm::types::ValType;
+
+    /// `main` calls `leaf` three times in a loop; `leaf` does pure
+    /// arithmetic.
+    fn two_func_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let leaf = b.func("leaf", &[ValType::I64], &[ValType::I64], |f| {
+            f.local_get(0);
+            f.i64_const(3);
+            f.num(NumOp::I64Mul);
+            f.i64_const(1);
+            f.num(NumOp::I64Add);
+        });
+        let main = b.func("main", &[], &[ValType::I64], |f| {
+            let acc = f.local(ValType::I64);
+            let i = f.local(ValType::I32);
+            f.for_loop(i, Bound::Const(0), Bound::Const(3), |f| {
+                f.local_get(acc);
+                f.call(leaf);
+                f.local_set(acc);
+            });
+            f.local_get(acc);
+        });
+        b.export_func("leaf", leaf);
+        b.export_func("main", main);
+        b.build()
+    }
+
+    #[test]
+    fn profile_total_matches_exec_stats_exactly() {
+        let module = two_func_module();
+        let mut prof = ProfilingObserver::unit(&module);
+        let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+        inst.invoke_observed("main", &[], &mut prof).expect("runs");
+        let report = prof.report(10);
+        assert_eq!(report.total_weight, inst.stats().instructions);
+        // Every instruction belongs to some frame here, so self weights
+        // partition the total.
+        let self_sum: u64 = report.hot_functions.iter().map(|f| f.self_weight).sum();
+        assert_eq!(self_sum, report.total_weight);
+        // Class counts partition the (unweighted) instruction count too.
+        let class_sum: u64 = report.class_counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(class_sum, inst.stats().instructions);
+    }
+
+    #[test]
+    fn callee_weight_is_inclusive_in_caller() {
+        let module = two_func_module();
+        let mut prof = ProfilingObserver::unit(&module);
+        let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+        inst.invoke_observed("main", &[], &mut prof).expect("runs");
+        let report = prof.report(10);
+        let by_name = |n: &str| {
+            report
+                .hot_functions
+                .iter()
+                .find(|f| f.name == n)
+                .expect("profiled")
+                .clone()
+        };
+        let main = by_name("main");
+        let leaf = by_name("leaf");
+        assert_eq!(leaf.calls, 3);
+        assert_eq!(main.calls, 1);
+        // leaf executes 5 instructions per call.
+        assert_eq!(leaf.self_weight, 15);
+        assert_eq!(leaf.total_weight, 15);
+        // main's total is the whole program; its self excludes leaf.
+        assert_eq!(main.total_weight, report.total_weight);
+        assert_eq!(main.self_weight, main.total_weight - leaf.self_weight);
+    }
+
+    #[test]
+    fn recursion_counts_inclusive_weight_once() {
+        // rec(n) = n == 0 ? 0 : rec(n - 1); no imports, so the first
+        // declared function has index 0 and can call itself.
+        let mut b = ModuleBuilder::new();
+        let rec = b.func("rec", &[ValType::I64], &[ValType::I64], |f| {
+            f.local_get(0);
+            f.num(NumOp::I64Eqz);
+            f.if_else(
+                acctee_wasm::instr::BlockType::Value(ValType::I64),
+                |f| {
+                    f.i64_const(0);
+                },
+                |f| {
+                    f.local_get(0);
+                    f.i64_const(1);
+                    f.num(NumOp::I64Sub);
+                    f.call(0);
+                },
+            );
+        });
+        b.export_func("rec", rec);
+        let module = b.build();
+        let mut prof = ProfilingObserver::unit(&module);
+        let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+        inst.invoke_observed("rec", &[Value::I64(5)], &mut prof)
+            .expect("runs");
+        let report = prof.report(10);
+        let rec = &report.hot_functions[0];
+        assert_eq!(rec.calls, 6);
+        // Inclusive weight equals the whole execution, not 6x it.
+        assert_eq!(rec.total_weight, report.total_weight);
+        assert_eq!(rec.self_weight, report.total_weight);
+    }
+
+    #[test]
+    fn trapped_run_still_produces_consistent_profile() {
+        let mut b = ModuleBuilder::new();
+        let boom = b.func("boom", &[], &[], |f| {
+            f.i32_const(1);
+            f.drop_();
+            f.emit(Instr::Unreachable);
+        });
+        let main = b.func("main", &[], &[], |f| {
+            f.call(boom);
+        });
+        b.export_func("main", main);
+        let module = b.build();
+        let mut prof = ProfilingObserver::unit(&module);
+        let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+        assert!(inst.invoke_observed("main", &[], &mut prof).is_err());
+        let report = prof.report(10);
+        assert_eq!(report.total_weight, inst.stats().instructions);
+        let self_sum: u64 = report.hot_functions.iter().map(|f| f.self_weight).sum();
+        assert_eq!(self_sum, report.total_weight);
+        assert!(report.render().contains("boom"));
+    }
+
+    #[test]
+    fn top_n_limits_and_orders_rows() {
+        let module = two_func_module();
+        let mut prof = ProfilingObserver::unit(&module);
+        let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
+        inst.invoke_observed("main", &[], &mut prof).expect("runs");
+        let report = prof.report(1);
+        assert_eq!(report.hot_functions.len(), 1);
+        // main's loop bookkeeping dominates leaf's 15 instructions.
+        assert_eq!(report.hot_functions[0].name, "main");
+    }
+}

@@ -37,8 +37,16 @@ mod tests {
 
     #[test]
     fn merge_adds_and_maxes() {
-        let mut a = ExecStats { instructions: 10, peak_memory_bytes: 100, ..Default::default() };
-        let b = ExecStats { instructions: 5, peak_memory_bytes: 300, ..Default::default() };
+        let mut a = ExecStats {
+            instructions: 10,
+            peak_memory_bytes: 100,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            instructions: 5,
+            peak_memory_bytes: 300,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 15);
         assert_eq!(a.peak_memory_bytes, 300);

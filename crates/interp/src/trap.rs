@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let t = Trap::MemoryOutOfBounds { addr: 65536, len: 4 };
+        let t = Trap::MemoryOutOfBounds {
+            addr: 65536,
+            len: 4,
+        };
         assert_eq!(t.to_string(), "out-of-bounds memory access at 65536+4");
         assert_eq!(Trap::OutOfFuel.to_string(), "fuel exhausted");
     }

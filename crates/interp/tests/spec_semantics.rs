@@ -27,15 +27,30 @@ fn run_op(op: NumOp, args: &[Value]) -> Result<Value, Trap> {
 #[test]
 fn integer_comparison_signedness() {
     // -1 unsigned is the largest u32.
-    assert_eq!(run_op(NumOp::I32LtU, &[Value::I32(-1), Value::I32(1)]).unwrap(), Value::I32(0));
-    assert_eq!(run_op(NumOp::I32LtS, &[Value::I32(-1), Value::I32(1)]).unwrap(), Value::I32(1));
-    assert_eq!(run_op(NumOp::I64GtU, &[Value::I64(-1), Value::I64(1)]).unwrap(), Value::I32(1));
+    assert_eq!(
+        run_op(NumOp::I32LtU, &[Value::I32(-1), Value::I32(1)]).unwrap(),
+        Value::I32(0)
+    );
+    assert_eq!(
+        run_op(NumOp::I32LtS, &[Value::I32(-1), Value::I32(1)]).unwrap(),
+        Value::I32(1)
+    );
+    assert_eq!(
+        run_op(NumOp::I64GtU, &[Value::I64(-1), Value::I64(1)]).unwrap(),
+        Value::I32(1)
+    );
 }
 
 #[test]
 fn division_and_remainder_signs() {
-    assert_eq!(run_op(NumOp::I32RemS, &[Value::I32(-7), Value::I32(2)]).unwrap(), Value::I32(-1));
-    assert_eq!(run_op(NumOp::I32RemU, &[Value::I32(-7), Value::I32(2)]).unwrap(), Value::I32(1));
+    assert_eq!(
+        run_op(NumOp::I32RemS, &[Value::I32(-7), Value::I32(2)]).unwrap(),
+        Value::I32(-1)
+    );
+    assert_eq!(
+        run_op(NumOp::I32RemU, &[Value::I32(-7), Value::I32(2)]).unwrap(),
+        Value::I32(1)
+    );
     // MIN % -1 is 0, not a trap (only div traps).
     assert_eq!(
         run_op(NumOp::I32RemS, &[Value::I32(i32::MIN), Value::I32(-1)]).unwrap(),
@@ -64,7 +79,11 @@ fn shift_and_rotate_semantics() {
         "logical shift zero-fills"
     );
     assert_eq!(
-        run_op(NumOp::I32Rotl, &[Value::I32(0x8000_0001u32 as i32), Value::I32(1)]).unwrap(),
+        run_op(
+            NumOp::I32Rotl,
+            &[Value::I32(0x8000_0001u32 as i32), Value::I32(1)]
+        )
+        .unwrap(),
         Value::I32(3)
     );
     assert_eq!(
@@ -75,15 +94,33 @@ fn shift_and_rotate_semantics() {
 
 #[test]
 fn clz_ctz_popcnt_edges() {
-    assert_eq!(run_op(NumOp::I32Clz, &[Value::I32(0)]).unwrap(), Value::I32(32));
-    assert_eq!(run_op(NumOp::I32Ctz, &[Value::I32(0)]).unwrap(), Value::I32(32));
-    assert_eq!(run_op(NumOp::I64Clz, &[Value::I64(0)]).unwrap(), Value::I64(64));
-    assert_eq!(run_op(NumOp::I64Popcnt, &[Value::I64(-1)]).unwrap(), Value::I64(64));
+    assert_eq!(
+        run_op(NumOp::I32Clz, &[Value::I32(0)]).unwrap(),
+        Value::I32(32)
+    );
+    assert_eq!(
+        run_op(NumOp::I32Ctz, &[Value::I32(0)]).unwrap(),
+        Value::I32(32)
+    );
+    assert_eq!(
+        run_op(NumOp::I64Clz, &[Value::I64(0)]).unwrap(),
+        Value::I64(64)
+    );
+    assert_eq!(
+        run_op(NumOp::I64Popcnt, &[Value::I64(-1)]).unwrap(),
+        Value::I64(64)
+    );
 }
 
 #[test]
 fn float_comparisons_with_nan() {
-    for op in [NumOp::F64Lt, NumOp::F64Gt, NumOp::F64Le, NumOp::F64Ge, NumOp::F64Eq] {
+    for op in [
+        NumOp::F64Lt,
+        NumOp::F64Gt,
+        NumOp::F64Le,
+        NumOp::F64Ge,
+        NumOp::F64Eq,
+    ] {
         assert_eq!(
             run_op(op, &[Value::F64(f64::NAN), Value::F64(1.0)]).unwrap(),
             Value::I32(0),
@@ -115,7 +152,10 @@ fn conversions_round_correctly() {
         run_op(NumOp::I64ExtendI32S, &[Value::I32(-1)]).unwrap(),
         Value::I64(-1)
     );
-    assert_eq!(run_op(NumOp::I32WrapI64, &[Value::I64(1 << 40 | 5)]).unwrap(), Value::I32(5));
+    assert_eq!(
+        run_op(NumOp::I32WrapI64, &[Value::I64(1 << 40 | 5)]).unwrap(),
+        Value::I32(5)
+    );
 }
 
 #[test]
@@ -138,7 +178,10 @@ fn trunc_boundary_values() {
         Trap::InvalidConversion
     );
     // -0.9 truncates to 0 for unsigned (in range after truncation).
-    assert_eq!(run_op(NumOp::I32TruncF64U, &[Value::F64(-0.9)]).unwrap(), Value::I32(0));
+    assert_eq!(
+        run_op(NumOp::I32TruncF64U, &[Value::F64(-0.9)]).unwrap(),
+        Value::I32(0)
+    );
 }
 
 #[test]
@@ -155,7 +198,9 @@ fn copysign_and_neg_affect_only_the_sign() {
         run_op(NumOp::F64Copysign, &[Value::F64(3.5), Value::F64(-0.0)]).unwrap(),
         Value::F64(-3.5)
     );
-    let neg_nan = run_op(NumOp::F64Neg, &[Value::F64(f64::NAN)]).unwrap().as_f64();
+    let neg_nan = run_op(NumOp::F64Neg, &[Value::F64(f64::NAN)])
+        .unwrap()
+        .as_f64();
     assert!(neg_nan.is_nan() && neg_nan.is_sign_negative());
 }
 
@@ -210,7 +255,10 @@ fn effective_address_includes_static_offset() {
     b.export_func("f", f);
     let m = b.build();
     let mut inst = Instance::new(&m, Imports::new()).unwrap();
-    assert_eq!(inst.invoke("f", &[Value::I32(0)]).unwrap(), vec![Value::I32(0)]);
+    assert_eq!(
+        inst.invoke("f", &[Value::I32(0)]).unwrap(),
+        vec![Value::I32(0)]
+    );
     // addr 8 + offset 65532 crosses the 64 KiB page: trap, not wrap.
     assert!(matches!(
         inst.invoke("f", &[Value::I32(8)]).unwrap_err(),
@@ -233,8 +281,12 @@ fn float_arithmetic_is_ieee() {
         run_op(NumOp::F64Div, &[Value::F64(-1.0), Value::F64(0.0)]).unwrap(),
         Value::F64(f64::NEG_INFINITY)
     );
-    let nan = run_op(NumOp::F64Div, &[Value::F64(0.0), Value::F64(0.0)]).unwrap().as_f64();
+    let nan = run_op(NumOp::F64Div, &[Value::F64(0.0), Value::F64(0.0)])
+        .unwrap()
+        .as_f64();
     assert!(nan.is_nan());
-    let sq = run_op(NumOp::F64Sqrt, &[Value::F64(-1.0)]).unwrap().as_f64();
+    let sq = run_op(NumOp::F64Sqrt, &[Value::F64(-1.0)])
+        .unwrap()
+        .as_f64();
     assert!(sq.is_nan());
 }

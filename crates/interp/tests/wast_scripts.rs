@@ -31,11 +31,13 @@ fn values_equal(a: &Value, b: &Value) -> bool {
 /// failure. Directives are grouped by their governing module so each
 /// group shares one live instance (state persists across invocations,
 /// as in the spec suite), with traps isolated in fresh instances.
+type DirectiveGroup = (Option<Module>, Vec<(usize, Directive)>);
+
 fn run_script(name: &str, src: &str) {
     let directives = parse_script(src).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
 
     // Group directives under their current module.
-    let mut groups: Vec<(Option<Module>, Vec<(usize, Directive)>)> = vec![(None, Vec::new())];
+    let mut groups: Vec<DirectiveGroup> = vec![(None, Vec::new())];
     for (i, d) in directives.into_iter().enumerate() {
         match d {
             Directive::Module(m) => {
@@ -71,14 +73,14 @@ fn run_script(name: &str, src: &str) {
                     );
                 }
                 Directive::AssertTrap(inv, msg) => {
-                    let module =
-                        module.as_ref().unwrap_or_else(|| panic!("{name}[{i}]: no module"));
+                    let module = module
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{name}[{i}]: no module"));
                     // A fresh instance: traps may leave partial state.
                     let mut inst = Instance::new(module, Imports::new())
                         .unwrap_or_else(|e| panic!("{name}[{i}]: {e}"));
                     let args: Vec<Value> = inv.args.iter().map(const_to_value).collect();
-                    let err: Trap =
-                        inst.invoke(&inv.func, &args).expect_err("expected a trap");
+                    let err: Trap = inst.invoke(&inv.func, &args).expect_err("expected a trap");
                     assert!(
                         err.to_string().contains(msg),
                         "{name}[{i}] {}: trap {err:?} does not mention {msg:?}",

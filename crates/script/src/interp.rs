@@ -101,7 +101,10 @@ impl Interpreter {
             if let Stmt::FnDef(name, params, body) = s {
                 self.fns.insert(
                     name.clone(),
-                    FnDef { params: params.clone(), body: Rc::new(body.clone()) },
+                    FnDef {
+                        params: params.clone(),
+                        body: Rc::new(body.clone()),
+                    },
                 );
             }
         }
@@ -205,7 +208,10 @@ impl Interpreter {
             Stmt::FnDef(name, params, body) => {
                 self.fns.insert(
                     name.clone(),
-                    FnDef { params: params.clone(), body: Rc::new(body.clone()) },
+                    FnDef {
+                        params: params.clone(),
+                        body: Rc::new(body.clone()),
+                    },
                 );
                 Ok(Flow::Normal)
             }
@@ -259,11 +265,19 @@ impl Interpreter {
                 match op {
                     BinOp::And => {
                         let l = self.eval(a, scope)?;
-                        return if l.truthy() { self.eval(b, scope) } else { Ok(l) };
+                        return if l.truthy() {
+                            self.eval(b, scope)
+                        } else {
+                            Ok(l)
+                        };
                     }
                     BinOp::Or => {
                         let l = self.eval(a, scope)?;
-                        return if l.truthy() { Ok(l) } else { self.eval(b, scope) };
+                        return if l.truthy() {
+                            Ok(l)
+                        } else {
+                            self.eval(b, scope)
+                        };
                     }
                     _ => {}
                 }
@@ -304,7 +318,9 @@ impl Interpreter {
                 if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
                     return Ok(Value::str(format!("{a}{b}")));
                 }
-                Err(ScriptError::Type("`+` needs two numbers or two strings".into()))
+                Err(ScriptError::Type(
+                    "`+` needs two numbers or two strings".into(),
+                ))
             }
             Eq => Ok(Value::Bool(l.eq_value(&r))),
             Ne => Ok(Value::Bool(!l.eq_value(&r))),
@@ -316,7 +332,9 @@ impl Interpreter {
         // Builtins first.
         match name {
             "len" => {
-                let v = args.first().ok_or_else(|| ScriptError::Type("len needs 1 arg".into()))?;
+                let v = args
+                    .first()
+                    .ok_or_else(|| ScriptError::Type("len needs 1 arg".into()))?;
                 return match v {
                     Value::Array(a) => Ok(Value::Num(a.borrow().len() as f64)),
                     Value::Str(s) => Ok(Value::Num(s.len() as f64)),
@@ -389,11 +407,19 @@ struct Scope {
 
 impl Scope {
     fn lookup(&self, name: &str) -> Option<Value> {
-        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
     }
 
     fn lookup_mut(&mut self, name: &str) -> Option<&mut Value> {
-        self.vars.iter_mut().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.vars
+            .iter_mut()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 }
 

@@ -42,8 +42,8 @@ pub struct LexError {
 }
 
 const PUNCTS: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")",
-    "{", "}", "[", "]", ",", ";", "!",
+    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{", "}",
+    "[", "]", ",", ";", "!",
 ];
 
 /// Tokenizes MiniJS source.
@@ -69,9 +69,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 i += 1;
             }
             let text = &src[start..i];
-            let n = text
-                .parse::<f64>()
-                .map_err(|_| LexError { pos: start, msg: format!("bad number {text}") })?;
+            let n = text.parse::<f64>().map_err(|_| LexError {
+                pos: start,
+                msg: format!("bad number {text}"),
+            })?;
             out.push(Tok::Num(n));
             continue;
         }
@@ -124,7 +125,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     }
                 }
             }
-            return Err(LexError { pos: start, msg: "unterminated string".into() });
+            return Err(LexError {
+                pos: start,
+                msg: "unterminated string".into(),
+            });
         }
         for p in PUNCTS {
             if src[i..].starts_with(p) {
@@ -133,7 +137,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 continue 'outer;
             }
         }
-        return Err(LexError { pos: i, msg: format!("unexpected character {:?}", c as char) });
+        return Err(LexError {
+            pos: i,
+            msg: format!("unexpected character {:?}", c as char),
+        });
     }
     Ok(out)
 }

@@ -19,7 +19,10 @@ struct Parser {
 
 /// Parses a MiniJS program into a statement list.
 pub fn parse(src: &str) -> Result<Vec<Stmt>, ParseError> {
-    let toks = lex(src).map_err(|e| ParseError { at: e.pos, msg: e.msg })?;
+    let toks = lex(src).map_err(|e| ParseError {
+        at: e.pos,
+        msg: e.msg,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     let mut stmts = Vec::new();
     while !p.eof() {
@@ -38,11 +41,18 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, msg: msg.into() }
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
-        let t = self.toks.get(self.pos).cloned().ok_or_else(|| self.err("unexpected EOF"))?;
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err("unexpected EOF"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -186,9 +196,7 @@ impl Parser {
             let rhs = self.expr()?;
             match e {
                 Expr::Var(name) => return Ok(Stmt::Assign(name, rhs)),
-                Expr::Index(target, idx) => {
-                    return Ok(Stmt::IndexAssign(*target, *idx, rhs))
-                }
+                Expr::Index(target, idx) => return Ok(Stmt::IndexAssign(*target, *idx, rhs)),
                 _ => {
                     self.pos = save;
                     return Err(self.err("invalid assignment target"));

@@ -11,9 +11,7 @@
 //! DESIGN.md §2).
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::crypto::{digest_eq, hmac_sha256, Digest};
 use crate::enclave::{Measurement, Platform, Report};
@@ -91,7 +89,10 @@ impl AttestationAuthority {
     /// Provisions a platform's quoting enclave, returning it. This is
     /// the moment the authority decides the platform is genuine.
     pub fn provision(&self, platform: &Platform) -> QuotingEnclave {
-        self.registered.lock().insert(platform.name.clone(), ());
+        self.registered
+            .lock()
+            .expect("registry lock")
+            .insert(platform.name.clone(), ());
         QuotingEnclave {
             platform: platform.clone(),
             quote_key: self.platform_quote_key(&platform.name),
@@ -106,7 +107,12 @@ impl AttestationAuthority {
     /// provisioned; [`AttestationError::BadQuote`] if the signature
     /// does not verify.
     pub fn verify(&self, quote: &Quote) -> Result<Measurement, AttestationError> {
-        if !self.registered.lock().contains_key(&quote.platform) {
+        if !self
+            .registered
+            .lock()
+            .expect("registry lock")
+            .contains_key(&quote.platform)
+        {
             return Err(AttestationError::UnknownPlatform);
         }
         let key = self.platform_quote_key(&quote.platform);
@@ -178,15 +184,24 @@ mod tests {
 
         let mut wrong_measurement = quote.clone();
         wrong_measurement.mrenclave = Measurement::of(b"evil");
-        assert_eq!(authority.verify(&wrong_measurement), Err(AttestationError::BadQuote));
+        assert_eq!(
+            authority.verify(&wrong_measurement),
+            Err(AttestationError::BadQuote)
+        );
 
         let mut wrong_data = quote.clone();
         wrong_data.report_data[0] ^= 0xff;
-        assert_eq!(authority.verify(&wrong_data), Err(AttestationError::BadQuote));
+        assert_eq!(
+            authority.verify(&wrong_data),
+            Err(AttestationError::BadQuote)
+        );
 
         let mut wrong_sig = quote;
         wrong_sig.signature[0] ^= 1;
-        assert_eq!(authority.verify(&wrong_sig), Err(AttestationError::BadQuote));
+        assert_eq!(
+            authority.verify(&wrong_sig),
+            Err(AttestationError::BadQuote)
+        );
     }
 
     #[test]
@@ -197,7 +212,10 @@ mod tests {
         let rogue_qe = rogue_authority.provision(&rogue);
         let enclave = rogue.create_enclave(b"code");
         let quote = rogue_qe.quote(&enclave.report(report_data(b"x"))).unwrap();
-        assert_eq!(authority.verify(&quote), Err(AttestationError::UnknownPlatform));
+        assert_eq!(
+            authority.verify(&quote),
+            Err(AttestationError::UnknownPlatform)
+        );
     }
 
     #[test]
@@ -216,6 +234,9 @@ mod tests {
         let quote = qe.quote(&enclave.report(report_data(b"x"))).unwrap();
         let other_authority = AttestationAuthority::new(43);
         // Other authority never provisioned this platform.
-        assert_eq!(other_authority.verify(&quote), Err(AttestationError::UnknownPlatform));
+        assert_eq!(
+            other_authority.verify(&quote),
+            Err(AttestationError::UnknownPlatform)
+        );
     }
 }

@@ -65,7 +65,10 @@ impl Platform {
         material.extend_from_slice(b"acctee-platform-key");
         material.extend_from_slice(name.as_bytes());
         material.extend_from_slice(&seed.to_le_bytes());
-        Platform { platform_key: sha256(&material), name: name.to_string() }
+        Platform {
+            platform_key: sha256(&material),
+            name: name.to_string(),
+        }
     }
 
     /// Loads `code` into a new enclave on this platform.
@@ -79,8 +82,10 @@ impl Platform {
     /// Verifies a report produced by an enclave on this platform
     /// (local attestation, used by the quoting enclave).
     pub fn verify_report(&self, report: &Report) -> bool {
-        let expected =
-            hmac_sha256(&self.platform_key, &Report::payload(&report.mrenclave, &report.report_data));
+        let expected = hmac_sha256(
+            &self.platform_key,
+            &Report::payload(&report.mrenclave, &report.report_data),
+        );
         digest_eq(&expected, &report.mac)
     }
 }
@@ -105,7 +110,11 @@ impl Enclave {
             &self.platform_key,
             &Report::payload(&self.mrenclave, &report_data),
         );
-        Report { mrenclave: self.mrenclave, report_data, mac }
+        Report {
+            mrenclave: self.mrenclave,
+            report_data,
+            mac,
+        }
     }
 
     /// Derives the enclave's sealing key (stable across restarts on the

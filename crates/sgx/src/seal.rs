@@ -55,7 +55,11 @@ pub fn seal(enclave: &Enclave, nonce: [u8; 16], data: &[u8]) -> Sealed {
     let mut macd = nonce.to_vec();
     macd.extend_from_slice(&ciphertext);
     let tag = hmac_sha256(&mac_key(&sk), &macd);
-    Sealed { nonce, ciphertext, tag }
+    Sealed {
+        nonce,
+        ciphertext,
+        tag,
+    }
 }
 
 /// Unseals a blob; fails if the blob was not sealed to this enclave's

@@ -1,0 +1,97 @@
+//! Monotonic time sources for the tracer.
+//!
+//! Spans need a monotonic clock; tests need a *mockable* one so span
+//! durations are deterministic. Both are nanosecond counters from an
+//! arbitrary epoch — only differences are meaningful.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's epoch. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real clock: `std::time::Instant` anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic tests.
+///
+/// Also counts reads, so tests can assert that a disabled telemetry
+/// path never consults the clock at all.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock at time zero.
+    pub fn new() -> MockClock {
+        MockClock::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// How many times `now_ns` has been called.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.reads.fetch_add(1, Ordering::SeqCst);
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances_and_counts_reads() {
+        let c = MockClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ns(), 250);
+        assert_eq!(c.reads(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! # acctee-telemetry
+//!
+//! Observability primitives for the AccTEE reproduction, hand-rolled
+//! on `std` only:
+//!
+//! * **Tracing spans** — RAII scopes recorded through a thread-safe
+//!   [`Sink`] with a mockable monotonic [`Clock`], exportable as Chrome
+//!   trace-event JSON ([`to_chrome_json`]) loadable in Perfetto or
+//!   `chrome://tracing`.
+//! * **Metrics** — a [`Registry`] of counters, gauges and log₂-bucketed
+//!   histograms with p50/p90/p95/p99 estimation, exportable as
+//!   Prometheus text exposition or JSON.
+//!
+//! A process-wide [`Telemetry`] hub can be [`install`]ed; every layer
+//! of the pipeline (instrumenter passes, enclave operations, the FaaS
+//! request path, the CLI) records through [`global`]. The default hub
+//! uses a [`NullSink`], so with telemetry disabled a span is a single
+//! branch: no clock read, no allocation, no event.
+
+mod clock;
+mod metrics;
+mod span;
+mod trace_json;
+
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use span::{ArgValue, CollectingSink, EventKind, NullSink, Sink, Span, TraceEvent};
+pub use trace_json::{parse_chrome_json, to_chrome_json};
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A telemetry hub: a trace sink, the clock stamping its events, and a
+/// metrics registry.
+pub struct Telemetry {
+    sink: Arc<dyn Sink>,
+    clock: Arc<dyn Clock>,
+    registry: Arc<Registry>,
+}
+
+impl Telemetry {
+    /// A hub recording through `sink` with timestamps from `clock`.
+    pub fn new(sink: Arc<dyn Sink>, clock: Arc<dyn Clock>) -> Telemetry {
+        Telemetry {
+            sink,
+            clock,
+            registry: Arc::new(Registry::new()),
+        }
+    }
+
+    /// The disabled hub: a [`NullSink`] and an empty registry. Metrics
+    /// registered against it still work (they are plain atomics) but
+    /// nothing reads them; spans cost one branch.
+    pub fn disabled() -> Telemetry {
+        Telemetry::new(Arc::new(NullSink), Arc::new(MonotonicClock::new()))
+    }
+
+    /// A hub buffering events in a [`CollectingSink`] on the real
+    /// clock. Returns the hub and the sink for later export.
+    pub fn collecting() -> (Telemetry, Arc<CollectingSink>) {
+        let sink = Arc::new(CollectingSink::new());
+        (
+            Telemetry::new(sink.clone(), Arc::new(MonotonicClock::new())),
+            sink,
+        )
+    }
+
+    /// Whether spans and events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Opens a span named `name` in category `cat`. Dropping the
+    /// returned guard records a complete event. When the sink is
+    /// disabled this is a branch — the clock is not read.
+    pub fn span(&self, name: &str, cat: &str) -> Span {
+        if !self.sink.enabled() {
+            return Span::disabled();
+        }
+        Span::start(
+            self.sink.clone(),
+            self.clock.clone(),
+            name.to_string(),
+            cat.to_string(),
+        )
+    }
+
+    /// Records an instant event (a point-in-time marker).
+    pub fn instant(&self, name: &str, cat: &str, args: Vec<(String, ArgValue)>) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.record(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts_ns: self.clock.now_ns(),
+            tid: span::current_tid(),
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+fn hub_slot() -> &'static RwLock<Option<Arc<Telemetry>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<Telemetry>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn disabled_hub() -> &'static Arc<Telemetry> {
+    static DISABLED: OnceLock<Arc<Telemetry>> = OnceLock::new();
+    DISABLED.get_or_init(|| Arc::new(Telemetry::disabled()))
+}
+
+/// Installs `hub` as the process-wide telemetry hub, replacing any
+/// previous one.
+pub fn install(hub: Arc<Telemetry>) {
+    *hub_slot().write().expect("telemetry hub lock") = Some(hub);
+}
+
+/// Removes the installed hub; [`global`] reverts to the disabled hub.
+pub fn reset() {
+    *hub_slot().write().expect("telemetry hub lock") = None;
+}
+
+/// The process-wide hub: the installed one, or a shared disabled hub.
+pub fn global() -> Arc<Telemetry> {
+    hub_slot()
+        .read()
+        .expect("telemetry hub lock")
+        .clone()
+        .unwrap_or_else(|| disabled_hub().clone())
+}
+
+/// Opens a span on the global hub. Shorthand for
+/// `global().span(name, cat)`.
+pub fn span(name: &str, cat: &str) -> Span {
+    global().span(name, cat)
+}
+
+/// Records an instant event on the global hub.
+pub fn instant(name: &str, cat: &str, args: Vec<(String, ArgValue)>) {
+    global().instant(name, cat, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests that install a global hub share process state; keep them in
+    // one #[test] body so the parallel test runner cannot interleave
+    // installs.
+    #[test]
+    fn global_install_and_reset() {
+        reset();
+        assert!(!global().enabled());
+        {
+            // Disabled spans are inert and free.
+            let s = span("noop", "test");
+            assert!(!s.is_recording());
+        }
+
+        let (hub, sink) = Telemetry::collecting();
+        install(Arc::new(hub));
+        assert!(global().enabled());
+        {
+            let _s = span("work", "test").with_arg("n", 1u64);
+        }
+        instant("marker", "test", vec![]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[1].kind, EventKind::Instant);
+
+        global().metrics().counter("hits").inc();
+        assert_eq!(global().metrics().counter("hits").get(), 1);
+
+        reset();
+        assert!(!global().enabled());
+    }
+
+    #[test]
+    fn disabled_hub_never_reads_the_clock() {
+        let clock = Arc::new(MockClock::new());
+        let hub = Telemetry::new(Arc::new(NullSink), clock.clone());
+        {
+            let _s = hub.span("invisible", "test");
+            hub.instant("invisible", "test", vec![]);
+        }
+        assert_eq!(clock.reads(), 0);
+    }
+
+    #[test]
+    fn collected_events_round_trip_through_chrome_json() {
+        let (hub, sink) = Telemetry::collecting();
+        {
+            let _s = hub.span("outer", "test").with_arg("k", "v");
+        }
+        hub.instant("mark", "test", vec![("x".to_string(), ArgValue::U64(9))]);
+        let events = sink.drain();
+        let json = to_chrome_json(&events);
+        let parsed = parse_chrome_json(&json).expect("parse");
+        assert_eq!(parsed, events);
+    }
+}

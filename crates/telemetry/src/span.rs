@@ -1,0 +1,267 @@
+//! Tracing spans: RAII scopes recorded as trace events through a
+//! thread-safe [`Sink`].
+//!
+//! A [`Span`] measures the wall time between its creation and its drop
+//! and emits one *complete* event; [`TraceEvent`]s can also be
+//! *instant* markers (e.g. the accounting enclave's periodic progress
+//! reports, §3.3). Events carry the recording thread's id, so spans
+//! opened on worker threads (the FaaS request path) nest per thread in
+//! the exported trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+
+/// An argument value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+/// The shape of a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A closed span with a duration (Chrome phase `X`).
+    Complete {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker (Chrome phase `i`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (e.g. `instrument.segment`).
+    pub name: String,
+    /// Category (e.g. `instrument`, `enclave`, `faas`).
+    pub cat: String,
+    /// Start timestamp, nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+    /// Id of the recording thread (process-local, dense).
+    pub tid: u64,
+    /// Complete span or instant marker.
+    pub kind: EventKind,
+    /// Attached key/value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Where events go. Implementations must be cheap and thread-safe —
+/// sinks are shared across worker threads.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: TraceEvent);
+
+    /// Whether events are consumed at all. When `false`, span creation
+    /// is a branch: no clock read, no allocation, no record.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything. The default sink: telemetry off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Buffers events in memory for export (or inspection in tests).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// A clone of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink lock").clone()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("sink lock"))
+    }
+}
+
+impl Sink for CollectingSink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("sink lock").push(event);
+    }
+}
+
+/// Dense process-local thread ids (stable for a thread's lifetime).
+pub(crate) fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// An RAII tracing scope. Created by [`crate::Telemetry::span`];
+/// records a [`EventKind::Complete`] event when dropped.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    sink: Arc<dyn Sink>,
+    clock: Arc<dyn Clock>,
+    name: String,
+    cat: String,
+    start_ns: u64,
+    args: Vec<(String, ArgValue)>,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Span {
+        Span { active: None }
+    }
+
+    pub(crate) fn start(
+        sink: Arc<dyn Sink>,
+        clock: Arc<dyn Clock>,
+        name: String,
+        cat: String,
+    ) -> Span {
+        let start_ns = clock.now_ns();
+        Span {
+            active: Some(ActiveSpan {
+                sink,
+                clock,
+                name,
+                cat,
+                start_ns,
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether this span will produce an event (telemetry enabled).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches an argument (no-op when disabled). Returns `self` so
+    /// arguments chain at creation.
+    #[must_use]
+    pub fn with_arg(mut self, key: &str, value: impl Into<ArgValue>) -> Span {
+        self.record_arg(key, value);
+        self
+    }
+
+    /// Attaches an argument to an already-held span (no-op when
+    /// disabled).
+    pub fn record_arg(&mut self, key: &str, value: impl Into<ArgValue>) {
+        if let Some(a) = &mut self.active {
+            a.args.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let end = a.clock.now_ns();
+            a.sink.record(TraceEvent {
+                name: a.name,
+                cat: a.cat,
+                ts_ns: a.start_ns,
+                tid: current_tid(),
+                kind: EventKind::Complete {
+                    dur_ns: end.saturating_sub(a.start_ns),
+                },
+                args: a.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    #[test]
+    fn span_records_duration_from_clock() {
+        let sink = Arc::new(CollectingSink::new());
+        let clock = Arc::new(MockClock::new());
+        {
+            let _s = Span::start(sink.clone(), clock.clone(), "work".into(), "test".into())
+                .with_arg("items", 3u64);
+            clock.advance(1500);
+        }
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].kind, EventKind::Complete { dur_ns: 1500 });
+        assert_eq!(
+            events[0].args,
+            vec![("items".to_string(), ArgValue::U64(3))]
+        );
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let mut s = Span::disabled();
+        assert!(!s.is_recording());
+        s.record_arg("k", 1u64);
+        drop(s);
+    }
+
+    #[test]
+    fn tids_are_stable_per_thread_and_distinct() {
+        let here = current_tid();
+        assert_eq!(here, current_tid());
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(here, other);
+    }
+}

@@ -1,0 +1,445 @@
+//! Chrome trace-event JSON: export and (round-trip) import.
+//!
+//! The export follows the Trace Event Format's JSON-object form —
+//! `{"traceEvents": [...]}` with `"ph": "X"` complete events and
+//! `"ph": "i"` instant events — and loads directly into Perfetto or
+//! `chrome://tracing`. Timestamps are microseconds with nanosecond
+//! fractional precision; the importer recovers the exact nanosecond
+//! values, which is what the round-trip tests assert.
+//!
+//! Both directions are hand-rolled (no serde): the writer escapes
+//! strings per JSON, and the reader is a minimal recursive-descent
+//! JSON parser sufficient for files this module writes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::{ArgValue, EventKind, TraceEvent};
+
+/// Serialises events as Chrome trace-event JSON.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_json_string(&mut out, &ev.name);
+        out.push_str(",\"cat\":");
+        write_json_string(&mut out, &ev.cat);
+        let ph = match ev.kind {
+            EventKind::Complete { .. } => "X",
+            EventKind::Instant => "i",
+        };
+        let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":{}", Micros(ev.ts_ns));
+        if let EventKind::Complete { dur_ns } = ev.kind {
+            let _ = write!(out, ",\"dur\":{}", Micros(dur_ns));
+        }
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", ev.tid);
+        if matches!(ev.kind, EventKind::Instant) {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in ev.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, k);
+                out.push(':');
+                match v {
+                    ArgValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    ArgValue::F64(f) => write_json_f64(&mut out, *f),
+                    ArgValue::Str(s) => write_json_string(&mut out, s),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds rendered as fractional microseconds (`1234.567`).
+struct Micros(u64);
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let whole = self.0 / 1000;
+        let frac = self.0 % 1000;
+        if frac == 0 {
+            write!(f, "{whole}")
+        } else {
+            write!(f, "{whole}.{frac:03}")
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{f:?}` keeps a decimal point or exponent, so the value
+        // re-parses as a float, and round-trips f64 exactly.
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A parsed JSON value (only what the trace format needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("json parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected {word}"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected , or ]"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected , or }"),
+            }
+        }
+    }
+}
+
+fn micros_to_ns(us: f64) -> u64 {
+    (us * 1000.0).round() as u64
+}
+
+/// Parses Chrome trace-event JSON back into [`TraceEvent`]s.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or events missing required
+/// fields.
+pub fn parse_chrome_json(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    let Json::Obj(root) = root else {
+        return Err("trace file must be a JSON object".into());
+    };
+    let Some(Json::Arr(raw)) = root.get("traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    let mut events = Vec::with_capacity(raw.len());
+    for item in raw {
+        let Json::Obj(o) = item else {
+            return Err("trace event must be an object".into());
+        };
+        let str_field = |k: &str| -> Result<String, String> {
+            match o.get(k) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("event missing string field {k:?}")),
+            }
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            match o.get(k) {
+                Some(Json::Num(n)) => Ok(*n),
+                _ => Err(format!("event missing number field {k:?}")),
+            }
+        };
+        let ph = str_field("ph")?;
+        let kind = match ph.as_str() {
+            "X" => EventKind::Complete {
+                dur_ns: micros_to_ns(num_field("dur")?),
+            },
+            "i" | "I" => EventKind::Instant,
+            other => return Err(format!("unsupported event phase {other:?}")),
+        };
+        let mut args = Vec::new();
+        if let Some(Json::Obj(a)) = o.get("args") {
+            for (k, v) in a {
+                let v = match v {
+                    Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 2.0f64.powi(53) => {
+                        // Integers survive the float detour exactly up
+                        // to 2^53; the writer never emits args larger
+                        // than that as bare integers lossily anyway.
+                        ArgValue::U64(*n as u64)
+                    }
+                    Json::Num(n) => ArgValue::F64(*n),
+                    Json::Str(s) => ArgValue::Str(s.clone()),
+                    other => ArgValue::Str(format!("{other:?}")),
+                };
+                args.push((k.clone(), v));
+            }
+        }
+        events.push(TraceEvent {
+            name: str_field("name")?,
+            cat: str_field("cat").unwrap_or_default(),
+            ts_ns: micros_to_ns(num_field("ts")?),
+            tid: num_field("tid").unwrap_or(0.0) as u64,
+            kind,
+            args,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "instrument.segment".into(),
+                cat: "instrument".into(),
+                ts_ns: 1_234_567,
+                tid: 1,
+                kind: EventKind::Complete { dur_ns: 890_123 },
+                args: vec![
+                    ("funcs".into(), ArgValue::U64(17)),
+                    ("level".into(), ArgValue::Str("loop-based".into())),
+                ],
+            },
+            TraceEvent {
+                name: "progress.report".into(),
+                cat: "enclave".into(),
+                ts_ns: 2_000_001,
+                tid: 3,
+                kind: EventKind::Instant,
+                args: vec![("wic".into(), ArgValue::U64(1_000_000))],
+            },
+            TraceEvent {
+                name: "quote \"escaped\"\n".into(),
+                cat: "t\\est".into(),
+                ts_ns: 0,
+                tid: 2,
+                kind: EventKind::Complete { dur_ns: 0 },
+                args: vec![("ratio".into(), ArgValue::F64(0.25))],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let events = sample_events();
+        let json = to_chrome_json(&events);
+        let back = parse_chrome_json(&json).expect("parses");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn exported_shape_is_chrome_compatible() {
+        let json = to_chrome_json(&sample_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"pid\":1"));
+        // ts in microseconds with ns precision
+        assert!(json.contains("\"ts\":1234.567"), "{json}");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let json = to_chrome_json(&[]);
+        assert_eq!(parse_chrome_json(&json).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            "{\"traceEvents\":1}",
+            "{\"traceEvents\":[{}]}",
+        ] {
+            assert!(parse_chrome_json(bad).is_err(), "{bad:?}");
+        }
+    }
+}

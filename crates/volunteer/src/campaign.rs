@@ -122,8 +122,11 @@ pub fn run_campaign(
                 for (_, c) in &claims {
                     *counts.entry(c.result).or_insert(0) += 1;
                 }
-                let (winner, votes) =
-                    counts.iter().max_by_key(|(_, c)| **c).map(|(r, c)| (*r, *c)).expect("claims");
+                let (winner, votes) = counts
+                    .iter()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(r, c)| (*r, *c))
+                    .expect("claims");
                 if votes * 2 > claims.len() || claims.len() == 1 {
                     if winner == task.expected_result() {
                         report.correct_accepted += 1;
@@ -134,8 +137,7 @@ pub fn run_campaign(
                     // their own claim — the BOINC-style weakness.
                     for (v, c) in &claims {
                         if c.result == winner {
-                            *report.credit.get_mut(&v.name).expect("known") +=
-                                c.claimed_credit;
+                            *report.credit.get_mut(&v.name).expect("known") += c.claimed_credit;
                         }
                         if c.actually_executed {
                             *report.deserved_credit.get_mut(&v.name).expect("known") +=
@@ -147,12 +149,14 @@ pub fn run_campaign(
                 }
             }
             ServerMode::AccTee => {
-                let (instr_bytes, evidence) =
-                    ie.instrument(&bytes, Level::LoopBased).expect("instrumentable");
-                provider.verify_evidence(&instr_bytes, &evidence).expect("evidence ok");
+                let (instr_bytes, evidence) = ie
+                    .instrument(&bytes, Level::LoopBased)
+                    .expect("instrumentable");
+                provider
+                    .verify_evidence(&instr_bytes, &evidence)
+                    .expect("evidence ok");
                 let v = &volunteers[ti % volunteers.len()];
-                let outcome =
-                    v.run_attested(authority, &instr_bytes, &evidence, task.id);
+                let outcome = v.run_attested(authority, &instr_bytes, &evidence, task.id);
                 match outcome {
                     Ok((outcome, executed)) => {
                         if executed {
@@ -169,8 +173,7 @@ pub fn run_campaign(
                                 }
                                 let credit = outcome.log.log.weighted_instructions;
                                 *report.credit.get_mut(&v.name).expect("known") += credit;
-                                *report.deserved_credit.get_mut(&v.name).expect("known") +=
-                                    credit;
+                                *report.deserved_credit.get_mut(&v.name).expect("known") += credit;
                             }
                             Err(_) => {
                                 report.rejected_submissions += 1;
@@ -178,10 +181,7 @@ pub fn run_campaign(
                                 if executed {
                                     // Work was done but the submission
                                     // was tampered: deserved, not paid.
-                                    *report
-                                        .deserved_credit
-                                        .get_mut(&v.name)
-                                        .expect("known") +=
+                                    *report.deserved_credit.get_mut(&v.name).expect("known") +=
                                         outcome.log.log.weighted_instructions / 10;
                                 }
                             }
@@ -213,7 +213,12 @@ fn honest_claim(c: &crate::parties::Claim) -> u64 {
 pub fn standard_environment(
     n_volunteers: usize,
     cheater_every: usize,
-) -> (AttestationAuthority, InstrumentationEnclave, WorkloadProvider, Vec<Volunteer>) {
+) -> (
+    AttestationAuthority,
+    InstrumentationEnclave,
+    WorkloadProvider,
+    Vec<Volunteer>,
+) {
     let authority = AttestationAuthority::new(77);
     let server_platform = Platform::new("project-server", 1);
     let qe = authority.provision(&server_platform);
@@ -262,7 +267,13 @@ mod tests {
     use super::*;
 
     fn tasks(n: usize) -> Vec<Task> {
-        (0..n).map(|i| Task { id: i as u64, seed: i as u64 + 1, count: 2 }).collect()
+        (0..n)
+            .map(|i| Task {
+                id: i as u64,
+                seed: i as u64 + 1,
+                count: 2,
+            })
+            .collect()
     }
 
     #[test]
@@ -279,7 +290,14 @@ mod tests {
         );
         assert_eq!(r.executions, 12, "each task executed twice");
         assert_eq!(r.correct_accepted, 6);
-        let a = run_campaign(&t, &volunteers, ServerMode::AccTee, &authority, &ie, &provider);
+        let a = run_campaign(
+            &t,
+            &volunteers,
+            ServerMode::AccTee,
+            &authority,
+            &ie,
+            &provider,
+        );
         assert_eq!(a.executions, 6, "AccTEE executes once per task");
         assert_eq!(a.correct_accepted, 6);
     }
@@ -288,7 +306,14 @@ mod tests {
     fn acctee_rejects_all_cheating() {
         let (authority, ie, provider, volunteers) = standard_environment(6, 2);
         let t = tasks(12);
-        let r = run_campaign(&t, &volunteers, ServerMode::AccTee, &authority, &ie, &provider);
+        let r = run_campaign(
+            &t,
+            &volunteers,
+            ServerMode::AccTee,
+            &authority,
+            &ie,
+            &provider,
+        );
         assert_eq!(r.wrong_accepted, 0, "no forged result is ever accepted");
         assert!(r.rejected_submissions > 0, "cheaters were caught");
         assert!(r.overcredit_fraction() < 1e-9, "no cheater got credit");
@@ -337,9 +362,12 @@ mod tests {
     #[test]
     fn colluding_bogus_majority_defeats_redundancy() {
         // A pool where both replicas of some task are bogus colluders.
-        let (authority, ie, provider, _):
-            (AttestationAuthority, InstrumentationEnclave, WorkloadProvider, Vec<Volunteer>) =
-            standard_environment(0, 0);
+        let (authority, ie, provider, _): (
+            AttestationAuthority,
+            InstrumentationEnclave,
+            WorkloadProvider,
+            Vec<Volunteer>,
+        ) = standard_environment(0, 0);
         let weights = WeightTable::uniform();
         let volunteers: Vec<Volunteer> = (0..2)
             .map(|i| {

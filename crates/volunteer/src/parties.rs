@@ -64,9 +64,19 @@ impl Volunteer {
             None
         } else {
             let qe = authority.provision(&platform);
-            Some(AccountingEnclave::launch(&platform, qe, weights, expected_ie))
+            Some(AccountingEnclave::launch(
+                &platform,
+                qe,
+                weights,
+                expected_ie,
+            ))
         };
-        Volunteer { name: name.to_string(), kind, platform: platform.clone(), ae }
+        Volunteer {
+            name: name.to_string(),
+            kind,
+            platform: platform.clone(),
+            ae,
+        }
     }
 
     /// Redundancy-mode execution: returns an unverifiable [`Claim`].
@@ -84,8 +94,7 @@ impl Volunteer {
             }),
             VolunteerKind::Honest | VolunteerKind::InflatedCredit => {
                 let module = decode_module(module_bytes).map_err(|e| e.to_string())?;
-                let mut inst =
-                    Instance::new(&module, Imports::new()).map_err(|e| e.to_string())?;
+                let mut inst = Instance::new(&module, Imports::new()).map_err(|e| e.to_string())?;
                 let out = inst.invoke("run", &[]).map_err(|e| e.to_string())?;
                 let result = out[0].as_i64();
                 let actual = inst.stats().instructions;
@@ -93,7 +102,11 @@ impl Volunteer {
                     VolunteerKind::InflatedCredit => actual * 10,
                     _ => actual,
                 };
-                Ok(Claim { result, claimed_credit, actually_executed: true })
+                Ok(Claim {
+                    result,
+                    claimed_credit,
+                    actually_executed: true,
+                })
             }
         }
     }
@@ -165,8 +178,7 @@ mod tests {
         let authority = AttestationAuthority::new(5);
         let p = SgxPlatform::new("project-server", 1);
         let qe = authority.provision(&p);
-        let ie =
-            acctee::InstrumentationEnclave::launch(&p, qe, WeightTable::uniform());
+        let ie = acctee::InstrumentationEnclave::launch(&p, qe, WeightTable::uniform());
         (authority, ie)
     }
 

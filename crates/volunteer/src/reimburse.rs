@@ -106,11 +106,10 @@ mod tests {
     use acctee::{Deployment, Level};
     use acctee_wasm::encode::encode_module;
 
-    fn deployment_and_log(
-        dep: &mut Deployment,
-    ) -> (Vec<u8>, acctee::InstrumentationEvidence) {
+    fn deployment_and_log(dep: &mut Deployment) -> (Vec<u8>, acctee::InstrumentationEvidence) {
         let bytes = encode_module(&acctee_workloads::subsetsum::subsetsum_module(8, 4));
-        dep.instrument(&bytes, Level::LoopBased).expect("instrument")
+        dep.instrument(&bytes, Level::LoopBased)
+            .expect("instrument")
     }
 
     #[test]
@@ -119,7 +118,9 @@ mod tests {
         let (b, e) = deployment_and_log(&mut dep);
         let outcome = dep.execute(&b, &e, "run", &[], b"").expect("execute");
         let mut escrow = Escrow::new(1 << 40, 2);
-        let paid = escrow.release(dep.workload_provider(), "worker-1", &outcome.log).unwrap();
+        let paid = escrow
+            .release(dep.workload_provider(), "worker-1", &outcome.log)
+            .unwrap();
         assert_eq!(paid, u128::from(outcome.log.log.weighted_instructions) * 2);
         assert_eq!(escrow.balance("worker-1"), paid);
         // Replay is refused.
@@ -158,7 +159,9 @@ mod tests {
         );
         // And the failed attempt does not mark the session as paid.
         let mut bigger = Escrow::new(1 << 40, 1);
-        assert!(bigger.release(dep.workload_provider(), "worker-1", &outcome.log).is_ok());
+        assert!(bigger
+            .release(dep.workload_provider(), "worker-1", &outcome.log)
+            .is_ok());
     }
 
     #[test]
@@ -169,8 +172,12 @@ mod tests {
         let o2 = dep.execute(&b, &e, "run", &[], b"").expect("execute");
         assert_ne!(o1.log.log.session_id, o2.log.log.session_id);
         let mut escrow = Escrow::new(1 << 40, 1);
-        escrow.release(dep.workload_provider(), "w", &o1.log).unwrap();
-        escrow.release(dep.workload_provider(), "w", &o2.log).unwrap();
+        escrow
+            .release(dep.workload_provider(), "w", &o1.log)
+            .unwrap();
+        escrow
+            .release(dep.workload_provider(), "w", &o2.log)
+            .unwrap();
         assert_eq!(
             escrow.balance("w"),
             u128::from(o1.log.log.weighted_instructions)

@@ -11,9 +11,7 @@
 //! shape the paper's loop-based instrumentation optimisation targets.
 
 use crate::instr::{BlockType, ConstExpr, Instr, MemArg};
-use crate::module::{
-    Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module,
-};
+use crate::module::{Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module};
 use crate::op::{LoadOp, NumOp, StoreOp};
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
@@ -42,17 +40,22 @@ impl ModuleBuilder {
     /// exports it as `"memory"`.
     pub fn memory(&mut self, min_pages: u32, max_pages: Option<u32>) -> &mut Self {
         assert!(self.module.memories.is_empty(), "memory already declared");
-        self.module.memories.push(MemoryType { limits: Limits::new(min_pages, max_pages) });
-        self.module
-            .exports
-            .push(Export { name: "memory".into(), kind: ExportKind::Memory(0) });
+        self.module.memories.push(MemoryType {
+            limits: Limits::new(min_pages, max_pages),
+        });
+        self.module.exports.push(Export {
+            name: "memory".into(),
+            kind: ExportKind::Memory(0),
+        });
         self
     }
 
     /// Declares a function table with `min` elements.
     pub fn table(&mut self, min: u32, max: Option<u32>) -> &mut Self {
         assert!(self.module.tables.is_empty(), "table already declared");
-        self.module.tables.push(TableType { limits: Limits::new(min, max) });
+        self.module.tables.push(TableType {
+            limits: Limits::new(min, max),
+        });
         self
     }
 
@@ -86,7 +89,11 @@ impl ModuleBuilder {
     /// Defines a named mutable/immutable global, returning its index.
     pub fn global(&mut self, name: &str, ty: GlobalType, init: ConstExpr) -> u32 {
         let idx = self.module.num_globals();
-        self.module.globals.push(Global { ty, init, name: Some(name.into()) });
+        self.module.globals.push(Global {
+            ty,
+            init,
+            name: Some(name.into()),
+        });
         idx
     }
 
@@ -120,13 +127,19 @@ impl ModuleBuilder {
 
     /// Exports function `idx` under `name`.
     pub fn export_func(&mut self, name: &str, idx: u32) -> &mut Self {
-        self.module.exports.push(Export { name: name.into(), kind: ExportKind::Func(idx) });
+        self.module.exports.push(Export {
+            name: name.into(),
+            kind: ExportKind::Func(idx),
+        });
         self
     }
 
     /// Exports global `idx` under `name`.
     pub fn export_global(&mut self, name: &str, idx: u32) -> &mut Self {
-        self.module.exports.push(Export { name: name.into(), kind: ExportKind::Global(idx) });
+        self.module.exports.push(Export {
+            name: name.into(),
+            kind: ExportKind::Global(idx),
+        });
         self
     }
 
@@ -285,11 +298,23 @@ impl FuncBuilder {
 
     /// Emits a load with a static byte `offset`.
     pub fn load(&mut self, op: LoadOp, offset: u32) -> &mut Self {
-        self.emit(Instr::Load(op, MemArg { align: op.natural_align(), offset }))
+        self.emit(Instr::Load(
+            op,
+            MemArg {
+                align: op.natural_align(),
+                offset,
+            },
+        ))
     }
     /// Emits a store with a static byte `offset`.
     pub fn store(&mut self, op: StoreOp, offset: u32) -> &mut Self {
-        self.emit(Instr::Store(op, MemArg { align: op.natural_align(), offset }))
+        self.emit(Instr::Store(
+            op,
+            MemArg {
+                align: op.natural_align(),
+                offset,
+            },
+        ))
     }
     /// `f64.load` at static `offset`.
     pub fn f64_load(&mut self, offset: u32) -> &mut Self {
@@ -356,7 +381,11 @@ impl FuncBuilder {
     /// Emits an `if` (no else).
     pub fn if_(&mut self, ty: BlockType, then: impl FnOnce(&mut Self)) -> &mut Self {
         let t = self.nested(then);
-        self.emit(Instr::If { ty, then: t, els: Vec::new() })
+        self.emit(Instr::If {
+            ty,
+            then: t,
+            els: Vec::new(),
+        })
     }
 
     /// Emits an `if`/`else`.
@@ -368,7 +397,11 @@ impl FuncBuilder {
     ) -> &mut Self {
         let t = self.nested(then);
         let e = self.nested(els);
-        self.emit(Instr::If { ty, then: t, els: e })
+        self.emit(Instr::If {
+            ty,
+            then: t,
+            els: e,
+        })
     }
 
     fn emit_bound(&mut self, b: Bound) {
@@ -466,11 +499,7 @@ mod tests {
     fn builder_produces_valid_module() {
         let mut b = ModuleBuilder::new();
         b.memory(1, None);
-        let g = b.global(
-            "acc",
-            GlobalType::mutable(ValType::I64),
-            ConstExpr::I64(0),
-        );
+        let g = b.global("acc", GlobalType::mutable(ValType::I64), ConstExpr::I64(0));
         let f = b.func("sum", &[ValType::I32], &[ValType::I64], |f| {
             let i = f.local(ValType::I32);
             let acc = f.local(ValType::I64);

@@ -8,9 +8,7 @@
 use crate::error::{Error, Result};
 use crate::instr::{BlockType, ConstExpr, Instr, MemArg};
 use crate::leb::Reader;
-use crate::module::{
-    Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module,
-};
+use crate::module::{Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module};
 use crate::op::{LoadOp, NumOp, StoreOp};
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, Mutability, TableType, ValType};
 
@@ -62,19 +60,27 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module> {
                     if rt != 0x70 {
                         return Err(Error::decode(s.pos(), "table element type must be funcref"));
                     }
-                    m.tables.push(TableType { limits: decode_limits(&mut s)? });
+                    m.tables.push(TableType {
+                        limits: decode_limits(&mut s)?,
+                    });
                 }
             }
             5 => {
                 for _ in 0..s.u32()? {
-                    m.memories.push(MemoryType { limits: decode_limits(&mut s)? });
+                    m.memories.push(MemoryType {
+                        limits: decode_limits(&mut s)?,
+                    });
                 }
             }
             6 => {
                 for _ in 0..s.u32()? {
                     let ty = decode_global_type(&mut s)?;
                     let init = decode_const_expr(&mut s)?;
-                    m.globals.push(Global { ty, init, name: None });
+                    m.globals.push(Global {
+                        ty,
+                        init,
+                        name: None,
+                    });
                 }
             }
             7 => {
@@ -102,7 +108,11 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module> {
                     for _ in 0..n {
                         funcs.push(s.u32()?);
                     }
-                    m.elems.push(Elem { table, offset, funcs });
+                    m.elems.push(Elem {
+                        table,
+                        offset,
+                        funcs,
+                    });
                 }
             }
             10 => {
@@ -122,7 +132,12 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module> {
                     if !c.is_empty() {
                         return Err(Error::decode(c.pos(), "trailing bytes in code entry"));
                     }
-                    m.funcs.push(Func { ty: *ty, locals, body, name: None });
+                    m.funcs.push(Func {
+                        ty: *ty,
+                        locals,
+                        body,
+                        name: None,
+                    });
                 }
             }
             11 => {
@@ -131,17 +146,27 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module> {
                     let offset = decode_const_expr(&mut s)?;
                     let n = s.u32()? as usize;
                     let bytes = s.take(n)?.to_vec();
-                    m.datas.push(Data { memory, offset, bytes });
+                    m.datas.push(Data {
+                        memory,
+                        offset,
+                        bytes,
+                    });
                 }
             }
             _ => return Err(Error::decode(r.pos(), format!("unknown section id {id}"))),
         }
         if id != 0 && !s.is_empty() {
-            return Err(Error::decode(s.pos(), format!("trailing bytes in section {id}")));
+            return Err(Error::decode(
+                s.pos(),
+                format!("trailing bytes in section {id}"),
+            ));
         }
     }
     if m.funcs.is_empty() && !func_type_indices.is_empty() {
-        return Err(Error::decode(bytes.len(), "function section without code section"));
+        return Err(Error::decode(
+            bytes.len(),
+            "function section without code section",
+        ));
     }
     Ok(m)
 }
@@ -209,8 +234,14 @@ fn decode_valtype(s: &mut Reader) -> Result<ValType> {
 
 fn decode_limits(s: &mut Reader) -> Result<Limits> {
     match s.byte()? {
-        0x00 => Ok(Limits { min: s.u32()?, max: None }),
-        0x01 => Ok(Limits { min: s.u32()?, max: Some(s.u32()?) }),
+        0x00 => Ok(Limits {
+            min: s.u32()?,
+            max: None,
+        }),
+        0x01 => Ok(Limits {
+            min: s.u32()?,
+            max: Some(s.u32()?),
+        }),
         _ => Err(Error::decode(s.pos(), "bad limits flag")),
     }
 }
@@ -234,9 +265,13 @@ fn decode_import(s: &mut Reader) -> Result<Import> {
             if s.byte()? != 0x70 {
                 return Err(Error::decode(s.pos(), "table element type must be funcref"));
             }
-            ImportKind::Table(TableType { limits: decode_limits(s)? })
+            ImportKind::Table(TableType {
+                limits: decode_limits(s)?,
+            })
         }
-        0x02 => ImportKind::Memory(MemoryType { limits: decode_limits(s)? }),
+        0x02 => ImportKind::Memory(MemoryType {
+            limits: decode_limits(s)?,
+        }),
         0x03 => ImportKind::Global(decode_global_type(s)?),
         _ => return Err(Error::decode(s.pos(), "bad import kind")),
     };
@@ -250,7 +285,12 @@ fn decode_const_expr(s: &mut Reader) -> Result<ConstExpr> {
         0x43 => ConstExpr::F32(s.f32()?),
         0x44 => ConstExpr::F64(s.f64()?),
         0x23 => ConstExpr::GlobalGet(s.u32()?),
-        b => return Err(Error::decode(s.pos(), format!("bad const expr opcode 0x{b:02x}"))),
+        b => {
+            return Err(Error::decode(
+                s.pos(),
+                format!("bad const expr opcode 0x{b:02x}"),
+            ))
+        }
     };
     if s.byte()? != 0x0b {
         return Err(Error::decode(s.pos(), "const expr must end with `end`"));
@@ -349,7 +389,10 @@ fn decode_seq(s: &mut Reader, depth: usize) -> Result<(Vec<Instr>, SeqEnd)> {
                 for _ in 0..n {
                     targets.push(s.u32()?);
                 }
-                Instr::BrTable { targets, default: s.u32()? }
+                Instr::BrTable {
+                    targets,
+                    default: s.u32()?,
+                }
             }
             0x0f => Instr::Return,
             0x10 => Instr::Call(s.u32()?),
@@ -397,9 +440,7 @@ fn decode_seq(s: &mut Reader, depth: usize) -> Result<(Vec<Instr>, SeqEnd)> {
             0x44 => Instr::F64Const(s.f64()?),
             _ => match NumOp::from_opcode(op) {
                 Some(n) => Instr::Num(n),
-                None => {
-                    return Err(Error::decode(s.pos(), format!("unknown opcode 0x{op:02x}")))
-                }
+                None => return Err(Error::decode(s.pos(), format!("unknown opcode 0x{op:02x}"))),
             },
         };
         out.push(i);
@@ -443,8 +484,12 @@ mod tests {
             name: "io_write".into(),
             kind: ImportKind::Func(t),
         });
-        m.memories.push(MemoryType { limits: Limits::new(1, Some(16)) });
-        m.tables.push(TableType { limits: Limits::new(2, None) });
+        m.memories.push(MemoryType {
+            limits: Limits::new(1, Some(16)),
+        });
+        m.tables.push(TableType {
+            limits: Limits::new(2, None),
+        });
         m.globals.push(Global {
             ty: GlobalType::mutable(ValType::I64),
             init: ConstExpr::I64(-7),
@@ -468,18 +513,38 @@ mod tests {
                 },
                 Instr::Loop {
                     ty: BlockType::Empty,
-                    body: vec![Instr::BrTable { targets: vec![0, 1], default: 0 }],
+                    body: vec![Instr::BrTable {
+                        targets: vec![0, 1],
+                        default: 0,
+                    }],
                 },
-                Instr::Load(LoadOp::I32Load8U, MemArg { align: 0, offset: 4 }),
+                Instr::Load(
+                    LoadOp::I32Load8U,
+                    MemArg {
+                        align: 0,
+                        offset: 4,
+                    },
+                ),
                 Instr::Num(NumOp::I32Add),
                 Instr::F64Const(3.5),
                 Instr::Drop,
             ],
             name: Some("body".into()),
         });
-        m.exports.push(Export { name: "body".into(), kind: ExportKind::Func(1) });
-        m.elems.push(Elem { table: 0, offset: ConstExpr::I32(0), funcs: vec![1] });
-        m.datas.push(Data { memory: 0, offset: ConstExpr::I32(8), bytes: vec![1, 2, 3] });
+        m.exports.push(Export {
+            name: "body".into(),
+            kind: ExportKind::Func(1),
+        });
+        m.elems.push(Elem {
+            table: 0,
+            offset: ConstExpr::I32(0),
+            funcs: vec![1],
+        });
+        m.datas.push(Data {
+            memory: 0,
+            offset: ConstExpr::I32(8),
+            bytes: vec![1, 2, 3],
+        });
         let bytes = encode_module(&m);
         let back = decode_module(&bytes).unwrap();
         assert_eq!(back, m);
@@ -489,7 +554,12 @@ mod tests {
     fn rejects_unknown_opcode() {
         let mut m = Module::new();
         let t = m.intern_type(FuncType::default());
-        m.funcs.push(Func { ty: t, locals: vec![], body: vec![], name: None });
+        m.funcs.push(Func {
+            ty: t,
+            locals: vec![],
+            body: vec![],
+            name: None,
+        });
         let mut bytes = encode_module(&m);
         // Patch the body: replace the final `end` (0x0b) of the code
         // entry with an invalid opcode followed by end.

@@ -448,11 +448,14 @@ mod tests {
     #[test]
     fn if_without_else_omits_else_opcode() {
         let mut out = Vec::new();
-        instr(&mut out, &Instr::If {
-            ty: BlockType::Empty,
-            then: vec![Instr::Nop],
-            els: vec![],
-        });
+        instr(
+            &mut out,
+            &Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Nop],
+                els: vec![],
+            },
+        );
         assert_eq!(out, vec![0x04, 0x40, 0x01, 0x0b]);
     }
 }

@@ -30,11 +30,18 @@ pub enum Error {
 
 impl Error {
     pub(crate) fn decode(offset: usize, msg: impl Into<String>) -> Error {
-        Error::Decode { offset, msg: msg.into() }
+        Error::Decode {
+            offset,
+            msg: msg.into(),
+        }
     }
 
     pub(crate) fn parse(line: usize, col: usize, msg: impl Into<String>) -> Error {
-        Error::Parse { line, col, msg: msg.into() }
+        Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
     }
 
     pub(crate) fn validate(msg: impl Into<String>) -> Error {

@@ -222,11 +222,14 @@ mod tests {
             Instr::I32Const(1),
             Instr::Block {
                 ty: BlockType::Empty,
-                body: vec![Instr::Nop, Instr::If {
-                    ty: BlockType::Empty,
-                    then: vec![Instr::Nop],
-                    els: vec![Instr::Nop, Instr::Nop],
-                }],
+                body: vec![
+                    Instr::Nop,
+                    Instr::If {
+                        ty: BlockType::Empty,
+                        then: vec![Instr::Nop],
+                        els: vec![Instr::Nop, Instr::Nop],
+                    },
+                ],
             },
         ];
         // 1 const + 1 block + 1 nop + 1 if + 1 + 2 nops = 7

@@ -89,7 +89,10 @@ impl<'a> Reader<'a> {
     /// Reads exactly `n` bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(Error::decode(self.pos, format!("need {n} bytes, have {}", self.remaining())));
+            return Err(Error::decode(
+                self.pos,
+                format!("need {n} bytes, have {}", self.remaining()),
+            ));
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -175,7 +178,9 @@ impl<'a> Reader<'a> {
     /// Reads a little-endian `f64`.
     pub fn f64(&mut self) -> Result<f64> {
         let b = self.take(8)?;
-        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Reads a length-prefixed UTF-8 name.
@@ -213,7 +218,20 @@ mod tests {
 
     #[test]
     fn i64_round_trips() {
-        for v in [0, 1, -1, 63, 64, -64, -65, 127, 128, i64::MAX, i64::MIN, -123456789] {
+        for v in [
+            0,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            127,
+            128,
+            i64::MAX,
+            i64::MIN,
+            -123456789,
+        ] {
             rt_i64(v);
         }
     }

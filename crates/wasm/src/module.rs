@@ -141,12 +141,18 @@ impl Module {
 
     /// Number of imported functions.
     pub fn num_imported_funcs(&self) -> u32 {
-        self.imports.iter().filter(|i| matches!(i.kind, ImportKind::Func(_))).count() as u32
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Func(_)))
+            .count() as u32
     }
 
     /// Number of imported globals.
     pub fn num_imported_globals(&self) -> u32 {
-        self.imports.iter().filter(|i| matches!(i.kind, ImportKind::Global(_))).count() as u32
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Global(_)))
+            .count() as u32
     }
 
     /// Total number of functions (imported + local).
@@ -263,7 +269,12 @@ mod tests {
             name: "g".into(),
             kind: ImportKind::Global(GlobalType::immutable(ValType::I32)),
         });
-        m.funcs.push(Func { ty: t1, locals: vec![], body: vec![], name: Some("f".into()) });
+        m.funcs.push(Func {
+            ty: t1,
+            locals: vec![],
+            body: vec![],
+            name: Some("f".into()),
+        });
         m.globals.push(Global {
             ty: GlobalType::mutable(ValType::I64),
             init: ConstExpr::I64(0),
@@ -289,13 +300,20 @@ mod tests {
     #[test]
     fn memory_prefers_import() {
         let mut m = Module::new();
-        m.memories.push(MemoryType { limits: Limits::new(2, None) });
-        assert_eq!(m.memory().unwrap().limits.min, 2);
-        m.imports.insert(0, Import {
-            module: "env".into(),
-            name: "mem".into(),
-            kind: ImportKind::Memory(MemoryType { limits: Limits::new(7, None) }),
+        m.memories.push(MemoryType {
+            limits: Limits::new(2, None),
         });
+        assert_eq!(m.memory().unwrap().limits.min, 2);
+        m.imports.insert(
+            0,
+            Import {
+                module: "env".into(),
+                name: "mem".into(),
+                kind: ImportKind::Memory(MemoryType {
+                    limits: Limits::new(7, None),
+                }),
+            },
+        );
         assert_eq!(m.memory().unwrap().limits.min, 7);
     }
 }

@@ -82,11 +82,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
             }
             b'(' => {
-                out.push(Token { tok: Tok::LParen, line, col });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    line,
+                    col,
+                });
                 bump!();
             }
             b')' => {
-                out.push(Token { tok: Tok::RParen, line, col });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    line,
+                    col,
+                });
                 bump!();
             }
             b'"' => {
@@ -141,7 +149,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), line: sl, col: sc });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: sl,
+                    col: sc,
+                });
             }
             b'$' => {
                 let (sl, sc) = (line, col);
@@ -172,7 +184,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 });
             }
             _ => {
-                return Err(Error::parse(line, col, format!("unexpected character {:?}", c as char)))
+                return Err(Error::parse(
+                    line,
+                    col,
+                    format!("unexpected character {:?}", c as char),
+                ))
             }
         }
     }
@@ -183,8 +199,27 @@ fn is_idchar(c: u8) -> bool {
     c.is_ascii_alphanumeric()
         || matches!(
             c,
-            b'!' | b'#' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' | b'/' | b':'
-                | b'<' | b'=' | b'>' | b'?' | b'@' | b'\\' | b'^' | b'_' | b'`' | b'|' | b'~'
+            b'!' | b'#'
+                | b'%'
+                | b'&'
+                | b'\''
+                | b'*'
+                | b'+'
+                | b'-'
+                | b'.'
+                | b'/'
+                | b':'
+                | b'<'
+                | b'='
+                | b'>'
+                | b'?'
+                | b'@'
+                | b'\\'
+                | b'^'
+                | b'_'
+                | b'`'
+                | b'|'
+                | b'~'
         )
 }
 

@@ -74,10 +74,9 @@ mod tests {
 
     #[test]
     fn folded_plain_instructions() {
-        let m = parse_module(
-            "(module (func $f (result i32) (i32.add (i32.const 1) (i32.const 2))))",
-        )
-        .unwrap();
+        let m =
+            parse_module("(module (func $f (result i32) (i32.add (i32.const 1) (i32.const 2))))")
+                .unwrap();
         validate_module(&m).unwrap();
         assert_eq!(m.funcs[0].body.len(), 3);
     }

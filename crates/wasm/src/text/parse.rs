@@ -6,9 +6,7 @@ use std::collections::HashMap;
 use super::lex::{lex, Tok, Token};
 use crate::error::{Error, Result};
 use crate::instr::{BlockType, ConstExpr, Instr, MemArg};
-use crate::module::{
-    Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module,
-};
+use crate::module::{Data, Elem, Export, ExportKind, Func, Global, Import, ImportKind, Module};
 use crate::op::{LoadOp, NumOp, StoreOp};
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
@@ -24,7 +22,9 @@ pub(crate) enum SExpr {
 impl SExpr {
     fn pos(&self) -> (usize, usize) {
         match self {
-            SExpr::List(_, l, c) | SExpr::Atom(_, l, c) | SExpr::Id(_, l, c)
+            SExpr::List(_, l, c)
+            | SExpr::Atom(_, l, c)
+            | SExpr::Id(_, l, c)
             | SExpr::Str(_, l, c) => (*l, *c),
         }
     }
@@ -84,7 +84,9 @@ fn build_one(tokens: &[Token], pos: usize) -> Result<(SExpr, usize)> {
             let mut p = pos + 1;
             loop {
                 match tokens.get(p) {
-                    Some(Token { tok: Tok::RParen, .. }) => {
+                    Some(Token {
+                        tok: Tok::RParen, ..
+                    }) => {
                         return Ok((SExpr::List(items, t.line, t.col), p + 1));
                     }
                     Some(_) => {
@@ -244,7 +246,8 @@ fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
             let ty = parse_global_type(l.get(i).ok_or_else(|| f.err("global needs a type"))?)?;
             i += 1;
             let init = parse_const_expr(
-                l.get(i).ok_or_else(|| f.err("global needs an initialiser"))?,
+                l.get(i)
+                    .ok_or_else(|| f.err("global needs an initialiser"))?,
                 names,
             )?;
             m.globals.push(Global { ty, init, name });
@@ -270,7 +273,9 @@ fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
                 }
                 "memory" => {
                     let dl = desc.as_list()?;
-                    ImportKind::Memory(MemoryType { limits: parse_limits(&dl[1..], desc)? })
+                    ImportKind::Memory(MemoryType {
+                        limits: parse_limits(&dl[1..], desc)?,
+                    })
                 }
                 "table" => {
                     let dl = desc.as_list()?;
@@ -290,9 +295,14 @@ fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
                 }
                 "global" => {
                     let dl = desc.as_list()?;
-                    let idx = if matches!(dl.get(1), Some(SExpr::Id(_, _, _))) { 2 } else { 1 };
+                    let idx = if matches!(dl.get(1), Some(SExpr::Id(_, _, _))) {
+                        2
+                    } else {
+                        1
+                    };
                     ImportKind::Global(parse_global_type(
-                        dl.get(idx).ok_or_else(|| desc.err("global import needs type"))?,
+                        dl.get(idx)
+                            .ok_or_else(|| desc.err("global import needs type"))?,
                     )?)
                 }
                 other => return Err(desc.err(format!("unsupported import kind {other}"))),
@@ -307,7 +317,9 @@ fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
             };
             let desc = &l[2];
             let dl = desc.as_list()?;
-            let idx_expr = dl.get(1).ok_or_else(|| desc.err("export descriptor needs index"))?;
+            let idx_expr = dl
+                .get(1)
+                .ok_or_else(|| desc.err("export descriptor needs index"))?;
             let kind = match desc.head()? {
                 "func" => ExportKind::Func(resolve_idx(idx_expr, &names.funcs)?),
                 "global" => ExportKind::Global(resolve_idx(idx_expr, &names.globals)?),
@@ -331,7 +343,11 @@ fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
                     _ => return Err(e.err("data segment expects strings")),
                 }
             }
-            m.datas.push(Data { memory: 0, offset, bytes });
+            m.datas.push(Data {
+                memory: 0,
+                offset,
+                bytes,
+            });
         }
         "elem" => {
             let l = f.as_list()?;
@@ -340,7 +356,11 @@ fn parse_field(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
             for e in &l[2..] {
                 funcs.push(resolve_idx(e, &names.funcs)?);
             }
-            m.elems.push(Elem { table: 0, offset, funcs });
+            m.elems.push(Elem {
+                table: 0,
+                offset,
+                funcs,
+            });
         }
         "type" => { /* explicit type declarations are interned on use */ }
         other => return Err(f.err(format!("unsupported module field {other}"))),
@@ -429,7 +449,9 @@ fn parse_global_type(e: &SExpr) -> Result<GlobalType> {
 fn parse_const_expr(e: &SExpr, names: &Names) -> Result<ConstExpr> {
     let l = e.as_list()?;
     let head = e.head()?;
-    let arg = l.get(1).ok_or_else(|| e.err("const expr needs an operand"))?;
+    let arg = l
+        .get(1)
+        .ok_or_else(|| e.err("const expr needs an operand"))?;
     match head {
         "i32.const" => Ok(ConstExpr::I32(parse_i32(atom(arg)?, arg)?)),
         "i64.const" => Ok(ConstExpr::I64(parse_i64(atom(arg)?, arg)?)),
@@ -526,7 +548,8 @@ fn parse_f64(s: &str, ctx: &SExpr) -> Result<f64> {
         let bits = u64::from_str_radix(hex, 16).map_err(|_| ctx.err("bad nan payload"))?;
         return Ok(f64::from_bits(0x7ff0_0000_0000_0000 | bits));
     }
-    t.parse::<f64>().map_err(|_| ctx.err(format!("bad float {s}")))
+    t.parse::<f64>()
+        .map_err(|_| ctx.err(format!("bad float {s}")))
 }
 
 // ---------------------------------------------------------------------
@@ -628,7 +651,11 @@ fn parse_func(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
         }
     }
 
-    let mut ctx = BodyCtx { names, locals: HashMap::new(), labels: Vec::new() };
+    let mut ctx = BodyCtx {
+        names,
+        locals: HashMap::new(),
+        labels: Vec::new(),
+    };
     for (idx, n) in param_names.iter().enumerate() {
         if let Some(n) = n {
             ctx.locals.insert(n.clone(), idx as u32);
@@ -649,9 +676,17 @@ fn parse_func(m: &mut Module, names: &Names, f: &SExpr) -> Result<()> {
 
     let ty = m.intern_type(FuncType { params, results });
     let idx = m.num_funcs();
-    m.funcs.push(Func { ty, locals, body, name });
+    m.funcs.push(Func {
+        ty,
+        locals,
+        body,
+        name,
+    });
     for e in inline_exports {
-        m.exports.push(Export { name: e, kind: ExportKind::Func(idx) });
+        m.exports.push(Export {
+            name: e,
+            kind: ExportKind::Func(idx),
+        });
     }
     Ok(())
 }
@@ -734,7 +769,11 @@ fn parse_instr(out: &mut Vec<Instr>, rest: &[SExpr], ctx: &mut BodyCtx) -> Resul
                     let instr = match kind.as_str() {
                         "block" => Instr::Block { ty, body },
                         "loop" => Instr::Loop { ty, body },
-                        _ => Instr::If { ty, then: body, els },
+                        _ => Instr::If {
+                            ty,
+                            then: body,
+                            els,
+                        },
                     };
                     out.push(instr);
                     Ok(used)
@@ -756,8 +795,7 @@ fn parse_instr(out: &mut Vec<Instr>, rest: &[SExpr], ctx: &mut BodyCtx) -> Resul
 fn immediate_count(a: &str, following: &[SExpr]) -> usize {
     match a {
         "br" | "br_if" | "call" | "call_indirect" | "local.get" | "local.set" | "local.tee"
-        | "global.get" | "global.set" | "i32.const" | "i64.const" | "f32.const"
-        | "f64.const" => 1,
+        | "global.get" | "global.set" | "i32.const" | "i64.const" | "f32.const" | "f64.const" => 1,
         "br_table" => {
             // all following atoms/ids that look like labels (numbers or
             // `$`-names); stops at keywords like `end`
@@ -770,15 +808,13 @@ fn immediate_count(a: &str, following: &[SExpr]) -> usize {
                 })
                 .count()
         }
-        _ if LoadOp::from_mnemonic(a).is_some() || StoreOp::from_mnemonic(a).is_some() => {
-            following
-                .iter()
-                .take_while(|e| {
-                    matches!(e, SExpr::Atom(s, _, _)
+        _ if LoadOp::from_mnemonic(a).is_some() || StoreOp::from_mnemonic(a).is_some() => following
+            .iter()
+            .take_while(|e| {
+                matches!(e, SExpr::Atom(s, _, _)
                         if s.starts_with("offset=") || s.starts_with("align="))
-                })
-                .count()
-        }
+            })
+            .count(),
         _ => 0,
     }
 }
@@ -805,7 +841,10 @@ fn emit_flat(
                 all.push(ctx.resolve_label(e)?);
             }
             let default = all.pop().expect("non-empty");
-            Instr::BrTable { targets: all, default }
+            Instr::BrTable {
+                targets: all,
+                default,
+            }
         }
         "return" => Instr::Return,
         "call" => Instr::Call(resolve_idx(req(imm0, ctx_e)?, &ctx.names.funcs)?),
@@ -849,7 +888,10 @@ fn req<'a>(e: Option<&'a SExpr>, ctx: &SExpr) -> Result<&'a SExpr> {
 }
 
 fn parse_memarg(imms: &[SExpr], natural_align: u32, ctx: &SExpr) -> Result<MemArg> {
-    let mut m = MemArg { align: natural_align, offset: 0 };
+    let mut m = MemArg {
+        align: natural_align,
+        offset: 0,
+    };
     for e in imms {
         let a = atom(e)?;
         if let Some(v) = a.strip_prefix("offset=") {
@@ -928,8 +970,8 @@ mod tests {
 
     #[test]
     fn inline_export_sugar() {
-        let m = parse_module(r#"(module (func $f (export "go") (result i32) i32.const 1))"#)
-            .unwrap();
+        let m =
+            parse_module(r#"(module (func $f (export "go") (result i32) i32.const 1))"#).unwrap();
         assert_eq!(m.exported_func("go"), Some(0));
     }
 

@@ -147,12 +147,20 @@ fn float_string(v: f64) -> String {
         let bits = v.to_bits() & 0x000f_ffff_ffff_ffff;
         // The canonical quiet NaN payload prints as plain `nan`.
         if bits == 0 || bits == 0x0008_0000_0000_0000 {
-            if v.is_sign_negative() { "-nan".into() } else { "nan".into() }
+            if v.is_sign_negative() {
+                "-nan".into()
+            } else {
+                "nan".into()
+            }
         } else {
             format!("nan:0x{bits:x}")
         }
     } else if v.is_infinite() {
-        if v > 0.0 { "inf".into() } else { "-inf".into() }
+        if v > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        }
     } else if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}")
     } else {
@@ -285,7 +293,16 @@ mod tests {
 
     #[test]
     fn float_strings_round_trip() {
-        for v in [0.0, -0.0, 1.5, -2.25, 1e300, f64::INFINITY, f64::NEG_INFINITY, 0.1] {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -2.25,
+            1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.1,
+        ] {
             let s = float_string(v);
             let parsed: f64 = match s.as_str() {
                 "inf" => f64::INFINITY,

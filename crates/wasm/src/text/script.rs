@@ -72,7 +72,9 @@ pub fn parse_script(src: &str) -> Result<Vec<Directive>> {
             "assert_invalid" => {
                 let items = form.as_list()?;
                 let module = parse_module_sexpr(
-                    items.get(1).ok_or_else(|| Error::parse(0, 0, "assert_invalid needs a module"))?,
+                    items
+                        .get(1)
+                        .ok_or_else(|| Error::parse(0, 0, "assert_invalid needs a module"))?,
                 )?;
                 let msg = items.get(2).and_then(|e| e.as_string()).unwrap_or_default();
                 out.push(Directive::AssertInvalid(module, msg));
@@ -81,9 +83,7 @@ pub fn parse_script(src: &str) -> Result<Vec<Directive>> {
                 let (invoke, _) = parse_invoke_direct(&form)?;
                 out.push(Directive::Invoke(invoke));
             }
-            other => {
-                return Err(Error::parse(0, 0, format!("unsupported directive {other}")))
-            }
+            other => return Err(Error::parse(0, 0, format!("unsupported directive {other}"))),
         }
     }
     Ok(out)

@@ -90,7 +90,10 @@ pub struct FuncType {
 impl FuncType {
     /// Creates a function type from parameter and result slices.
     pub fn new(params: &[ValType], results: &[ValType]) -> FuncType {
-        FuncType { params: params.to_vec(), results: results.to_vec() }
+        FuncType {
+            params: params.to_vec(),
+            results: results.to_vec(),
+        }
     }
 }
 
@@ -177,12 +180,18 @@ pub struct GlobalType {
 impl GlobalType {
     /// An immutable global of type `val`.
     pub fn immutable(val: ValType) -> GlobalType {
-        GlobalType { val, mutability: Mutability::Const }
+        GlobalType {
+            val,
+            mutability: Mutability::Const,
+        }
     }
 
     /// A mutable global of type `val`.
     pub fn mutable(val: ValType) -> GlobalType {
-        GlobalType { val, mutability: Mutability::Var }
+        GlobalType {
+            val,
+            mutability: Mutability::Var,
+        }
     }
 }
 

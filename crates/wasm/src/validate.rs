@@ -314,7 +314,9 @@ pub fn validate_module(m: &Module) -> Result<()> {
     // Types: MVP allows at most one result.
     for (i, t) in m.types.iter().enumerate() {
         if t.results.len() > 1 {
-            return Err(Error::validate(format!("type {i}: multiple results not supported")));
+            return Err(Error::validate(format!(
+                "type {i}: multiple results not supported"
+            )));
         }
     }
     // Imports reference valid type indices.
@@ -329,13 +331,19 @@ pub fn validate_module(m: &Module) -> Result<()> {
         }
     }
     // At most one memory / table.
-    let imported_mems =
-        m.imports.iter().filter(|i| matches!(i.kind, ImportKind::Memory(_))).count();
+    let imported_mems = m
+        .imports
+        .iter()
+        .filter(|i| matches!(i.kind, ImportKind::Memory(_)))
+        .count();
     if imported_mems + m.memories.len() > 1 {
         return Err(Error::validate("multiple memories"));
     }
-    let imported_tables =
-        m.imports.iter().filter(|i| matches!(i.kind, ImportKind::Table(_))).count();
+    let imported_tables = m
+        .imports
+        .iter()
+        .filter(|i| matches!(i.kind, ImportKind::Table(_)))
+        .count();
     if imported_tables + m.tables.len() > 1 {
         return Err(Error::validate("multiple tables"));
     }
@@ -386,7 +394,12 @@ pub fn validate_module(m: &Module) -> Result<()> {
             .ok_or_else(|| Error::validate(format!("function {fi} has unknown type")))?;
         let mut locals = ty.params.clone();
         locals.extend_from_slice(&f.locals);
-        let mut v = FuncValidator { module: m, locals, stack: Vec::new(), frames: Vec::new() };
+        let mut v = FuncValidator {
+            module: m,
+            locals,
+            stack: Vec::new(),
+            frames: Vec::new(),
+        };
         v.push_frame(ty.results.clone(), ty.results.clone());
         v.body(&f.body).map_err(|e| {
             let name = f.name.as_deref().unwrap_or("<anon>");
@@ -410,7 +423,10 @@ pub fn validate_module(m: &Module) -> Result<()> {
     let mut seen = std::collections::HashSet::new();
     for e in &m.exports {
         if !seen.insert(e.name.as_str()) {
-            return Err(Error::validate(format!("duplicate export name {:?}", e.name)));
+            return Err(Error::validate(format!(
+                "duplicate export name {:?}",
+                e.name
+            )));
         }
         let ok = match e.kind {
             crate::module::ExportKind::Func(i) => i < m.num_funcs(),
@@ -419,16 +435,23 @@ pub fn validate_module(m: &Module) -> Result<()> {
             crate::module::ExportKind::Table(i) => i == 0 && m.table().is_some(),
         };
         if !ok {
-            return Err(Error::validate(format!("export {:?} index out of range", e.name)));
+            return Err(Error::validate(format!(
+                "export {:?} index out of range",
+                e.name
+            )));
         }
     }
     // Element segments.
     for (i, e) in m.elems.iter().enumerate() {
         if e.table != 0 || m.table().is_none() {
-            return Err(Error::validate(format!("element segment {i}: no such table")));
+            return Err(Error::validate(format!(
+                "element segment {i}: no such table"
+            )));
         }
         if !matches!(e.offset, ConstExpr::I32(_) | ConstExpr::GlobalGet(_)) {
-            return Err(Error::validate(format!("element segment {i}: offset must be i32")));
+            return Err(Error::validate(format!(
+                "element segment {i}: offset must be i32"
+            )));
         }
         for f in &e.funcs {
             if *f >= m.num_funcs() {
@@ -444,7 +467,9 @@ pub fn validate_module(m: &Module) -> Result<()> {
             return Err(Error::validate(format!("data segment {i}: no such memory")));
         }
         if !matches!(d.offset, ConstExpr::I32(_) | ConstExpr::GlobalGet(_)) {
-            return Err(Error::validate(format!("data segment {i}: offset must be i32")));
+            return Err(Error::validate(format!(
+                "data segment {i}: offset must be i32"
+            )));
         }
     }
     Ok(())
@@ -459,15 +484,18 @@ mod tests {
     use crate::types::FuncType;
     use crate::types::{GlobalType, Limits, MemoryType};
 
-    fn module_with_body(
-        params: &[ValType],
-        results: &[ValType],
-        body: Vec<Instr>,
-    ) -> Module {
+    fn module_with_body(params: &[ValType], results: &[ValType], body: Vec<Instr>) -> Module {
         let mut m = Module::new();
         let t = m.intern_type(FuncType::new(params, results));
-        m.memories.push(MemoryType { limits: Limits::new(1, None) });
-        m.funcs.push(Func { ty: t, locals: vec![], body, name: None });
+        m.memories.push(MemoryType {
+            limits: Limits::new(1, None),
+        });
+        m.funcs.push(Func {
+            ty: t,
+            locals: vec![],
+            body,
+            name: None,
+        });
         m
     }
 
@@ -476,7 +504,11 @@ mod tests {
         let m = module_with_body(
             &[ValType::I32, ValType::I32],
             &[ValType::I32],
-            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::Num(NumOp::I32Add)],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::Num(NumOp::I32Add),
+            ],
         );
         validate_module(&m).unwrap();
     }
@@ -486,7 +518,11 @@ mod tests {
         let m = module_with_body(
             &[],
             &[ValType::I32],
-            vec![Instr::I64Const(1), Instr::I32Const(2), Instr::Num(NumOp::I32Add)],
+            vec![
+                Instr::I64Const(1),
+                Instr::I32Const(2),
+                Instr::Num(NumOp::I32Add),
+            ],
         );
         assert!(validate_module(&m).is_err());
     }
@@ -517,10 +553,14 @@ mod tests {
     fn branch_depths_checked() {
         let m = module_with_body(&[], &[], vec![Instr::Br(1)]);
         assert!(validate_module(&m).is_err());
-        let ok = module_with_body(&[], &[], vec![Instr::Block {
-            ty: BlockType::Empty,
-            body: vec![Instr::Br(1)],
-        }]);
+        let ok = module_with_body(
+            &[],
+            &[],
+            vec![Instr::Block {
+                ty: BlockType::Empty,
+                body: vec![Instr::Br(1)],
+            }],
+        );
         validate_module(&ok).unwrap();
     }
 
@@ -528,10 +568,14 @@ mod tests {
     fn loop_label_has_no_types() {
         // br 0 inside a loop with a result type targets the loop header,
         // which takes no values.
-        let m = module_with_body(&[], &[ValType::I32], vec![Instr::Loop {
-            ty: BlockType::Value(ValType::I32),
-            body: vec![Instr::Br(0)],
-        }]);
+        let m = module_with_body(
+            &[],
+            &[ValType::I32],
+            vec![Instr::Loop {
+                ty: BlockType::Value(ValType::I32),
+                body: vec![Instr::Br(0)],
+            }],
+        );
         validate_module(&m).unwrap();
     }
 
@@ -553,11 +597,14 @@ mod tests {
         let m = module_with_body(
             &[ValType::I32],
             &[ValType::I32],
-            vec![Instr::LocalGet(0), Instr::If {
-                ty: BlockType::Value(ValType::I32),
-                then: vec![Instr::I32Const(1)],
-                els: vec![],
-            }],
+            vec![
+                Instr::LocalGet(0),
+                Instr::If {
+                    ty: BlockType::Value(ValType::I32),
+                    then: vec![Instr::I32Const(1)],
+                    els: vec![],
+                },
+            ],
         );
         assert!(validate_module(&m).is_err());
     }
@@ -592,10 +639,13 @@ mod tests {
             &[ValType::I32],
             vec![
                 Instr::I32Const(0),
-                Instr::Load(crate::op::LoadOp::I32Load, crate::instr::MemArg {
-                    align: 3,
-                    offset: 0,
-                }),
+                Instr::Load(
+                    crate::op::LoadOp::I32Load,
+                    crate::instr::MemArg {
+                        align: 3,
+                        offset: 0,
+                    },
+                ),
             ],
         );
         assert!(validate_module(&m).is_err());
@@ -604,25 +654,41 @@ mod tests {
     #[test]
     fn duplicate_export_names_rejected() {
         let mut m = module_with_body(&[], &[], vec![]);
-        m.exports.push(Export { name: "x".into(), kind: ExportKind::Func(0) });
-        m.exports.push(Export { name: "x".into(), kind: ExportKind::Memory(0) });
+        m.exports.push(Export {
+            name: "x".into(),
+            kind: ExportKind::Func(0),
+        });
+        m.exports.push(Export {
+            name: "x".into(),
+            kind: ExportKind::Memory(0),
+        });
         assert!(validate_module(&m).is_err());
     }
 
     #[test]
     fn br_table_validates_all_targets() {
-        let m = module_with_body(&[ValType::I32], &[], vec![Instr::Block {
-            ty: BlockType::Empty,
-            body: vec![Instr::Block {
-                ty: BlockType::Value(ValType::I32),
+        let m = module_with_body(
+            &[ValType::I32],
+            &[],
+            vec![Instr::Block {
+                ty: BlockType::Empty,
                 body: vec![
-                    Instr::I32Const(0),
-                    Instr::LocalGet(0),
-                    // depth 0 yields i32, depth 1 yields nothing: mismatch
-                    Instr::BrTable { targets: vec![0], default: 1 },
+                    Instr::Block {
+                        ty: BlockType::Value(ValType::I32),
+                        body: vec![
+                            Instr::I32Const(0),
+                            Instr::LocalGet(0),
+                            // depth 0 yields i32, depth 1 yields nothing: mismatch
+                            Instr::BrTable {
+                                targets: vec![0],
+                                default: 1,
+                            },
+                        ],
+                    },
+                    Instr::Drop,
                 ],
-            }, Instr::Drop],
-        }]);
+            }],
+        );
         assert!(validate_module(&m).is_err());
     }
 }

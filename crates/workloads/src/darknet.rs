@@ -59,8 +59,7 @@ pub fn darknet_module(s: usize) -> Module {
     let mut dense_bytes = Vec::new();
     for i in 0..dense_in {
         for c in 0..CLASSES {
-            dense_bytes
-                .extend_from_slice(&weight(2, (i * CLASSES + c) as u32).to_le_bytes());
+            dense_bytes.extend_from_slice(&weight(2, (i * CLASSES + c) as u32).to_le_bytes());
         }
     }
 
@@ -180,9 +179,7 @@ pub fn darknet_module(s: usize) -> Module {
         f.for_loop(fi, C(0), C(FILTERS as i32), |f| {
             f.for_loop(y, C(0), C(po), |f| {
                 f.for_loop(x, C(0), C(po), |f| {
-                    let conv_at = |f: &mut acctee_wasm::builder::FuncBuilder,
-                                   dy: i32,
-                                   dx: i32| {
+                    let conv_at = |f: &mut acctee_wasm::builder::FuncBuilder, dy: i32, dx: i32| {
                         f.local_get(fi);
                         f.i32_const(co);
                         f.i32_mul();
@@ -312,8 +309,7 @@ pub fn darknet_native(s: usize, variant: i32) -> f64 {
                 let mut t = 0.0;
                 for ky in 0..3 {
                     for kx in 0..3 {
-                        t += img[(y + ky) * s + x + kx]
-                            * weight(1, (fi * 9 + ky * 3 + kx) as u32);
+                        t += img[(y + ky) * s + x + kx] * weight(1, (fi * 9 + ky * 3 + kx) as u32);
                     }
                 }
                 conv[(fi * conv_out + y) * conv_out + x] = t.max(0.0);

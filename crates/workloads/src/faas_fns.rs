@@ -31,10 +31,18 @@ const INPUT_OFF: i32 = 1024;
 pub fn echo_module() -> Module {
     let mut b = ModuleBuilder::new();
     let input_len = b.import_func("env", "input_len", &[], &[ValType::I32]);
-    let read_input =
-        b.import_func("env", "read_input", &[ValType::I32, ValType::I32], &[ValType::I32]);
-    let write_output =
-        b.import_func("env", "write_output", &[ValType::I32, ValType::I32], &[ValType::I32]);
+    let read_input = b.import_func(
+        "env",
+        "read_input",
+        &[ValType::I32, ValType::I32],
+        &[ValType::I32],
+    );
+    let write_output = b.import_func(
+        "env",
+        "write_output",
+        &[ValType::I32, ValType::I32],
+        &[ValType::I32],
+    );
     b.memory(64, None);
     let f = b.func("main", &[], &[ValType::I32], |f| {
         let n = f.local(ValType::I32);
@@ -55,10 +63,18 @@ pub fn echo_module() -> Module {
 pub fn resize_module() -> Module {
     let mut b = ModuleBuilder::new();
     let input_len = b.import_func("env", "input_len", &[], &[ValType::I32]);
-    let read_input =
-        b.import_func("env", "read_input", &[ValType::I32, ValType::I32], &[ValType::I32]);
-    let write_output =
-        b.import_func("env", "write_output", &[ValType::I32, ValType::I32], &[ValType::I32]);
+    let read_input = b.import_func(
+        "env",
+        "read_input",
+        &[ValType::I32, ValType::I32],
+        &[ValType::I32],
+    );
+    let write_output = b.import_func(
+        "env",
+        "write_output",
+        &[ValType::I32, ValType::I32],
+        &[ValType::I32],
+    );
     // Up to 1024x1024x3 input + output + header: 4 MiB of memory.
     b.memory(64, None);
     let out_off: i32 = 64; // 64*64*3 = 12288 bytes fits before INPUT_OFF? No: place after input region.
@@ -435,13 +451,15 @@ mod tests {
     fn resize_js_matches_native() {
         let (w, h) = (16usize, 16usize);
         let img = test_image(w, h);
-        let input =
-            JsValue::array(img.iter().map(|b| JsValue::Num(f64::from(*b))).collect());
+        let input = JsValue::array(img.iter().map(|b| JsValue::Num(f64::from(*b))).collect());
         let out = acctee_script::eval_program(RESIZE_JS, &[("input", input)]).unwrap();
         let arr = out.as_array().unwrap();
         let native = resize_native(w, h, &img[8..]);
-        let js_bytes: Vec<u8> =
-            arr.borrow().iter().map(|v| v.as_num().unwrap() as u8).collect();
+        let js_bytes: Vec<u8> = arr
+            .borrow()
+            .iter()
+            .map(|v| v.as_num().unwrap() as u8)
+            .collect();
         assert_eq!(js_bytes, native);
     }
 

@@ -19,12 +19,18 @@ use acctee_wasm::Module;
 /// overflows a signed 64-bit multiply.
 pub fn semiprimes(count: usize, seed: u64) -> Vec<u64> {
     const PRIMES: &[u64] = &[8191, 12289, 16381, 17389, 24593, 28657, 32749];
-    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+    let mut x = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0xD1B54A32D192ED03);
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let p = PRIMES[(x >> 33) as usize % PRIMES.len()];
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let q = PRIMES[(x >> 33) as usize % PRIMES.len()];
         out.push(p * q);
     }

@@ -343,8 +343,7 @@ pub fn pc_native(vars: usize, samples: usize) -> f64 {
     let mut adj = vec![0.0; p * p];
     for i in 0..p {
         for j in 0..p {
-            adj[i * p + j] =
-                f64::from(u8::from(corr[i * p + j].abs() > THRESHOLD && i != j));
+            adj[i * p + j] = f64::from(u8::from(corr[i * p + j].abs() > THRESHOLD && i != j));
         }
     }
     for i in 0..p {
@@ -355,8 +354,7 @@ pub fn pc_native(vars: usize, samples: usize) -> f64 {
                         let rij = corr[i * p + j];
                         let rik = corr[i * p + k];
                         let rjk = corr[j * p + k];
-                        let pr = (rij - rik * rjk)
-                            / ((1.0 - rik * rik) * (1.0 - rjk * rjk)).sqrt();
+                        let pr = (rij - rik * rjk) / ((1.0 - rik * rik) * (1.0 - rjk * rjk)).sqrt();
                         if pr.abs() <= THRESHOLD {
                             adj[i * p + j] = 0.0;
                         }

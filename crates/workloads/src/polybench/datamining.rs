@@ -24,7 +24,9 @@ pub fn covariance_build(n: usize) -> Module {
         let nf = n as f64;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                data.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 1, m, f64::from(m)));
+                data.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 3, 1, m, f64::from(m))
+                });
             });
         });
         // mean[j] = Σ_i data[i][j] / n
@@ -142,7 +144,9 @@ pub fn correlation_build(n: usize) -> Module {
         let nf = n as f64;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                data.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m)));
+                data.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m))
+                });
             });
         });
         // mean

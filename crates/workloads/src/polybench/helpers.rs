@@ -85,7 +85,10 @@ impl Layout {
     pub fn mat(&mut self, rows: usize, cols: usize) -> Mat {
         let base = self.next;
         self.next += (rows * cols * 8) as u32;
-        Mat { base, cols: cols as i32 }
+        Mat {
+            base,
+            cols: cols as i32,
+        }
     }
 
     /// Allocates an n-element f64 vector.
@@ -104,10 +107,7 @@ impl Layout {
 /// Builds the standard kernel module shell: one function `run() -> f64`
 /// whose body is produced by `body` (which receives the builder and
 /// must leave an f64 checksum on the stack).
-pub fn kernel_module(
-    layout: &Layout,
-    body: impl FnOnce(&mut FuncBuilder),
-) -> Module {
+pub fn kernel_module(layout: &Layout, body: impl FnOnce(&mut FuncBuilder)) -> Module {
     let mut b = ModuleBuilder::new();
     b.memory(layout.pages(), None);
     let f = b.func("run", &[], &[ValType::F64], body);
@@ -165,13 +165,26 @@ pub fn frac_init(
 
 /// The native mirror of [`frac_init`].
 pub fn frac_init_native(i: i32, j: i32, a: i32, b: i32, c: i32, m: i32, d: f64) -> f64 {
-    f64::from((i.wrapping_mul(a).wrapping_add(j.wrapping_mul(b)).wrapping_add(c)) % m) / d
+    f64::from(
+        (i.wrapping_mul(a)
+            .wrapping_add(j.wrapping_mul(b))
+            .wrapping_add(c))
+            % m,
+    ) / d
 }
 
 /// Emits a checksum loop over a matrix into `acc` (an f64 local):
 /// `acc += M[i][j] * (1 + (i*cols+j) % 7)` — position-sensitive so
 /// transposition bugs are caught.
-pub fn checksum_mat(f: &mut FuncBuilder, m: Mat, rows: usize, cols: usize, i: u32, j: u32, acc: u32) {
+pub fn checksum_mat(
+    f: &mut FuncBuilder,
+    m: Mat,
+    rows: usize,
+    cols: usize,
+    i: u32,
+    j: u32,
+    acc: u32,
+) {
     for_n(f, i, rows, |f| {
         for_n(f, j, cols, |f| {
             f.local_get(acc);
@@ -274,7 +287,10 @@ mod tests {
         });
         let mut inst = Instance::new(&m, Imports::new()).unwrap();
         let out = inst.invoke("run", &[]).unwrap();
-        assert_eq!(out[0], Value::F64(frac_init_native(5, 3, 2, 3, 1, 13, 13.0)));
+        assert_eq!(
+            out[0],
+            Value::F64(frac_init_native(5, 3, 2, 3, 1, 13, 13.0))
+        );
     }
 
     #[test]

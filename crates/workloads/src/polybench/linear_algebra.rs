@@ -29,9 +29,15 @@ pub fn gemm_build(n: usize) -> Module {
         // init
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 2, m, f64::from(m)));
-                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 3, 3, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 3, 1, 2, m, f64::from(m))
+                });
+                c.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 3, 3, m, f64::from(m))
+                });
             });
         });
         // kernel
@@ -107,10 +113,18 @@ pub fn mm2_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
-                c.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 3, m, f64::from(m)));
-                d.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 2, 4, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m))
+                });
+                c.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 3, 1, 3, m, f64::from(m))
+                });
+                d.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 2, 4, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -211,10 +225,18 @@ pub fn mm3_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
-                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m)));
-                d.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 3, 3, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m))
+                });
+                c.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m))
+                });
+                d.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 3, 3, m, f64::from(m))
+                });
             });
         });
         let product = |f: &mut acctee_wasm::builder::FuncBuilder,
@@ -303,7 +325,9 @@ pub fn atax_build(n: usize) -> Module {
                 f.f64_const(0.0);
             });
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 0, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 3, 0, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -383,7 +407,9 @@ pub fn bicg_build(n: usize) -> Module {
                 f.f64_const(0.0);
             });
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 0, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 0, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -461,7 +487,9 @@ pub fn mvt_build(n: usize) -> Module {
             y1.store(f, i, |f| frac_init(f, i, None, 3, 0, 2, m, f64::from(m)));
             y2.store(f, i, |f| frac_init(f, i, None, 2, 0, 3, m, f64::from(m)));
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -541,8 +569,12 @@ pub fn gesummv_build(n: usize) -> Module {
         for_n(f, i, n, |f| {
             x.store(f, i, |f| frac_init(f, i, None, 1, 0, 0, m, f64::from(m)));
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -632,11 +664,21 @@ pub fn gemver_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             u1.store(f, i, |f| frac_init(f, i, None, 1, 0, 0, m, f64::from(m)));
-            u2.store(f, i, |f| frac_init(f, i, None, 1, 0, 1, m, 2.0 * f64::from(m)));
-            v1.store(f, i, |f| frac_init(f, i, None, 1, 0, 2, m, 4.0 * f64::from(m)));
-            v2.store(f, i, |f| frac_init(f, i, None, 1, 0, 3, m, 6.0 * f64::from(m)));
-            y.store(f, i, |f| frac_init(f, i, None, 1, 0, 4, m, 8.0 * f64::from(m)));
-            z.store(f, i, |f| frac_init(f, i, None, 1, 0, 5, m, 9.0 * f64::from(m)));
+            u2.store(f, i, |f| {
+                frac_init(f, i, None, 1, 0, 1, m, 2.0 * f64::from(m))
+            });
+            v1.store(f, i, |f| {
+                frac_init(f, i, None, 1, 0, 2, m, 4.0 * f64::from(m))
+            });
+            v2.store(f, i, |f| {
+                frac_init(f, i, None, 1, 0, 3, m, 6.0 * f64::from(m))
+            });
+            y.store(f, i, |f| {
+                frac_init(f, i, None, 1, 0, 4, m, 8.0 * f64::from(m))
+            });
+            z.store(f, i, |f| {
+                frac_init(f, i, None, 1, 0, 5, m, 9.0 * f64::from(m))
+            });
             x.store(f, i, |f| {
                 f.f64_const(0.0);
             });
@@ -644,7 +686,9 @@ pub fn gemver_build(n: usize) -> Module {
                 f.f64_const(0.0);
             });
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -777,13 +821,17 @@ pub fn doitgen_build(n: usize) -> Module {
                 f.i32_add();
                 f.local_set(rq);
                 for_n(f, p, n, |f| {
-                    a.store(f, rq, p, |f| frac_init(f, rq, Some(p), 1, 1, 0, m, f64::from(m)));
+                    a.store(f, rq, p, |f| {
+                        frac_init(f, rq, Some(p), 1, 1, 0, m, f64::from(m))
+                    });
                 });
             });
         });
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                c4.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
+                c4.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m))
+                });
             });
         });
         for_n(f, r, n, |f| {
@@ -873,9 +921,15 @@ pub fn symm_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m)));
-                c.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 1, 1, m, f64::from(m))
+                });
+                c.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -968,9 +1022,15 @@ pub fn syr2k_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m)));
-                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 1, m, f64::from(m))
+                });
+                c.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -1056,8 +1116,12 @@ pub fn syrk_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 1, m, f64::from(m)));
-                c.store(f, i, j, |f| frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 3, 1, m, f64::from(m))
+                });
+                c.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 2, 1, 2, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {
@@ -1133,8 +1197,12 @@ pub fn trmm_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 1, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 0, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 3, 1, 1, m, f64::from(m))
+                });
             });
         });
         for_n(f, i, n, |f| {

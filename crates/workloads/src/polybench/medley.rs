@@ -34,7 +34,9 @@ pub fn deriche_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                img.store(f, i, j, |f| frac_init(f, i, Some(j), 3, 1, 1, m, f64::from(m)));
+                img.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 3, 1, 1, m, f64::from(m))
+                });
                 y1.store(f, i, j, |f| {
                     f.f64_const(0.0);
                 });
@@ -334,7 +336,11 @@ pub fn nussinov_native(n: usize) -> f64 {
         for j in i + 1..n {
             let mut t: f64 = table[idx(i, j - 1)];
             t = t.max(table[idx(i + 1, j)]);
-            let bonus = if i < j - 1 && seq(i) + seq(j) == 3 { 1.0 } else { 0.0 };
+            let bonus = if i < j - 1 && seq(i) + seq(j) == 3 {
+                1.0
+            } else {
+                0.0
+            };
             t = t.max(table[idx(i + 1, j - 1)] + bonus);
             for k in i + 1..j {
                 t = t.max(table[idx(i, k)] + table[idx(k + 1, j)]);

@@ -38,11 +38,36 @@ pub fn all() -> Vec<Kernel> {
     use solvers as so;
     use stencils as st;
     vec![
-        Kernel { name: "2mm", build: la::mm2_build, native: la::mm2_native, default_n: 12 },
-        Kernel { name: "3mm", build: la::mm3_build, native: la::mm3_native, default_n: 12 },
-        Kernel { name: "adi", build: st::adi_build, native: st::adi_native, default_n: 12 },
-        Kernel { name: "atax", build: la::atax_build, native: la::atax_native, default_n: 16 },
-        Kernel { name: "bicg", build: la::bicg_build, native: la::bicg_native, default_n: 16 },
+        Kernel {
+            name: "2mm",
+            build: la::mm2_build,
+            native: la::mm2_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "3mm",
+            build: la::mm3_build,
+            native: la::mm3_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "adi",
+            build: st::adi_build,
+            native: st::adi_native,
+            default_n: 12,
+        },
+        Kernel {
+            name: "atax",
+            build: la::atax_build,
+            native: la::atax_native,
+            default_n: 16,
+        },
+        Kernel {
+            name: "bicg",
+            build: la::bicg_build,
+            native: la::bicg_native,
+            default_n: 16,
+        },
         Kernel {
             name: "cholesky",
             build: so::cholesky_build,
@@ -85,7 +110,12 @@ pub fn all() -> Vec<Kernel> {
             native: st::fdtd2d_native,
             default_n: 12,
         },
-        Kernel { name: "gemm", build: la::gemm_build, native: la::gemm_native, default_n: 12 },
+        Kernel {
+            name: "gemm",
+            build: la::gemm_build,
+            native: la::gemm_native,
+            default_n: 12,
+        },
         Kernel {
             name: "gemver",
             build: la::gemver_build,
@@ -122,14 +152,24 @@ pub fn all() -> Vec<Kernel> {
             native: st::jacobi2d_native,
             default_n: 12,
         },
-        Kernel { name: "lu", build: so::lu_build, native: so::lu_native, default_n: 12 },
+        Kernel {
+            name: "lu",
+            build: so::lu_build,
+            native: so::lu_native,
+            default_n: 12,
+        },
         Kernel {
             name: "ludcmp",
             build: so::ludcmp_build,
             native: so::ludcmp_native,
             default_n: 12,
         },
-        Kernel { name: "mvt", build: la::mvt_build, native: la::mvt_native, default_n: 16 },
+        Kernel {
+            name: "mvt",
+            build: la::mvt_build,
+            native: la::mvt_native,
+            default_n: 16,
+        },
         Kernel {
             name: "nussinov",
             build: md::nussinov_build,
@@ -142,21 +182,36 @@ pub fn all() -> Vec<Kernel> {
             native: st::seidel2d_native,
             default_n: 12,
         },
-        Kernel { name: "symm", build: la::symm_build, native: la::symm_native, default_n: 12 },
+        Kernel {
+            name: "symm",
+            build: la::symm_build,
+            native: la::symm_native,
+            default_n: 12,
+        },
         Kernel {
             name: "syr2k",
             build: la::syr2k_build,
             native: la::syr2k_native,
             default_n: 12,
         },
-        Kernel { name: "syrk", build: la::syrk_build, native: la::syrk_native, default_n: 12 },
+        Kernel {
+            name: "syrk",
+            build: la::syrk_build,
+            native: la::syrk_native,
+            default_n: 12,
+        },
         Kernel {
             name: "trisolv",
             build: so::trisolv_build,
             native: so::trisolv_native,
             default_n: 16,
         },
-        Kernel { name: "trmm", build: la::trmm_build, native: la::trmm_native, default_n: 12 },
+        Kernel {
+            name: "trmm",
+            build: la::trmm_build,
+            native: la::trmm_native,
+            default_n: 12,
+        },
     ]
 }
 

@@ -372,8 +372,7 @@ pub fn gramschmidt_native(n: usize) -> f64 {
     for i in 0..n {
         for j in 0..n {
             let (fi, fj) = (i as i32, j as i32);
-            let frac =
-                f64::from((fi * fj + 3 * fi + 2 * fj + 1) % m) / f64::from(m);
+            let frac = f64::from((fi * fj + 3 * fi + 2 * fj + 1) % m) / f64::from(m);
             a[idx(i, j)] = frac + if i == j { 1.0 } else { 0.0 };
         }
     }

@@ -38,20 +38,24 @@ pub fn jacobi1d_build(n: usize) -> Module {
             b.store(f, i, |f| frac_init(f, i, None, 1, 0, 3, m, f64::from(m)));
         });
         let sweep = |f: &mut FuncBuilder, dst: Vec1, src: Vec1, i: u32, im1: u32, ip1: u32| {
-            f.for_loop(i, acctee_wasm::builder::Bound::Const(1),
-                acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
-                add_const(f, i, -1, im1);
-                add_const(f, i, 1, ip1);
-                dst.store(f, i, |f| {
-                    f.f64_const(0.33333);
-                    src.load(f, im1);
-                    src.load(f, i);
-                    f.f64_add();
-                    src.load(f, ip1);
-                    f.f64_add();
-                    f.f64_mul();
-                });
-            });
+            f.for_loop(
+                i,
+                acctee_wasm::builder::Bound::Const(1),
+                acctee_wasm::builder::Bound::Const(n as i32 - 1),
+                |f| {
+                    add_const(f, i, -1, im1);
+                    add_const(f, i, 1, ip1);
+                    dst.store(f, i, |f| {
+                        f.f64_const(0.33333);
+                        src.load(f, im1);
+                        src.load(f, i);
+                        f.f64_add();
+                        src.load(f, ip1);
+                        f.f64_add();
+                        f.f64_mul();
+                    });
+                },
+            );
         };
         for _ in 0..TSTEPS {
             sweep(f, b, a, i, im1, ip1);
@@ -100,34 +104,46 @@ pub fn jacobi2d_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
-                b.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 3, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m))
+                });
+                b.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 3, 3, m, f64::from(m))
+                });
             });
         });
         let sweep = |f: &mut FuncBuilder, dst: Mat, src: Mat| {
-            f.for_loop(i, acctee_wasm::builder::Bound::Const(1),
-                acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
-                add_const(f, i, -1, im1);
-                add_const(f, i, 1, ip1);
-                f.for_loop(j, acctee_wasm::builder::Bound::Const(1),
-                    acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
-                    add_const(f, j, -1, jm1);
-                    add_const(f, j, 1, jp1);
-                    dst.store(f, i, j, |f| {
-                        f.f64_const(0.2);
-                        src.load(f, i, j);
-                        src.load(f, i, jm1);
-                        f.f64_add();
-                        src.load(f, i, jp1);
-                        f.f64_add();
-                        src.load(f, ip1, j);
-                        f.f64_add();
-                        src.load(f, im1, j);
-                        f.f64_add();
-                        f.f64_mul();
-                    });
-                });
-            });
+            f.for_loop(
+                i,
+                acctee_wasm::builder::Bound::Const(1),
+                acctee_wasm::builder::Bound::Const(n as i32 - 1),
+                |f| {
+                    add_const(f, i, -1, im1);
+                    add_const(f, i, 1, ip1);
+                    f.for_loop(
+                        j,
+                        acctee_wasm::builder::Bound::Const(1),
+                        acctee_wasm::builder::Bound::Const(n as i32 - 1),
+                        |f| {
+                            add_const(f, j, -1, jm1);
+                            add_const(f, j, 1, jp1);
+                            dst.store(f, i, j, |f| {
+                                f.f64_const(0.2);
+                                src.load(f, i, j);
+                                src.load(f, i, jm1);
+                                f.f64_add();
+                                src.load(f, i, jp1);
+                                f.f64_add();
+                                src.load(f, ip1, j);
+                                f.f64_add();
+                                src.load(f, im1, j);
+                                f.f64_add();
+                                f.f64_mul();
+                            });
+                        },
+                    );
+                },
+            );
         };
         for _ in 0..TSTEPS {
             sweep(f, b, a);
@@ -153,8 +169,7 @@ pub fn jacobi2d_native(n: usize) -> f64 {
     let sweep = |dst_is_b: bool, a: &mut Vec<f64>, b: &mut Vec<f64>| {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                let (src, dst): (&[f64], &mut [f64]) =
-                    if dst_is_b { (a, b) } else { (b, a) };
+                let (src, dst): (&[f64], &mut [f64]) = if dst_is_b { (a, b) } else { (b, a) };
                 dst[idx(i, j)] = 0.2
                     * (src[idx(i, j)]
                         + src[idx(i, j - 1)]
@@ -188,41 +203,51 @@ pub fn seidel2d_build(n: usize) -> Module {
         let m = n as i32;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                a.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 2, m, f64::from(m)));
+                a.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 2, m, f64::from(m))
+                });
             });
         });
         for _ in 0..TSTEPS {
-            f.for_loop(i, acctee_wasm::builder::Bound::Const(1),
-                acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
-                add_const(f, i, -1, im1);
-                add_const(f, i, 1, ip1);
-                f.for_loop(j, acctee_wasm::builder::Bound::Const(1),
-                    acctee_wasm::builder::Bound::Const(n as i32 - 1), |f| {
-                    add_const(f, j, -1, jm1);
-                    add_const(f, j, 1, jp1);
-                    a.store(f, i, j, |f| {
-                        a.load(f, im1, jm1);
-                        a.load(f, im1, j);
-                        f.f64_add();
-                        a.load(f, im1, jp1);
-                        f.f64_add();
-                        a.load(f, i, jm1);
-                        f.f64_add();
-                        a.load(f, i, j);
-                        f.f64_add();
-                        a.load(f, i, jp1);
-                        f.f64_add();
-                        a.load(f, ip1, jm1);
-                        f.f64_add();
-                        a.load(f, ip1, j);
-                        f.f64_add();
-                        a.load(f, ip1, jp1);
-                        f.f64_add();
-                        f.f64_const(9.0);
-                        f.f64_div();
-                    });
-                });
-            });
+            f.for_loop(
+                i,
+                acctee_wasm::builder::Bound::Const(1),
+                acctee_wasm::builder::Bound::Const(n as i32 - 1),
+                |f| {
+                    add_const(f, i, -1, im1);
+                    add_const(f, i, 1, ip1);
+                    f.for_loop(
+                        j,
+                        acctee_wasm::builder::Bound::Const(1),
+                        acctee_wasm::builder::Bound::Const(n as i32 - 1),
+                        |f| {
+                            add_const(f, j, -1, jm1);
+                            add_const(f, j, 1, jp1);
+                            a.store(f, i, j, |f| {
+                                a.load(f, im1, jm1);
+                                a.load(f, im1, j);
+                                f.f64_add();
+                                a.load(f, im1, jp1);
+                                f.f64_add();
+                                a.load(f, i, jm1);
+                                f.f64_add();
+                                a.load(f, i, j);
+                                f.f64_add();
+                                a.load(f, i, jp1);
+                                f.f64_add();
+                                a.load(f, ip1, jm1);
+                                f.f64_add();
+                                a.load(f, ip1, j);
+                                f.f64_add();
+                                a.load(f, ip1, jp1);
+                                f.f64_add();
+                                f.f64_const(9.0);
+                                f.f64_div();
+                            });
+                        },
+                    );
+                },
+            );
         }
         checksum_mat(f, a, n, n, i, j, acc);
         f.local_get(acc);
@@ -279,9 +304,15 @@ pub fn fdtd2d_build(n: usize) -> Module {
         use acctee_wasm::builder::Bound as B;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                ex.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m)));
-                ey.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m)));
-                hz.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 3, 3, m, f64::from(m)));
+                ex.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m))
+                });
+                ey.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 2, 2, m, f64::from(m))
+                });
+                hz.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 3, 3, m, f64::from(m))
+                });
             });
         });
         for t in 0..TSTEPS {
@@ -380,8 +411,8 @@ pub fn fdtd2d_native(n: usize) -> f64 {
         }
         for i in 0..n - 1 {
             for j in 0..n - 1 {
-                hz[idx(i, j)] -= 0.7
-                    * (ex[idx(i, j + 1)] - ex[idx(i, j)] + ey[idx(i + 1, j)] - ey[idx(i, j)]);
+                hz[idx(i, j)] -=
+                    0.7 * (ex[idx(i, j + 1)] - ex[idx(i, j)] + ey[idx(i + 1, j)] - ey[idx(i, j)]);
             }
         }
     }
@@ -520,8 +551,7 @@ pub fn heat3d_native(n: usize) -> f64 {
             for j in 1..n - 1 {
                 for k in 1..n - 1 {
                     dst[idx(i, j, k)] = 0.125
-                        * (src[idx(i + 1, j, k)] - 2.0 * src[idx(i, j, k)]
-                            + src[idx(i - 1, j, k)])
+                        * (src[idx(i + 1, j, k)] - 2.0 * src[idx(i, j, k)] + src[idx(i - 1, j, k)])
                         + 0.125
                             * (src[idx(i, j + 1, k)] - 2.0 * src[idx(i, j, k)]
                                 + src[idx(i, j - 1, k)])
@@ -566,7 +596,9 @@ pub fn adi_build(n: usize) -> Module {
         use acctee_wasm::builder::Bound as B;
         for_n(f, i, n, |f| {
             for_n(f, j, n, |f| {
-                u.store(f, i, j, |f| frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m)));
+                u.store(f, i, j, |f| {
+                    frac_init(f, i, Some(j), 1, 1, 1, m, f64::from(m))
+                });
                 v.store(f, i, j, |f| {
                     f.f64_const(0.0);
                 });

@@ -18,7 +18,9 @@ pub fn elements(count: usize, seed: u64) -> Vec<u32> {
     let mut x = seed | 1;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.push(((x >> 40) % 97 + 3) as u32);
     }
     out

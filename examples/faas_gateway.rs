@@ -36,13 +36,17 @@ fn main() {
     println!("== metered billing through the accounting enclave ==");
     let mut dep = Deployment::new(7);
     let bytes = encode_module(&echo_module());
-    let (b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+    let (b, e) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrument");
     let pricing = PricingModel::default();
     let mut total = 0u128;
     for i in 0..5u32 {
         let body = vec![i as u8; 256 * (i as usize + 1)];
         let outcome = dep.execute(&b, &e, "main", &[], &body).expect("execute");
-        dep.workload_provider().verify_log(&outcome.log).expect("log verifies");
+        dep.workload_provider()
+            .verify_log(&outcome.log)
+            .expect("log verifies");
         let inv = pricing.invoice(&outcome.log.log);
         println!(
             "  request {} ({} B): {} weighted instrs, io {}+{} B -> {} nano-credits",

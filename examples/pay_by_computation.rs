@@ -21,8 +21,9 @@ const ARTICLE_PRICE: u64 = 2_000_000;
 fn main() {
     let mut dep = Deployment::new(31);
     let bytes = encode_module(&darknet::darknet_module(16));
-    let (module, evidence) =
-        dep.instrument(&bytes, Level::LoopBased).expect("instrumentation succeeds");
+    let (module, evidence) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrumentation succeeds");
 
     println!("visitor wants to read 3 articles (price: {ARTICLE_PRICE} weighted instrs each)");
     let mut balance: u64 = 0;
@@ -32,13 +33,13 @@ fn main() {
         let outcome = dep
             .execute(&module, &evidence, "run", &[Value::I32(image)], b"")
             .expect("classification runs");
-        dep.workload_provider().verify_log(&outcome.log).expect("provider trusts the log");
+        dep.workload_provider()
+            .verify_log(&outcome.log)
+            .expect("provider trusts the log");
         let earned = outcome.log.log.weighted_instructions;
         balance += earned;
         let class = (outcome.results[0].as_f64() / 1000.0) as i64;
-        println!(
-            "  image {image:>3} classified as {class} -> +{earned} (balance {balance})"
-        );
+        println!("  image {image:>3} classified as {class} -> +{earned} (balance {balance})");
         image += 1;
         while balance >= ARTICLE_PRICE && unlocked < 3 {
             balance -= ARTICLE_PRICE;

@@ -42,8 +42,9 @@ fn main() {
 
     // 3. Instrument. The IE returns the rewritten module plus signed
     //    evidence binding original hash -> instrumented hash.
-    let (instrumented, evidence) =
-        dep.instrument(&wasm, Level::LoopBased).expect("instrumentation succeeds");
+    let (instrumented, evidence) = dep
+        .instrument(&wasm, Level::LoopBased)
+        .expect("instrumentation succeeds");
     println!(
         "instrumented: {} bytes (+{:.1}%), level {}",
         instrumented.len(),
@@ -62,9 +63,17 @@ fn main() {
     println!("resource usage log:");
     println!("  weighted instructions: {}", log.weighted_instructions);
     println!("  peak memory:           {} bytes", log.peak_memory_bytes);
-    println!("  memory integral:       {} byte-instructions", log.memory_integral);
-    println!("  io in/out:             {}/{} bytes", log.io_bytes_in, log.io_bytes_out);
-    dep.workload_provider().verify_log(&outcome.log).expect("workload provider trusts it");
+    println!(
+        "  memory integral:       {} byte-instructions",
+        log.memory_integral
+    );
+    println!(
+        "  io in/out:             {}/{} bytes",
+        log.io_bytes_in, log.io_bytes_out
+    );
+    dep.workload_provider()
+        .verify_log(&outcome.log)
+        .expect("workload provider trusts it");
     println!("log verified against the attestation authority ✓");
 
     // 6. Settle.

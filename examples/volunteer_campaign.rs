@@ -15,12 +15,20 @@ fn main() {
     for v in &volunteers {
         println!("  {:<8} {:?}", v.name, v.kind);
     }
-    let tasks: Vec<Task> =
-        (0..8).map(|i| Task { id: i, seed: i * 3 + 1, count: 2 }).collect();
+    let tasks: Vec<Task> = (0..8)
+        .map(|i| Task {
+            id: i,
+            seed: i * 3 + 1,
+            count: 2,
+        })
+        .collect();
     println!("{} factorisation work units\n", tasks.len());
 
     for (label, mode) in [
-        ("redundancy (replicas=2, claim-based credit)", ServerMode::Redundancy { replicas: 2 }),
+        (
+            "redundancy (replicas=2, claim-based credit)",
+            ServerMode::Redundancy { replicas: 2 },
+        ),
         ("AccTEE (attested accounting)", ServerMode::AccTee),
     ] {
         let r = run_campaign(&tasks, &volunteers, mode, &authority, &ie, &provider);
@@ -30,7 +38,10 @@ fn main() {
         println!("  WRONG accepted:         {}", r.wrong_accepted);
         println!("  unresolved:             {}", r.unresolved);
         println!("  rejected submissions:   {}", r.rejected_submissions);
-        println!("  over-credit fraction:   {:.1}%", r.overcredit_fraction() * 100.0);
+        println!(
+            "  over-credit fraction:   {:.1}%",
+            r.overcredit_fraction() * 100.0
+        );
         println!("  leaderboard:");
         for (name, credit) in r.leaderboard().into_iter().take(5) {
             println!("    {name:<8} {credit}");

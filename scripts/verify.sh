@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local verification: format, lints, build, tests — all offline.
+# This is what CI runs; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --offline --release
+
+echo "==> tier-1: cargo test"
+cargo test --offline -q
+
+echo "==> all green"

@@ -79,7 +79,8 @@ fn loop_variable_manipulation_stays_exact() {
         let r = instrument(&m, level, &WeightTable::uniform()).expect("instruments");
         let mut oracle = acctee_interp::CountingObserver::unit();
         let mut orig = Instance::new(&m, Imports::new()).expect("instantiate");
-        orig.invoke_observed("run", &[Value::I32(10)], &mut oracle).expect("run");
+        orig.invoke_observed("run", &[Value::I32(10)], &mut oracle)
+            .expect("run");
         let mut inst = Instance::new(&r.module, Imports::new()).expect("instantiate");
         let out = inst.invoke("run", &[Value::I32(10)]).expect("run");
         assert_eq!(out, vec![Value::I64(30)]);
@@ -97,7 +98,9 @@ fn module_swap_rejected() {
     let cheap = encode_module(&acctee_workloads::subsetsum::subsetsum_module(2, 2));
     let (_real_instr, evidence) = dep.instrument(&real, Level::Naive).expect("instrument");
     let (cheap_instr, _) = dep.instrument(&cheap, Level::Naive).expect("instrument");
-    let err = dep.execute(&cheap_instr, &evidence, "run", &[], b"").unwrap_err();
+    let err = dep
+        .execute(&cheap_instr, &evidence, "run", &[], b"")
+        .unwrap_err();
     assert!(matches!(err, AccTeeError::EvidenceMismatch(_)), "{err}");
 }
 
@@ -108,10 +111,17 @@ fn weight_table_mismatch_rejected() {
     let dep_uniform = Deployment::with_weights(31, WeightTable::uniform());
     let mut dep_calibrated = Deployment::with_weights(31, WeightTable::calibrated());
     let bytes = encode_module(&acctee_workloads::faas_fns::echo_module());
-    let (b, e) = dep_uniform.instrument(&bytes, Level::Naive).expect("instrument");
-    let err = dep_calibrated.execute(&b, &e, "main", &[], b"x").unwrap_err();
+    let (b, e) = dep_uniform
+        .instrument(&bytes, Level::Naive)
+        .expect("instrument");
+    let err = dep_calibrated
+        .execute(&b, &e, "main", &[], b"x")
+        .unwrap_err();
     assert!(
-        matches!(err, AccTeeError::EvidenceMismatch(_) | AccTeeError::Attestation(_)),
+        matches!(
+            err,
+            AccTeeError::EvidenceMismatch(_) | AccTeeError::Attestation(_)
+        ),
         "{err}"
     );
 }
@@ -122,7 +132,9 @@ fn weight_table_mismatch_rejected() {
 fn bitflipped_module_rejected() {
     let mut dep = Deployment::new(41);
     let bytes = encode_module(&acctee_workloads::faas_fns::echo_module());
-    let (mut b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+    let (mut b, e) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrument");
     let mid = b.len() / 2;
     b[mid] ^= 0x40;
     let err = dep.execute(&b, &e, "main", &[], b"x").unwrap_err();
@@ -139,7 +151,10 @@ fn runaway_workload_hits_fuel_limit() {
     let mut inst = Instance::with_config(
         &r.module,
         Imports::new(),
-        acctee_interp::Config { fuel: Some(100_000), ..Default::default() },
+        acctee_interp::Config {
+            fuel: Some(100_000),
+            ..Default::default()
+        },
     )
     .expect("instantiate");
     let err = inst.invoke("run", &[]).unwrap_err();

@@ -17,11 +17,18 @@ fn polybench_kernel_through_full_protocol() {
     let weights = WeightTable::calibrated();
 
     let mut dep = Deployment::with_weights(11, weights.clone());
-    let (instr_bytes, evidence) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
-    let outcome = dep.execute(&instr_bytes, &evidence, "run", &[], b"").expect("execute");
+    let (instr_bytes, evidence) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrument");
+    let outcome = dep
+        .execute(&instr_bytes, &evidence, "run", &[], b"")
+        .expect("execute");
 
     // Result is bit-for-bit the native checksum.
-    assert_eq!(outcome.results[0].as_f64().to_bits(), (kernel.native)(10).to_bits());
+    assert_eq!(
+        outcome.results[0].as_f64().to_bits(),
+        (kernel.native)(10).to_bits()
+    );
 
     // The attested counter equals the weighted oracle.
     let mut oracle = CountingObserver::with_weight(|i| weights.weight(i));
@@ -30,7 +37,9 @@ fn polybench_kernel_through_full_protocol() {
     assert_eq!(outcome.log.log.weighted_instructions, oracle.count);
 
     // Both parties accept the log.
-    dep.workload_provider().verify_log(&outcome.log).expect("log verifies");
+    dep.workload_provider()
+        .verify_log(&outcome.log)
+        .expect("log verifies");
 }
 
 /// All three instrumentation levels agree with the oracle on every
@@ -40,18 +49,31 @@ fn polybench_kernel_through_full_protocol() {
 fn all_levels_exact_on_use_case_programs() {
     let weights = WeightTable::uniform();
     let programs: Vec<(&str, acctee_wasm::Module, Vec<Value>)> = vec![
-        ("msieve", acctee_workloads::msieve::msieve_module(3, 5), vec![]),
+        (
+            "msieve",
+            acctee_workloads::msieve::msieve_module(3, 5),
+            vec![],
+        ),
         ("pc", acctee_workloads::pc::pc_module(6, 25), vec![]),
-        ("subsetsum", acctee_workloads::subsetsum::subsetsum_module(10, 2), vec![]),
-        ("darknet", acctee_workloads::darknet::darknet_module(12), vec![Value::I32(2)]),
+        (
+            "subsetsum",
+            acctee_workloads::subsetsum::subsetsum_module(10, 2),
+            vec![],
+        ),
+        (
+            "darknet",
+            acctee_workloads::darknet::darknet_module(12),
+            vec![Value::I32(2)],
+        ),
     ];
     for (name, module, args) in programs {
         let mut oracle = CountingObserver::unit();
         let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
-        let expected = inst.invoke_observed("run", &args, &mut oracle).expect("run");
+        let expected = inst
+            .invoke_observed("run", &args, &mut oracle)
+            .expect("run");
         for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
-            let r = acctee_instrument::instrument(&module, level, &weights)
-                .expect("instrument");
+            let r = acctee_instrument::instrument(&module, level, &weights).expect("instrument");
             let mut inst = Instance::new(&r.module, Imports::new()).expect("instantiate");
             let got = inst.invoke("run", &args).expect("run");
             assert_eq!(got, expected, "{name} {level}: result unchanged");
@@ -67,9 +89,10 @@ fn all_levels_exact_on_use_case_programs() {
 fn invoices_scale_with_work() {
     let mut dep = Deployment::new(3);
     let run = |dep: &mut Deployment, count: usize| {
-        let bytes =
-            encode_module(&acctee_workloads::subsetsum::subsetsum_module(count, 1));
-        let (b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+        let bytes = encode_module(&acctee_workloads::subsetsum::subsetsum_module(count, 1));
+        let (b, e) = dep
+            .instrument(&bytes, Level::LoopBased)
+            .expect("instrument");
         dep.execute(&b, &e, "run", &[], b"").expect("execute")
     };
     let small = run(&mut dep, 6);
@@ -96,7 +119,9 @@ fn invoices_scale_with_work() {
 fn io_accounting_through_accounting_enclave() {
     let mut dep = Deployment::new(9);
     let bytes = encode_module(&acctee_workloads::faas_fns::echo_module());
-    let (b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+    let (b, e) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrument");
     let payload = vec![0x5a; 1234];
     let outcome = dep.execute(&b, &e, "main", &[], &payload).expect("execute");
     assert_eq!(outcome.output, payload);
@@ -123,7 +148,9 @@ fn accounting_is_deterministic_across_runs_and_platforms() {
     let counts: Vec<u64> = (0..2)
         .flat_map(|seed| {
             let mut dep = Deployment::with_weights(seed + 50, WeightTable::uniform());
-            let (b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+            let (b, e) = dep
+                .instrument(&bytes, Level::LoopBased)
+                .expect("instrument");
             (0..2)
                 .map(|_| {
                     dep.execute(&b, &e, "run", &[], b"")

@@ -1,4 +1,5 @@
-//! Property-based integration tests.
+//! Property-based integration tests (hand-rolled harness; see
+//! `acctee_integration::prop`).
 //!
 //! The flagship property (design point D1): for *arbitrary* structured
 //! programs, the injected weighted instruction counter equals the
@@ -10,9 +11,8 @@
 //! exercises builder → validator → instrumenter → interpreter
 //! together. Codec round-trips piggyback on the same generator.
 
-use proptest::prelude::*;
-
 use acctee_instrument::{instrument, Level, WeightTable, COUNTER_EXPORT};
+use acctee_integration::prop::{check, Rng};
 use acctee_interp::{CountingObserver, Imports, Instance, Value};
 use acctee_wasm::builder::{Bound, FuncBuilder, ModuleBuilder};
 use acctee_wasm::decode::decode_module;
@@ -36,20 +36,25 @@ enum S {
     EarlyExit(Vec<S>),
 }
 
-fn program() -> impl Strategy<Value = Vec<S>> {
-    let leaf = (0u8..6).prop_map(S::Work);
-    let node = leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (0u8..6).prop_map(S::Work),
-            (prop::collection::vec(inner.clone(), 0..3),
-             prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(t, e)| S::If(t, e)),
-            ((0u8..4), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(n, b)| S::Counted(n, b)),
-            prop::collection::vec(inner, 0..3).prop_map(S::EarlyExit),
-        ]
-    });
-    prop::collection::vec(node, 0..4)
+/// Generates a statement list; `depth` bounds recursion.
+fn gen_program(rng: &mut Rng, depth: u32) -> Vec<S> {
+    let len = rng.range(0, 4);
+    (0..len).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_stmt(rng: &mut Rng, depth: u32) -> S {
+    let choice = if depth == 0 { 0 } else { rng.range(0, 4) };
+    match choice {
+        0 => S::Work(rng.range(0, 6) as u8),
+        1 => S::If(gen_body(rng, depth), gen_body(rng, depth)),
+        2 => S::Counted(rng.range(0, 4) as u8, gen_body(rng, depth)),
+        _ => S::EarlyExit(gen_body(rng, depth)),
+    }
+}
+
+fn gen_body(rng: &mut Rng, depth: u32) -> Vec<S> {
+    let len = rng.range(0, 3);
+    (0..len).map(|_| gen_stmt(rng, depth - 1)).collect()
 }
 
 struct Compiler {
@@ -66,7 +71,11 @@ impl Compiler {
                         self.salt = self.salt.wrapping_mul(31).wrapping_add(7);
                         f.local_get(self.acc);
                         f.i64_const(self.salt | 1);
-                        f.num(if k % 3 == 2 { NumOp::I64Mul } else { NumOp::I64Add });
+                        f.num(if k % 3 == 2 {
+                            NumOp::I64Mul
+                        } else {
+                            NumOp::I64Add
+                        });
                         f.local_set(self.acc);
                     }
                 }
@@ -137,75 +146,94 @@ fn build_module(prog: &[S]) -> Module {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Metering soundness: counter == oracle for arbitrary programs at
-    /// every level, and instrumentation never changes results.
-    #[test]
-    fn counter_equals_oracle(prog in program(), seed in any::<i64>()) {
+/// Metering soundness: counter == oracle for arbitrary programs at
+/// every level, and instrumentation never changes results.
+#[test]
+fn counter_equals_oracle() {
+    check("counter_equals_oracle", 48, |rng| {
+        let prog = gen_program(rng, 3);
+        let seed = rng.i64();
         let module = build_module(&prog);
         acctee_wasm::validate::validate_module(&module).expect("generated module valid");
         let weights = WeightTable::calibrated();
         let mut oracle = CountingObserver::with_weight(|i| weights.weight(i));
         let mut inst = Instance::new(&module, Imports::new()).expect("instantiate");
-        let expected =
-            inst.invoke_observed("run", &[Value::I64(seed)], &mut oracle).expect("run");
+        let expected = inst
+            .invoke_observed("run", &[Value::I64(seed)], &mut oracle)
+            .expect("run");
 
         for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
             let r = instrument(&module, level, &weights).expect("instrument");
             acctee_wasm::validate::validate_module(&r.module).expect("instrumented valid");
             let mut inst = Instance::new(&r.module, Imports::new()).expect("instantiate");
             let got = inst.invoke("run", &[Value::I64(seed)]).expect("run");
-            prop_assert_eq!(&got, &expected, "{} result", level);
+            assert_eq!(got, expected, "{level} result");
             let counter = inst.global(COUNTER_EXPORT).expect("counter").as_i64() as u64;
-            prop_assert_eq!(counter, oracle.count, "{} counter", level);
+            assert_eq!(counter, oracle.count, "{level} counter");
         }
-    }
+    });
+}
 
-    /// Binary codec round-trip over generated modules.
-    #[test]
-    fn binary_round_trip(prog in program()) {
-        let module = build_module(&prog);
+/// Binary codec round-trip over generated modules.
+#[test]
+fn binary_round_trip() {
+    check("binary_round_trip", 48, |rng| {
+        let module = build_module(&gen_program(rng, 3));
         let bytes = encode_module(&module);
         let back = decode_module(&bytes).expect("decodes");
-        prop_assert_eq!(back, module);
-    }
+        assert_eq!(back, module);
+    });
+}
 
-    /// Text round-trip: parse(print(m)) == parse(print(parse(print(m)))).
-    #[test]
-    fn text_round_trip(prog in program()) {
-        let module = build_module(&prog);
+/// Text round-trip: parse(print(m)) == parse(print(parse(print(m)))).
+#[test]
+fn text_round_trip() {
+    check("text_round_trip", 48, |rng| {
+        let module = build_module(&gen_program(rng, 3));
         let text = print_module(&module);
         let once = parse_module(&text).expect("parses");
         let twice = parse_module(&print_module(&once)).expect("reparses");
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// LEB128 round-trips for the full i64 range.
-    #[test]
-    fn leb_round_trip(v in any::<i64>(), u in any::<u64>()) {
+/// LEB128 round-trips for the full i64/u64 range.
+#[test]
+fn leb_round_trip() {
+    check("leb_round_trip", 256, |rng| {
+        let v = rng.i64();
+        let u = rng.next_u64();
         let mut buf = Vec::new();
         acctee_wasm::leb::write_i64(&mut buf, v);
-        prop_assert_eq!(acctee_wasm::leb::Reader::new(&buf).i64().expect("read"), v);
+        assert_eq!(acctee_wasm::leb::Reader::new(&buf).i64().expect("read"), v);
         buf.clear();
         acctee_wasm::leb::write_u64(&mut buf, u);
-        prop_assert_eq!(acctee_wasm::leb::Reader::new(&buf).u64().expect("read"), u);
+        assert_eq!(acctee_wasm::leb::Reader::new(&buf).u64().expect("read"), u);
+    });
+    // Boundary values the generator may miss.
+    for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+        let mut buf = Vec::new();
+        acctee_wasm::leb::write_i64(&mut buf, v);
+        assert_eq!(acctee_wasm::leb::Reader::new(&buf).i64().expect("read"), v);
     }
+}
 
-    /// Sealing round-trips for arbitrary payloads and is tamper-proof.
-    #[test]
-    fn sealing_round_trip(data in prop::collection::vec(any::<u8>(), 0..512),
-                          flip in any::<u8>()) {
+/// Sealing round-trips for arbitrary payloads and is tamper-proof.
+#[test]
+fn sealing_round_trip() {
+    check("sealing_round_trip", 64, |rng| {
         use acctee_sgx::{seal, Platform};
+        let len = rng.range(0, 512);
+        let data = rng.bytes(len);
+        let flip = rng.u8();
         let e = Platform::new("prop", 1).create_enclave(b"code");
         let sealed = seal::seal(&e, [3; 16], &data);
-        prop_assert_eq!(seal::unseal(&e, &sealed).expect("unseals"), data.clone());
+        assert_eq!(seal::unseal(&e, &sealed).expect("unseals"), data);
         if !sealed.ciphertext.is_empty() {
             let mut bad = sealed.clone();
             let i = flip as usize % bad.ciphertext.len();
             bad.ciphertext[i] ^= 1;
-            prop_assert!(seal::unseal(&e, &bad).is_none());
+            assert!(seal::unseal(&e, &bad).is_none());
         }
-    }
+    });
 }

@@ -1,9 +1,9 @@
 //! Robustness: hostile bytes and hostile text must produce errors,
 //! never panics — the decoder and parser sit directly on the trust
 //! boundary (the accounting enclave decodes provider-supplied bytes).
+//! Uses the hand-rolled harness in `acctee_integration::prop`.
 
-use proptest::prelude::*;
-
+use acctee_integration::prop::check;
 use acctee_wasm::decode::decode_module;
 use acctee_wasm::encode::encode_module;
 use acctee_wasm::text::parse_module;
@@ -15,31 +15,42 @@ fn seed_bytes() -> Vec<u8> {
     encode_module(&(k.build)(4))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arbitrary bytes never panic the decoder.
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Arbitrary bytes never panic the decoder.
+#[test]
+fn decoder_never_panics_on_garbage() {
+    check("decoder_never_panics_on_garbage", 256, |rng| {
+        let len = rng.range(0, 512);
+        let bytes = rng.bytes(len);
         let _ = decode_module(&bytes);
-    }
+    });
+    // Also with a plausible header followed by garbage.
+    check("decoder_never_panics_on_garbage_with_header", 128, |rng| {
+        let mut bytes = vec![0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+        let len = rng.range(0, 256);
+        bytes.extend(rng.bytes(len));
+        let _ = decode_module(&bytes);
+    });
+}
 
-    /// Headers that look right but truncate mid-module never panic.
-    #[test]
-    fn decoder_never_panics_on_truncation(cut in 0usize..1000) {
-        let bytes = seed_bytes();
-        let cut = cut.min(bytes.len());
+/// Headers that look right but truncate mid-module never panic.
+#[test]
+fn decoder_never_panics_on_truncation() {
+    let bytes = seed_bytes();
+    for cut in 0..=bytes.len() {
         let _ = decode_module(&bytes[..cut]);
     }
+}
 
-    /// Random single-byte corruption of a valid module either decodes
-    /// to *something* (which must then validate or fail cleanly) or
-    /// errors — never panics, and never produces an invalid module
-    /// that the validator accepts and the interpreter then crashes on.
-    #[test]
-    fn bitflip_is_contained(pos in 0usize..2000, flip in 1u8..=255) {
+/// Random single-byte corruption of a valid module either decodes to
+/// *something* (which must then validate or fail cleanly) or errors —
+/// never panics, and never produces an invalid module that the
+/// validator accepts and the interpreter then crashes on.
+#[test]
+fn bitflip_is_contained() {
+    check("bitflip_is_contained", 256, |rng| {
         let mut bytes = seed_bytes();
-        let pos = pos % bytes.len();
+        let pos = rng.range(0, bytes.len());
+        let flip = (rng.u8() % 255) + 1;
         bytes[pos] ^= flip;
         if let Ok(module) = decode_module(&bytes) {
             if validate_module(&module).is_ok() {
@@ -48,41 +59,51 @@ proptest! {
                 let mut inst = match acctee_interp::Instance::with_config(
                     &module,
                     acctee_interp::Imports::new(),
-                    acctee_interp::Config { fuel: Some(200_000), ..Default::default() },
+                    acctee_interp::Config {
+                        fuel: Some(200_000),
+                        ..Default::default()
+                    },
                 ) {
                     Ok(i) => i,
-                    Err(_) => return Ok(()),
+                    Err(_) => return,
                 };
                 let _ = inst.invoke("run", &[]);
             }
         }
-    }
+    });
+}
 
-    /// Arbitrary text never panics the WAT parser.
-    #[test]
-    fn parser_never_panics_on_garbage(s in "\\PC{0,200}") {
+/// Arbitrary text never panics the WAT parser.
+#[test]
+fn parser_never_panics_on_garbage() {
+    check("parser_never_panics_on_garbage", 256, |rng| {
+        let len = rng.range(0, 200);
+        let s: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with occasional arbitrary
+                // Unicode scalars thrown in.
+                if rng.range(0, 8) == 0 {
+                    char::from_u32(rng.below(0x11_0000_u64) as u32).unwrap_or('\u{fffd}')
+                } else {
+                    (0x20 + rng.u8() % 0x5f) as char
+                }
+            })
+            .collect();
         let _ = parse_module(&s);
-    }
+    });
+}
 
-    /// Parenthesised noise (the parser's worst case) never panics.
-    #[test]
-    fn parser_never_panics_on_paren_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just("module".to_string()),
-                Just("func".to_string()),
-                Just("i32.add".to_string()),
-                Just("br_table".to_string()),
-                Just("0".to_string()),
-                Just("$x".to_string()),
-                Just("\"s\"".to_string()),
-            ],
-            0..60
-        )
-    ) {
-        let s = tokens.join(" ");
-        let _ = parse_module(&s);
-    }
+/// Parenthesised noise (the parser's worst case) never panics.
+#[test]
+fn parser_never_panics_on_paren_soup() {
+    const TOKENS: [&str; 9] = [
+        "(", ")", "module", "func", "i32.add", "br_table", "0", "$x", "\"s\"",
+    ];
+    check("parser_never_panics_on_paren_soup", 256, |rng| {
+        let len = rng.range(0, 60);
+        let s: Vec<&str> = (0..len)
+            .map(|_| TOKENS[rng.range(0, TOKENS.len())])
+            .collect();
+        let _ = parse_module(&s.join(" "));
+    });
 }

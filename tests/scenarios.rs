@@ -52,8 +52,13 @@ fn faas_echo_payload_trend() {
 fn volunteer_acctee_beats_redundancy() {
     let (authority, ie, provider, volunteers) =
         acctee_volunteer::campaign::standard_environment(6, 3);
-    let tasks: Vec<Task> =
-        (0..6).map(|i| Task { id: i, seed: i + 1, count: 2 }).collect();
+    let tasks: Vec<Task> = (0..6)
+        .map(|i| Task {
+            id: i,
+            seed: i + 1,
+            count: 2,
+        })
+        .collect();
 
     let red = run_campaign(
         &tasks,
@@ -63,10 +68,22 @@ fn volunteer_acctee_beats_redundancy() {
         &ie,
         &provider,
     );
-    let acc = run_campaign(&tasks, &volunteers, ServerMode::AccTee, &authority, &ie, &provider);
+    let acc = run_campaign(
+        &tasks,
+        &volunteers,
+        ServerMode::AccTee,
+        &authority,
+        &ie,
+        &provider,
+    );
 
     // Resource bill: redundancy performs (close to) twice the work.
-    assert!(red.executions > acc.executions, "{} vs {}", red.executions, acc.executions);
+    assert!(
+        red.executions > acc.executions,
+        "{} vs {}",
+        red.executions,
+        acc.executions
+    );
     // Integrity: AccTEE never accepts a wrong result.
     assert_eq!(acc.wrong_accepted, 0);
     // Fairness: AccTEE grants zero undeserved credit.
@@ -84,15 +101,19 @@ fn pay_by_computation_credit_scales() {
     use acctee::{Deployment, Level};
     use acctee_interp::Value;
     let mut dep = Deployment::new(99);
-    let bytes =
-        acctee_wasm::encode::encode_module(&acctee_workloads::darknet::darknet_module(12));
-    let (b, e) = dep.instrument(&bytes, Level::LoopBased).expect("instrument");
+    let bytes = acctee_wasm::encode::encode_module(&acctee_workloads::darknet::darknet_module(12));
+    let (b, e) = dep
+        .instrument(&bytes, Level::LoopBased)
+        .expect("instrument");
     let mut one_image = 0;
     let mut total = 0u64;
     for variant in 0..3 {
-        let outcome =
-            dep.execute(&b, &e, "run", &[Value::I32(variant)], b"").expect("execute");
-        dep.workload_provider().verify_log(&outcome.log).expect("verifies");
+        let outcome = dep
+            .execute(&b, &e, "run", &[Value::I32(variant)], b"")
+            .expect("execute");
+        dep.workload_provider()
+            .verify_log(&outcome.log)
+            .expect("verifies");
         if variant == 0 {
             one_image = outcome.log.log.weighted_instructions;
         }
