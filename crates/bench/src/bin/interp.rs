@@ -1,0 +1,135 @@
+//! Interpreter-throughput smoke benchmark: ns/instr over the PolyBench
+//! suite, per execution engine, emitted as `BENCH_interp.json` so the
+//! perf trajectory of the execution tier is tracked PR-over-PR.
+//!
+//! Usage: `interp [n] [reps] [--out FILE]` (default n=12, reps=3,
+//! out=BENCH_interp.json).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use acctee_bench::geomean;
+use acctee_interp::{Imports, Instance, Value};
+use acctee_workloads::polybench;
+
+struct EngineRow {
+    name: &'static str,
+    total_ns: u64,
+    total_instrs: u64,
+    kernels: Vec<(String, u64, u64)>, // (kernel, ns, instrs)
+}
+
+impl EngineRow {
+    fn ns_per_instr(&self) -> f64 {
+        self.total_ns as f64 / self.total_instrs.max(1) as f64
+    }
+}
+
+/// One timed execution: wall nanoseconds and instructions retired.
+fn run_once(module: &acctee_wasm::Module) -> (u64, u64) {
+    let mut inst = Instance::new(module, Imports::new()).expect("instantiate");
+    let t = Instant::now();
+    let out = inst.invoke("run", &[]).expect("run");
+    let ns = t.elapsed().as_nanos() as u64;
+    assert!(matches!(out[0], Value::F64(_)));
+    (ns, inst.stats().instructions)
+}
+
+fn measure(name: &'static str, n: usize, reps: usize) -> EngineRow {
+    let mut row = EngineRow {
+        name,
+        total_ns: 0,
+        total_instrs: 0,
+        kernels: Vec::new(),
+    };
+    for k in polybench::all() {
+        let module = (k.build)(n);
+        let mut best = u64::MAX;
+        let mut instrs = 0;
+        for _ in 0..reps {
+            let (ns, ic) = run_once(&module);
+            best = best.min(ns);
+            instrs = ic;
+        }
+        row.total_ns += best;
+        row.total_instrs += instrs;
+        row.kernels.push((k.name.to_string(), best, instrs));
+    }
+    row
+}
+
+fn json_for(rows: &[EngineRow], n: usize, reps: usize) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"suite\": \"polybench\",");
+    let _ = writeln!(s, "  \"n\": {n},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"engines\": {{");
+    for (ei, row) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    \"{}\": {{", row.name);
+        let _ = writeln!(s, "      \"total_ns\": {},", row.total_ns);
+        let _ = writeln!(s, "      \"total_instrs\": {},", row.total_instrs);
+        let _ = writeln!(s, "      \"ns_per_instr\": {:.3},", row.ns_per_instr());
+        let _ = writeln!(s, "      \"kernels\": {{");
+        for (ki, (name, ns, instrs)) in row.kernels.iter().enumerate() {
+            let comma = if ki + 1 == row.kernels.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "        \"{name}\": {{ \"ns\": {ns}, \"instrs\": {instrs} }}{comma}"
+            );
+        }
+        let _ = writeln!(s, "      }}");
+        let comma = if ei + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  }},");
+    let speedup = if rows.len() >= 2 {
+        let per_kernel: Vec<f64> = rows[0]
+            .kernels
+            .iter()
+            .zip(&rows[1].kernels)
+            .map(|((_, t_ns, _), (_, b_ns, _))| *t_ns as f64 / (*b_ns).max(1) as f64)
+            .collect();
+        geomean(&per_kernel)
+    } else {
+        1.0
+    };
+    let _ = writeln!(s, "  \"speedup_geomean\": {speedup:.3}");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut n = 12usize;
+    let mut reps = 3usize;
+    let mut out = String::from("BENCH_interp.json");
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().expect("--out needs a value");
+        } else {
+            positional.push(a);
+        }
+    }
+    if let Some(v) = positional.first().and_then(|a| a.parse().ok()) {
+        n = v;
+    }
+    if let Some(v) = positional.get(1).and_then(|a| a.parse().ok()) {
+        reps = v;
+    }
+
+    let rows = vec![measure("tree", n, reps)];
+    println!("# interpreter throughput (polybench, n={n}, reps={reps})");
+    for row in &rows {
+        println!(
+            "{:<10} {:>14} ns  {:>14} instrs  {:>8.2} ns/instr",
+            row.name,
+            row.total_ns,
+            row.total_instrs,
+            row.ns_per_instr()
+        );
+    }
+    let json = json_for(&rows, n, reps);
+    std::fs::write(&out, &json).expect("write BENCH_interp.json");
+    println!("# -> {out}");
+}
