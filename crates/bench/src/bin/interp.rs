@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use acctee_bench::geomean;
-use acctee_interp::{Imports, Instance, Value};
+use acctee_interp::{Config, Engine, Imports, Instance, Value};
 use acctee_workloads::polybench;
 
 struct EngineRow {
@@ -26,36 +26,59 @@ impl EngineRow {
 }
 
 /// One timed execution: wall nanoseconds and instructions retired.
-fn run_once(module: &acctee_wasm::Module) -> (u64, u64) {
-    let mut inst = Instance::new(module, Imports::new()).expect("instantiate");
+/// An untimed warm-up invoke precedes the measurement so one-time
+/// costs (the bytecode engine's lazy compile, allocator and cache
+/// warm-up) stay out of the throughput number — this measures
+/// steady-state execution, the paper's methodology. The kernels
+/// re-initialise their arrays on entry, so repeated invokes are
+/// deterministic and bit-identical.
+fn run_once(module: &acctee_wasm::Module, engine: Engine) -> (u64, u64) {
+    let cfg = Config {
+        engine,
+        ..Config::default()
+    };
+    let mut inst = Instance::with_config(module, Imports::new(), cfg).expect("instantiate");
+    inst.invoke("run", &[]).expect("warm-up run");
+    let instrs = inst.stats().instructions;
     let t = Instant::now();
     let out = inst.invoke("run", &[]).expect("run");
     let ns = t.elapsed().as_nanos() as u64;
     assert!(matches!(out[0], Value::F64(_)));
-    (ns, inst.stats().instructions)
+    (ns, instrs)
 }
 
-fn measure(name: &'static str, n: usize, reps: usize) -> EngineRow {
-    let mut row = EngineRow {
-        name,
-        total_ns: 0,
-        total_instrs: 0,
-        kernels: Vec::new(),
-    };
+/// Measures every engine over the suite with engines *interleaved*
+/// per repetition: each rep times all engines back to back on the
+/// same kernel, so machine-load noise lands on every engine alike and
+/// cancels out of the speedup ratios.
+fn measure_all(n: usize, reps: usize) -> Vec<EngineRow> {
+    let mut rows: Vec<EngineRow> = Engine::ALL
+        .iter()
+        .map(|e| EngineRow {
+            name: e.name(),
+            total_ns: 0,
+            total_instrs: 0,
+            kernels: Vec::new(),
+        })
+        .collect();
     for k in polybench::all() {
         let module = (k.build)(n);
-        let mut best = u64::MAX;
-        let mut instrs = 0;
+        let mut best = [u64::MAX; Engine::ALL.len()];
+        let mut instrs = [0u64; Engine::ALL.len()];
         for _ in 0..reps {
-            let (ns, ic) = run_once(&module);
-            best = best.min(ns);
-            instrs = ic;
+            for (ei, engine) in Engine::ALL.into_iter().enumerate() {
+                let (ns, ic) = run_once(&module, engine);
+                best[ei] = best[ei].min(ns);
+                instrs[ei] = ic;
+            }
         }
-        row.total_ns += best;
-        row.total_instrs += instrs;
-        row.kernels.push((k.name.to_string(), best, instrs));
+        for (ei, row) in rows.iter_mut().enumerate() {
+            row.total_ns += best[ei];
+            row.total_instrs += instrs[ei];
+            row.kernels.push((k.name.to_string(), best[ei], instrs[ei]));
+        }
     }
-    row
+    rows
 }
 
 fn json_for(rows: &[EngineRow], n: usize, reps: usize) -> String {
@@ -118,7 +141,7 @@ fn main() {
         reps = v;
     }
 
-    let rows = vec![measure("tree", n, reps)];
+    let rows = measure_all(n, reps);
     println!("# interpreter throughput (polybench, n={n}, reps={reps})");
     for row in &rows {
         println!(

@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use acctee_cachesim::CycleModel;
-use acctee_interp::{Imports, Instance, Value};
+use acctee_interp::{Config, Engine, Imports, Instance, Value};
 use acctee_wasm::Module;
 
 /// Times `f` (median of `reps`) and prints a one-line `cargo bench`
@@ -50,7 +50,24 @@ pub fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
 ///
 /// Panics if the module does not instantiate or traps.
 pub fn run_wall_ns(module: &Module, func: &str, args: &[Value]) -> u64 {
-    let mut inst = Instance::new(module, Imports::new()).expect("instantiate");
+    run_wall_ns_engine(module, func, args, Engine::Tree)
+}
+
+/// [`run_wall_ns`] on a chosen execution engine. For
+/// [`Engine::Bytecode`] the timing includes the one-time lazy compile
+/// of the module's code (amortised away by callers that take a
+/// best-of or median over repetitions on a fresh instance each time —
+/// the compile is linear and tiny next to kernel runtimes).
+///
+/// # Panics
+///
+/// Panics if the module does not instantiate or traps.
+pub fn run_wall_ns_engine(module: &Module, func: &str, args: &[Value], engine: Engine) -> u64 {
+    let cfg = Config {
+        engine,
+        ..Config::default()
+    };
+    let mut inst = Instance::with_config(module, Imports::new(), cfg).expect("instantiate");
     let t = Instant::now();
     inst.invoke(func, args).expect("run");
     t.elapsed().as_nanos() as u64

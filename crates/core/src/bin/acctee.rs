@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use acctee::{Deployment, InstrumentationCache, InstrumentationEnclave, Level, PricingModel};
 use acctee_instrument::{instrument, WeightTable};
-use acctee_interp::{Config, Imports, Instance, ProfilingObserver, Value};
+use acctee_interp::{Config, Engine, Imports, Instance, ProfilingObserver, Value};
 use acctee_sgx::{AttestationAuthority, Platform};
 use acctee_telemetry::{CollectingSink, Telemetry};
 use acctee_wasm::decode::decode_module;
@@ -90,6 +90,7 @@ struct Opts {
     args: Vec<String>,
     input: Vec<u8>,
     fuel: Option<u64>,
+    engine: Engine,
     level: Level,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -102,6 +103,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         args: Vec::new(),
         input: Vec::new(),
         fuel: None,
+        engine: Engine::default(),
         level: Level::LoopBased,
         trace_out: None,
         metrics_out: None,
@@ -119,6 +121,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--arg" => o.args.push(want(&mut it)?),
             "--input" => o.input = want(&mut it)?.into_bytes(),
             "--fuel" => o.fuel = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?),
+            "--engine" => o.engine = want(&mut it)?.parse()?,
             "--level" => o.level = parse_level(&want(&mut it)?)?,
             "--trace-out" => o.trace_out = Some(want(&mut it)?),
             "--metrics-out" => o.metrics_out = Some(want(&mut it)?),
@@ -184,6 +187,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
+            println!("                   --engine tree|bytecode (default tree)");
             println!("                   --trace-out FILE --metrics-out FILE");
             Ok(())
         }
@@ -264,6 +268,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                 imports,
                 Config {
                     fuel: opts.fuel,
+                    engine: opts.engine,
                     ..Config::default()
                 },
             )
@@ -331,6 +336,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                 .span("cli.account", "cli")
                 .with_arg("function", opts.invoke.as_str());
             let mut dep = Deployment::new(0xacc7ee);
+            dep.set_engine(opts.engine);
             let (ib, ev) = dep
                 .instrument(&bytes, opts.level)
                 .map_err(|e| e.to_string())?;

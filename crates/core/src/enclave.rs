@@ -278,7 +278,8 @@ impl AccountingEnclave {
         let hub = acctee_telemetry::global();
         let mut span = hub
             .span("enclave.ae.execute", "enclave")
-            .with_arg("func", func);
+            .with_arg("func", func)
+            .with_arg("engine", self.exec_config.engine.name());
         let meter = IoMeter::with_input(input);
         let imports = meter.register(Imports::new());
         let mut instance = Instance::with_config(&workload.module, imports, self.exec_config)?;

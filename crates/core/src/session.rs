@@ -3,7 +3,7 @@
 //! installation together.
 
 use acctee_instrument::{Level, WeightTable};
-use acctee_interp::Value;
+use acctee_interp::{Engine, Value};
 use acctee_sgx::crypto::{sha256, Digest};
 use acctee_sgx::{AttestationAuthority, Measurement, Platform};
 
@@ -133,6 +133,14 @@ impl InfrastructureProvider {
         &self.ae
     }
 
+    /// Selects the interpreter engine the AE executes workloads on.
+    /// The engine is an infrastructure-side performance choice; the
+    /// accounting result is engine-independent (the counter is part of
+    /// the attested workload, not the engine).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.ae.exec_config.engine = engine;
+    }
+
     /// Verifies evidence and loads a workload for execution.
     ///
     /// # Errors
@@ -233,6 +241,12 @@ impl Deployment {
     /// The infrastructure provider.
     pub fn infrastructure(&self) -> &InfrastructureProvider {
         &self.infra
+    }
+
+    /// Selects the AE's interpreter engine (see
+    /// [`InfrastructureProvider::set_engine`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.infra.set_engine(engine);
     }
 
     /// Instruments a module through the IE and verifies the evidence

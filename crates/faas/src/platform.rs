@@ -5,7 +5,7 @@
 use std::time::Instant;
 
 use acctee_instrument::{instrument, Level, WeightTable};
-use acctee_interp::{Imports, Instance, Value};
+use acctee_interp::{Config, Engine, Imports, Instance, Value};
 use acctee_script::{Interpreter, Value as JsValue};
 use acctee_wasm::Module;
 
@@ -64,6 +64,8 @@ pub struct FaasPlatform {
     /// SGX hardware-mode execution-slowdown factor (from the cycle
     /// model: cycles(sgx)/cycles(plain) for this function).
     hw_exec_factor: f64,
+    /// Interpreter engine serving wasm requests.
+    engine: Engine,
 }
 
 impl std::fmt::Debug for FaasPlatform {
@@ -117,7 +119,17 @@ impl FaasPlatform {
             js_source,
             overheads: OverheadModel::default(),
             hw_exec_factor,
+            engine: Engine::default(),
         }
+    }
+
+    /// Selects the interpreter engine for wasm requests (the serving
+    /// paths default to the tree-walker; production-style setups want
+    /// [`Engine::Bytecode`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> FaasPlatform {
+        self.engine = engine;
+        self
     }
 
     /// The deployed function.
@@ -139,6 +151,7 @@ impl FaasPlatform {
     pub fn handle(&self, payload: &[u8]) -> Result<(Vec<u8>, RequestStats), String> {
         let mut span = acctee_telemetry::span("faas.handle", "faas")
             .with_arg("function", self.kind.name())
+            .with_arg("engine", self.engine.name())
             .with_arg("payload_bytes", payload.len());
         let start = Instant::now();
         let (response, io) = match (&self.module, self.js_source) {
@@ -206,7 +219,11 @@ impl FaasPlatform {
                     Ok(vec![Value::I32(len as i32)])
                 }
             });
-        let mut inst = Instance::new(module, imports).map_err(|e| e.to_string())?;
+        let cfg = Config {
+            engine: self.engine,
+            ..Config::default()
+        };
+        let mut inst = Instance::with_config(module, imports, cfg).map_err(|e| e.to_string())?;
         inst.invoke("main", &[]).map_err(|e| e.to_string())?;
         let r = output.borrow().clone();
         let io = *io_counts.borrow();
@@ -283,5 +300,23 @@ mod tests {
         let p = FaasPlatform::deploy(FunctionKind::Resize, Setup::WasmSgxHwInstr);
         let (resp, _) = p.handle(&img).unwrap();
         assert_eq!(resp, resize_native(32, 32, &img[8..]));
+    }
+
+    #[test]
+    fn bytecode_engine_serves_identically() {
+        let img = test_image(16, 16);
+        for setup in [Setup::Wasm, Setup::WasmSgxHwInstr] {
+            let tree = FaasPlatform::deploy(FunctionKind::Resize, setup);
+            let flat =
+                FaasPlatform::deploy(FunctionKind::Resize, setup).with_engine(Engine::Bytecode);
+            let (a, sa) = tree.handle(&img).unwrap();
+            let (b, sb) = flat.handle(&img).unwrap();
+            assert_eq!(a, b, "{setup}");
+            assert_eq!(
+                (sa.io_bytes_in, sa.io_bytes_out),
+                (sb.io_bytes_in, sb.io_bytes_out),
+                "{setup}"
+            );
+        }
     }
 }

@@ -12,6 +12,7 @@ use acctee_wasm::instr::{Instr, MemArg};
 use acctee_wasm::module::{ExportKind, ImportKind, Module};
 use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
 
+use crate::bytecode::{CompiledModule, FlatBuffers};
 use crate::host::{HostCtx, HostFunc, Imports};
 use crate::memory::Memory;
 use crate::observer::{NullObserver, Observer};
@@ -19,18 +20,78 @@ use crate::stats::ExecStats;
 use crate::trap::Trap;
 use crate::value::Value;
 
+/// Which execution backend runs function bodies.
+///
+/// Both engines implement identical semantics — results, traps,
+/// [`ExecStats`] and observer-visible counts are bit-equal for any
+/// module (enforced by the differential suite); they differ only in
+/// speed and mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The structured tree-walking interpreter: simple, observable,
+    /// and the semantic oracle the bytecode engine is validated
+    /// against.
+    #[default]
+    Tree,
+    /// The flat-bytecode engine (`crate::bytecode`): pre-compiled
+    /// linear dispatch with a branch side-table, an explicit frame
+    /// stack and batched accounting. Substantially faster; use for
+    /// serving paths.
+    Bytecode,
+}
+
+impl Engine {
+    /// Both engines, for comparison sweeps.
+    pub const ALL: [Engine; 2] = [Engine::Tree, Engine::Bytecode];
+
+    /// The CLI-facing name (`tree` / `bytecode`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Bytecode => "bytecode",
+        }
+    }
+
+    /// Parses a CLI-facing name.
+    pub fn from_name(s: &str) -> Option<Engine> {
+        match s {
+            "tree" => Some(Engine::Tree),
+            "bytecode" => Some(Engine::Bytecode),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        Engine::from_name(s).ok_or_else(|| format!("unknown engine {s:?} (tree|bytecode)"))
+    }
+}
+
 /// Interpreter limits.
 #[derive(Debug, Clone, Copy)]
 pub struct Config {
     /// Maximum call depth before [`Trap::CallStackExhausted`].
     ///
-    /// The interpreter maps WebAssembly calls onto Rust recursion; the
+    /// The tree-walker maps WebAssembly calls onto Rust recursion; the
     /// default of 200 keeps the deepest chain comfortably inside a
     /// 2 MiB native stack even in debug builds. Raise it only together
-    /// with a larger native stack (e.g. a dedicated thread).
+    /// with a larger native stack (e.g. a dedicated thread). The
+    /// bytecode engine uses an explicit frame stack but honours the
+    /// same limit so both engines trap identically.
     pub max_call_depth: usize,
     /// Optional instruction budget; `None` is unlimited.
     pub fuel: Option<u64>,
+    /// Which execution backend to use.
+    pub engine: Engine,
 }
 
 impl Default for Config {
@@ -38,6 +99,7 @@ impl Default for Config {
         Config {
             max_call_depth: 200,
             fuel: None,
+            engine: Engine::Tree,
         }
     }
 }
@@ -55,14 +117,21 @@ enum Flow {
 
 /// An instantiated module, ready to invoke.
 pub struct Instance<'m> {
-    module: &'m Module,
-    memory: Option<Memory>,
-    globals: Vec<Value>,
-    table: Vec<Option<u32>>,
-    host_funcs: Vec<Option<HostFunc>>,
-    config: Config,
-    fuel: Option<u64>,
-    stats: ExecStats,
+    pub(crate) module: &'m Module,
+    pub(crate) memory: Option<Memory>,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) table: Vec<Option<u32>>,
+    pub(crate) host_funcs: Vec<Option<HostFunc>>,
+    pub(crate) config: Config,
+    pub(crate) fuel: Option<u64>,
+    pub(crate) stats: ExecStats,
+    /// Flat bytecode, compiled lazily on the first bytecode-engine
+    /// invoke and cached for the lifetime of the instance.
+    pub(crate) compiled: Option<CompiledModule<'m>>,
+    /// Reusable bytecode-engine execution buffers.
+    pub(crate) flat: FlatBuffers,
+    /// Scratch argument vectors pooled across tree-walker calls.
+    scratch: Vec<Vec<Value>>,
 }
 
 impl std::fmt::Debug for Instance<'_> {
@@ -160,6 +229,9 @@ impl<'m> Instance<'m> {
             config,
             fuel: config.fuel,
             stats: ExecStats::default(),
+            compiled: None,
+            flat: FlatBuffers::default(),
+            scratch: Vec::new(),
         };
 
         // Data segments.
@@ -238,7 +310,10 @@ impl<'m> Instance<'m> {
         if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty()) {
             return Err(Trap::Host(format!("argument mismatch calling {name:?}")));
         }
-        self.call_function(idx, args, 0, observer)
+        match self.config.engine {
+            Engine::Tree => self.call_function(idx, args, 0, observer),
+            Engine::Bytecode => self.invoke_flat(idx, args, observer),
+        }
     }
 
     /// Reads a global by its exported name.
@@ -286,6 +361,33 @@ impl<'m> Instance<'m> {
         Ok(())
     }
 
+    /// Calls the host function `idx` and type-checks its results.
+    /// Shared by both engines (the caller reports call/return events).
+    pub(crate) fn call_host_checked(
+        &mut self,
+        idx: u32,
+        args: &[Value],
+    ) -> Result<Vec<Value>, Trap> {
+        // Temporarily take the function out so we can lend the memory
+        // to the host context.
+        let mut f = self.host_funcs[idx as usize]
+            .take()
+            .ok_or_else(|| Trap::Host("recursive host call".into()))?;
+        let mut ctx = HostCtx {
+            memory: self.memory.as_mut(),
+        };
+        let result = f(&mut ctx, args);
+        self.host_funcs[idx as usize] = Some(f);
+        let values = result?;
+        let ty = self.module.func_type(idx).expect("import type");
+        if values.len() != ty.results.len()
+            || values.iter().zip(&ty.results).any(|(v, r)| v.ty() != *r)
+        {
+            return Err(Trap::Host("host function returned wrong types".into()));
+        }
+        Ok(values)
+    }
+
     fn call_function(
         &mut self,
         idx: u32,
@@ -300,23 +402,7 @@ impl<'m> Instance<'m> {
         self.stats.calls += 1;
         let n_imported = self.module.num_imported_funcs();
         if idx < n_imported {
-            // Host function: temporarily take it out so we can lend the
-            // memory to the host context.
-            let mut f = self.host_funcs[idx as usize]
-                .take()
-                .ok_or_else(|| Trap::Host("recursive host call".into()))?;
-            let mut ctx = HostCtx {
-                memory: self.memory.as_mut(),
-            };
-            let result = f(&mut ctx, args);
-            self.host_funcs[idx as usize] = Some(f);
-            let values = result?;
-            let ty = self.module.func_type(idx).expect("import type");
-            if values.len() != ty.results.len()
-                || values.iter().zip(&ty.results).any(|(v, r)| v.ty() != *r)
-            {
-                return Err(Trap::Host("host function returned wrong types".into()));
-            }
+            let values = self.call_host_checked(idx, args)?;
             observer.on_return(idx);
             return Ok(values);
         }
@@ -335,6 +421,28 @@ impl<'m> Instance<'m> {
         }
         observer.on_return(idx);
         Ok(stack.split_off(stack.len() - n_results))
+    }
+
+    /// Pops the top `n_args` values off `stack` into a pooled scratch
+    /// vector and calls `idx` with them. The scratch buffer is
+    /// returned to the pool even when the call traps, so repeated
+    /// calls never re-allocate argument vectors.
+    fn call_with_stack_args(
+        &mut self,
+        idx: u32,
+        n_args: usize,
+        stack: &mut Vec<Value>,
+        depth: usize,
+        observer: &mut dyn Observer,
+    ) -> Result<Vec<Value>, Trap> {
+        let at = stack.len() - n_args;
+        let mut args = self.scratch.pop().unwrap_or_default();
+        args.clear();
+        args.extend_from_slice(&stack[at..]);
+        stack.truncate(at);
+        let results = self.call_function(idx, &args, depth + 1, observer);
+        self.scratch.push(args);
+        results
     }
 
     #[allow(clippy::too_many_arguments)] // interpreter hot path; grouping would cost clarity
@@ -442,10 +550,10 @@ impl<'m> Instance<'m> {
                 }
                 Instr::Return => return Ok(Flow::Return),
                 Instr::Call(f) => {
-                    let ty = self.module.func_type(*f).expect("validated").clone();
-                    let at = stack.len() - ty.params.len();
-                    let args: Vec<Value> = stack.split_off(at);
-                    let results = self.call_function(*f, &args, depth + 1, observer)?;
+                    // Only the arity is needed here; cloning the whole
+                    // FuncType per call would allocate on the hot path.
+                    let n_args = self.module.func_type(*f).expect("validated").params.len();
+                    let results = self.call_with_stack_args(*f, n_args, stack, depth, observer)?;
                     stack.extend(results);
                 }
                 Instr::CallIndirect(t) => {
@@ -461,10 +569,8 @@ impl<'m> Instance<'m> {
                     if actual != expected {
                         return Err(Trap::IndirectCallTypeMismatch);
                     }
-                    let ty = actual.clone();
-                    let at = stack.len() - ty.params.len();
-                    let args: Vec<Value> = stack.split_off(at);
-                    let results = self.call_function(f, &args, depth + 1, observer)?;
+                    let n_args = actual.params.len();
+                    let results = self.call_with_stack_args(f, n_args, stack, depth, observer)?;
                     stack.extend(results);
                 }
                 Instr::Drop => {
@@ -530,23 +636,7 @@ impl<'m> Instance<'m> {
         self.stats.loads += 1;
         observer.on_mem_access(addr, op.access_bytes(), false);
         let mem = self.memory.as_ref().expect("validated");
-        let v = match op {
-            LoadOp::I32Load => Value::I32(i32::from_le_bytes(mem.read::<4>(addr)?)),
-            LoadOp::I64Load => Value::I64(i64::from_le_bytes(mem.read::<8>(addr)?)),
-            LoadOp::F32Load => Value::F32(f32::from_le_bytes(mem.read::<4>(addr)?)),
-            LoadOp::F64Load => Value::F64(f64::from_le_bytes(mem.read::<8>(addr)?)),
-            LoadOp::I32Load8S => Value::I32(i32::from(mem.read::<1>(addr)?[0] as i8)),
-            LoadOp::I32Load8U => Value::I32(i32::from(mem.read::<1>(addr)?[0])),
-            LoadOp::I32Load16S => Value::I32(i32::from(i16::from_le_bytes(mem.read::<2>(addr)?))),
-            LoadOp::I32Load16U => Value::I32(i32::from(u16::from_le_bytes(mem.read::<2>(addr)?))),
-            LoadOp::I64Load8S => Value::I64(i64::from(mem.read::<1>(addr)?[0] as i8)),
-            LoadOp::I64Load8U => Value::I64(i64::from(mem.read::<1>(addr)?[0])),
-            LoadOp::I64Load16S => Value::I64(i64::from(i16::from_le_bytes(mem.read::<2>(addr)?))),
-            LoadOp::I64Load16U => Value::I64(i64::from(u16::from_le_bytes(mem.read::<2>(addr)?))),
-            LoadOp::I64Load32S => Value::I64(i64::from(i32::from_le_bytes(mem.read::<4>(addr)?))),
-            LoadOp::I64Load32U => Value::I64(i64::from(u32::from_le_bytes(mem.read::<4>(addr)?))),
-        };
-        Ok(v)
+        load_value(mem, op, addr)
     }
 
     fn exec_store(
@@ -562,23 +652,50 @@ impl<'m> Instance<'m> {
         self.stats.stores += 1;
         observer.on_mem_access(addr, op.access_bytes(), true);
         let mem = self.memory.as_mut().expect("validated");
-        match op {
-            StoreOp::I32Store => mem.write(addr, v.as_i32().to_le_bytes())?,
-            StoreOp::I64Store => mem.write(addr, v.as_i64().to_le_bytes())?,
-            StoreOp::F32Store => mem.write(addr, v.as_f32().to_le_bytes())?,
-            StoreOp::F64Store => mem.write(addr, v.as_f64().to_le_bytes())?,
-            StoreOp::I32Store8 => mem.write(addr, [(v.as_i32() & 0xff) as u8])?,
-            StoreOp::I32Store16 => mem.write(addr, (v.as_i32() as u16).to_le_bytes())?,
-            StoreOp::I64Store8 => mem.write(addr, [(v.as_i64() & 0xff) as u8])?,
-            StoreOp::I64Store16 => mem.write(addr, (v.as_i64() as u16).to_le_bytes())?,
-            StoreOp::I64Store32 => mem.write(addr, (v.as_i64() as u32).to_le_bytes())?,
-        }
-        Ok(())
+        store_value(mem, op, addr, v)
+    }
+}
+
+/// Performs a bounds-checked load of `op` at `addr`. Shared by both
+/// engines.
+pub(crate) fn load_value(mem: &Memory, op: LoadOp, addr: u64) -> Result<Value, Trap> {
+    let v = match op {
+        LoadOp::I32Load => Value::I32(i32::from_le_bytes(mem.read::<4>(addr)?)),
+        LoadOp::I64Load => Value::I64(i64::from_le_bytes(mem.read::<8>(addr)?)),
+        LoadOp::F32Load => Value::F32(f32::from_le_bytes(mem.read::<4>(addr)?)),
+        LoadOp::F64Load => Value::F64(f64::from_le_bytes(mem.read::<8>(addr)?)),
+        LoadOp::I32Load8S => Value::I32(i32::from(mem.read::<1>(addr)?[0] as i8)),
+        LoadOp::I32Load8U => Value::I32(i32::from(mem.read::<1>(addr)?[0])),
+        LoadOp::I32Load16S => Value::I32(i32::from(i16::from_le_bytes(mem.read::<2>(addr)?))),
+        LoadOp::I32Load16U => Value::I32(i32::from(u16::from_le_bytes(mem.read::<2>(addr)?))),
+        LoadOp::I64Load8S => Value::I64(i64::from(mem.read::<1>(addr)?[0] as i8)),
+        LoadOp::I64Load8U => Value::I64(i64::from(mem.read::<1>(addr)?[0])),
+        LoadOp::I64Load16S => Value::I64(i64::from(i16::from_le_bytes(mem.read::<2>(addr)?))),
+        LoadOp::I64Load16U => Value::I64(i64::from(u16::from_le_bytes(mem.read::<2>(addr)?))),
+        LoadOp::I64Load32S => Value::I64(i64::from(i32::from_le_bytes(mem.read::<4>(addr)?))),
+        LoadOp::I64Load32U => Value::I64(i64::from(u32::from_le_bytes(mem.read::<4>(addr)?))),
+    };
+    Ok(v)
+}
+
+/// Performs a bounds-checked store of `v` via `op` at `addr`. Shared
+/// by both engines.
+pub(crate) fn store_value(mem: &mut Memory, op: StoreOp, addr: u64, v: Value) -> Result<(), Trap> {
+    match op {
+        StoreOp::I32Store => mem.write(addr, v.as_i32().to_le_bytes()),
+        StoreOp::I64Store => mem.write(addr, v.as_i64().to_le_bytes()),
+        StoreOp::F32Store => mem.write(addr, v.as_f32().to_le_bytes()),
+        StoreOp::F64Store => mem.write(addr, v.as_f64().to_le_bytes()),
+        StoreOp::I32Store8 => mem.write(addr, [(v.as_i32() & 0xff) as u8]),
+        StoreOp::I32Store16 => mem.write(addr, (v.as_i32() as u16).to_le_bytes()),
+        StoreOp::I64Store8 => mem.write(addr, [(v.as_i64() & 0xff) as u8]),
+        StoreOp::I64Store16 => mem.write(addr, (v.as_i64() as u16).to_le_bytes()),
+        StoreOp::I64Store32 => mem.write(addr, (v.as_i64() as u32).to_le_bytes()),
     }
 }
 
 /// WebAssembly float min (NaN-propagating, -0 < +0).
-fn fmin<T: PartialOrd + Copy + FloatLike>(a: T, b: T) -> T {
+pub(crate) fn fmin<T: PartialOrd + Copy + FloatLike>(a: T, b: T) -> T {
     if a.is_nan() || b.is_nan() {
         return T::nan();
     }
@@ -594,7 +711,7 @@ fn fmin<T: PartialOrd + Copy + FloatLike>(a: T, b: T) -> T {
 }
 
 /// WebAssembly float max (NaN-propagating, +0 > -0).
-fn fmax<T: PartialOrd + Copy + FloatLike>(a: T, b: T) -> T {
+pub(crate) fn fmax<T: PartialOrd + Copy + FloatLike>(a: T, b: T) -> T {
     if a.is_nan() || b.is_nan() {
         return T::nan();
     }
@@ -610,7 +727,7 @@ fn fmax<T: PartialOrd + Copy + FloatLike>(a: T, b: T) -> T {
 }
 
 #[allow(clippy::wrong_self_convention)] // mirrors the std float API
-trait FloatLike {
+pub(crate) trait FloatLike {
     fn is_nan(self) -> bool;
     fn is_sign_negative(self) -> bool;
     fn is_sign_positive(self) -> bool;
@@ -647,7 +764,7 @@ impl FloatLike for f64 {
     }
 }
 
-fn trunc_to_i32(v: f64, signed: bool) -> Result<i32, Trap> {
+pub(crate) fn trunc_to_i32(v: f64, signed: bool) -> Result<i32, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -665,7 +782,7 @@ fn trunc_to_i32(v: f64, signed: bool) -> Result<i32, Trap> {
     }
 }
 
-fn trunc_to_i64(v: f64, signed: bool) -> Result<i64, Trap> {
+pub(crate) fn trunc_to_i64(v: f64, signed: bool) -> Result<i64, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -684,7 +801,7 @@ fn trunc_to_i64(v: f64, signed: bool) -> Result<i64, Trap> {
 }
 
 #[allow(clippy::too_many_lines)]
-fn exec_num(op: NumOp, stack: &mut Vec<Value>) -> Result<(), Trap> {
+pub(crate) fn exec_num(op: NumOp, stack: &mut Vec<Value>) -> Result<(), Trap> {
     use NumOp::*;
 
     macro_rules! un {

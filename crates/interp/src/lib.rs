@@ -34,19 +34,22 @@
 //! assert_eq!(out, vec![Value::I32(42)]);
 //! ```
 
+mod bytecode;
+mod compile;
 mod exec;
 mod host;
 mod memory;
+mod numslot;
 mod observer;
 mod profile;
 mod stats;
 mod trap;
 mod value;
 
-pub use exec::{Config, Instance};
+pub use exec::{Config, Engine, Instance};
 pub use host::{HostCtx, HostFunc, Imports};
 pub use memory::Memory;
-pub use observer::{CountingObserver, NullObserver, Observer};
+pub use observer::{Accounting, BatchedCounter, CountingObserver, NullObserver, Observer};
 pub use profile::{FuncProfile, OpClass, ProfileReport, ProfilingObserver};
 pub use stats::ExecStats;
 pub use trap::Trap;

@@ -31,13 +31,21 @@ impl Memory {
     }
 
     /// Grows by `delta` pages. Returns the previous size in pages, or
-    /// -1 if the growth would exceed the maximum.
+    /// -1 if the growth would exceed the maximum or the allocation
+    /// fails.
     pub fn grow(&mut self, delta: u32) -> i32 {
         let old = self.size_pages();
         let new = match old.checked_add(delta) {
             Some(n) if n <= self.max_pages => n,
             _ => return -1,
         };
+        // memory.grow is allowed to fail (-1 to the guest); an
+        // allocation failure must not abort the host, so reserve
+        // fallibly before the zero-filling resize.
+        let add = (new - old) as usize * PAGE_SIZE;
+        if self.bytes.try_reserve_exact(add).is_err() {
+            return -1;
+        }
         self.bytes.resize(new as usize * PAGE_SIZE, 0);
         old as i32
     }

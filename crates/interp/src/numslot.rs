@@ -1,0 +1,362 @@
+//! Numeric execution over untyped 64-bit stack slots.
+//!
+//! The flat-bytecode engine keeps its operand stack as raw `u64` slots
+//! (see [`crate::bytecode`]): validation has already proven every
+//! operand's type, so the enum tag a [`crate::Value`] carries is pure
+//! overhead on the hot path. This module is [`crate::exec::exec_num`]
+//! transliterated onto that representation — the match body is kept
+//! arm-for-arm identical (same expressions, same trap conditions, same
+//! helper functions) so the two evaluators cannot drift semantically;
+//! only the decode/encode layer differs. The differential suite in
+//! `tests/engine_diff.rs` additionally sweeps every [`NumOp`] across
+//! both engines on adversarial operands (NaNs, boundary integers).
+//!
+//! Slot encoding: `i32` zero-extended from its `u32` bits, `i64` as
+//! its `u64` bits, floats as their IEEE bit patterns (`f32` in the low
+//! 32 bits). All-zero bits encode the zero value of every type, which
+//! is what lets locals be zero-initialised with `resize(.., 0)`.
+
+use acctee_wasm::op::NumOp;
+use acctee_wasm::types::ValType;
+
+use crate::exec::{fmax, fmin, trunc_to_i32, trunc_to_i64};
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// Slot decoders, named after the [`Value`] accessors so the match
+/// body of [`exec_num_slot`] can mirror `exec_num` token-for-token.
+mod dec {
+    #[inline(always)]
+    pub fn as_i32(s: u64) -> i32 {
+        s as u32 as i32
+    }
+    #[inline(always)]
+    pub fn as_i64(s: u64) -> i64 {
+        s as i64
+    }
+    #[inline(always)]
+    pub fn as_f32(s: u64) -> f32 {
+        f32::from_bits(s as u32)
+    }
+    #[inline(always)]
+    pub fn as_f64(s: u64) -> f64 {
+        f64::from_bits(s)
+    }
+}
+
+/// Slot encoders, named after the [`Value`] constructors (hence the
+/// non-snake-case names) for the same mirroring reason.
+#[allow(non_snake_case)]
+mod enc {
+    #[inline(always)]
+    pub fn I32(v: i32) -> u64 {
+        u64::from(v as u32)
+    }
+    #[inline(always)]
+    pub fn I64(v: i64) -> u64 {
+        v as u64
+    }
+    #[inline(always)]
+    pub fn F32(v: f32) -> u64 {
+        u64::from(v.to_bits())
+    }
+    #[inline(always)]
+    pub fn F64(v: f64) -> u64 {
+        v.to_bits()
+    }
+}
+
+/// Encodes a typed [`Value`] into its slot representation.
+#[inline]
+pub(crate) fn value_to_slot(v: Value) -> u64 {
+    match v {
+        Value::I32(x) => enc::I32(x),
+        Value::I64(x) => enc::I64(x),
+        Value::F32(x) => enc::F32(x),
+        Value::F64(x) => enc::F64(x),
+    }
+}
+
+/// Decodes a slot back into a typed [`Value`].
+#[inline]
+pub(crate) fn slot_to_value(s: u64, ty: ValType) -> Value {
+    match ty {
+        ValType::I32 => Value::I32(dec::as_i32(s)),
+        ValType::I64 => Value::I64(dec::as_i64(s)),
+        ValType::F32 => Value::F32(dec::as_f32(s)),
+        ValType::F64 => Value::F64(dec::as_f64(s)),
+    }
+}
+
+/// [`crate::exec::exec_num`] on slot operands. The arm bodies are a
+/// verbatim copy — do not "simplify" one side without the other.
+#[allow(clippy::too_many_lines)]
+#[inline(always)]
+pub(crate) fn exec_num_slot(op: NumOp, stack: &mut Vec<u64>) -> Result<(), Trap> {
+    use NumOp::*;
+
+    macro_rules! un {
+        ($as:ident, $wrap:ident, |$a:ident| $e:expr) => {{
+            let $a = dec::$as(stack.pop().expect("validated"));
+            stack.push(enc::$wrap($e));
+        }};
+    }
+    macro_rules! bin {
+        ($as:ident, $wrap:ident, |$a:ident, $b:ident| $e:expr) => {{
+            let $b = dec::$as(stack.pop().expect("validated"));
+            let $a = dec::$as(stack.pop().expect("validated"));
+            stack.push(enc::$wrap($e));
+        }};
+    }
+    macro_rules! bin_try {
+        ($as:ident, $wrap:ident, |$a:ident, $b:ident| $e:expr) => {{
+            let $b = dec::$as(stack.pop().expect("validated"));
+            let $a = dec::$as(stack.pop().expect("validated"));
+            stack.push(enc::$wrap($e?));
+        }};
+    }
+
+    match op {
+        // i32 comparisons
+        I32Eqz => un!(as_i32, I32, |a| i32::from(a == 0)),
+        I32Eq => bin!(as_i32, I32, |a, b| i32::from(a == b)),
+        I32Ne => bin!(as_i32, I32, |a, b| i32::from(a != b)),
+        I32LtS => bin!(as_i32, I32, |a, b| i32::from(a < b)),
+        I32LtU => bin!(as_i32, I32, |a, b| i32::from((a as u32) < b as u32)),
+        I32GtS => bin!(as_i32, I32, |a, b| i32::from(a > b)),
+        I32GtU => bin!(as_i32, I32, |a, b| i32::from(a as u32 > b as u32)),
+        I32LeS => bin!(as_i32, I32, |a, b| i32::from(a <= b)),
+        I32LeU => bin!(as_i32, I32, |a, b| i32::from(a as u32 <= b as u32)),
+        I32GeS => bin!(as_i32, I32, |a, b| i32::from(a >= b)),
+        I32GeU => bin!(as_i32, I32, |a, b| i32::from(a as u32 >= b as u32)),
+        // i64 comparisons
+        I64Eqz => un!(as_i64, I32, |a| i32::from(a == 0)),
+        I64Eq => bin!(as_i64, I32, |a, b| i32::from(a == b)),
+        I64Ne => bin!(as_i64, I32, |a, b| i32::from(a != b)),
+        I64LtS => bin!(as_i64, I32, |a, b| i32::from(a < b)),
+        I64LtU => bin!(as_i64, I32, |a, b| i32::from((a as u64) < b as u64)),
+        I64GtS => bin!(as_i64, I32, |a, b| i32::from(a > b)),
+        I64GtU => bin!(as_i64, I32, |a, b| i32::from(a as u64 > b as u64)),
+        I64LeS => bin!(as_i64, I32, |a, b| i32::from(a <= b)),
+        I64LeU => bin!(as_i64, I32, |a, b| i32::from(a as u64 <= b as u64)),
+        I64GeS => bin!(as_i64, I32, |a, b| i32::from(a >= b)),
+        I64GeU => bin!(as_i64, I32, |a, b| i32::from(a as u64 >= b as u64)),
+        // float comparisons
+        F32Eq => bin!(as_f32, I32, |a, b| i32::from(a == b)),
+        F32Ne => bin!(as_f32, I32, |a, b| i32::from(a != b)),
+        F32Lt => bin!(as_f32, I32, |a, b| i32::from(a < b)),
+        F32Gt => bin!(as_f32, I32, |a, b| i32::from(a > b)),
+        F32Le => bin!(as_f32, I32, |a, b| i32::from(a <= b)),
+        F32Ge => bin!(as_f32, I32, |a, b| i32::from(a >= b)),
+        F64Eq => bin!(as_f64, I32, |a, b| i32::from(a == b)),
+        F64Ne => bin!(as_f64, I32, |a, b| i32::from(a != b)),
+        F64Lt => bin!(as_f64, I32, |a, b| i32::from(a < b)),
+        F64Gt => bin!(as_f64, I32, |a, b| i32::from(a > b)),
+        F64Le => bin!(as_f64, I32, |a, b| i32::from(a <= b)),
+        F64Ge => bin!(as_f64, I32, |a, b| i32::from(a >= b)),
+        // i32 arithmetic
+        I32Clz => un!(as_i32, I32, |a| a.leading_zeros() as i32),
+        I32Ctz => un!(as_i32, I32, |a| a.trailing_zeros() as i32),
+        I32Popcnt => un!(as_i32, I32, |a| a.count_ones() as i32),
+        I32Add => bin!(as_i32, I32, |a, b| a.wrapping_add(b)),
+        I32Sub => bin!(as_i32, I32, |a, b| a.wrapping_sub(b)),
+        I32Mul => bin!(as_i32, I32, |a, b| a.wrapping_mul(b)),
+        I32DivS => bin_try!(as_i32, I32, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else if a == i32::MIN && b == -1 {
+                Err(Trap::IntegerOverflow)
+            } else {
+                Ok(a.wrapping_div(b))
+            }
+        }),
+        I32DivU => bin_try!(as_i32, I32, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else {
+                Ok(((a as u32) / (b as u32)) as i32)
+            }
+        }),
+        I32RemS => bin_try!(as_i32, I32, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else {
+                Ok(a.wrapping_rem(b))
+            }
+        }),
+        I32RemU => bin_try!(as_i32, I32, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else {
+                Ok(((a as u32) % (b as u32)) as i32)
+            }
+        }),
+        I32And => bin!(as_i32, I32, |a, b| a & b),
+        I32Or => bin!(as_i32, I32, |a, b| a | b),
+        I32Xor => bin!(as_i32, I32, |a, b| a ^ b),
+        I32Shl => bin!(as_i32, I32, |a, b| a.wrapping_shl(b as u32)),
+        I32ShrS => bin!(as_i32, I32, |a, b| a.wrapping_shr(b as u32)),
+        I32ShrU => bin!(as_i32, I32, |a, b| ((a as u32).wrapping_shr(b as u32))
+            as i32),
+        I32Rotl => bin!(as_i32, I32, |a, b| a.rotate_left(b as u32 & 31)),
+        I32Rotr => bin!(as_i32, I32, |a, b| a.rotate_right(b as u32 & 31)),
+        // i64 arithmetic
+        I64Clz => un!(as_i64, I64, |a| i64::from(a.leading_zeros())),
+        I64Ctz => un!(as_i64, I64, |a| i64::from(a.trailing_zeros())),
+        I64Popcnt => un!(as_i64, I64, |a| i64::from(a.count_ones())),
+        I64Add => bin!(as_i64, I64, |a, b| a.wrapping_add(b)),
+        I64Sub => bin!(as_i64, I64, |a, b| a.wrapping_sub(b)),
+        I64Mul => bin!(as_i64, I64, |a, b| a.wrapping_mul(b)),
+        I64DivS => bin_try!(as_i64, I64, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else if a == i64::MIN && b == -1 {
+                Err(Trap::IntegerOverflow)
+            } else {
+                Ok(a.wrapping_div(b))
+            }
+        }),
+        I64DivU => bin_try!(as_i64, I64, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else {
+                Ok(((a as u64) / (b as u64)) as i64)
+            }
+        }),
+        I64RemS => bin_try!(as_i64, I64, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else {
+                Ok(a.wrapping_rem(b))
+            }
+        }),
+        I64RemU => bin_try!(as_i64, I64, |a, b| {
+            if b == 0 {
+                Err(Trap::DivisionByZero)
+            } else {
+                Ok(((a as u64) % (b as u64)) as i64)
+            }
+        }),
+        I64And => bin!(as_i64, I64, |a, b| a & b),
+        I64Or => bin!(as_i64, I64, |a, b| a | b),
+        I64Xor => bin!(as_i64, I64, |a, b| a ^ b),
+        I64Shl => bin!(as_i64, I64, |a, b| a.wrapping_shl(b as u32)),
+        I64ShrS => bin!(as_i64, I64, |a, b| a.wrapping_shr(b as u32)),
+        I64ShrU => bin!(as_i64, I64, |a, b| ((a as u64).wrapping_shr(b as u32))
+            as i64),
+        I64Rotl => bin!(as_i64, I64, |a, b| a.rotate_left(b as u32 & 63)),
+        I64Rotr => bin!(as_i64, I64, |a, b| a.rotate_right(b as u32 & 63)),
+        // f32 arithmetic
+        F32Abs => un!(as_f32, F32, |a| a.abs()),
+        F32Neg => un!(as_f32, F32, |a| -a),
+        F32Ceil => un!(as_f32, F32, |a| a.ceil()),
+        F32Floor => un!(as_f32, F32, |a| a.floor()),
+        F32Trunc => un!(as_f32, F32, |a| a.trunc()),
+        F32Nearest => un!(as_f32, F32, |a| a.round_ties_even()),
+        F32Sqrt => un!(as_f32, F32, |a| a.sqrt()),
+        F32Add => bin!(as_f32, F32, |a, b| a + b),
+        F32Sub => bin!(as_f32, F32, |a, b| a - b),
+        F32Mul => bin!(as_f32, F32, |a, b| a * b),
+        F32Div => bin!(as_f32, F32, |a, b| a / b),
+        F32Min => bin!(as_f32, F32, |a, b| fmin(a, b)),
+        F32Max => bin!(as_f32, F32, |a, b| fmax(a, b)),
+        F32Copysign => bin!(as_f32, F32, |a, b| a.copysign(b)),
+        // f64 arithmetic
+        F64Abs => un!(as_f64, F64, |a| a.abs()),
+        F64Neg => un!(as_f64, F64, |a| -a),
+        F64Ceil => un!(as_f64, F64, |a| a.ceil()),
+        F64Floor => un!(as_f64, F64, |a| a.floor()),
+        F64Trunc => un!(as_f64, F64, |a| a.trunc()),
+        F64Nearest => un!(as_f64, F64, |a| a.round_ties_even()),
+        F64Sqrt => un!(as_f64, F64, |a| a.sqrt()),
+        F64Add => bin!(as_f64, F64, |a, b| a + b),
+        F64Sub => bin!(as_f64, F64, |a, b| a - b),
+        F64Mul => bin!(as_f64, F64, |a, b| a * b),
+        F64Div => bin!(as_f64, F64, |a, b| a / b),
+        F64Min => bin!(as_f64, F64, |a, b| fmin(a, b)),
+        F64Max => bin!(as_f64, F64, |a, b| fmax(a, b)),
+        F64Copysign => bin!(as_f64, F64, |a, b| a.copysign(b)),
+        // conversions
+        I32WrapI64 => un!(as_i64, I32, |a| a as i32),
+        I32TruncF32S => {
+            let a = dec::as_f32(stack.pop().expect("validated"));
+            stack.push(enc::I32(trunc_to_i32(f64::from(a), true)?));
+        }
+        I32TruncF32U => {
+            let a = dec::as_f32(stack.pop().expect("validated"));
+            stack.push(enc::I32(trunc_to_i32(f64::from(a), false)?));
+        }
+        I32TruncF64S => {
+            let a = dec::as_f64(stack.pop().expect("validated"));
+            stack.push(enc::I32(trunc_to_i32(a, true)?));
+        }
+        I32TruncF64U => {
+            let a = dec::as_f64(stack.pop().expect("validated"));
+            stack.push(enc::I32(trunc_to_i32(a, false)?));
+        }
+        I64ExtendI32S => un!(as_i32, I64, |a| i64::from(a)),
+        I64ExtendI32U => un!(as_i32, I64, |a| i64::from(a as u32)),
+        I64TruncF32S => {
+            let a = dec::as_f32(stack.pop().expect("validated"));
+            stack.push(enc::I64(trunc_to_i64(f64::from(a), true)?));
+        }
+        I64TruncF32U => {
+            let a = dec::as_f32(stack.pop().expect("validated"));
+            stack.push(enc::I64(trunc_to_i64(f64::from(a), false)?));
+        }
+        I64TruncF64S => {
+            let a = dec::as_f64(stack.pop().expect("validated"));
+            stack.push(enc::I64(trunc_to_i64(a, true)?));
+        }
+        I64TruncF64U => {
+            let a = dec::as_f64(stack.pop().expect("validated"));
+            stack.push(enc::I64(trunc_to_i64(a, false)?));
+        }
+        F32ConvertI32S => un!(as_i32, F32, |a| a as f32),
+        F32ConvertI32U => un!(as_i32, F32, |a| a as u32 as f32),
+        F32ConvertI64S => un!(as_i64, F32, |a| a as f32),
+        F32ConvertI64U => un!(as_i64, F32, |a| a as u64 as f32),
+        F32DemoteF64 => un!(as_f64, F32, |a| a as f32),
+        F64ConvertI32S => un!(as_i32, F64, |a| f64::from(a)),
+        F64ConvertI32U => un!(as_i32, F64, |a| f64::from(a as u32)),
+        F64ConvertI64S => un!(as_i64, F64, |a| a as f64),
+        F64ConvertI64U => un!(as_i64, F64, |a| a as u64 as f64),
+        F64PromoteF32 => un!(as_f32, F64, |a| f64::from(a)),
+        I32ReinterpretF32 => un!(as_f32, I32, |a| a.to_bits() as i32),
+        I64ReinterpretF64 => un!(as_f64, I64, |a| a.to_bits() as i64),
+        F32ReinterpretI32 => un!(as_i32, F32, |a| f32::from_bits(a as u32)),
+        F64ReinterpretI64 => un!(as_i64, F64, |a| f64::from_bits(a as u64)),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrip_preserves_bits() {
+        let nan = f32::from_bits(0x7fc0_1234);
+        for v in [
+            Value::I32(-1),
+            Value::I32(i32::MIN),
+            Value::I64(i64::MIN),
+            Value::F32(nan),
+            Value::F64(f64::NEG_INFINITY),
+            Value::F64(-0.0),
+        ] {
+            let s = value_to_slot(v);
+            let back = slot_to_value(s, v.ty());
+            assert_eq!(value_to_slot(back), s, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn i32_slots_are_zero_extended() {
+        let s = value_to_slot(Value::I32(-1));
+        assert_eq!(s, 0xffff_ffff);
+        // The whole-slot zero test used for branch conditions is
+        // equivalent to the i32 test under this invariant.
+        assert_ne!(s, 0);
+    }
+}

@@ -7,6 +7,27 @@
 
 use acctee_wasm::instr::Instr;
 
+/// How an observer wants instruction events delivered.
+///
+/// The flat-bytecode engine asks the attached observer once per
+/// invocation and picks a dispatch loop accordingly; the tree-walker
+/// always delivers the exact per-instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Accounting {
+    /// One [`Observer::on_instr`] per executed instruction, plus the
+    /// full memory-access and call/return event streams. Required by
+    /// profilers and the cache model.
+    #[default]
+    PerInstr,
+    /// Fused counting: the engine may coalesce a straight-line run of
+    /// instructions into a single [`Observer::on_block`] delivery and
+    /// skip `on_instr`, `on_mem_access`, `on_call` and `on_return`
+    /// entirely. The delivered totals still sum to the exact
+    /// instruction count, including partially executed blocks on a
+    /// trap.
+    Batched,
+}
+
 /// A hook invoked by the interpreter during execution.
 ///
 /// The default implementations do nothing, so implementors override
@@ -36,6 +57,18 @@ pub trait Observer {
     /// stack must tolerate unpaired calls (see
     /// `ProfilingObserver::report`, which drains still-open frames).
     fn on_return(&mut self, _func_idx: u32) {}
+
+    /// The delivery mode this observer needs. Defaults to the exact
+    /// per-instruction stream; override to [`Accounting::Batched`] to
+    /// let the bytecode engine fuse counter updates per basic block.
+    fn accounting(&self) -> Accounting {
+        Accounting::PerInstr
+    }
+
+    /// Called with a fused instruction count for a straight-line run,
+    /// only when [`Observer::accounting`] returned
+    /// [`Accounting::Batched`].
+    fn on_block(&mut self, _instrs: u64) {}
 }
 
 /// An observer that does nothing (zero overhead beyond the virtual
@@ -43,7 +76,38 @@ pub trait Observer {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+impl Observer for NullObserver {
+    fn accounting(&self) -> Accounting {
+        Accounting::Batched
+    }
+}
+
+/// A unit-weight instruction counter that opts in to batched delivery.
+///
+/// Under the bytecode engine this receives one [`Observer::on_block`]
+/// per straight-line segment instead of one [`Observer::on_instr`] per
+/// instruction; under the tree-walker it counts per instruction. The
+/// final count is identical either way (the differential suite pins
+/// this down).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchedCounter {
+    /// Total instructions counted.
+    pub count: u64,
+}
+
+impl Observer for BatchedCounter {
+    fn on_instr(&mut self, _instr: &Instr) {
+        self.count += 1;
+    }
+
+    fn on_block(&mut self, instrs: u64) {
+        self.count += instrs;
+    }
+
+    fn accounting(&self) -> Accounting {
+        Accounting::Batched
+    }
+}
 
 /// Counts executed instructions, optionally weighted.
 ///

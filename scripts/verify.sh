@@ -16,4 +16,10 @@ cargo build --offline --release
 echo "==> tier-1: cargo test"
 cargo test --offline -q
 
+echo "==> engine differential suite (tree vs bytecode)"
+cargo test --offline -q -p acctee-integration --test engine_diff
+
+echo "==> interpreter throughput smoke (BENCH_interp.json)"
+cargo run --offline --release -q -p acctee-bench --bin interp -- 8 2 --out /tmp/BENCH_interp.json
+
 echo "==> all green"

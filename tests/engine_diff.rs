@@ -1,0 +1,934 @@
+//! Differential testing of the two execution engines.
+//!
+//! The tree-walker is the semantic oracle; the flat-bytecode engine
+//! must be indistinguishable from it for *any* module: bit-identical
+//! results, identical traps (kind and position, as witnessed by
+//! `ExecStats` and remaining fuel), identical `ExecStats`, and
+//! identical observer counts — across all three bytecode dispatch
+//! modes (fast/batched, metered, observed).
+//!
+//! Programs come from a control-flow-heavy generator (blocks, loops,
+//! ifs, br_table, direct/indirect calls, memory traffic, occasional
+//! traps), from the PolyBench workload suite, and from directed trap
+//! cases.
+
+use acctee_instrument::{instrument, Level, WeightTable, COUNTER_EXPORT};
+use acctee_integration::prop::{check, Rng};
+use acctee_interp::{
+    BatchedCounter, Config, CountingObserver, Engine, ExecStats, Imports, Instance, Trap, Value,
+};
+use acctee_wasm::builder::{FuncBuilder, ModuleBuilder};
+use acctee_wasm::instr::{BlockType, Instr};
+use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
+use acctee_wasm::types::ValType;
+use acctee_wasm::Module;
+
+// ---------------------------------------------------------------- runner
+
+/// Everything observable about one execution, with float results
+/// normalised to bit patterns (NaN-exact comparison).
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Result<Vec<(ValType, u64)>, Trap>,
+    stats: ExecStats,
+    fuel_left: Option<u64>,
+    count: Option<u64>,
+}
+
+fn value_bits(v: &Value) -> (ValType, u64) {
+    let bits = match *v {
+        Value::I32(x) => x as u32 as u64,
+        Value::I64(x) => x as u64,
+        Value::F32(x) => u64::from(x.to_bits()),
+        Value::F64(x) => x.to_bits(),
+    };
+    (v.ty(), bits)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Obs {
+    Null,
+    Counting,
+    Batched,
+}
+
+fn run(
+    module: &Module,
+    imports: Imports,
+    engine: Engine,
+    fuel: Option<u64>,
+    obs: Obs,
+    func: &str,
+    args: &[Value],
+) -> Outcome {
+    let cfg = Config {
+        fuel,
+        engine,
+        ..Config::default()
+    };
+    let mut inst = Instance::with_config(module, imports, cfg).expect("instantiate");
+    let (result, count) = match obs {
+        Obs::Null => (inst.invoke(func, args), None),
+        Obs::Counting => {
+            let mut c = CountingObserver::unit();
+            let r = inst.invoke_observed(func, args, &mut c);
+            (r, Some(c.count))
+        }
+        Obs::Batched => {
+            let mut c = BatchedCounter::default();
+            let r = inst.invoke_observed(func, args, &mut c);
+            (r, Some(c.count))
+        }
+    };
+    Outcome {
+        result: result.map(|vs| vs.iter().map(value_bits).collect()),
+        stats: inst.stats(),
+        fuel_left: inst.remaining_fuel(),
+        count,
+    }
+}
+
+/// The flagship assertion: both engines agree on results, traps,
+/// stats, fuel and counts, in every bytecode dispatch mode. Returns
+/// the oracle outcome for further checks.
+fn assert_engines_agree(
+    module: &Module,
+    mk_imports: &dyn Fn() -> Imports,
+    func: &str,
+    args: &[Value],
+    fuel: Option<u64>,
+) -> Outcome {
+    // Observed mode: exact per-instruction stream on both sides.
+    let t = run(
+        module,
+        mk_imports(),
+        Engine::Tree,
+        fuel,
+        Obs::Counting,
+        func,
+        args,
+    );
+    let b = run(
+        module,
+        mk_imports(),
+        Engine::Bytecode,
+        fuel,
+        Obs::Counting,
+        func,
+        args,
+    );
+    assert_eq!(t, b, "observed (per-instruction) mode diverged");
+    // Null observer: the bytecode engine takes the batched fast path
+    // (or the metered path when fuel is set).
+    let tn = run(
+        module,
+        mk_imports(),
+        Engine::Tree,
+        fuel,
+        Obs::Null,
+        func,
+        args,
+    );
+    let bn = run(
+        module,
+        mk_imports(),
+        Engine::Bytecode,
+        fuel,
+        Obs::Null,
+        func,
+        args,
+    );
+    assert_eq!(tn, bn, "null-observer (batched) mode diverged");
+    assert_eq!(t.stats, tn.stats, "observer choice changed tree stats");
+    // A batched counter must still see the exact total, including
+    // partially executed blocks on traps.
+    let bb = run(
+        module,
+        mk_imports(),
+        Engine::Bytecode,
+        fuel,
+        Obs::Batched,
+        func,
+        args,
+    );
+    assert_eq!(bb.count, t.count, "fused block counts diverged from oracle");
+    assert_eq!(bb.result, t.result);
+    assert_eq!(bb.stats, t.stats);
+    assert_eq!(bb.fuel_left, t.fuel_left);
+    t
+}
+
+fn no_imports() -> Imports {
+    Imports::new()
+}
+
+// ------------------------------------------------------------- generator
+
+/// A structured statement that is valid by construction, over an i64
+/// accumulator local.
+#[derive(Debug, Clone)]
+enum S {
+    /// Straight-line accumulator updates.
+    Work(u8),
+    /// Two-armed conditional on the accumulator's parity.
+    If(Vec<S>, Vec<S>),
+    /// A counted do-while loop of `1 + n` iterations.
+    Counted(u8, Vec<S>),
+    /// A block with a data-dependent early exit.
+    EarlyExit(Vec<S>),
+    /// Two nested blocks with a `br_if 1` across both.
+    OuterExit(Vec<S>),
+    /// A three-way `br_table` dispatch on the accumulator.
+    Switch,
+    /// Direct call to the helper function.
+    CallHelper,
+    /// Indirect call through the table on the accumulator's parity.
+    CallIndirectHelper,
+    /// Store the accumulator to memory and load it back.
+    MemRoundTrip,
+    /// `memory.size` / `memory.grow` traffic (grow saturates at the
+    /// declared maximum and yields -1 afterwards).
+    Grow,
+    /// `i64.rem_s` by `acc & 7` — traps with DivisionByZero on ~1/8 of
+    /// accumulator values, exercising trap equivalence mid-program.
+    DivMaybeTrap,
+}
+
+fn gen_program(rng: &mut Rng, depth: u32) -> Vec<S> {
+    let len = rng.range(1, 5);
+    (0..len).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_stmt(rng: &mut Rng, depth: u32) -> S {
+    let choice = if depth == 0 {
+        // Leaves only.
+        [0, 5, 6, 7, 8, 9][rng.range(0, 6)]
+    } else {
+        rng.range(0, 12)
+    };
+    match choice {
+        0 | 10 => S::Work(rng.range(1, 6) as u8),
+        1 => S::If(gen_body(rng, depth), gen_body(rng, depth)),
+        2 => S::Counted(rng.range(0, 4) as u8, gen_body(rng, depth)),
+        3 => S::EarlyExit(gen_body(rng, depth)),
+        4 => S::OuterExit(gen_body(rng, depth)),
+        5 => S::Switch,
+        6 => S::CallHelper,
+        7 => S::CallIndirectHelper,
+        8 => S::MemRoundTrip,
+        9 => S::Grow,
+        _ => S::DivMaybeTrap,
+    }
+}
+
+fn gen_body(rng: &mut Rng, depth: u32) -> Vec<S> {
+    let len = rng.range(0, 3);
+    (0..len).map(|_| gen_stmt(rng, depth - 1)).collect()
+}
+
+struct Compiler {
+    acc: u32,
+    salt: i64,
+}
+
+impl Compiler {
+    /// Emits `acc = acc <op> const`.
+    fn update(&mut self, f: &mut FuncBuilder, k: u8) {
+        self.salt = self.salt.wrapping_mul(31).wrapping_add(7);
+        f.local_get(self.acc);
+        f.i64_const(self.salt | 1);
+        f.num(match k % 3 {
+            0 => NumOp::I64Add,
+            1 => NumOp::I64Xor,
+            _ => NumOp::I64Mul,
+        });
+        f.local_set(self.acc);
+    }
+
+    /// Pushes `(acc & mask) as i32`.
+    fn acc_i32(&self, f: &mut FuncBuilder, mask: i64) {
+        f.local_get(self.acc);
+        f.i64_const(mask);
+        f.num(NumOp::I64And);
+        f.num(NumOp::I32WrapI64);
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn compile(&mut self, f: &mut FuncBuilder, stmts: &[S]) {
+        for s in stmts {
+            match s {
+                S::Work(n) => {
+                    for k in 0..*n {
+                        self.update(f, k);
+                    }
+                }
+                S::If(t, e) => {
+                    self.acc_i32(f, 1);
+                    let cell = std::cell::RefCell::new(std::mem::replace(
+                        self,
+                        Compiler { acc: 0, salt: 0 },
+                    ));
+                    f.if_else(
+                        BlockType::Empty,
+                        |f| cell.borrow_mut().compile(f, t),
+                        |f| cell.borrow_mut().compile(f, e),
+                    );
+                    *self = cell.into_inner();
+                }
+                S::Counted(n, body) => {
+                    let var = f.local(ValType::I32);
+                    let mut this = std::mem::replace(self, Compiler { acc: 0, salt: 0 });
+                    f.for_loop(
+                        var,
+                        acctee_wasm::builder::Bound::Const(0),
+                        acctee_wasm::builder::Bound::Const(i32::from(*n) + 1),
+                        |f| {
+                            this.compile(f, body);
+                            f.local_get(this.acc);
+                            f.i64_const(1);
+                            f.num(NumOp::I64Add);
+                            f.local_set(this.acc);
+                        },
+                    );
+                    *self = this;
+                }
+                S::EarlyExit(body) => {
+                    let mut this = std::mem::replace(self, Compiler { acc: 0, salt: 0 });
+                    f.block(BlockType::Empty, |f| {
+                        this.compile(f, body);
+                        this.acc_i32(f, 3);
+                        f.num(NumOp::I32Eqz);
+                        f.br_if(0);
+                        f.local_get(this.acc);
+                        f.i64_const(5);
+                        f.num(NumOp::I64Add);
+                        f.local_set(this.acc);
+                    });
+                    *self = this;
+                }
+                S::OuterExit(body) => {
+                    let mut this = std::mem::replace(self, Compiler { acc: 0, salt: 0 });
+                    f.block(BlockType::Empty, |f| {
+                        f.block(BlockType::Empty, |f| {
+                            this.compile(f, body);
+                            this.acc_i32(f, 7);
+                            f.num(NumOp::I32Eqz);
+                            f.br_if(1);
+                            f.local_get(this.acc);
+                            f.i64_const(3);
+                            f.num(NumOp::I64Add);
+                            f.local_set(this.acc);
+                        });
+                        f.local_get(this.acc);
+                        f.i64_const(9);
+                        f.num(NumOp::I64Xor);
+                        f.local_set(this.acc);
+                    });
+                    *self = this;
+                }
+                S::Switch => {
+                    let acc = self.acc;
+                    let acc_i32 = |f: &mut FuncBuilder| {
+                        f.local_get(acc);
+                        f.i64_const(3);
+                        f.num(NumOp::I64And);
+                        f.num(NumOp::I32WrapI64);
+                    };
+                    f.block(BlockType::Empty, |f| {
+                        f.block(BlockType::Empty, |f| {
+                            f.block(BlockType::Empty, |f| {
+                                acc_i32(f);
+                                f.emit(Instr::BrTable {
+                                    targets: vec![0, 1],
+                                    default: 2,
+                                });
+                            });
+                            // case 0
+                            f.local_get(acc);
+                            f.i64_const(11);
+                            f.num(NumOp::I64Add);
+                            f.local_set(acc);
+                            f.br(1);
+                        });
+                        // case 1 (cases 2/3 skip this via the default)
+                        f.local_get(acc);
+                        f.i64_const(3);
+                        f.num(NumOp::I64Mul);
+                        f.i64_const(1);
+                        f.num(NumOp::I64Add);
+                        f.local_set(acc);
+                    });
+                }
+                S::CallHelper => {
+                    f.local_get(self.acc);
+                    f.call(HELPER_IDX);
+                    f.local_set(self.acc);
+                }
+                S::CallIndirectHelper => {
+                    f.local_get(self.acc);
+                    self.acc_i32(f, 1);
+                    f.emit(Instr::CallIndirect(0));
+                    f.local_set(self.acc);
+                }
+                S::MemRoundTrip => {
+                    self.acc_i32(f, 0xff);
+                    f.i32_const(3);
+                    f.num(NumOp::I32Shl);
+                    f.local_get(self.acc);
+                    f.store(StoreOp::I64Store, 8);
+                    self.acc_i32(f, 0xff);
+                    f.i32_const(3);
+                    f.num(NumOp::I32Shl);
+                    f.load(LoadOp::I64Load, 8);
+                    f.local_get(self.acc);
+                    f.num(NumOp::I64Add);
+                    f.local_set(self.acc);
+                }
+                S::Grow => {
+                    f.i32_const(1);
+                    f.emit(Instr::MemoryGrow);
+                    f.emit(Instr::MemorySize);
+                    f.num(NumOp::I32Add);
+                    f.num(NumOp::I64ExtendI32S);
+                    f.local_get(self.acc);
+                    f.num(NumOp::I64Add);
+                    f.local_set(self.acc);
+                }
+                S::DivMaybeTrap => {
+                    f.local_get(self.acc);
+                    f.local_get(self.acc);
+                    f.local_get(self.acc);
+                    f.i64_const(7);
+                    f.num(NumOp::I64And);
+                    f.num(NumOp::I64RemS);
+                    f.num(NumOp::I64Xor);
+                    f.local_set(self.acc);
+                }
+            }
+        }
+    }
+}
+
+/// Function index of the direct-call helper (declared first).
+const HELPER_IDX: u32 = 0;
+
+/// Builds a module with `run(seed: i64) -> i64` around the generated
+/// program, two same-typed helpers reachable through the table, a
+/// memory and control-flow-heavy helper bodies.
+fn build_module(prog: &[S]) -> Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(2));
+    b.table(2, None);
+    // Helper 0: nested early-exit block.
+    let h = b.func("h", &[ValType::I64], &[ValType::I64], |f| {
+        f.block(BlockType::Value(ValType::I64), |f| {
+            f.local_get(0);
+            f.i64_const(2);
+            f.num(NumOp::I64Mul);
+            f.i64_const(1);
+            f.num(NumOp::I64Add);
+            f.local_get(0);
+            f.i64_const(15);
+            f.num(NumOp::I64And);
+            f.num(NumOp::I64Eqz);
+            f.br_if(0);
+            f.i64_const(7);
+            f.num(NumOp::I64Xor);
+        });
+    });
+    assert_eq!(h, HELPER_IDX);
+    // Helper 1: small counted loop.
+    let h2 = b.func("h2", &[ValType::I64], &[ValType::I64], |f| {
+        let i = f.local(ValType::I32);
+        let acc = f.local(ValType::I64);
+        f.local_get(0);
+        f.local_set(acc);
+        f.for_loop(
+            i,
+            acctee_wasm::builder::Bound::Const(0),
+            acctee_wasm::builder::Bound::Const(3),
+            |f| {
+                f.local_get(acc);
+                f.i64_const(3);
+                f.num(NumOp::I64Mul);
+                f.i64_const(5);
+                f.num(NumOp::I64Sub);
+                f.local_set(acc);
+            },
+        );
+        f.local_get(acc);
+    });
+    let run = b.func("run", &[ValType::I64], &[ValType::I64], |f| {
+        let acc = f.local(ValType::I64);
+        f.local_get(0);
+        f.local_set(acc);
+        let mut c = Compiler { acc, salt: 0x5eed };
+        c.compile(f, prog);
+        f.local_get(acc);
+    });
+    b.elem(0, &[h, h2]);
+    b.export_func("run", run);
+    b.build()
+}
+
+// ----------------------------------------------------------------- tests
+
+/// Arbitrary control-flow-heavy programs: engines agree in all
+/// dispatch modes, with no fuel limit.
+#[test]
+fn generated_programs_agree() {
+    check("generated_programs_agree", 48, |rng| {
+        let prog = gen_program(rng, 3);
+        let module = build_module(&prog);
+        acctee_wasm::validate::validate_module(&module).expect("generated module valid");
+        let seed = rng.i64();
+        assert_engines_agree(&module, &no_imports, "run", &[Value::I64(seed)], None);
+    });
+}
+
+/// Fuel exactness: for budgets swept around the exact consumption,
+/// both engines trap at the same instruction with the same remaining
+/// fuel — including budgets that expire mid-call or mid-block.
+#[test]
+fn fuel_budgets_agree() {
+    check("fuel_budgets_agree", 12, |rng| {
+        let prog = gen_program(rng, 2);
+        let module = build_module(&prog);
+        acctee_wasm::validate::validate_module(&module).expect("generated module valid");
+        let seed = rng.i64();
+        let args = [Value::I64(seed)];
+        let free = assert_engines_agree(&module, &no_imports, "run", &args, None);
+        let used = free.count.expect("counted");
+        let mut budgets = vec![0, 1, 2, used / 2, used.saturating_sub(1), used, used + 1];
+        budgets.push(rng.below(used.max(1)));
+        for fuel in budgets {
+            assert_engines_agree(&module, &no_imports, "run", &args, Some(fuel));
+        }
+    });
+}
+
+/// The PolyBench suite (the benchmark workloads the speedup claim is
+/// measured on) produces bit-identical numeric results and stats.
+#[test]
+fn polybench_agrees() {
+    for k in acctee_workloads::polybench::all() {
+        let module = (k.build)(6);
+        let out = assert_engines_agree(&module, &no_imports, "run", &[], None);
+        assert!(out.result.is_ok(), "{} trapped", k.name);
+    }
+}
+
+/// Directed trap cases: every trap kind lands identically.
+#[test]
+fn directed_traps_agree() {
+    // unreachable
+    let m = single_func(&[], |f| {
+        f.emit(Instr::Unreachable);
+    });
+    let out = assert_engines_agree(&m, &no_imports, "f", &[], None);
+    assert_eq!(out.result, Err(Trap::Unreachable));
+
+    // division by zero / overflow / invalid conversion
+    for (op, args, trap) in [
+        (
+            NumOp::I32DivS,
+            [Value::I32(1), Value::I32(0)],
+            Trap::DivisionByZero,
+        ),
+        (
+            NumOp::I32DivS,
+            [Value::I32(i32::MIN), Value::I32(-1)],
+            Trap::IntegerOverflow,
+        ),
+        (
+            NumOp::I32RemU,
+            [Value::I32(5), Value::I32(0)],
+            Trap::DivisionByZero,
+        ),
+    ] {
+        let m = single_func(&[ValType::I32, ValType::I32], |f| {
+            f.local_get(0);
+            f.local_get(1);
+            f.num(op);
+        });
+        let out = assert_engines_agree(&m, &no_imports, "f", &args, None);
+        assert_eq!(out.result, Err(trap));
+    }
+    let m = single_func(&[], |f| {
+        f.f64_const(1e300);
+        f.num(NumOp::I32TruncF64S);
+    });
+    let out = assert_engines_agree(&m, &no_imports, "f", &[], None);
+    assert_eq!(out.result, Err(Trap::InvalidConversion));
+
+    // memory out of bounds, load and store (the trapping access is
+    // still counted in stats on both engines)
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.local_get(0);
+        f.i32_const(42);
+        f.i32_store(0);
+        f.local_get(0);
+        f.i32_load(0);
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    let ok = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(64)], None);
+    assert!(ok.result.is_ok());
+    let oob = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(-4)], None);
+    assert!(matches!(oob.result, Err(Trap::MemoryOutOfBounds { .. })));
+    assert_eq!(oob.stats.stores, 1);
+
+    // call_indirect: out of bounds, undefined element, type mismatch
+    let mut b = ModuleBuilder::new();
+    b.table(3, None);
+    let good = b.func("good", &[], &[ValType::I32], |f| {
+        f.i32_const(7);
+    });
+    let bad_ty = b.func("bad_ty", &[], &[ValType::I64], |f| {
+        f.i64_const(9);
+    });
+    let main = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.local_get(0);
+        f.emit(Instr::CallIndirect(0));
+    });
+    b.elem(0, &[good, bad_ty]);
+    b.export_func("f", main);
+    let m = b.build();
+    for (idx, want) in [
+        (0, Ok(vec![(ValType::I32, 7)])),
+        (1, Err(Trap::IndirectCallTypeMismatch)),
+        (2, Err(Trap::UndefinedElement)),
+        (9, Err(Trap::TableOutOfBounds)),
+    ] {
+        let out = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(idx)], None);
+        assert_eq!(out.result, want);
+    }
+}
+
+/// Call-stack exhaustion: recursion traps at the same depth with the
+/// same call count on both engines, at several configured limits.
+#[test]
+fn call_depth_agrees() {
+    let mut b = ModuleBuilder::new();
+    let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.local_get(0);
+        f.if_else(
+            BlockType::Value(ValType::I32),
+            |f| {
+                f.local_get(0);
+                f.i32_const(1);
+                f.num(NumOp::I32Sub);
+                f.call(0);
+                f.i32_const(1);
+                f.i32_add();
+            },
+            |f| {
+                f.i32_const(0);
+            },
+        );
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    for depth_limit in [0usize, 1, 2, 50] {
+        for n in [0i32, 1, 40, 300] {
+            let t = {
+                let cfg = Config {
+                    max_call_depth: depth_limit,
+                    engine: Engine::Tree,
+                    ..Config::default()
+                };
+                let mut inst = Instance::with_config(&m, Imports::new(), cfg).expect("inst");
+                let r = inst.invoke("f", &[Value::I32(n)]);
+                (r, inst.stats())
+            };
+            let b2 = {
+                let cfg = Config {
+                    max_call_depth: depth_limit,
+                    engine: Engine::Bytecode,
+                    ..Config::default()
+                };
+                let mut inst = Instance::with_config(&m, Imports::new(), cfg).expect("inst");
+                let r = inst.invoke("f", &[Value::I32(n)]);
+                (r, inst.stats())
+            };
+            assert_eq!(t, b2, "depth_limit={depth_limit} n={n}");
+        }
+    }
+    // Default limit: deep recursion exhausts, shallow succeeds.
+    let out = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(300)], None);
+    assert_eq!(out.result, Err(Trap::CallStackExhausted));
+    let out = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(100)], None);
+    assert_eq!(out.result, Ok(vec![(ValType::I32, 100)]));
+}
+
+/// Host imports: results, traps raised by the host, and call events
+/// behave identically (the host sees the same memory either way).
+#[test]
+fn host_imports_agree() {
+    let mut b = ModuleBuilder::new();
+    let dbl = b.import_func("env", "double", &[ValType::I32], &[ValType::I32]);
+    let boom = b.import_func("env", "boom", &[], &[]);
+    b.memory(1, None);
+    let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.i32_const(16);
+        f.local_get(0);
+        f.i32_store(0);
+        f.local_get(0);
+        f.call(dbl);
+        f.local_get(0);
+        f.i32_const(200);
+        f.i32_ge_s();
+        f.if_(BlockType::Empty, |f| {
+            f.call(boom);
+        });
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    let mk = || {
+        Imports::new()
+            .func("env", "double", |ctx, args| {
+                // Read back what the guest staged, to prove the host
+                // sees identical memory under both engines.
+                let staged = ctx
+                    .memory
+                    .as_ref()
+                    .and_then(|m| m.read_i32(16).ok())
+                    .unwrap_or(0);
+                Ok(vec![Value::I32(args[0].as_i32() + staged)])
+            })
+            .func("env", "boom", |_ctx, _args| {
+                Err(Trap::Host("host says no".into()))
+            })
+    };
+    let out = assert_engines_agree(&m, &mk, "f", &[Value::I32(21)], None);
+    assert_eq!(out.result, Ok(vec![(ValType::I32, 42)]));
+    let out = assert_engines_agree(&m, &mk, "f", &[Value::I32(400)], None);
+    assert_eq!(out.result, Err(Trap::Host("host says no".into())));
+}
+
+/// The injected weighted counter (the paper's accounting mechanism)
+/// reads back identically after execution on either engine, at every
+/// instrumentation level.
+#[test]
+fn instrumented_counter_agrees() {
+    check("instrumented_counter_agrees", 16, |rng| {
+        let prog = gen_program(rng, 2);
+        let module = build_module(&prog);
+        let seed = rng.i64();
+        let weights = WeightTable::calibrated();
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            let r = instrument(&module, level, &weights).expect("instrument");
+            let mut counters = Vec::new();
+            let mut outcomes = Vec::new();
+            for engine in Engine::ALL {
+                let cfg = Config {
+                    engine,
+                    ..Config::default()
+                };
+                let mut inst = Instance::with_config(&r.module, Imports::new(), cfg).expect("inst");
+                let out = inst.invoke("run", &[Value::I64(seed)]);
+                counters.push(inst.global(COUNTER_EXPORT).map(|v| v.as_i64()));
+                outcomes.push((
+                    out.map(|vs| vs.iter().map(value_bits).collect::<Vec<_>>()),
+                    inst.stats(),
+                ));
+            }
+            assert_eq!(counters[0], counters[1], "{level} counter diverged");
+            assert_eq!(outcomes[0], outcomes[1], "{level} outcome diverged");
+        }
+    });
+}
+
+/// Repeated invokes on one instance: the bytecode engine reuses its
+/// stacks and compiled code; accumulated stats still match the tree.
+#[test]
+fn repeated_invokes_accumulate_identically() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(4));
+    let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.i32_const(1);
+        f.emit(Instr::MemoryGrow);
+        f.drop_();
+        f.local_get(0);
+        f.i32_const(3);
+        f.i32_mul();
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    let mut results = Vec::new();
+    for engine in Engine::ALL {
+        let cfg = Config {
+            engine,
+            ..Config::default()
+        };
+        let mut inst = Instance::with_config(&m, Imports::new(), cfg).expect("inst");
+        let mut outs = Vec::new();
+        for i in 0..6 {
+            outs.push(inst.invoke("f", &[Value::I32(i)]).expect("invoke"));
+        }
+        results.push((outs, inst.stats()));
+    }
+    assert_eq!(results[0], results[1]);
+    // Growth saturated at the 4-page maximum; later grows returned -1
+    // but were still counted.
+    assert_eq!(results[0].1.mem_grows, 6);
+    assert_eq!(results[0].1.peak_memory_bytes, 4 * acctee_wasm::PAGE_SIZE);
+}
+
+fn single_func(params: &[ValType], body: impl FnOnce(&mut FuncBuilder)) -> Module {
+    let mut b = ModuleBuilder::new();
+    let f = b.func("f", params, &[ValType::I32], body);
+    b.export_func("f", f);
+    b.build()
+}
+
+// ------------------------------------------- exhaustive numeric sweep
+
+/// Adversarial operand values per type: zeros and signed boundaries
+/// for the integers; signed zeros, NaN payloads (quiet, negative, and
+/// non-canonical), infinities, subnormals and integer-conversion
+/// boundaries for the floats.
+fn adversarial(ty: ValType) -> Vec<Value> {
+    match ty {
+        ValType::I32 => [0, 1, -1, 2, i32::MIN, i32::MAX, 0x00ff_00ff, -13, 31, 32]
+            .into_iter()
+            .map(Value::I32)
+            .collect(),
+        ValType::I64 => [
+            0,
+            1,
+            -1,
+            2,
+            i64::MIN,
+            i64::MAX,
+            0x0123_4567_89ab_cdef,
+            -13,
+            63,
+            64,
+        ]
+        .into_iter()
+        .map(Value::I64)
+        .collect(),
+        ValType::F32 => [
+            0x0000_0000u32, // 0.0
+            0x8000_0000,    // -0.0
+            0x3f80_0000,    // 1.0
+            0xbfc0_0000,    // -1.5
+            0x7fc0_0000,    // canonical NaN
+            0xffc0_0001,    // negative NaN with payload
+            0x7f80_0000,    // inf
+            0xff80_0000,    // -inf
+            0x0000_0001,    // smallest subnormal
+            0x4f00_0000,    // 2^31 (i32 trunc boundary)
+        ]
+        .into_iter()
+        .map(|b| Value::F32(f32::from_bits(b)))
+        .collect(),
+        ValType::F64 => [
+            0x0000_0000_0000_0000u64, // 0.0
+            0x8000_0000_0000_0000,    // -0.0
+            0x3ff0_0000_0000_0000,    // 1.0
+            0xbff8_0000_0000_0000,    // -1.5
+            0x7ff8_0000_0000_0000,    // canonical NaN
+            0xfff8_0000_0000_0001,    // negative NaN with payload
+            0x7ff0_0000_0000_0000,    // inf
+            0xfff0_0000_0000_0000,    // -inf
+            0x0000_0000_0000_0001,    // smallest subnormal
+            0x41e0_0000_0000_0000,    // 2^31 (i32 trunc boundary)
+        ]
+        .into_iter()
+        .map(|b| Value::F64(f64::from_bits(b)))
+        .collect(),
+    }
+}
+
+fn emit_const(f: &mut FuncBuilder, v: Value) {
+    match v {
+        Value::I32(x) => f.i32_const(x),
+        Value::I64(x) => f.i64_const(x),
+        Value::F32(x) => f.f32_const(x),
+        Value::F64(x) => f.f64_const(x),
+    };
+}
+
+/// Builds `f(params...) -> result` applying `op` once; each operand
+/// comes from a param (`None`) or an embedded constant (`Some`). The
+/// shapes lower to different superinstructions in the flat engine
+/// (`local.get; op`, `const; op`, `local.get; const; op`, ...).
+fn num_module(op: NumOp, consts: &[Option<Value>]) -> Module {
+    let (operands, result) = op.sig();
+    let params: Vec<ValType> = operands
+        .iter()
+        .zip(consts)
+        .filter(|(_, c)| c.is_none())
+        .map(|(t, _)| *t)
+        .collect();
+    let mut b = ModuleBuilder::new();
+    let f = b.func("f", &params, &[result], |f| {
+        let mut p = 0;
+        for c in consts {
+            match c {
+                Some(v) => emit_const(f, *v),
+                None => {
+                    f.local_get(p);
+                    p += 1;
+                }
+            }
+        }
+        f.num(op);
+    });
+    b.export_func("f", f);
+    b.build()
+}
+
+/// Exhaustive per-opcode differential sweep: every numeric opcode
+/// runs over the adversarial operand matrix in every lowered shape —
+/// operands from params, from constants, and mixed — pinning the flat
+/// engine's duplicated slot evaluator and its const-fusion paths to
+/// the tree-walker bit for bit (including NaN payloads and trap
+/// agreement for division and truncation).
+#[test]
+fn numeric_ops_agree_exhaustively() {
+    for op in NumOp::ALL.iter().copied() {
+        let (operands, _) = op.sig();
+        match *operands {
+            [ta] => {
+                let vals = adversarial(ta);
+                let m = num_module(op, &[None]);
+                for a in &vals {
+                    assert_engines_agree(&m, &no_imports, "f", &[*a], None);
+                    let mc = num_module(op, &[Some(*a)]);
+                    assert_engines_agree(&mc, &no_imports, "f", &[], None);
+                }
+            }
+            [ta, tb] => {
+                let va = adversarial(ta);
+                let vb = adversarial(tb);
+                let m = num_module(op, &[None, None]);
+                for a in &va {
+                    for b in &vb {
+                        assert_engines_agree(&m, &no_imports, "f", &[*a, *b], None);
+                    }
+                }
+                // Constant right operand: the `local.get; const; op`
+                // idiom the compiler fuses hardest.
+                for b in &vb[..6] {
+                    let mm = num_module(op, &[None, Some(*b)]);
+                    for a in &va {
+                        assert_engines_agree(&mm, &no_imports, "f", &[*a], None);
+                    }
+                }
+                // Both constant.
+                for a in &va[..4] {
+                    for b in &vb[..4] {
+                        let mc = num_module(op, &[Some(*a), Some(*b)]);
+                        assert_engines_agree(&mc, &no_imports, "f", &[], None);
+                    }
+                }
+            }
+            _ => unreachable!("numeric ops are unary or binary"),
+        }
+    }
+}
