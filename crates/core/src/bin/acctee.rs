@@ -92,6 +92,7 @@ struct Opts {
     fuel: Option<u64>,
     engine: Engine,
     level: Level,
+    cache_capacity: Option<usize>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     rest: Vec<String>,
@@ -105,6 +106,7 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         fuel: None,
         engine: Engine::default(),
         level: Level::LoopBased,
+        cache_capacity: None,
         trace_out: None,
         metrics_out: None,
         rest: Vec::new(),
@@ -123,6 +125,9 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--fuel" => o.fuel = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?),
             "--engine" => o.engine = want(&mut it)?.parse()?,
             "--level" => o.level = parse_level(&want(&mut it)?)?,
+            "--cache-capacity" => {
+                o.cache_capacity = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--trace-out" => o.trace_out = Some(want(&mut it)?),
             "--metrics-out" => o.metrics_out = Some(want(&mut it)?),
             other => o.rest.push(other.to_string()),
@@ -164,6 +169,10 @@ fn real_main() -> Result<(), String> {
         // exposition even when the command never touches the cache.
         tel.metrics().counter("acctee_cache_hits_total");
         tel.metrics().counter("acctee_cache_misses_total");
+        tel.metrics().counter("acctee_cache_evictions_total");
+        tel.metrics()
+            .counter("acctee_cache_singleflight_waits_total");
+        tel.metrics().counter("acctee_artifact_compiles_total");
         acctee_telemetry::install(Arc::new(tel));
         Some(sink)
     } else {
@@ -188,6 +197,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
             println!("                   --engine tree|bytecode (default tree)");
+            println!("                   --cache-capacity N (bound the instrumentation cache)");
             println!("                   --trace-out FILE --metrics-out FILE");
             Ok(())
         }
@@ -252,7 +262,10 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                 let platform = Platform::new("acctee-cli", 0xacc7ee);
                 let qe = authority.provision(&platform);
                 let ie = InstrumentationEnclave::launch(&platform, qe, WeightTable::calibrated());
-                let mut cache = InstrumentationCache::new();
+                let cache = match opts.cache_capacity {
+                    Some(n) => InstrumentationCache::with_capacity(n),
+                    None => InstrumentationCache::new(),
+                };
                 let bytes = encode_module(&m);
                 let (ib, _ev) = cache
                     .instrument(&ie, &bytes, opts.level)
@@ -336,6 +349,9 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                 .span("cli.account", "cli")
                 .with_arg("function", opts.invoke.as_str());
             let mut dep = Deployment::new(0xacc7ee);
+            if let Some(n) = opts.cache_capacity {
+                dep = dep.with_cache_capacity(n);
+            }
             dep.set_engine(opts.engine);
             let (ib, ev) = dep
                 .instrument(&bytes, opts.level)

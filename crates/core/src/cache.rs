@@ -3,11 +3,20 @@
 //! re-used across many invocations."
 //!
 //! The cache is keyed by the hash of the *original* module plus the
-//! instrumentation level and weight-table hash, so a cache hit is
+//! instrumentation level and the weight-table hash, so a cache hit is
 //! exactly as trustworthy as a fresh instrumentation: the stored
-//! evidence still binds everything.
+//! evidence still binds everything, and two enclaves with different
+//! weight tables can never serve each other stale evidence.
+//!
+//! The store is safe to share across serving threads (`&self` methods
+//! behind an internal mutex), bounded (least-recently-used eviction at
+//! a configurable capacity) and single-flight: concurrent requests for
+//! the same key run the instrumentation enclave exactly once — one
+//! leader instruments while the rest wait on a condvar and then read
+//! the cached result.
 
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use acctee_instrument::Level;
 use acctee_sgx::crypto::{sha256, Digest};
@@ -16,25 +25,58 @@ use crate::enclave::InstrumentationEnclave;
 use crate::error::AccTeeError;
 use crate::evidence::InstrumentationEvidence;
 
+/// Default number of instrumented modules kept (per-level, per-weight
+/// table — one FaaS deployment is one entry).
+pub const DEFAULT_CAPACITY: usize = 128;
+
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
     original: Digest,
     level: Level,
+    weights: Digest,
 }
 
-/// A cache of instrumented modules with their evidence.
-pub struct InstrumentationCache {
-    entries: HashMap<Key, (Vec<u8>, InstrumentationEvidence)>,
+enum Slot {
+    /// Instrumented and ready to serve.
+    Ready {
+        bytes: Vec<u8>,
+        evidence: Box<InstrumentationEvidence>,
+        last_used: u64,
+    },
+    /// A leader thread is instrumenting this key right now; waiters
+    /// sleep on the condvar instead of instrumenting again.
+    InFlight,
+}
+
+struct Inner {
+    entries: HashMap<Key, Slot>,
+    /// Monotonic use counter driving LRU order (no wall clock needed).
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    singleflight_waits: u64,
+}
+
+/// A shared, bounded cache of instrumented modules with their
+/// evidence.
+pub struct InstrumentationCache {
+    inner: Mutex<Inner>,
+    /// Signalled whenever an in-flight instrumentation resolves
+    /// (successfully or not).
+    resolved: Condvar,
+    capacity: usize,
 }
 
 impl std::fmt::Debug for InstrumentationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
         f.debug_struct("InstrumentationCache")
-            .field("entries", &self.entries.len())
-            .field("hits", &self.hits)
-            .field("misses", &self.misses)
+            .field("entries", &inner.entries.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &inner.hits)
+            .field("misses", &inner.misses)
+            .field("evictions", &inner.evictions)
             .finish()
     }
 }
@@ -46,33 +88,87 @@ impl Default for InstrumentationCache {
 }
 
 impl InstrumentationCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> InstrumentationCache {
+        InstrumentationCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache holding at most `capacity` instrumented
+    /// modules (at least 1).
+    pub fn with_capacity(capacity: usize) -> InstrumentationCache {
         InstrumentationCache {
-            entries: HashMap::new(),
-            hits: 0,
-            misses: 0,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                singleflight_waits: 0,
+            }),
+            resolved: Condvar::new(),
+            capacity: capacity.max(1),
         }
     }
 
-    /// Cache hits so far.
-    pub fn hits(&self) -> u64 {
-        self.hits
+    /// The mutex protects cache bookkeeping only — every transition is
+    /// applied atomically under the lock, so a panicked holder cannot
+    /// leave a half-updated map behind and poisoning is recoverable.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Cache misses so far.
+    /// Maximum number of entries kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Instrumented modules currently cached (ready entries only).
+    pub fn len(&self) -> usize {
+        self.lock()
+            .entries
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far (single-flight waiters count as hits: they
+    /// were served without running the enclave).
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// Cache misses so far — exactly the number of instrumentations
+    /// this cache has started.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.lock().misses
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
+    /// Times a request blocked on another thread's in-flight
+    /// instrumentation instead of starting its own.
+    pub fn singleflight_waits(&self) -> u64 {
+        self.lock().singleflight_waits
     }
 
     /// Returns the instrumented module + evidence for `module_bytes`,
-    /// instrumenting through `ie` only on a miss.
+    /// instrumenting through `ie` only on a miss. Safe to call from
+    /// many threads: concurrent misses on one key instrument once.
     ///
     /// # Errors
     ///
-    /// Propagates instrumentation failures (which are not cached).
+    /// Propagates instrumentation failures (which are not cached — the
+    /// next request retries).
     pub fn instrument(
-        &mut self,
+        &self,
         ie: &InstrumentationEnclave,
         module_bytes: &[u8],
         level: Level,
@@ -80,23 +176,135 @@ impl InstrumentationCache {
         let key = Key {
             original: sha256(module_bytes),
             level,
+            weights: ie.weight_hash(),
         };
-        if let Some((bytes, evidence)) = self.entries.get(&key) {
-            self.hits += 1;
+        let hub = acctee_telemetry::global();
+        let mut span = hub
+            .span("core.cache.instrument", "core")
+            .with_arg("bytes", module_bytes.len())
+            .with_arg("level", level.to_string());
+
+        let mut inner = self.lock();
+        loop {
+            enum Found {
+                Ready,
+                InFlight,
+                Absent,
+            }
+            let found = match inner.entries.get(&key) {
+                Some(Slot::Ready { .. }) => Found::Ready,
+                Some(Slot::InFlight) => Found::InFlight,
+                None => Found::Absent,
+            };
+            match found {
+                Found::Ready => {
+                    inner.tick += 1;
+                    inner.hits += 1;
+                    let tick = inner.tick;
+                    let Some(Slot::Ready {
+                        bytes,
+                        evidence,
+                        last_used,
+                    }) = inner.entries.get_mut(&key)
+                    else {
+                        unreachable!("checked above under the same lock");
+                    };
+                    *last_used = tick;
+                    let out = (bytes.clone(), evidence.as_ref().clone());
+                    drop(inner);
+                    hub.metrics().counter("acctee_cache_hits_total").inc();
+                    span.record_arg("outcome", "hit");
+                    return Ok(out);
+                }
+                Found::InFlight => {
+                    inner.singleflight_waits += 1;
+                    hub.metrics()
+                        .counter("acctee_cache_singleflight_waits_total")
+                        .inc();
+                    inner = self
+                        .resolved
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    // Loop: the leader either published a Ready entry
+                    // (we hit) or failed and removed the marker (we
+                    // become the new leader).
+                }
+                Found::Absent => {
+                    inner.entries.insert(key.clone(), Slot::InFlight);
+                    inner.misses += 1;
+                    break;
+                }
+            }
+        }
+        drop(inner);
+        hub.metrics().counter("acctee_cache_misses_total").inc();
+        span.record_arg("outcome", "miss");
+
+        // Leader path: instrument with the lock released so waiters on
+        // *other* keys (and hit traffic) are never blocked behind the
+        // enclave.
+        let result = ie.instrument(module_bytes, level);
+        let mut inner = self.lock();
+        match result {
+            Ok((bytes, evidence)) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                // Our own slot is still the InFlight marker, so it is
+                // never its own eviction victim.
+                self.evict_to_fit(&mut inner);
+                inner.entries.insert(
+                    key,
+                    Slot::Ready {
+                        bytes: bytes.clone(),
+                        evidence: Box::new(evidence.clone()),
+                        last_used: tick,
+                    },
+                );
+                drop(inner);
+                self.resolved.notify_all();
+                Ok((bytes, evidence))
+            }
+            Err(e) => {
+                // Remove the marker so a waiter (or the next request)
+                // retries as the new leader instead of caching failure.
+                inner.entries.remove(&key);
+                drop(inner);
+                self.resolved.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Evicts least-recently-used ready entries until a new one fits.
+    /// In-flight markers are never evicted: a leader must always find
+    /// its own slot when it returns.
+    fn evict_to_fit(&self, inner: &mut Inner) {
+        loop {
+            let ready = inner
+                .entries
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            if ready < self.capacity {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } => Some((k.clone(), *last_used)),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|(_, t)| *t)
+                .map(|(k, _)| k);
+            let Some(victim) = victim else { return };
+            inner.entries.remove(&victim);
+            inner.evictions += 1;
             acctee_telemetry::global()
                 .metrics()
-                .counter("acctee_cache_hits_total")
+                .counter("acctee_cache_evictions_total")
                 .inc();
-            return Ok((bytes.clone(), evidence.clone()));
         }
-        self.misses += 1;
-        acctee_telemetry::global()
-            .metrics()
-            .counter("acctee_cache_misses_total")
-            .inc();
-        let out = ie.instrument(module_bytes, level)?;
-        self.entries.insert(key, out.clone());
-        Ok(out)
     }
 }
 
@@ -107,13 +315,18 @@ mod tests {
     use acctee_sgx::{AttestationAuthority, Platform};
     use acctee_wasm::builder::ModuleBuilder;
     use acctee_wasm::encode::encode_module;
+    use acctee_wasm::instr::Instr;
     use acctee_wasm::types::ValType;
 
-    fn ie() -> InstrumentationEnclave {
+    fn ie_with(weights: WeightTable) -> InstrumentationEnclave {
         let authority = AttestationAuthority::new(8);
         let p = Platform::new("cache-test", 8);
         let qe = authority.provision(&p);
-        InstrumentationEnclave::launch(&p, qe, WeightTable::uniform())
+        InstrumentationEnclave::launch(&p, qe, weights)
+    }
+
+    fn ie() -> InstrumentationEnclave {
+        ie_with(WeightTable::uniform())
     }
 
     fn module_bytes(c: i32) -> Vec<u8> {
@@ -128,7 +341,7 @@ mod tests {
     #[test]
     fn second_request_hits() {
         let ie = ie();
-        let mut cache = InstrumentationCache::new();
+        let cache = InstrumentationCache::new();
         let a1 = cache
             .instrument(&ie, &module_bytes(1), Level::Naive)
             .unwrap();
@@ -143,7 +356,7 @@ mod tests {
     #[test]
     fn level_and_module_are_part_of_the_key() {
         let ie = ie();
-        let mut cache = InstrumentationCache::new();
+        let cache = InstrumentationCache::new();
         cache
             .instrument(&ie, &module_bytes(1), Level::Naive)
             .unwrap();
@@ -158,6 +371,75 @@ mod tests {
     }
 
     #[test]
+    fn weight_table_is_part_of_the_key() {
+        // Regression: the key once ignored the weight table, so an
+        // enclave with different weights was served the *other*
+        // enclave's bytes and evidence — evidence whose weight hash
+        // its accounting enclave would rightly reject. Same module,
+        // same level, different weights must be a miss.
+        let ie_uniform = ie();
+        let mut heavy = WeightTable::uniform();
+        heavy.set(&Instr::Nop, 7);
+        let ie_heavy = ie_with(heavy);
+        let cache = InstrumentationCache::new();
+        let bytes = module_bytes(3);
+        let (_, ev_a) = cache.instrument(&ie_uniform, &bytes, Level::Naive).unwrap();
+        let (_, ev_b) = cache.instrument(&ie_heavy, &bytes, Level::Naive).unwrap();
+        assert_eq!(cache.misses(), 2, "different weights must not share");
+        assert_eq!(cache.hits(), 0);
+        assert_ne!(ev_a.weight_hash, ev_b.weight_hash);
+        // And each enclave's own second request still hits.
+        cache.instrument(&ie_heavy, &bytes, Level::Naive).unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_with_lru_eviction() {
+        let ie = ie();
+        let cache = InstrumentationCache::with_capacity(2);
+        cache
+            .instrument(&ie, &module_bytes(1), Level::Naive)
+            .unwrap();
+        cache
+            .instrument(&ie, &module_bytes(2), Level::Naive)
+            .unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        cache
+            .instrument(&ie, &module_bytes(1), Level::Naive)
+            .unwrap();
+        cache
+            .instrument(&ie, &module_bytes(3), Level::Naive)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // 1 survived (hit), 2 was evicted (miss again).
+        cache
+            .instrument(&ie, &module_bytes(1), Level::Naive)
+            .unwrap();
+        assert_eq!(cache.hits(), 2);
+        cache
+            .instrument(&ie, &module_bytes(2), Level::Naive)
+            .unwrap();
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn failed_instrumentation_is_not_cached() {
+        let ie = ie();
+        let cache = InstrumentationCache::new();
+        assert!(cache
+            .instrument(&ie, b"not a module", Level::Naive)
+            .is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+        // The retry is a fresh miss, not a cached failure.
+        assert!(cache
+            .instrument(&ie, b"not a module", Level::Naive)
+            .is_err());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
     fn cached_evidence_still_verifies() {
         let authority = AttestationAuthority::new(8);
         let p = Platform::new("cache-test", 8);
@@ -169,7 +451,7 @@ mod tests {
             ie.measurement(), // AE measurement irrelevant here
             &WeightTable::uniform(),
         );
-        let mut cache = InstrumentationCache::new();
+        let cache = InstrumentationCache::new();
         let bytes = module_bytes(7);
         let _ = cache.instrument(&ie, &bytes, Level::Naive).unwrap();
         let (instr, evidence) = cache.instrument(&ie, &bytes, Level::Naive).unwrap();

@@ -41,6 +41,9 @@ pub struct InstrumentationEnclave {
     enclave: Enclave,
     qe: QuotingEnclave,
     weights: WeightTable,
+    /// Hash of `weights`, precomputed once — part of every evidence
+    /// binding and of the instrumentation-cache key.
+    weight_hash: Digest,
 }
 
 impl std::fmt::Debug for InstrumentationEnclave {
@@ -54,16 +57,25 @@ impl InstrumentationEnclave {
     /// enclave.
     pub fn launch(platform: &Platform, qe: QuotingEnclave, weights: WeightTable) -> Self {
         let enclave = platform.create_enclave(&ie_code(&weights));
+        let weight_hash = sha256(&weights.to_bytes());
         InstrumentationEnclave {
             enclave,
             qe,
             weights,
+            weight_hash,
         }
     }
 
     /// The IE's measurement (for the parties' allow-lists).
     pub fn measurement(&self) -> Measurement {
         self.enclave.measurement()
+    }
+
+    /// Hash of the weight table this enclave instruments with. Keys
+    /// the instrumentation cache: two enclaves agree on it iff they
+    /// would produce interchangeable instrumented modules.
+    pub fn weight_hash(&self) -> Digest {
+        self.weight_hash
     }
 
     /// Instruments `module_bytes` at `level`, returning the
@@ -96,7 +108,7 @@ impl InstrumentationEnclave {
         };
         let original_hash = sha256(module_bytes);
         let instrumented_hash = sha256(&instrumented_bytes);
-        let weight_hash = sha256(&self.weights.to_bytes());
+        let weight_hash = self.weight_hash;
         let binding = crate::evidence::binding(
             &original_hash,
             &instrumented_hash,
@@ -129,12 +141,30 @@ pub struct LoadedWorkload {
     module: Module,
     module_hash: Digest,
     counter_global: u32,
+    /// Compile-once/serve-many bytecode artifact, built lazily on the
+    /// first bytecode-engine execution and shared by every later one
+    /// (`None` inside = compilation failed; executions fall back to
+    /// the per-instance compile, which reports the error).
+    artifact: std::sync::OnceLock<Option<std::sync::Arc<acctee_interp::CompiledModule>>>,
 }
 
 impl LoadedWorkload {
     /// The decoded instrumented module (for inspection in tests).
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// The shared bytecode artifact, compiling it on first use.
+    fn artifact(&self) -> Option<std::sync::Arc<acctee_interp::CompiledModule>> {
+        self.artifact
+            .get_or_init(|| {
+                acctee_telemetry::global()
+                    .metrics()
+                    .counter("acctee_artifact_compiles_total")
+                    .inc();
+                acctee_interp::CompiledModule::compile(&self.module).ok()
+            })
+            .clone()
     }
 }
 
@@ -257,6 +287,7 @@ impl AccountingEnclave {
             module,
             module_hash,
             counter_global: evidence.counter_global,
+            artifact: std::sync::OnceLock::new(),
         })
     }
 
@@ -282,7 +313,20 @@ impl AccountingEnclave {
             .with_arg("engine", self.exec_config.engine.name());
         let meter = IoMeter::with_input(input);
         let imports = meter.register(Imports::new());
-        let mut instance = Instance::with_config(&workload.module, imports, self.exec_config)?;
+        // Under the bytecode engine, repeated executions of one loaded
+        // workload share a single compiled artifact (§3.3
+        // compile-once/serve-many) instead of recompiling per call.
+        let shared = if self.exec_config.engine == acctee_interp::Engine::Bytecode {
+            workload.artifact()
+        } else {
+            None
+        };
+        let mut instance = match shared {
+            Some(artifact) => {
+                Instance::with_artifact(&workload.module, imports, self.exec_config, artifact)?
+            }
+            None => Instance::with_config(&workload.module, imports, self.exec_config)?,
+        };
         let mut integral = MemoryIntegral {
             weights: &self.weights,
             wic: 0,

@@ -2,11 +2,14 @@
 //! plus [`Deployment`], a convenience bundle wiring a full AccTEE
 //! installation together.
 
+use std::sync::Arc;
+
 use acctee_instrument::{Level, WeightTable};
 use acctee_interp::{Engine, Value};
 use acctee_sgx::crypto::{sha256, Digest};
 use acctee_sgx::{AttestationAuthority, Measurement, Platform};
 
+use crate::cache::InstrumentationCache;
 use crate::enclave::{AccountingEnclave, ExecutionOutcome, InstrumentationEnclave, LoadedWorkload};
 use crate::error::AccTeeError;
 use crate::evidence::InstrumentationEvidence;
@@ -183,6 +186,10 @@ pub struct Deployment {
     ie: InstrumentationEnclave,
     infra: InfrastructureProvider,
     workload_provider: WorkloadProvider,
+    /// Shared instrumentation cache (§3.3): repeated deployments of
+    /// one module instrument once. `Arc` so serving threads can hold
+    /// the cache without holding the deployment.
+    cache: Arc<InstrumentationCache>,
     next_session: u64,
 }
 
@@ -229,8 +236,24 @@ impl Deployment {
             ie,
             infra,
             workload_provider,
+            cache: Arc::new(InstrumentationCache::new()),
             next_session: 1,
         }
+    }
+
+    /// Replaces the instrumentation cache with one bounded to
+    /// `capacity` entries (the CLI's `--cache-capacity`). Statistics
+    /// restart from zero.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Deployment {
+        self.cache = Arc::new(InstrumentationCache::with_capacity(capacity));
+        self
+    }
+
+    /// The shared instrumentation cache (for statistics and for
+    /// handing to serving threads).
+    pub fn cache(&self) -> &Arc<InstrumentationCache> {
+        &self.cache
     }
 
     /// The workload provider's verifier handle.
@@ -249,8 +272,10 @@ impl Deployment {
         self.infra.set_engine(engine);
     }
 
-    /// Instruments a module through the IE and verifies the evidence
-    /// as the workload provider would.
+    /// Instruments a module through the shared cache (running the IE
+    /// only on a miss) and verifies the evidence as the workload
+    /// provider would — a cache hit re-verifies the stored evidence,
+    /// so it is exactly as trustworthy as a fresh instrumentation.
     ///
     /// # Errors
     ///
@@ -260,7 +285,7 @@ impl Deployment {
         module_bytes: &[u8],
         level: Level,
     ) -> Result<(Vec<u8>, InstrumentationEvidence), AccTeeError> {
-        let (bytes, evidence) = self.ie.instrument(module_bytes, level)?;
+        let (bytes, evidence) = self.cache.instrument(&self.ie, module_bytes, level)?;
         self.workload_provider.verify_evidence(&bytes, &evidence)?;
         Ok((bytes, evidence))
     }
@@ -347,6 +372,45 @@ mod tests {
             dep.workload_provider().verify_log(&forged),
             Err(AccTeeError::LogMismatch(_))
         ));
+    }
+
+    #[test]
+    fn repeated_instrumentation_is_served_from_the_cache() {
+        let dep = Deployment::new(7).with_cache_capacity(4);
+        let a = dep.instrument(&wasm(), Level::LoopBased).unwrap();
+        let b = dep.instrument(&wasm(), Level::LoopBased).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(dep.cache().hits(), 1);
+        assert_eq!(dep.cache().misses(), 1);
+    }
+
+    #[test]
+    fn bytecode_engine_accounts_identically_across_repeat_executions() {
+        // The AE's shared bytecode artifact must not change any
+        // accounting result vs the tree-walker or vs a fresh compile.
+        let mut tree = Deployment::new(7);
+        let mut flat = Deployment::new(7);
+        flat.set_engine(Engine::Bytecode);
+        let (bytes, evidence) = tree.instrument(&wasm(), Level::LoopBased).unwrap();
+        let (bytes_f, evidence_f) = flat.instrument(&wasm(), Level::LoopBased).unwrap();
+        assert_eq!(bytes, bytes_f);
+        let a = tree
+            .execute(&bytes, &evidence, "main", &[Value::I32(21)], b"")
+            .unwrap();
+        // Two executions on one loaded workload share the artifact.
+        let loaded = flat.infrastructure().load(&bytes_f, &evidence_f).unwrap();
+        for _ in 0..2 {
+            let (out, _) = flat
+                .infrastructure()
+                .execute_billed(&loaded, "main", &[Value::I32(21)], b"", 1)
+                .unwrap();
+            assert_eq!(out.results, a.results);
+            assert_eq!(
+                out.log.log.weighted_instructions,
+                a.log.log.weighted_instructions
+            );
+            assert_eq!(out.log.log.memory_integral, a.log.log.memory_integral);
+        }
     }
 
     #[test]

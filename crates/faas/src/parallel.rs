@@ -16,6 +16,17 @@ use std::time::{Duration, Instant};
 
 use crate::platform::{FaasPlatform, RequestStats};
 
+/// Best-effort human-readable message out of a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// The result of a parallel batch.
 #[derive(Debug)]
 pub struct BatchReport {
@@ -28,8 +39,23 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Requests per second over the batch.
+    /// Requests completed (successes plus failures).
+    pub fn completed(&self) -> usize {
+        self.stats.len() + self.failures.len()
+    }
+
+    /// Requests per second over the batch — every completed request,
+    /// failures included (a failed request still consumed a worker).
+    /// See [`BatchReport::success_throughput`] for successes only.
     pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Successful requests per second over the batch.
+    pub fn success_throughput(&self) -> f64 {
         if self.elapsed.as_nanos() == 0 {
             return 0.0;
         }
@@ -83,6 +109,13 @@ impl FaasPlatform {
         let io_in = hub.metrics().counter("acctee_faas_io_bytes_in_total");
         let io_out = hub.metrics().counter("acctee_faas_io_bytes_out_total");
 
+        // Compile the bytecode artifact once, before any worker
+        // spawns, so the whole pool shares one compilation instead of
+        // racing to be first (OnceLock would still deduplicate, but
+        // warming keeps the compile out of the first request's
+        // latency).
+        self.warm();
+
         let (tx, rx) = mpsc::channel::<&[u8]>();
         for p in payloads {
             tx.send(p).expect("queue open");
@@ -107,21 +140,44 @@ impl FaasPlatform {
                     let mut failures = Vec::new();
                     loop {
                         // Hold the receiver lock only for the dequeue,
-                        // not for the request.
-                        let payload = match rx.lock().expect("queue lock").recv() {
+                        // not for the request. Recover a poisoned lock
+                        // instead of cascading: the receiver holds no
+                        // invariant a panicked holder could have
+                        // broken mid-update (recv is transactional),
+                        // so the queue stays servable and one
+                        // panicked request cannot kill the pool.
+                        let payload = match rx
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .recv()
+                        {
                             Ok(p) => p,
                             Err(_) => break,
                         };
-                        match self.handle(payload) {
-                            Ok((_, s)) => {
+                        // A panic inside `handle` is a failed request,
+                        // not a dead worker: catch it, record it, move
+                        // on to the next request.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.handle(payload)
+                            }));
+                        match outcome {
+                            Ok(Ok((_, s))) => {
                                 latency.observe(s.service_ns());
                                 io_in.add(s.io_bytes_in);
                                 io_out.add(s.io_bytes_out);
                                 stats.push(s);
                             }
-                            Err(e) => {
+                            Ok(Err(e)) => {
                                 fail_counter.inc();
                                 failures.push(e);
+                            }
+                            Err(panic) => {
+                                fail_counter.inc();
+                                failures.push(format!(
+                                    "request panicked: {}",
+                                    panic_message(panic.as_ref())
+                                ));
                             }
                         }
                     }
@@ -131,9 +187,18 @@ impl FaasPlatform {
             let mut stats = Vec::new();
             let mut failures = Vec::new();
             for h in handles {
-                let (s, f) = h.join().expect("worker thread completes");
-                stats.extend(s);
-                failures.extend(f);
+                // A worker dying outside the per-request catch (it
+                // should not happen) costs its in-flight bookkeeping
+                // but never the batch.
+                match h.join() {
+                    Ok((s, f)) => {
+                        stats.extend(s);
+                        failures.extend(f);
+                    }
+                    Err(panic) => {
+                        failures.push(format!("worker died: {}", panic_message(panic.as_ref())))
+                    }
+                }
             }
             (stats, failures)
         });
@@ -151,6 +216,7 @@ mod tests {
     use super::*;
     use crate::platform::FunctionKind;
     use crate::setup::Setup;
+    use acctee_interp::Engine;
     use acctee_workloads::faas_fns::test_image;
 
     #[test]
@@ -203,6 +269,61 @@ mod tests {
         assert_eq!(report.stats.len(), 0);
         assert_eq!(report.p50_ns(), 0);
         assert_eq!(report.p99_ns(), 0);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_requests() {
+        // Two poisoned payloads panic inside `handle`; before the
+        // catch_unwind fix the first panic poisoned the queue mutex
+        // and every remaining worker died on `.expect("queue lock")`.
+        let mut platform = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm);
+        platform.panic_marker = Some(0xEE);
+        let mut payloads: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 16]).collect();
+        payloads.push(vec![0xEE; 16]);
+        payloads.push(vec![0xEE; 16]);
+        let report = platform.serve_parallel(&payloads, 3);
+        assert_eq!(report.stats.len(), 6, "{:?}", report.failures);
+        assert_eq!(report.failures.len(), 2);
+        assert!(
+            report
+                .failures
+                .iter()
+                .all(|f| f.contains("request panicked")),
+            "{:?}",
+            report.failures
+        );
+        assert_eq!(report.completed(), 8);
+    }
+
+    #[test]
+    fn throughput_counts_every_completed_request() {
+        // 4 successes + 4 failures over the same wall time: batch
+        // throughput must be exactly twice the success throughput —
+        // the old accounting divided only successes by the elapsed
+        // time and under-reported the served load.
+        let mut platform = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm);
+        platform.panic_marker = Some(0xEE);
+        let mut payloads: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+        payloads.extend((0..4).map(|_| vec![0xEE; 16]));
+        let report = platform.serve_parallel(&payloads, 2);
+        assert_eq!(report.completed(), 8);
+        assert_eq!(report.stats.len(), 4);
+        assert!(report.throughput() > 0.0);
+        let ratio = report.throughput() / report.success_throughput();
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn batch_compiles_the_bytecode_artifact_once() {
+        let platform =
+            FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm).with_engine(Engine::Bytecode);
+        let payloads: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 32]).collect();
+        let report = platform.serve_parallel(&payloads, 4);
+        assert_eq!(report.stats.len(), 8);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // serve_parallel warmed the shared artifact up front, so no
+        // later call (request or warm) ever compiles again.
+        assert!(!platform.warm());
     }
 
     #[test]

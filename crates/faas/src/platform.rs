@@ -1,12 +1,22 @@
 //! The FaaS platform: deploys a function and serves requests with
 //! per-request instantiation, measuring real execution time and
 //! modelling the layers we do not execute.
+//!
+//! Per-request *instantiation* does not mean per-request
+//! *compilation*: under the bytecode engine the platform compiles the
+//! deployed module into a shared [`CompiledModule`] artifact exactly
+//! once (AccTEE §3.3's compile-once/serve-many argument) and hands
+//! every request instance the same `Arc`. Disable with
+//! [`FaasPlatform::with_artifact_cache`] to measure the recompile
+//! baseline.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use acctee_instrument::{instrument, Level, WeightTable};
-use acctee_interp::{Config, Engine, Imports, Instance, Value};
+use acctee_interp::{CompiledModule, Config, Engine, Imports, Instance, Value};
 use acctee_script::{Interpreter, Value as JsValue};
+use acctee_wasm::validate::validate_module;
 use acctee_wasm::Module;
 
 use crate::setup::{OverheadModel, Setup};
@@ -18,6 +28,8 @@ pub enum FunctionKind {
     Echo,
     /// Bilinear resize to 64x64 RGB.
     Resize,
+    /// A caller-supplied module (see [`FaasPlatform::deploy_module`]).
+    Custom,
 }
 
 impl FunctionKind {
@@ -26,6 +38,7 @@ impl FunctionKind {
         match self {
             FunctionKind::Echo => "echo",
             FunctionKind::Resize => "resize",
+            FunctionKind::Custom => "custom",
         }
     }
 }
@@ -60,12 +73,26 @@ pub struct FaasPlatform {
     setup: Setup,
     module: Option<Module>,
     js_source: Option<&'static str>,
+    /// Exported function requests invoke (`main` for the built-ins).
+    entry: String,
     overheads: OverheadModel,
     /// SGX hardware-mode execution-slowdown factor (from the cycle
     /// model: cycles(sgx)/cycles(plain) for this function).
     hw_exec_factor: f64,
     /// Interpreter engine serving wasm requests.
     engine: Engine,
+    /// The compile-once/serve-many bytecode artifact, built at most
+    /// once per deployment (`None` inside = compile failed; requests
+    /// fall back to the per-instance path, which reports the error).
+    artifact: OnceLock<Option<Arc<CompiledModule>>>,
+    /// Whether requests share the artifact (disable to measure the
+    /// per-request-recompile baseline).
+    share_artifact: bool,
+    /// Test-only fault injection: a payload whose first byte equals
+    /// the marker panics inside `handle`, exercising the worker-pool
+    /// panic recovery.
+    #[cfg(test)]
+    pub(crate) panic_marker: Option<u8>,
 }
 
 impl std::fmt::Debug for FaasPlatform {
@@ -80,18 +107,21 @@ impl FaasPlatform {
     /// # Panics
     ///
     /// Panics if instrumentation of a built-in function fails (cannot
-    /// happen for the shipped modules).
+    /// happen for the shipped modules), or if `kind` is
+    /// [`FunctionKind::Custom`] (use [`FaasPlatform::deploy_module`]).
     pub fn deploy(kind: FunctionKind, setup: Setup) -> FaasPlatform {
         let (module, js_source) = if setup == Setup::Js {
             let src = match kind {
                 FunctionKind::Echo => acctee_workloads::faas_fns::ECHO_JS,
                 FunctionKind::Resize => acctee_workloads::faas_fns::RESIZE_JS,
+                FunctionKind::Custom => panic!("deploy a custom module via deploy_module"),
             };
             (None, Some(src))
         } else {
             let base = match kind {
                 FunctionKind::Echo => acctee_workloads::faas_fns::echo_module(),
                 FunctionKind::Resize => acctee_workloads::faas_fns::resize_module(),
+                FunctionKind::Custom => panic!("deploy a custom module via deploy_module"),
             };
             let module = if setup.instrumented() {
                 instrument(&base, Level::LoopBased, &WeightTable::calibrated())
@@ -111,25 +141,133 @@ impl FaasPlatform {
         let hw_exec_factor = match kind {
             FunctionKind::Echo => 1.05,
             FunctionKind::Resize => 1.5,
+            FunctionKind::Custom => unreachable!("custom modules deploy via deploy_module"),
         };
         FaasPlatform {
             kind,
             setup,
             module,
             js_source,
+            entry: "main".into(),
             overheads: OverheadModel::default(),
             hw_exec_factor,
             engine: Engine::default(),
+            artifact: OnceLock::new(),
+            share_artifact: true,
+            #[cfg(test)]
+            panic_marker: None,
         }
+    }
+
+    /// Deploys a caller-supplied wasm module as a FaaS function: the
+    /// bring-your-own-function path. `entry` is the exported function
+    /// each request invokes; the module may (but need not) import the
+    /// `env.input_len` / `env.read_input` / `env.write_output` host
+    /// interface the built-ins use. Under an instrumented setup the
+    /// module is instrumented at deploy time, exactly like the
+    /// built-ins.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the module does not validate, exports no
+    /// function named `entry`, or fails to instrument.
+    pub fn deploy_module(
+        module: Module,
+        entry: &str,
+        setup: Setup,
+    ) -> Result<FaasPlatform, String> {
+        if setup == Setup::Js {
+            return Err("deploy_module serves wasm; use deploy for the JS setup".into());
+        }
+        validate_module(&module).map_err(|e| e.to_string())?;
+        if module.exported_func(entry).is_none() {
+            return Err(format!("module exports no function {entry:?}"));
+        }
+        let module = if setup.instrumented() {
+            instrument(&module, Level::LoopBased, &WeightTable::calibrated())
+                .map_err(|e| e.to_string())?
+                .module
+        } else {
+            module
+        };
+        Ok(FaasPlatform {
+            kind: FunctionKind::Custom,
+            setup,
+            module: Some(module),
+            js_source: None,
+            entry: entry.into(),
+            overheads: OverheadModel::default(),
+            hw_exec_factor: 1.0,
+            engine: Engine::default(),
+            artifact: OnceLock::new(),
+            share_artifact: true,
+            #[cfg(test)]
+            panic_marker: None,
+        })
     }
 
     /// Selects the interpreter engine for wasm requests (the serving
     /// paths default to the tree-walker; production-style setups want
-    /// [`Engine::Bytecode`]).
+    /// [`Engine::Bytecode`]). Resets any compiled artifact: the next
+    /// request (or [`FaasPlatform::warm`]) rebuilds it for the new
+    /// engine.
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> FaasPlatform {
         self.engine = engine;
+        self.artifact = OnceLock::new();
         self
+    }
+
+    /// Enables or disables the compile-once/serve-many artifact cache
+    /// (on by default). With it off, every request re-runs the flat
+    /// compiler inside its own instance — the pre-cache behaviour,
+    /// kept as the measurable baseline for `BENCH_faas`.
+    #[must_use]
+    pub fn with_artifact_cache(mut self, share: bool) -> FaasPlatform {
+        self.share_artifact = share;
+        self.artifact = OnceLock::new();
+        self
+    }
+
+    /// Pre-compiles the bytecode artifact so the first request pays no
+    /// compile cost. Returns `true` iff this call built the artifact
+    /// (false when it was already built, is disabled, or does not
+    /// apply — tree engine / JS setup). Thread-safe: concurrent
+    /// callers deduplicate to exactly one compilation.
+    pub fn warm(&self) -> bool {
+        let mut fresh = false;
+        self.shared_artifact_inner(&mut fresh);
+        fresh
+    }
+
+    /// The shared artifact for this deployment, compiling it on first
+    /// use. `None` when sharing is off, the engine is the tree-walker,
+    /// there is no wasm module, or compilation failed (requests then
+    /// fall back to the per-instance path and surface the error).
+    fn shared_artifact(&self) -> Option<Arc<CompiledModule>> {
+        let mut fresh = false;
+        self.shared_artifact_inner(&mut fresh)
+    }
+
+    fn shared_artifact_inner(&self, fresh: &mut bool) -> Option<Arc<CompiledModule>> {
+        if !self.share_artifact || self.engine != Engine::Bytecode {
+            return None;
+        }
+        let module = self.module.as_ref()?;
+        self.artifact
+            .get_or_init(|| {
+                *fresh = true;
+                let span = acctee_telemetry::span("faas.compile_artifact", "faas")
+                    .with_arg("function", self.kind.name());
+                let artifact = CompiledModule::compile(module).ok();
+                drop(span);
+                acctee_telemetry::global()
+                    .metrics()
+                    .counter("acctee_artifact_compiles_total")
+                    .inc();
+                artifact
+            })
+            .clone()
     }
 
     /// The deployed function.
@@ -149,6 +287,10 @@ impl FaasPlatform {
     ///
     /// Returns a message if the function traps or the script fails.
     pub fn handle(&self, payload: &[u8]) -> Result<(Vec<u8>, RequestStats), String> {
+        #[cfg(test)]
+        if let (Some(m), Some(first)) = (self.panic_marker, payload.first()) {
+            assert!(*first != m, "injected fault: payload starts with marker");
+        }
         let mut span = acctee_telemetry::span("faas.handle", "faas")
             .with_arg("function", self.kind.name())
             .with_arg("engine", self.engine.name())
@@ -210,7 +352,10 @@ impl FaasPlatform {
                 let io = io_counts.clone();
                 move |ctx, args| {
                     let src = args[0].as_i32() as u32 as u64;
-                    let len = args[1].as_i32() as u32;
+                    // Clamp negative lengths to zero, mirroring
+                    // `read_input`: a sign-extending cast would turn
+                    // `-1` into a ~4 GiB read attempt.
+                    let len = args[1].as_i32().max(0) as u32;
                     let bytes = ctx.memory()?.read_bytes(src, len)?;
                     if track_io {
                         io.borrow_mut().1 += u64::from(len);
@@ -223,8 +368,12 @@ impl FaasPlatform {
             engine: self.engine,
             ..Config::default()
         };
-        let mut inst = Instance::with_config(module, imports, cfg).map_err(|e| e.to_string())?;
-        inst.invoke("main", &[]).map_err(|e| e.to_string())?;
+        let mut inst = match self.shared_artifact() {
+            Some(artifact) => Instance::with_artifact(module, imports, cfg, artifact)
+                .map_err(|e| e.to_string())?,
+            None => Instance::with_config(module, imports, cfg).map_err(|e| e.to_string())?,
+        };
+        inst.invoke(&self.entry, &[]).map_err(|e| e.to_string())?;
         let r = output.borrow().clone();
         let io = *io_counts.borrow();
         Ok((r, io))
@@ -243,6 +392,7 @@ fn run_js(kind: FunctionKind, src: &'static str, payload: &[u8]) -> Result<Vec<u
     let out = interp.run(src).map_err(|e| e.to_string())?;
     match kind {
         FunctionKind::Echo => Ok(payload.to_vec()),
+        FunctionKind::Custom => Err("custom functions have no JS implementation".into()),
         FunctionKind::Resize => {
             let arr = out.as_array().ok_or("resize must return an array")?;
             let r = arr
@@ -300,6 +450,102 @@ mod tests {
         let p = FaasPlatform::deploy(FunctionKind::Resize, Setup::WasmSgxHwInstr);
         let (resp, _) = p.handle(&img).unwrap();
         assert_eq!(resp, resize_native(32, 32, &img[8..]));
+    }
+
+    /// A hostile function that calls both I/O imports with length -1.
+    /// Before the clamp fix, `write_output` sign-extended -1 into a
+    /// ~4 GiB read and the request failed with a bounds trap while
+    /// `read_input` silently clamped — asymmetric accounting.
+    fn negative_len_module() -> Module {
+        use acctee_wasm::builder::ModuleBuilder;
+        use acctee_wasm::types::ValType;
+        let mut b = ModuleBuilder::new();
+        let read_input = b.import_func(
+            "env",
+            "read_input",
+            &[ValType::I32, ValType::I32],
+            &[ValType::I32],
+        );
+        let write_output = b.import_func(
+            "env",
+            "write_output",
+            &[ValType::I32, ValType::I32],
+            &[ValType::I32],
+        );
+        b.memory(1, None);
+        let f = b.func("main", &[], &[ValType::I32], |f| {
+            f.i32_const(0);
+            f.i32_const(-1);
+            f.call(read_input);
+            f.drop_();
+            f.i32_const(0);
+            f.i32_const(-1);
+            f.call(write_output);
+        });
+        b.export_func("main", f);
+        b.build()
+    }
+
+    #[test]
+    fn negative_io_lengths_clamp_to_zero_symmetrically() {
+        let m = negative_len_module();
+        for setup in [Setup::Wasm, Setup::WasmSgxHwIo] {
+            let p = FaasPlatform::deploy_module(m.clone(), "main", setup).unwrap();
+            let (resp, stats) = p.handle(b"abc").unwrap();
+            assert!(resp.is_empty(), "{setup}");
+            assert_eq!((stats.io_bytes_in, stats.io_bytes_out), (0, 0), "{setup}");
+        }
+    }
+
+    #[test]
+    fn deploy_module_serves_custom_functions() {
+        let m = acctee_workloads::faas_fns::echo_module();
+        for setup in [Setup::Wasm, Setup::WasmSgxHwInstr] {
+            let p = FaasPlatform::deploy_module(m.clone(), "main", setup).unwrap();
+            assert_eq!(p.kind(), FunctionKind::Custom);
+            let (resp, _) = p.handle(b"custom payload").unwrap();
+            assert_eq!(resp, b"custom payload", "{setup}");
+        }
+    }
+
+    #[test]
+    fn deploy_module_rejects_bad_entry_and_js_setup() {
+        let m = acctee_workloads::faas_fns::echo_module();
+        let err = FaasPlatform::deploy_module(m.clone(), "nope", Setup::Wasm).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(FaasPlatform::deploy_module(m, "main", Setup::Js).is_err());
+    }
+
+    #[test]
+    fn warm_compiles_exactly_once_and_requests_share_it() {
+        let p = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm).with_engine(Engine::Bytecode);
+        assert!(p.warm(), "first warm builds the artifact");
+        assert!(!p.warm(), "second warm reuses it");
+        let (resp, _) = p.handle(b"shared").unwrap();
+        assert_eq!(resp, b"shared");
+        // The tree engine and a disabled cache never build one.
+        let tree = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm);
+        assert!(!tree.warm());
+        let off = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm)
+            .with_engine(Engine::Bytecode)
+            .with_artifact_cache(false);
+        assert!(!off.warm());
+        let (resp, _) = off.handle(b"uncached").unwrap();
+        assert_eq!(resp, b"uncached");
+    }
+
+    #[test]
+    fn shared_artifact_and_per_request_compile_agree() {
+        let img = test_image(16, 16);
+        let cached =
+            FaasPlatform::deploy(FunctionKind::Resize, Setup::Wasm).with_engine(Engine::Bytecode);
+        let uncached = FaasPlatform::deploy(FunctionKind::Resize, Setup::Wasm)
+            .with_engine(Engine::Bytecode)
+            .with_artifact_cache(false);
+        let (a, _) = cached.handle(&img).unwrap();
+        let (b, _) = uncached.handle(&img).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, resize_native(16, 16, &img[8..]));
     }
 
     #[test]

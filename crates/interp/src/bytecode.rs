@@ -34,6 +34,9 @@
 //! module — is enforced by the differential suite in
 //! `tests/engine_diff.rs`.
 
+use std::sync::Arc;
+
+use acctee_wasm::module::Module;
 use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
 use acctee_wasm::types::ValType;
 
@@ -178,13 +181,17 @@ pub(crate) struct BrTableEntry {
 ///   friends), used by the batched unfueled loop. Branch targets are
 ///   never fused over, so the side-table remaps one to one.
 #[derive(Debug)]
-pub(crate) struct CompiledFunc<'m> {
+pub(crate) struct CompiledFunc {
     /// The exact linear opcode array.
     pub ops: Vec<Op>,
     /// `src[pc]` is the original instruction the op at `pc` accounts
     /// for, or `None` for synthetic ops (epilogue return, else-skip
     /// jumps). Drives the exact `on_instr` stream in observed mode.
-    pub src: Vec<Option<&'m acctee_wasm::instr::Instr>>,
+    /// Structured instructions are stored body-less (observers
+    /// classify and weigh by opcode only; bodies execute through
+    /// their own ops), which is what lets the artifact own its
+    /// accounting stream instead of borrowing the module.
+    pub src: Vec<Option<acctee_wasm::instr::Instr>>,
     /// The exact stream's branch side-table.
     pub branches: Vec<BranchTarget>,
     /// The fused opcode array.
@@ -204,25 +211,83 @@ pub(crate) struct CompiledFunc<'m> {
     /// Result count.
     pub n_results: u16,
     /// Result types, for decoding the entry function's result slots.
-    pub results_ty: &'m [ValType],
+    pub results_ty: Box<[ValType]>,
     /// Number of explicit locals, zero-initialised after the arguments
     /// (the all-zero slot is the zero value of every type).
     pub n_local_slots: u32,
 }
 
-/// A whole module lowered to flat bytecode.
+/// A whole module lowered to flat bytecode: the compile-once/serve-many
+/// **artifact** of the bytecode engine.
+///
+/// A `CompiledModule` owns everything the dispatch loop needs — it
+/// holds no borrows into the source [`Module`] — so it can be wrapped
+/// in an [`Arc`], cached, and shared across threads and instances.
+/// Compile once with [`CompiledModule::compile`], then hand the same
+/// artifact to any number of [`Instance`]s via
+/// [`Instance::with_artifact`]; the serving path never re-runs the
+/// compiler.
+///
+/// Execution through a shared artifact is bit-identical to the lazy
+/// per-instance compile (the differential and artifact-cache suites
+/// pin this down): the artifact *is* the output of the same one-pass
+/// compiler, merely reused.
 #[derive(Debug)]
-pub(crate) struct CompiledModule<'m> {
+pub struct CompiledModule {
     /// Local functions, indexed by `combined_idx - n_imported`.
-    pub funcs: Vec<CompiledFunc<'m>>,
+    pub(crate) funcs: Vec<CompiledFunc>,
     /// Parameter types per combined function index (imports included):
     /// the arity for call sites, the types for host-call decoding.
-    pub params_ty: Vec<&'m [ValType]>,
+    pub(crate) params_ty: Vec<Box<[ValType]>>,
     /// Canonical (structurally deduplicated) type id per combined
     /// function index, for `call_indirect` checks by integer compare.
-    pub canon_of_func: Vec<u32>,
+    pub(crate) canon_of_func: Vec<u32>,
     /// Number of imported (host) functions.
-    pub n_imported: u32,
+    pub(crate) n_imported: u32,
+}
+
+impl CompiledModule {
+    /// Compiles `module` into a shareable artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Host`] if the module is not valid (the compiler assumes
+    /// validated input, as the lazy path does).
+    pub fn compile(module: &Module) -> Result<Arc<CompiledModule>, Trap> {
+        crate::compile::compile_module(module).map(Arc::new)
+    }
+
+    /// Whether this artifact plausibly belongs to `module`: the
+    /// function-space shape and every function signature must agree.
+    /// This is a cheap structural guard against handing an instance an
+    /// artifact compiled from a different module, not a cryptographic
+    /// binding — callers that cache artifacts must key the cache by
+    /// module identity.
+    pub fn matches(&self, module: &Module) -> bool {
+        if self.n_imported != module.num_imported_funcs()
+            || self.funcs.len() != module.funcs.len()
+            || self.params_ty.len() != self.funcs.len() + self.n_imported as usize
+        {
+            return false;
+        }
+        for (i, params) in self.params_ty.iter().enumerate() {
+            let Some(ty) = module.func_type(i as u32) else {
+                return false;
+            };
+            if ty.params != **params {
+                return false;
+            }
+            if let Some(cf) = (i as u32)
+                .checked_sub(self.n_imported)
+                .and_then(|l| self.funcs.get(l as usize))
+            {
+                if ty.results != *cf.results_ty {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// A suspended caller: what `Return` restores.
@@ -272,11 +337,12 @@ impl<'m> Instance<'m> {
             return Ok(values);
         }
         if self.compiled.is_none() {
-            self.compiled = Some(crate::compile::compile_module(self.module)?);
+            self.compiled = Some(CompiledModule::compile(self.module)?);
         }
-        // Move the compiled code and buffers out so the dispatch loop
-        // can borrow them alongside `self.memory`/`self.globals`.
-        let compiled = self.compiled.take().expect("compiled above");
+        // Clone the artifact handle (one refcount bump) so the
+        // dispatch loop can borrow it alongside `self.memory`/
+        // `self.globals`; the buffers still move out.
+        let compiled = Arc::clone(self.compiled.as_ref().expect("compiled above"));
         let mut bufs = std::mem::take(&mut self.flat);
         bufs.stack.clear();
         bufs.locals.clear();
@@ -290,7 +356,6 @@ impl<'m> Instance<'m> {
             (false, _) => self.run_flat::<true, true>(&compiled, idx, args, &mut bufs, observer),
         };
         self.flat = bufs;
-        self.compiled = Some(compiled);
         result
     }
 
@@ -300,7 +365,7 @@ impl<'m> Instance<'m> {
     #[allow(clippy::too_many_lines)]
     fn run_flat<const OBSERVE: bool, const PER_OP: bool>(
         &mut self,
-        compiled: &CompiledModule<'m>,
+        compiled: &CompiledModule,
         entry: u32,
         args: &[Value],
         bufs: &mut FlatBuffers,
@@ -445,7 +510,7 @@ impl<'m> Instance<'m> {
                 }
                 self.stats.calls += 1;
                 if f < n_imported {
-                    let ps = compiled.params_ty[f as usize];
+                    let ps = &compiled.params_ty[f as usize];
                     let at = stack.len() - ps.len();
                     let host_args: Vec<Value> = ps
                         .iter()
@@ -486,7 +551,7 @@ impl<'m> Instance<'m> {
 
         loop {
             if PER_OP {
-                if let Some(si) = cf.src[pc] {
+                if let Some(si) = &cf.src[pc] {
                     if let Some(f) = self.fuel.as_mut() {
                         if *f == 0 {
                             // The instruction that ran out of fuel is

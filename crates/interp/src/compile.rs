@@ -32,8 +32,34 @@ fn bad(what: &str) -> Trap {
     Trap::Host(format!("flat compile: {what} (module not validated?)"))
 }
 
+/// An owned copy of `i` for the artifact's accounting stream.
+/// Structured instructions are stored with empty bodies: observers
+/// receive the instruction only to classify and weigh it by opcode,
+/// and the body executes through its own ops, never through this
+/// copy. Everything else (including `br_table` immediates) is cloned
+/// verbatim.
+fn owned_src(i: &Instr) -> Instr {
+    use acctee_wasm::instr::Instr::{Block, If, Loop};
+    match i {
+        Block { ty, .. } => Block {
+            ty: *ty,
+            body: Vec::new(),
+        },
+        Loop { ty, .. } => Loop {
+            ty: *ty,
+            body: Vec::new(),
+        },
+        If { ty, .. } => If {
+            ty: *ty,
+            then: Vec::new(),
+            els: Vec::new(),
+        },
+        other => other.clone(),
+    }
+}
+
 /// Compiles every local function of `module` to flat bytecode.
-pub(crate) fn compile_module(module: &Module) -> Result<CompiledModule<'_>, Trap> {
+pub(crate) fn compile_module(module: &Module) -> Result<CompiledModule, Trap> {
     // Canonical type ids: structurally equal types compare equal by
     // id, so `call_indirect` checks are one integer compare.
     let mut type_canon = Vec::with_capacity(module.types.len());
@@ -61,7 +87,7 @@ pub(crate) fn compile_module(module: &Module) -> Result<CompiledModule<'_>, Trap
             .types
             .get(t as usize)
             .ok_or_else(|| bad("func type"))?;
-        params_ty.push(&ty.params[..]);
+        params_ty.push(ty.params.clone().into_boxed_slice());
         canon_of_func.push(type_canon[t as usize]);
     }
 
@@ -321,11 +347,7 @@ impl<'m, 'a> FnCompiler<'m, 'a> {
         }
     }
 
-    fn finish(
-        mut self,
-        ty: &'m FuncType,
-        locals: &[acctee_wasm::types::ValType],
-    ) -> CompiledFunc<'m> {
+    fn finish(mut self, ty: &FuncType, locals: &[acctee_wasm::types::ValType]) -> CompiledFunc {
         // Epilogue: a synthetic (uncounted) return shared by the
         // fall-through exit and function-level branches.
         let end_pc = self.ops.len() as u32;
@@ -337,7 +359,7 @@ impl<'m, 'a> FnCompiler<'m, 'a> {
             fuse(&self.ops, &self.src, &self.branches);
         CompiledFunc {
             ops: self.ops,
-            src: self.src,
+            src: self.src.iter().map(|o| o.map(owned_src)).collect(),
             branches: self.branches,
             fast_ops,
             fast_cost_prefix,
@@ -345,7 +367,7 @@ impl<'m, 'a> FnCompiler<'m, 'a> {
             br_tables: self.br_tables,
             n_params: ty.params.len() as u16,
             n_results: self.n_results,
-            results_ty: &ty.results,
+            results_ty: ty.results.clone().into_boxed_slice(),
             n_local_slots: locals.len() as u32,
         }
     }

@@ -125,9 +125,10 @@ pub struct Instance<'m> {
     pub(crate) config: Config,
     pub(crate) fuel: Option<u64>,
     pub(crate) stats: ExecStats,
-    /// Flat bytecode, compiled lazily on the first bytecode-engine
-    /// invoke and cached for the lifetime of the instance.
-    pub(crate) compiled: Option<CompiledModule<'m>>,
+    /// The flat-bytecode artifact: either handed in pre-built via
+    /// [`Instance::with_artifact`] (the compile-once/serve-many
+    /// path), or compiled lazily on the first bytecode-engine invoke.
+    pub(crate) compiled: Option<std::sync::Arc<CompiledModule>>,
     /// Reusable bytecode-engine execution buffers.
     pub(crate) flat: FlatBuffers,
     /// Scratch argument vectors pooled across tree-walker calls.
@@ -156,6 +157,34 @@ impl<'m> Instance<'m> {
     /// out of bounds, or the start function traps.
     pub fn new(module: &'m Module, imports: Imports) -> Result<Instance<'m>, Trap> {
         Instance::with_config(module, imports, Config::default())
+    }
+
+    /// Instantiates with explicit limits and a pre-built bytecode
+    /// artifact, so this instance never runs the flat compiler: the
+    /// serving path compiles a module once ([`CompiledModule::compile`])
+    /// and hands every per-request instance the shared `Arc`.
+    ///
+    /// The artifact must have been compiled from `module`; callers
+    /// that cache artifacts must key the cache by module identity.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Host`] if the artifact does not structurally match
+    /// `module`; otherwise see [`Instance::new`].
+    pub fn with_artifact(
+        module: &'m Module,
+        imports: Imports,
+        config: Config,
+        artifact: std::sync::Arc<CompiledModule>,
+    ) -> Result<Instance<'m>, Trap> {
+        if !artifact.matches(module) {
+            return Err(Trap::Host(
+                "bytecode artifact does not match this module".into(),
+            ));
+        }
+        let mut inst = Instance::with_config(module, imports, config)?;
+        inst.compiled = Some(artifact);
+        Ok(inst)
     }
 
     /// Instantiates with explicit limits.

@@ -46,6 +46,7 @@ mod stats;
 mod trap;
 mod value;
 
+pub use bytecode::CompiledModule;
 pub use exec::{Config, Engine, Instance};
 pub use host::{HostCtx, HostFunc, Imports};
 pub use memory::Memory;

@@ -22,4 +22,10 @@ cargo test --offline -q -p acctee-integration --test engine_diff
 echo "==> interpreter throughput smoke (BENCH_interp.json)"
 cargo run --offline --release -q -p acctee-bench --bin interp -- 8 2 --out /tmp/BENCH_interp.json
 
+echo "==> artifact-cache concurrency suite"
+cargo test --offline -q --release -p acctee-integration --test artifact_cache
+
+echo "==> faas serving-throughput smoke (BENCH_faas.json)"
+cargo run --offline --release -q -p acctee-bench --bin faas -- 16 2 --out /tmp/BENCH_faas.json
+
 echo "==> all green"
