@@ -1,0 +1,245 @@
+//! Networked-serving load generator: drives N concurrent attested
+//! connections against an in-process `acctee-net` server and emits
+//! `BENCH_net.json` (throughput, p50/p99 invoke latency, shed rate).
+//!
+//! Two scenarios:
+//!
+//! * **serving** — an adequately provisioned server (the CLI worker
+//!   count, queue sized to the connection count): every request is
+//!   admitted, and the percentiles measure the full wire + attestation
+//!   + accounting round trip.
+//! * **overload** — a deliberately undersized server (1 worker, queue
+//!   of 2, tenant in-flight of 1) hammered by every connection under
+//!   one tenant: the point is that overload degrades into explicit
+//!   `Busy` shed (counted here as the shed rate) rather than hangs.
+//!
+//! Usage: `net [connections] [requests_per_conn] [--workers N] [--out FILE]`
+//! (defaults: connections=8, requests=32, workers=4, out=BENCH_net.json).
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use acctee::Level;
+use acctee_interp::Value;
+use acctee_net::{Client, NetError, Server, ServerConfig, TrustAnchor};
+use acctee_wasm::builder::ModuleBuilder;
+use acctee_wasm::encode::encode_module;
+use acctee_wasm::types::ValType;
+
+const SEED: u64 = 0xacc7ee;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn workload() -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let f = b.func("main", &[ValType::I32], &[ValType::I32], |f| {
+        f.local_get(0);
+        f.i32_const(1);
+        f.i32_add();
+    });
+    b.export_func("main", f);
+    encode_module(&b.build())
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+struct ServingResult {
+    requests: usize,
+    shed: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Scenario 1: well-provisioned server, per-connection tenants.
+fn run_serving(connections: usize, per_conn: usize, workers: usize) -> ServingResult {
+    let config = ServerConfig {
+        seed: SEED,
+        workers,
+        queue_depth: connections + 4,
+        tenant_inflight: connections.max(4),
+        io_timeout: TIMEOUT,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let (addr, handle) = server.spawn();
+    let module = workload();
+    let latencies = Mutex::new(Vec::<u64>::new());
+    let shed = Mutex::new(0usize);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..connections {
+            let (module, latencies, shed) = (&module, &latencies, &shed);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT)
+                    .expect("connect + attest");
+                let deployed = client.deploy(module, Level::LoopBased).expect("deploy");
+                let tenant = format!("tenant-{c}");
+                let mut local = Vec::with_capacity(per_conn);
+                for i in 0..per_conn {
+                    let t0 = Instant::now();
+                    match client.invoke(&deployed, "main", &[Value::I32(i as i32)], b"", &tenant) {
+                        Ok(out) => {
+                            assert_eq!(out.results, vec![Value::I32(i as i32 + 1)]);
+                            local.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        Err(NetError::Busy) => *shed.lock().unwrap() += 1,
+                        Err(e) => panic!("invoke failed: {e}"),
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let done = latencies.len();
+    let mut client = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("ctl connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    ServingResult {
+        requests: done,
+        shed: shed.into_inner().unwrap(),
+        throughput_rps: done as f64 / wall.max(f64::MIN_POSITIVE),
+        p50_us: percentile_us(&latencies, 50.0),
+        p99_us: percentile_us(&latencies, 99.0),
+    }
+}
+
+struct OverloadResult {
+    attempts: usize,
+    served: usize,
+    shed: usize,
+}
+
+/// Scenario 2: undersized server, one shared tenant, fresh connection
+/// per attempt. Every attempt must end in either a verified result or
+/// an explicit Busy — never a hang or a panic.
+fn run_overload(connections: usize, per_conn: usize) -> OverloadResult {
+    let config = ServerConfig {
+        seed: SEED,
+        workers: 1,
+        queue_depth: 2,
+        tenant_inflight: 1,
+        io_timeout: TIMEOUT,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let (addr, handle) = server.spawn();
+    let module = workload();
+    let served = Mutex::new(0usize);
+    let shed = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for _ in 0..connections {
+            let (module, served, shed) = (&module, &served, &shed);
+            scope.spawn(move || {
+                for i in 0..per_conn {
+                    let attempt = || -> Result<(), NetError> {
+                        let mut client = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT)?;
+                        let deployed = client.deploy(module, Level::LoopBased)?;
+                        let out = client.invoke(
+                            &deployed,
+                            "main",
+                            &[Value::I32(i as i32)],
+                            b"",
+                            "load",
+                        )?;
+                        assert_eq!(out.results, vec![Value::I32(i as i32 + 1)]);
+                        Ok(())
+                    };
+                    match attempt() {
+                        Ok(()) => *served.lock().unwrap() += 1,
+                        Err(NetError::Busy) => *shed.lock().unwrap() += 1,
+                        Err(e) => panic!("overload attempt failed hard: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    // The undersized server still drains cleanly.
+    let mut client = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("ctl connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    OverloadResult {
+        attempts: connections * per_conn,
+        served: served.into_inner().unwrap(),
+        shed: shed.into_inner().unwrap(),
+    }
+}
+
+fn main() {
+    let mut connections = 8usize;
+    let mut per_conn = 32usize;
+    let mut workers = 4usize;
+    let mut out = String::from("BENCH_net.json");
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a value"),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+            }
+            _ => positional.push(a),
+        }
+    }
+    if let Some(v) = positional.first().and_then(|a| a.parse().ok()) {
+        connections = v;
+    }
+    if let Some(v) = positional.get(1).and_then(|a| a.parse().ok()) {
+        per_conn = v;
+    }
+
+    let serving = run_serving(connections, per_conn, workers);
+    let overload = run_overload(connections, per_conn.min(8));
+
+    let serving_shed_rate = serving.shed as f64 / (serving.requests + serving.shed).max(1) as f64;
+    let overload_shed_rate = overload.shed as f64 / overload.attempts.max(1) as f64;
+    println!(
+        "# net serving (connections={connections}, requests/conn={per_conn}, workers={workers})"
+    );
+    println!(
+        "serving   {:>8.1} req/s   p50 {:>8.1} us   p99 {:>8.1} us   shed {:.3}",
+        serving.throughput_rps, serving.p50_us, serving.p99_us, serving_shed_rate
+    );
+    println!(
+        "overload  served {}/{}   shed {}   shed-rate {:.3}",
+        overload.served, overload.attempts, overload.shed, overload_shed_rate
+    );
+
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"suite\": \"net_serving\",");
+    let _ = writeln!(s, "  \"connections\": {connections},");
+    let _ = writeln!(s, "  \"requests_per_connection\": {per_conn},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"serving\": {{");
+    let _ = writeln!(s, "    \"requests\": {},", serving.requests);
+    let _ = writeln!(s, "    \"throughput_rps\": {:.1},", serving.throughput_rps);
+    let _ = writeln!(s, "    \"p50_us\": {:.1},", serving.p50_us);
+    let _ = writeln!(s, "    \"p99_us\": {:.1},", serving.p99_us);
+    let _ = writeln!(s, "    \"shed_rate\": {serving_shed_rate:.4}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"overload\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workers\": 1, \"queue_depth\": 2, \"tenant_inflight\": 1,"
+    );
+    let _ = writeln!(s, "    \"attempts\": {},", overload.attempts);
+    let _ = writeln!(s, "    \"served\": {},", overload.served);
+    let _ = writeln!(s, "    \"shed\": {},", overload.shed);
+    let _ = writeln!(s, "    \"shed_rate\": {overload_shed_rate:.4}");
+    let _ = writeln!(s, "  }}");
+    s.push_str("}\n");
+    std::fs::write(&out, &s).expect("write BENCH_net.json");
+    println!("# -> {out}");
+}

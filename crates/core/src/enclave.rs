@@ -36,6 +36,16 @@ pub fn ae_code(weights: &WeightTable) -> Vec<u8> {
     code
 }
 
+/// The canonical digest an [`AccountingEnclave::attest_channel`] quote
+/// binds for a given nonce (clients recompute this to check the
+/// binding).
+pub fn channel_binding(nonce: &[u8; 32]) -> Digest {
+    let mut payload = Vec::with_capacity(32 + 17);
+    payload.extend_from_slice(b"acctee-net-attest");
+    payload.extend_from_slice(nonce);
+    sha256(&payload)
+}
+
 /// The instrumentation enclave: validates, instruments and signs.
 pub struct InstrumentationEnclave {
     enclave: Enclave,
@@ -241,6 +251,22 @@ impl AccountingEnclave {
         self.enclave.measurement()
     }
 
+    /// Produces a quote over a caller-supplied channel nonce: the
+    /// server side of the networked attestation handshake. The report
+    /// data binds `sha256("acctee-net-attest" || nonce)`, so a remote
+    /// client that verifies the quote and recomputes the binding knows
+    /// it is talking to *this* accounting enclave, live, on this
+    /// connection (the fresh nonce defeats quote replay).
+    ///
+    /// # Errors
+    ///
+    /// [`AccTeeError::Attestation`] if quoting fails.
+    pub fn attest_channel(&self, nonce: &[u8; 32]) -> Result<acctee_sgx::Quote, AccTeeError> {
+        let binding = channel_binding(nonce);
+        let quote = self.qe.quote(&self.enclave.report(report_data(&binding)))?;
+        Ok(quote)
+    }
+
     /// Verifies evidence against the attestation authority and loads
     /// the workload.
     ///
@@ -423,6 +449,19 @@ mod tests {
         let m = authority.verify(&out.log.quote).unwrap();
         assert_eq!(m, ae.measurement());
         assert_eq!(out.log.quote.report_data[..32], out.log.log.binding());
+    }
+
+    #[test]
+    fn channel_attestation_binds_the_nonce() {
+        let (authority, _ie, ae) = setup();
+        let nonce = [7u8; 32];
+        let quote = ae.attest_channel(&nonce).unwrap();
+        // A remote client verifies the quote and recomputes the
+        // binding for its own nonce.
+        assert_eq!(authority.verify(&quote).unwrap(), ae.measurement());
+        assert_eq!(quote.report_data[..32], channel_binding(&nonce));
+        // A different nonce (replayed quote) does not bind.
+        assert_ne!(quote.report_data[..32], channel_binding(&[8u8; 32]));
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub mod session;
 pub mod weights_store;
 
 pub use cache::InstrumentationCache;
-pub use enclave::{AccountingEnclave, ExecutionOutcome, InstrumentationEnclave};
+pub use enclave::{
+    ae_code, channel_binding, ie_code, AccountingEnclave, ExecutionOutcome, InstrumentationEnclave,
+};
 pub use error::AccTeeError;
 pub use evidence::InstrumentationEvidence;
 pub use io::IoMeter;

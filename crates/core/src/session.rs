@@ -144,6 +144,14 @@ impl InfrastructureProvider {
         self.ae.exec_config.engine = engine;
     }
 
+    /// Applies a wall-clock budget to every accounted execution: a
+    /// workload that runs past it traps with the interpreter's
+    /// `DeadlineExceeded` instead of occupying the enclave forever.
+    /// `None` (the default) disables the deadline.
+    pub fn set_time_budget(&mut self, budget: Option<std::time::Duration>) {
+        self.ae.exec_config.time_budget = budget;
+    }
+
     /// Verifies evidence and loads a workload for execution.
     ///
     /// # Errors
@@ -270,6 +278,12 @@ impl Deployment {
     /// [`InfrastructureProvider::set_engine`]).
     pub fn set_engine(&mut self, engine: Engine) {
         self.infra.set_engine(engine);
+    }
+
+    /// Applies a per-execution wall-clock budget (see
+    /// [`InfrastructureProvider::set_time_budget`]).
+    pub fn set_time_budget(&mut self, budget: Option<std::time::Duration>) {
+        self.infra.set_time_budget(budget);
     }
 
     /// Instruments a module through the shared cache (running the IE

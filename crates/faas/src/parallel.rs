@@ -16,6 +16,13 @@ use std::time::{Duration, Instant};
 
 use crate::platform::{FaasPlatform, RequestStats};
 
+/// Whether a request-failure message is the interpreter's wall-clock
+/// deadline trap (the single source of truth for timeout
+/// classification — `handle` stringifies traps on the way out).
+fn is_timeout(msg: &str) -> bool {
+    msg.contains(&acctee_interp::Trap::DeadlineExceeded.to_string())
+}
+
 /// Best-effort human-readable message out of a panic payload.
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = panic.downcast_ref::<&str>() {
@@ -36,6 +43,9 @@ pub struct BatchReport {
     pub stats: Vec<RequestStats>,
     /// Requests that failed (trap/script error), with messages.
     pub failures: Vec<String>,
+    /// How many of `failures` were wall-clock deadline timeouts (see
+    /// [`crate::FaasPlatform::with_request_deadline`]).
+    pub timeouts: usize,
 }
 
 impl BatchReport {
@@ -106,6 +116,10 @@ impl FaasPlatform {
             "acctee_faas_request_failures_total",
             &[("function", self.kind().name())],
         );
+        let timeout_counter = hub.metrics().counter_with(
+            "acctee_faas_request_timeouts_total",
+            &[("function", self.kind().name())],
+        );
         let io_in = hub.metrics().counter("acctee_faas_io_bytes_in_total");
         let io_out = hub.metrics().counter("acctee_faas_io_bytes_out_total");
 
@@ -127,7 +141,7 @@ impl FaasPlatform {
             .with_arg("requests", payloads.len())
             .with_arg("workers", workers.max(1));
         let start = Instant::now();
-        let (stats, failures) = std::thread::scope(|scope| {
+        let (stats, failures, timeouts) = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..workers.max(1) {
                 let rx = rx.clone();
@@ -135,9 +149,11 @@ impl FaasPlatform {
                 let fail_counter = fail_counter.clone();
                 let io_in = io_in.clone();
                 let io_out = io_out.clone();
+                let timeout_counter = timeout_counter.clone();
                 handles.push(scope.spawn(move || {
                     let mut stats = Vec::new();
                     let mut failures = Vec::new();
+                    let mut timeouts = 0usize;
                     loop {
                         // Hold the receiver lock only for the dequeue,
                         // not for the request. Recover a poisoned lock
@@ -169,6 +185,10 @@ impl FaasPlatform {
                                 stats.push(s);
                             }
                             Ok(Err(e)) => {
+                                if is_timeout(&e) {
+                                    timeouts += 1;
+                                    timeout_counter.inc();
+                                }
                                 fail_counter.inc();
                                 failures.push(e);
                             }
@@ -181,32 +201,35 @@ impl FaasPlatform {
                             }
                         }
                     }
-                    (stats, failures)
+                    (stats, failures, timeouts)
                 }));
             }
             let mut stats = Vec::new();
             let mut failures = Vec::new();
+            let mut timeouts = 0usize;
             for h in handles {
                 // A worker dying outside the per-request catch (it
                 // should not happen) costs its in-flight bookkeeping
                 // but never the batch.
                 match h.join() {
-                    Ok((s, f)) => {
+                    Ok((s, f, t)) => {
                         stats.extend(s);
                         failures.extend(f);
+                        timeouts += t;
                     }
                     Err(panic) => {
                         failures.push(format!("worker died: {}", panic_message(panic.as_ref())))
                     }
                 }
             }
-            (stats, failures)
+            (stats, failures, timeouts)
         });
         drop(batch_span);
         BatchReport {
             elapsed: start.elapsed(),
             stats,
             failures,
+            timeouts,
         }
     }
 }
@@ -324,6 +347,43 @@ mod tests {
         // serve_parallel warmed the shared artifact up front, so no
         // later call (request or warm) ever compiles again.
         assert!(!platform.warm());
+    }
+
+    #[test]
+    fn request_deadline_frees_workers_from_runaway_requests() {
+        use acctee_wasm::builder::ModuleBuilder;
+        use acctee_wasm::instr::BlockType;
+        // A workload that never terminates: without the deadline this
+        // batch would occupy both workers forever.
+        let mut b = ModuleBuilder::new();
+        let f = b.func("main", &[], &[], |f| {
+            f.loop_(BlockType::Empty, |f| {
+                f.br(0);
+            });
+        });
+        b.export_func("main", f);
+        let platform = FaasPlatform::deploy_module(b.build(), "main", Setup::Wasm)
+            .unwrap()
+            .with_request_deadline(Some(Duration::from_millis(40)));
+        let payloads: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
+        let report = platform.serve_parallel(&payloads, 2);
+        assert_eq!(report.stats.len(), 0);
+        assert_eq!(report.timeouts, 4, "{:?}", report.failures);
+        assert_eq!(report.failures.len(), 4);
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| f.contains("deadline exceeded")));
+    }
+
+    #[test]
+    fn deadline_does_not_disturb_well_behaved_batches() {
+        let platform = FaasPlatform::deploy(FunctionKind::Echo, Setup::Wasm)
+            .with_request_deadline(Some(Duration::from_secs(10)));
+        let payloads: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 32]).collect();
+        let report = platform.serve_parallel(&payloads, 3);
+        assert_eq!(report.stats.len(), 6, "{:?}", report.failures);
+        assert_eq!(report.timeouts, 0);
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct FaasPlatform {
     /// Whether requests share the artifact (disable to measure the
     /// per-request-recompile baseline).
     share_artifact: bool,
+    /// Per-request wall-clock budget; a request exceeding it traps
+    /// with a deadline failure instead of occupying a worker forever.
+    request_deadline: Option<std::time::Duration>,
     /// Test-only fault injection: a payload whose first byte equals
     /// the marker panics inside `handle`, exercising the worker-pool
     /// panic recovery.
@@ -154,6 +157,7 @@ impl FaasPlatform {
             engine: Engine::default(),
             artifact: OnceLock::new(),
             share_artifact: true,
+            request_deadline: None,
             #[cfg(test)]
             panic_marker: None,
         }
@@ -201,6 +205,7 @@ impl FaasPlatform {
             engine: Engine::default(),
             artifact: OnceLock::new(),
             share_artifact: true,
+            request_deadline: None,
             #[cfg(test)]
             panic_marker: None,
         })
@@ -226,6 +231,19 @@ impl FaasPlatform {
     pub fn with_artifact_cache(mut self, share: bool) -> FaasPlatform {
         self.share_artifact = share;
         self.artifact = OnceLock::new();
+        self
+    }
+
+    /// Bounds every wasm request's wall-clock execution time (`None` =
+    /// unlimited, the default). A request that exceeds the budget
+    /// traps with the interpreter's `DeadlineExceeded` and is reported
+    /// as a timeout failure (see [`crate::BatchReport::timeouts`]), so
+    /// even a deliberately non-terminating workload releases its
+    /// worker. The JS baseline setup is not covered (it exists only
+    /// for the Fig 9 comparison).
+    #[must_use]
+    pub fn with_request_deadline(mut self, budget: Option<std::time::Duration>) -> FaasPlatform {
+        self.request_deadline = budget;
         self
     }
 
@@ -366,6 +384,7 @@ impl FaasPlatform {
             });
         let cfg = Config {
             engine: self.engine,
+            time_budget: self.request_deadline,
             ..Config::default()
         };
         let mut inst = match self.shared_artifact() {

@@ -456,6 +456,7 @@ impl<'m> Instance<'m> {
         // values, jump.
         macro_rules! take_branch {
             ($slot:expr) => {{
+                tr!(self.check_deadline());
                 flush_seg!();
                 let b = branch_entry!($slot);
                 let dst = stack_base + b.height as usize;
@@ -505,6 +506,7 @@ impl<'m> Instance<'m> {
                 if frames.len() + 1 >= self.config.max_call_depth {
                     throw!(Trap::CallStackExhausted);
                 }
+                tr!(self.check_deadline());
                 if OBSERVE {
                     observer.on_call(f);
                 }
@@ -574,6 +576,7 @@ impl<'m> Instance<'m> {
                 Op::Nop => {}
                 Op::Unreachable => throw!(Trap::Unreachable),
                 Op::Jump(t) => {
+                    tr!(self.check_deadline());
                     flush_seg!();
                     pc = t as usize;
                     seg_start = pc;
@@ -587,6 +590,7 @@ impl<'m> Instance<'m> {
                 }
                 Op::BrIfNot(t) => {
                     if stack.pop().expect("validated") as u32 == 0 {
+                        tr!(self.check_deadline());
                         flush_seg!();
                         pc = t as usize;
                         seg_start = pc;
@@ -728,6 +732,7 @@ impl<'m> Instance<'m> {
                 Op::NumBrIfNot(op, t) => {
                     tr!(exec_num_slot(op, stack));
                     if stack.pop().expect("validated") as u32 == 0 {
+                        tr!(self.check_deadline());
                         flush_seg!();
                         pc = t as usize;
                         seg_start = pc;

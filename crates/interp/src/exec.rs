@@ -90,6 +90,17 @@ pub struct Config {
     pub max_call_depth: usize,
     /// Optional instruction budget; `None` is unlimited.
     pub fuel: Option<u64>,
+    /// Optional wall-clock budget per invoke; `None` is unlimited.
+    ///
+    /// Unlike fuel this is *not* deterministic — it exists for serving
+    /// paths that must bound a request's real time (a slow or runaway
+    /// workload traps with [`Trap::DeadlineExceeded`] instead of
+    /// occupying a worker forever). The clock is checked at branch and
+    /// call sites (any non-terminating execution passes those
+    /// infinitely often), sampled every
+    /// [`DEADLINE_CHECK_INTERVAL`] ticks so the hot path stays free of
+    /// timer syscalls.
+    pub time_budget: Option<std::time::Duration>,
     /// Which execution backend to use.
     pub engine: Engine,
 }
@@ -99,10 +110,16 @@ impl Default for Config {
         Config {
             max_call_depth: 200,
             fuel: None,
+            time_budget: None,
             engine: Engine::Tree,
         }
     }
 }
+
+/// How many deadline ticks (branches/calls) elapse between reads of
+/// the monotonic clock when [`Config::time_budget`] is set. Power of
+/// two so the check compiles to a mask.
+pub const DEADLINE_CHECK_INTERVAL: u32 = 1024;
 
 /// How control leaves an instruction sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +141,11 @@ pub struct Instance<'m> {
     pub(crate) host_funcs: Vec<Option<HostFunc>>,
     pub(crate) config: Config,
     pub(crate) fuel: Option<u64>,
+    /// Wall-clock instant after which execution traps, set per invoke
+    /// from [`Config::time_budget`].
+    pub(crate) deadline: Option<std::time::Instant>,
+    /// Branch/call ticks since the deadline clock was last sampled.
+    pub(crate) deadline_ticks: u32,
     pub(crate) stats: ExecStats,
     /// The flat-bytecode artifact: either handed in pre-built via
     /// [`Instance::with_artifact`] (the compile-once/serve-many
@@ -257,6 +279,8 @@ impl<'m> Instance<'m> {
             host_funcs,
             config,
             fuel: config.fuel,
+            deadline: None,
+            deadline_ticks: 0,
             stats: ExecStats::default(),
             compiled: None,
             flat: FlatBuffers::default(),
@@ -339,6 +363,12 @@ impl<'m> Instance<'m> {
         if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty()) {
             return Err(Trap::Host(format!("argument mismatch calling {name:?}")));
         }
+        // The wall-clock budget covers exactly this invoke.
+        self.deadline = self
+            .config
+            .time_budget
+            .map(|b| std::time::Instant::now() + b);
+        self.deadline_ticks = 0;
         match self.config.engine {
             Engine::Tree => self.call_function(idx, args, 0, observer),
             Engine::Bytecode => self.invoke_flat(idx, args, observer),
@@ -390,6 +420,25 @@ impl<'m> Instance<'m> {
         Ok(())
     }
 
+    /// Ticks the wall-clock deadline. Called at branch and call sites
+    /// by both engines: a non-terminating execution takes branches or
+    /// calls infinitely often, so sampling the clock there (every
+    /// [`DEADLINE_CHECK_INTERVAL`] ticks) bounds real time without a
+    /// timer read on the straight-line hot path.
+    #[inline]
+    pub(crate) fn check_deadline(&mut self) -> Result<(), Trap> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        self.deadline_ticks = self.deadline_ticks.wrapping_add(1);
+        if self.deadline_ticks & (DEADLINE_CHECK_INTERVAL - 1) == 0
+            && std::time::Instant::now() >= deadline
+        {
+            return Err(Trap::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
     /// Calls the host function `idx` and type-checks its results.
     /// Shared by both engines (the caller reports call/return events).
     pub(crate) fn call_host_checked(
@@ -427,6 +476,7 @@ impl<'m> Instance<'m> {
         if depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
         }
+        self.check_deadline()?;
         observer.on_call(idx);
         self.stats.calls += 1;
         let n_imported = self.module.num_imported_funcs();
@@ -492,6 +542,7 @@ impl<'m> Instance<'m> {
                 Flow::Return => return Ok(Flow::Return),
                 Flow::Br(0) => {
                     if is_loop {
+                        self.check_deadline()?;
                         stack.truncate(entry);
                         continue;
                     }
@@ -1316,6 +1367,71 @@ mod tests {
         )
         .unwrap();
         assert_eq!(inst.invoke("f", &[]).unwrap_err(), Trap::OutOfFuel);
+    }
+
+    #[test]
+    fn time_budget_limits_runaway_loops_on_both_engines() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func("f", &[], &[], |f| {
+            f.loop_(BlockType::Empty, |f| {
+                f.br(0);
+            });
+        });
+        b.export_func("f", f);
+        let m = b.build();
+        for engine in [Engine::Tree, Engine::Bytecode] {
+            let started = std::time::Instant::now();
+            let mut inst = Instance::with_config(
+                &m,
+                Imports::new(),
+                Config {
+                    time_budget: Some(std::time::Duration::from_millis(30)),
+                    engine,
+                    ..Config::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                inst.invoke("f", &[]).unwrap_err(),
+                Trap::DeadlineExceeded,
+                "{engine:?}"
+            );
+            // Loose sanity bound: the trap arrives in real time, not
+            // after minutes of spinning.
+            assert!(
+                started.elapsed() < std::time::Duration::from_secs(20),
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_budget_leaves_fast_invokes_alone() {
+        let mut b = ModuleBuilder::new();
+        let f = b.func("f", &[ValType::I32], &[ValType::I32], |f| {
+            f.local_get(0);
+            f.i32_const(1);
+            f.i32_add();
+        });
+        b.export_func("f", f);
+        let m = b.build();
+        for engine in [Engine::Tree, Engine::Bytecode] {
+            let mut inst = Instance::with_config(
+                &m,
+                Imports::new(),
+                Config {
+                    time_budget: Some(std::time::Duration::from_secs(5)),
+                    engine,
+                    ..Config::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                inst.invoke("f", &[Value::I32(41)]).unwrap(),
+                vec![Value::I32(42)],
+                "{engine:?}"
+            );
+        }
     }
 
     #[test]

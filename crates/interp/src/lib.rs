@@ -47,7 +47,7 @@ mod trap;
 mod value;
 
 pub use bytecode::CompiledModule;
-pub use exec::{Config, Engine, Instance};
+pub use exec::{Config, Engine, Instance, DEADLINE_CHECK_INTERVAL};
 pub use host::{HostCtx, HostFunc, Imports};
 pub use memory::Memory;
 pub use observer::{Accounting, BatchedCounter, CountingObserver, NullObserver, Observer};

@@ -31,6 +31,8 @@ pub enum Trap {
     TableOutOfBounds,
     /// The configured fuel budget was exhausted.
     OutOfFuel,
+    /// The configured wall-clock budget was exhausted.
+    DeadlineExceeded,
     /// A host function reported an error.
     Host(String),
 }
@@ -50,6 +52,7 @@ impl fmt::Display for Trap {
             Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
             Trap::TableOutOfBounds => write!(f, "table index out of bounds"),
             Trap::OutOfFuel => write!(f, "fuel exhausted"),
+            Trap::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
             Trap::Host(msg) => write!(f, "host error: {msg}"),
         }
     }

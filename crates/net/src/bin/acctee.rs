@@ -10,6 +10,12 @@
 //!                                          full pipeline: instrument,
 //!                                          attest, execute, verify,
 //!                                          print the signed log
+//! acctee serve --listen ADDR               attested network server
+//! acctee deploy <in> --connect ADDR        deploy over the network
+//! acctee invoke <in> --connect ADDR [--invoke F] [--arg V]*
+//!                                          deploy + attested invoke,
+//!                                          log verified client-side
+//! acctee shutdown --connect ADDR           drain and stop a server
 //! ```
 //!
 //! Arguments of the invoked function are parsed against its signature
@@ -30,6 +36,7 @@ use std::sync::Arc;
 use acctee::{Deployment, InstrumentationCache, InstrumentationEnclave, Level, PricingModel};
 use acctee_instrument::{instrument, WeightTable};
 use acctee_interp::{Config, Engine, Imports, Instance, ProfilingObserver, Value};
+use acctee_net::{Client, Server, ServerConfig, TrustAnchor};
 use acctee_sgx::{AttestationAuthority, Platform};
 use acctee_telemetry::{CollectingSink, Telemetry};
 use acctee_wasm::decode::decode_module;
@@ -95,6 +102,16 @@ struct Opts {
     cache_capacity: Option<usize>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    listen: Option<String>,
+    connect: Option<String>,
+    seed: u64,
+    workers: usize,
+    queue_depth: usize,
+    tenant_inflight: usize,
+    tenant: String,
+    request_deadline_ms: Option<u64>,
+    io_timeout_ms: u64,
+    out: Option<String>,
     rest: Vec<String>,
 }
 
@@ -109,6 +126,16 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         cache_capacity: None,
         trace_out: None,
         metrics_out: None,
+        listen: None,
+        connect: None,
+        seed: 0xacc7ee,
+        workers: 4,
+        queue_depth: 16,
+        tenant_inflight: 4,
+        tenant: "cli".into(),
+        request_deadline_ms: None,
+        io_timeout_ms: 5000,
+        out: None,
         rest: Vec::new(),
     };
     let mut it = argv.iter();
@@ -130,6 +157,22 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             }
             "--trace-out" => o.trace_out = Some(want(&mut it)?),
             "--metrics-out" => o.metrics_out = Some(want(&mut it)?),
+            "--listen" => o.listen = Some(want(&mut it)?),
+            "--connect" => o.connect = Some(want(&mut it)?),
+            "--seed" => o.seed = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => o.workers = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--queue" => o.queue_depth = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--tenant-inflight" => {
+                o.tenant_inflight = want(&mut it)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--tenant" => o.tenant = want(&mut it)?,
+            "--request-deadline-ms" => {
+                o.request_deadline_ms = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--io-timeout-ms" => {
+                o.io_timeout_ms = want(&mut it)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => o.out = Some(want(&mut it)?),
             other => o.rest.push(other.to_string()),
         }
     }
@@ -194,11 +237,17 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
     match cmd {
         "help" => {
             println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
-            println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account");
+            println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account,");
+            println!("          serve, deploy, invoke, shutdown");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
             println!("                   --engine tree|bytecode (default tree)");
             println!("                   --cache-capacity N (bound the instrumentation cache)");
             println!("                   --trace-out FILE --metrics-out FILE");
+            println!("serve flags:       --listen ADDR --workers N --queue N");
+            println!("                   --tenant-inflight N --seed S --engine E");
+            println!("                   --request-deadline-ms N --io-timeout-ms N");
+            println!("deploy/invoke:     --connect ADDR --seed S --level L [--out FILE]");
+            println!("                   invoke also: --invoke F --arg V --input STR --tenant T");
             Ok(())
         }
         "wat2wasm" => {
@@ -384,8 +433,112 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("  invoice:               {} nano-credits", inv.total());
             Ok(())
         }
+        "serve" => cmd_serve(opts),
+        "deploy" => cmd_deploy(opts),
+        "invoke" => cmd_invoke(opts),
+        "shutdown" => {
+            let mut client = connect_client(opts)?;
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server draining");
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}; try `acctee help`")),
     }
+}
+
+/// Connects an attested client using the CLI's trust options.
+fn connect_client(opts: &Opts) -> Result<Client, String> {
+    let addr = opts
+        .connect
+        .as_deref()
+        .ok_or("--connect ADDR is required")?;
+    let timeout = std::time::Duration::from_millis(opts.io_timeout_ms);
+    Client::connect(addr, TrustAnchor::new(opts.seed), timeout).map_err(|e| e.to_string())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = opts.listen.as_deref().ok_or("--listen ADDR is required")?;
+    let config = ServerConfig {
+        seed: opts.seed,
+        engine: opts.engine,
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        tenant_inflight: opts.tenant_inflight,
+        io_timeout: std::time::Duration::from_millis(opts.io_timeout_ms),
+        request_deadline: opts
+            .request_deadline_ms
+            .map(std::time::Duration::from_millis),
+        cache_capacity: opts.cache_capacity,
+    };
+    let server = Server::bind(addr, config).map_err(|e| e.to_string())?;
+    // Scripts scrape this line for the ephemeral port; flush so it is
+    // visible before the (blocking) serve loop starts.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    println!("server drained, exiting");
+    Ok(())
+}
+
+fn cmd_deploy(opts: &Opts) -> Result<(), String> {
+    let [inp] = opts.rest.as_slice() else {
+        return Err("usage: acctee deploy <module> --connect ADDR [--level L] [--out FILE]".into());
+    };
+    let m = load_module(inp)?;
+    validate_module(&m).map_err(|e| e.to_string())?;
+    let mut client = connect_client(opts)?;
+    let handle = client
+        .deploy(&encode_module(&m), opts.level)
+        .map_err(|e| e.to_string())?;
+    println!("deploy id: {}", handle.deploy_id);
+    println!(
+        "instrumented module: {} bytes (evidence verified)",
+        handle.module.len()
+    );
+    if let Some(out) = &opts.out {
+        std::fs::write(out, &handle.module).map_err(|e| format!("{out}: {e}"))?;
+        println!("instrumented module -> {out}");
+    }
+    Ok(())
+}
+
+fn cmd_invoke(opts: &Opts) -> Result<(), String> {
+    let [inp] = opts.rest.as_slice() else {
+        return Err(
+            "usage: acctee invoke <module> --connect ADDR [--invoke F] [--arg V]...".into(),
+        );
+    };
+    let m = load_module(inp)?;
+    let args = parse_args_for(&m, &opts.invoke, &opts.args)?;
+    let mut client = connect_client(opts)?;
+    // Deploy-then-invoke: the server's instrumentation cache makes the
+    // repeat deploy of an already-seen module cheap.
+    let handle = client
+        .deploy(&encode_module(&m), opts.level)
+        .map_err(|e| e.to_string())?;
+    let outcome = client
+        .invoke(&handle, &opts.invoke, &args, &opts.input, &opts.tenant)
+        .map_err(|e| e.to_string())?;
+    println!("results: {:?}", outcome.results);
+    if !outcome.output.is_empty() {
+        println!("output: {}", String::from_utf8_lossy(&outcome.output));
+    }
+    let log = &outcome.log.log;
+    println!("signed resource usage log (verified over the wire):");
+    println!("  session id:            {}", outcome.session_id);
+    println!("  weighted instructions: {}", log.weighted_instructions);
+    println!("  peak memory:           {} B", log.peak_memory_bytes);
+    println!("  memory integral:       {}", log.memory_integral);
+    println!(
+        "  io:                    {} in / {} out",
+        log.io_bytes_in, log.io_bytes_out
+    );
+    println!(
+        "  invoice:               {} nano-credits",
+        outcome.invoice_total
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,28 @@
+//! `acctee-net` — the networked serving layer in front of the AccTEE
+//! pipeline (DESIGN.md §11).
+//!
+//! Three pieces:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary protocol with
+//!   canonical encodings of quotes, evidence and signed usage logs, so
+//!   everything the enclaves sign verifies byte-identically on the
+//!   client side;
+//! * [`server`] — an attested TCP front end over a [`acctee::Deployment`]:
+//!   bounded worker pool, admission control with explicit load shed,
+//!   per-tenant in-flight limits, per-request wall-clock deadlines and
+//!   graceful drain;
+//! * [`client`] — the verifying counterpart: reconstructs the
+//!   attestation authority from the shared root seed, attests the
+//!   channel with a fresh nonce, and hard-fails on any quote, evidence
+//!   or log that does not verify.
+//!
+//! The `acctee` CLI (this crate's binary) exposes the whole thing as
+//! `acctee serve`, `acctee deploy` and `acctee invoke`.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, DeployHandle, InvokeOutcome, NetError, TrustAnchor};
+pub use server::{Server, ServerConfig};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,464 @@
+//! The attested serving front end: a TCP server speaking the
+//! [`crate::wire`] protocol in front of a [`Deployment`].
+//!
+//! Threading model: one acceptor (the thread that called
+//! [`Server::run`]) plus a bounded worker pool. Accepted connections
+//! go through a bounded queue — when it is full the acceptor writes an
+//! explicit [`Response::Busy`] and closes, so overload degrades into
+//! visible shed rather than unbounded latency. Each worker owns one
+//! connection at a time and serves its requests sequentially;
+//! per-tenant in-flight limits bound how many workers a single tenant
+//! can hold across connections.
+//!
+//! Deadlines: sockets carry read/write timeouts (a stalled or dead
+//! peer frees its worker), and executions run under the deployment's
+//! wall-clock budget (`ServerConfig::request_deadline`), so no request
+//! can pin a worker forever.
+//!
+//! Session ids are drawn from one server-wide monotonic counter, never
+//! reused across connections — the anti-replay property downstream
+//! verifiers (e.g. the volunteer-computing `Escrow`) rely on.
+//!
+//! Shutdown: a `Shutdown` request flips the flag, the acceptor is
+//! woken by a loopback connection and stops admitting, in-flight
+//! requests complete, and queued-but-unserved connections are closed.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use acctee::enclave::LoadedWorkload;
+use acctee::{Deployment, SignedLog};
+use acctee_interp::Engine;
+
+use crate::wire::{read_request, write_response, Request, Response, WireError};
+
+/// How many signed logs the server retains for `FetchLog` (FIFO).
+const LOG_RETENTION: usize = 4096;
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Deployment seed — the shared root of trust clients reconstruct.
+    pub seed: u64,
+    /// Interpreter engine for accounted executions.
+    pub engine: Engine,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission queue depth; connections beyond it are shed with
+    /// [`Response::Busy`].
+    pub queue_depth: usize,
+    /// Maximum concurrently executing invokes per tenant.
+    pub tenant_inflight: usize,
+    /// Socket read/write timeout (idle connections are closed).
+    pub io_timeout: Duration,
+    /// Wall-clock budget per accounted execution (`None` = unlimited).
+    pub request_deadline: Option<Duration>,
+    /// Bound on the instrumentation cache (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            seed: 0xacc7ee,
+            engine: Engine::default(),
+            workers: 4,
+            queue_depth: 16,
+            tenant_inflight: 4,
+            io_timeout: Duration::from_secs(5),
+            request_deadline: Some(Duration::from_secs(10)),
+            cache_capacity: None,
+        }
+    }
+}
+
+/// A deployed workload: the artifact an `Invoke` executes against.
+/// Verified and loaded into the AE at deploy time; the compiled
+/// artifact inside is shared by every invoke. Clients keep the
+/// instrumented bytes + evidence from the deploy response themselves,
+/// so the server only retains the loaded form.
+struct Deployed {
+    workload: LoadedWorkload,
+}
+
+/// Bounded FIFO store of signed logs for `FetchLog`.
+#[derive(Default)]
+struct LogStore {
+    by_session: HashMap<u64, SignedLog>,
+    order: VecDeque<u64>,
+}
+
+impl LogStore {
+    fn insert(&mut self, log: SignedLog) {
+        if self.order.len() == LOG_RETENTION {
+            if let Some(old) = self.order.pop_front() {
+                self.by_session.remove(&old);
+            }
+        }
+        self.order.push_back(log.log.session_id);
+        self.by_session.insert(log.log.session_id, log);
+    }
+}
+
+/// State shared between the acceptor and the workers.
+struct Shared {
+    dep: Deployment,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    deployments: Mutex<HashMap<u64, Arc<Deployed>>>,
+    next_deploy: AtomicU64,
+    /// Server-wide monotonic session counter: ids are unique across
+    /// connections and never reused, so every signed log is replay-
+    /// distinguishable.
+    next_session: AtomicU64,
+    logs: Mutex<LogStore>,
+    inflight: Mutex<HashMap<String, usize>>,
+    shutdown: AtomicBool,
+}
+
+/// Decrements a tenant's in-flight count on drop, so panics and early
+/// returns cannot leak a slot.
+struct TenantSlot<'a> {
+    shared: &'a Shared,
+    tenant: String,
+}
+
+impl Drop for TenantSlot<'_> {
+    fn drop(&mut self) {
+        let mut map = lock_inflight(self.shared);
+        if let Some(n) = map.get_mut(&self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                map.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+fn lock_inflight(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
+    shared
+        .inflight
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The serving front end. Bind, then [`Server::run`] (blocking) or
+/// [`Server::spawn`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// wires up the deployment behind it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let mut dep = Deployment::new(config.seed);
+        if let Some(n) = config.cache_capacity {
+            dep = dep.with_cache_capacity(n);
+        }
+        dep.set_engine(config.engine);
+        dep.set_time_budget(config.request_deadline);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                dep,
+                config,
+                local_addr,
+                deployments: Mutex::new(HashMap::new()),
+                next_deploy: AtomicU64::new(1),
+                next_session: AtomicU64::new(1),
+                logs: Mutex::new(LogStore::default()),
+                inflight: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (the ephemeral port, if `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves until a `Shutdown` request arrives, then drains and
+    /// returns. Blocks the calling thread.
+    pub fn run(self) {
+        let hub = acctee_telemetry::global();
+        let _span = hub.span("net.serve", "net");
+        let shared = self.shared;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for i in 0..shared.config.workers.max(1) {
+                let rx = Arc::clone(&rx);
+                let shared = &shared;
+                std::thread::Builder::new()
+                    .name(format!("acctee-net-worker-{i}"))
+                    .spawn_scoped(scope, move || worker_loop(shared, &rx))
+                    .expect("spawn worker");
+            }
+            accept_loop(&shared, &self.listener, &tx);
+            drop(tx); // workers drain the queue, then exit
+        });
+    }
+
+    /// Runs the server on a background thread, returning the bound
+    /// address and the join handle (joins once shut down).
+    pub fn spawn(self) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let addr = self.local_addr();
+        let handle = std::thread::Builder::new()
+            .name("acctee-net-acceptor".into())
+            .spawn(move || self.run())
+            .expect("spawn server");
+        (addr, handle)
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    let hub = acctee_telemetry::global();
+    let accepted = hub.metrics().counter("acctee_net_connections_total");
+    let shed = hub.metrics().counter("acctee_net_shed_total");
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The shutdown wake-up connection (or a late client).
+            break;
+        }
+        accepted.inc();
+        let t = Some(shared.config.io_timeout);
+        let _ = stream.set_read_timeout(t);
+        let _ = stream.set_write_timeout(t);
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Admission control: shed with an explicit Busy so the
+                // client can back off, instead of queueing unboundedly.
+                shed.inc();
+                let _ = write_response(&mut stream, &Response::Busy);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(stream) = stream else { return };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Draining: the connection was queued but never served;
+            // close it rather than start new work.
+            continue;
+        }
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    loop {
+        let req = match read_request(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close
+            Err(WireError::Io(kind, _))
+                if kind == std::io::ErrorKind::WouldBlock
+                    || kind == std::io::ErrorKind::TimedOut =>
+            {
+                return; // idle past the read deadline
+            }
+            Err(e) => {
+                // Garbage on the wire: answer once, then hang up (the
+                // stream may be desynchronised).
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let shutdown_after = matches!(req, Request::Shutdown);
+        let resp = handle_request(shared, req);
+        if write_response(&mut stream, &resp).is_err() {
+            return;
+        }
+        if shutdown_after || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn kind_of(req: &Request) -> &'static str {
+    match req {
+        Request::Attest { .. } => "attest",
+        Request::Deploy { .. } => "deploy",
+        Request::Invoke { .. } => "invoke",
+        Request::FetchLog { .. } => "fetch_log",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    let hub = acctee_telemetry::global();
+    let kind = kind_of(&req);
+    hub.metrics()
+        .counter_with("acctee_net_requests_total", &[("kind", kind)])
+        .inc();
+    let started = std::time::Instant::now();
+    let resp = match req {
+        Request::Attest { nonce } => match shared
+            .dep
+            .infrastructure()
+            .accounting_enclave()
+            .attest_channel(&nonce)
+        {
+            Ok(quote) => Response::AttestOk { quote },
+            Err(e) => error_resp(e),
+        },
+        Request::Deploy { level, module } => handle_deploy(shared, level, &module),
+        Request::Invoke {
+            deploy_id,
+            func,
+            args,
+            input,
+            tenant,
+        } => handle_invoke(shared, deploy_id, &func, &args, &input, &tenant),
+        Request::FetchLog { session_id } => {
+            let logs = shared
+                .logs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match logs.by_session.get(&session_id) {
+                Some(log) => Response::LogOk { log: log.clone() },
+                None => Response::Error {
+                    message: format!("no log retained for session {session_id}"),
+                },
+            }
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(shared.local_addr);
+            Response::ShutdownOk
+        }
+    };
+    hub.metrics()
+        .histogram_with(
+            "acctee_net_request_latency_seconds",
+            &[("kind", kind)],
+            1e-9,
+        )
+        .observe(started.elapsed().as_nanos() as u64);
+    resp
+}
+
+fn error_resp(e: impl std::fmt::Display) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+fn handle_deploy(shared: &Shared, level: acctee::Level, module: &[u8]) -> Response {
+    // The instrumentation cache makes repeat deploys of one module
+    // cheap; each deploy still gets its own id (and its own loaded
+    // workload, sharing the cached instrumented bytes).
+    let (bytes, evidence) = match shared.dep.instrument(module, level) {
+        Ok(r) => r,
+        Err(e) => return error_resp(e),
+    };
+    let workload = match shared.dep.infrastructure().load(&bytes, &evidence) {
+        Ok(w) => w,
+        Err(e) => return error_resp(e),
+    };
+    let deploy_id = shared.next_deploy.fetch_add(1, Ordering::SeqCst);
+    shared
+        .deployments
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(deploy_id, Arc::new(Deployed { workload }));
+    Response::DeployOk {
+        deploy_id,
+        module: bytes,
+        evidence,
+    }
+}
+
+fn handle_invoke(
+    shared: &Shared,
+    deploy_id: u64,
+    func: &str,
+    args: &[acctee_interp::Value],
+    input: &[u8],
+    tenant: &str,
+) -> Response {
+    // Per-tenant admission: a tenant at its in-flight limit is shed
+    // with Busy before any execution state is touched.
+    let _slot = {
+        let mut map = lock_inflight(shared);
+        let n = map.entry(tenant.to_string()).or_insert(0);
+        if *n >= shared.config.tenant_inflight {
+            acctee_telemetry::global()
+                .metrics()
+                .counter("acctee_net_shed_total")
+                .inc();
+            return Response::Busy;
+        }
+        *n += 1;
+        TenantSlot {
+            shared,
+            tenant: tenant.to_string(),
+        }
+    };
+    let deployed = {
+        let map = shared
+            .deployments
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.get(&deploy_id).cloned()
+    };
+    let Some(deployed) = deployed else {
+        return Response::Error {
+            message: format!("unknown deploy id {deploy_id}"),
+        };
+    };
+    let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    match shared.dep.infrastructure().execute_billed(
+        &deployed.workload,
+        func,
+        args,
+        input,
+        session_id,
+    ) {
+        Ok((outcome, invoice)) => {
+            shared
+                .logs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(outcome.log.clone());
+            Response::InvokeOk {
+                session_id,
+                results: outcome.results,
+                output: outcome.output,
+                log: outcome.log,
+                invoice_total: invoice.total(),
+            }
+        }
+        Err(e) => error_resp(e),
+    }
+}

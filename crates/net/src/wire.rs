@@ -1,0 +1,870 @@
+//! The AccTEE wire protocol: length-prefixed binary frames with a
+//! versioned header and canonical encodings for every attested
+//! artifact.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! magic    [4]   b"ACNT"
+//! version  u16   WIRE_VERSION
+//! kind     u8    frame discriminant (requests 0x01.., responses 0x81..)
+//! length   u32   payload length, capped at MAX_PAYLOAD
+//! payload  [length]
+//! ```
+//!
+//! The encodings of [`Quote`], [`InstrumentationEvidence`],
+//! [`ResourceUsageLog`] and [`SignedLog`] are **canonical**: decoding
+//! and re-encoding is the identity, and the decoded structs are
+//! field-for-field identical to the server's originals. That is what
+//! makes remote verification work — the client recomputes
+//! [`ResourceUsageLog::binding`] and the evidence binding over the
+//! *received* bytes and checks them against the quote's report data,
+//! so any in-flight tampering breaks the MAC check exactly as it would
+//! in-process. Floats travel as IEEE-754 bit patterns (`to_bits`), so
+//! NaN payloads and signed zeros survive the trip bit-exactly.
+//!
+//! Decoding is total: truncated, oversized or garbage frames produce a
+//! [`WireError`], never a panic, and a frame must consume its payload
+//! exactly (trailing bytes are an error).
+
+use std::io::{Read, Write};
+
+use acctee::{InstrumentationEvidence, Level, ResourceUsageLog, SignedLog};
+use acctee_interp::Value;
+use acctee_sgx::{Measurement, Quote};
+
+/// Protocol magic, first on the wire.
+pub const MAGIC: [u8; 4] = *b"ACNT";
+/// Current protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// Upper bound on a frame payload (modules included).
+pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+
+const REQ_ATTEST: u8 = 0x01;
+const REQ_DEPLOY: u8 = 0x02;
+const REQ_INVOKE: u8 = 0x03;
+const REQ_FETCH_LOG: u8 = 0x04;
+const REQ_SHUTDOWN: u8 = 0x05;
+
+const RESP_ATTEST_OK: u8 = 0x81;
+const RESP_DEPLOY_OK: u8 = 0x82;
+const RESP_INVOKE_OK: u8 = 0x83;
+const RESP_LOG_OK: u8 = 0x84;
+const RESP_SHUTDOWN_OK: u8 = 0x85;
+const RESP_BUSY: u8 = 0x86;
+const RESP_ERROR: u8 = 0x87;
+
+/// Why a frame failed to decode (or the transport failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Transport-level I/O failure (includes mid-frame EOF).
+    Io(std::io::ErrorKind, String),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Unknown frame kind for the expected direction.
+    UnknownKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload ended before the structure was complete.
+    Truncated,
+    /// The payload had bytes left over after the structure.
+    TrailingBytes(usize),
+    /// An enum tag (value type, level) was out of range.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind, msg) => write!(f, "i/o error ({kind:?}): {msg}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds cap"),
+            WireError::Truncated => write!(f, "truncated payload"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::BadTag(t) => write!(f, "bad enum tag {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e.kind(), e.to_string())
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Attestation handshake: quote the accounting enclave over a
+    /// fresh channel nonce.
+    Attest {
+        /// Client-chosen freshness nonce, bound into the quote.
+        nonce: [u8; 32],
+    },
+    /// Instrument and load a module for later invocation.
+    Deploy {
+        /// Instrumentation level.
+        level: Level,
+        /// The original (un-instrumented) module binary.
+        module: Vec<u8>,
+    },
+    /// Execute a deployed function under accounting.
+    Invoke {
+        /// Handle returned by a prior deploy.
+        deploy_id: u64,
+        /// Exported function to call.
+        func: String,
+        /// Typed arguments.
+        args: Vec<Value>,
+        /// Bytes available to the workload's input import.
+        input: Vec<u8>,
+        /// Tenant name, for per-tenant admission control.
+        tenant: String,
+    },
+    /// Re-fetch the signed log of an earlier session.
+    FetchLog {
+        /// Session whose log to return.
+        session_id: u64,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Quote over the channel nonce.
+    AttestOk {
+        /// Accounting-enclave quote binding the nonce.
+        quote: Quote,
+    },
+    /// Module instrumented, verified and loaded.
+    DeployOk {
+        /// Handle for invokes.
+        deploy_id: u64,
+        /// The instrumented module binary (the client verifies the
+        /// evidence against these exact bytes).
+        module: Vec<u8>,
+        /// Instrumentation-enclave evidence.
+        evidence: InstrumentationEvidence,
+    },
+    /// Execution finished; the signed log travels with the result.
+    InvokeOk {
+        /// Server-assigned, monotonically unique session id.
+        session_id: u64,
+        /// Returned values.
+        results: Vec<Value>,
+        /// Workload output bytes.
+        output: Vec<u8>,
+        /// The accounting enclave's signed resource usage log.
+        log: SignedLog,
+        /// Invoice total under the server's pricing, in nano-credits.
+        invoice_total: u128,
+    },
+    /// The requested session's signed log.
+    LogOk {
+        /// Stored signed log.
+        log: SignedLog,
+    },
+    /// The server is draining and will exit.
+    ShutdownOk,
+    /// Load shed: admission queue or tenant in-flight limit is full.
+    /// Retry later; nothing was executed or billed.
+    Busy,
+    /// The request failed; human-readable reason.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::I32(x) => {
+            out.push(0);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::I64(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F32(x) => {
+            out.push(2);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, vs: &[Value]) {
+    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+    for v in vs {
+        put_value(out, v);
+    }
+}
+
+fn level_byte(level: Level) -> u8 {
+    match level {
+        Level::Naive => 0,
+        Level::FlowBased => 1,
+        Level::LoopBased => 2,
+    }
+}
+
+fn put_quote(out: &mut Vec<u8>, q: &Quote) {
+    out.extend_from_slice(&q.mrenclave.0);
+    out.extend_from_slice(&q.report_data);
+    put_bytes(out, q.platform.as_bytes());
+    out.extend_from_slice(&q.signature);
+}
+
+fn put_log(out: &mut Vec<u8>, log: &ResourceUsageLog) {
+    out.extend_from_slice(&log.weighted_instructions.to_le_bytes());
+    out.extend_from_slice(&log.peak_memory_bytes.to_le_bytes());
+    out.extend_from_slice(&log.memory_integral.to_le_bytes());
+    out.extend_from_slice(&log.io_bytes_in.to_le_bytes());
+    out.extend_from_slice(&log.io_bytes_out.to_le_bytes());
+    out.extend_from_slice(&log.module_hash);
+    out.extend_from_slice(&log.session_id.to_le_bytes());
+}
+
+fn put_signed_log(out: &mut Vec<u8>, s: &SignedLog) {
+    put_log(out, &s.log);
+    put_quote(out, &s.quote);
+}
+
+fn put_evidence(out: &mut Vec<u8>, e: &InstrumentationEvidence) {
+    out.extend_from_slice(&e.original_hash);
+    out.extend_from_slice(&e.instrumented_hash);
+    out.push(level_byte(e.level));
+    out.extend_from_slice(&e.weight_hash);
+    out.extend_from_slice(&e.counter_global.to_le_bytes());
+    put_quote(out, &e.quote);
+}
+
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a request as a complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut p = Vec::new();
+    let kind = match req {
+        Request::Attest { nonce } => {
+            p.extend_from_slice(nonce);
+            REQ_ATTEST
+        }
+        Request::Deploy { level, module } => {
+            p.push(level_byte(*level));
+            put_bytes(&mut p, module);
+            REQ_DEPLOY
+        }
+        Request::Invoke {
+            deploy_id,
+            func,
+            args,
+            input,
+            tenant,
+        } => {
+            p.extend_from_slice(&deploy_id.to_le_bytes());
+            put_bytes(&mut p, func.as_bytes());
+            put_values(&mut p, args);
+            put_bytes(&mut p, input);
+            put_bytes(&mut p, tenant.as_bytes());
+            REQ_INVOKE
+        }
+        Request::FetchLog { session_id } => {
+            p.extend_from_slice(&session_id.to_le_bytes());
+            REQ_FETCH_LOG
+        }
+        Request::Shutdown => REQ_SHUTDOWN,
+    };
+    frame(kind, &p)
+}
+
+/// Encodes a response as a complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut p = Vec::new();
+    let kind = match resp {
+        Response::AttestOk { quote } => {
+            put_quote(&mut p, quote);
+            RESP_ATTEST_OK
+        }
+        Response::DeployOk {
+            deploy_id,
+            module,
+            evidence,
+        } => {
+            p.extend_from_slice(&deploy_id.to_le_bytes());
+            put_bytes(&mut p, module);
+            put_evidence(&mut p, evidence);
+            RESP_DEPLOY_OK
+        }
+        Response::InvokeOk {
+            session_id,
+            results,
+            output,
+            log,
+            invoice_total,
+        } => {
+            p.extend_from_slice(&session_id.to_le_bytes());
+            put_values(&mut p, results);
+            put_bytes(&mut p, output);
+            put_signed_log(&mut p, log);
+            p.extend_from_slice(&invoice_total.to_le_bytes());
+            RESP_INVOKE_OK
+        }
+        Response::LogOk { log } => {
+            put_signed_log(&mut p, log);
+            RESP_LOG_OK
+        }
+        Response::ShutdownOk => RESP_SHUTDOWN_OK,
+        Response::Busy => RESP_BUSY,
+        Response::Error { message } => {
+            put_bytes(&mut p, message.as_bytes());
+            RESP_ERROR
+        }
+    };
+    frame(kind, &p)
+}
+
+/// Writes a request frame to `w`.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
+    w.write_all(&encode_request(req))?;
+    w.flush()
+}
+
+/// Writes a response frame to `w`.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    w.write_all(&encode_response(resp))?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked payload cursor.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.rest.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16")))
+    }
+
+    fn digest(&mut self) -> Result<[u8; 32], WireError> {
+        Ok(self.take(32)?.try_into().expect("32"))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::I32(self.u32()? as i32)),
+            1 => Ok(Value::I64(self.u64()? as i64)),
+            2 => Ok(Value::F32(f32::from_bits(self.u32()?))),
+            3 => Ok(Value::F64(f64::from_bits(self.u64()?))),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>, WireError> {
+        let n = self.u32()?;
+        // Do not trust `n` for the allocation: a value is ≥5 bytes, so
+        // a count the payload cannot hold is Truncated, not an OOM.
+        let mut vs = Vec::with_capacity((n as usize).min(self.rest.len() / 5));
+        for _ in 0..n {
+            vs.push(self.value()?);
+        }
+        Ok(vs)
+    }
+
+    fn level(&mut self) -> Result<Level, WireError> {
+        match self.u8()? {
+            0 => Ok(Level::Naive),
+            1 => Ok(Level::FlowBased),
+            2 => Ok(Level::LoopBased),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn quote(&mut self) -> Result<Quote, WireError> {
+        Ok(Quote {
+            mrenclave: Measurement(self.digest()?),
+            report_data: self.take(64)?.try_into().expect("64"),
+            platform: self.string()?,
+            signature: self.digest()?,
+        })
+    }
+
+    fn log(&mut self) -> Result<ResourceUsageLog, WireError> {
+        Ok(ResourceUsageLog {
+            weighted_instructions: self.u64()?,
+            peak_memory_bytes: self.u64()?,
+            memory_integral: self.u128()?,
+            io_bytes_in: self.u64()?,
+            io_bytes_out: self.u64()?,
+            module_hash: self.digest()?,
+            session_id: self.u64()?,
+        })
+    }
+
+    fn signed_log(&mut self) -> Result<SignedLog, WireError> {
+        Ok(SignedLog {
+            log: self.log()?,
+            quote: self.quote()?,
+        })
+    }
+
+    fn evidence(&mut self) -> Result<InstrumentationEvidence, WireError> {
+        Ok(InstrumentationEvidence {
+            original_hash: self.digest()?,
+            instrumented_hash: self.digest()?,
+            level: self.level()?,
+            weight_hash: self.digest()?,
+            counter_global: self.u32()?,
+            quote: self.quote()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.rest.len()))
+        }
+    }
+}
+
+/// Reads one frame header + payload. `Ok(None)` means the peer closed
+/// the connection cleanly before the first byte of a frame.
+fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut magic = [0u8; 4];
+    // Distinguish clean close (no bytes at all) from mid-frame EOF.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut magic[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut head = [0u8; 7];
+    r.read_exact(&mut head)?;
+    let version = u16::from_le_bytes([head[0], head[1]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = head[2];
+    let len = u32::from_le_bytes([head[3], head[4], head[5], head[6]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((kind, payload)))
+}
+
+/// Reads one request frame. `Ok(None)` on clean connection close.
+///
+/// # Errors
+///
+/// Any [`WireError`]; response kinds are [`WireError::UnknownKind`].
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
+    let Some((kind, payload)) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut c = Cursor { rest: &payload };
+    let req = match kind {
+        REQ_ATTEST => Request::Attest { nonce: c.digest()? },
+        REQ_DEPLOY => Request::Deploy {
+            level: c.level()?,
+            module: c.bytes()?,
+        },
+        REQ_INVOKE => Request::Invoke {
+            deploy_id: c.u64()?,
+            func: c.string()?,
+            args: c.values()?,
+            input: c.bytes()?,
+            tenant: c.string()?,
+        },
+        REQ_FETCH_LOG => Request::FetchLog {
+            session_id: c.u64()?,
+        },
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    c.finish()?;
+    Ok(Some(req))
+}
+
+/// Reads one response frame (a missing frame is an error: the client
+/// always expects an answer).
+///
+/// # Errors
+///
+/// Any [`WireError`]; request kinds are [`WireError::UnknownKind`].
+pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
+    let Some((kind, payload)) = read_frame(r)? else {
+        return Err(WireError::Io(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed awaiting response".into(),
+        ));
+    };
+    let mut c = Cursor { rest: &payload };
+    let resp = match kind {
+        RESP_ATTEST_OK => Response::AttestOk { quote: c.quote()? },
+        RESP_DEPLOY_OK => Response::DeployOk {
+            deploy_id: c.u64()?,
+            module: c.bytes()?,
+            evidence: c.evidence()?,
+        },
+        RESP_INVOKE_OK => Response::InvokeOk {
+            session_id: c.u64()?,
+            results: c.values()?,
+            output: c.bytes()?,
+            log: c.signed_log()?,
+            invoice_total: c.u128()?,
+        },
+        RESP_LOG_OK => Response::LogOk {
+            log: c.signed_log()?,
+        },
+        RESP_SHUTDOWN_OK => Response::ShutdownOk,
+        RESP_BUSY => Response::Busy,
+        RESP_ERROR => Response::Error {
+            message: c.string()?,
+        },
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quote() -> Quote {
+        Quote {
+            mrenclave: Measurement::of(b"enclave"),
+            report_data: [7u8; 64],
+            platform: "ae-host".into(),
+            signature: [9u8; 32],
+        }
+    }
+
+    fn signed_log() -> SignedLog {
+        SignedLog {
+            log: ResourceUsageLog {
+                weighted_instructions: u64::MAX - 3,
+                peak_memory_bytes: 65536,
+                memory_integral: u128::MAX / 7,
+                io_bytes_in: 12,
+                io_bytes_out: 34,
+                module_hash: [0xab; 32],
+                session_id: 99,
+            },
+            quote: quote(),
+        }
+    }
+
+    fn evidence() -> InstrumentationEvidence {
+        InstrumentationEvidence {
+            original_hash: [1; 32],
+            instrumented_hash: [2; 32],
+            level: Level::FlowBased,
+            weight_hash: [3; 32],
+            counter_global: 17,
+            quote: quote(),
+        }
+    }
+
+    fn rt_request(req: &Request) {
+        let bytes = encode_request(req);
+        let got = read_request(&mut bytes.as_slice())
+            .expect("decodes")
+            .expect("not eof");
+        assert_eq!(&got, req);
+    }
+
+    fn rt_response(resp: &Response) {
+        let bytes = encode_response(resp);
+        let got = read_response(&mut bytes.as_slice()).expect("decodes");
+        assert_eq!(&got, resp);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        rt_request(&Request::Attest { nonce: [5; 32] });
+        rt_request(&Request::Deploy {
+            level: Level::LoopBased,
+            module: vec![0, 1, 2, 255],
+        });
+        rt_request(&Request::Invoke {
+            deploy_id: 3,
+            func: "mäin".into(),
+            args: vec![
+                Value::I32(-1),
+                Value::I64(i64::MIN),
+                Value::F32(1.5),
+                Value::F64(-2.25),
+            ],
+            input: b"payload".to_vec(),
+            tenant: "tenant-a".into(),
+        });
+        rt_request(&Request::FetchLog { session_id: 77 });
+        rt_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn float_values_survive_bit_exactly() {
+        // PartialEq on Value treats NaN != NaN, so check bits directly.
+        let req = Request::Invoke {
+            deploy_id: 0,
+            func: "f".into(),
+            args: vec![
+                Value::F32(f32::NAN),
+                Value::F64(f64::from_bits(0x7ff8_dead_beef_0001)),
+            ],
+            input: Vec::new(),
+            tenant: String::new(),
+        };
+        let bytes = encode_request(&req);
+        let Some(Request::Invoke { args, .. }) = read_request(&mut bytes.as_slice()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        let (Value::F32(a), Value::F64(b)) = (args[0], args[1]) else {
+            panic!("wrong types");
+        };
+        assert_eq!(a.to_bits(), f32::NAN.to_bits());
+        assert_eq!(b.to_bits(), 0x7ff8_dead_beef_0001);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        rt_response(&Response::AttestOk { quote: quote() });
+        rt_response(&Response::DeployOk {
+            deploy_id: 8,
+            module: vec![1; 300],
+            evidence: evidence(),
+        });
+        rt_response(&Response::InvokeOk {
+            session_id: 4,
+            results: vec![Value::I32(42)],
+            output: b"out".to_vec(),
+            log: signed_log(),
+            invoice_total: u128::MAX / 3,
+        });
+        rt_response(&Response::LogOk { log: signed_log() });
+        rt_response(&Response::ShutdownOk);
+        rt_response(&Response::Busy);
+        rt_response(&Response::Error {
+            message: "nø".into(),
+        });
+    }
+
+    #[test]
+    fn canonical_log_encoding_preserves_binding() {
+        // The property remote verification rests on: the decoded log
+        // recomputes to the exact binding the enclave signed.
+        let s = signed_log();
+        let bytes = encode_response(&Response::LogOk { log: s.clone() });
+        let Response::LogOk { log } = read_response(&mut bytes.as_slice()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(log.log.binding(), s.log.binding());
+        assert_eq!(log.quote, s.quote);
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let frames = [
+            encode_request(&Request::Invoke {
+                deploy_id: 1,
+                func: "f".into(),
+                args: vec![Value::I64(7)],
+                input: vec![1, 2, 3],
+                tenant: "t".into(),
+            }),
+            encode_response(&Response::InvokeOk {
+                session_id: 1,
+                results: vec![Value::F64(1.5)],
+                output: vec![9],
+                log: signed_log(),
+                invoice_total: 10,
+            }),
+        ];
+        for (i, frame) in frames.iter().enumerate() {
+            for cut in 1..frame.len() {
+                let slice = &frame[..cut];
+                if i == 0 {
+                    assert!(
+                        read_request(&mut &*slice).is_err(),
+                        "request cut at {cut} must error"
+                    );
+                } else {
+                    assert!(
+                        read_response(&mut &*slice).is_err(),
+                        "response cut at {cut} must error"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof_for_requests() {
+        assert_eq!(read_request(&mut &[][..]), Ok(None));
+        // A response, by contrast, was promised: EOF is an error.
+        assert!(read_response(&mut &[][..]).is_err());
+    }
+
+    #[test]
+    fn garbage_frames_error_never_panic() {
+        // Wrong magic.
+        let r = read_request(&mut &b"NOPExxxxxxxxxxx"[..]);
+        assert_eq!(r, Err(WireError::BadMagic(*b"NOPE")));
+        // Wrong version.
+        let mut f = encode_request(&Request::Shutdown);
+        f[4] = 0xff;
+        assert!(matches!(
+            read_request(&mut f.as_slice()),
+            Err(WireError::BadVersion(_))
+        ));
+        // Unknown kind.
+        let mut f = encode_request(&Request::Shutdown);
+        f[6] = 0x7f;
+        assert_eq!(
+            read_request(&mut f.as_slice()),
+            Err(WireError::UnknownKind(0x7f))
+        );
+        // A response kind is not a request.
+        let f = encode_response(&Response::Busy);
+        assert!(matches!(
+            read_request(&mut f.as_slice()),
+            Err(WireError::UnknownKind(_))
+        ));
+        // Oversized declared payload.
+        let mut f = encode_request(&Request::Shutdown);
+        f[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            read_request(&mut f.as_slice()),
+            Err(WireError::Oversized(MAX_PAYLOAD + 1))
+        );
+        // Trailing bytes inside a well-formed frame.
+        let mut f = encode_request(&Request::FetchLog { session_id: 1 });
+        f.push(0);
+        let len = u32::from_le_bytes(f[7..11].try_into().unwrap());
+        f[7..11].copy_from_slice(&(len + 1).to_le_bytes());
+        assert_eq!(
+            read_request(&mut f.as_slice()),
+            Err(WireError::TrailingBytes(1))
+        );
+        // Bad enum tags.
+        let mut f = encode_request(&Request::Deploy {
+            level: Level::Naive,
+            module: vec![],
+        });
+        f[11] = 9; // level byte
+        assert_eq!(read_request(&mut f.as_slice()), Err(WireError::BadTag(9)));
+        // Bad UTF-8 in a string field.
+        let mut f = encode_request(&Request::FetchLog { session_id: 0 });
+        // Rebuild as an invoke with a 1-byte invalid-UTF-8 func name.
+        f.clear();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        f.push(0x03); // REQ_INVOKE
+        let mut p = Vec::new();
+        p.extend_from_slice(&1u64.to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.push(0xff); // invalid UTF-8 func
+        f.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        f.extend_from_slice(&p);
+        assert_eq!(read_request(&mut f.as_slice()), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn huge_value_count_is_truncation_not_oom() {
+        // An Invoke whose declared arg count far exceeds the payload
+        // must fail fast without attempting the allocation.
+        let mut p = Vec::new();
+        p.extend_from_slice(&1u64.to_le_bytes()); // deploy_id
+        p.extend_from_slice(&1u32.to_le_bytes()); // func len
+        p.push(b'f');
+        p.extend_from_slice(&u32::MAX.to_le_bytes()); // arg count
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        f.push(0x03);
+        f.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        f.extend_from_slice(&p);
+        assert_eq!(read_request(&mut f.as_slice()), Err(WireError::Truncated));
+    }
+}

@@ -99,6 +99,20 @@ impl AttestationAuthority {
         }
     }
 
+    /// Marks a platform name as genuine *without* provisioning a
+    /// quoting enclave — the remote-verifier side of
+    /// [`AttestationAuthority::provision`]. A networked client that
+    /// reconstructs the authority from its root seed (the shared trust
+    /// anchor, exactly as parties share trust in IAS) uses this to
+    /// accept quotes from the well-known platform names it audited,
+    /// without ever holding those platforms' quoting keys.
+    pub fn recognize(&self, platform_name: &str) {
+        self.registered
+            .lock()
+            .expect("registry lock")
+            .insert(platform_name.to_string(), ());
+    }
+
     /// Verifies a quote, returning the attested measurement.
     ///
     /// # Errors
@@ -202,6 +216,24 @@ mod tests {
             authority.verify(&wrong_sig),
             Err(AttestationError::BadQuote)
         );
+    }
+
+    #[test]
+    fn recognized_platform_verifies_without_provisioning() {
+        // A remote verifier rebuilds the authority from the shared
+        // root seed and recognizes the audited platform name: quotes
+        // verify exactly as on the original authority, and unknown
+        // names still fail.
+        let (_, platform, qe) = setup();
+        let enclave = platform.create_enclave(b"code");
+        let quote = qe.quote(&enclave.report(report_data(b"x"))).unwrap();
+        let remote = AttestationAuthority::new(42);
+        assert_eq!(
+            remote.verify(&quote),
+            Err(AttestationError::UnknownPlatform)
+        );
+        remote.recognize("prov-1");
+        assert_eq!(remote.verify(&quote).unwrap(), enclave.measurement());
     }
 
     #[test]

@@ -28,4 +28,31 @@ cargo test --offline -q --release -p acctee-integration --test artifact_cache
 echo "==> faas serving-throughput smoke (BENCH_faas.json)"
 cargo run --offline --release -q -p acctee-bench --bin faas -- 16 2 --out /tmp/BENCH_faas.json
 
+echo "==> net serving smoke (serve / attested invoke / shutdown)"
+ACCTEE_BIN="$(pwd)/target/release/acctee"
+SERVE_LOG="$(mktemp)"
+"$ACCTEE_BIN" serve --listen 127.0.0.1:0 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    if [ -n "$ADDR" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; kill "$SERVE_PID"; exit 1; }
+"$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 20 \
+    | grep -q "verified" || { echo "attested invoke failed"; kill "$SERVE_PID"; exit 1; }
+"$ACCTEE_BIN" shutdown --connect "$ADDR"
+wait "$SERVE_PID"   # graceful drain: the server must exit 0 on its own
+rm -f "$SERVE_LOG"
+
+echo "==> net load-generator smoke incl. load-shed case (BENCH_net.json)"
+cargo run --offline --release -q -p acctee-bench --bin net -- 8 8 --out /tmp/BENCH_net.json
+for key in throughput_rps p50_us p99_us shed_rate; do
+    grep -q "\"$key\"" /tmp/BENCH_net.json || { echo "BENCH_net.json missing $key"; exit 1; }
+done
+if grep -q '"shed": 0,' /tmp/BENCH_net.json; then
+    echo "overload scenario shed nothing"; exit 1
+fi
+
 echo "==> all green"

@@ -1,0 +1,298 @@
+//! End-to-end tests of the networked serving layer (`acctee-net`): a
+//! real TCP server on an ephemeral loopback port, a verifying client,
+//! and the acceptance properties of DESIGN.md §11 — byte-identical
+//! accounting over the wire, anti-replay across connections, explicit
+//! load shed, deadline recovery and garbage tolerance.
+
+use std::time::Duration;
+
+use acctee::{Deployment, Level};
+use acctee_interp::Value;
+use acctee_net::{Client, NetError, Server, ServerConfig, TrustAnchor};
+use acctee_sgx::crypto::sha256;
+use acctee_volunteer::{Escrow, PaymentError};
+use acctee_wasm::builder::ModuleBuilder;
+use acctee_wasm::encode::encode_module;
+use acctee_wasm::types::ValType;
+use acctee_wasm::BlockType;
+
+const SEED: u64 = 42;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn spawn_server(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("connect + attest")
+}
+
+fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    connect(addr).shutdown().expect("shutdown accepted");
+    handle.join().expect("server drains and exits");
+}
+
+/// A module with real work (a loop with memory traffic), so the
+/// counter values compared across the wire are not trivially zero.
+fn work_module() -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let f = b.func("run", &[ValType::I32], &[ValType::I32], |f| {
+        // for i in (n..0].rev(): mem[0] += i; loop on a local counter.
+        let i = f.local(ValType::I32);
+        f.local_get(0);
+        f.local_set(i);
+        f.loop_(BlockType::Empty, |f| {
+            f.i32_const(0);
+            f.i32_const(0);
+            f.i32_load(0);
+            f.local_get(i);
+            f.i32_add();
+            f.i32_store(0);
+            f.local_get(i);
+            f.i32_const(1);
+            f.i32_sub();
+            f.local_tee(i);
+            f.br_if(0);
+        });
+        f.i32_const(0);
+        f.i32_load(0);
+    });
+    b.export_func("run", f);
+    encode_module(&b.build())
+}
+
+/// `inf` spins forever (for deadline/occupancy tests); `fast` returns.
+fn spin_module() -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let inf = b.func("inf", &[], &[], |f| {
+        f.loop_(BlockType::Empty, |f| {
+            f.br(0);
+        });
+    });
+    let fast = b.func("fast", &[ValType::I32], &[ValType::I32], |f| {
+        f.local_get(0);
+        f.i32_const(1);
+        f.i32_add();
+    });
+    b.export_func("inf", inf);
+    b.export_func("fast", fast);
+    encode_module(&b.build())
+}
+
+#[test]
+fn loopback_counters_are_bit_identical_to_in_process_run() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        ..ServerConfig::default()
+    });
+    let module = work_module();
+    let mut client = connect(addr);
+    let deployed = client.deploy(&module, Level::LoopBased).expect("deploy");
+    let outcome = client
+        .invoke(&deployed, "run", &[Value::I32(1000)], b"", "t")
+        .expect("attested invoke");
+
+    // The signed log was already verified by the client (quote from
+    // the expected accounting enclave, binding over these counters).
+    assert!(outcome.log.log.weighted_instructions > 0);
+    assert!(outcome.log.log.peak_memory_bytes >= 65536);
+    assert!(outcome.log.log.memory_integral > 0);
+
+    // Re-fetching over a *different* connection returns the identical
+    // signed log.
+    let mut other = connect(addr);
+    let fetched = other.fetch_log(outcome.session_id).expect("fetch log");
+    assert_eq!(fetched, outcome.log);
+
+    // The same module under an in-process deployment (same seed, same
+    // session id) accounts bit-identically: the network layer changes
+    // nothing about the numbers the enclave signs.
+    let dep = Deployment::new(SEED);
+    let (bytes, evidence) = dep
+        .instrument(&module, Level::LoopBased)
+        .expect("instrument");
+    assert_eq!(bytes, deployed.module);
+    let loaded = dep.infrastructure().load(&bytes, &evidence).expect("load");
+    let (local, _invoice) = dep
+        .infrastructure()
+        .execute_billed(&loaded, "run", &[Value::I32(1000)], b"", outcome.session_id)
+        .expect("local execute");
+    assert_eq!(local.results, outcome.results);
+    assert_eq!(
+        local.log.log.weighted_instructions,
+        outcome.log.log.weighted_instructions
+    );
+    assert_eq!(
+        local.log.log.peak_memory_bytes,
+        outcome.log.log.peak_memory_bytes
+    );
+    assert_eq!(
+        local.log.log.memory_integral,
+        outcome.log.log.memory_integral
+    );
+    assert_eq!(local.log.log.io_bytes_in, outcome.log.log.io_bytes_in);
+    assert_eq!(local.log.log.io_bytes_out, outcome.log.log.io_bytes_out);
+    // Same counters + same module + same session = same binding.
+    assert_eq!(local.log.log.binding(), outcome.log.log.binding());
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn replayed_log_is_rejected_across_connections() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        ..ServerConfig::default()
+    });
+    let module = work_module();
+
+    // Two separate connections, one invoke each: the server-side
+    // monotonic session counter must keep their ids distinct.
+    let mut a = connect(addr);
+    let dep_a = a.deploy(&module, Level::LoopBased).expect("deploy a");
+    let out_a = a
+        .invoke(&dep_a, "run", &[Value::I32(64)], b"", "alice")
+        .expect("invoke a");
+    drop(a);
+    let mut b = connect(addr);
+    let dep_b = b.deploy(&module, Level::LoopBased).expect("deploy b");
+    let out_b = b
+        .invoke(&dep_b, "run", &[Value::I32(64)], b"", "bob")
+        .expect("invoke b");
+    assert_ne!(out_a.session_id, out_b.session_id);
+
+    // Both logs pay out once; replaying the first across the escrow is
+    // refused even though it came over a different connection.
+    let verifier = b.verifier().clone();
+    let mut escrow = Escrow::new(1 << 60, 1);
+    escrow
+        .release(&verifier, "worker-a", &out_a.log)
+        .expect("first log pays");
+    escrow
+        .release(&verifier, "worker-b", &out_b.log)
+        .expect("second log pays");
+    assert_eq!(
+        escrow.release(&verifier, "worker-a", &out_a.log),
+        Err(PaymentError::Replay)
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn tenant_limit_sheds_busy_and_deadline_frees_the_worker() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        workers: 2,
+        tenant_inflight: 1,
+        request_deadline: Some(Duration::from_millis(400)),
+        ..ServerConfig::default()
+    });
+    let module = spin_module();
+
+    // Connection A occupies tenant "t"'s single slot with a runaway
+    // workload; the per-request deadline bounds how long.
+    let spinner = std::thread::spawn({
+        let module = module.clone();
+        move || {
+            let mut a = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("connect a");
+            let dep = a.deploy(&module, Level::Naive).expect("deploy a");
+            a.invoke(&dep, "inf", &[], b"", "t")
+        }
+    });
+
+    // While A spins, the same tenant on a second connection is shed
+    // with an explicit Busy — not queued, not hung.
+    std::thread::sleep(Duration::from_millis(120));
+    let mut b = connect(addr);
+    let dep_b = b.deploy(&module, Level::Naive).expect("deploy b");
+    match b.invoke(&dep_b, "fast", &[Value::I32(1)], b"", "t") {
+        Err(NetError::Busy) => {}
+        other => panic!("expected Busy while tenant slot is held, got {other:?}"),
+    }
+
+    // A's runaway request dies at the deadline (an error, not a hang)…
+    match spinner.join().expect("spinner thread") {
+        Err(NetError::Server(msg)) => {
+            assert!(
+                msg.contains("deadline"),
+                "expected deadline trap, got {msg:?}"
+            )
+        }
+        other => panic!("expected server-side deadline error, got {other:?}"),
+    }
+
+    // …after which the tenant slot is free again.
+    let out = b
+        .invoke(&dep_b, "fast", &[Value::I32(41)], b"", "t")
+        .expect("slot freed after deadline");
+    assert_eq!(out.results, vec![Value::I32(42)]);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn garbage_frames_get_an_error_response_and_server_survives() {
+    use std::io::{Read, Write};
+
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        ..ServerConfig::default()
+    });
+
+    // Raw garbage: the server answers with an Error frame (it cannot
+    // trust the stream afterwards, so it hangs up) and must not panic.
+    // Exactly four bytes, so the server consumes everything sent and
+    // the close is a clean FIN rather than a reset.
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(b"NOPE").expect("write garbage");
+    match acctee_net::wire::read_response(&mut raw) {
+        Ok(acctee_net::Response::Error { message }) => {
+            assert!(message.contains("bad frame"), "got {message:?}")
+        }
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).expect("clean close after error");
+    assert!(buf.is_empty(), "nothing after the error frame");
+
+    // A truncated-mid-frame client (header promising more than sent)
+    // also cannot take the server down.
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    let mut partial =
+        acctee_net::wire::encode_request(&acctee_net::Request::FetchLog { session_id: 1 });
+    partial.truncate(9);
+    raw.write_all(&partial).expect("write partial frame");
+    drop(raw);
+
+    // The server still serves verified work afterwards.
+    let module = work_module();
+    let mut client = connect(addr);
+    let deployed = client.deploy(&module, Level::LoopBased).expect("deploy");
+    let out = client
+        .invoke(&deployed, "run", &[Value::I32(8)], b"", "t")
+        .expect("invoke after garbage");
+    assert_eq!(out.log.log.module_hash, sha256(&deployed.module));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn wrong_seed_client_refuses_the_server() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        ..ServerConfig::default()
+    });
+    // A client anchored to a different root of trust must hard-fail
+    // the handshake: the quote verifies under *its* authority or not
+    // at all.
+    match Client::connect(addr, TrustAnchor::new(SEED + 1), TIMEOUT) {
+        Err(NetError::Verification(_)) => {}
+        other => panic!("expected verification failure, got {:?}", other.map(|_| ())),
+    }
+    shutdown(addr, handle);
+}
