@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use acctee::Level;
 use acctee_interp::Value;
-use acctee_net::{Client, NetError, Server, ServerConfig, TrustAnchor};
+use acctee_net::{Client, NetError, Server, ServerConfig, StatsSnapshot, TrustAnchor};
 use acctee_wasm::builder::ModuleBuilder;
 use acctee_wasm::encode::encode_module;
 use acctee_wasm::types::ValType;
@@ -55,6 +55,9 @@ struct ServingResult {
     throughput_rps: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Server-side stats snapshot taken over the attested channel just
+    /// before shutdown — the server's own view of the same load.
+    server: StatsSnapshot,
 }
 
 /// Scenario 1: well-provisioned server, per-connection tenants.
@@ -102,6 +105,7 @@ fn run_serving(connections: usize, per_conn: usize, workers: usize) -> ServingRe
     latencies.sort_unstable();
     let done = latencies.len();
     let mut client = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("ctl connect");
+    let server_stats = client.stats().expect("stats");
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
     ServingResult {
@@ -110,6 +114,7 @@ fn run_serving(connections: usize, per_conn: usize, workers: usize) -> ServingRe
         throughput_rps: done as f64 / wall.max(f64::MIN_POSITIVE),
         p50_us: percentile_us(&latencies, 50.0),
         p99_us: percentile_us(&latencies, 99.0),
+        server: server_stats,
     }
 }
 
@@ -117,6 +122,7 @@ struct OverloadResult {
     attempts: usize,
     served: usize,
     shed: usize,
+    server: StatsSnapshot,
 }
 
 /// Scenario 2: undersized server, one shared tenant, fresh connection
@@ -165,13 +171,57 @@ fn run_overload(connections: usize, per_conn: usize) -> OverloadResult {
     });
     // The undersized server still drains cleanly.
     let mut client = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("ctl connect");
+    let server_stats = client.stats().expect("stats");
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
     OverloadResult {
         attempts: connections * per_conn,
         served: served.into_inner().unwrap(),
         shed: shed.into_inner().unwrap(),
+        server: server_stats,
     }
+}
+
+/// Render the server-side view of one scenario as a JSON object: the
+/// snapshot's request/shed/latency series, so `BENCH_net.json` records
+/// both what the clients observed and what the server accounted.
+fn server_json(snap: &StatsSnapshot, indent: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{indent}\"server\": {{");
+    let _ = writeln!(
+        s,
+        "{indent}  \"requests_total\": {},",
+        snap.requests_total()
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"invokes_total\": {},",
+        snap.requests_of("invoke")
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"shed_queue_total\": {},",
+        snap.shed_queue_total
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"shed_tenant_total\": {},",
+        snap.shed_tenant_total
+    );
+    let _ = writeln!(s, "{indent}  \"errors_total\": {},", snap.errors_total);
+    let _ = writeln!(s, "{indent}  \"timeouts_total\": {},", snap.timeouts_total);
+    let _ = writeln!(
+        s,
+        "{indent}  \"latency_p50_us\": {:.1},",
+        snap.latency.p50_ns as f64 / 1_000.0
+    );
+    let _ = writeln!(
+        s,
+        "{indent}  \"latency_p99_us\": {:.1}",
+        snap.latency.p99_ns as f64 / 1_000.0
+    );
+    let _ = write!(s, "{indent}}}");
+    s
 }
 
 fn main() {
@@ -216,6 +266,14 @@ fn main() {
         "overload  served {}/{}   shed {}   shed-rate {:.3}",
         overload.served, overload.attempts, overload.shed, overload_shed_rate
     );
+    println!(
+        "server    invokes {}   shed q/t {}/{}   p50 {:.1} us   p99 {:.1} us",
+        serving.server.requests_of("invoke"),
+        overload.server.shed_queue_total,
+        overload.server.shed_tenant_total,
+        serving.server.latency.p50_ns as f64 / 1_000.0,
+        serving.server.latency.p99_ns as f64 / 1_000.0,
+    );
 
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"suite\": \"net_serving\",");
@@ -227,7 +285,8 @@ fn main() {
     let _ = writeln!(s, "    \"throughput_rps\": {:.1},", serving.throughput_rps);
     let _ = writeln!(s, "    \"p50_us\": {:.1},", serving.p50_us);
     let _ = writeln!(s, "    \"p99_us\": {:.1},", serving.p99_us);
-    let _ = writeln!(s, "    \"shed_rate\": {serving_shed_rate:.4}");
+    let _ = writeln!(s, "    \"shed_rate\": {serving_shed_rate:.4},");
+    let _ = writeln!(s, "{}", server_json(&serving.server, "    "));
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"overload\": {{");
     let _ = writeln!(
@@ -237,7 +296,8 @@ fn main() {
     let _ = writeln!(s, "    \"attempts\": {},", overload.attempts);
     let _ = writeln!(s, "    \"served\": {},", overload.served);
     let _ = writeln!(s, "    \"shed\": {},", overload.shed);
-    let _ = writeln!(s, "    \"shed_rate\": {overload_shed_rate:.4}");
+    let _ = writeln!(s, "    \"shed_rate\": {overload_shed_rate:.4},");
+    let _ = writeln!(s, "{}", server_json(&overload.server, "    "));
     let _ = writeln!(s, "  }}");
     s.push_str("}\n");
     std::fs::write(&out, &s).expect("write BENCH_net.json");

@@ -120,8 +120,8 @@ impl FaasPlatform {
             "acctee_faas_request_timeouts_total",
             &[("function", self.kind().name())],
         );
-        let io_in = hub.metrics().counter("acctee_faas_io_bytes_in_total");
-        let io_out = hub.metrics().counter("acctee_faas_io_bytes_out_total");
+        let io_in = hub.metrics().counter("acctee_faas_io_in_bytes_total");
+        let io_out = hub.metrics().counter("acctee_faas_io_out_bytes_total");
 
         // Compile the bytecode artifact once, before any worker
         // spawns, so the whole pool shares one compilation instead of

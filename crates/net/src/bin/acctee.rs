@@ -11,10 +11,15 @@
 //!                                          attest, execute, verify,
 //!                                          print the signed log
 //! acctee serve --listen ADDR               attested network server
+//!              [--log-level L]             structured stderr logging
 //! acctee deploy <in> --connect ADDR        deploy over the network
 //! acctee invoke <in> --connect ADDR [--invoke F] [--arg V]*
 //!                                          deploy + attested invoke,
 //!                                          log verified client-side
+//! acctee stats --connect ADDR              live server stats
+//!              [--prom] [--watch SECS]     Prometheus text / refresh
+//! acctee top --connect ADDR [--watch SECS] per-tenant usage table
+//! acctee recent --connect ADDR [--limit N] flight-recorder records
 //! acctee shutdown --connect ADDR           drain and stop a server
 //! ```
 //!
@@ -112,6 +117,10 @@ struct Opts {
     request_deadline_ms: Option<u64>,
     io_timeout_ms: u64,
     out: Option<String>,
+    log_level: Option<String>,
+    prom: bool,
+    watch_secs: Option<u64>,
+    limit: u32,
     rest: Vec<String>,
 }
 
@@ -136,6 +145,10 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         request_deadline_ms: None,
         io_timeout_ms: 5000,
         out: None,
+        log_level: None,
+        prom: false,
+        watch_secs: None,
+        limit: 32,
         rest: Vec::new(),
     };
     let mut it = argv.iter();
@@ -173,6 +186,12 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                 o.io_timeout_ms = want(&mut it)?.parse().map_err(|e| format!("{e}"))?;
             }
             "--out" => o.out = Some(want(&mut it)?),
+            "--log-level" => o.log_level = Some(want(&mut it)?),
+            "--prom" => o.prom = true,
+            "--watch" => {
+                o.watch_secs = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--limit" => o.limit = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
             other => o.rest.push(other.to_string()),
         }
     }
@@ -238,7 +257,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
         "help" => {
             println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account,");
-            println!("          serve, deploy, invoke, shutdown");
+            println!("          serve, deploy, invoke, stats, top, recent, shutdown");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
             println!("                   --engine tree|bytecode (default tree)");
             println!("                   --cache-capacity N (bound the instrumentation cache)");
@@ -246,8 +265,12 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("serve flags:       --listen ADDR --workers N --queue N");
             println!("                   --tenant-inflight N --seed S --engine E");
             println!("                   --request-deadline-ms N --io-timeout-ms N");
+            println!("                   --log-level off|error|warn|info|debug|trace");
             println!("deploy/invoke:     --connect ADDR --seed S --level L [--out FILE]");
             println!("                   invoke also: --invoke F --arg V --input STR --tenant T");
+            println!("stats:             --connect ADDR [--prom] [--watch SECS]");
+            println!("top:               --connect ADDR [--watch SECS]");
+            println!("recent:            --connect ADDR [--limit N]");
             Ok(())
         }
         "wat2wasm" => {
@@ -436,6 +459,9 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
         "serve" => cmd_serve(opts),
         "deploy" => cmd_deploy(opts),
         "invoke" => cmd_invoke(opts),
+        "stats" => cmd_stats(opts),
+        "top" => cmd_top(opts),
+        "recent" => cmd_recent(opts),
         "shutdown" => {
             let mut client = connect_client(opts)?;
             client.shutdown().map_err(|e| e.to_string())?;
@@ -458,6 +484,11 @@ fn connect_client(opts: &Opts) -> Result<Client, String> {
 
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.listen.as_deref().ok_or("--listen ADDR is required")?;
+    // Structured stderr logging: `--log-level info` for lifecycle and
+    // shed decisions, `debug` for per-request lines. Default off.
+    if let Some(level) = &opts.log_level {
+        acctee_telemetry::set_log_level(level.parse()?);
+    }
     let config = ServerConfig {
         seed: opts.seed,
         engine: opts.engine,
@@ -538,6 +569,164 @@ fn cmd_invoke(opts: &Opts) -> Result<(), String> {
         "  invoice:               {} nano-credits",
         outcome.invoice_total
     );
+    Ok(())
+}
+
+/// Renders a nanosecond duration at human scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_snapshot(s: &acctee_net::StatsSnapshot) {
+    println!(
+        "uptime {}  workers {}/{} busy  queue {}/{}  connections {} total / {} active",
+        fmt_ns(s.uptime_ns),
+        s.workers_busy,
+        s.workers,
+        s.queue_depth,
+        s.queue_capacity,
+        s.connections_total,
+        s.connections_active
+    );
+    let kinds: Vec<String> = s
+        .requests_by_kind
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| format!("{k} {n}"))
+        .collect();
+    println!(
+        "requests {} total  [{}]",
+        s.requests_total(),
+        kinds.join(", ")
+    );
+    println!(
+        "shed {} (queue {}, tenant {})  errors {}  timeouts {}",
+        s.shed_total(),
+        s.shed_queue_total,
+        s.shed_tenant_total,
+        s.errors_total,
+        s.timeouts_total
+    );
+    println!(
+        "instr cache: {} hits / {} misses, {} evictions, {} singleflight waits",
+        s.instr_cache.hits,
+        s.instr_cache.misses,
+        s.instr_cache.evictions,
+        s.instr_cache.singleflight_waits
+    );
+    println!(
+        "invoke latency: n={}  p50 {}  p90 {}  p99 {}",
+        s.latency.count,
+        fmt_ns(s.latency.p50_ns),
+        fmt_ns(s.latency.p90_ns),
+        fmt_ns(s.latency.p99_ns)
+    );
+    for (stage, l) in &s.stages {
+        if l.count > 0 {
+            println!(
+                "  stage {stage:<10} n={:<6} p50 {}  p90 {}  p99 {}",
+                l.count,
+                fmt_ns(l.p50_ns),
+                fmt_ns(l.p90_ns),
+                fmt_ns(l.p99_ns)
+            );
+        }
+    }
+}
+
+fn print_tenants(s: &acctee_net::StatsSnapshot) {
+    println!(
+        "{:<16} {:>8} {:>10} {:>8} {:>16} {:>20}",
+        "TENANT", "INFLIGHT", "REQUESTS", "SHED", "WEIGHTED_INSTR", "INVOICE_NANO"
+    );
+    for t in &s.tenants {
+        println!(
+            "{:<16} {:>8} {:>10} {:>8} {:>16} {:>20}",
+            t.tenant,
+            t.inflight,
+            t.requests_total,
+            t.shed_total,
+            t.weighted_instructions_total,
+            t.invoice_nanocredits_total
+        );
+    }
+    if s.tenants.is_empty() {
+        println!("(no tenants yet)");
+    }
+}
+
+/// Runs `show` once, or repeatedly every `--watch` interval with a
+/// fresh attested connection per refresh (the server's idle timeout
+/// would close a connection that only talks every N seconds).
+fn watch_loop(
+    opts: &Opts,
+    mut show: impl FnMut(&mut Client) -> Result<(), String>,
+) -> Result<(), String> {
+    let Some(secs) = opts.watch_secs else {
+        return show(&mut connect_client(opts)?);
+    };
+    loop {
+        show(&mut connect_client(opts)?)?;
+        println!("---");
+        std::thread::sleep(std::time::Duration::from_secs(secs.max(1)));
+    }
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let prom = opts.prom;
+    watch_loop(opts, move |client| {
+        if prom {
+            let text = client.stats_prometheus().map_err(|e| e.to_string())?;
+            // Refuse to relay exposition text the strict parser rejects:
+            // a scrape target that emits garbage should fail loudly here,
+            // not at ingestion time.
+            acctee_telemetry::parse_prometheus(&text)
+                .map_err(|e| format!("server sent malformed exposition text: {e}"))?;
+            print!("{text}");
+        } else {
+            print_snapshot(&client.stats().map_err(|e| e.to_string())?);
+        }
+        Ok(())
+    })
+}
+
+fn cmd_top(opts: &Opts) -> Result<(), String> {
+    watch_loop(opts, |client| {
+        print_tenants(&client.stats().map_err(|e| e.to_string())?);
+        Ok(())
+    })
+}
+
+fn cmd_recent(opts: &Opts) -> Result<(), String> {
+    let mut client = connect_client(opts)?;
+    let records = client.recent(opts.limit).map_err(|e| e.to_string())?;
+    println!(
+        "{:<18} {:<9} {:<12} {:<12} {:<8} {:>10}  ERROR",
+        "TRACE_ID", "KIND", "TENANT", "FUNC", "OUTCOME", "TOTAL"
+    );
+    for r in &records {
+        println!(
+            "{:#018x} {:<9} {:<12} {:<12} {:<8} {:>10}  {}",
+            r.trace_id,
+            r.kind,
+            r.tenant,
+            r.func,
+            r.outcome.name(),
+            fmt_ns(r.total_ns),
+            r.error
+        );
+    }
+    if records.is_empty() {
+        println!("(flight recorder is empty)");
+    }
     Ok(())
 }
 

@@ -31,6 +31,7 @@ use acctee_interp::Value;
 use acctee_sgx::crypto::sha256;
 use acctee_sgx::{AttestationAuthority, Measurement};
 
+use crate::stats::{HealthReport, RequestRecord, StatsSnapshot};
 use crate::wire::{read_response, write_request, Request, Response, WireError};
 
 /// Client-side failures.
@@ -126,6 +127,9 @@ pub struct DeployHandle {
 pub struct InvokeOutcome {
     /// Server-assigned session id (unique, monotonic).
     pub session_id: u64,
+    /// The client-generated trace id this request travelled under;
+    /// `Client::recent` finds the server-side record by it.
+    pub trace_id: u64,
     /// Returned values.
     pub results: Vec<Value>,
     /// Workload output bytes.
@@ -152,6 +156,17 @@ fn fresh_nonce() -> [u8; 32] {
     seed.extend_from_slice(&std::process::id().to_le_bytes());
     seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
     sha256(&seed)
+}
+
+/// A fresh non-zero trace id (0 means "untraced" on the wire): the
+/// first eight bytes of the same entropy mix as [`fresh_nonce`].
+fn fresh_trace_id() -> u64 {
+    loop {
+        let id = u64::from_le_bytes(fresh_nonce()[..8].try_into().expect("8"));
+        if id != 0 {
+            return id;
+        }
+    }
 }
 
 /// A connection to an AccTEE server, attested at construction.
@@ -231,6 +246,7 @@ impl Client {
         let resp = self.call(&Request::Deploy {
             level,
             module: module.to_vec(),
+            trace_id: fresh_trace_id(),
         })?;
         let (deploy_id, instrumented, evidence) = match resp {
             Response::DeployOk {
@@ -271,12 +287,14 @@ impl Client {
         input: &[u8],
         tenant: &str,
     ) -> Result<InvokeOutcome, NetError> {
+        let trace_id = fresh_trace_id();
         let resp = self.call(&Request::Invoke {
             deploy_id: handle.deploy_id,
             func: func.to_string(),
             args: args.to_vec(),
             input: input.to_vec(),
             tenant: tenant.to_string(),
+            trace_id,
         })?;
         let Response::InvokeOk {
             session_id,
@@ -291,6 +309,7 @@ impl Client {
         self.verify_log(&log, Some(handle), session_id)?;
         Ok(InvokeOutcome {
             session_id,
+            trace_id,
             results,
             output,
             log,
@@ -321,6 +340,56 @@ impl Client {
         match self.call(&Request::Shutdown)? {
             Response::ShutdownOk => Ok(()),
             other => Err(unexpected("ShutdownOk", &other)),
+        }
+    }
+
+    /// A point-in-time operational snapshot of the server, over the
+    /// attested channel.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server errors.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, NetError> {
+        match self.call(&Request::Stats { prometheus: false })? {
+            Response::StatsOk { snapshot } => Ok(snapshot),
+            other => Err(unexpected("StatsOk", &other)),
+        }
+    }
+
+    /// The server's stats rendered as Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server errors.
+    pub fn stats_prometheus(&mut self) -> Result<String, NetError> {
+        match self.call(&Request::Stats { prometheus: true })? {
+            Response::StatsTextOk { text } => Ok(text),
+            other => Err(unexpected("StatsTextOk", &other)),
+        }
+    }
+
+    /// The server's liveness report.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server errors.
+    pub fn health(&mut self) -> Result<HealthReport, NetError> {
+        match self.call(&Request::Health)? {
+            Response::HealthOk { report } => Ok(report),
+            other => Err(unexpected("HealthOk", &other)),
+        }
+    }
+
+    /// Up to `limit` recent request records from the server's flight
+    /// recorder, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server errors.
+    pub fn recent(&mut self, limit: u32) -> Result<Vec<RequestRecord>, NetError> {
+        match self.call(&Request::Recent { limit })? {
+            Response::RecentOk { records } => Ok(records),
+            other => Err(unexpected("RecentOk", &other)),
         }
     }
 
@@ -366,6 +435,10 @@ fn unexpected(wanted: &str, got: &Response) -> NetError {
         Response::ShutdownOk => "ShutdownOk",
         Response::Busy => "Busy",
         Response::Error { .. } => "Error",
+        Response::StatsOk { .. } => "StatsOk",
+        Response::StatsTextOk { .. } => "StatsTextOk",
+        Response::HealthOk { .. } => "HealthOk",
+        Response::RecentOk { .. } => "RecentOk",
     };
     NetError::Protocol(format!("expected {wanted}, got {got}"))
 }

@@ -16,13 +16,26 @@
 //!   channel with a fresh nonce, and hard-fails on any quote, evidence
 //!   or log that does not verify.
 //!
+//! A fourth piece, [`stats`], is the live telemetry plane behind the
+//! `Stats`, `Health` and `Recent` wire frames (DESIGN.md §12):
+//! per-server counters and latency histograms, per-tenant metered
+//! usage, and a bounded flight recorder of recent requests — all
+//! queryable over the attested channel (`acctee stats`, `acctee top`,
+//! `acctee recent`).
+//!
 //! The `acctee` CLI (this crate's binary) exposes the whole thing as
-//! `acctee serve`, `acctee deploy` and `acctee invoke`.
+//! `acctee serve`, `acctee deploy`, `acctee invoke`, `acctee stats`,
+//! `acctee top` and `acctee recent`.
 
 pub mod client;
 pub mod server;
+pub mod stats;
 pub mod wire;
 
 pub use client::{Client, DeployHandle, InvokeOutcome, NetError, TrustAnchor};
 pub use server::{Server, ServerConfig};
+pub use stats::{
+    CacheStats, FlightRecorder, HealthReport, LatencySummary, RequestOutcome, RequestRecord,
+    ServerStats, StatsSnapshot, TenantStats,
+};
 pub use wire::{Request, Response, WireError};

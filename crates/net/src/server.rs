@@ -22,22 +22,35 @@
 //! Shutdown: a `Shutdown` request flips the flag, the acceptor is
 //! woken by a loopback connection and stops admitting, in-flight
 //! requests complete, and queued-but-unserved connections are closed.
+//!
+//! Observability (DESIGN.md §12): every server owns a
+//! [`ServerStats`] — counters, per-stage latency histograms, per-tenant
+//! metered usage and a bounded flight recorder — queryable live over
+//! the same attested channel via `Stats`, `Health` and `Recent`
+//! frames. Connection lifecycle and shed decisions additionally emit
+//! structured log lines through [`acctee_telemetry::logging`] when a
+//! level is set (`acctee serve --log-level`).
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use acctee::enclave::LoadedWorkload;
 use acctee::{Deployment, SignedLog};
 use acctee_interp::Engine;
+use acctee_telemetry::logging;
 
-use crate::wire::{read_request, write_response, Request, Response, WireError};
+use crate::stats::{CacheStats, RequestOutcome, RequestRecord, ServerStats};
+use crate::wire::{read_request_timed, write_response, Request, Response, WireError, WIRE_VERSION};
 
 /// How many signed logs the server retains for `FetchLog` (FIFO).
 const LOG_RETENTION: usize = 4096;
+
+/// Log target for server-side lines.
+const LOG: &str = "net.server";
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -118,6 +131,20 @@ struct Shared {
     logs: Mutex<LogStore>,
     inflight: Mutex<HashMap<String, usize>>,
     shutdown: AtomicBool,
+    /// The telemetry plane behind `Stats`/`Health`/`Recent`.
+    stats: ServerStats,
+}
+
+impl Shared {
+    fn cache_stats(&self) -> CacheStats {
+        let cache = self.dep.cache();
+        CacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            evictions: cache.evictions(),
+            singleflight_waits: cache.singleflight_waits(),
+        }
+    }
 }
 
 /// Decrements a tenant's in-flight count on drop, so panics and early
@@ -169,6 +196,7 @@ impl Server {
         }
         dep.set_engine(config.engine);
         dep.set_time_budget(config.request_deadline);
+        let stats = ServerStats::new(config.workers.max(1) as u32, config.queue_depth as u32);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -181,6 +209,7 @@ impl Server {
                 logs: Mutex::new(LogStore::default()),
                 inflight: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
+                stats,
             }),
         })
     }
@@ -196,6 +225,15 @@ impl Server {
         let hub = acctee_telemetry::global();
         let _span = hub.span("net.serve", "net");
         let shared = self.shared;
+        logging::info(
+            LOG,
+            "serving",
+            &[
+                ("addr", shared.local_addr.to_string()),
+                ("workers", shared.config.workers.to_string()),
+                ("queue_depth", shared.config.queue_depth.to_string()),
+            ],
+        );
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         std::thread::scope(|scope| {
@@ -210,6 +248,7 @@ impl Server {
             accept_loop(&shared, &self.listener, &tx);
             drop(tx); // workers drain the queue, then exit
         });
+        logging::info(LOG, "drained", &[]);
     }
 
     /// Runs the server on a background thread, returning the bound
@@ -225,9 +264,6 @@ impl Server {
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
-    let hub = acctee_telemetry::global();
-    let accepted = hub.metrics().counter("acctee_net_connections_total");
-    let shed = hub.metrics().counter("acctee_net_shed_total");
     loop {
         let stream = match listener.accept() {
             Ok((stream, _peer)) => stream,
@@ -237,16 +273,37 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
             // The shutdown wake-up connection (or a late client).
             break;
         }
-        accepted.inc();
+        shared.stats.connection_opened();
         let t = Some(shared.config.io_timeout);
         let _ = stream.set_read_timeout(t);
         let _ = stream.set_write_timeout(t);
         match tx.try_send(stream) {
-            Ok(()) => {}
+            Ok(()) => shared.stats.queue_entered(),
             Err(TrySendError::Full(mut stream)) => {
                 // Admission control: shed with an explicit Busy so the
                 // client can back off, instead of queueing unboundedly.
-                shed.inc();
+                shared.stats.shed_queue();
+                logging::warn(
+                    LOG,
+                    "connection shed",
+                    &[
+                        ("reason", "queue".to_string()),
+                        ("queue_depth", shared.config.queue_depth.to_string()),
+                    ],
+                );
+                let start_ns = shared.stats.now_ns();
+                shared.stats.recorder.record(RequestRecord {
+                    trace_id: 0,
+                    kind: "accept".into(),
+                    tenant: String::new(),
+                    func: String::new(),
+                    session_id: 0,
+                    outcome: RequestOutcome::Shed,
+                    error: "admission queue full".into(),
+                    start_ns,
+                    total_ns: 0,
+                    stages: Vec::new(),
+                });
                 let _ = write_response(&mut stream, &Response::Busy);
             }
             Err(TrySendError::Disconnected(_)) => break,
@@ -261,29 +318,38 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
             guard.recv()
         };
         let Ok(stream) = stream else { return };
+        shared.stats.queue_left();
         if shared.shutdown.load(Ordering::SeqCst) {
             // Draining: the connection was queued but never served;
             // close it rather than start new work.
             continue;
         }
+        let _busy = shared.stats.worker_busy();
         handle_connection(shared, stream);
     }
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _active = shared.stats.connection_active();
+    logging::debug(LOG, "connection start", &[]);
     loop {
-        let req = match read_request(&mut stream) {
-            Ok(Some(req)) => req,
-            Ok(None) => return, // clean close
+        let (req, started, parse_ns) = match read_request_timed(&mut stream) {
+            Ok(Some(triple)) => triple,
+            Ok(None) => {
+                logging::debug(LOG, "connection closed", &[]);
+                return; // clean close
+            }
             Err(WireError::Io(kind, _))
                 if kind == std::io::ErrorKind::WouldBlock
                     || kind == std::io::ErrorKind::TimedOut =>
             {
+                logging::debug(LOG, "connection idle timeout", &[]);
                 return; // idle past the read deadline
             }
             Err(e) => {
                 // Garbage on the wire: answer once, then hang up (the
                 // stream may be desynchronised).
+                logging::warn(LOG, "bad frame", &[("error", e.to_string())]);
                 let _ = write_response(
                     &mut stream,
                     &Response::Error {
@@ -294,14 +360,104 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
         };
         let shutdown_after = matches!(req, Request::Shutdown);
-        let resp = handle_request(shared, req);
-        if write_response(&mut stream, &resp).is_err() {
-            return;
-        }
-        if shutdown_after || shared.shutdown.load(Ordering::SeqCst) {
+        let mut trace = ReqTrace::new(&req, parse_ns);
+        let resp = handle_request(shared, req, &mut trace);
+        let respond_started = Instant::now();
+        let write_ok = write_response(&mut stream, &resp).is_ok();
+        trace.stages.push((
+            "respond".into(),
+            respond_started.elapsed().as_nanos() as u64,
+        ));
+        finish_request(shared, trace, &resp, started);
+        if !write_ok || shutdown_after || shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
     }
+}
+
+/// Per-request context the handlers fill in for the stats plane: the
+/// trace id, the stage timings, and how the request ended.
+struct ReqTrace {
+    trace_id: u64,
+    kind: &'static str,
+    tenant: String,
+    func: String,
+    session_id: u64,
+    outcome: RequestOutcome,
+    error: String,
+    stages: Vec<(String, u64)>,
+}
+
+impl ReqTrace {
+    fn new(req: &Request, parse_ns: u64) -> ReqTrace {
+        let (tenant, func, trace_id) = match req {
+            Request::Invoke {
+                tenant,
+                func,
+                trace_id,
+                ..
+            } => (tenant.clone(), func.clone(), *trace_id),
+            Request::Deploy { trace_id, .. } => (String::new(), String::new(), *trace_id),
+            _ => (String::new(), String::new(), 0),
+        };
+        ReqTrace {
+            trace_id,
+            kind: kind_of(req),
+            tenant,
+            func,
+            session_id: 0,
+            outcome: RequestOutcome::Ok,
+            error: String::new(),
+            stages: vec![("parse".into(), parse_ns)],
+        }
+    }
+}
+
+/// Folds a finished request into counters, histograms and the flight
+/// recorder. `started` is when its first byte arrived.
+fn finish_request(shared: &Shared, mut trace: ReqTrace, resp: &Response, started: Instant) {
+    // Handlers set Shed/Timeout themselves; any other error response
+    // classifies here so attest/deploy/fetch_log failures count too.
+    match resp {
+        Response::Busy => trace.outcome = RequestOutcome::Shed,
+        Response::Error { message } if trace.outcome == RequestOutcome::Ok => {
+            trace.outcome = RequestOutcome::Error;
+            trace.error = message.clone();
+        }
+        _ => {}
+    }
+    match trace.outcome {
+        RequestOutcome::Error | RequestOutcome::Timeout => shared.stats.error_response(),
+        _ => {}
+    }
+    let total_ns = started.elapsed().as_nanos() as u64;
+    shared.stats.request(trace.kind);
+    shared.stats.observe_request(trace.kind, total_ns);
+    for (stage, ns) in &trace.stages {
+        shared.stats.observe_stage(stage, *ns);
+    }
+    logging::debug(
+        LOG,
+        "request served",
+        &[
+            ("kind", trace.kind.to_string()),
+            ("trace_id", format!("{:#018x}", trace.trace_id)),
+            ("outcome", trace.outcome.name().to_string()),
+            ("total_us", (total_ns / 1_000).to_string()),
+        ],
+    );
+    shared.stats.recorder.record(RequestRecord {
+        trace_id: trace.trace_id,
+        kind: trace.kind.into(),
+        tenant: trace.tenant,
+        func: trace.func,
+        session_id: trace.session_id,
+        outcome: trace.outcome,
+        error: trace.error,
+        start_ns: shared.stats.now_ns().saturating_sub(total_ns),
+        total_ns,
+        stages: trace.stages,
+    });
 }
 
 fn kind_of(req: &Request) -> &'static str {
@@ -311,17 +467,18 @@ fn kind_of(req: &Request) -> &'static str {
         Request::Invoke { .. } => "invoke",
         Request::FetchLog { .. } => "fetch_log",
         Request::Shutdown => "shutdown",
+        Request::Stats { .. } => "stats",
+        Request::Health => "health",
+        Request::Recent { .. } => "recent",
     }
 }
 
-fn handle_request(shared: &Shared, req: Request) -> Response {
-    let hub = acctee_telemetry::global();
-    let kind = kind_of(&req);
-    hub.metrics()
-        .counter_with("acctee_net_requests_total", &[("kind", kind)])
-        .inc();
-    let started = std::time::Instant::now();
-    let resp = match req {
+/// Upper bound a `Recent` request can ask for (the recorder holds
+/// fewer anyway).
+const RECENT_LIMIT_CAP: u32 = 1024;
+
+fn handle_request(shared: &Shared, req: Request, trace: &mut ReqTrace) -> Response {
+    match req {
         Request::Attest { nonce } => match shared
             .dep
             .infrastructure()
@@ -329,16 +486,20 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
             .attest_channel(&nonce)
         {
             Ok(quote) => Response::AttestOk { quote },
-            Err(e) => error_resp(e),
+            Err(e) => {
+                logging::error(LOG, "attestation failed", &[("error", e.to_string())]);
+                error_resp(e)
+            }
         },
-        Request::Deploy { level, module } => handle_deploy(shared, level, &module),
+        Request::Deploy { level, module, .. } => handle_deploy(shared, level, &module, trace),
         Request::Invoke {
             deploy_id,
             func,
             args,
             input,
             tenant,
-        } => handle_invoke(shared, deploy_id, &func, &args, &input, &tenant),
+            ..
+        } => handle_invoke(shared, deploy_id, &func, &args, &input, &tenant, trace),
         Request::FetchLog { session_id } => {
             let logs = shared
                 .logs
@@ -352,20 +513,51 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
             }
         }
         Request::Shutdown => {
+            logging::info(LOG, "shutdown requested", &[]);
             shared.shutdown.store(true, Ordering::SeqCst);
             // Wake the acceptor out of its blocking accept().
             let _ = TcpStream::connect(shared.local_addr);
             Response::ShutdownOk
         }
-    };
-    hub.metrics()
-        .histogram_with(
-            "acctee_net_request_latency_seconds",
-            &[("kind", kind)],
-            1e-9,
-        )
-        .observe(started.elapsed().as_nanos() as u64);
-    resp
+        Request::Stats { prometheus } => {
+            let inflight = lock_inflight(shared).clone();
+            let cache = shared.cache_stats();
+            if prometheus {
+                Response::StatsTextOk {
+                    text: shared.stats.render_prometheus(&inflight, cache),
+                }
+            } else {
+                Response::StatsOk {
+                    snapshot: shared.stats.snapshot(&inflight, cache),
+                }
+            }
+        }
+        Request::Health => {
+            let draining = shared.shutdown.load(Ordering::SeqCst);
+            Response::HealthOk {
+                report: crate::stats::HealthReport {
+                    healthy: !draining,
+                    draining,
+                    uptime_ns: shared.stats.now_ns(),
+                    wire_version: WIRE_VERSION,
+                    workers: shared.config.workers.max(1) as u32,
+                    queue_capacity: shared.config.queue_depth as u32,
+                    deployments: shared
+                        .deployments
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .len() as u32,
+                    sessions_served: shared.next_session.load(Ordering::SeqCst) - 1,
+                },
+            }
+        }
+        Request::Recent { limit } => Response::RecentOk {
+            records: shared
+                .stats
+                .recorder
+                .recent(limit.min(RECENT_LIMIT_CAP) as usize),
+        },
+    }
 }
 
 fn error_resp(e: impl std::fmt::Display) -> Response {
@@ -374,10 +566,16 @@ fn error_resp(e: impl std::fmt::Display) -> Response {
     }
 }
 
-fn handle_deploy(shared: &Shared, level: acctee::Level, module: &[u8]) -> Response {
+fn handle_deploy(
+    shared: &Shared,
+    level: acctee::Level,
+    module: &[u8],
+    trace: &mut ReqTrace,
+) -> Response {
     // The instrumentation cache makes repeat deploys of one module
     // cheap; each deploy still gets its own id (and its own loaded
     // workload, sharing the cached instrumented bytes).
+    let instrument_started = Instant::now();
     let (bytes, evidence) = match shared.dep.instrument(module, level) {
         Ok(r) => r,
         Err(e) => return error_resp(e),
@@ -386,6 +584,10 @@ fn handle_deploy(shared: &Shared, level: acctee::Level, module: &[u8]) -> Respon
         Ok(w) => w,
         Err(e) => return error_resp(e),
     };
+    trace.stages.push((
+        "instrument".into(),
+        instrument_started.elapsed().as_nanos() as u64,
+    ));
     let deploy_id = shared.next_deploy.fetch_add(1, Ordering::SeqCst);
     shared
         .deployments
@@ -399,6 +601,7 @@ fn handle_deploy(shared: &Shared, level: acctee::Level, module: &[u8]) -> Respon
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_invoke(
     shared: &Shared,
     deploy_id: u64,
@@ -406,17 +609,26 @@ fn handle_invoke(
     args: &[acctee_interp::Value],
     input: &[u8],
     tenant: &str,
+    trace: &mut ReqTrace,
 ) -> Response {
     // Per-tenant admission: a tenant at its in-flight limit is shed
     // with Busy before any execution state is touched.
+    let admission_started = Instant::now();
     let _slot = {
         let mut map = lock_inflight(shared);
         let n = map.entry(tenant.to_string()).or_insert(0);
         if *n >= shared.config.tenant_inflight {
-            acctee_telemetry::global()
-                .metrics()
-                .counter("acctee_net_shed_total")
-                .inc();
+            drop(map);
+            shared.stats.shed_tenant(tenant);
+            logging::warn(
+                LOG,
+                "request shed",
+                &[
+                    ("reason", "tenant".to_string()),
+                    ("tenant", tenant.to_string()),
+                    ("limit", shared.config.tenant_inflight.to_string()),
+                ],
+            );
             return Response::Busy;
         }
         *n += 1;
@@ -425,6 +637,10 @@ fn handle_invoke(
             tenant: tenant.to_string(),
         }
     };
+    trace.stages.push((
+        "admission".into(),
+        admission_started.elapsed().as_nanos() as u64,
+    ));
     let deployed = {
         let map = shared
             .deployments
@@ -438,14 +654,26 @@ fn handle_invoke(
         };
     };
     let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
-    match shared.dep.infrastructure().execute_billed(
+    let execute_started = Instant::now();
+    let result = shared.dep.infrastructure().execute_billed(
         &deployed.workload,
         func,
         args,
         input,
         session_id,
-    ) {
+    );
+    trace.stages.push((
+        "execute".into(),
+        execute_started.elapsed().as_nanos() as u64,
+    ));
+    match result {
         Ok((outcome, invoice)) => {
+            trace.session_id = session_id;
+            shared.stats.tenant_served(
+                tenant,
+                outcome.log.log.weighted_instructions,
+                invoice.total(),
+            );
             shared
                 .logs
                 .lock()
@@ -459,6 +687,16 @@ fn handle_invoke(
                 invoice_total: invoice.total(),
             }
         }
-        Err(e) => error_resp(e),
+        Err(e) => {
+            if matches!(
+                e,
+                acctee::AccTeeError::Trap(acctee_interp::Trap::DeadlineExceeded)
+            ) {
+                shared.stats.timeout();
+                trace.outcome = RequestOutcome::Timeout;
+                trace.error = e.to_string();
+            }
+            error_resp(e)
+        }
     }
 }

@@ -28,15 +28,23 @@
 //! exactly (trailing bytes are an error).
 
 use std::io::{Read, Write};
+use std::time::Instant;
 
 use acctee::{InstrumentationEvidence, Level, ResourceUsageLog, SignedLog};
 use acctee_interp::Value;
 use acctee_sgx::{Measurement, Quote};
 
+use crate::stats::{
+    CacheStats, HealthReport, LatencySummary, RequestOutcome, RequestRecord, StatsSnapshot,
+    TenantStats,
+};
+
 /// Protocol magic, first on the wire.
 pub const MAGIC: [u8; 4] = *b"ACNT";
-/// Current protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current protocol version. Version 2 added client trace ids on
+/// `Deploy`/`Invoke` and the `Stats`/`Health`/`Recent` telemetry
+/// frames.
+pub const WIRE_VERSION: u16 = 2;
 /// Upper bound on a frame payload (modules included).
 pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
 
@@ -45,6 +53,9 @@ const REQ_DEPLOY: u8 = 0x02;
 const REQ_INVOKE: u8 = 0x03;
 const REQ_FETCH_LOG: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
+const REQ_STATS: u8 = 0x06;
+const REQ_HEALTH: u8 = 0x07;
+const REQ_RECENT: u8 = 0x08;
 
 const RESP_ATTEST_OK: u8 = 0x81;
 const RESP_DEPLOY_OK: u8 = 0x82;
@@ -53,6 +64,10 @@ const RESP_LOG_OK: u8 = 0x84;
 const RESP_SHUTDOWN_OK: u8 = 0x85;
 const RESP_BUSY: u8 = 0x86;
 const RESP_ERROR: u8 = 0x87;
+const RESP_STATS_OK: u8 = 0x88;
+const RESP_STATS_TEXT_OK: u8 = 0x89;
+const RESP_HEALTH_OK: u8 = 0x8a;
+const RESP_RECENT_OK: u8 = 0x8b;
 
 /// Why a frame failed to decode (or the transport failed).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +131,9 @@ pub enum Request {
         level: Level,
         /// The original (un-instrumented) module binary.
         module: Vec<u8>,
+        /// Client-generated trace id, stamped on the server's spans
+        /// and flight-recorder record for this request (0 = untraced).
+        trace_id: u64,
     },
     /// Execute a deployed function under accounting.
     Invoke {
@@ -129,6 +147,9 @@ pub enum Request {
         input: Vec<u8>,
         /// Tenant name, for per-tenant admission control.
         tenant: String,
+        /// Client-generated trace id, stamped on the server's spans
+        /// and flight-recorder record for this request (0 = untraced).
+        trace_id: u64,
     },
     /// Re-fetch the signed log of an earlier session.
     FetchLog {
@@ -137,6 +158,20 @@ pub enum Request {
     },
     /// Ask the server to drain and exit.
     Shutdown,
+    /// A point-in-time operational snapshot of the server.
+    Stats {
+        /// `false` → structured [`StatsSnapshot`] (`StatsOk`);
+        /// `true` → Prometheus text exposition (`StatsTextOk`).
+        prometheus: bool,
+    },
+    /// A cheap liveness/readiness probe.
+    Health,
+    /// Up to `limit` recent request records from the flight recorder,
+    /// newest first.
+    Recent {
+        /// Maximum records to return.
+        limit: u32,
+    },
 }
 
 /// A server-to-client message.
@@ -184,6 +219,26 @@ pub enum Response {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// The structured stats snapshot.
+    StatsOk {
+        /// Point-in-time operational state.
+        snapshot: StatsSnapshot,
+    },
+    /// The stats snapshot rendered as Prometheus text exposition.
+    StatsTextOk {
+        /// Strictly parseable exposition text.
+        text: String,
+    },
+    /// The liveness report.
+    HealthOk {
+        /// Current health.
+        report: HealthReport,
+    },
+    /// Recent request records, newest first.
+    RecentOk {
+        /// Flight-recorder records.
+        records: Vec<RequestRecord>,
     },
 }
 
@@ -261,6 +316,89 @@ fn put_evidence(out: &mut Vec<u8>, e: &InstrumentationEvidence) {
     put_quote(out, &e.quote);
 }
 
+fn outcome_byte(o: RequestOutcome) -> u8 {
+    match o {
+        RequestOutcome::Ok => 0,
+        RequestOutcome::Shed => 1,
+        RequestOutcome::Error => 2,
+        RequestOutcome::Timeout => 3,
+    }
+}
+
+fn put_record(out: &mut Vec<u8>, r: &RequestRecord) {
+    out.extend_from_slice(&r.trace_id.to_le_bytes());
+    put_bytes(out, r.kind.as_bytes());
+    put_bytes(out, r.tenant.as_bytes());
+    put_bytes(out, r.func.as_bytes());
+    out.extend_from_slice(&r.session_id.to_le_bytes());
+    out.push(outcome_byte(r.outcome));
+    put_bytes(out, r.error.as_bytes());
+    out.extend_from_slice(&r.start_ns.to_le_bytes());
+    out.extend_from_slice(&r.total_ns.to_le_bytes());
+    out.extend_from_slice(&(r.stages.len() as u32).to_le_bytes());
+    for (stage, ns) in &r.stages {
+        put_bytes(out, stage.as_bytes());
+        out.extend_from_slice(&ns.to_le_bytes());
+    }
+}
+
+fn put_latency(out: &mut Vec<u8>, l: &LatencySummary) {
+    out.extend_from_slice(&l.count.to_le_bytes());
+    out.extend_from_slice(&l.sum_ns.to_le_bytes());
+    out.extend_from_slice(&l.p50_ns.to_le_bytes());
+    out.extend_from_slice(&l.p90_ns.to_le_bytes());
+    out.extend_from_slice(&l.p99_ns.to_le_bytes());
+}
+
+fn put_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) {
+    out.extend_from_slice(&s.uptime_ns.to_le_bytes());
+    out.extend_from_slice(&s.workers.to_le_bytes());
+    out.extend_from_slice(&s.workers_busy.to_le_bytes());
+    out.extend_from_slice(&s.queue_capacity.to_le_bytes());
+    out.extend_from_slice(&s.queue_depth.to_le_bytes());
+    out.extend_from_slice(&s.connections_total.to_le_bytes());
+    out.extend_from_slice(&s.connections_active.to_le_bytes());
+    out.extend_from_slice(&(s.requests_by_kind.len() as u32).to_le_bytes());
+    for (kind, n) in &s.requests_by_kind {
+        put_bytes(out, kind.as_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    out.extend_from_slice(&s.shed_queue_total.to_le_bytes());
+    out.extend_from_slice(&s.shed_tenant_total.to_le_bytes());
+    out.extend_from_slice(&s.errors_total.to_le_bytes());
+    out.extend_from_slice(&s.timeouts_total.to_le_bytes());
+    out.extend_from_slice(&s.instr_cache.hits.to_le_bytes());
+    out.extend_from_slice(&s.instr_cache.misses.to_le_bytes());
+    out.extend_from_slice(&s.instr_cache.evictions.to_le_bytes());
+    out.extend_from_slice(&s.instr_cache.singleflight_waits.to_le_bytes());
+    out.extend_from_slice(&(s.tenants.len() as u32).to_le_bytes());
+    for t in &s.tenants {
+        put_bytes(out, t.tenant.as_bytes());
+        out.extend_from_slice(&t.inflight.to_le_bytes());
+        out.extend_from_slice(&t.requests_total.to_le_bytes());
+        out.extend_from_slice(&t.shed_total.to_le_bytes());
+        out.extend_from_slice(&t.weighted_instructions_total.to_le_bytes());
+        out.extend_from_slice(&t.invoice_nanocredits_total.to_le_bytes());
+    }
+    put_latency(out, &s.latency);
+    out.extend_from_slice(&(s.stages.len() as u32).to_le_bytes());
+    for (stage, l) in &s.stages {
+        put_bytes(out, stage.as_bytes());
+        put_latency(out, l);
+    }
+}
+
+fn put_health(out: &mut Vec<u8>, h: &HealthReport) {
+    out.push(u8::from(h.healthy));
+    out.push(u8::from(h.draining));
+    out.extend_from_slice(&h.uptime_ns.to_le_bytes());
+    out.extend_from_slice(&h.wire_version.to_le_bytes());
+    out.extend_from_slice(&h.workers.to_le_bytes());
+    out.extend_from_slice(&h.queue_capacity.to_le_bytes());
+    out.extend_from_slice(&h.deployments.to_le_bytes());
+    out.extend_from_slice(&h.sessions_served.to_le_bytes());
+}
+
 fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(11 + payload.len());
     out.extend_from_slice(&MAGIC);
@@ -279,9 +417,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             p.extend_from_slice(nonce);
             REQ_ATTEST
         }
-        Request::Deploy { level, module } => {
+        Request::Deploy {
+            level,
+            module,
+            trace_id,
+        } => {
             p.push(level_byte(*level));
             put_bytes(&mut p, module);
+            p.extend_from_slice(&trace_id.to_le_bytes());
             REQ_DEPLOY
         }
         Request::Invoke {
@@ -290,12 +433,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             args,
             input,
             tenant,
+            trace_id,
         } => {
             p.extend_from_slice(&deploy_id.to_le_bytes());
             put_bytes(&mut p, func.as_bytes());
             put_values(&mut p, args);
             put_bytes(&mut p, input);
             put_bytes(&mut p, tenant.as_bytes());
+            p.extend_from_slice(&trace_id.to_le_bytes());
             REQ_INVOKE
         }
         Request::FetchLog { session_id } => {
@@ -303,6 +448,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             REQ_FETCH_LOG
         }
         Request::Shutdown => REQ_SHUTDOWN,
+        Request::Stats { prometheus } => {
+            p.push(u8::from(*prometheus));
+            REQ_STATS
+        }
+        Request::Health => REQ_HEALTH,
+        Request::Recent { limit } => {
+            p.extend_from_slice(&limit.to_le_bytes());
+            REQ_RECENT
+        }
     };
     frame(kind, &p)
 }
@@ -349,6 +503,25 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_bytes(&mut p, message.as_bytes());
             RESP_ERROR
         }
+        Response::StatsOk { snapshot } => {
+            put_snapshot(&mut p, snapshot);
+            RESP_STATS_OK
+        }
+        Response::StatsTextOk { text } => {
+            put_bytes(&mut p, text.as_bytes());
+            RESP_STATS_TEXT_OK
+        }
+        Response::HealthOk { report } => {
+            put_health(&mut p, report);
+            RESP_HEALTH_OK
+        }
+        Response::RecentOk { records } => {
+            p.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for r in records {
+                put_record(&mut p, r);
+            }
+            RESP_RECENT_OK
+        }
     };
     frame(kind, &p)
 }
@@ -392,6 +565,10 @@ impl<'a> Cursor<'a> {
 
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
@@ -488,6 +665,148 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Element count for a repeated structure whose elements occupy at
+    /// least `min_size` bytes each. A count the payload cannot hold is
+    /// `Truncated` before any allocation, so hostile counts never OOM.
+    fn count(&mut self, min_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.rest.len() / min_size.max(1) {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn outcome(&mut self) -> Result<RequestOutcome, WireError> {
+        match self.u8()? {
+            0 => Ok(RequestOutcome::Ok),
+            1 => Ok(RequestOutcome::Shed),
+            2 => Ok(RequestOutcome::Error),
+            3 => Ok(RequestOutcome::Timeout),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn latency(&mut self) -> Result<LatencySummary, WireError> {
+        Ok(LatencySummary {
+            count: self.u64()?,
+            sum_ns: self.u64()?,
+            p50_ns: self.u64()?,
+            p90_ns: self.u64()?,
+            p99_ns: self.u64()?,
+        })
+    }
+
+    fn record(&mut self) -> Result<RequestRecord, WireError> {
+        let trace_id = self.u64()?;
+        let kind = self.string()?;
+        let tenant = self.string()?;
+        let func = self.string()?;
+        let session_id = self.u64()?;
+        let outcome = self.outcome()?;
+        let error = self.string()?;
+        let start_ns = self.u64()?;
+        let total_ns = self.u64()?;
+        let n = self.count(12)?; // stage: 4-byte name length + 8-byte ns
+        let mut stages = Vec::with_capacity(n);
+        for _ in 0..n {
+            stages.push((self.string()?, self.u64()?));
+        }
+        Ok(RequestRecord {
+            trace_id,
+            kind,
+            tenant,
+            func,
+            session_id,
+            outcome,
+            error,
+            start_ns,
+            total_ns,
+            stages,
+        })
+    }
+
+    fn snapshot(&mut self) -> Result<StatsSnapshot, WireError> {
+        let uptime_ns = self.u64()?;
+        let workers = self.u32()?;
+        let workers_busy = self.u32()?;
+        let queue_capacity = self.u32()?;
+        let queue_depth = self.u32()?;
+        let connections_total = self.u64()?;
+        let connections_active = self.u32()?;
+        let n = self.count(12)?; // kind: 4-byte name length + 8-byte count
+        let mut requests_by_kind = Vec::with_capacity(n);
+        for _ in 0..n {
+            requests_by_kind.push((self.string()?, self.u64()?));
+        }
+        let shed_queue_total = self.u64()?;
+        let shed_tenant_total = self.u64()?;
+        let errors_total = self.u64()?;
+        let timeouts_total = self.u64()?;
+        let instr_cache = CacheStats {
+            hits: self.u64()?,
+            misses: self.u64()?,
+            evictions: self.u64()?,
+            singleflight_waits: self.u64()?,
+        };
+        let n = self.count(48)?; // tenant: name length + 4 + 3×8 + 16
+        let mut tenants = Vec::with_capacity(n);
+        for _ in 0..n {
+            tenants.push(TenantStats {
+                tenant: self.string()?,
+                inflight: self.u32()?,
+                requests_total: self.u64()?,
+                shed_total: self.u64()?,
+                weighted_instructions_total: self.u64()?,
+                invoice_nanocredits_total: self.u128()?,
+            });
+        }
+        let latency = self.latency()?;
+        let n = self.count(44)?; // stage: name length + 5×8
+        let mut stages = Vec::with_capacity(n);
+        for _ in 0..n {
+            stages.push((self.string()?, self.latency()?));
+        }
+        Ok(StatsSnapshot {
+            uptime_ns,
+            workers,
+            workers_busy,
+            queue_capacity,
+            queue_depth,
+            connections_total,
+            connections_active,
+            requests_by_kind,
+            shed_queue_total,
+            shed_tenant_total,
+            errors_total,
+            timeouts_total,
+            instr_cache,
+            tenants,
+            latency,
+            stages,
+        })
+    }
+
+    fn health(&mut self) -> Result<HealthReport, WireError> {
+        Ok(HealthReport {
+            healthy: self.boolean()?,
+            draining: self.boolean()?,
+            uptime_ns: self.u64()?,
+            wire_version: self.u16()?,
+            workers: self.u32()?,
+            queue_capacity: self.u32()?,
+            deployments: self.u32()?,
+            sessions_served: self.u64()?,
+        })
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.rest.is_empty() {
             Ok(())
@@ -498,8 +817,12 @@ impl<'a> Cursor<'a> {
 }
 
 /// Reads one frame header + payload. `Ok(None)` means the peer closed
-/// the connection cleanly before the first byte of a frame.
-fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+/// the connection cleanly before the first byte of a frame. The
+/// returned [`Instant`] is taken when the first byte of the frame
+/// arrives, so `started.elapsed()` after decoding measures the parse
+/// stage (frame read + structural decode) without counting the idle
+/// wait for the peer to speak.
+fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>, Instant)>, WireError> {
     let mut magic = [0u8; 4];
     // Distinguish clean close (no bytes at all) from mid-frame EOF.
     let mut got = 0;
@@ -512,6 +835,7 @@ fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
             Err(e) => return Err(e.into()),
         }
     }
+    let started = Instant::now();
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
@@ -528,7 +852,7 @@ fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(Some((kind, payload)))
+    Ok(Some((kind, payload, started)))
 }
 
 /// Reads one request frame. `Ok(None)` on clean connection close.
@@ -537,7 +861,20 @@ fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
 ///
 /// Any [`WireError`]; response kinds are [`WireError::UnknownKind`].
 pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
-    let Some((kind, payload)) = read_frame(r)? else {
+    Ok(read_request_timed(r)?.map(|(req, _, _)| req))
+}
+
+/// [`read_request`], plus timing for the stats plane: the [`Instant`]
+/// the frame's first byte arrived (the request's start on the server)
+/// and the nanoseconds spent reading + decoding it (the `parse`
+/// stage). The idle wait before the first byte — client think time on
+/// a keep-alive connection — is excluded from both.
+///
+/// # Errors
+///
+/// Any [`WireError`]; response kinds are [`WireError::UnknownKind`].
+pub fn read_request_timed(r: &mut impl Read) -> Result<Option<(Request, Instant, u64)>, WireError> {
+    let Some((kind, payload, started)) = read_frame(r)? else {
         return Ok(None);
     };
     let mut c = Cursor { rest: &payload };
@@ -546,6 +883,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
         REQ_DEPLOY => Request::Deploy {
             level: c.level()?,
             module: c.bytes()?,
+            trace_id: c.u64()?,
         },
         REQ_INVOKE => Request::Invoke {
             deploy_id: c.u64()?,
@@ -553,15 +891,22 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
             args: c.values()?,
             input: c.bytes()?,
             tenant: c.string()?,
+            trace_id: c.u64()?,
         },
         REQ_FETCH_LOG => Request::FetchLog {
             session_id: c.u64()?,
         },
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_STATS => Request::Stats {
+            prometheus: c.boolean()?,
+        },
+        REQ_HEALTH => Request::Health,
+        REQ_RECENT => Request::Recent { limit: c.u32()? },
         other => return Err(WireError::UnknownKind(other)),
     };
     c.finish()?;
-    Ok(Some(req))
+    let parse_ns = started.elapsed().as_nanos() as u64;
+    Ok(Some((req, started, parse_ns)))
 }
 
 /// Reads one response frame (a missing frame is an error: the client
@@ -571,7 +916,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, WireError> {
 ///
 /// Any [`WireError`]; request kinds are [`WireError::UnknownKind`].
 pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
-    let Some((kind, payload)) = read_frame(r)? else {
+    let Some((kind, payload, _)) = read_frame(r)? else {
         return Err(WireError::Io(
             std::io::ErrorKind::UnexpectedEof,
             "connection closed awaiting response".into(),
@@ -600,6 +945,21 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
         RESP_ERROR => Response::Error {
             message: c.string()?,
         },
+        RESP_STATS_OK => Response::StatsOk {
+            snapshot: c.snapshot()?,
+        },
+        RESP_STATS_TEXT_OK => Response::StatsTextOk { text: c.string()? },
+        RESP_HEALTH_OK => Response::HealthOk {
+            report: c.health()?,
+        },
+        RESP_RECENT_OK => {
+            let n = c.count(47)?; // record: 8 + 3×4 + 8 + 1 + 4 + 2×8 + 4 floor
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(c.record()?);
+            }
+            Response::RecentOk { records }
+        }
         other => return Err(WireError::UnknownKind(other)),
     };
     c.finish()?;
@@ -645,6 +1005,69 @@ mod tests {
         }
     }
 
+    fn snapshot() -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_ns: 1_000_000_007,
+            workers: 4,
+            workers_busy: 2,
+            queue_capacity: 16,
+            queue_depth: 3,
+            connections_total: 321,
+            connections_active: 5,
+            requests_by_kind: vec![("invoke".into(), 100), ("deploy".into(), 2)],
+            shed_queue_total: 7,
+            shed_tenant_total: 11,
+            errors_total: 1,
+            timeouts_total: 2,
+            instr_cache: CacheStats {
+                hits: 90,
+                misses: 10,
+                evictions: 3,
+                singleflight_waits: 4,
+            },
+            tenants: vec![TenantStats {
+                tenant: "alice".into(),
+                inflight: 1,
+                requests_total: 60,
+                shed_total: 5,
+                weighted_instructions_total: 1_234_567,
+                invoice_nanocredits_total: u128::MAX / 5,
+            }],
+            latency: LatencySummary {
+                count: 100,
+                sum_ns: 5_000_000,
+                p50_ns: 40_000,
+                p90_ns: 90_000,
+                p99_ns: 250_000,
+            },
+            stages: vec![(
+                "execute".into(),
+                LatencySummary {
+                    count: 100,
+                    sum_ns: 4_000_000,
+                    p50_ns: 30_000,
+                    p90_ns: 80_000,
+                    p99_ns: 200_000,
+                },
+            )],
+        }
+    }
+
+    fn record() -> RequestRecord {
+        RequestRecord {
+            trace_id: 0xfeed_f00d,
+            kind: "invoke".into(),
+            tenant: "alice".into(),
+            func: "main".into(),
+            session_id: 9,
+            outcome: RequestOutcome::Timeout,
+            error: "deadline exceeded".into(),
+            start_ns: 123,
+            total_ns: 456_789,
+            stages: vec![("parse".into(), 100), ("execute".into(), 456_000)],
+        }
+    }
+
     fn rt_request(req: &Request) {
         let bytes = encode_request(req);
         let got = read_request(&mut bytes.as_slice())
@@ -665,6 +1088,7 @@ mod tests {
         rt_request(&Request::Deploy {
             level: Level::LoopBased,
             module: vec![0, 1, 2, 255],
+            trace_id: 0xdead_beef_cafe_f00d,
         });
         rt_request(&Request::Invoke {
             deploy_id: 3,
@@ -677,9 +1101,14 @@ mod tests {
             ],
             input: b"payload".to_vec(),
             tenant: "tenant-a".into(),
+            trace_id: u64::MAX,
         });
         rt_request(&Request::FetchLog { session_id: 77 });
         rt_request(&Request::Shutdown);
+        rt_request(&Request::Stats { prometheus: false });
+        rt_request(&Request::Stats { prometheus: true });
+        rt_request(&Request::Health);
+        rt_request(&Request::Recent { limit: 128 });
     }
 
     #[test]
@@ -694,6 +1123,7 @@ mod tests {
             ],
             input: Vec::new(),
             tenant: String::new(),
+            trace_id: 0,
         };
         let bytes = encode_request(&req);
         let Some(Request::Invoke { args, .. }) = read_request(&mut bytes.as_slice()).unwrap()
@@ -728,6 +1158,48 @@ mod tests {
         rt_response(&Response::Error {
             message: "nø".into(),
         });
+        rt_response(&Response::StatsOk {
+            snapshot: snapshot(),
+        });
+        rt_response(&Response::StatsTextOk {
+            text: "# TYPE x counter\nx 1\n".into(),
+        });
+        rt_response(&Response::HealthOk {
+            report: HealthReport {
+                healthy: true,
+                draining: false,
+                uptime_ns: 42,
+                wire_version: WIRE_VERSION,
+                workers: 4,
+                queue_capacity: 16,
+                deployments: 2,
+                sessions_served: 99,
+            },
+        });
+        rt_response(&Response::RecentOk {
+            records: vec![record(), record()],
+        });
+        rt_response(&Response::RecentOk { records: vec![] });
+    }
+
+    #[test]
+    fn timed_request_read_reports_parse_duration() {
+        let req = Request::Invoke {
+            deploy_id: 1,
+            func: "f".into(),
+            args: vec![Value::I32(1)],
+            input: vec![0; 4096],
+            tenant: "t".into(),
+            trace_id: 7,
+        };
+        let bytes = encode_request(&req);
+        let (got, _started, parse_ns) = read_request_timed(&mut bytes.as_slice())
+            .expect("decodes")
+            .expect("not eof");
+        assert_eq!(got, req);
+        // The clock starts at the first frame byte; decoding an
+        // in-memory frame is fast but never free.
+        assert!(parse_ns < 1_000_000_000, "{parse_ns}");
     }
 
     #[test]
@@ -745,14 +1217,15 @@ mod tests {
 
     #[test]
     fn every_truncation_errors_never_panics() {
-        let frames = [
-            encode_request(&Request::Invoke {
-                deploy_id: 1,
-                func: "f".into(),
-                args: vec![Value::I64(7)],
-                input: vec![1, 2, 3],
-                tenant: "t".into(),
-            }),
+        let request_frames = [encode_request(&Request::Invoke {
+            deploy_id: 1,
+            func: "f".into(),
+            args: vec![Value::I64(7)],
+            input: vec![1, 2, 3],
+            tenant: "t".into(),
+            trace_id: 5,
+        })];
+        let response_frames = [
             encode_response(&Response::InvokeOk {
                 session_id: 1,
                 results: vec![Value::F64(1.5)],
@@ -760,21 +1233,27 @@ mod tests {
                 log: signed_log(),
                 invoice_total: 10,
             }),
+            encode_response(&Response::StatsOk {
+                snapshot: snapshot(),
+            }),
+            encode_response(&Response::RecentOk {
+                records: vec![record()],
+            }),
         ];
-        for (i, frame) in frames.iter().enumerate() {
+        for frame in &request_frames {
             for cut in 1..frame.len() {
-                let slice = &frame[..cut];
-                if i == 0 {
-                    assert!(
-                        read_request(&mut &*slice).is_err(),
-                        "request cut at {cut} must error"
-                    );
-                } else {
-                    assert!(
-                        read_response(&mut &*slice).is_err(),
-                        "response cut at {cut} must error"
-                    );
-                }
+                assert!(
+                    read_request(&mut &frame[..cut]).is_err(),
+                    "request cut at {cut} must error"
+                );
+            }
+        }
+        for frame in &response_frames {
+            for cut in 1..frame.len() {
+                assert!(
+                    read_response(&mut &frame[..cut]).is_err(),
+                    "response cut at {cut} must error"
+                );
             }
         }
     }
@@ -831,9 +1310,14 @@ mod tests {
         let mut f = encode_request(&Request::Deploy {
             level: Level::Naive,
             module: vec![],
+            trace_id: 0,
         });
         f[11] = 9; // level byte
         assert_eq!(read_request(&mut f.as_slice()), Err(WireError::BadTag(9)));
+        // A stats format byte outside {0, 1} is a bad tag too.
+        let mut f = encode_request(&Request::Stats { prometheus: false });
+        f[11] = 2;
+        assert_eq!(read_request(&mut f.as_slice()), Err(WireError::BadTag(2)));
         // Bad UTF-8 in a string field.
         let mut f = encode_request(&Request::FetchLog { session_id: 0 });
         // Rebuild as an invoke with a 1-byte invalid-UTF-8 func name.
@@ -866,5 +1350,29 @@ mod tests {
         f.extend_from_slice(&(p.len() as u32).to_le_bytes());
         f.extend_from_slice(&p);
         assert_eq!(read_request(&mut f.as_slice()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn huge_record_and_tenant_counts_are_truncation_not_oom() {
+        // A RecentOk declaring u32::MAX records in an empty payload.
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        f.push(0x8b); // RESP_RECENT_OK
+        f.extend_from_slice(&4u32.to_le_bytes());
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(read_response(&mut f.as_slice()), Err(WireError::Truncated));
+
+        // A StatsOk whose kind-count is hostile fails the same way:
+        // fixed header (2×u64 + 5×u32 = 36 bytes) then the count.
+        let mut p = vec![0u8; 36];
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        f.push(0x88); // RESP_STATS_OK
+        f.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        f.extend_from_slice(&p);
+        assert_eq!(read_response(&mut f.as_slice()), Err(WireError::Truncated));
     }
 }

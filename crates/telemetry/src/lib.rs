@@ -9,7 +9,11 @@
 //!   `chrome://tracing`.
 //! * **Metrics** — a [`Registry`] of counters, gauges and log₂-bucketed
 //!   histograms with p50/p90/p95/p99 estimation, exportable as
-//!   Prometheus text exposition or JSON.
+//!   Prometheus text exposition or JSON; [`parse_prometheus`] is the
+//!   strict parser the exposition round-trips through.
+//! * **Logging** — structured, leveled `key=value` lines ([`logging`])
+//!   behind a process-global [`LogLevel`] filter, for the events an
+//!   operator reads live (shed decisions, attestation failures).
 //!
 //! A process-wide [`Telemetry`] hub can be [`install`]ed; every layer
 //! of the pipeline (instrumenter passes, enclave operations, the FaaS
@@ -18,12 +22,16 @@
 //! branch: no clock read, no allocation, no event.
 
 mod clock;
+pub mod logging;
 mod metrics;
+mod promtext;
 mod span;
 mod trace_json;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
+pub use logging::{log_enabled, log_level, set_log_level, set_log_writer, LogLevel};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use promtext::{parse_prometheus, Exposition, Family, FamilyKind, PromParseError, Sample};
 pub use span::{ArgValue, CollectingSink, EventKind, NullSink, Sink, Span, TraceEvent};
 pub use trace_json::{parse_chrome_json, to_chrome_json};
 

@@ -1,0 +1,238 @@
+//! Structured, leveled logging — the third leg of the telemetry crate
+//! next to spans and metrics.
+//!
+//! A log line is one event the operator reads *live* (a trace span is
+//! replayed after the fact, a metric is aggregated): connection
+//! lifecycle, shed decisions, attestation failures. Lines are rendered
+//! as `ts=<unix secs> level=<level> target=<module> msg=<text>
+//! key=value ...` — stable `key=value` pairs, greppable and parseable,
+//! never multi-line.
+//!
+//! Filtering is a single global [`LogLevel`] read from one atomic, so
+//! a suppressed log call costs a load and a compare. The default level
+//! is [`LogLevel::Off`]: libraries log freely and binaries opt in
+//! (`acctee serve --log-level info`).
+//!
+//! Output goes to stderr; tests can swap in a capturing writer with
+//! [`set_log_writer`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Log severity, ordered: `Off < Error < Warn < Info < Debug < Trace`.
+/// A message is emitted when its level is at or below the configured
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Logging disabled (the default).
+    Off = 0,
+    /// Unrecoverable or security-relevant failures.
+    Error = 1,
+    /// Degraded operation: shed decisions, verification refusals.
+    Warn = 2,
+    /// Lifecycle events: startup, connections, shutdown.
+    Info = 3,
+    /// Per-request detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl std::fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogLevel, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(LogLevel::Off),
+            "error" => Ok(LogLevel::Error),
+            "warn" | "warning" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            "trace" => Ok(LogLevel::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (off|error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+fn level_from_u8(v: u8) -> LogLevel {
+    match v {
+        1 => LogLevel::Error,
+        2 => LogLevel::Warn,
+        3 => LogLevel::Info,
+        4 => LogLevel::Debug,
+        5 => LogLevel::Trace,
+        _ => LogLevel::Off,
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Off as u8);
+
+/// Where rendered lines go. `None` (default) means stderr.
+type Writer = Arc<dyn Fn(&str) + Send + Sync>;
+
+fn writer_slot() -> &'static RwLock<Option<Writer>> {
+    static SLOT: std::sync::OnceLock<RwLock<Option<Writer>>> = std::sync::OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Sets the global log level.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log level.
+pub fn log_level() -> LogLevel {
+    level_from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn log_enabled(level: LogLevel) -> bool {
+    level != LogLevel::Off && level <= log_level()
+}
+
+/// Replaces the line writer (`None` restores stderr). For tests and
+/// embedders that redirect logs.
+pub fn set_log_writer(writer: Option<Writer>) {
+    *writer_slot().write().expect("log writer lock") = writer;
+}
+
+fn quote_if_needed(v: &str) -> String {
+    if !v.is_empty()
+        && v.chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._-:/+%#@".contains(c))
+    {
+        v.to_string()
+    } else {
+        format!("{:?}", v)
+    }
+}
+
+/// Emits one structured log line at `level` (no-op when filtered).
+/// `fields` render as trailing `key=value` pairs; values needing it
+/// are quoted with escape sequences, so a line is always one line.
+pub fn log(level: LogLevel, target: &str, msg: &str, fields: &[(&str, String)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    let mut line = format!(
+        "ts={}.{:03} level={level} target={target} msg={}",
+        now.as_secs(),
+        now.subsec_millis(),
+        quote_if_needed(msg),
+    );
+    for (k, v) in fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&quote_if_needed(v));
+    }
+    let guard = writer_slot().read().expect("log writer lock");
+    match guard.as_ref() {
+        Some(w) => w(&line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// [`log`] at [`LogLevel::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(LogLevel::Error, target, msg, fields);
+}
+
+/// [`log`] at [`LogLevel::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(LogLevel::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`LogLevel::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(LogLevel::Info, target, msg, fields);
+}
+
+/// [`log`] at [`LogLevel::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, String)]) {
+    log(LogLevel::Debug, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // One test body: the level and writer are process-global state.
+    #[test]
+    fn levels_filter_and_lines_are_structured() {
+        let captured = Arc::new(Mutex::new(Vec::<String>::new()));
+        {
+            let captured = captured.clone();
+            set_log_writer(Some(Arc::new(move |line: &str| {
+                captured.lock().unwrap().push(line.to_string());
+            })));
+        }
+
+        // Default level is Off: nothing is emitted.
+        set_log_level(LogLevel::Off);
+        assert!(!log_enabled(LogLevel::Error));
+        error("net.test", "dropped", &[]);
+        assert!(captured.lock().unwrap().is_empty());
+
+        // Warn passes warn and error, filters info.
+        set_log_level(LogLevel::Warn);
+        assert!(log_enabled(LogLevel::Error));
+        assert!(log_enabled(LogLevel::Warn));
+        assert!(!log_enabled(LogLevel::Info));
+        warn(
+            "net.server",
+            "request shed",
+            &[
+                ("tenant", "alice a".to_string()),
+                ("queue", "16".to_string()),
+            ],
+        );
+        info("net.server", "filtered", &[]);
+        let lines = captured.lock().unwrap().clone();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.contains("level=warn"), "{line}");
+        assert!(line.contains("target=net.server"), "{line}");
+        assert!(line.contains("msg=\"request shed\""), "{line}");
+        assert!(line.contains("tenant=\"alice a\""), "{line}");
+        assert!(line.contains("queue=16"), "{line}");
+        assert!(line.starts_with("ts="), "{line}");
+        assert!(!line.contains('\n'), "one event, one line: {line}");
+
+        // Round-trip the level through FromStr/Display.
+        for l in [
+            LogLevel::Off,
+            LogLevel::Error,
+            LogLevel::Warn,
+            LogLevel::Info,
+            LogLevel::Debug,
+            LogLevel::Trace,
+        ] {
+            assert_eq!(l.to_string().parse::<LogLevel>(), Ok(l));
+        }
+        assert!("verbose".parse::<LogLevel>().is_err());
+
+        set_log_writer(None);
+        set_log_level(LogLevel::Off);
+    }
+}

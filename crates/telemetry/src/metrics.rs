@@ -109,6 +109,11 @@ impl Histogram {
         scaled(self.0.sum.load(Ordering::Relaxed) as f64, self.0.scale)
     }
 
+    /// Sum of observations in raw units (as observed, unscaled).
+    pub fn sum_raw(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
     /// Estimated `q`-quantile (`0.0..=1.0`) in raw units: the inclusive
     /// upper bound of the bucket containing the target rank, or 0 for
     /// an empty histogram. Log₂ buckets bound the estimate within 2× of
@@ -198,7 +203,9 @@ impl MetricKey {
             let _ = write!(
                 out,
                 "{k}=\"{}\"",
-                v.replace('\\', "\\\\").replace('"', "\\\"")
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
             );
         }
         out.push('}');
@@ -326,14 +333,15 @@ impl Registry {
 
     /// Renders the Prometheus text exposition format. Histograms are
     /// exported with `_bucket`/`_sum`/`_count` series plus estimated
-    /// `_p50`/`_p90`/`_p95`/`_p99` gauge series.
+    /// `_p50`/`_p90`/`_p95`/`_p99` series, each declared as its own
+    /// gauge family so the output stays strictly parseable
+    /// ([`crate::parse_prometheus`] round-trips it).
     pub fn export_prometheus(&self) -> String {
         let mut out = String::new();
-        let mut last_name = String::new();
+        let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
         for (key, metric) in self.sorted() {
-            if key.name != last_name {
+            if declared.insert(key.name.clone()) {
                 let _ = writeln!(out, "# TYPE {} {}", key.name, metric.type_name());
-                last_name.clone_from(&key.name);
             }
             match metric {
                 Metric::Counter(c) => {
@@ -365,12 +373,11 @@ impl Registry {
                     let _ = writeln!(out, "{}_count{labels} {}", key.name, h.count());
                     for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99)]
                     {
-                        let _ = writeln!(
-                            out,
-                            "{}_{suffix}{labels} {}",
-                            key.name,
-                            fmt_f64(h.quantile(q))
-                        );
+                        let family = format!("{}_{suffix}", key.name);
+                        if declared.insert(family.clone()) {
+                            let _ = writeln!(out, "# TYPE {family} gauge");
+                        }
+                        let _ = writeln!(out, "{family}{labels} {}", fmt_f64(h.quantile(q)));
                     }
                 }
             }
@@ -524,6 +531,57 @@ mod tests {
         // Quantiles are monotone in q.
         assert!(h.quantile_raw(0.5) <= h.quantile_raw(0.9));
         assert!(h.quantile_raw(0.9) <= h.quantile_raw(0.99));
+    }
+
+    #[test]
+    fn quantile_edge_cases_empty_single_overflow_and_monotone() {
+        let r = Registry::new();
+
+        // Empty: every quantile (including the clamped extremes) is 0.
+        let h = r.histogram("empty");
+        for q in [-1.0, 0.0, 0.5, 0.9, 0.95, 0.99, 1.0, 2.0] {
+            assert_eq!(h.quantile_raw(q), 0, "empty histogram, q={q}");
+        }
+
+        // Single sample: every quantile is that sample's bucket bound,
+        // including out-of-range q (clamped) and a zero observation.
+        let h = r.histogram("single_zero");
+        h.observe(0);
+        for q in [-0.5, 0.0, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(h.quantile_raw(q), 1, "zero sample, q={q}");
+        }
+        let h = r.histogram("single_big");
+        h.observe(1u64 << 40);
+        assert_eq!(h.quantile_raw(0.5), (2u64 << 40) - 1);
+
+        // Values landing in the overflow bucket (>= 2^63) report the
+        // overflow bound; small values below keep low quantiles sane.
+        let h = r.histogram("overflow_mix");
+        for _ in 0..98 {
+            h.observe(10);
+        }
+        h.observe(1u64 << 63);
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile_raw(0.5), 15, "p50 stays in the small bucket");
+        assert_eq!(h.quantile_raw(0.99), u64::MAX, "p99 reaches overflow");
+        assert_eq!(h.quantile_raw(1.0), u64::MAX);
+
+        // Monotonicity: p50 <= p90 <= p95 <= p99 on a skewed mix that
+        // spans many buckets plus the overflow bucket.
+        let h = r.histogram("skewed");
+        for i in 0..1000u64 {
+            h.observe(i * i);
+        }
+        h.observe(u64::MAX);
+        let (p50, p90, p95, p99) = (
+            h.quantile_raw(0.50),
+            h.quantile_raw(0.90),
+            h.quantile_raw(0.95),
+            h.quantile_raw(0.99),
+        );
+        assert!(p50 <= p90, "{p50} > {p90}");
+        assert!(p90 <= p95, "{p90} > {p95}");
+        assert!(p95 <= p99, "{p95} > {p99}");
     }
 
     #[test]

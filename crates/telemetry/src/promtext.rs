@@ -1,0 +1,615 @@
+//! A strict parser for the Prometheus text exposition format.
+//!
+//! This is the other half of [`crate::Registry::export_prometheus`]:
+//! anything the registry emits must parse back through here, and the
+//! verifying side of the wire (the `acctee stats` CLI, `verify.sh`)
+//! runs scraped text through this parser before trusting a single
+//! number. "Strict" means structural *and* conventional:
+//!
+//! * metric and label names must match the Prometheus grammar;
+//! * every sample must belong to a family declared by a `# TYPE` line
+//!   that precedes it, declared at most once;
+//! * counter sample names must end in `_total` and carry finite,
+//!   non-negative values;
+//! * histogram families expose only `_bucket`/`_sum`/`_count` series,
+//!   buckets carry a parseable `le` label, cumulative counts are
+//!   monotone in `le`, and the `+Inf` bucket equals `_count`;
+//! * duplicate samples (same name and label set) are rejected.
+//!
+//! The parser allocates proportionally to the input and never panics
+//! on malformed text.
+
+use std::collections::{HashMap, HashSet};
+
+/// Declared family type from a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotone counter (`_total`).
+    Counter,
+    /// Arbitrary instantaneous value.
+    Gauge,
+    /// `_bucket`/`_sum`/`_count` series.
+    Histogram,
+    /// Declared `untyped`.
+    Untyped,
+}
+
+/// Label pairs in the order written.
+pub type Labels = Vec<(String, String)>;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (e.g. `acctee_net_requests_total`,
+    /// `acctee_net_request_latency_seconds_bucket`).
+    pub name: String,
+    /// Label pairs in the order written, `le` included.
+    pub labels: Labels,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A declared metric family with its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family (base) name from the `# TYPE` line.
+    pub name: String,
+    /// Declared type.
+    pub kind: FamilyKind,
+    /// Samples belonging to this family, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+/// A fully parsed exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Families in declaration order.
+    pub families: Vec<Family>,
+}
+
+impl Exposition {
+    /// The family declared as `name`, if any.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// The value of the sample with exactly `name` and `labels`
+    /// (order-insensitive), searching every family.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort_unstable();
+        for fam in &self.families {
+            for s in &fam.samples {
+                if s.name != name {
+                    continue;
+                }
+                let mut got: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                got.sort_unstable();
+                if got == want {
+                    return Some(s.value);
+                }
+            }
+        }
+        None
+    }
+
+    /// Sum of every sample named `name`, across label sets (useful for
+    /// labelled counters like `requests_total{kind=...}`).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.families
+            .iter()
+            .flat_map(|f| &f.samples)
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+/// Why an exposition failed to parse. Carries the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, PromParseError> {
+    Err(PromParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str, line: usize) -> Result<f64, PromParseError> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| PromParseError {
+                line,
+                message: format!("unparseable sample value {other:?}"),
+            })
+            .and_then(|v| {
+                // Bare parse also accepts "inf"/"nan" spellings the
+                // exposition format does not define; reject those.
+                if other
+                    .chars()
+                    .any(|c| c.is_ascii_alphabetic() && c != 'e' && c != 'E')
+                {
+                    err(line, format!("non-canonical value spelling {other:?}"))
+                } else {
+                    Ok(v)
+                }
+            }),
+    }
+}
+
+/// Parses the label block of a sample line (after the name), returning
+/// the labels and the rest of the line (the value).
+fn parse_labels(rest: &str, line: usize) -> Result<(Labels, &str), PromParseError> {
+    let Some(body) = rest.strip_prefix('{') else {
+        return Ok((Vec::new(), rest));
+    };
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // Label name up to '='.
+        let start = match chars.peek() {
+            Some(&(i, '}')) => {
+                // '{}' or trailing comma form; consume and finish.
+                let after = &body[i + 1..];
+                return Ok((labels, after));
+            }
+            Some(&(i, _)) => i,
+            None => return err(line, "unterminated label block"),
+        };
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let Some(eq) = eq else {
+            return err(line, "label without '='");
+        };
+        let name = &body[start..eq];
+        if !valid_label_name(name) {
+            return err(line, format!("bad label name {name:?}"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return err(line, "label value must be quoted"),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return err(line, "bad escape in label value"),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return err(line, "unterminated label value");
+        }
+        labels.push((name.to_string(), value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => {
+                let after = &body[i + 1..];
+                return Ok((labels, after));
+            }
+            _ => return err(line, "expected ',' or '}' after label value"),
+        }
+    }
+}
+
+/// Parses a complete text exposition strictly.
+///
+/// # Errors
+///
+/// A [`PromParseError`] naming the offending line on any structural or
+/// conventional violation (see the module docs for the rules).
+pub fn parse_prometheus(text: &str) -> Result<Exposition, PromParseError> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    let mut seen_samples: HashSet<String> = HashSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(type_line) = comment.strip_prefix("TYPE ") {
+                let mut parts = type_line.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return err(line, "malformed TYPE line");
+                };
+                if !valid_metric_name(name) {
+                    return err(line, format!("bad metric name {name:?}"));
+                }
+                let kind = match kind {
+                    "counter" => FamilyKind::Counter,
+                    "gauge" => FamilyKind::Gauge,
+                    "histogram" => FamilyKind::Histogram,
+                    "untyped" => FamilyKind::Untyped,
+                    other => return err(line, format!("unknown metric type {other:?}")),
+                };
+                if kind == FamilyKind::Counter && !name.ends_with("_total") {
+                    return err(line, format!("counter {name:?} must end in _total"));
+                }
+                if by_name.contains_key(name) {
+                    return err(line, format!("duplicate TYPE for {name:?}"));
+                }
+                by_name.insert(name.to_string(), families.len());
+                families.push(Family {
+                    name: name.to_string(),
+                    kind,
+                    samples: Vec::new(),
+                });
+            }
+            // HELP lines and free comments are legal and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = trimmed
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .unwrap_or(trimmed.len());
+        let name = &trimmed[..name_end];
+        if !valid_metric_name(name) {
+            return err(line, format!("bad sample name {name:?}"));
+        }
+        let (labels, rest) = parse_labels(&trimmed[name_end..], line)?;
+        let rest = rest.trim();
+        if rest.is_empty() {
+            return err(line, "sample has no value");
+        }
+        let mut value_parts = rest.split_whitespace();
+        let value = parse_value(value_parts.next().unwrap_or(""), line)?;
+        if value_parts.next().is_some() {
+            return err(line, "timestamps are not accepted");
+        }
+
+        // Attach to the owning family. Histograms own their suffixed
+        // series; everything else must match the family name exactly.
+        let (family_idx, suffix) = if let Some(&i) = by_name.get(name) {
+            (i, "")
+        } else {
+            let mut found = None;
+            for suffix in ["_bucket", "_sum", "_count"] {
+                if let Some(base) = name.strip_suffix(suffix) {
+                    if let Some(&i) = by_name.get(base) {
+                        if families[i].kind == FamilyKind::Histogram {
+                            found = Some((i, suffix));
+                            break;
+                        }
+                    }
+                }
+            }
+            match found {
+                Some(f) => f,
+                None => return err(line, format!("sample {name:?} has no preceding TYPE")),
+            }
+        };
+        let family = &mut families[family_idx];
+        match family.kind {
+            FamilyKind::Counter => {
+                if !(value.is_finite() && value >= 0.0) {
+                    return err(line, format!("counter {name:?} has non-monotone value"));
+                }
+            }
+            FamilyKind::Histogram => {
+                if suffix.is_empty() {
+                    return err(
+                        line,
+                        format!("histogram family {name:?} exposes only _bucket/_sum/_count"),
+                    );
+                }
+                let has_le = labels.iter().any(|(k, _)| k == "le");
+                if suffix == "_bucket" {
+                    if !has_le {
+                        return err(line, "histogram bucket without an le label");
+                    }
+                    let le = &labels.iter().find(|(k, _)| k == "le").expect("has_le").1;
+                    if le != "+Inf" && le.parse::<f64>().is_err() {
+                        return err(line, format!("unparseable le value {le:?}"));
+                    }
+                } else if has_le {
+                    return err(line, format!("{name:?} must not carry an le label"));
+                }
+            }
+            FamilyKind::Gauge | FamilyKind::Untyped => {}
+        }
+
+        // Duplicate detection over the canonical (sorted) label set.
+        let mut canonical: Vec<(String, String)> = labels.clone();
+        canonical.sort();
+        let fingerprint = format!("{name}|{canonical:?}");
+        if !seen_samples.insert(fingerprint) {
+            return err(line, format!("duplicate sample {name:?}"));
+        }
+
+        family.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    // Per-family histogram invariants: cumulative buckets monotone in
+    // le, +Inf bucket present and equal to _count — per label set.
+    for family in &families {
+        if family.kind != FamilyKind::Histogram {
+            continue;
+        }
+        check_histogram(family)?;
+    }
+
+    Ok(Exposition { families })
+}
+
+fn check_histogram(family: &Family) -> Result<(), PromParseError> {
+    // Group buckets and counts by their non-le label set.
+    let key = |labels: &[(String, String)]| {
+        let mut k: Vec<(String, String)> = labels
+            .iter()
+            .filter(|(name, _)| name != "le")
+            .cloned()
+            .collect();
+        k.sort();
+        format!("{k:?}")
+    };
+    let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for s in &family.samples {
+        if s.name.ends_with("_bucket") {
+            let le = &s.labels.iter().find(|(k, _)| k == "le").expect("checked").1;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().expect("checked")
+            };
+            buckets
+                .entry(key(&s.labels))
+                .or_default()
+                .push((le, s.value));
+        } else if s.name.ends_with("_count") {
+            counts.insert(key(&s.labels), s.value);
+        }
+    }
+    for (set, mut series) in buckets {
+        series.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = -1.0f64;
+        for &(_, cumulative) in &series {
+            if cumulative < prev {
+                return err(
+                    0,
+                    format!("histogram {:?} buckets are not cumulative", family.name),
+                );
+            }
+            prev = cumulative;
+        }
+        let Some(&(last_le, last_cum)) = series.last() else {
+            continue;
+        };
+        if last_le != f64::INFINITY {
+            return err(
+                0,
+                format!("histogram {:?} is missing +Inf bucket", family.name),
+            );
+        }
+        if let Some(&count) = counts.get(&set) {
+            if count != last_cum {
+                return err(
+                    0,
+                    format!(
+                        "histogram {:?} +Inf bucket disagrees with _count",
+                        family.name
+                    ),
+                );
+            }
+        } else {
+            return err(0, format!("histogram {:?} is missing _count", family.name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_conforming_exposition() {
+        let text = "\
+# TYPE acctee_net_requests_total counter
+acctee_net_requests_total{kind=\"invoke\"} 12
+acctee_net_requests_total{kind=\"deploy\"} 3
+# TYPE acctee_net_queue_depth gauge
+acctee_net_queue_depth 2
+# TYPE acctee_net_request_latency_seconds histogram
+acctee_net_request_latency_seconds_bucket{le=\"0.001\"} 10
+acctee_net_request_latency_seconds_bucket{le=\"+Inf\"} 15
+acctee_net_request_latency_seconds_sum 0.5
+acctee_net_request_latency_seconds_count 15
+";
+        let exp = parse_prometheus(text).expect("parses");
+        assert_eq!(exp.families.len(), 3);
+        assert_eq!(
+            exp.value("acctee_net_requests_total", &[("kind", "invoke")]),
+            Some(12.0)
+        );
+        assert_eq!(exp.sum("acctee_net_requests_total"), 15.0);
+        assert_eq!(
+            exp.family("acctee_net_request_latency_seconds")
+                .unwrap()
+                .kind,
+            FamilyKind::Histogram
+        );
+        assert_eq!(
+            exp.value(
+                "acctee_net_request_latency_seconds_bucket",
+                &[("le", "+Inf")]
+            ),
+            Some(15.0)
+        );
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        let e = parse_prometheus("orphan 1\n").unwrap_err();
+        assert!(e.message.contains("no preceding TYPE"), "{e}");
+    }
+
+    #[test]
+    fn rejects_counter_without_total_suffix() {
+        let text = "# TYPE hits counter\nhits 1\n";
+        let e = parse_prometheus(text).unwrap_err();
+        assert!(e.message.contains("_total"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_type_and_duplicate_sample() {
+        let dup_type = "# TYPE a_total counter\n# TYPE a_total counter\n";
+        assert!(parse_prometheus(dup_type)
+            .unwrap_err()
+            .message
+            .contains("duplicate TYPE"));
+        let dup_sample = "# TYPE a_total counter\na_total{x=\"1\"} 1\na_total{x=\"1\"} 2\n";
+        assert!(parse_prometheus(dup_sample)
+            .unwrap_err()
+            .message
+            .contains("duplicate sample"));
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets_and_missing_inf() {
+        let shrinking = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 7
+h_count 5
+";
+        assert!(parse_prometheus(shrinking)
+            .unwrap_err()
+            .message
+            .contains("cumulative"));
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 7\nh_count 5\n";
+        assert!(parse_prometheus(no_inf)
+            .unwrap_err()
+            .message
+            .contains("+Inf"));
+        let disagree = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 4
+h_sum 7
+h_count 5
+";
+        assert!(parse_prometheus(disagree)
+            .unwrap_err()
+            .message
+            .contains("disagrees"));
+    }
+
+    #[test]
+    fn rejects_bad_names_labels_and_values() {
+        assert!(parse_prometheus("# TYPE 9bad counter\n").is_err());
+        let bad_label = "# TYPE a_total counter\na_total{9x=\"1\"} 1\n";
+        assert!(parse_prometheus(bad_label).is_err());
+        let unquoted = "# TYPE a_total counter\na_total{x=1} 1\n";
+        assert!(parse_prometheus(unquoted).is_err());
+        let bad_value = "# TYPE a_total counter\na_total nope\n";
+        assert!(parse_prometheus(bad_value).is_err());
+        let negative_counter = "# TYPE a_total counter\na_total -1\n";
+        assert!(parse_prometheus(negative_counter).is_err());
+        let timestamp = "# TYPE a_total counter\na_total 1 1234567\n";
+        assert!(parse_prometheus(timestamp).is_err());
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let text = "# TYPE g gauge\ng{msg=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let exp = parse_prometheus(text).expect("parses");
+        assert_eq!(exp.value("g", &[("msg", "a\"b\\c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn registry_exposition_round_trips_through_the_strict_parser() {
+        // The satellite property: everything the registry exports is
+        // strictly parseable, and the parsed values match.
+        let r = crate::Registry::new();
+        r.counter("acctee_demo_requests_total").add(7);
+        r.counter_with("acctee_demo_shed_total", &[("reason", "queue")])
+            .add(2);
+        r.gauge("acctee_demo_queue_depth").set(3.0);
+        let h = r.histogram_with("acctee_demo_latency_seconds", &[("kind", "invoke")], 1e-9);
+        h.observe(1_500_000);
+        h.observe(250_000);
+        let text = r.export_prometheus();
+        let exp = parse_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n--\n{text}"));
+        assert_eq!(exp.value("acctee_demo_requests_total", &[]), Some(7.0));
+        assert_eq!(
+            exp.value("acctee_demo_shed_total", &[("reason", "queue")]),
+            Some(2.0)
+        );
+        assert_eq!(exp.value("acctee_demo_queue_depth", &[]), Some(3.0));
+        assert_eq!(
+            exp.value("acctee_demo_latency_seconds_count", &[("kind", "invoke")]),
+            Some(2.0)
+        );
+        // Quantile gauges are their own declared families.
+        assert_eq!(
+            exp.family("acctee_demo_latency_seconds_p50").unwrap().kind,
+            FamilyKind::Gauge
+        );
+    }
+}

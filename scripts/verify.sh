@@ -46,6 +46,48 @@ done
 wait "$SERVE_PID"   # graceful drain: the server must exit 0 on its own
 rm -f "$SERVE_LOG"
 
+echo "==> stats-plane smoke (undersized server, shed load, strict Prometheus scrape)"
+SERVE_LOG="$(mktemp)"
+"$ACCTEE_BIN" serve --listen 127.0.0.1:0 --workers 1 --queue 1 --tenant-inflight 1 \
+    >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    if [ -n "$ADDR" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "stats server never reported its address"; kill "$SERVE_PID"; exit 1; }
+# One verified invoke, then bursts of concurrent invokes until the
+# 1-worker/1-queue server has shed at least one connection (bounded
+# retries: each burst of 6 against capacity 2 sheds with overwhelming
+# probability, so this loop normally exits on the first pass).
+"$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 10 >/dev/null
+PROM="$(mktemp)"
+SHED=0
+for _ in $(seq 1 20); do
+    BURST_PIDS=""
+    for _ in $(seq 1 6); do
+        "$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 16 \
+            >/dev/null 2>&1 &
+        BURST_PIDS="$BURST_PIDS $!"
+    done
+    for pid in $BURST_PIDS; do wait "$pid" || true; done
+    # `stats --prom` strict-parses the exposition text before relaying
+    # it, so a successful scrape is also a parser round-trip check.
+    "$ACCTEE_BIN" stats --prom --connect "$ADDR" >"$PROM"
+    SHED="$(sed -n 's/^acctee_net_shed_total{reason="queue"} //p' "$PROM")"
+    if [ "${SHED:-0}" -gt 0 ]; then break; fi
+done
+[ "${SHED:-0}" -gt 0 ] || { echo "overloaded server never shed"; kill "$SERVE_PID"; exit 1; }
+REQS="$(sed -n 's/^acctee_net_requests_total{kind="invoke"} //p' "$PROM")"
+LATS="$(sed -n 's/^acctee_net_request_latency_seconds_count{kind="invoke"} //p' "$PROM")"
+[ "${REQS:-0}" -gt 0 ] || { echo "no invoke requests in scrape"; kill "$SERVE_PID"; exit 1; }
+[ "${LATS:-0}" -gt 0 ] || { echo "empty invoke latency histogram"; kill "$SERVE_PID"; exit 1; }
+"$ACCTEE_BIN" shutdown --connect "$ADDR"
+wait "$SERVE_PID"
+rm -f "$SERVE_LOG" "$PROM"
+
 echo "==> net load-generator smoke incl. load-shed case (BENCH_net.json)"
 cargo run --offline --release -q -p acctee-bench --bin net -- 8 8 --out /tmp/BENCH_net.json
 for key in throughput_rps p50_us p99_us shed_rate; do

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use acctee::{Deployment, Level};
 use acctee_interp::Value;
-use acctee_net::{Client, NetError, Server, ServerConfig, TrustAnchor};
+use acctee_net::{Client, NetError, RequestOutcome, Server, ServerConfig, TrustAnchor};
 use acctee_sgx::crypto::sha256;
 use acctee_volunteer::{Escrow, PaymentError};
 use acctee_wasm::builder::ModuleBuilder;
@@ -277,6 +277,143 @@ fn garbage_frames_get_an_error_response_and_server_survives() {
         .invoke(&deployed, "run", &[Value::I32(8)], b"", "t")
         .expect("invoke after garbage");
     assert_eq!(out.log.log.module_hash, sha256(&deployed.module));
+
+    shutdown(addr, handle);
+}
+
+/// Retry until `f` yields a value: the server records a request's
+/// stats *after* writing its response, so a client that just got an
+/// answer may be a few microseconds ahead of the counters.
+fn poll_until<T>(mut f: impl FnMut() -> Option<T>) -> T {
+    for _ in 0..400 {
+        if let Some(v) = f() {
+            return v;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("stats did not converge within 2s");
+}
+
+#[test]
+fn stats_snapshot_and_flight_recorder_match_observed_load() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        workers: 3,
+        tenant_inflight: 1,
+        request_deadline: Some(Duration::from_millis(1200)),
+        ..ServerConfig::default()
+    });
+    let module = spin_module();
+    // Three concurrent connections live below: the load client, the
+    // observer, and the spinner — each pins a worker while connected.
+
+    // Load phase: four verified invokes under tenant "u", each stamped
+    // with a client-generated trace id.
+    let mut client = connect(addr);
+    let dep = client.deploy(&module, Level::Naive).expect("deploy");
+    let mut trace_ids = Vec::new();
+    for i in 0..4 {
+        let out = client
+            .invoke(&dep, "fast", &[Value::I32(i)], b"", "u")
+            .expect("invoke");
+        assert_eq!(out.results, vec![Value::I32(i + 1)]);
+        assert_ne!(out.trace_id, 0, "client stamps every invoke");
+        trace_ids.push(out.trace_id);
+    }
+
+    // Pre-attest the observer connection now: attestation is the slow
+    // part of connecting, and the mid-load snapshot below must land
+    // while the runaway request is still inside its deadline.
+    let mut obs = connect(addr);
+
+    // A runaway workload occupies tenant "t"'s single slot…
+    let spinner = std::thread::spawn({
+        let module = module.clone();
+        move || {
+            let mut a = Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("connect a");
+            let dep = a.deploy(&module, Level::Naive).expect("deploy a");
+            a.invoke(&dep, "inf", &[], b"", "t")
+        }
+    });
+    // Wait until the stats plane itself reports the spinner in flight
+    // (sleeping a fixed interval instead is racy: the spinner's own
+    // connect + deploy take an unpredictable time before its invoke).
+    poll_until(|| {
+        let snap = obs.stats().expect("stats");
+        snap.tenants
+            .iter()
+            .any(|t| t.tenant == "t" && t.inflight == 1)
+            .then_some(())
+    });
+    // …so the same tenant on another connection is shed with Busy: one
+    // tenant-shed event the stats plane must report.
+    match client.invoke(&dep, "fast", &[Value::I32(1)], b"", "t") {
+        Err(NetError::Busy) => {}
+        other => panic!("expected Busy while tenant slot is held, got {other:?}"),
+    }
+
+    // Mid-load snapshot over the separate connection: the spinner is
+    // still in flight, the shed and the four served invokes are done.
+    let snap = poll_until(|| {
+        let snap = obs.stats().expect("stats");
+        (snap.requests_of("invoke") == 5).then_some(snap)
+    });
+    assert_eq!(snap.workers, 3);
+    assert_eq!(snap.shed_tenant_total, 1, "one Busy observed by the client");
+    assert_eq!(snap.shed_queue_total, 0);
+    assert_eq!(
+        snap.latency.count, 5,
+        "accept-to-respond histogram counts every finished invoke"
+    );
+    assert!(snap.latency.p50_ns > 0);
+    assert!(snap.latency.p99_ns >= snap.latency.p50_ns);
+    let u = snap.tenants.iter().find(|t| t.tenant == "u").expect("u");
+    assert_eq!(u.requests_total, 4, "server agrees with the client's count");
+    assert!(u.weighted_instructions_total > 0, "metered usage accrued");
+    let t = snap.tenants.iter().find(|t| t.tenant == "t").expect("t");
+    assert_eq!(t.shed_total, 1);
+    assert_eq!(t.inflight, 1, "spinner still holds the tenant slot");
+
+    // Flight recorder: every traced invoke's client-generated id shows
+    // up in Recent, and the shed left a Shed record under tenant "t".
+    let records = obs.recent(64).expect("recent");
+    for id in &trace_ids {
+        assert!(
+            records
+                .iter()
+                .any(|r| r.trace_id == *id && r.outcome == RequestOutcome::Ok),
+            "trace id {id:#018x} missing from the flight recorder"
+        );
+    }
+    assert!(
+        records
+            .iter()
+            .any(|r| r.kind == "invoke" && r.tenant == "t" && r.outcome == RequestOutcome::Shed),
+        "tenant shed not recorded"
+    );
+
+    // The spinner dies at the deadline; the stats plane accounts it as
+    // a timeout and the sixth finished invoke.
+    match spinner.join().expect("spinner thread") {
+        Err(NetError::Server(msg)) => {
+            assert!(msg.contains("deadline"), "got {msg:?}")
+        }
+        other => panic!("expected server-side deadline error, got {other:?}"),
+    }
+    let snap2 = poll_until(|| {
+        let s = obs.stats().expect("stats");
+        (s.requests_of("invoke") == 6 && s.timeouts_total == 1).then_some(s)
+    });
+    assert!(snap2.uptime_ns >= snap.uptime_ns);
+    assert!(snap2.errors_total >= 1, "the timeout answered with Error");
+
+    // The health frame agrees the server is alive, not draining, and
+    // speaking the current wire version.
+    let health = obs.health().expect("health");
+    assert!(health.healthy);
+    assert!(!health.draining);
+    assert_eq!(health.wire_version, acctee_net::wire::WIRE_VERSION);
+    assert_eq!(health.workers, 3);
 
     shutdown(addr, handle);
 }

@@ -99,10 +99,10 @@ fn serve_parallel_feeds_latency_and_io_metrics() {
     // batch report computed from.
     assert!(latency.quantile_raw(0.99) >= report.p99_ns());
     // Echo with I/O accounting moves each 32-byte payload in and out.
-    let bytes_in = tel.metrics().counter("acctee_faas_io_bytes_in_total").get();
+    let bytes_in = tel.metrics().counter("acctee_faas_io_in_bytes_total").get();
     let bytes_out = tel
         .metrics()
-        .counter("acctee_faas_io_bytes_out_total")
+        .counter("acctee_faas_io_out_bytes_total")
         .get();
     assert_eq!(bytes_in, 8 * 32);
     assert_eq!(bytes_out, 8 * 32);
