@@ -339,10 +339,12 @@ impl AccountingEnclave {
             .with_arg("engine", self.exec_config.engine.name());
         let meter = IoMeter::with_input(input);
         let imports = meter.register(Imports::new());
-        // Under the bytecode engine, repeated executions of one loaded
-        // workload share a single compiled artifact (§3.3
-        // compile-once/serve-many) instead of recompiling per call.
-        let shared = if self.exec_config.engine == acctee_interp::Engine::Bytecode {
+        // Under the compiled engines (bytecode and the register tier,
+        // which hangs its code off the same artifact), repeated
+        // executions of one loaded workload share a single compiled
+        // artifact (§3.3 compile-once/serve-many) instead of
+        // recompiling per call.
+        let shared = if self.exec_config.engine != acctee_interp::Engine::Tree {
             workload.artifact()
         } else {
             None

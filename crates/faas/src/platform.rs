@@ -3,10 +3,12 @@
 //! modelling the layers we do not execute.
 //!
 //! Per-request *instantiation* does not mean per-request
-//! *compilation*: under the bytecode engine the platform compiles the
-//! deployed module into a shared [`CompiledModule`] artifact exactly
-//! once (AccTEE §3.3's compile-once/serve-many argument) and hands
-//! every request instance the same `Arc`. Disable with
+//! *compilation*: under the compiled engines (flat bytecode and the
+//! register tier, whose code hangs off the same artifact) the
+//! platform compiles the deployed module into a shared
+//! [`CompiledModule`] artifact exactly once (AccTEE §3.3's
+//! compile-once/serve-many argument) and hands every request
+//! instance the same `Arc`. Disable with
 //! [`FaasPlatform::with_artifact_cache`] to measure the recompile
 //! baseline.
 
@@ -213,7 +215,7 @@ impl FaasPlatform {
 
     /// Selects the interpreter engine for wasm requests (the serving
     /// paths default to the tree-walker; production-style setups want
-    /// [`Engine::Bytecode`]). Resets any compiled artifact: the next
+    /// [`Engine::Bytecode`] or [`Engine::Regs`]). Resets any compiled artifact: the next
     /// request (or [`FaasPlatform::warm`]) rebuilds it for the new
     /// engine.
     #[must_use]
@@ -268,7 +270,7 @@ impl FaasPlatform {
     }
 
     fn shared_artifact_inner(&self, fresh: &mut bool) -> Option<Arc<CompiledModule>> {
-        if !self.share_artifact || self.engine != Engine::Bytecode {
+        if !self.share_artifact || self.engine == Engine::Tree {
             return None;
         }
         let module = self.module.as_ref()?;

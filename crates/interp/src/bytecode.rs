@@ -244,6 +244,12 @@ pub struct CompiledModule {
     pub(crate) canon_of_func: Vec<u32>,
     /// Number of imported (host) functions.
     pub(crate) n_imported: u32,
+    /// The register-tier code, built lazily on the first `regs`-engine
+    /// invoke and shared by every instance holding this artifact
+    /// (compile-once/serve-many extends to the register tier for
+    /// free). `Err` records a decline: those modules run on the flat
+    /// engine.
+    pub(crate) regs: std::sync::OnceLock<Result<crate::regs::RegModule, Trap>>,
 }
 
 impl CompiledModule {
@@ -320,11 +326,11 @@ impl<'m> Instance<'m> {
     /// Invokes `idx` on the flat-bytecode engine, compiling the module
     /// on first use. Entry semantics (depth check, call events, host
     /// dispatch) mirror the tree-walker's `call_function` exactly.
-    pub(crate) fn invoke_flat(
+    pub(crate) fn invoke_flat<O: Observer + ?Sized>(
         &mut self,
         idx: u32,
         args: &[Value],
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Vec<Value>, Trap> {
         if idx < self.module.num_imported_funcs() {
             if self.config.max_call_depth == 0 {
@@ -350,10 +356,12 @@ impl<'m> Instance<'m> {
         let batched = observer.accounting() == Accounting::Batched;
         let result = match (batched, self.fuel.is_some()) {
             (true, false) => {
-                self.run_flat::<false, false>(&compiled, idx, args, &mut bufs, observer)
+                self.run_flat::<O, false, false>(&compiled, idx, args, &mut bufs, observer)
             }
-            (true, true) => self.run_flat::<false, true>(&compiled, idx, args, &mut bufs, observer),
-            (false, _) => self.run_flat::<true, true>(&compiled, idx, args, &mut bufs, observer),
+            (true, true) => {
+                self.run_flat::<O, false, true>(&compiled, idx, args, &mut bufs, observer)
+            }
+            (false, _) => self.run_flat::<O, true, true>(&compiled, idx, args, &mut bufs, observer),
         };
         self.flat = bufs;
         result
@@ -363,13 +371,13 @@ impl<'m> Instance<'m> {
     /// event stream; `PER_OP` selects per-instruction bookkeeping
     /// (required whenever fuel is charged or `OBSERVE` is set).
     #[allow(clippy::too_many_lines)]
-    fn run_flat<const OBSERVE: bool, const PER_OP: bool>(
+    fn run_flat<O: Observer + ?Sized, const OBSERVE: bool, const PER_OP: bool>(
         &mut self,
         compiled: &CompiledModule,
         entry: u32,
         args: &[Value],
         bufs: &mut FlatBuffers,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Vec<Value>, Trap> {
         let FlatBuffers {
             ref mut stack,

@@ -22,14 +22,14 @@ use crate::value::Value;
 
 /// Which execution backend runs function bodies.
 ///
-/// Both engines implement identical semantics — results, traps,
+/// All engines implement identical semantics — results, traps,
 /// [`ExecStats`] and observer-visible counts are bit-equal for any
 /// module (enforced by the differential suite); they differ only in
 /// speed and mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The structured tree-walking interpreter: simple, observable,
-    /// and the semantic oracle the bytecode engine is validated
+    /// and the semantic oracle the other engines are validated
     /// against.
     #[default]
     Tree,
@@ -38,17 +38,25 @@ pub enum Engine {
     /// stack and batched accounting. Substantially faster; use for
     /// serving paths.
     Bytecode,
+    /// The register-bytecode engine (`crate::regs`): three-address
+    /// ops over virtual registers with direct-threaded dispatch,
+    /// proven bounds-check elimination and inline caches for
+    /// `call_indirect`. The fastest tier; fueled or
+    /// per-instruction-observed invokes transparently run on the flat
+    /// engine (identical semantics, exact per-op bookkeeping).
+    Regs,
 }
 
 impl Engine {
-    /// Both engines, for comparison sweeps.
-    pub const ALL: [Engine; 2] = [Engine::Tree, Engine::Bytecode];
+    /// All engines, for comparison sweeps.
+    pub const ALL: [Engine; 3] = [Engine::Tree, Engine::Bytecode, Engine::Regs];
 
-    /// The CLI-facing name (`tree` / `bytecode`).
+    /// The CLI-facing name (`tree` / `bytecode` / `regs`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Tree => "tree",
             Engine::Bytecode => "bytecode",
+            Engine::Regs => "regs",
         }
     }
 
@@ -57,6 +65,7 @@ impl Engine {
         match s {
             "tree" => Some(Engine::Tree),
             "bytecode" => Some(Engine::Bytecode),
+            "regs" => Some(Engine::Regs),
             _ => None,
         }
     }
@@ -72,7 +81,7 @@ impl std::str::FromStr for Engine {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Engine, String> {
-        Engine::from_name(s).ok_or_else(|| format!("unknown engine {s:?} (tree|bytecode)"))
+        Engine::from_name(s).ok_or_else(|| format!("unknown engine {s:?} (tree|bytecode|regs)"))
     }
 }
 
@@ -153,6 +162,12 @@ pub struct Instance<'m> {
     pub(crate) compiled: Option<std::sync::Arc<CompiledModule>>,
     /// Reusable bytecode-engine execution buffers.
     pub(crate) flat: FlatBuffers,
+    /// Reusable register-tier execution buffers.
+    pub(crate) reg_bufs: crate::regs::RegBuffers,
+    /// Per-instance inline caches for `call_indirect` sites (register
+    /// tier). Instance-local by design: cached translations are
+    /// per-table, and tables are per-instance.
+    pub(crate) reg_ics: Vec<crate::regs::IcEntry>,
     /// Scratch argument vectors pooled across tree-walker calls.
     scratch: Vec<Vec<Value>>,
 }
@@ -284,6 +299,8 @@ impl<'m> Instance<'m> {
             stats: ExecStats::default(),
             compiled: None,
             flat: FlatBuffers::default(),
+            reg_bufs: crate::regs::RegBuffers::default(),
+            reg_ics: Vec::new(),
             scratch: Vec::new(),
         };
 
@@ -369,9 +386,21 @@ impl<'m> Instance<'m> {
             .time_budget
             .map(|b| std::time::Instant::now() + b);
         self.deadline_ticks = 0;
+        // Hoist the null-observer check out of the dispatch loops:
+        // a `NullObserver` (or equivalent) invoke runs the
+        // monomorphised loop where every observer call compiles away.
+        if observer.is_null() {
+            let mut null = NullObserver;
+            return match self.config.engine {
+                Engine::Tree => self.call_function(idx, args, 0, &mut null),
+                Engine::Bytecode => self.invoke_flat(idx, args, &mut null),
+                Engine::Regs => self.invoke_regs(idx, args, &mut null),
+            };
+        }
         match self.config.engine {
             Engine::Tree => self.call_function(idx, args, 0, observer),
             Engine::Bytecode => self.invoke_flat(idx, args, observer),
+            Engine::Regs => self.invoke_regs(idx, args, observer),
         }
     }
 
@@ -466,12 +495,12 @@ impl<'m> Instance<'m> {
         Ok(values)
     }
 
-    fn call_function(
+    fn call_function<O: Observer + ?Sized>(
         &mut self,
         idx: u32,
         args: &[Value],
         depth: usize,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Vec<Value>, Trap> {
         if depth >= self.config.max_call_depth {
             return Err(Trap::CallStackExhausted);
@@ -506,13 +535,13 @@ impl<'m> Instance<'m> {
     /// vector and calls `idx` with them. The scratch buffer is
     /// returned to the pool even when the call traps, so repeated
     /// calls never re-allocate argument vectors.
-    fn call_with_stack_args(
+    fn call_with_stack_args<O: Observer + ?Sized>(
         &mut self,
         idx: u32,
         n_args: usize,
         stack: &mut Vec<Value>,
         depth: usize,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Vec<Value>, Trap> {
         let at = stack.len() - n_args;
         let mut args = self.scratch.pop().unwrap_or_default();
@@ -525,7 +554,7 @@ impl<'m> Instance<'m> {
     }
 
     #[allow(clippy::too_many_arguments)] // interpreter hot path; grouping would cost clarity
-    fn run_block(
+    fn run_block<O: Observer + ?Sized>(
         &mut self,
         body: &[Instr],
         result_arity: usize,
@@ -533,7 +562,7 @@ impl<'m> Instance<'m> {
         locals: &mut Vec<Value>,
         stack: &mut Vec<Value>,
         depth: usize,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Flow, Trap> {
         let entry = stack.len();
         loop {
@@ -557,13 +586,13 @@ impl<'m> Instance<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_seq(
+    fn exec_seq<O: Observer + ?Sized>(
         &mut self,
         body: &[Instr],
         locals: &mut Vec<Value>,
         stack: &mut Vec<Value>,
         depth: usize,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Flow, Trap> {
         for instr in body {
             self.charge_fuel()?;
@@ -704,12 +733,12 @@ impl<'m> Instance<'m> {
         Ok(Flow::Next)
     }
 
-    fn exec_load(
+    fn exec_load<O: Observer + ?Sized>(
         &mut self,
         op: LoadOp,
         m: MemArg,
         stack: &mut Vec<Value>,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<Value, Trap> {
         let base = stack.pop().expect("validated").as_i32() as u32;
         let addr = u64::from(base) + u64::from(m.offset);
@@ -719,12 +748,12 @@ impl<'m> Instance<'m> {
         load_value(mem, op, addr)
     }
 
-    fn exec_store(
+    fn exec_store<O: Observer + ?Sized>(
         &mut self,
         op: StoreOp,
         m: MemArg,
         stack: &mut Vec<Value>,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) -> Result<(), Trap> {
         let v = stack.pop().expect("validated");
         let base = stack.pop().expect("validated").as_i32() as u32;
@@ -771,6 +800,41 @@ pub(crate) fn store_value(mem: &mut Memory, op: StoreOp, addr: u64, v: Value) ->
         StoreOp::I64Store8 => mem.write(addr, [(v.as_i64() & 0xff) as u8]),
         StoreOp::I64Store16 => mem.write(addr, (v.as_i64() as u16).to_le_bytes()),
         StoreOp::I64Store32 => mem.write(addr, (v.as_i64() as u32).to_le_bytes()),
+    }
+}
+
+/// Canonicalises a NaN result to the single quiet-NaN bit pattern.
+///
+/// The wasm spec leaves arithmetic NaN payloads nondeterministic, but
+/// AccTEE's differential contract demands that all three engines —
+/// tree, flat bytecode, register tier — produce bit-identical results.
+/// Relying on "same Rust expression, same payload" is fragile: LLVM
+/// may legally commute `a + b` at one inlining site and not another,
+/// and hardware quieting then picks the *other* operand's payload.
+/// Pinning every arithmetic NaN to the canonical pattern makes the
+/// contract hold by construction (and is what production engines do).
+/// The NaN test and select run on the integer bit pattern, not the
+/// float value: LLVM treats any two NaNs as interchangeable and is
+/// entitled to fold `select(isnan(x), qNaN, x)` back to plain `x`,
+/// silently undoing a float-domain canonicalisation.
+#[inline(always)]
+pub(crate) fn canon_f32(x: f32) -> f32 {
+    let b = x.to_bits();
+    if b & 0x7fff_ffff > 0x7f80_0000 {
+        f32::from_bits(0x7fc0_0000)
+    } else {
+        x
+    }
+}
+
+/// `f64` twin of [`canon_f32`].
+#[inline(always)]
+pub(crate) fn canon_f64(x: f64) -> f64 {
+    let b = x.to_bits();
+    if b & 0x7fff_ffff_ffff_ffff > 0x7ff0_0000_0000_0000 {
+        f64::from_bits(0x7ff8_0000_0000_0000)
+    } else {
+        x
     }
 }
 
@@ -1038,30 +1102,30 @@ pub(crate) fn exec_num(op: NumOp, stack: &mut Vec<Value>) -> Result<(), Trap> {
         // f32 arithmetic
         F32Abs => un!(as_f32, F32, |a| a.abs()),
         F32Neg => un!(as_f32, F32, |a| -a),
-        F32Ceil => un!(as_f32, F32, |a| a.ceil()),
-        F32Floor => un!(as_f32, F32, |a| a.floor()),
-        F32Trunc => un!(as_f32, F32, |a| a.trunc()),
-        F32Nearest => un!(as_f32, F32, |a| a.round_ties_even()),
-        F32Sqrt => un!(as_f32, F32, |a| a.sqrt()),
-        F32Add => bin!(as_f32, F32, |a, b| a + b),
-        F32Sub => bin!(as_f32, F32, |a, b| a - b),
-        F32Mul => bin!(as_f32, F32, |a, b| a * b),
-        F32Div => bin!(as_f32, F32, |a, b| a / b),
+        F32Ceil => un!(as_f32, F32, |a| canon_f32(a.ceil())),
+        F32Floor => un!(as_f32, F32, |a| canon_f32(a.floor())),
+        F32Trunc => un!(as_f32, F32, |a| canon_f32(a.trunc())),
+        F32Nearest => un!(as_f32, F32, |a| canon_f32(a.round_ties_even())),
+        F32Sqrt => un!(as_f32, F32, |a| canon_f32(a.sqrt())),
+        F32Add => bin!(as_f32, F32, |a, b| canon_f32(a + b)),
+        F32Sub => bin!(as_f32, F32, |a, b| canon_f32(a - b)),
+        F32Mul => bin!(as_f32, F32, |a, b| canon_f32(a * b)),
+        F32Div => bin!(as_f32, F32, |a, b| canon_f32(a / b)),
         F32Min => bin!(as_f32, F32, |a, b| fmin(a, b)),
         F32Max => bin!(as_f32, F32, |a, b| fmax(a, b)),
         F32Copysign => bin!(as_f32, F32, |a, b| a.copysign(b)),
         // f64 arithmetic
         F64Abs => un!(as_f64, F64, |a| a.abs()),
         F64Neg => un!(as_f64, F64, |a| -a),
-        F64Ceil => un!(as_f64, F64, |a| a.ceil()),
-        F64Floor => un!(as_f64, F64, |a| a.floor()),
-        F64Trunc => un!(as_f64, F64, |a| a.trunc()),
-        F64Nearest => un!(as_f64, F64, |a| a.round_ties_even()),
-        F64Sqrt => un!(as_f64, F64, |a| a.sqrt()),
-        F64Add => bin!(as_f64, F64, |a, b| a + b),
-        F64Sub => bin!(as_f64, F64, |a, b| a - b),
-        F64Mul => bin!(as_f64, F64, |a, b| a * b),
-        F64Div => bin!(as_f64, F64, |a, b| a / b),
+        F64Ceil => un!(as_f64, F64, |a| canon_f64(a.ceil())),
+        F64Floor => un!(as_f64, F64, |a| canon_f64(a.floor())),
+        F64Trunc => un!(as_f64, F64, |a| canon_f64(a.trunc())),
+        F64Nearest => un!(as_f64, F64, |a| canon_f64(a.round_ties_even())),
+        F64Sqrt => un!(as_f64, F64, |a| canon_f64(a.sqrt())),
+        F64Add => bin!(as_f64, F64, |a, b| canon_f64(a + b)),
+        F64Sub => bin!(as_f64, F64, |a, b| canon_f64(a - b)),
+        F64Mul => bin!(as_f64, F64, |a, b| canon_f64(a * b)),
+        F64Div => bin!(as_f64, F64, |a, b| canon_f64(a / b)),
         F64Min => bin!(as_f64, F64, |a, b| fmin(a, b)),
         F64Max => bin!(as_f64, F64, |a, b| fmax(a, b)),
         F64Copysign => bin!(as_f64, F64, |a, b| a.copysign(b)),
@@ -1105,12 +1169,12 @@ pub(crate) fn exec_num(op: NumOp, stack: &mut Vec<Value>) -> Result<(), Trap> {
         F32ConvertI32U => un!(as_i32, F32, |a| a as u32 as f32),
         F32ConvertI64S => un!(as_i64, F32, |a| a as f32),
         F32ConvertI64U => un!(as_i64, F32, |a| a as u64 as f32),
-        F32DemoteF64 => un!(as_f64, F32, |a| a as f32),
+        F32DemoteF64 => un!(as_f64, F32, |a| canon_f32(a as f32)),
         F64ConvertI32S => un!(as_i32, F64, |a| f64::from(a)),
         F64ConvertI32U => un!(as_i32, F64, |a| f64::from(a as u32)),
         F64ConvertI64S => un!(as_i64, F64, |a| a as f64),
         F64ConvertI64U => un!(as_i64, F64, |a| a as u64 as f64),
-        F64PromoteF32 => un!(as_f32, F64, |a| f64::from(a)),
+        F64PromoteF32 => un!(as_f32, F64, |a| canon_f64(f64::from(a))),
         I32ReinterpretF32 => un!(as_f32, I32, |a| a.to_bits() as i32),
         I64ReinterpretF64 => un!(as_f64, I64, |a| a.to_bits() as i64),
         F32ReinterpretI32 => un!(as_i32, F32, |a| f32::from_bits(a as u32)),
@@ -1370,7 +1434,7 @@ mod tests {
     }
 
     #[test]
-    fn time_budget_limits_runaway_loops_on_both_engines() {
+    fn time_budget_limits_runaway_loops_on_all_engines() {
         let mut b = ModuleBuilder::new();
         let f = b.func("f", &[], &[], |f| {
             f.loop_(BlockType::Empty, |f| {
@@ -1379,7 +1443,7 @@ mod tests {
         });
         b.export_func("f", f);
         let m = b.build();
-        for engine in [Engine::Tree, Engine::Bytecode] {
+        for engine in Engine::ALL {
             let started = std::time::Instant::now();
             let mut inst = Instance::with_config(
                 &m,
@@ -1415,7 +1479,7 @@ mod tests {
         });
         b.export_func("f", f);
         let m = b.build();
-        for engine in [Engine::Tree, Engine::Bytecode] {
+        for engine in Engine::ALL {
             let mut inst = Instance::with_config(
                 &m,
                 Imports::new(),

@@ -42,6 +42,8 @@ mod memory;
 mod numslot;
 mod observer;
 mod profile;
+mod regalloc;
+mod regs;
 mod stats;
 mod trap;
 mod value;

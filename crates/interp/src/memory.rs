@@ -78,6 +78,28 @@ impl Memory {
         Ok(())
     }
 
+    /// Reads `N` bytes at an address the caller has already proven in
+    /// bounds (the register tier's hoisted loop guard, see
+    /// `crate::regalloc`). No trap plumbing: the slice index is the
+    /// defence-in-depth backstop — a panic here means the range proof
+    /// itself is wrong, which the adversarial suite exists to rule
+    /// out.
+    #[inline(always)]
+    pub(crate) fn read_in_bounds<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let a = addr as usize;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[a..a + N]);
+        out
+    }
+
+    /// Writes `N` bytes at a proven-in-bounds address (see
+    /// [`Memory::read_in_bounds`]).
+    #[inline(always)]
+    pub(crate) fn write_in_bounds<const N: usize>(&mut self, addr: u64, data: [u8; N]) {
+        let a = addr as usize;
+        self.bytes[a..a + N].copy_from_slice(&data);
+    }
+
     /// Borrows a byte range.
     pub fn slice(&self, addr: u64, len: u32) -> Result<&[u8], Trap> {
         let a = self.check(addr, len)?;

@@ -69,6 +69,17 @@ pub trait Observer {
     /// only when [`Observer::accounting`] returned
     /// [`Accounting::Batched`].
     fn on_block(&mut self, _instrs: u64) {}
+
+    /// Whether this observer ignores every event ([`NullObserver`]).
+    ///
+    /// The engines check this once per invoke and, when true, dispatch
+    /// to a monomorphised loop where the observer calls compile away —
+    /// hoisting the virtual-call null-check out of the hot loop
+    /// entirely. Only override to return `true` for an observer whose
+    /// every hook is a no-op.
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 /// An observer that does nothing (zero overhead beyond the virtual
@@ -79,6 +90,10 @@ pub struct NullObserver;
 impl Observer for NullObserver {
     fn accounting(&self) -> Accounting {
         Accounting::Batched
+    }
+
+    fn is_null(&self) -> bool {
+        true
     }
 }
 

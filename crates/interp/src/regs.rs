@@ -1,0 +1,1130 @@
+//! The register-bytecode execution backend (the third tier).
+//!
+//! [`crate::regalloc`] lowers each validated function into
+//! three-address [`RegOp`]s over *virtual registers*: locals occupy
+//! registers `[0, n_fixed)` and every operand-stack position `p` maps
+//! to the canonical register `n_fixed + p` (abstract stack-depth
+//! analysis makes the mapping static). There is no operand stack at
+//! run time — push/pop traffic and operand shuffling are gone; what
+//! remains is a flat `u64` register arena with per-frame bases.
+//!
+//! Dispatch is *direct-threaded*: every op carries its handler as a
+//! function pointer and the loop is
+//!
+//! ```text
+//! loop { op = code[pc]; pc = (op.handler)(vm, op, pc); }
+//! ```
+//!
+//! so there is no central `match` — each handler returns the next PC
+//! (or one of the [`DONE`]/[`TRAPPED`] sentinels) and the indirect
+//! call predicts per-opcode rather than per-loop-iteration.
+//!
+//! Two optimisations layer on top:
+//!
+//! * **Bounds-check elimination**: loops proven by
+//!   [`acctee_wasm::rangeproof`] get a [`RegGuard`] evaluated once per
+//!   loop entry; when the guard passes, control enters an *unchecked*
+//!   copy of the body whose loads/stores skip the bounds check
+//!   ([`crate::memory::Memory::read_in_bounds`]). When it fails, the
+//!   *checked* copy runs and traps exactly like the other engines.
+//!   Both copies have identical per-iteration accounting.
+//! * **Inline caches for `call_indirect`**: each indirect call site
+//!   owns an [`IcEntry`] keyed by table index; a hit skips the table,
+//!   null and type checks (tables are immutable after instantiation,
+//!   so a cached translation can never go stale).
+//!
+//! Accounting is batched per straight-line segment exactly like the
+//! flat engine: costs live in a per-function prefix sum
+//! ([`RegFunc::cost_prefix`]) and each segment exit delivers one
+//! [`Observer::on_block`]. The totals — results, traps,
+//! [`crate::ExecStats`], signed counters — are bit-identical to the
+//! tree-walker oracle for any module (the three-way differential
+//! suite in `tests/engine_diff.rs` pins this down). The tier never
+//! runs fueled or per-instruction-observed executions: those deopt to
+//! the flat engine, which owns exact per-op bookkeeping.
+
+use std::sync::Arc;
+
+use acctee_wasm::module::Module;
+use acctee_wasm::op::{LoadOp, NumOp, StoreOp};
+use acctee_wasm::types::ValType;
+
+use crate::bytecode::CompiledModule;
+use crate::exec::Instance;
+use crate::numslot::{dec, enc, for_each_slot_op, slot_to_value, value_to_slot};
+use crate::observer::{Accounting, Observer};
+use crate::trap::Trap;
+use crate::value::Value;
+
+/// Sentinel PC: the entry frame returned normally.
+pub(crate) const DONE: u32 = u32::MAX;
+/// Sentinel PC: execution trapped ([`RegVm::trap`] holds the trap).
+pub(crate) const TRAPPED: u32 = u32::MAX - 1;
+
+/// A direct-threaded handler: executes one op and returns the next PC
+/// (or a sentinel).
+pub(crate) type Handler = fn(&mut RegVm<'_, '_>, RegOp, u32) -> u32;
+
+/// One three-address register op. 32 bytes, `Copy`, fetched whole.
+///
+/// Field conventions: `c` is the destination register, `a`/`b` are
+/// sources (all frame-relative); branch targets always ride in
+/// `imm2`; constant slots and store-value immediates ride in `imm`.
+/// Calls use `a` = argument base, `imm2` = callee / IC slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegOp {
+    /// The op's executor — dispatch is one indirect call, no decode.
+    pub handler: Handler,
+    /// 64-bit immediate (constant slot, store value, expected type).
+    pub imm: u64,
+    /// 32-bit immediate (branch target PC, global/table/guard index).
+    pub imm2: u32,
+    /// First source register.
+    pub a: u16,
+    /// Second source register.
+    pub b: u16,
+    /// Destination register.
+    pub c: u16,
+}
+
+/// A suspended caller frame.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RegFrame {
+    /// The caller's combined function index.
+    pub func: u32,
+    /// PC to resume at (after the call op).
+    pub ret_pc: u32,
+    /// The caller's register-arena base.
+    pub base: u32,
+    /// Absolute register index the callee's results land at (the
+    /// caller's argument base — results overwrite the consumed args).
+    pub ret_dst: u32,
+}
+
+/// Reusable register-tier buffers, kept on the [`Instance`] so the
+/// serving path never re-allocates the arena.
+#[derive(Debug, Default)]
+pub(crate) struct RegBuffers {
+    /// The shared register arena (untyped slots, per-frame bases).
+    pub regs: Vec<u64>,
+    /// The frame stack (suspended callers).
+    pub frames: Vec<RegFrame>,
+}
+
+/// One `call_indirect` site's inline cache.
+///
+/// The key is the table index widened to `u64` and initialised to
+/// `u64::MAX`, which no valid `u32` index ever equals — so the empty
+/// cache can never false-hit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IcEntry {
+    /// Cached table index (`u64::from(i)`), or `u64::MAX` when empty.
+    pub key: u64,
+    /// The resolved, type-checked callee for that index.
+    pub func: u32,
+}
+
+impl Default for IcEntry {
+    fn default() -> IcEntry {
+        IcEntry {
+            key: u64::MAX,
+            func: 0,
+        }
+    }
+}
+
+/// A lowered `br_table`: absolute target PCs (or stub PCs when the
+/// branch carries values).
+#[derive(Debug, Clone)]
+pub(crate) struct RegBrTable {
+    /// Per-case targets.
+    pub targets: Vec<u32>,
+    /// Out-of-range target.
+    pub default: u32,
+}
+
+/// The loop-continue bound a guard compares against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RegBound {
+    /// A loop-invariant register (a local).
+    Reg(u16),
+    /// A compile-time constant.
+    Const(i32),
+}
+
+/// One proven access inside a guarded loop: max address =
+/// `coeff * imax + Σ scale * u32(reg) + konst`, checked against the
+/// memory size together with the access width.
+#[derive(Debug, Clone)]
+pub(crate) struct RegAccess {
+    /// Induction-variable coefficient.
+    pub coeff: u64,
+    /// Loop-invariant registers and their scales.
+    pub terms: Vec<(u16, u64)>,
+    /// Constant term (includes the static `MemArg` offset).
+    pub konst: u64,
+    /// Access width in bytes.
+    pub bytes: u32,
+}
+
+/// A hoisted loop guard (see [`acctee_wasm::rangeproof`] for the
+/// soundness argument). Evaluated once per loop entry by `h_guard`:
+/// pass jumps to the unchecked body copy at [`RegGuard::unchecked_pc`],
+/// fail falls through to the checked copy.
+#[derive(Debug, Clone)]
+pub(crate) struct RegGuard {
+    /// The induction local's register.
+    pub induction: u16,
+    /// The (positive) per-iteration step.
+    pub step: i32,
+    /// The continue bound.
+    pub bound: RegBound,
+    /// Every proven access; unprovable ones stay checked in *both*
+    /// copies and do not weaken the guard.
+    pub accesses: Vec<RegAccess>,
+    /// Entry PC of the unchecked body copy.
+    pub unchecked_pc: u32,
+}
+
+/// Prefix-summed per-pc accounting: instruction cost plus the static
+/// load/store counts, so a segment settles all three stats with two
+/// array reads instead of a read-modify-write per memory access.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SegPrefix {
+    /// Source instructions.
+    pub cost: u32,
+    /// Loads executed (1 on every load op, fused or not).
+    pub loads: u32,
+    /// Stores executed.
+    pub stores: u32,
+}
+
+/// One function lowered to register bytecode.
+#[derive(Debug)]
+pub(crate) struct RegFunc {
+    /// The op array.
+    pub code: Vec<RegOp>,
+    /// Prefix sums of per-pc accounting: a segment `[a, b]` accounts
+    /// `cost_prefix[b+1] - cost_prefix[a]` of each [`SegPrefix`]
+    /// component. Synthetic ops (register moves, else-skip jumps,
+    /// the epilogue return) cost 0.
+    pub cost_prefix: Vec<SegPrefix>,
+    /// Lowered `br_table`s.
+    pub br_tables: Vec<RegBrTable>,
+    /// Hoisted loop guards.
+    pub guards: Vec<RegGuard>,
+    /// Parameter count.
+    pub n_params: u16,
+    /// Result count.
+    pub n_results: u16,
+    /// Result types, for decoding the entry function's result regs.
+    pub results_ty: Box<[ValType]>,
+    /// Frame size in registers: locals plus the canonical registers
+    /// for the function's maximal operand-stack depth.
+    pub n_regs: u32,
+}
+
+/// A whole module lowered to register bytecode, cached on the shared
+/// [`CompiledModule`] artifact (built lazily, once, via `OnceLock`).
+#[derive(Debug)]
+pub(crate) struct RegModule {
+    /// Local functions, indexed by `combined_idx - n_imported`.
+    pub funcs: Vec<RegFunc>,
+    /// Total `call_indirect` sites (inline-cache array length).
+    pub n_ic: u32,
+}
+
+/// The register VM: everything a handler touches, in one place. The
+/// buffers are moved out of the [`Instance`] for the duration of the
+/// dispatch loop and moved back on exit.
+pub(crate) struct RegVm<'a, 'm> {
+    /// The instance (memory, globals, table, stats, deadline).
+    pub inst: &'a mut Instance<'m>,
+    /// The flat artifact (call metadata: `params_ty`, `canon_of_func`).
+    pub compiled: &'a CompiledModule,
+    /// The register-code artifact.
+    pub rm: &'a RegModule,
+    /// The executing function's code.
+    pub rf: &'a RegFunc,
+    /// The register arena.
+    pub regs: Vec<u64>,
+    /// The frame stack.
+    pub frames: Vec<RegFrame>,
+    /// Per-instance inline caches (indexed by IC slot).
+    pub ics: Vec<IcEntry>,
+    /// The executing frame's arena base.
+    pub base: usize,
+    /// The executing function's combined index.
+    pub cur_func: u32,
+    /// Start PC of the open accounting segment.
+    pub seg_start: u32,
+    /// Instructions retired this invoke (folded into stats on exit).
+    pub instrs: u64,
+    /// Loads executed this invoke (settled per segment from the
+    /// [`SegPrefix`] sums — no per-access bookkeeping — and folded
+    /// into stats on exit).
+    pub loads: u64,
+    /// Stores executed this invoke (as above).
+    pub stores: u64,
+    /// Hoisted observer null-check: when true, `on_block` is skipped
+    /// entirely (the count still lands in `instrs`).
+    pub obs_null: bool,
+    /// The attached (batched) observer.
+    pub observer: &'a mut dyn Observer,
+    /// The trap recorded by a handler that returned [`TRAPPED`].
+    pub trap: Option<Trap>,
+    /// Frame-relative register the entry frame's results start at
+    /// (set by the final `Return`).
+    pub ret_at: u32,
+}
+
+/// Closes the accounting segment `[seg_start, pc]`: counts it and
+/// delivers one batched observer event.
+#[inline(always)]
+fn flush(vm: &mut RegVm<'_, '_>, pc: u32) {
+    let hi = vm.rf.cost_prefix[pc as usize + 1];
+    let lo = vm.rf.cost_prefix[vm.seg_start as usize];
+    let c = hi.cost - lo.cost;
+    if c != 0 {
+        vm.instrs += u64::from(c);
+        vm.loads += u64::from(hi.loads - lo.loads);
+        vm.stores += u64::from(hi.stores - lo.stores);
+        if !vm.obs_null {
+            vm.observer.on_block(u64::from(c));
+        }
+    }
+}
+
+/// Trap exit: the trapping instruction itself is counted (matching
+/// the tree-walker, which counts before executing).
+#[cold]
+fn trap(vm: &mut RegVm<'_, '_>, pc: u32, t: Trap) -> u32 {
+    flush(vm, pc);
+    vm.trap = Some(t);
+    TRAPPED
+}
+
+/// Taken control transfer: tick the wall-clock deadline, close the
+/// segment, open a new one at `target`.
+#[inline(always)]
+fn jump_to(vm: &mut RegVm<'_, '_>, pc: u32, target: u32) -> u32 {
+    if let Err(t) = vm.inst.check_deadline() {
+        return trap(vm, pc, t);
+    }
+    flush(vm, pc);
+    vm.seg_start = target;
+    target
+}
+
+// --- Control / misc handlers ------------------------------------------
+
+/// Pure accounting tick (loop entries, flushed pending counts).
+pub(crate) fn h_tick(_vm: &mut RegVm<'_, '_>, _op: RegOp, pc: u32) -> u32 {
+    pc + 1
+}
+
+pub(crate) fn h_unreachable(vm: &mut RegVm<'_, '_>, _op: RegOp, pc: u32) -> u32 {
+    trap(vm, pc, Trap::Unreachable)
+}
+
+pub(crate) fn h_jump(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    jump_to(vm, pc, op.imm2)
+}
+
+pub(crate) fn h_br_if(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    if vm.regs[vm.base + op.a as usize] as u32 != 0 {
+        jump_to(vm, pc, op.imm2)
+    } else {
+        pc + 1
+    }
+}
+
+pub(crate) fn h_br_if_not(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    if vm.regs[vm.base + op.a as usize] as u32 == 0 {
+        jump_to(vm, pc, op.imm2)
+    } else {
+        pc + 1
+    }
+}
+
+pub(crate) fn h_br_table(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let i = vm.regs[vm.base + op.b as usize] as u32;
+    let rf = vm.rf;
+    let t = &rf.br_tables[op.imm2 as usize];
+    let target = t.targets.get(i as usize).copied().unwrap_or(t.default);
+    jump_to(vm, pc, target)
+}
+
+pub(crate) fn h_return(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    flush(vm, pc);
+    let n = vm.rf.n_results as usize;
+    let from = vm.base + op.a as usize;
+    match vm.frames.pop() {
+        Some(fr) => {
+            vm.regs.copy_within(from..from + n, fr.ret_dst as usize);
+            vm.regs.truncate(vm.base);
+            vm.base = fr.base as usize;
+            vm.cur_func = fr.func;
+            let rm = vm.rm;
+            vm.rf = &rm.funcs[(fr.func - vm.compiled.n_imported) as usize];
+            vm.seg_start = fr.ret_pc;
+            fr.ret_pc
+        }
+        None => {
+            vm.ret_at = u32::from(op.a);
+            DONE
+        }
+    }
+}
+
+/// Call transfer shared by `h_call` and `h_call_indirect`: the caller
+/// has already cut the segment at `pc` and set `seg_start = pc + 1`,
+/// so a trap here flushes nothing extra.
+fn do_call(vm: &mut RegVm<'_, '_>, f: u32, arg_reg: u16, pc: u32) -> u32 {
+    if vm.frames.len() + 1 >= vm.inst.config.max_call_depth {
+        return trap(vm, pc, Trap::CallStackExhausted);
+    }
+    if let Err(t) = vm.inst.check_deadline() {
+        return trap(vm, pc, t);
+    }
+    vm.inst.stats.calls += 1;
+    let n_imported = vm.compiled.n_imported;
+    let at = vm.base + arg_reg as usize;
+    if f < n_imported {
+        let ps = &vm.compiled.params_ty[f as usize];
+        let host_args: Vec<Value> = ps
+            .iter()
+            .zip(&vm.regs[at..])
+            .map(|(t, s)| slot_to_value(*s, *t))
+            .collect();
+        let values = match vm.inst.call_host_checked(f, &host_args) {
+            Ok(v) => v,
+            Err(t) => return trap(vm, pc, t),
+        };
+        for (k, v) in values.iter().enumerate() {
+            vm.regs[at + k] = value_to_slot(*v);
+        }
+        return pc + 1;
+    }
+    let rm = vm.rm;
+    let callee = &rm.funcs[(f - n_imported) as usize];
+    let new_base = vm.regs.len();
+    vm.regs.resize(new_base + callee.n_regs as usize, 0);
+    vm.regs
+        .copy_within(at..at + callee.n_params as usize, new_base);
+    vm.frames.push(RegFrame {
+        func: vm.cur_func,
+        ret_pc: pc + 1,
+        base: vm.base as u32,
+        ret_dst: at as u32,
+    });
+    vm.base = new_base;
+    vm.cur_func = f;
+    vm.rf = callee;
+    vm.seg_start = 0;
+    0
+}
+
+pub(crate) fn h_call(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    flush(vm, pc);
+    vm.seg_start = pc + 1;
+    do_call(vm, op.imm2, op.a, pc)
+}
+
+pub(crate) fn h_call_indirect(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let i = vm.regs[vm.base + op.b as usize] as u32;
+    flush(vm, pc);
+    vm.seg_start = pc + 1;
+    let slot = op.imm2 as usize;
+    let cached = vm.ics[slot];
+    let f = if cached.key == u64::from(i) {
+        cached.func
+    } else {
+        // Slow path: full table + null + type check, then cache. The
+        // trap order matches the other engines exactly.
+        let entry = match vm.inst.table.get(i as usize) {
+            Some(e) => *e,
+            None => return trap(vm, pc, Trap::TableOutOfBounds),
+        };
+        let f = match entry {
+            Some(f) => f,
+            None => return trap(vm, pc, Trap::UndefinedElement),
+        };
+        let actual = match vm.compiled.canon_of_func.get(f as usize) {
+            Some(c) => *c,
+            None => return trap(vm, pc, Trap::UndefinedElement),
+        };
+        if u64::from(actual) != op.imm {
+            return trap(vm, pc, Trap::IndirectCallTypeMismatch);
+        }
+        vm.ics[slot] = IcEntry {
+            key: u64::from(i),
+            func: f,
+        };
+        f
+    };
+    do_call(vm, f, op.a, pc)
+}
+
+pub(crate) fn h_select(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let c = vm.regs[vm.base + op.imm2 as usize] as u32;
+    let v = if c != 0 {
+        vm.regs[vm.base + op.a as usize]
+    } else {
+        vm.regs[vm.base + op.b as usize]
+    };
+    vm.regs[vm.base + op.c as usize] = v;
+    pc + 1
+}
+
+/// Fused `i32.mul`-by-constant plus `i32.add`:
+/// `c = a * imm + b` (all arithmetic wrapping in `i32`), the
+/// flattened-index idiom `i * ncols + j` of 2-D array address code.
+pub(crate) fn h_madd(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let v = dec::as_i32(vm.regs[vm.base + op.a as usize])
+        .wrapping_mul(op.imm as i32)
+        .wrapping_add(dec::as_i32(vm.regs[vm.base + op.b as usize]));
+    vm.regs[vm.base + op.c as usize] = enc::I32(v);
+    pc + 1
+}
+
+/// Fused canonical counted-loop tail, register bound: `i += step;
+/// if i <s regs[b] { backedge }` — the eight source instructions of
+/// the tail (`local.get i; i32.const step; i32.add; local.set i;
+/// local.get i; local.get n; i32.lt_s; br_if 0`) in one dispatch.
+/// Every one of the eight is infallible and they always execute as a
+/// unit (a `br_if` is counted whether taken or not), so the op
+/// carries their full cost and accounting stays exact. The backedge
+/// goes through [`jump_to`], keeping the deadline tick and segment
+/// flush of an ordinary taken branch.
+pub(crate) fn h_for_tail_r(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let i = dec::as_i32(vm.regs[vm.base + op.a as usize]).wrapping_add(op.imm as i32);
+    vm.regs[vm.base + op.a as usize] = enc::I32(i);
+    if i < dec::as_i32(vm.regs[vm.base + op.b as usize]) {
+        jump_to(vm, pc, op.imm2)
+    } else {
+        pc + 1
+    }
+}
+
+/// [`h_for_tail_r`] with a constant bound, packed into `imm`'s high
+/// half (the step lives in the low half).
+pub(crate) fn h_for_tail_i(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let i = dec::as_i32(vm.regs[vm.base + op.a as usize]).wrapping_add(op.imm as i32);
+    vm.regs[vm.base + op.a as usize] = enc::I32(i);
+    if i < (op.imm >> 32) as i32 {
+        jump_to(vm, pc, op.imm2)
+    } else {
+        pc + 1
+    }
+}
+
+/// Register-to-register move (materialisation, alias flushes, branch
+/// value shuffles). Always cost 0.
+pub(crate) fn h_mv_rr(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    vm.regs[vm.base + op.c as usize] = vm.regs[vm.base + op.a as usize];
+    pc + 1
+}
+
+/// Constant-to-register move (`imm` is the pre-encoded slot).
+pub(crate) fn h_mv_ci(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    vm.regs[vm.base + op.c as usize] = op.imm;
+    pc + 1
+}
+
+pub(crate) fn h_global_get(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    vm.regs[vm.base + op.c as usize] = value_to_slot(vm.inst.globals[op.imm2 as usize]);
+    pc + 1
+}
+
+pub(crate) fn h_global_set(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let s = vm.regs[vm.base + op.a as usize];
+    let g = &mut vm.inst.globals[op.imm2 as usize];
+    *g = slot_to_value(s, g.ty());
+    pc + 1
+}
+
+pub(crate) fn h_mem_size(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let mem = vm.inst.memory.as_ref().expect("validated");
+    vm.regs[vm.base + op.c as usize] = u64::from(mem.size_pages());
+    pc + 1
+}
+
+pub(crate) fn h_mem_grow(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let delta = dec::as_i32(vm.regs[vm.base + op.a as usize]);
+    let mem = vm.inst.memory.as_mut().expect("validated");
+    let r = if delta < 0 {
+        -1
+    } else {
+        mem.grow(delta as u32)
+    };
+    let new_size = mem.size_bytes();
+    vm.inst.stats.mem_grows += 1;
+    vm.inst.stats.peak_memory_bytes = vm.inst.stats.peak_memory_bytes.max(new_size);
+    vm.observer.on_mem_grow(new_size);
+    vm.regs[vm.base + op.c as usize] = enc::I32(r);
+    pc + 1
+}
+
+/// Evaluates a hoisted loop guard. All arithmetic in `u128` so no
+/// guard-side overflow is possible; any failure (no memory, negative
+/// induction, potential wrap, any access past the end) falls through
+/// to the checked copy — the guard is an optimisation gate, never a
+/// soundness gate.
+pub(crate) fn h_guard(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+    let rf = vm.rf;
+    let g = &rf.guards[op.imm2 as usize];
+    let pass = 'guard: {
+        let Some(mem) = vm.inst.memory.as_ref() else {
+            break 'guard false;
+        };
+        let size = mem.size_bytes() as u128;
+        let i0 = dec::as_i32(vm.regs[vm.base + g.induction as usize]);
+        if i0 < 0 {
+            break 'guard false;
+        }
+        let bound = match g.bound {
+            RegBound::Reg(r) => i64::from(dec::as_i32(vm.regs[vm.base + r as usize])),
+            RegBound::Const(c) => i64::from(c),
+        };
+        // Largest body-visible induction value (max covers the
+        // do-while entry iteration), plus the no-wrap condition on
+        // the increment itself.
+        let imax = i64::from(i0).max(bound - 1);
+        if imax + i64::from(g.step) > i64::from(i32::MAX) {
+            break 'guard false;
+        }
+        let imax = imax as u128;
+        let mut ok = true;
+        for a in &g.accesses {
+            let mut addr = u128::from(a.coeff) * imax + u128::from(a.konst);
+            for (l, s) in &a.terms {
+                addr += u128::from(*s) * u128::from(vm.regs[vm.base + *l as usize] as u32);
+            }
+            if addr + u128::from(a.bytes) > size {
+                ok = false;
+                break;
+            }
+        }
+        ok
+    };
+    if pass {
+        let target = vm.rf.guards[op.imm2 as usize].unchecked_pc;
+        flush(vm, pc);
+        vm.seg_start = target;
+        target
+    } else {
+        pc + 1
+    }
+}
+
+// --- Numeric handlers (generated from the single slot-op table) -------
+
+/// The fused-branch-capable handler set for an infallible binary op.
+pub(crate) struct BinHandlers {
+    /// `dst = a <op> b`.
+    pub rr: Handler,
+    /// `dst = a <op> imm`.
+    pub ri: Handler,
+    /// `if (a <op> b) != 0 { branch }` (fused compare-and-branch).
+    pub rr_brif: Handler,
+    /// `if (a <op> b) == 0 { branch }`.
+    pub rr_brifnot: Handler,
+    /// `if (a <op> imm) != 0 { branch }`.
+    pub ri_brif: Handler,
+    /// `if (a <op> imm) == 0 { branch }`.
+    pub ri_brifnot: Handler,
+}
+
+/// The handler set for an infallible unary op.
+pub(crate) struct UnHandlers {
+    /// `dst = <op> a`.
+    pub r: Handler,
+    /// `if (<op> a) != 0 { branch }`.
+    pub r_brif: Handler,
+    /// `if (<op> a) == 0 { branch }`.
+    pub r_brifnot: Handler,
+}
+
+/// The checked/unchecked/immediate handler set for a store op.
+pub(crate) struct StoreHandlers {
+    /// Bounds-checked store of a register.
+    pub r_checked: Handler,
+    /// Bounds-checked store of an immediate slot.
+    pub i_checked: Handler,
+    /// Guard-proven store of a register.
+    pub r_unchecked: Handler,
+    /// Guard-proven store of an immediate slot.
+    pub i_unchecked: Handler,
+}
+
+macro_rules! gen_reg_num_handlers {
+    (
+        un { $($uv:ident: $uas:ident -> $uenc:ident, |$ua:ident| $ue:expr;)* }
+        bin { $($bv:ident: $bas:ident -> $benc:ident, |$ba:ident, $bb:ident| $be:expr;)* }
+        un_try { $($tv:ident: $tas:ident -> $tenc:ident, |$ta:ident| $te:expr;)* }
+        bin_try { $($cv:ident: $cas:ident -> $cenc:ident, |$ca:ident, $cb:ident| $ce:expr;)* }
+    ) => {
+        $(
+            #[allow(non_snake_case)]
+            mod $uv {
+                use super::*;
+                #[inline(always)]
+                fn eval(av: u64) -> u64 {
+                    let $ua = dec::$uas(av);
+                    enc::$uenc($ue)
+                }
+                pub(super) fn r(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    vm.regs[vm.base + op.c as usize] =
+                        eval(vm.regs[vm.base + op.a as usize]);
+                    pc + 1
+                }
+                pub(super) fn r_brif(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    if eval(vm.regs[vm.base + op.a as usize]) as u32 != 0 {
+                        jump_to(vm, pc, op.imm2)
+                    } else {
+                        pc + 1
+                    }
+                }
+                pub(super) fn r_brifnot(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    if eval(vm.regs[vm.base + op.a as usize]) as u32 == 0 {
+                        jump_to(vm, pc, op.imm2)
+                    } else {
+                        pc + 1
+                    }
+                }
+            }
+        )*
+        $(
+            #[allow(non_snake_case)]
+            mod $bv {
+                use super::*;
+                #[inline(always)]
+                fn eval(av: u64, bv: u64) -> u64 {
+                    let $ba = dec::$bas(av);
+                    let $bb = dec::$bas(bv);
+                    enc::$benc($be)
+                }
+                pub(super) fn rr(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    vm.regs[vm.base + op.c as usize] = eval(
+                        vm.regs[vm.base + op.a as usize],
+                        vm.regs[vm.base + op.b as usize],
+                    );
+                    pc + 1
+                }
+                pub(super) fn ri(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    vm.regs[vm.base + op.c as usize] =
+                        eval(vm.regs[vm.base + op.a as usize], op.imm);
+                    pc + 1
+                }
+                pub(super) fn rr_brif(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let v = eval(
+                        vm.regs[vm.base + op.a as usize],
+                        vm.regs[vm.base + op.b as usize],
+                    );
+                    if v as u32 != 0 {
+                        jump_to(vm, pc, op.imm2)
+                    } else {
+                        pc + 1
+                    }
+                }
+                pub(super) fn rr_brifnot(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let v = eval(
+                        vm.regs[vm.base + op.a as usize],
+                        vm.regs[vm.base + op.b as usize],
+                    );
+                    if v as u32 == 0 {
+                        jump_to(vm, pc, op.imm2)
+                    } else {
+                        pc + 1
+                    }
+                }
+                pub(super) fn ri_brif(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    if eval(vm.regs[vm.base + op.a as usize], op.imm) as u32 != 0 {
+                        jump_to(vm, pc, op.imm2)
+                    } else {
+                        pc + 1
+                    }
+                }
+                pub(super) fn ri_brifnot(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    if eval(vm.regs[vm.base + op.a as usize], op.imm) as u32 == 0 {
+                        jump_to(vm, pc, op.imm2)
+                    } else {
+                        pc + 1
+                    }
+                }
+            }
+        )*
+        $(
+            #[allow(non_snake_case)]
+            mod $tv {
+                use super::*;
+                pub(super) fn r(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let $ta = dec::$tas(vm.regs[vm.base + op.a as usize]);
+                    match $te {
+                        Ok(v) => {
+                            vm.regs[vm.base + op.c as usize] = enc::$tenc(v);
+                            pc + 1
+                        }
+                        Err(t) => trap(vm, pc, t),
+                    }
+                }
+            }
+        )*
+        $(
+            #[allow(non_snake_case)]
+            mod $cv {
+                use super::*;
+                pub(super) fn rr(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let $cb = dec::$cas(vm.regs[vm.base + op.b as usize]);
+                    let $ca = dec::$cas(vm.regs[vm.base + op.a as usize]);
+                    match $ce {
+                        Ok(v) => {
+                            vm.regs[vm.base + op.c as usize] = enc::$cenc(v);
+                            pc + 1
+                        }
+                        Err(t) => trap(vm, pc, t),
+                    }
+                }
+            }
+        )*
+
+        /// Handlers for an infallible binary op, or `None` otherwise.
+        pub(crate) fn bin_handlers(op: NumOp) -> Option<BinHandlers> {
+            match op {
+                $(NumOp::$bv => Some(BinHandlers {
+                    rr: $bv::rr,
+                    ri: $bv::ri,
+                    rr_brif: $bv::rr_brif,
+                    rr_brifnot: $bv::rr_brifnot,
+                    ri_brif: $bv::ri_brif,
+                    ri_brifnot: $bv::ri_brifnot,
+                }),)*
+                _ => None,
+            }
+        }
+
+        /// Handlers for an infallible unary op, or `None` otherwise.
+        pub(crate) fn un_handlers(op: NumOp) -> Option<UnHandlers> {
+            match op {
+                $(NumOp::$uv => Some(UnHandlers {
+                    r: $uv::r,
+                    r_brif: $uv::r_brif,
+                    r_brifnot: $uv::r_brifnot,
+                }),)*
+                _ => None,
+            }
+        }
+
+        /// The handler for a fallible unary op, or `None` otherwise.
+        pub(crate) fn un_try_handler(op: NumOp) -> Option<Handler> {
+            match op {
+                $(NumOp::$tv => Some($tv::r as Handler),)*
+                _ => None,
+            }
+        }
+
+        /// The handler for a fallible binary op, or `None` otherwise.
+        pub(crate) fn bin_try_handler(op: NumOp) -> Option<Handler> {
+            match op {
+                $(NumOp::$cv => Some($cv::rr as Handler),)*
+                _ => None,
+            }
+        }
+    };
+}
+for_each_slot_op!(gen_reg_num_handlers);
+
+// --- Load / store handlers ---------------------------------------------
+
+macro_rules! gen_load_handlers {
+    ($( $name:ident, $lop:ident, $n:literal, |$bytes:ident| $conv:expr; )*) => {
+        $(
+            mod $name {
+                use super::*;
+                pub(super) fn checked(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let addr = u64::from(vm.regs[vm.base + op.a as usize] as u32)
+                        + u64::from(op.imm2);
+                    let mem = vm.inst.memory.as_ref().expect("validated");
+                    match mem.read::<$n>(addr) {
+                        Ok($bytes) => {
+                            vm.regs[vm.base + op.c as usize] = $conv;
+                            pc + 1
+                        }
+                        Err(t) => trap(vm, pc, t),
+                    }
+                }
+                pub(super) fn unchecked(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let addr = u64::from(vm.regs[vm.base + op.a as usize] as u32)
+                        + u64::from(op.imm2);
+                    let mem = vm.inst.memory.as_ref().expect("validated");
+                    let $bytes = mem.read_in_bounds::<$n>(addr);
+                    vm.regs[vm.base + op.c as usize] = $conv;
+                    pc + 1
+                }
+                // Shifted address modes: the `i32.shl`-by-constant
+                // that scales an index into a byte offset is folded
+                // into the access (`addr = (a << imm) + offset`). The
+                // shift wraps in `u32` exactly like the wasm `shl` it
+                // replaces.
+                pub(super) fn checked_shl(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let addr = u64::from(
+                        (vm.regs[vm.base + op.a as usize] as u32) << (op.imm as u32 & 31),
+                    ) + u64::from(op.imm2);
+                    let mem = vm.inst.memory.as_ref().expect("validated");
+                    match mem.read::<$n>(addr) {
+                        Ok($bytes) => {
+                            vm.regs[vm.base + op.c as usize] = $conv;
+                            pc + 1
+                        }
+                        Err(t) => trap(vm, pc, t),
+                    }
+                }
+                pub(super) fn unchecked_shl(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let addr = u64::from(
+                        (vm.regs[vm.base + op.a as usize] as u32) << (op.imm as u32 & 31),
+                    ) + u64::from(op.imm2);
+                    let mem = vm.inst.memory.as_ref().expect("validated");
+                    let $bytes = mem.read_in_bounds::<$n>(addr);
+                    vm.regs[vm.base + op.c as usize] = $conv;
+                    pc + 1
+                }
+            }
+        )*
+        /// Handler family for a load op.
+        pub(crate) fn load_handlers(op: LoadOp) -> LoadHandlers {
+            match op {
+                $(LoadOp::$lop => LoadHandlers {
+                    checked: $name::checked as Handler,
+                    unchecked: $name::unchecked as Handler,
+                    checked_shl: $name::checked_shl as Handler,
+                    unchecked_shl: $name::unchecked_shl as Handler,
+                },)*
+            }
+        }
+    };
+}
+
+/// Handlers for one load op: plain and shl-fused address modes, each
+/// in checked and proven-in-bounds (unchecked) form.
+#[derive(Clone, Copy)]
+pub(crate) struct LoadHandlers {
+    pub(crate) checked: Handler,
+    pub(crate) unchecked: Handler,
+    pub(crate) checked_shl: Handler,
+    pub(crate) unchecked_shl: Handler,
+}
+gen_load_handlers! {
+    load_i32, I32Load, 4, |b| enc::I32(i32::from_le_bytes(b));
+    load_i64, I64Load, 8, |b| enc::I64(i64::from_le_bytes(b));
+    load_f32, F32Load, 4, |b| enc::F32(f32::from_le_bytes(b));
+    load_f64, F64Load, 8, |b| enc::F64(f64::from_le_bytes(b));
+    load_i32_8s, I32Load8S, 1, |b| enc::I32(i32::from(b[0] as i8));
+    load_i32_8u, I32Load8U, 1, |b| enc::I32(i32::from(b[0]));
+    load_i32_16s, I32Load16S, 2, |b| enc::I32(i32::from(i16::from_le_bytes(b)));
+    load_i32_16u, I32Load16U, 2, |b| enc::I32(i32::from(u16::from_le_bytes(b)));
+    load_i64_8s, I64Load8S, 1, |b| enc::I64(i64::from(b[0] as i8));
+    load_i64_8u, I64Load8U, 1, |b| enc::I64(i64::from(b[0]));
+    load_i64_16s, I64Load16S, 2, |b| enc::I64(i64::from(i16::from_le_bytes(b)));
+    load_i64_16u, I64Load16U, 2, |b| enc::I64(i64::from(u16::from_le_bytes(b)));
+    load_i64_32s, I64Load32S, 4, |b| enc::I64(i64::from(i32::from_le_bytes(b)));
+    load_i64_32u, I64Load32U, 4, |b| enc::I64(i64::from(u32::from_le_bytes(b)));
+}
+
+macro_rules! gen_store_handlers {
+    ($( $name:ident, $sop:ident, |$slot:ident| $data:expr; )*) => {
+        $(
+            mod $name {
+                use super::*;
+                #[inline(always)]
+                fn run(
+                    vm: &mut RegVm<'_, '_>,
+                    op: RegOp,
+                    pc: u32,
+                    $slot: u64,
+                    unchecked: bool,
+                ) -> u32 {
+                    let addr = u64::from(vm.regs[vm.base + op.a as usize] as u32)
+                        + u64::from(op.imm2);
+                    let mem = vm.inst.memory.as_mut().expect("validated");
+                    if unchecked {
+                        mem.write_in_bounds(addr, $data);
+                        pc + 1
+                    } else {
+                        match mem.write(addr, $data) {
+                            Ok(()) => pc + 1,
+                            Err(t) => trap(vm, pc, t),
+                        }
+                    }
+                }
+                pub(super) fn r_checked(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let v = vm.regs[vm.base + op.b as usize];
+                    run(vm, op, pc, v, false)
+                }
+                pub(super) fn i_checked(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    run(vm, op, pc, op.imm, false)
+                }
+                pub(super) fn r_unchecked(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    let v = vm.regs[vm.base + op.b as usize];
+                    run(vm, op, pc, v, true)
+                }
+                pub(super) fn i_unchecked(vm: &mut RegVm<'_, '_>, op: RegOp, pc: u32) -> u32 {
+                    run(vm, op, pc, op.imm, true)
+                }
+            }
+        )*
+        /// The handler set for a store op.
+        pub(crate) fn store_handlers(op: StoreOp) -> StoreHandlers {
+            match op {
+                $(StoreOp::$sop => StoreHandlers {
+                    r_checked: $name::r_checked,
+                    i_checked: $name::i_checked,
+                    r_unchecked: $name::r_unchecked,
+                    i_unchecked: $name::i_unchecked,
+                },)*
+            }
+        }
+    };
+}
+gen_store_handlers! {
+    store_i32, I32Store, |s| dec::as_i32(s).to_le_bytes();
+    store_i64, I64Store, |s| dec::as_i64(s).to_le_bytes();
+    store_f32, F32Store, |s| dec::as_f32(s).to_le_bytes();
+    store_f64, F64Store, |s| dec::as_f64(s).to_le_bytes();
+    store_i32_8, I32Store8, |s| [(dec::as_i32(s) & 0xff) as u8];
+    store_i32_16, I32Store16, |s| (dec::as_i32(s) as u16).to_le_bytes();
+    store_i64_8, I64Store8, |s| [(dec::as_i64(s) & 0xff) as u8];
+    store_i64_16, I64Store16, |s| (dec::as_i64(s) as u16).to_le_bytes();
+    store_i64_32, I64Store32, |s| (dec::as_i64(s) as u32).to_le_bytes();
+}
+
+/// The non-numeric handler table [`crate::regalloc`] draws from,
+/// grouped so the compiler side never names a handler function
+/// directly.
+pub(crate) mod ctl {
+    pub(crate) use super::{
+        h_br_if as br_if, h_br_if_not as br_if_not, h_br_table as br_table, h_call as call,
+        h_call_indirect as call_indirect, h_for_tail_i as for_tail_i, h_for_tail_r as for_tail_r,
+        h_global_get as global_get, h_global_set as global_set, h_guard as guard, h_jump as jump,
+        h_madd as madd, h_mem_grow as mem_grow, h_mem_size as mem_size, h_mv_ci as mv_ci,
+        h_mv_rr as mv_rr, h_return as ret, h_select as select, h_tick as tick,
+        h_unreachable as unreachable,
+    };
+}
+
+impl CompiledModule {
+    /// The lazily-built register-tier code for this artifact. `Err`
+    /// means the register compiler declined the module (the engine
+    /// falls back to the flat loop); the verdict is computed once and
+    /// shared by every instance holding the artifact.
+    pub(crate) fn reg_module(&self, module: &Module) -> &Result<RegModule, Trap> {
+        self.regs
+            .get_or_init(|| crate::regalloc::compile_regs(module))
+    }
+}
+
+impl<'m> Instance<'m> {
+    /// Invokes `idx` on the register tier.
+    ///
+    /// Deopt rules: fueled executions and per-instruction observers
+    /// need exact per-op bookkeeping, which this tier deliberately
+    /// does not carry — those invokes run on the flat engine instead
+    /// (identical semantics, enforced by the differential suite). A
+    /// module the register compiler declines also falls back.
+    pub(crate) fn invoke_regs(
+        &mut self,
+        idx: u32,
+        args: &[Value],
+        observer: &mut dyn Observer,
+    ) -> Result<Vec<Value>, Trap> {
+        if self.fuel.is_some() || observer.accounting() == Accounting::PerInstr {
+            return self.invoke_flat(idx, args, observer);
+        }
+        if idx < self.module.num_imported_funcs() {
+            if self.config.max_call_depth == 0 {
+                return Err(Trap::CallStackExhausted);
+            }
+            observer.on_call(idx);
+            self.stats.calls += 1;
+            let values = self.call_host_checked(idx, args)?;
+            observer.on_return(idx);
+            return Ok(values);
+        }
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledModule::compile(self.module)?);
+        }
+        let compiled = Arc::clone(self.compiled.as_ref().expect("compiled above"));
+        let rm = match compiled.reg_module(self.module) {
+            Ok(rm) => rm,
+            Err(_) => return self.invoke_flat(idx, args, observer),
+        };
+        if self.config.max_call_depth == 0 {
+            return Err(Trap::CallStackExhausted);
+        }
+        self.stats.calls += 1;
+        let rf = &rm.funcs[(idx - compiled.n_imported) as usize];
+        let mut bufs = std::mem::take(&mut self.reg_bufs);
+        let mut ics = std::mem::take(&mut self.reg_ics);
+        if ics.len() < rm.n_ic as usize {
+            ics.resize(rm.n_ic as usize, IcEntry::default());
+        }
+        bufs.regs.clear();
+        bufs.frames.clear();
+        bufs.regs.extend(args.iter().map(|v| value_to_slot(*v)));
+        bufs.regs.resize(rf.n_regs as usize, 0);
+        let obs_null = observer.is_null();
+        let mut vm = RegVm {
+            inst: self,
+            compiled: &compiled,
+            rm,
+            rf,
+            regs: bufs.regs,
+            frames: bufs.frames,
+            ics,
+            base: 0,
+            cur_func: idx,
+            seg_start: 0,
+            instrs: 0,
+            loads: 0,
+            stores: 0,
+            obs_null,
+            observer,
+            trap: None,
+            ret_at: 0,
+        };
+        let mut pc: u32 = 0;
+        loop {
+            let op = vm.rf.code[pc as usize];
+            pc = (op.handler)(&mut vm, op, pc);
+            if pc >= TRAPPED {
+                break;
+            }
+        }
+        let RegVm {
+            regs,
+            frames,
+            ics,
+            instrs,
+            loads,
+            stores,
+            trap,
+            ret_at,
+            ..
+        } = vm;
+        self.stats.instructions += instrs;
+        self.stats.loads += loads;
+        self.stats.stores += stores;
+        self.reg_bufs = RegBuffers { regs, frames };
+        self.reg_ics = ics;
+        if pc == TRAPPED {
+            return Err(trap.expect("trap recorded"));
+        }
+        let at = ret_at as usize;
+        Ok(rf
+            .results_ty
+            .iter()
+            .enumerate()
+            .map(|(k, t)| slot_to_value(self.reg_bufs.regs[at + k], *t))
+            .collect())
+    }
+}

@@ -259,7 +259,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account,");
             println!("          serve, deploy, invoke, stats, top, recent, shutdown");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
-            println!("                   --engine tree|bytecode (default tree)");
+            println!("                   --engine tree|bytecode|regs (default tree)");
             println!("                   --cache-capacity N (bound the instrumentation cache)");
             println!("                   --trace-out FILE --metrics-out FILE");
             println!("serve flags:       --listen ADDR --workers N --queue N");

@@ -37,6 +37,7 @@ pub mod instr;
 pub mod leb;
 pub mod module;
 pub mod op;
+pub mod rangeproof;
 pub mod text;
 pub mod types;
 pub mod validate;

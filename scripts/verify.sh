@@ -16,11 +16,22 @@ cargo build --offline --release
 echo "==> tier-1: cargo test"
 cargo test --offline -q
 
-echo "==> engine differential suite (tree vs bytecode)"
+echo "==> engine differential suite (tree vs bytecode vs regs, three-way)"
 cargo test --offline -q -p acctee-integration --test engine_diff
 
 echo "==> interpreter throughput smoke (BENCH_interp.json)"
 cargo run --offline --release -q -p acctee-bench --bin interp -- 8 2 --out /tmp/BENCH_interp.json
+# The register tier must be present and must beat the flat engine on
+# the per-kernel geomean (its whole reason to exist); the committed
+# trajectory file must carry the regs block too.
+for f in /tmp/BENCH_interp.json BENCH_interp.json; do
+    grep -q '"regs"' "$f" || { echo "$f missing regs engine block"; exit 1; }
+    grep -q '"regs_speedup_geomean_vs_bytecode"' "$f" \
+        || { echo "$f missing regs_speedup_geomean_vs_bytecode"; exit 1; }
+done
+REGS_X="$(sed -n 's/.*"regs_speedup_geomean_vs_bytecode": \([0-9.]*\).*/\1/p' /tmp/BENCH_interp.json)"
+awk -v x="${REGS_X:-0}" 'BEGIN { exit !(x > 1.0) }' \
+    || { echo "register tier is not faster than bytecode (geomean ${REGS_X:-?}x)"; exit 1; }
 
 echo "==> artifact-cache concurrency suite"
 cargo test --offline -q --release -p acctee-integration --test artifact_cache

@@ -1,11 +1,13 @@
-//! Differential testing of the two execution engines.
+//! Differential testing of the three execution engines.
 //!
 //! The tree-walker is the semantic oracle; the flat-bytecode engine
-//! must be indistinguishable from it for *any* module: bit-identical
-//! results, identical traps (kind and position, as witnessed by
-//! `ExecStats` and remaining fuel), identical `ExecStats`, and
-//! identical observer counts — across all three bytecode dispatch
-//! modes (fast/batched, metered, observed).
+//! and the register tier must each be indistinguishable from it for
+//! *any* module: bit-identical results, identical traps (kind and
+//! position, as witnessed by `ExecStats` and remaining fuel),
+//! identical `ExecStats`, and identical observer counts — across all
+//! dispatch modes (fast/batched, metered, observed; the register
+//! tier deopts to flat bytecode for the latter two, which this suite
+//! exercises as well).
 //!
 //! Programs come from a control-flow-heavy generator (blocks, loops,
 //! ifs, br_table, direct/indirect calls, memory traffic, occasional
@@ -88,9 +90,9 @@ fn run(
     }
 }
 
-/// The flagship assertion: both engines agree on results, traps,
-/// stats, fuel and counts, in every bytecode dispatch mode. Returns
-/// the oracle outcome for further checks.
+/// The flagship assertion: all three engines agree on results, traps,
+/// stats, fuel and counts, in every dispatch mode. Returns the oracle
+/// outcome for further checks.
 fn assert_engines_agree(
     module: &Module,
     mk_imports: &dyn Fn() -> Imports,
@@ -98,7 +100,8 @@ fn assert_engines_agree(
     args: &[Value],
     fuel: Option<u64>,
 ) -> Outcome {
-    // Observed mode: exact per-instruction stream on both sides.
+    // Oracle runs: per-instruction observed and null-observer modes
+    // must themselves agree on stats.
     let t = run(
         module,
         mk_imports(),
@@ -108,18 +111,6 @@ fn assert_engines_agree(
         func,
         args,
     );
-    let b = run(
-        module,
-        mk_imports(),
-        Engine::Bytecode,
-        fuel,
-        Obs::Counting,
-        func,
-        args,
-    );
-    assert_eq!(t, b, "observed (per-instruction) mode diverged");
-    // Null observer: the bytecode engine takes the batched fast path
-    // (or the metered path when fuel is set).
     let tn = run(
         module,
         mk_imports(),
@@ -129,32 +120,34 @@ fn assert_engines_agree(
         func,
         args,
     );
-    let bn = run(
-        module,
-        mk_imports(),
-        Engine::Bytecode,
-        fuel,
-        Obs::Null,
-        func,
-        args,
-    );
-    assert_eq!(tn, bn, "null-observer (batched) mode diverged");
     assert_eq!(t.stats, tn.stats, "observer choice changed tree stats");
-    // A batched counter must still see the exact total, including
-    // partially executed blocks on traps.
-    let bb = run(
-        module,
-        mk_imports(),
-        Engine::Bytecode,
-        fuel,
-        Obs::Batched,
-        func,
-        args,
-    );
-    assert_eq!(bb.count, t.count, "fused block counts diverged from oracle");
-    assert_eq!(bb.result, t.result);
-    assert_eq!(bb.stats, t.stats);
-    assert_eq!(bb.fuel_left, t.fuel_left);
+    for engine in [Engine::Bytecode, Engine::Regs] {
+        // Observed mode: exact per-instruction stream on both sides
+        // (the register tier deopts to flat bytecode here).
+        let b = run(
+            module,
+            mk_imports(),
+            engine,
+            fuel,
+            Obs::Counting,
+            func,
+            args,
+        );
+        assert_eq!(t, b, "{engine:?}: observed (per-instruction) mode diverged");
+        // Null observer: the fastest dispatch mode of each engine.
+        let bn = run(module, mk_imports(), engine, fuel, Obs::Null, func, args);
+        assert_eq!(tn, bn, "{engine:?}: null-observer (batched) mode diverged");
+        // A batched counter must still see the exact total, including
+        // partially executed blocks on traps.
+        let bb = run(module, mk_imports(), engine, fuel, Obs::Batched, func, args);
+        assert_eq!(
+            bb.count, t.count,
+            "{engine:?}: fused block counts diverged from oracle"
+        );
+        assert_eq!(bb.result, t.result, "{engine:?}");
+        assert_eq!(bb.stats, t.stats, "{engine:?}");
+        assert_eq!(bb.fuel_left, t.fuel_left, "{engine:?}");
+    }
     t
 }
 
@@ -735,8 +728,10 @@ fn instrumented_counter_agrees() {
                     inst.stats(),
                 ));
             }
-            assert_eq!(counters[0], counters[1], "{level} counter diverged");
-            assert_eq!(outcomes[0], outcomes[1], "{level} outcome diverged");
+            for k in 1..counters.len() {
+                assert_eq!(counters[0], counters[k], "{level} counter diverged");
+                assert_eq!(outcomes[0], outcomes[k], "{level} outcome diverged");
+            }
         }
     });
 }
@@ -770,7 +765,9 @@ fn repeated_invokes_accumulate_identically() {
         }
         results.push((outs, inst.stats()));
     }
-    assert_eq!(results[0], results[1]);
+    for k in 1..results.len() {
+        assert_eq!(results[0], results[k]);
+    }
     // Growth saturated at the 4-page maximum; later grows returned -1
     // but were still counted.
     assert_eq!(results[0].1.mem_grows, 6);
@@ -782,6 +779,166 @@ fn single_func(params: &[ValType], body: impl FnOnce(&mut FuncBuilder)) -> Modul
     let f = b.func("f", params, &[ValType::I32], body);
     b.export_func("f", f);
     b.build()
+}
+
+// --------------------------------------- bounds-check-elimination suite
+
+/// A canonical counted loop over `f(n, base) -> i64`: stores
+/// `i * 3` to `base + 8*i`, reads it back, and accumulates. The loop
+/// body matches the shape the register tier's range prover accepts,
+/// so with in-range arguments the unchecked copy runs; adversarial
+/// arguments must fail the hoisted guard and fall back to the checked
+/// copy, trapping (or not) exactly like the oracle.
+fn guarded_loop_module() -> Module {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1)); // 65536 bytes, cannot grow
+    let f = b.func("f", &[ValType::I32, ValType::I32], &[ValType::I64], |f| {
+        let n = 0;
+        let base = 1;
+        let i = f.local(ValType::I32);
+        let sum = f.local(ValType::I64);
+        f.for_loop(
+            i,
+            acctee_wasm::builder::Bound::Const(0),
+            acctee_wasm::builder::Bound::Local(n),
+            |f| {
+                // store: mem[base + 8*i] = i * 3
+                f.local_get(base);
+                f.local_get(i);
+                f.i32_const(3);
+                f.num(NumOp::I32Shl);
+                f.num(NumOp::I32Add);
+                f.local_get(i);
+                f.num(NumOp::I64ExtendI32S);
+                f.i64_const(3);
+                f.num(NumOp::I64Mul);
+                f.store(StoreOp::I64Store, 0);
+                // load it back and accumulate
+                f.local_get(sum);
+                f.local_get(base);
+                f.local_get(i);
+                f.i32_const(3);
+                f.num(NumOp::I32Shl);
+                f.num(NumOp::I32Add);
+                f.load(LoadOp::I64Load, 0);
+                f.num(NumOp::I64Add);
+                f.local_set(sum);
+            },
+        );
+        f.local_get(sum);
+    });
+    b.export_func("f", f);
+    b.build()
+}
+
+/// In-bounds guarded loops: the register tier's unchecked body copy
+/// produces bit-identical results, stats, and batched counts.
+#[test]
+fn guarded_loops_agree_in_bounds() {
+    let m = guarded_loop_module();
+    acctee_wasm::validate::validate_module(&m).expect("valid");
+    for (n, base) in [
+        (0, 0),       // loop never entered
+        (1, 0),       // single iteration
+        (64, 0),      // plain run
+        (64, 1),      // unaligned base
+        (8192, 0),    // exactly fills the page: last store at 65528
+        (100, 64736), // last access ends exactly at 65536
+    ] {
+        let out = assert_engines_agree(
+            &m,
+            &no_imports,
+            "f",
+            &[Value::I32(n), Value::I32(base)],
+            None,
+        );
+        assert!(out.result.is_ok(), "n={n} base={base}");
+    }
+}
+
+/// Adversarial guarded loops: arguments that drive the proven access
+/// pattern out of bounds (past the end, negative/huge base, address
+/// wraparound, do-while entry with a hostile start) must fail the
+/// hoisted guard and trap exactly where the oracle traps — same trap,
+/// same partially-accumulated stats, same batched count.
+#[test]
+fn guarded_loops_agree_out_of_bounds() {
+    let m = guarded_loop_module();
+    for (n, base) in [
+        (8193, 0),     // one iteration past the end of memory
+        (8192, 8),     // base shift pushes the last store out
+        (100, 64737),  // last access one byte past the end
+        (1, 65535),    // partial access straddling the boundary
+        (1, -8),       // negative base = huge u32 address
+        (1, i32::MIN), // sign boundary
+        (i32::MAX, 0), // bound so large the no-wrap check fails
+        (1, 65529),    // base + 8 crosses by one byte
+    ] {
+        let out = assert_engines_agree(
+            &m,
+            &no_imports,
+            "f",
+            &[Value::I32(n), Value::I32(base)],
+            None,
+        );
+        assert!(
+            matches!(out.result, Err(Trap::MemoryOutOfBounds { .. })),
+            "n={n} base={base}: expected OOB, got {:?}",
+            out.result
+        );
+    }
+    // Fuel expiring mid-loop forces the register tier's metered deopt
+    // while the guard-eligible loop is hot.
+    let free = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(64), Value::I32(0)], None);
+    let used = free.count.expect("counted");
+    for fuel in [used / 2, used - 1, used, used + 1] {
+        assert_engines_agree(
+            &m,
+            &no_imports,
+            "f",
+            &[Value::I32(64), Value::I32(0)],
+            Some(fuel),
+        );
+    }
+}
+
+/// A guarded loop whose address pattern the prover must *decline*
+/// (data-dependent index loaded from memory): still agrees everywhere,
+/// including when the data-dependent access goes out of bounds.
+#[test]
+fn unprovable_loops_agree() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1));
+    let f = b.func("f", &[ValType::I32], &[ValType::I64], |f| {
+        let i = f.local(ValType::I32);
+        let sum = f.local(ValType::I64);
+        f.for_loop(
+            i,
+            acctee_wasm::builder::Bound::Const(0),
+            acctee_wasm::builder::Bound::Local(0),
+            |f| {
+                // sum += mem[mem[8*i] & mask] — double indirection.
+                f.local_get(sum);
+                f.local_get(i);
+                f.i32_const(3);
+                f.num(NumOp::I32Shl);
+                f.load(LoadOp::I32Load, 0);
+                f.load(LoadOp::I64Load, 0);
+                f.num(NumOp::I64Add);
+                f.local_set(sum);
+            },
+        );
+        f.local_get(sum);
+    });
+    b.export_func("f", f);
+    let m = b.build();
+    // Zeroed memory keeps every inner index at 0: in bounds.
+    let ok = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(100)], None);
+    assert!(ok.result.is_ok());
+    // Walk past the outer array's end: the *outer* proven-shape access
+    // itself goes out of bounds mid-loop.
+    let oob = assert_engines_agree(&m, &no_imports, "f", &[Value::I32(8193)], None);
+    assert!(matches!(oob.result, Err(Trap::MemoryOutOfBounds { .. })));
 }
 
 // ------------------------------------------- exhaustive numeric sweep
