@@ -100,6 +100,19 @@ pub struct FaasPlatform {
     pub(crate) panic_marker: Option<u8>,
 }
 
+// The serving plane shards deployments across event loops and worker
+// threads (acctee-net DESIGN.md §14), holding each platform behind an
+// `Arc` and calling `handle` from whichever thread owns the
+// connection. Pin that contract at compile time: a future field that
+// is not `Send + Sync` (an `Rc`, a `RefCell`, a raw pointer) must be
+// an explicit decision here, not a silent confinement of the serving
+// path to one thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FaasPlatform>();
+    assert_send_sync::<RequestStats>();
+};
+
 impl std::fmt::Debug for FaasPlatform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "FaasPlatform({} on {})", self.kind.name(), self.setup)

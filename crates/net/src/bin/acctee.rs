@@ -41,7 +41,7 @@ use std::sync::Arc;
 use acctee::{Deployment, InstrumentationCache, InstrumentationEnclave, Level, PricingModel};
 use acctee_instrument::{instrument, WeightTable};
 use acctee_interp::{Config, Engine, Imports, Instance, ProfilingObserver, Value};
-use acctee_net::{Client, Server, ServerConfig, TrustAnchor};
+use acctee_net::{Client, InvokeSpec, IoMode, Server, ServerConfig, TrustAnchor};
 use acctee_sgx::{AttestationAuthority, Platform};
 use acctee_telemetry::{CollectingSink, Telemetry};
 use acctee_wasm::decode::decode_module;
@@ -116,6 +116,9 @@ struct Opts {
     tenant: String,
     request_deadline_ms: Option<u64>,
     io_timeout_ms: u64,
+    io_mode: IoMode,
+    shards: usize,
+    repeat: usize,
     out: Option<String>,
     log_level: Option<String>,
     prom: bool,
@@ -144,6 +147,9 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         tenant: "cli".into(),
         request_deadline_ms: None,
         io_timeout_ms: 5000,
+        io_mode: IoMode::default(),
+        shards: 8,
+        repeat: 1,
         out: None,
         log_level: None,
         prom: false,
@@ -185,6 +191,12 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
             "--io-timeout-ms" => {
                 o.io_timeout_ms = want(&mut it)?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--io" => {
+                let v = want(&mut it)?;
+                o.io_mode = IoMode::parse(&v).ok_or_else(|| format!("--io: unknown mode `{v}`"))?;
+            }
+            "--shards" => o.shards = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--repeat" => o.repeat = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
             "--out" => o.out = Some(want(&mut it)?),
             "--log-level" => o.log_level = Some(want(&mut it)?),
             "--prom" => o.prom = true,
@@ -263,11 +275,13 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("                   --cache-capacity N (bound the instrumentation cache)");
             println!("                   --trace-out FILE --metrics-out FILE");
             println!("serve flags:       --listen ADDR --workers N --queue N");
+            println!("                   --io event|thread --shards N");
             println!("                   --tenant-inflight N --seed S --engine E");
             println!("                   --request-deadline-ms N --io-timeout-ms N");
             println!("                   --log-level off|error|warn|info|debug|trace");
             println!("deploy/invoke:     --connect ADDR --seed S --level L [--out FILE]");
             println!("                   invoke also: --invoke F --arg V --input STR --tenant T");
+            println!("                   --repeat N (pipeline N invokes on one connection)");
             println!("stats:             --connect ADDR [--prom] [--watch SECS]");
             println!("top:               --connect ADDR [--watch SECS]");
             println!("recent:            --connect ADDR [--limit N]");
@@ -500,6 +514,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .request_deadline_ms
             .map(std::time::Duration::from_millis),
         cache_capacity: opts.cache_capacity,
+        io_mode: opts.io_mode,
+        shards: opts.shards,
     };
     let server = Server::bind(addr, config).map_err(|e| e.to_string())?;
     // Scripts scrape this line for the ephemeral port; flush so it is
@@ -548,9 +564,34 @@ fn cmd_invoke(opts: &Opts) -> Result<(), String> {
     let handle = client
         .deploy(&encode_module(&m), opts.level)
         .map_err(|e| e.to_string())?;
-    let outcome = client
-        .invoke(&handle, &opts.invoke, &args, &opts.input, &opts.tenant)
-        .map_err(|e| e.to_string())?;
+    let outcome = if opts.repeat > 1 {
+        // Keep-alive pipelining: all invokes ride the one attested
+        // session, written back-to-back and read in order. Every signed
+        // log is still verified client-side.
+        let specs: Vec<InvokeSpec> = (0..opts.repeat)
+            .map(|_| InvokeSpec {
+                func: opts.invoke.clone(),
+                args: args.clone(),
+                input: opts.input.clone(),
+                tenant: opts.tenant.clone(),
+            })
+            .collect();
+        let outcomes = client
+            .invoke_many(&handle, &specs)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "pipelined {} invokes on one connection (all logs verified)",
+            outcomes.len()
+        );
+        outcomes
+            .into_iter()
+            .next_back()
+            .ok_or("no outcomes returned")?
+    } else {
+        client
+            .invoke(&handle, &opts.invoke, &args, &opts.input, &opts.tenant)
+            .map_err(|e| e.to_string())?
+    };
     println!("results: {:?}", outcome.results);
     if !outcome.output.is_empty() {
         println!("output: {}", String::from_utf8_lossy(&outcome.output));

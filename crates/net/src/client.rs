@@ -20,6 +20,7 @@
 //!
 //! All verification failures are hard errors ([`NetError::Verification`]).
 
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -32,7 +33,9 @@ use acctee_sgx::crypto::sha256;
 use acctee_sgx::{AttestationAuthority, Measurement};
 
 use crate::stats::{HealthReport, RequestRecord, StatsSnapshot};
-use crate::wire::{read_response, write_request, Request, Response, WireError};
+use crate::wire::{
+    encode_request_into, read_response, write_request, Request, Response, WireError,
+};
 
 /// Client-side failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,9 +172,30 @@ fn fresh_trace_id() -> u64 {
     }
 }
 
-/// A connection to an AccTEE server, attested at construction.
+/// What one pipelined invocation asks for; see
+/// [`Client::invoke_many`].
+#[derive(Debug, Clone)]
+pub struct InvokeSpec {
+    /// Exported function to call.
+    pub func: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+    /// Workload input bytes.
+    pub input: Vec<u8>,
+    /// Tenant the invocation is billed to.
+    pub tenant: String,
+}
+
+/// The reusable attested session: alias of [`Client`], named for call
+/// sites that hold one connection across many invokes (keep-alive)
+/// rather than dialing per request.
+pub type Connection = Client;
+
+/// A connection to an AccTEE server, attested at construction. The
+/// session is keep-alive: every method reuses the one attested stream,
+/// and [`Client::invoke_many`] pipelines whole batches over it.
 pub struct Client {
-    stream: TcpStream,
+    stream: BufReader<TcpStream>,
     anchor: TrustAnchor,
 }
 
@@ -193,7 +217,10 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        let mut client = Client { stream, anchor };
+        let mut client = Client {
+            stream: BufReader::new(stream),
+            anchor,
+        };
         client.attest()?;
         Ok(client)
     }
@@ -226,7 +253,7 @@ impl Client {
     /// One request/response exchange. `Busy` and server errors are
     /// mapped to their [`NetError`] variants here.
     fn call(&mut self, req: &Request) -> Result<Response, NetError> {
-        write_request(&mut self.stream, req)?;
+        write_request(self.stream.get_mut(), req)?;
         match read_response(&mut self.stream)? {
             Response::Busy => Err(NetError::Busy),
             Response::Error { message } => Err(NetError::Server(message)),
@@ -315,6 +342,106 @@ impl Client {
             log,
             invoice_total,
         })
+    }
+
+    /// Pipelines a batch of invocations over the attested session: all
+    /// request frames go out in one coalesced write, then the
+    /// responses are read back in order. Every signed log is fully
+    /// verified.
+    ///
+    /// The whole batch must succeed; the first per-request failure is
+    /// returned (after all responses were drained, so the session
+    /// stays usable for `Busy`/server errors).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the first [`NetError::Busy`], server or
+    /// [`NetError::Verification`] error in the batch.
+    pub fn invoke_many(
+        &mut self,
+        handle: &DeployHandle,
+        specs: &[InvokeSpec],
+    ) -> Result<Vec<InvokeOutcome>, NetError> {
+        self.invoke_pipelined(handle, specs, 1)?
+            .into_iter()
+            .collect()
+    }
+
+    /// [`Client::invoke_many`] with per-request results and sampled
+    /// verification: logs at indices divisible by `verify_every` (and
+    /// the last) are fully verified against the trust anchor; the rest
+    /// only have their session-id echo checked. `verify_every <= 1`
+    /// verifies everything. Load generators use sampling so client-
+    /// side crypto does not become the bottleneck being measured.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures poison the whole batch (the
+    /// connection is no longer in a known state); per-request `Busy`,
+    /// server and verification errors come back in the item slots.
+    pub fn invoke_pipelined(
+        &mut self,
+        handle: &DeployHandle,
+        specs: &[InvokeSpec],
+        verify_every: usize,
+    ) -> Result<Vec<Result<InvokeOutcome, NetError>>, NetError> {
+        let mut batch = Vec::new();
+        let mut trace_ids = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let trace_id = fresh_trace_id();
+            encode_request_into(
+                &mut batch,
+                &Request::Invoke {
+                    deploy_id: handle.deploy_id,
+                    func: spec.func.clone(),
+                    args: spec.args.clone(),
+                    input: spec.input.clone(),
+                    tenant: spec.tenant.clone(),
+                    trace_id,
+                },
+            );
+            trace_ids.push(trace_id);
+        }
+        let stream = self.stream.get_mut();
+        stream.write_all(&batch)?;
+        stream.flush()?;
+        let mut out = Vec::with_capacity(specs.len());
+        for (i, trace_id) in trace_ids.into_iter().enumerate() {
+            let item = match read_response(&mut self.stream)? {
+                Response::Busy => Err(NetError::Busy),
+                Response::Error { message } => Err(NetError::Server(message)),
+                Response::InvokeOk {
+                    session_id,
+                    results,
+                    output,
+                    log,
+                    invoice_total,
+                } => {
+                    let verify = verify_every <= 1 || i % verify_every == 0 || i + 1 == specs.len();
+                    let checked = if verify {
+                        self.verify_log(&log, Some(handle), session_id)
+                    } else if log.log.session_id == session_id {
+                        Ok(())
+                    } else {
+                        Err(NetError::Verification(format!(
+                            "log is for session {}, expected {session_id}",
+                            log.log.session_id
+                        )))
+                    };
+                    checked.map(|()| InvokeOutcome {
+                        session_id,
+                        trace_id,
+                        results,
+                        output,
+                        log,
+                        invoice_total,
+                    })
+                }
+                other => Err(unexpected("InvokeOk", &other)),
+            };
+            out.push(item);
+        }
+        Ok(out)
     }
 
     /// Re-fetches and verifies the signed log of an earlier session.

@@ -28,12 +28,15 @@
 //! `acctee top` and `acctee recent`.
 
 pub mod client;
+pub mod poll;
 pub mod server;
 pub mod stats;
 pub mod wire;
 
-pub use client::{Client, DeployHandle, InvokeOutcome, NetError, TrustAnchor};
-pub use server::{Server, ServerConfig};
+pub use client::{
+    Client, Connection, DeployHandle, InvokeOutcome, InvokeSpec, NetError, TrustAnchor,
+};
+pub use server::{lock_or_recover, IoMode, Server, ServerConfig};
 pub use stats::{
     CacheStats, FlightRecorder, HealthReport, LatencySummary, RequestOutcome, RequestRecord,
     ServerStats, StatsSnapshot, TenantStats,

@@ -1,56 +1,126 @@
 //! The attested serving front end: a TCP server speaking the
 //! [`crate::wire`] protocol in front of a [`Deployment`].
 //!
-//! Threading model: one acceptor (the thread that called
-//! [`Server::run`]) plus a bounded worker pool. Accepted connections
-//! go through a bounded queue — when it is full the acceptor writes an
-//! explicit [`Response::Busy`] and closes, so overload degrades into
-//! visible shed rather than unbounded latency. Each worker owns one
-//! connection at a time and serves its requests sequentially;
-//! per-tenant in-flight limits bound how many workers a single tenant
-//! can hold across connections.
+//! Two I/O modes ([`IoMode`], DESIGN.md §14):
 //!
-//! Deadlines: sockets carry read/write timeouts (a stalled or dead
-//! peer frees its worker), and executions run under the deployment's
-//! wall-clock budget (`ServerConfig::request_deadline`), so no request
-//! can pin a worker forever.
+//! * **Event** (default, Linux): one blocking acceptor plus a
+//!   readiness loop per worker, each built on the small epoll wrapper
+//!   in [`crate::poll`]. Connections are non-blocking and keep-alive;
+//!   the wire layer buffers whole batches of pipelined frames
+//!   ([`crate::wire::decode_request_frame`]) and coalesces the
+//!   responses into one write. Requests run to completion on the loop
+//!   thread, so a loop is both the poller and the worker for its
+//!   connections.
+//! * **Thread** (fallback, any platform): the classic one-connection-
+//!   per-worker pool. Each worker owns a bounded queue and the
+//!   acceptor dispatches to the least-loaded one — no shared
+//!   `Mutex<Receiver>` hand-off serializing the pool.
 //!
-//! Session ids are drawn from one server-wide monotonic counter, never
-//! reused across connections — the anti-replay property downstream
-//! verifiers (e.g. the volunteer-computing `Escrow`) rely on.
+//! Either way, overload degrades into visible shed: when the number of
+//! accepted-but-unserved connections reaches `queue_depth`, the
+//! acceptor answers [`Response::Busy`] and closes. Per-tenant in-flight
+//! limits bound how many workers a single tenant can hold across
+//! connections.
 //!
-//! Shutdown: a `Shutdown` request flips the flag, the acceptor is
-//! woken by a loopback connection and stops admitting, in-flight
-//! requests complete, and queued-but-unserved connections are closed.
+//! Hot-path state is **sharded** ([`ShardMap`]): deployments, the
+//! per-tenant in-flight map and the signed-log store are each split
+//! across `shards` mutexes keyed by `hash(key) % shards`, so no lock
+//! is global on the request path. Sharding only re-homes the *lookup
+//! structures* — session ids still come from one server-wide monotonic
+//! counter and every execution still runs through the same accounting
+//! enclave, so the signed usage logs are byte-identical to the
+//! unsharded server's.
+//!
+//! Deadlines: blocking sockets carry read/write timeouts and event-
+//! mode connections are swept on an idle clock (`io_timeout` both
+//! ways); executions run under the deployment's wall-clock budget
+//! (`ServerConfig::request_deadline`), so no request can pin a worker
+//! forever.
+//!
+//! Shutdown: a `Shutdown` request flips the flag, wakes the acceptor
+//! (loopback connect) and every event loop (wake byte). In-flight
+//! responses are flushed, queued-but-unserved connections are closed.
 //!
 //! Observability (DESIGN.md §12): every server owns a
 //! [`ServerStats`] — counters, per-stage latency histograms, per-tenant
 //! metered usage and a bounded flight recorder — queryable live over
 //! the same attested channel via `Stats`, `Health` and `Recent`
-//! frames. Connection lifecycle and shed decisions additionally emit
-//! structured log lines through [`acctee_telemetry::logging`] when a
-//! level is set (`acctee serve --log-level`).
+//! frames.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+#[cfg(target_os = "linux")]
+use std::io::{Read, Write};
+#[cfg(target_os = "linux")]
+use std::os::fd::AsRawFd;
+#[cfg(target_os = "linux")]
+use std::os::unix::net::UnixStream;
 
 use acctee::enclave::LoadedWorkload;
 use acctee::{Deployment, SignedLog};
 use acctee_interp::Engine;
 use acctee_telemetry::logging;
 
-use crate::stats::{CacheStats, RequestOutcome, RequestRecord, ServerStats};
-use crate::wire::{read_request_timed, write_response, Request, Response, WireError, WIRE_VERSION};
+#[cfg(target_os = "linux")]
+use crate::poll::{Epoll, Event, Interest, Poller};
+use crate::stats::{BusyGuard, CacheStats, RequestOutcome, RequestRecord, ServerStats};
+use crate::wire::{
+    decode_request_frame, encode_response_into, read_request_timed, write_response, Request,
+    Response, WireError, WIRE_VERSION,
+};
 
-/// How many signed logs the server retains for `FetchLog` (FIFO).
+/// How many signed logs the server retains for `FetchLog` (FIFO,
+/// split evenly across log shards).
 const LOG_RETENTION: usize = 4096;
 
 /// Log target for server-side lines.
 const LOG: &str = "net.server";
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+///
+/// Every shared map in the server goes through this one helper: the
+/// maps hold plain data (no invariants spanning multiple entries), so
+/// a poisoned lock after a worker panic is safe to keep serving from —
+/// losing availability to poisoning would be strictly worse.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How connection I/O is multiplexed; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// Readiness loop per worker over epoll (Linux; elsewhere this
+    /// falls back to `Thread`).
+    #[default]
+    Event,
+    /// Blocking one-connection-per-worker pool.
+    Thread,
+}
+
+impl IoMode {
+    /// Parses a `--io` flag value.
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s {
+            "event" | "epoll" => Some(IoMode::Event),
+            "thread" | "threads" => Some(IoMode::Thread),
+            _ => None,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Event => "event",
+            IoMode::Thread => "thread",
+        }
+    }
+}
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -59,10 +129,11 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Interpreter engine for accounted executions.
     pub engine: Engine,
-    /// Worker pool size.
+    /// Worker count: event loops in `Event` mode, pool threads in
+    /// `Thread` mode.
     pub workers: usize,
-    /// Admission queue depth; connections beyond it are shed with
-    /// [`Response::Busy`].
+    /// Admission bound on accepted-but-unserved connections; beyond it
+    /// the acceptor sheds with [`Response::Busy`].
     pub queue_depth: usize,
     /// Maximum concurrently executing invokes per tenant.
     pub tenant_inflight: usize,
@@ -72,6 +143,10 @@ pub struct ServerConfig {
     pub request_deadline: Option<Duration>,
     /// Bound on the instrumentation cache (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Connection I/O multiplexing mode.
+    pub io_mode: IoMode,
+    /// Lock shards for deployments / in-flight counts / retained logs.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +160,8 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(5),
             request_deadline: Some(Duration::from_secs(10)),
             cache_capacity: None,
+            io_mode: IoMode::default(),
+            shards: 8,
         }
     }
 }
@@ -98,7 +175,59 @@ struct Deployed {
     workload: LoadedWorkload,
 }
 
-/// Bounded FIFO store of signed logs for `FetchLog`.
+/// A hash-sharded map: `shards` independent mutexes, each guarding a
+/// plain `HashMap`, keyed by `hash(key) % shards`. Two requests touch
+/// the same lock only when their keys collide into one shard, so no
+/// lock on the request path is global.
+pub(crate) struct ShardMap<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+}
+
+impl<K: Hash + Eq, V> ShardMap<K, V> {
+    fn new(shards: usize) -> ShardMap<K, V> {
+        ShardMap {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard<Q: Hash + ?Sized>(&self, key: &Q) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Locks the shard that owns `key` (poison-recovering). The hash
+    /// of a borrowed form must equal the owned key's (`str`/`String`,
+    /// `u64`/`u64` — the std `Hash` contract the lookups rely on).
+    fn lock<Q: Hash + ?Sized>(&self, key: &Q) -> MutexGuard<'_, HashMap<K, V>> {
+        lock_or_recover(self.shard(key))
+    }
+
+    /// Total entries across shards (locks each shard in turn).
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_or_recover(s).len()).sum()
+    }
+
+    /// A point-in-time union of every shard (for snapshots; never on
+    /// the request hot path).
+    fn fold(&self) -> HashMap<K, V>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            for (k, v) in lock_or_recover(shard).iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Bounded FIFO store of signed logs for `FetchLog` (one per shard).
 #[derive(Default)]
 struct LogStore {
     by_session: HashMap<u64, SignedLog>,
@@ -106,8 +235,8 @@ struct LogStore {
 }
 
 impl LogStore {
-    fn insert(&mut self, log: SignedLog) {
-        if self.order.len() == LOG_RETENTION {
+    fn insert(&mut self, log: SignedLog, retention: usize) {
+        while self.order.len() >= retention.max(1) {
             if let Some(old) = self.order.pop_front() {
                 self.by_session.remove(&old);
             }
@@ -122,15 +251,26 @@ struct Shared {
     dep: Deployment,
     config: ServerConfig,
     local_addr: SocketAddr,
-    deployments: Mutex<HashMap<u64, Arc<Deployed>>>,
+    deployments: ShardMap<u64, Arc<Deployed>>,
     next_deploy: AtomicU64,
     /// Server-wide monotonic session counter: ids are unique across
     /// connections and never reused, so every signed log is replay-
-    /// distinguishable.
+    /// distinguishable. Deliberately *not* sharded — a fetch_add is
+    /// already contention-free.
     next_session: AtomicU64,
-    logs: Mutex<LogStore>,
-    inflight: Mutex<HashMap<String, usize>>,
+    /// Signed-log retention, sharded by `session_id % shards` with
+    /// `LOG_RETENTION / shards` entries each.
+    logs: Box<[Mutex<LogStore>]>,
+    log_retention_per_shard: usize,
+    inflight: ShardMap<String, usize>,
     shutdown: AtomicBool,
+    /// Accepted connections handed to a worker/loop but not yet picked
+    /// up — the admission gauge the acceptor sheds on.
+    backlog: AtomicUsize,
+    /// Wake handles for the event loops (one byte wakes a loop out of
+    /// its poll so it notices new connections or the shutdown flag).
+    #[cfg(target_os = "linux")]
+    wakes: Mutex<Vec<UnixStream>>,
     /// The telemetry plane behind `Stats`/`Health`/`Recent`.
     stats: ServerStats,
 }
@@ -145,6 +285,19 @@ impl Shared {
             singleflight_waits: cache.singleflight_waits(),
         }
     }
+
+    fn log_shard(&self, session_id: u64) -> &Mutex<LogStore> {
+        &self.logs[(session_id % self.logs.len() as u64) as usize]
+    }
+
+    /// Writes one wake byte to every event loop (no-op in thread mode
+    /// and on platforms without the event backend).
+    fn wake_loops(&self) {
+        #[cfg(target_os = "linux")]
+        for wake in lock_or_recover(&self.wakes).iter() {
+            let _ = (&*wake).write(&[1u8]);
+        }
+    }
 }
 
 /// Decrements a tenant's in-flight count on drop, so panics and early
@@ -156,7 +309,7 @@ struct TenantSlot<'a> {
 
 impl Drop for TenantSlot<'_> {
     fn drop(&mut self) {
-        let mut map = lock_inflight(self.shared);
+        let mut map = self.shared.inflight.lock(self.tenant.as_str());
         if let Some(n) = map.get_mut(&self.tenant) {
             *n -= 1;
             if *n == 0 {
@@ -164,13 +317,6 @@ impl Drop for TenantSlot<'_> {
             }
         }
     }
-}
-
-fn lock_inflight(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
-    shared
-        .inflight
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The serving front end. Bind, then [`Server::run`] (blocking) or
@@ -197,19 +343,26 @@ impl Server {
         dep.set_engine(config.engine);
         dep.set_time_budget(config.request_deadline);
         let stats = ServerStats::new(config.workers.max(1) as u32, config.queue_depth as u32);
+        let shards = config.shards.max(1);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 dep,
-                config,
                 local_addr,
-                deployments: Mutex::new(HashMap::new()),
+                deployments: ShardMap::new(shards),
                 next_deploy: AtomicU64::new(1),
                 next_session: AtomicU64::new(1),
-                logs: Mutex::new(LogStore::default()),
-                inflight: Mutex::new(HashMap::new()),
+                logs: (0..shards)
+                    .map(|_| Mutex::new(LogStore::default()))
+                    .collect(),
+                log_retention_per_shard: (LOG_RETENTION / shards).max(1),
+                inflight: ShardMap::new(shards),
                 shutdown: AtomicBool::new(false),
+                backlog: AtomicUsize::new(0),
+                #[cfg(target_os = "linux")]
+                wakes: Mutex::new(Vec::new()),
                 stats,
+                config,
             }),
         })
     }
@@ -224,7 +377,7 @@ impl Server {
     pub fn run(self) {
         let hub = acctee_telemetry::global();
         let _span = hub.span("net.serve", "net");
-        let shared = self.shared;
+        let Server { listener, shared } = self;
         logging::info(
             LOG,
             "serving",
@@ -232,22 +385,17 @@ impl Server {
                 ("addr", shared.local_addr.to_string()),
                 ("workers", shared.config.workers.to_string()),
                 ("queue_depth", shared.config.queue_depth.to_string()),
+                ("io", shared.config.io_mode.name().to_string()),
+                ("shards", shared.config.shards.to_string()),
             ],
         );
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(shared.config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        std::thread::scope(|scope| {
-            for i in 0..shared.config.workers.max(1) {
-                let rx = Arc::clone(&rx);
-                let shared = &shared;
-                std::thread::Builder::new()
-                    .name(format!("acctee-net-worker-{i}"))
-                    .spawn_scoped(scope, move || worker_loop(shared, &rx))
-                    .expect("spawn worker");
-            }
-            accept_loop(&shared, &self.listener, &tx);
-            drop(tx); // workers drain the queue, then exit
-        });
+        #[cfg(target_os = "linux")]
+        if shared.config.io_mode == IoMode::Event {
+            run_event(&shared, &listener);
+            logging::info(LOG, "drained", &[]);
+            return;
+        }
+        run_thread(&shared, &listener);
         logging::info(LOG, "drained", &[]);
     }
 
@@ -263,7 +411,106 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+/// Sheds a just-accepted connection with `Busy` (admission bound hit).
+fn shed_at_accept(shared: &Shared, mut stream: TcpStream) {
+    shared.stats.shed_queue();
+    logging::warn(
+        LOG,
+        "connection shed",
+        &[
+            ("reason", "queue".to_string()),
+            ("queue_depth", shared.config.queue_depth.to_string()),
+        ],
+    );
+    let start_ns = shared.stats.now_ns();
+    shared.stats.recorder.record(RequestRecord {
+        trace_id: 0,
+        kind: "accept".into(),
+        tenant: String::new(),
+        func: String::new(),
+        session_id: 0,
+        outcome: RequestOutcome::Shed,
+        error: "admission queue full".into(),
+        start_ns,
+        total_ns: 0,
+        stages: Vec::new(),
+    });
+    let _ = write_response(&mut stream, &Response::Busy);
+}
+
+// ------------------------------------------------------- thread mode
+
+/// One worker's bounded mailbox: the acceptor pushes to the least-
+/// loaded queue instead of every worker contending on one shared
+/// receiver lock. `load` counts queued + currently-served connections.
+struct WorkerQueue {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+    load: AtomicUsize,
+}
+
+impl WorkerQueue {
+    fn new() -> WorkerQueue {
+        WorkerQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            load: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        self.load.fetch_add(1, Ordering::SeqCst);
+        lock_or_recover(&self.inner).0.push_back(stream);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        lock_or_recover(&self.inner).1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next connection; `None` once closed and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = lock_or_recover(&self.inner);
+        loop {
+            if let Some(stream) = guard.0.pop_front() {
+                return Some(stream);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self
+                .cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The connection taken by `pop` has been fully served (or
+    /// dropped).
+    fn done(&self) {
+        self.load.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_thread(shared: &Shared, listener: &TcpListener) {
+    let workers = shared.config.workers.max(1);
+    let queues: Vec<WorkerQueue> = (0..workers).map(|_| WorkerQueue::new()).collect();
+    std::thread::scope(|scope| {
+        for (i, queue) in queues.iter().enumerate() {
+            std::thread::Builder::new()
+                .name(format!("acctee-net-worker-{i}"))
+                .spawn_scoped(scope, move || worker_loop(shared, queue))
+                .expect("spawn worker");
+        }
+        accept_loop_thread(shared, listener, &queues);
+        for queue in &queues {
+            queue.close();
+        }
+    });
+}
+
+fn accept_loop_thread(shared: &Shared, listener: &TcpListener, queues: &[WorkerQueue]) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _peer)) => stream,
@@ -277,63 +524,48 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
         let t = Some(shared.config.io_timeout);
         let _ = stream.set_read_timeout(t);
         let _ = stream.set_write_timeout(t);
-        match tx.try_send(stream) {
-            Ok(()) => shared.stats.queue_entered(),
-            Err(TrySendError::Full(mut stream)) => {
-                // Admission control: shed with an explicit Busy so the
-                // client can back off, instead of queueing unboundedly.
-                shared.stats.shed_queue();
-                logging::warn(
-                    LOG,
-                    "connection shed",
-                    &[
-                        ("reason", "queue".to_string()),
-                        ("queue_depth", shared.config.queue_depth.to_string()),
-                    ],
-                );
-                let start_ns = shared.stats.now_ns();
-                shared.stats.recorder.record(RequestRecord {
-                    trace_id: 0,
-                    kind: "accept".into(),
-                    tenant: String::new(),
-                    func: String::new(),
-                    session_id: 0,
-                    outcome: RequestOutcome::Shed,
-                    error: "admission queue full".into(),
-                    start_ns,
-                    total_ns: 0,
-                    stages: Vec::new(),
-                });
-                let _ = write_response(&mut stream, &Response::Busy);
-            }
-            Err(TrySendError::Disconnected(_)) => break,
+        if shared.backlog.load(Ordering::SeqCst) >= shared.config.queue_depth {
+            // Admission control: shed with an explicit Busy so the
+            // client can back off, instead of queueing unboundedly.
+            shed_at_accept(shared, stream);
+            continue;
         }
+        shared.backlog.fetch_add(1, Ordering::SeqCst);
+        shared.stats.queue_entered();
+        let queue = queues
+            .iter()
+            .min_by_key(|q| q.load.load(Ordering::SeqCst))
+            .expect("at least one worker");
+        queue.push(stream);
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
-    loop {
-        let stream = {
-            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            guard.recv()
-        };
-        let Ok(stream) = stream else { return };
+fn worker_loop(shared: &Shared, queue: &WorkerQueue) {
+    while let Some(stream) = queue.pop() {
+        shared.backlog.fetch_sub(1, Ordering::SeqCst);
         shared.stats.queue_left();
         if shared.shutdown.load(Ordering::SeqCst) {
             // Draining: the connection was queued but never served;
             // close it rather than start new work.
+            queue.done();
             continue;
         }
-        let _busy = shared.stats.worker_busy();
-        handle_connection(shared, stream);
+        {
+            let _busy = shared.stats.worker_busy();
+            handle_connection(shared, stream);
+        }
+        queue.done();
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _active = shared.stats.connection_active();
     logging::debug(LOG, "connection start", &[]);
+    // Buffered reads make pipelined batches one syscall; responses are
+    // written straight to the stream (`get_mut`), never buffered.
+    let mut reader = std::io::BufReader::new(stream);
     loop {
-        let (req, started, parse_ns) = match read_request_timed(&mut stream) {
+        let (req, started, parse_ns) = match read_request_timed(&mut reader) {
             Ok(Some(triple)) => triple,
             Ok(None) => {
                 logging::debug(LOG, "connection closed", &[]);
@@ -351,7 +583,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 // stream may be desynchronised).
                 logging::warn(LOG, "bad frame", &[("error", e.to_string())]);
                 let _ = write_response(
-                    &mut stream,
+                    reader.get_mut(),
                     &Response::Error {
                         message: format!("bad frame: {e}"),
                     },
@@ -363,7 +595,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         let mut trace = ReqTrace::new(&req, parse_ns);
         let resp = handle_request(shared, req, &mut trace);
         let respond_started = Instant::now();
-        let write_ok = write_response(&mut stream, &resp).is_ok();
+        let write_ok = write_response(reader.get_mut(), &resp).is_ok();
         trace.stages.push((
             "respond".into(),
             respond_started.elapsed().as_nanos() as u64,
@@ -374,6 +606,435 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
     }
 }
+
+// ------------------------------------------------------- event mode
+
+/// Token the per-loop wake pipe is registered under.
+#[cfg(target_os = "linux")]
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Read granularity for non-blocking sockets.
+#[cfg(target_os = "linux")]
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Per-round read bound per connection: level-triggered polling picks
+/// the rest up next round, so one firehose peer cannot starve the
+/// loop's other connections.
+#[cfg(target_os = "linux")]
+const MAX_ROUND_RX: usize = 256 * 1024;
+
+/// An event loop's mailbox from the acceptor.
+#[cfg(target_os = "linux")]
+struct Inbox {
+    queue: Mutex<VecDeque<TcpStream>>,
+    /// Connections this loop owns (queued + registered); the
+    /// acceptor's least-loaded dispatch key.
+    load: AtomicUsize,
+    wake: UnixStream,
+}
+
+#[cfg(target_os = "linux")]
+impl Inbox {
+    fn wake(&self) {
+        // Non-blocking: if the pipe is full a wake byte is already
+        // pending, which is all a wake needs.
+        let _ = (&self.wake).write(&[1u8]);
+    }
+}
+
+/// One keep-alive connection owned by an event loop.
+#[cfg(target_os = "linux")]
+struct Conn<'a> {
+    stream: TcpStream,
+    /// Unconsumed request bytes (partial frames wait here).
+    rx: Vec<u8>,
+    /// Unwritten response bytes (`tx_pos..` is still pending).
+    tx: Vec<u8>,
+    tx_pos: usize,
+    last_seen: Instant,
+    /// Whether the poller registration currently includes writable.
+    want_write: bool,
+    /// Close once `tx` is flushed (EOF, bad frame, or shutdown).
+    closing: bool,
+    _active: BusyGuard<'a>,
+}
+
+#[cfg(target_os = "linux")]
+impl Conn<'_> {
+    /// Writes as much pending tx as the socket accepts. `Ok(true)`
+    /// when nothing is pending.
+    fn flush_tx(&mut self) -> std::io::Result<bool> {
+        while self.tx_pos < self.tx.len() {
+            match self.stream.write(&self.tx[self.tx_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::from(std::io::ErrorKind::WriteZero));
+                }
+                Ok(n) => self.tx_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.tx.clear();
+        self.tx_pos = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn run_event(shared: &Shared, listener: &TcpListener) {
+    let workers = shared.config.workers.max(1);
+    let mut inboxes = Vec::with_capacity(workers);
+    let mut wake_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let Ok((wake_rx, wake_tx)) = UnixStream::pair() else {
+            logging::error(LOG, "wake pipe unavailable; thread fallback", &[]);
+            return run_thread(shared, listener);
+        };
+        let _ = wake_tx.set_nonblocking(true);
+        if let Ok(clone) = wake_tx.try_clone() {
+            lock_or_recover(&shared.wakes).push(clone);
+        }
+        inboxes.push(Inbox {
+            queue: Mutex::new(VecDeque::new()),
+            load: AtomicUsize::new(0),
+            wake: wake_tx,
+        });
+        wake_rxs.push(wake_rx);
+    }
+    std::thread::scope(|scope| {
+        for (i, (inbox, wake_rx)) in inboxes.iter().zip(&wake_rxs).enumerate() {
+            std::thread::Builder::new()
+                .name(format!("acctee-net-loop-{i}"))
+                .spawn_scoped(scope, move || event_loop(shared, inbox, wake_rx))
+                .expect("spawn event loop");
+        }
+        accept_loop_event(shared, listener, &inboxes);
+        // The acceptor saw the shutdown flag; make sure every loop
+        // leaves its poll and sees it too.
+        shared.wake_loops();
+    });
+}
+
+#[cfg(target_os = "linux")]
+fn accept_loop_event(shared: &Shared, listener: &TcpListener, inboxes: &[Inbox]) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        shared.stats.connection_opened();
+        let t = Some(shared.config.io_timeout);
+        let _ = stream.set_read_timeout(t);
+        let _ = stream.set_write_timeout(t);
+        if shared.backlog.load(Ordering::SeqCst) >= shared.config.queue_depth {
+            shed_at_accept(shared, stream);
+            continue;
+        }
+        shared.backlog.fetch_add(1, Ordering::SeqCst);
+        shared.stats.queue_entered();
+        let inbox = inboxes
+            .iter()
+            .min_by_key(|i| i.load.load(Ordering::SeqCst))
+            .expect("at least one loop");
+        inbox.load.fetch_add(1, Ordering::SeqCst);
+        lock_or_recover(&inbox.queue).push_back(stream);
+        inbox.wake();
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn event_loop(shared: &Shared, inbox: &Inbox, wake_rx: &UnixStream) {
+    let Ok(mut poller) = Epoll::new() else {
+        logging::error(LOG, "epoll unavailable; event loop exiting", &[]);
+        return;
+    };
+    let _ = wake_rx.set_nonblocking(true);
+    if poller
+        .add(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::Read)
+        .is_err()
+    {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn<'_>> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut events: Vec<Event> = Vec::new();
+    let sweep_every = (shared.config.io_timeout / 4).max(Duration::from_millis(50));
+    let mut last_sweep = Instant::now();
+    loop {
+        let timeout = sweep_every.min(Duration::from_millis(500));
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let batch_start = Instant::now();
+        for &ev in &events {
+            if ev.token == WAKE_TOKEN {
+                drain_wake(wake_rx);
+                adopt_connections(shared, inbox, &mut poller, &mut conns, &mut next_token);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if step_conn(shared, conn, ev, batch_start) {
+                close_conn(&mut poller, &mut conns, ev.token, inbox);
+            } else if let Some(conn) = conns.get_mut(&ev.token) {
+                update_interest(&mut poller, conn, ev.token);
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if last_sweep.elapsed() >= sweep_every {
+            sweep_idle(shared, &mut poller, &mut conns, inbox);
+            last_sweep = Instant::now();
+        }
+    }
+    drain_and_close_all(shared, inbox, conns);
+}
+
+#[cfg(target_os = "linux")]
+fn drain_wake(wake_rx: &UnixStream) {
+    let mut buf = [0u8; 64];
+    loop {
+        match (&*wake_rx).read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Pulls newly dispatched connections out of the inbox and registers
+/// them with the poller.
+#[cfg(target_os = "linux")]
+fn adopt_connections<'a>(
+    shared: &'a Shared,
+    inbox: &Inbox,
+    poller: &mut Epoll,
+    conns: &mut HashMap<u64, Conn<'a>>,
+    next_token: &mut u64,
+) {
+    loop {
+        let stream = lock_or_recover(&inbox.queue).pop_front();
+        let Some(stream) = stream else { break };
+        shared.backlog.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.queue_left();
+        if shared.shutdown.load(Ordering::SeqCst) || stream.set_nonblocking(true).is_err() {
+            // Draining (queued but never served) or a dead socket.
+            inbox.load.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let token = *next_token;
+        *next_token += 1;
+        if poller
+            .add(stream.as_raw_fd(), token, Interest::Read)
+            .is_err()
+        {
+            inbox.load.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        conns.insert(
+            token,
+            Conn {
+                stream,
+                rx: Vec::new(),
+                tx: Vec::new(),
+                tx_pos: 0,
+                last_seen: Instant::now(),
+                want_write: false,
+                closing: false,
+                _active: shared.stats.connection_active(),
+            },
+        );
+    }
+}
+
+/// Services one readiness event: read everything available, pump the
+/// decoded frames, flush responses. Returns `true` when the
+/// connection should close now.
+#[cfg(target_os = "linux")]
+fn step_conn(shared: &Shared, conn: &mut Conn<'_>, ev: Event, batch_start: Instant) -> bool {
+    conn.last_seen = batch_start;
+    if ev.hangup && !ev.readable {
+        return true; // errored; nothing left to deliver
+    }
+    if ev.readable && !conn.closing {
+        let mut eof = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        let round_limit = conn.rx.len() + MAX_ROUND_RX;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rx.extend_from_slice(&chunk[..n]);
+                    if conn.rx.len() >= round_limit {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        if !conn.rx.is_empty() && pump_frames(shared, &mut conn.rx, &mut conn.tx, batch_start) {
+            conn.closing = true;
+        }
+        if eof {
+            conn.closing = true;
+        }
+    }
+    match conn.flush_tx() {
+        Ok(flushed) => flushed && conn.closing,
+        Err(_) => true,
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn update_interest(poller: &mut Epoll, conn: &mut Conn<'_>, token: u64) {
+    let want = conn.tx_pos < conn.tx.len();
+    if want != conn.want_write {
+        let interest = if want {
+            Interest::ReadWrite
+        } else {
+            Interest::Read
+        };
+        if poller
+            .modify(conn.stream.as_raw_fd(), token, interest)
+            .is_ok()
+        {
+            conn.want_write = want;
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn close_conn(poller: &mut Epoll, conns: &mut HashMap<u64, Conn<'_>>, token: u64, inbox: &Inbox) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = poller.remove(conn.stream.as_raw_fd());
+        inbox.load.fetch_sub(1, Ordering::SeqCst);
+        logging::debug(LOG, "connection closed", &[]);
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn sweep_idle(
+    shared: &Shared,
+    poller: &mut Epoll,
+    conns: &mut HashMap<u64, Conn<'_>>,
+    inbox: &Inbox,
+) {
+    let idle: Vec<u64> = conns
+        .iter()
+        .filter(|(_, c)| c.last_seen.elapsed() >= shared.config.io_timeout)
+        .map(|(t, _)| *t)
+        .collect();
+    for token in idle {
+        logging::debug(LOG, "connection idle timeout", &[]);
+        close_conn(poller, conns, token, inbox);
+    }
+}
+
+/// Drain at shutdown: close never-served queued connections, flush
+/// pending responses on live ones (bounded blocking writes), close.
+#[cfg(target_os = "linux")]
+fn drain_and_close_all(shared: &Shared, inbox: &Inbox, conns: HashMap<u64, Conn<'_>>) {
+    loop {
+        let stream = lock_or_recover(&inbox.queue).pop_front();
+        let Some(stream) = stream else { break };
+        shared.backlog.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.queue_left();
+        inbox.load.fetch_sub(1, Ordering::SeqCst);
+        drop(stream);
+    }
+    for (_, mut conn) in conns {
+        if conn.tx_pos < conn.tx.len() {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(shared.config.io_timeout));
+            let pending = conn.tx.split_off(conn.tx_pos);
+            let _ = conn.stream.write_all(&pending);
+        }
+        inbox.load.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ------------------------------------------------------- frame pump
+
+/// Decodes and serves every complete frame in `rx`, appending the
+/// responses to `tx` in request order (the pipelining contract).
+/// Consumed bytes are drained from `rx`; a trailing partial frame is
+/// left for the next read. Returns `true` when the connection must
+/// close once `tx` is flushed (bad frame, `Shutdown`, or the server
+/// is draining).
+///
+/// Pure buffer-in/buffer-out so tests can drive it without sockets or
+/// a poller.
+fn pump_frames(shared: &Shared, rx: &mut Vec<u8>, tx: &mut Vec<u8>, batch_start: Instant) -> bool {
+    let mut consumed = 0usize;
+    let mut close_after = false;
+    let mut busy: Option<BusyGuard<'_>> = None;
+    loop {
+        let parse_started = Instant::now();
+        match decode_request_frame(&rx[consumed..]) {
+            Ok(Some((req, used))) => {
+                let parse_ns = parse_started.elapsed().as_nanos() as u64;
+                consumed += used;
+                if busy.is_none() {
+                    // The loop counts as an occupied worker while it
+                    // has frames to serve.
+                    busy = Some(shared.stats.worker_busy());
+                }
+                let shutdown_after = matches!(req, Request::Shutdown);
+                let mut trace = ReqTrace::new(&req, parse_ns);
+                let resp = handle_request(shared, req, &mut trace);
+                let respond_started = Instant::now();
+                encode_response_into(tx, &resp);
+                // In event mode "respond" is the encode; the coalesced
+                // socket write is shared by the whole batch.
+                trace.stages.push((
+                    "respond".into(),
+                    respond_started.elapsed().as_nanos() as u64,
+                ));
+                finish_request(shared, trace, &resp, batch_start);
+                if shutdown_after || shared.shutdown.load(Ordering::SeqCst) {
+                    close_after = true;
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                logging::warn(LOG, "bad frame", &[("error", e.to_string())]);
+                encode_response_into(
+                    tx,
+                    &Response::Error {
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                close_after = true;
+                break;
+            }
+        }
+    }
+    drop(busy);
+    rx.drain(..consumed);
+    close_after
+}
+
+// ------------------------------------------------------- request path
 
 /// Per-request context the handlers fill in for the stats plane: the
 /// trace id, the stage timings, and how the request ended.
@@ -414,7 +1075,8 @@ impl ReqTrace {
 }
 
 /// Folds a finished request into counters, histograms and the flight
-/// recorder. `started` is when its first byte arrived.
+/// recorder. `started` is when its first byte arrived (event mode:
+/// when its batch became readable).
 fn finish_request(shared: &Shared, mut trace: ReqTrace, resp: &Response, started: Instant) {
     // Handlers set Shed/Timeout themselves; any other error response
     // classifies here so attest/deploy/fetch_log failures count too.
@@ -501,10 +1163,7 @@ fn handle_request(shared: &Shared, req: Request, trace: &mut ReqTrace) -> Respon
             ..
         } => handle_invoke(shared, deploy_id, &func, &args, &input, &tenant, trace),
         Request::FetchLog { session_id } => {
-            let logs = shared
-                .logs
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let logs = lock_or_recover(shared.log_shard(session_id));
             match logs.by_session.get(&session_id) {
                 Some(log) => Response::LogOk { log: log.clone() },
                 None => Response::Error {
@@ -515,12 +1174,14 @@ fn handle_request(shared: &Shared, req: Request, trace: &mut ReqTrace) -> Respon
         Request::Shutdown => {
             logging::info(LOG, "shutdown requested", &[]);
             shared.shutdown.store(true, Ordering::SeqCst);
-            // Wake the acceptor out of its blocking accept().
+            // Wake the acceptor out of its blocking accept() and every
+            // event loop out of its poll.
+            shared.wake_loops();
             let _ = TcpStream::connect(shared.local_addr);
             Response::ShutdownOk
         }
         Request::Stats { prometheus } => {
-            let inflight = lock_inflight(shared).clone();
+            let inflight = shared.inflight.fold();
             let cache = shared.cache_stats();
             if prometheus {
                 Response::StatsTextOk {
@@ -542,11 +1203,7 @@ fn handle_request(shared: &Shared, req: Request, trace: &mut ReqTrace) -> Respon
                     wire_version: WIRE_VERSION,
                     workers: shared.config.workers.max(1) as u32,
                     queue_capacity: shared.config.queue_depth as u32,
-                    deployments: shared
-                        .deployments
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .len() as u32,
+                    deployments: shared.deployments.len() as u32,
                     sessions_served: shared.next_session.load(Ordering::SeqCst) - 1,
                 },
             }
@@ -591,8 +1248,7 @@ fn handle_deploy(
     let deploy_id = shared.next_deploy.fetch_add(1, Ordering::SeqCst);
     shared
         .deployments
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .lock(&deploy_id)
         .insert(deploy_id, Arc::new(Deployed { workload }));
     Response::DeployOk {
         deploy_id,
@@ -612,10 +1268,11 @@ fn handle_invoke(
     trace: &mut ReqTrace,
 ) -> Response {
     // Per-tenant admission: a tenant at its in-flight limit is shed
-    // with Busy before any execution state is touched.
+    // with Busy before any execution state is touched. Only this
+    // tenant's shard is locked.
     let admission_started = Instant::now();
     let _slot = {
-        let mut map = lock_inflight(shared);
+        let mut map = shared.inflight.lock(tenant);
         let n = map.entry(tenant.to_string()).or_insert(0);
         if *n >= shared.config.tenant_inflight {
             drop(map);
@@ -641,13 +1298,7 @@ fn handle_invoke(
         "admission".into(),
         admission_started.elapsed().as_nanos() as u64,
     ));
-    let deployed = {
-        let map = shared
-            .deployments
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        map.get(&deploy_id).cloned()
-    };
+    let deployed = shared.deployments.lock(&deploy_id).get(&deploy_id).cloned();
     let Some(deployed) = deployed else {
         return Response::Error {
             message: format!("unknown deploy id {deploy_id}"),
@@ -674,11 +1325,8 @@ fn handle_invoke(
                 outcome.log.log.weighted_instructions,
                 invoice.total(),
             );
-            shared
-                .logs
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .insert(outcome.log.clone());
+            lock_or_recover(shared.log_shard(session_id))
+                .insert(outcome.log.clone(), shared.log_retention_per_shard);
             Response::InvokeOk {
                 session_id,
                 results: outcome.results,
@@ -698,5 +1346,125 @@ fn handle_invoke(
             }
             error_resp(e)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_request, read_response};
+
+    #[test]
+    fn lock_or_recover_recovers_a_poisoned_shard() {
+        let map = ShardMap::<String, usize>::new(4);
+        // Poison the shard that owns the key by panicking while
+        // holding its lock...
+        std::thread::scope(|scope| {
+            let map = &map;
+            let _ = scope
+                .spawn(move || {
+                    let _guard = map.lock("tenant-a");
+                    panic!("poison the shard on purpose");
+                })
+                .join();
+        });
+        assert!(map.shard("tenant-a").is_poisoned());
+        // ...then prove the map still serves reads and writes.
+        map.lock("tenant-a").insert("tenant-a".into(), 7);
+        assert_eq!(map.lock("tenant-a").get("tenant-a"), Some(&7));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.fold().get("tenant-a"), Some(&7));
+    }
+
+    #[test]
+    fn shard_map_routes_str_and_string_lookups_identically() {
+        let map = ShardMap::<String, usize>::new(8);
+        for i in 0..64 {
+            let key = format!("tenant-{i}");
+            map.lock(key.as_str()).insert(key.clone(), i);
+        }
+        assert_eq!(map.len(), 64);
+        for i in 0..64 {
+            let key = format!("tenant-{i}");
+            assert_eq!(map.lock(key.as_str()).get(&key), Some(&i));
+        }
+    }
+
+    #[test]
+    fn pump_frames_answers_pipelined_requests_in_order() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let shared = &server.shared;
+        let mut rx = Vec::new();
+        rx.extend_from_slice(&encode_request(&Request::Health));
+        rx.extend_from_slice(&encode_request(&Request::Stats { prometheus: false }));
+        rx.extend_from_slice(&encode_request(&Request::Health));
+        let mut tx = Vec::new();
+        let close = pump_frames(shared, &mut rx, &mut tx, Instant::now());
+        assert!(!close);
+        assert!(rx.is_empty(), "all complete frames consumed");
+        let mut cursor = std::io::Cursor::new(tx);
+        assert!(matches!(
+            read_response(&mut cursor).unwrap(),
+            Response::HealthOk { .. }
+        ));
+        assert!(matches!(
+            read_response(&mut cursor).unwrap(),
+            Response::StatsOk { .. }
+        ));
+        assert!(matches!(
+            read_response(&mut cursor).unwrap(),
+            Response::HealthOk { .. }
+        ));
+        let len = cursor.get_ref().len() as u64;
+        assert_eq!(cursor.position(), len, "no trailing bytes");
+        let snap = shared
+            .stats
+            .snapshot(&shared.inflight.fold(), shared.cache_stats());
+        assert_eq!(snap.requests_of("health"), 2);
+        assert_eq!(snap.requests_of("stats"), 1);
+    }
+
+    #[test]
+    fn pump_frames_waits_for_partial_frames() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let shared = &server.shared;
+        let bytes = encode_request(&Request::Health);
+        let mut rx = bytes[..5].to_vec();
+        let mut tx = Vec::new();
+        assert!(!pump_frames(shared, &mut rx, &mut tx, Instant::now()));
+        assert!(tx.is_empty(), "no response before the frame completes");
+        assert_eq!(rx.len(), 5, "partial frame retained");
+        rx.extend_from_slice(&bytes[5..]);
+        assert!(!pump_frames(shared, &mut rx, &mut tx, Instant::now()));
+        let mut cursor = std::io::Cursor::new(tx);
+        assert!(matches!(
+            read_response(&mut cursor).unwrap(),
+            Response::HealthOk { .. }
+        ));
+    }
+
+    #[test]
+    fn pump_frames_answers_garbage_with_an_error_and_closes() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let shared = &server.shared;
+        let mut rx = b"NOPE definitely not a frame".to_vec();
+        let mut tx = Vec::new();
+        assert!(pump_frames(shared, &mut rx, &mut tx, Instant::now()));
+        let mut cursor = std::io::Cursor::new(tx);
+        assert!(matches!(
+            read_response(&mut cursor).unwrap(),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn log_store_retention_is_bounded_per_shard() {
+        let cfg = ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        assert_eq!(server.shared.logs.len(), 4);
+        assert_eq!(server.shared.log_retention_per_shard, LOG_RETENTION / 4);
     }
 }

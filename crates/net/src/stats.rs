@@ -30,7 +30,9 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use acctee_telemetry::{Histogram, Registry};
+use acctee_telemetry::{Counter, Histogram, Registry};
+
+use crate::server::lock_or_recover;
 
 /// The request kinds the server counts, in display order. Fixed so a
 /// snapshot (and the Prometheus exposition) always carries every
@@ -356,9 +358,21 @@ impl Drop for BusyGuard<'_> {
     }
 }
 
+/// Tenant accumulators are sharded by tenant-name hash so concurrent
+/// invokes for different tenants never serialize on one map lock.
+const TENANT_SHARDS: usize = 8;
+
 /// The server-side aggregation point: every counter, gauge, histogram
 /// and request record the stats plane serves. One instance per
 /// [`crate::Server`].
+///
+/// Hot-path discipline (DESIGN.md §14): every fixed series is resolved
+/// once at construction into the `*_c` / `*_hist` handle caches below,
+/// so a per-request increment touches only that handle's own atomics —
+/// never the registry mutex, never a label-vector allocation. The
+/// registry still owns the series; the caches are just cloned
+/// (Arc-backed) handles, so scrapes read exactly what the hot path
+/// wrote.
 pub struct ServerStats {
     start: Instant,
     registry: Registry,
@@ -367,7 +381,15 @@ pub struct ServerStats {
     workers_busy: AtomicU32,
     queue_depth: AtomicU32,
     connections_active: AtomicU32,
-    tenants: Mutex<HashMap<String, TenantAccum>>,
+    req_counters: [Counter; REQUEST_KINDS.len()],
+    req_latency: [Histogram; REQUEST_KINDS.len()],
+    stage_hists: [Histogram; STAGES.len()],
+    shed_queue_c: Counter,
+    shed_tenant_c: Counter,
+    connections_c: Counter,
+    errors_c: Counter,
+    timeouts_c: Counter,
+    tenants: Box<[Mutex<HashMap<String, TenantAccum>>]>,
     /// The bounded store behind the `Recent` frame.
     pub recorder: FlightRecorder,
 }
@@ -376,43 +398,55 @@ impl ServerStats {
     /// Fresh stats for a server with `workers` workers and an
     /// admission queue of `queue_capacity`.
     pub fn new(workers: u32, queue_capacity: u32) -> ServerStats {
-        let stats = ServerStats {
+        let registry = Registry::new();
+        // Resolving every fixed series up front does double duty: the
+        // exposition is shape-stable from the first scrape, and the
+        // returned handles become the hot-path cache.
+        let req_counters = REQUEST_KINDS
+            .map(|kind| registry.counter_with("acctee_net_requests_total", &[("kind", kind)]));
+        let req_latency = REQUEST_KINDS.map(|kind| {
+            registry.histogram_with(
+                "acctee_net_request_latency_seconds",
+                &[("kind", kind)],
+                1e-9,
+            )
+        });
+        let stage_hists = STAGES.map(|stage| {
+            registry.histogram_with("acctee_net_stage_seconds", &[("stage", stage)], 1e-9)
+        });
+        let shed_queue_c = registry.counter_with("acctee_net_shed_total", &[("reason", "queue")]);
+        let shed_tenant_c = registry.counter_with("acctee_net_shed_total", &[("reason", "tenant")]);
+        let connections_c = registry.counter("acctee_net_connections_total");
+        let errors_c = registry.counter("acctee_net_errors_total");
+        let timeouts_c = registry.counter("acctee_net_timeouts_total");
+        ServerStats {
             start: Instant::now(),
-            registry: Registry::new(),
+            registry,
             workers,
             queue_capacity,
             workers_busy: AtomicU32::new(0),
             queue_depth: AtomicU32::new(0),
             connections_active: AtomicU32::new(0),
-            tenants: Mutex::new(HashMap::new()),
+            req_counters,
+            req_latency,
+            stage_hists,
+            shed_queue_c,
+            shed_tenant_c,
+            connections_c,
+            errors_c,
+            timeouts_c,
+            tenants: (0..TENANT_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             recorder: FlightRecorder::default(),
-        };
-        // Register every fixed series up front so expositions and
-        // snapshots are shape-stable from the first scrape.
-        for kind in REQUEST_KINDS {
-            stats
-                .registry
-                .counter_with("acctee_net_requests_total", &[("kind", kind)]);
-            stats.registry.histogram_with(
-                "acctee_net_request_latency_seconds",
-                &[("kind", kind)],
-                1e-9,
-            );
         }
-        for stage in STAGES {
-            stats
-                .registry
-                .histogram_with("acctee_net_stage_seconds", &[("stage", stage)], 1e-9);
-        }
-        for reason in ["queue", "tenant"] {
-            stats
-                .registry
-                .counter_with("acctee_net_shed_total", &[("reason", reason)]);
-        }
-        stats.registry.counter("acctee_net_connections_total");
-        stats.registry.counter("acctee_net_errors_total");
-        stats.registry.counter("acctee_net_timeouts_total");
-        stats
+    }
+
+    /// Position of `kind` in [`REQUEST_KINDS`] — a scan of eight
+    /// static strings, far cheaper than the registry lookup it
+    /// replaces.
+    fn kind_index(kind: &str) -> Option<usize> {
+        REQUEST_KINDS.iter().position(|k| *k == kind)
     }
 
     /// Nanoseconds since the server started.
@@ -420,13 +454,9 @@ impl ServerStats {
         self.start.elapsed().as_nanos() as u64
     }
 
-    fn counter(&self, name: &str) -> acctee_telemetry::Counter {
-        self.registry.counter(name)
-    }
-
     /// Counts an accepted connection.
     pub fn connection_opened(&self) {
-        self.counter("acctee_net_connections_total").inc();
+        self.connections_c.inc();
     }
 
     /// Marks a connection as actively served (until the guard drops).
@@ -456,52 +486,62 @@ impl ServerStats {
 
     /// Counts one request of `kind`.
     pub fn request(&self, kind: &str) {
-        self.registry
-            .counter_with("acctee_net_requests_total", &[("kind", kind)])
-            .inc();
+        match ServerStats::kind_index(kind) {
+            Some(i) => self.req_counters[i].inc(),
+            // Unknown kinds (future frames, ad-hoc records) still land
+            // in the registry — slow path, but never lost.
+            None => self
+                .registry
+                .counter_with("acctee_net_requests_total", &[("kind", kind)])
+                .inc(),
+        }
     }
 
     /// Observes the accept→respond latency of a `kind` request.
     pub fn observe_request(&self, kind: &str, ns: u64) {
-        self.registry
-            .histogram_with(
-                "acctee_net_request_latency_seconds",
-                &[("kind", kind)],
-                1e-9,
-            )
-            .observe(ns);
+        match ServerStats::kind_index(kind) {
+            Some(i) => self.req_latency[i].observe(ns),
+            None => self
+                .registry
+                .histogram_with(
+                    "acctee_net_request_latency_seconds",
+                    &[("kind", kind)],
+                    1e-9,
+                )
+                .observe(ns),
+        }
     }
 
     /// Observes one pipeline stage.
     pub fn observe_stage(&self, stage: &str, ns: u64) {
-        self.registry
-            .histogram_with("acctee_net_stage_seconds", &[("stage", stage)], 1e-9)
-            .observe(ns);
+        match STAGES.iter().position(|s| *s == stage) {
+            Some(i) => self.stage_hists[i].observe(ns),
+            None => self
+                .registry
+                .histogram_with("acctee_net_stage_seconds", &[("stage", stage)], 1e-9)
+                .observe(ns),
+        }
     }
 
     /// Counts a connection shed at the admission queue.
     pub fn shed_queue(&self) {
-        self.registry
-            .counter_with("acctee_net_shed_total", &[("reason", "queue")])
-            .inc();
+        self.shed_queue_c.inc();
     }
 
     /// Counts an invoke shed at `tenant`'s in-flight cap.
     pub fn shed_tenant(&self, tenant: &str) {
-        self.registry
-            .counter_with("acctee_net_shed_total", &[("reason", "tenant")])
-            .inc();
+        self.shed_tenant_c.inc();
         self.tenant_mut(tenant, |t| t.shed += 1);
     }
 
     /// Counts an error response.
     pub fn error_response(&self) {
-        self.counter("acctee_net_errors_total").inc();
+        self.errors_c.inc();
     }
 
     /// Counts a deadline-killed execution.
     pub fn timeout(&self) {
-        self.counter("acctee_net_timeouts_total").inc();
+        self.timeouts_c.inc();
     }
 
     /// Folds a served invoke into `tenant`'s cumulative usage.
@@ -513,12 +553,28 @@ impl ServerStats {
         });
     }
 
+    /// The shard holding `tenant`'s accumulator.
+    fn tenant_shard(&self, tenant: &str) -> &Mutex<HashMap<String, TenantAccum>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        tenant.hash(&mut h);
+        &self.tenants[(h.finish() as usize) % self.tenants.len()]
+    }
+
     fn tenant_mut(&self, tenant: &str, f: impl FnOnce(&mut TenantAccum)) {
-        let mut map = self
-            .tenants
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut map = lock_or_recover(self.tenant_shard(tenant));
         f(map.entry(tenant.to_string()).or_default());
+    }
+
+    /// Unions the tenant shards into one map (scrape path only).
+    fn fold_tenants(&self) -> HashMap<String, TenantAccum> {
+        let mut out = HashMap::new();
+        for shard in self.tenants.iter() {
+            for (name, t) in lock_or_recover(shard).iter() {
+                out.insert(name.clone(), t.clone());
+            }
+        }
+        out
     }
 
     /// Assembles a [`StatsSnapshot`]. `inflight` is the server's live
@@ -527,36 +583,17 @@ impl ServerStats {
     pub fn snapshot(&self, inflight: &HashMap<String, usize>, cache: CacheStats) -> StatsSnapshot {
         let requests_by_kind = REQUEST_KINDS
             .iter()
-            .map(|kind| {
-                (
-                    kind.to_string(),
-                    self.registry
-                        .counter_with("acctee_net_requests_total", &[("kind", kind)])
-                        .get(),
-                )
-            })
+            .zip(&self.req_counters)
+            .map(|(kind, c)| (kind.to_string(), c.get()))
             .collect();
         let stages = STAGES
             .iter()
-            .map(|stage| {
-                let h = self.registry.histogram_with(
-                    "acctee_net_stage_seconds",
-                    &[("stage", stage)],
-                    1e-9,
-                );
-                (stage.to_string(), LatencySummary::of(&h))
-            })
+            .zip(&self.stage_hists)
+            .map(|(stage, h)| (stage.to_string(), LatencySummary::of(h)))
             .collect();
-        let latency = LatencySummary::of(&self.registry.histogram_with(
-            "acctee_net_request_latency_seconds",
-            &[("kind", "invoke")],
-            1e-9,
-        ));
-        let accum = self
-            .tenants
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone();
+        let invoke = ServerStats::kind_index("invoke").expect("invoke is a fixed kind");
+        let latency = LatencySummary::of(&self.req_latency[invoke]);
+        let accum = self.fold_tenants();
         // Union of tenants with history and tenants in flight right
         // now (a tenant's first invoke is in flight before it has any
         // cumulative numbers).
@@ -590,19 +627,13 @@ impl ServerStats {
             workers_busy: self.workers_busy.load(Ordering::Relaxed),
             queue_capacity: self.queue_capacity,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            connections_total: self.counter("acctee_net_connections_total").get(),
+            connections_total: self.connections_c.get(),
             connections_active: self.connections_active.load(Ordering::Relaxed),
             requests_by_kind,
-            shed_queue_total: self
-                .registry
-                .counter_with("acctee_net_shed_total", &[("reason", "queue")])
-                .get(),
-            shed_tenant_total: self
-                .registry
-                .counter_with("acctee_net_shed_total", &[("reason", "tenant")])
-                .get(),
-            errors_total: self.counter("acctee_net_errors_total").get(),
-            timeouts_total: self.counter("acctee_net_timeouts_total").get(),
+            shed_queue_total: self.shed_queue_c.get(),
+            shed_tenant_total: self.shed_tenant_c.get(),
+            errors_total: self.errors_c.get(),
+            timeouts_total: self.timeouts_c.get(),
             instr_cache: cache,
             tenants,
             latency,
@@ -656,10 +687,7 @@ impl ServerStats {
         }
 
         let snapshot_tenants = {
-            let accum = self
-                .tenants
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let accum = self.fold_tenants();
             let mut names: Vec<String> = accum
                 .keys()
                 .chain(inflight.keys())
@@ -795,6 +823,24 @@ mod tests {
         let bob = snap.tenants.iter().find(|t| t.tenant == "bob").unwrap();
         assert_eq!(bob.inflight, 2);
         assert_eq!(bob.requests_total, 0);
+    }
+
+    #[test]
+    fn tenant_shards_fold_into_one_snapshot() {
+        let s = ServerStats::new(1, 1);
+        // Enough tenants to land on every shard.
+        for i in 0u64..32 {
+            s.tenant_served(&format!("tenant-{i}"), i, u128::from(i));
+        }
+        let snap = s.snapshot(&HashMap::new(), CacheStats::default());
+        assert_eq!(snap.tenants.len(), 32);
+        let t9 = snap
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "tenant-9")
+            .unwrap();
+        assert_eq!(t9.requests_total, 1);
+        assert_eq!(t9.weighted_instructions_total, 9);
     }
 
     #[test]

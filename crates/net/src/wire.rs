@@ -399,19 +399,40 @@ fn put_health(out: &mut Vec<u8>, h: &HealthReport) {
     out.extend_from_slice(&h.sessions_served.to_le_bytes());
 }
 
-fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(11 + payload.len());
+/// Frame header size: magic + version + kind + length.
+pub const HEADER_LEN: usize = 11;
+
+/// Appends a frame header with a placeholder kind/length, returning
+/// the offset to patch once the payload has been written in place.
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-    out.push(kind);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    out.push(0); // kind, patched by end_frame
+    out.extend_from_slice(&[0u8; 4]); // length, patched by end_frame
+    start
+}
+
+/// Patches the kind and payload length of a frame begun at `start`.
+fn end_frame(out: &mut [u8], start: usize, kind: u8) {
+    let len = (out.len() - start - HEADER_LEN) as u32;
+    out[start + 6] = kind;
+    out[start + 7..start + HEADER_LEN].copy_from_slice(&len.to_le_bytes());
 }
 
 /// Encodes a request as a complete frame.
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut p = Vec::new();
+    let mut out = Vec::new();
+    encode_request_into(&mut out, req);
+    out
+}
+
+/// Appends a request frame to `out` without intermediate allocations —
+/// the write-coalescing path: a pipelining client encodes a whole batch
+/// into one buffer and issues a single write.
+pub fn encode_request_into(out: &mut Vec<u8>, req: &Request) {
+    let start = begin_frame(out);
+    let p = out;
     let kind = match req {
         Request::Attest { nonce } => {
             p.extend_from_slice(nonce);
@@ -423,7 +444,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             trace_id,
         } => {
             p.push(level_byte(*level));
-            put_bytes(&mut p, module);
+            put_bytes(p, module);
             p.extend_from_slice(&trace_id.to_le_bytes());
             REQ_DEPLOY
         }
@@ -436,10 +457,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             trace_id,
         } => {
             p.extend_from_slice(&deploy_id.to_le_bytes());
-            put_bytes(&mut p, func.as_bytes());
-            put_values(&mut p, args);
-            put_bytes(&mut p, input);
-            put_bytes(&mut p, tenant.as_bytes());
+            put_bytes(p, func.as_bytes());
+            put_values(p, args);
+            put_bytes(p, input);
+            put_bytes(p, tenant.as_bytes());
             p.extend_from_slice(&trace_id.to_le_bytes());
             REQ_INVOKE
         }
@@ -458,15 +479,25 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             REQ_RECENT
         }
     };
-    frame(kind, &p)
+    end_frame(p, start, kind);
 }
 
 /// Encodes a response as a complete frame.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut p = Vec::new();
+    let mut out = Vec::new();
+    encode_response_into(&mut out, resp);
+    out
+}
+
+/// Appends a response frame to `out` without intermediate allocations —
+/// the server's write-coalescing path: all responses to a pipelined
+/// batch are encoded into one buffer and flushed together.
+pub fn encode_response_into(out: &mut Vec<u8>, resp: &Response) {
+    let start = begin_frame(out);
+    let p = out;
     let kind = match resp {
         Response::AttestOk { quote } => {
-            put_quote(&mut p, quote);
+            put_quote(p, quote);
             RESP_ATTEST_OK
         }
         Response::DeployOk {
@@ -475,8 +506,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             evidence,
         } => {
             p.extend_from_slice(&deploy_id.to_le_bytes());
-            put_bytes(&mut p, module);
-            put_evidence(&mut p, evidence);
+            put_bytes(p, module);
+            put_evidence(p, evidence);
             RESP_DEPLOY_OK
         }
         Response::InvokeOk {
@@ -487,43 +518,43 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             invoice_total,
         } => {
             p.extend_from_slice(&session_id.to_le_bytes());
-            put_values(&mut p, results);
-            put_bytes(&mut p, output);
-            put_signed_log(&mut p, log);
+            put_values(p, results);
+            put_bytes(p, output);
+            put_signed_log(p, log);
             p.extend_from_slice(&invoice_total.to_le_bytes());
             RESP_INVOKE_OK
         }
         Response::LogOk { log } => {
-            put_signed_log(&mut p, log);
+            put_signed_log(p, log);
             RESP_LOG_OK
         }
         Response::ShutdownOk => RESP_SHUTDOWN_OK,
         Response::Busy => RESP_BUSY,
         Response::Error { message } => {
-            put_bytes(&mut p, message.as_bytes());
+            put_bytes(p, message.as_bytes());
             RESP_ERROR
         }
         Response::StatsOk { snapshot } => {
-            put_snapshot(&mut p, snapshot);
+            put_snapshot(p, snapshot);
             RESP_STATS_OK
         }
         Response::StatsTextOk { text } => {
-            put_bytes(&mut p, text.as_bytes());
+            put_bytes(p, text.as_bytes());
             RESP_STATS_TEXT_OK
         }
         Response::HealthOk { report } => {
-            put_health(&mut p, report);
+            put_health(p, report);
             RESP_HEALTH_OK
         }
         Response::RecentOk { records } => {
             p.extend_from_slice(&(records.len() as u32).to_le_bytes());
             for r in records {
-                put_record(&mut p, r);
+                put_record(p, r);
             }
             RESP_RECENT_OK
         }
     };
-    frame(kind, &p)
+    end_frame(p, start, kind);
 }
 
 /// Writes a request frame to `w`.
@@ -877,7 +908,14 @@ pub fn read_request_timed(r: &mut impl Read) -> Result<Option<(Request, Instant,
     let Some((kind, payload, started)) = read_frame(r)? else {
         return Ok(None);
     };
-    let mut c = Cursor { rest: &payload };
+    let req = decode_request_payload(kind, &payload)?;
+    let parse_ns = started.elapsed().as_nanos() as u64;
+    Ok(Some((req, started, parse_ns)))
+}
+
+/// Decodes a request structure from an already-extracted payload.
+fn decode_request_payload(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor { rest: payload };
     let req = match kind {
         REQ_ATTEST => Request::Attest { nonce: c.digest()? },
         REQ_DEPLOY => Request::Deploy {
@@ -905,8 +943,51 @@ pub fn read_request_timed(r: &mut impl Read) -> Result<Option<(Request, Instant,
         other => return Err(WireError::UnknownKind(other)),
     };
     c.finish()?;
-    let parse_ns = started.elapsed().as_nanos() as u64;
-    Ok(Some((req, started, parse_ns)))
+    Ok(req)
+}
+
+/// Incrementally decodes one request frame from the front of `buf`
+/// (the event-driven server's multi-frame read buffer).
+///
+/// `Ok(None)` means the buffer holds only a frame prefix — read more
+/// bytes and try again. `Ok(Some((req, consumed)))` means a complete
+/// frame occupied `buf[..consumed]`. Header fields are validated as
+/// soon as the bytes that carry them are present, so garbage fails
+/// fast even before a full header arrives.
+///
+/// # Errors
+///
+/// Any [`WireError`]; response kinds are [`WireError::UnknownKind`].
+pub fn decode_request_frame(buf: &[u8]) -> Result<Option<(Request, usize)>, WireError> {
+    // Validate the prefix we do have: a desynchronised or hostile peer
+    // should be rejected without waiting for more bytes that will
+    // never make the frame valid.
+    let have = buf.len().min(4);
+    if buf[..have] != MAGIC[..have] {
+        let mut m = [0u8; 4];
+        m[..have].copy_from_slice(&buf[..have]);
+        return Err(WireError::BadMagic(m));
+    }
+    if buf.len() >= 6 {
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let kind = buf[6];
+    let len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let req = decode_request_payload(kind, &buf[HEADER_LEN..total])?;
+    Ok(Some((req, total)))
 }
 
 /// Reads one response frame (a missing frame is an error: the client
@@ -1332,6 +1413,97 @@ mod tests {
         f.extend_from_slice(&(p.len() as u32).to_le_bytes());
         f.extend_from_slice(&p);
         assert_eq!(read_request(&mut f.as_slice()), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn incremental_decode_handles_split_and_batched_frames() {
+        let reqs = [
+            Request::Invoke {
+                deploy_id: 3,
+                func: "f".into(),
+                args: vec![Value::I32(7)],
+                input: b"in".to_vec(),
+                tenant: "t".into(),
+                trace_id: 9,
+            },
+            Request::Health,
+            Request::FetchLog { session_id: 4 },
+        ];
+        // One buffer holding all three frames back-to-back: each
+        // decode consumes exactly one frame, in order.
+        let mut batch = Vec::new();
+        for r in &reqs {
+            encode_request_into(&mut batch, r);
+        }
+        let mut off = 0;
+        for want in &reqs {
+            let (got, used) = decode_request_frame(&batch[off..])
+                .expect("decodes")
+                .expect("complete");
+            assert_eq!(&got, want);
+            off += used;
+        }
+        assert_eq!(off, batch.len());
+
+        // Feeding the same bytes one at a time: every proper prefix is
+        // "incomplete", never an error, and the full frame decodes.
+        let frame = encode_request(&reqs[0]);
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_request_frame(&frame[..cut]),
+                Ok(None),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (got, used) = decode_request_frame(&frame).unwrap().unwrap();
+        assert_eq!(got, reqs[0]);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn incremental_decode_rejects_garbage_prefixes_early() {
+        // Wrong magic is detected from the very first byte.
+        assert!(matches!(
+            decode_request_frame(b"N"),
+            Err(WireError::BadMagic(_))
+        ));
+        // Wrong version is detected as soon as both bytes are in.
+        let mut f = encode_request(&Request::Shutdown);
+        f[4] = 0xff;
+        assert!(matches!(
+            decode_request_frame(&f[..6]),
+            Err(WireError::BadVersion(_))
+        ));
+        // Oversized declared length fails without waiting for payload.
+        let mut f = encode_request(&Request::Shutdown);
+        f[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            decode_request_frame(&f),
+            Err(WireError::Oversized(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn append_encoders_match_the_allocating_encoders() {
+        let req = Request::Deploy {
+            level: Level::FlowBased,
+            module: vec![1, 2, 3],
+            trace_id: 5,
+        };
+        let resp = Response::InvokeOk {
+            session_id: 1,
+            results: vec![Value::I64(-2)],
+            output: b"x".to_vec(),
+            log: signed_log(),
+            invoice_total: 12,
+        };
+        let mut buf = b"prefix".to_vec();
+        encode_request_into(&mut buf, &req);
+        encode_response_into(&mut buf, &resp);
+        let mut expect = b"prefix".to_vec();
+        expect.extend_from_slice(&encode_request(&req));
+        expect.extend_from_slice(&encode_response(&resp));
+        assert_eq!(buf, expect);
     }
 
     #[test]

@@ -39,23 +39,41 @@ cargo test --offline -q --release -p acctee-integration --test artifact_cache
 echo "==> faas serving-throughput smoke (BENCH_faas.json)"
 cargo run --offline --release -q -p acctee-bench --bin faas -- 16 2 --out /tmp/BENCH_faas.json
 
-echo "==> net serving smoke (serve / attested invoke / shutdown)"
 ACCTEE_BIN="$(pwd)/target/release/acctee"
-SERVE_LOG="$(mktemp)"
-"$ACCTEE_BIN" serve --listen 127.0.0.1:0 >"$SERVE_LOG" 2>&1 &
-SERVE_PID=$!
-ADDR=""
-for _ in $(seq 1 50); do
-    ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
-    if [ -n "$ADDR" ]; then break; fi
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "server never reported its address"; kill "$SERVE_PID"; exit 1; }
-"$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 20 \
-    | grep -q "verified" || { echo "attested invoke failed"; kill "$SERVE_PID"; exit 1; }
-"$ACCTEE_BIN" shutdown --connect "$ADDR"
-wait "$SERVE_PID"   # graceful drain: the server must exit 0 on its own
-rm -f "$SERVE_LOG"
+
+# serve / attested invoke / pipelined invoke / shutdown, in one I/O
+# mode. The pipelined invoke exercises keep-alive multi-frame batches
+# end to end (client write coalescing through server frame pump).
+net_smoke() {
+    local IO="$1"
+    echo "==> net serving smoke, --io $IO (serve / attested invoke / pipeline / shutdown)"
+    local SERVE_LOG SERVE_PID ADDR
+    SERVE_LOG="$(mktemp)"
+    "$ACCTEE_BIN" serve --listen 127.0.0.1:0 --io "$IO" >"$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+        if [ -n "$ADDR" ]; then break; fi
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "server never reported its address"; kill "$SERVE_PID"; exit 1; }
+    # Capture first, grep after: piping straight into `grep -q` closes
+    # the pipe at the first match and the client trips over EPIPE.
+    local OUT
+    OUT="$("$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 20)" \
+        && grep -q "verified" <<<"$OUT" \
+        || { echo "attested invoke failed"; kill "$SERVE_PID"; exit 1; }
+    OUT="$("$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 10 --repeat 4)" \
+        && grep -q "pipelined 4 invokes" <<<"$OUT" \
+        || { echo "pipelined invoke failed"; kill "$SERVE_PID"; exit 1; }
+    "$ACCTEE_BIN" shutdown --connect "$ADDR"
+    wait "$SERVE_PID"   # graceful drain: the server must exit 0 on its own
+    rm -f "$SERVE_LOG"
+}
+
+net_smoke event
+net_smoke thread
 
 echo "==> stats-plane smoke (undersized server, shed load, strict Prometheus scrape)"
 SERVE_LOG="$(mktemp)"
@@ -106,6 +124,27 @@ for key in throughput_rps p50_us p99_us shed_rate; do
 done
 if grep -q '"shed": 0,' /tmp/BENCH_net.json; then
     echo "overload scenario shed nothing"; exit 1
+fi
+
+echo "==> committed BENCH_net.json scaling curve"
+grep -q '"scaling"' BENCH_net.json || { echo "BENCH_net.json missing scaling block"; exit 1; }
+grep -q '"arrival"' BENCH_net.json || { echo "BENCH_net.json missing arrival rates"; exit 1; }
+CORES="$(sed -n 's/.*"host_cores": \([0-9]*\).*/\1/p' BENCH_net.json)"
+KA1="$(sed -n 's/.*"workers": 1, "mode": "keepalive".*"throughput_rps": \([0-9.]*\).*/\1/p' BENCH_net.json)"
+KA4="$(sed -n 's/.*"workers": 4, "mode": "keepalive".*"throughput_rps": \([0-9.]*\).*/\1/p' BENCH_net.json)"
+RC1="$(sed -n 's/.*"workers": 1, "mode": "reconnect".*"throughput_rps": \([0-9.]*\).*/\1/p' BENCH_net.json)"
+[ -n "$KA1" ] && [ -n "$KA4" ] && [ -n "$RC1" ] \
+    || { echo "scaling rows missing keepalive/reconnect entries"; exit 1; }
+# Keep-alive pipelining must beat reconnect-per-request everywhere.
+awk -v ka="$KA1" -v rc="$RC1" 'BEGIN { exit !(ka > rc) }' \
+    || { echo "keepalive ($KA1 rps) not faster than reconnect ($RC1 rps)"; exit 1; }
+# The multi-core claim only holds where the cores exist: on a >=4-core
+# recorder, 4 loops must at least double 1 loop.
+if [ "${CORES:-1}" -ge 4 ]; then
+    awk -v a="$KA4" -v b="$KA1" 'BEGIN { exit !(a >= 2 * b) }' \
+        || { echo "4-worker keepalive ($KA4 rps) < 2x 1-worker ($KA1 rps) on a $CORES-core host"; exit 1; }
+else
+    echo "    (host_cores=$CORES in committed run: 4w>=2x1w scaling gate skipped)"
 fi
 
 echo "==> all green"

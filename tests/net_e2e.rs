@@ -8,7 +8,9 @@ use std::time::Duration;
 
 use acctee::{Deployment, Level};
 use acctee_interp::Value;
-use acctee_net::{Client, NetError, RequestOutcome, Server, ServerConfig, TrustAnchor};
+use acctee_net::{
+    Client, InvokeSpec, IoMode, NetError, RequestOutcome, Server, ServerConfig, TrustAnchor,
+};
 use acctee_sgx::crypto::sha256;
 use acctee_volunteer::{Escrow, PaymentError};
 use acctee_wasm::builder::ModuleBuilder;
@@ -18,6 +20,18 @@ use acctee_wasm::BlockType;
 
 const SEED: u64 = 42;
 const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Baseline config for one I/O mode. The acceptance bar is that every
+/// property below holds bit-identically whether the server runs the
+/// event loops or the thread-pool fallback, so each test body takes
+/// the mode as a parameter and is instantiated for both.
+fn cfg(io: IoMode) -> ServerConfig {
+    ServerConfig {
+        seed: SEED,
+        io_mode: io,
+        ..ServerConfig::default()
+    }
+}
 
 fn spawn_server(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
     Server::bind("127.0.0.1:0", config)
@@ -83,11 +97,17 @@ fn spin_module() -> Vec<u8> {
 }
 
 #[test]
-fn loopback_counters_are_bit_identical_to_in_process_run() {
-    let (addr, handle) = spawn_server(ServerConfig {
-        seed: SEED,
-        ..ServerConfig::default()
-    });
+fn loopback_counters_are_bit_identical_event_mode() {
+    loopback_counters_are_bit_identical(IoMode::Event);
+}
+
+#[test]
+fn loopback_counters_are_bit_identical_thread_mode() {
+    loopback_counters_are_bit_identical(IoMode::Thread);
+}
+
+fn loopback_counters_are_bit_identical(io: IoMode) {
+    let (addr, handle) = spawn_server(cfg(io));
     let module = work_module();
     let mut client = connect(addr);
     let deployed = client.deploy(&module, Level::LoopBased).expect("deploy");
@@ -142,11 +162,17 @@ fn loopback_counters_are_bit_identical_to_in_process_run() {
 }
 
 #[test]
-fn replayed_log_is_rejected_across_connections() {
-    let (addr, handle) = spawn_server(ServerConfig {
-        seed: SEED,
-        ..ServerConfig::default()
-    });
+fn replayed_log_is_rejected_across_connections_event_mode() {
+    replayed_log_is_rejected_across_connections(IoMode::Event);
+}
+
+#[test]
+fn replayed_log_is_rejected_across_connections_thread_mode() {
+    replayed_log_is_rejected_across_connections(IoMode::Thread);
+}
+
+fn replayed_log_is_rejected_across_connections(io: IoMode) {
+    let (addr, handle) = spawn_server(cfg(io));
     let module = work_module();
 
     // Two separate connections, one invoke each: the server-side
@@ -183,12 +209,22 @@ fn replayed_log_is_rejected_across_connections() {
 }
 
 #[test]
-fn tenant_limit_sheds_busy_and_deadline_frees_the_worker() {
+fn tenant_limit_sheds_busy_and_deadline_frees_the_worker_event_mode() {
+    tenant_limit_sheds_busy_and_deadline_frees_the_worker(IoMode::Event);
+}
+
+#[test]
+fn tenant_limit_sheds_busy_and_deadline_frees_the_worker_thread_mode() {
+    tenant_limit_sheds_busy_and_deadline_frees_the_worker(IoMode::Thread);
+}
+
+fn tenant_limit_sheds_busy_and_deadline_frees_the_worker(io: IoMode) {
     let (addr, handle) = spawn_server(ServerConfig {
         seed: SEED,
         workers: 2,
         tenant_inflight: 1,
         request_deadline: Some(Duration::from_millis(400)),
+        io_mode: io,
         ..ServerConfig::default()
     });
     let module = spin_module();
@@ -235,13 +271,19 @@ fn tenant_limit_sheds_busy_and_deadline_frees_the_worker() {
 }
 
 #[test]
-fn garbage_frames_get_an_error_response_and_server_survives() {
+fn garbage_frames_get_an_error_response_and_server_survives_event_mode() {
+    garbage_frames_get_an_error_response_and_server_survives(IoMode::Event);
+}
+
+#[test]
+fn garbage_frames_get_an_error_response_and_server_survives_thread_mode() {
+    garbage_frames_get_an_error_response_and_server_survives(IoMode::Thread);
+}
+
+fn garbage_frames_get_an_error_response_and_server_survives(io: IoMode) {
     use std::io::{Read, Write};
 
-    let (addr, handle) = spawn_server(ServerConfig {
-        seed: SEED,
-        ..ServerConfig::default()
-    });
+    let (addr, handle) = spawn_server(cfg(io));
 
     // Raw garbage: the server answers with an Error frame (it cannot
     // trust the stream afterwards, so it hangs up) and must not panic.
@@ -295,12 +337,22 @@ fn poll_until<T>(mut f: impl FnMut() -> Option<T>) -> T {
 }
 
 #[test]
-fn stats_snapshot_and_flight_recorder_match_observed_load() {
+fn stats_snapshot_and_flight_recorder_match_observed_load_event_mode() {
+    stats_snapshot_and_flight_recorder_match_observed_load(IoMode::Event);
+}
+
+#[test]
+fn stats_snapshot_and_flight_recorder_match_observed_load_thread_mode() {
+    stats_snapshot_and_flight_recorder_match_observed_load(IoMode::Thread);
+}
+
+fn stats_snapshot_and_flight_recorder_match_observed_load(io: IoMode) {
     let (addr, handle) = spawn_server(ServerConfig {
         seed: SEED,
         workers: 3,
         tenant_inflight: 1,
         request_deadline: Some(Duration::from_millis(1200)),
+        io_mode: io,
         ..ServerConfig::default()
     });
     let module = spin_module();
@@ -416,6 +468,196 @@ fn stats_snapshot_and_flight_recorder_match_observed_load() {
     assert_eq!(health.workers, 3);
 
     shutdown(addr, handle);
+}
+
+#[test]
+fn pipelined_invokes_answer_in_order_event_mode() {
+    pipelined_invokes_answer_in_order(IoMode::Event);
+}
+
+#[test]
+fn pipelined_invokes_answer_in_order_thread_mode() {
+    pipelined_invokes_answer_in_order(IoMode::Thread);
+}
+
+fn pipelined_invokes_answer_in_order(io: IoMode) {
+    let (addr, handle) = spawn_server(cfg(io));
+    let module = spin_module();
+    let mut client = connect(addr);
+    let dep = client.deploy(&module, Level::Naive).expect("deploy");
+
+    // Sixteen invokes written back-to-back on the one attested
+    // session: the server must answer every frame, in order, each with
+    // its own verified signed log.
+    let specs: Vec<InvokeSpec> = (0..16)
+        .map(|i| InvokeSpec {
+            func: "fast".into(),
+            args: vec![Value::I32(i)],
+            input: Vec::new(),
+            tenant: "pipe".into(),
+        })
+        .collect();
+    let outcomes = client.invoke_many(&dep, &specs).expect("pipelined batch");
+    assert_eq!(outcomes.len(), 16);
+    let mut last_session = 0;
+    for (i, out) in outcomes.iter().enumerate() {
+        assert_eq!(
+            out.results,
+            vec![Value::I32(i as i32 + 1)],
+            "response {i} out of order"
+        );
+        assert!(
+            out.session_id > last_session,
+            "session ids stay strictly monotonic within a pipeline"
+        );
+        last_session = out.session_id;
+        assert!(out.log.log.weighted_instructions > 0);
+    }
+
+    // The connection is still usable after the batch, and the stats
+    // plane counted each pipelined frame as a full request.
+    let single = client
+        .invoke(&dep, "fast", &[Value::I32(100)], b"", "pipe")
+        .expect("invoke after batch");
+    assert_eq!(single.results, vec![Value::I32(101)]);
+    let mut obs = connect(addr);
+    let snap = poll_until(|| {
+        let s = obs.stats().expect("stats");
+        (s.requests_of("invoke") == 17).then_some(s)
+    });
+    assert_eq!(snap.latency.count, 17);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn tenant_cap_holds_across_connections_event_mode() {
+    tenant_cap_holds_across_connections(IoMode::Event);
+}
+
+#[test]
+fn tenant_cap_holds_across_connections_thread_mode() {
+    tenant_cap_holds_across_connections(IoMode::Thread);
+}
+
+/// The shard-consistency property: a tenant's in-flight cap is
+/// enforced across *connections* (hence across event loops / workers),
+/// because every connection's admission goes through the same tenant
+/// shard.
+fn tenant_cap_holds_across_connections(io: IoMode) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        workers: 4,
+        tenant_inflight: 2,
+        request_deadline: Some(Duration::from_millis(1200)),
+        io_mode: io,
+        shards: 4,
+        ..ServerConfig::default()
+    });
+    let module = spin_module();
+
+    // Two runaway invokes under tenant "h", each on its own
+    // connection, fill both of the tenant's slots.
+    let spinners: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn({
+                let module = module.clone();
+                move || {
+                    let mut c =
+                        Client::connect(addr, TrustAnchor::new(SEED), TIMEOUT).expect("connect");
+                    let dep = c.deploy(&module, Level::Naive).expect("deploy");
+                    c.invoke(&dep, "inf", &[], b"", "h")
+                }
+            })
+        })
+        .collect();
+
+    let mut obs = connect(addr);
+    poll_until(|| {
+        let snap = obs.stats().expect("stats");
+        snap.tenants
+            .iter()
+            .any(|t| t.tenant == "h" && t.inflight == 2)
+            .then_some(())
+    });
+
+    // A third connection for the same tenant is shed with Busy — the
+    // cap binds across connections, and the stats plane never reports
+    // more than two in flight.
+    let mut prober = connect(addr);
+    let dep = prober.deploy(&module, Level::Naive).expect("deploy");
+    match prober.invoke(&dep, "fast", &[Value::I32(1)], b"", "h") {
+        Err(NetError::Busy) => {}
+        other => panic!("expected Busy at the tenant cap, got {other:?}"),
+    }
+    let snap = obs.stats().expect("stats");
+    let h = snap.tenants.iter().find(|t| t.tenant == "h").expect("h");
+    assert!(h.inflight <= 2, "cap exceeded: {} in flight", h.inflight);
+    assert_eq!(h.shed_total, 1);
+
+    // Both runaways die at the deadline, freeing the slots.
+    for s in spinners {
+        match s.join().expect("spinner thread") {
+            Err(NetError::Server(msg)) => {
+                assert!(msg.contains("deadline"), "got {msg:?}")
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+    let out = prober
+        .invoke(&dep, "fast", &[Value::I32(41)], b"", "h")
+        .expect("slots freed");
+    assert_eq!(out.results, vec![Value::I32(42)]);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn drain_completes_under_keep_alive_event_mode() {
+    drain_completes_under_keep_alive(IoMode::Event);
+}
+
+#[test]
+fn drain_completes_under_keep_alive_thread_mode() {
+    drain_completes_under_keep_alive(IoMode::Thread);
+}
+
+/// Graceful drain must not wait for keep-alive clients to hang up: an
+/// idle attested session is closed by the server, while the response
+/// to the last served request still arrives intact.
+fn drain_completes_under_keep_alive(io: IoMode) {
+    let (addr, handle) = spawn_server(ServerConfig {
+        seed: SEED,
+        // Short idle timeout so the thread-mode worker blocked in read
+        // notices the drain quickly; the event loops are woken
+        // explicitly and don't need it.
+        io_timeout: Duration::from_millis(400),
+        io_mode: io,
+        ..ServerConfig::default()
+    });
+    let module = spin_module();
+    let mut a = connect(addr);
+    let dep = a.deploy(&module, Level::Naive).expect("deploy");
+    let out = a
+        .invoke(&dep, "fast", &[Value::I32(1)], b"", "t")
+        .expect("invoke before drain");
+    assert_eq!(out.results, vec![Value::I32(2)]);
+
+    // `a` stays attached, idle, mid keep-alive session while a second
+    // connection requests shutdown. The server must drain and exit
+    // without waiting for `a` to hang up…
+    connect(addr).shutdown().expect("shutdown accepted");
+    handle
+        .join()
+        .expect("drained despite a live keep-alive session");
+
+    // …after which the drained side has closed the session: the next
+    // pipelined invoke fails with a transport error instead of
+    // hanging.
+    assert!(
+        a.invoke(&dep, "fast", &[Value::I32(1)], b"", "t").is_err(),
+        "invoke succeeded against a drained server"
+    );
 }
 
 #[test]
