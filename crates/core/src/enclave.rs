@@ -267,6 +267,36 @@ impl AccountingEnclave {
         Ok(quote)
     }
 
+    /// Seals `data` to this accounting enclave's identity, for durable
+    /// state the AE must be able to trust across restarts (deployment
+    /// registry, billing rollups). The nonce must be unique per seal —
+    /// the durable layer derives it from a monotonic snapshot sequence
+    /// number so no two seals ever share one.
+    pub fn seal_state(&self, nonce: [u8; 16], data: &[u8]) -> acctee_sgx::seal::Sealed {
+        acctee_sgx::seal::seal(&self.enclave, nonce, data)
+    }
+
+    /// Unseals state previously sealed by [`Self::seal_state`].
+    /// Returns `None` when the blob was sealed by a different enclave
+    /// identity (other code, other platform) or was tampered with.
+    pub fn unseal_state(&self, sealed: &acctee_sgx::seal::Sealed) -> Option<Vec<u8>> {
+        acctee_sgx::seal::unseal(&self.enclave, sealed)
+    }
+
+    /// Quotes an arbitrary 32-byte binding digest — used to sign
+    /// settlement statements, whose canonical binding is computed by
+    /// the billing layer. The verifier checks the quote against this
+    /// AE's measurement and recomputes the binding, exactly as for
+    /// usage logs.
+    ///
+    /// # Errors
+    ///
+    /// [`AccTeeError::Attestation`] if quoting fails.
+    pub fn sign_binding(&self, binding: &Digest) -> Result<acctee_sgx::Quote, AccTeeError> {
+        let quote = self.qe.quote(&self.enclave.report(report_data(binding)))?;
+        Ok(quote)
+    }
+
     /// Verifies evidence against the attestation authority and loads
     /// the workload.
     ///

@@ -62,7 +62,19 @@ impl PricingModel {
                 u128::from(log.peak_memory_bytes) * u128::from(self.per_peak_byte)
             }
             MemoryPolicy::Integral => {
-                log.memory_integral / (1 << 20) * u128::from(self.per_mebi_byte_instruction)
+                // Multiply before dividing: the charge is
+                // floor(integral * rate / 2^20) nano-credits, so at
+                // most one nano-credit of the *scaled* product is
+                // dropped per invoice. Dividing first would zero out
+                // up to 1 MiB−1 byte-instructions of the integral
+                // itself (rate-many nano-credits), and that error
+                // compounds across logs: sum of invoices would drift
+                // below the invoice of the sum. The exact sub-MiB
+                // remainder, (integral * rate) mod 2^20, is carried by
+                // the billing aggregator so settlement is lossless.
+                log.memory_integral
+                    .saturating_mul(u128::from(self.per_mebi_byte_instruction))
+                    / (1 << 20)
             }
         };
         let io = (u128::from(log.io_bytes_in) + u128::from(log.io_bytes_out))
@@ -110,6 +122,42 @@ mod tests {
         };
         let inv = p.invoice(&log());
         assert_eq!(inv.memory, 10 * 50);
+    }
+
+    #[test]
+    fn integral_policy_multiplies_before_dividing() {
+        // Regression: a 1 MiB−1 byte-instruction integral used to bill
+        // 0 (the old code divided first, truncating the whole sub-MiB
+        // remainder). The rounding rule is floor(integral * rate /
+        // 2^20): with the default rate of 50 this integral is worth
+        // floor((2^20 − 1) * 50 / 2^20) = 49 nano-credits.
+        let p = PricingModel {
+            memory_policy: MemoryPolicy::Integral,
+            ..Default::default()
+        };
+        let l = ResourceUsageLog {
+            memory_integral: (1 << 20) - 1,
+            ..ResourceUsageLog::default()
+        };
+        assert_eq!(p.invoice(&l).memory, 49);
+        // Sub-invoice truncation no longer compounds: pricing the sum
+        // of two integrals never differs from the summed invoices by
+        // more than one nano-credit (the single floor).
+        let a = ResourceUsageLog {
+            memory_integral: (1 << 19) + 123,
+            ..ResourceUsageLog::default()
+        };
+        let b = ResourceUsageLog {
+            memory_integral: (1 << 19) + 456,
+            ..ResourceUsageLog::default()
+        };
+        let sum = ResourceUsageLog {
+            memory_integral: a.memory_integral + b.memory_integral,
+            ..ResourceUsageLog::default()
+        };
+        let parts = p.invoice(&a).memory + p.invoice(&b).memory;
+        let whole = p.invoice(&sum).memory;
+        assert!(whole - parts <= 1, "drift {whole} vs {parts}");
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! Durable control plane for AccTEE serving.
+//!
+//! Three pieces, one state directory:
+//!
+//! * [`wal`] — a write-ahead log of canonical-encoded, CRC-guarded
+//!   signed usage records (append + configurable fsync, torn-tail
+//!   tolerant replay, segment rotation and compaction);
+//! * [`registry`] — a sealed snapshot of the deployment registry and
+//!   tenant state, sealed with the accounting enclave's key under a
+//!   monotonic nonce schedule, so a restart rehydrates deployments and
+//!   resumes id allocation past every pre-crash high-water mark;
+//! * [`billing`] — an aggregator folding verified logs into per-tenant
+//!   metering rollups and signed settlement statements, carrying the
+//!   sub-MiB integral remainders exactly.
+//!
+//! [`Durable`] ties them together behind one lock with a simple
+//! contract: a usage record is appended (and, under
+//! [`FsyncPolicy::Always`], fsynced) *before* the response leaves the
+//! server, so every acknowledged request is recoverable; session ids
+//! are covered by a sealed lease extended ahead of use, so no
+//! pre-crash id is ever re-issued; and on open the aggregator is
+//! rebuilt from a full WAL replay — exactly-once per session id — then
+//! cross-checked against the sealed rollups, so a log that lost
+//! acknowledged records is refused rather than silently under-billed.
+
+pub mod billing;
+pub mod record;
+pub mod registry;
+pub mod wal;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use acctee::{AccountingEnclave, Invoice, PricingModel, SignedLog};
+use acctee_instrument::Level;
+
+pub use billing::{Aggregator, SettlementStatement, SignedSettlement, TenantRollup};
+pub use record::{decode_record, encode_record, UsageRecord};
+pub use registry::{DeployRecord, RegistryState, SnapshotStore};
+pub use wal::{FsyncPolicy, Wal, WalReplay};
+
+/// Errors from the durable control plane.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying I/O failure.
+    Io(String),
+    /// On-disk state is damaged in a way replay must not paper over
+    /// (acknowledged records missing, CRC failures outside the torn
+    /// tail, rollups the log cannot reproduce).
+    Corrupt(String),
+    /// A canonical encoding failed to decode.
+    Decode(String),
+    /// A snapshot sealed by a different enclave: the state directory
+    /// belongs to another deployment seed.
+    ForeignSnapshot(String),
+    /// A usage record for this session id is already in the log.
+    DuplicateSession(u64),
+    /// Quoting or quote verification failed.
+    Attestation(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "i/o error: {e}"),
+            DurableError::Corrupt(e) => write!(f, "durable state corrupt: {e}"),
+            DurableError::Decode(e) => write!(f, "decode error: {e}"),
+            DurableError::ForeignSnapshot(e) => write!(f, "foreign snapshot: {e}"),
+            DurableError::DuplicateSession(id) => {
+                write!(f, "usage record for session {id} already logged")
+            }
+            DurableError::Attestation(e) => write!(f, "attestation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> DurableError {
+        DurableError::Io(e.to_string())
+    }
+}
+
+/// Tunables for [`Durable::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// When appended usage records reach disk.
+    pub fsync: FsyncPolicy,
+    /// Rotate WAL segments past this size.
+    pub segment_bytes: u64,
+    /// Seal a registry snapshot every N appended records (deploys and
+    /// lease extensions snapshot immediately regardless).
+    pub checkpoint_every: u32,
+    /// How far past the last sealed lease new session ids may run; the
+    /// lease is re-sealed before allocation crosses it.
+    pub session_lease: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 4 << 20,
+            checkpoint_every: 256,
+            session_lease: 4096,
+        }
+    }
+}
+
+/// What [`Durable::open`] recovered from the state directory.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Unique usage records replayed from the WAL.
+    pub records_replayed: usize,
+    /// Duplicate frames dropped during replay.
+    pub duplicates_dropped: usize,
+    /// Bytes of torn tail discarded from the final segment.
+    pub torn_bytes_discarded: u64,
+    /// Deployments rehydrated from the sealed snapshot.
+    pub deployments: Vec<DeployRecord>,
+    /// First deploy id safe to hand out.
+    pub next_deploy: u64,
+    /// First session id safe to hand out (past the sealed lease *and*
+    /// the WAL's high-water mark).
+    pub next_session: u64,
+    /// Whether a sealed snapshot was restored.
+    pub snapshot_restored: bool,
+}
+
+struct Inner {
+    wal: Wal,
+    snapshots: SnapshotStore,
+    agg: Aggregator,
+    deployments: Vec<DeployRecord>,
+    next_deploy: u64,
+    session_lease: u64,
+    appends_since_checkpoint: u32,
+}
+
+/// The durable control plane: one state directory, one lock.
+pub struct Durable {
+    opts: DurableOptions,
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Durable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durable")
+            .field("dir", &self.dir)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Durable {
+    /// Opens (or initialises) the state directory: loads the newest
+    /// sealed snapshot, replays the WAL, rebuilds the billing
+    /// aggregator from the replayed records — exactly-once per session
+    /// id — and cross-checks it against the sealed rollups.
+    ///
+    /// The aggregator is always rebuilt from the *full* WAL rather
+    /// than folded forward from the snapshot: concurrent workers
+    /// append out of session-id order, so "fold records above the
+    /// sealed watermark" would skip a slow worker's record that landed
+    /// after the seal with an id below it. Full replay has no such
+    /// hole, and the sealed rollups instead serve as a floor the
+    /// rebuild must dominate — the checkpoint fsyncs the WAL before
+    /// sealing, so anything the rollups cover is durable, and a
+    /// rebuild that falls short proves acknowledged records vanished.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::ForeignSnapshot`] for a state directory sealed
+    /// under a different seed; [`DurableError::Corrupt`] when the log
+    /// cannot reproduce the sealed rollups or a sealed segment is
+    /// damaged; I/O errors.
+    pub fn open(
+        dir: &Path,
+        opts: DurableOptions,
+        ae: &AccountingEnclave,
+        pricing: PricingModel,
+    ) -> Result<(Durable, Recovery), DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let snapshots = SnapshotStore::open(dir)?;
+        let snapshot = snapshots.load(ae)?;
+        let (wal, replay) = Wal::open(dir, opts.fsync, opts.segment_bytes)?;
+
+        let mut agg = Aggregator::new(pricing);
+        for rec in &replay.records {
+            agg.fold(&rec.tenant, &rec.signed.log);
+        }
+
+        let (deployments, next_deploy, session_lease, snapshot_restored) = match &snapshot {
+            Some(s) => {
+                check_rollups(&s.rollups, agg.rollups())?;
+                (s.deployments.clone(), s.next_deploy, s.session_lease, true)
+            }
+            None => (Vec::new(), 1, 0, false),
+        };
+        let next_session = session_lease.max(wal.max_session() + 1);
+
+        let recovery = Recovery {
+            records_replayed: replay.records.len(),
+            duplicates_dropped: replay.duplicates_dropped,
+            torn_bytes_discarded: replay.torn_bytes_discarded,
+            deployments: deployments.clone(),
+            next_deploy,
+            next_session,
+            snapshot_restored,
+        };
+        let durable = Durable {
+            opts,
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                wal,
+                snapshots,
+                agg,
+                deployments,
+                next_deploy,
+                // The lease must cover everything we are about to hand
+                // out; it is re-sealed lazily by ensure_lease.
+                session_lease: next_session,
+                appends_since_checkpoint: 0,
+            }),
+        };
+        Ok((durable, recovery))
+    }
+
+    /// The state directory this plane persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Durable state is guarded by Results everywhere; a panic
+        // while holding the lock leaves no torn in-memory state worth
+        // preserving, so recover the guard rather than poisoning every
+        // later request.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Guarantees `session_id` is covered by the sealed session lease,
+    /// re-sealing an extended lease before allocation gets within a
+    /// quarter-lease of the boundary. Call after allocating an id and
+    /// before executing: once this returns, a restart can never
+    /// re-issue the id, even if the request dies before logging.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from sealing the extended lease.
+    pub fn ensure_lease(
+        &self,
+        session_id: u64,
+        ae: &AccountingEnclave,
+    ) -> Result<(), DurableError> {
+        let mut inner = self.lock();
+        let margin = (self.opts.session_lease / 4).max(1);
+        if session_id + margin < inner.session_lease {
+            return Ok(());
+        }
+        inner.session_lease = session_id + self.opts.session_lease;
+        self.checkpoint_locked(&mut inner, ae)
+    }
+
+    /// Appends one accounted request to the WAL (fsyncing per policy)
+    /// and folds it into the billing rollups. Call *before* responding
+    /// to the client: when this returns under [`FsyncPolicy::Always`],
+    /// the record survives `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::DuplicateSession`] if the session was already
+    /// logged; I/O errors.
+    pub fn append_usage(
+        &self,
+        tenant: &str,
+        signed: &SignedLog,
+        ae: &AccountingEnclave,
+    ) -> Result<Invoice, DurableError> {
+        let mut inner = self.lock();
+        inner.wal.append(&UsageRecord {
+            tenant: tenant.to_string(),
+            signed: signed.clone(),
+        })?;
+        let invoice = inner.agg.fold(tenant, &signed.log);
+        inner.appends_since_checkpoint += 1;
+        if inner.appends_since_checkpoint >= self.opts.checkpoint_every {
+            self.checkpoint_locked(&mut inner, ae)?;
+        }
+        Ok(invoice)
+    }
+
+    /// Persists a deployment (and advances the deploy high-water mark)
+    /// with an immediate snapshot, so it is rehydrated on restart.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from sealing.
+    pub fn record_deploy(
+        &self,
+        deploy_id: u64,
+        level: Level,
+        module: Vec<u8>,
+        ae: &AccountingEnclave,
+    ) -> Result<(), DurableError> {
+        let mut inner = self.lock();
+        inner.deployments.retain(|d| d.deploy_id != deploy_id);
+        inner.deployments.push(DeployRecord {
+            deploy_id,
+            level,
+            module,
+        });
+        inner.next_deploy = inner.next_deploy.max(deploy_id + 1);
+        self.checkpoint_locked(&mut inner, ae)
+    }
+
+    /// Fetches a signed log back from the WAL by session id.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors reading the stored frame.
+    pub fn lookup(&self, session_id: u64) -> Result<Option<SignedLog>, DurableError> {
+        let inner = self.lock();
+        Ok(inner.wal.get(session_id)?.map(|r| r.signed))
+    }
+
+    /// Forces a checkpoint: fsyncs the WAL, then seals a registry
+    /// snapshot covering it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn checkpoint(&self, ae: &AccountingEnclave) -> Result<(), DurableError> {
+        let mut inner = self.lock();
+        self.checkpoint_locked(&mut inner, ae)
+    }
+
+    fn checkpoint_locked(
+        &self,
+        inner: &mut Inner,
+        ae: &AccountingEnclave,
+    ) -> Result<(), DurableError> {
+        // Order matters: the WAL must be durable *before* rollups
+        // covering it are sealed, so the sealed state never claims a
+        // record the disk does not hold (the restore cross-check
+        // depends on exactly this).
+        inner.wal.sync()?;
+        let state = RegistryState {
+            next_deploy: inner.next_deploy,
+            session_lease: inner.session_lease,
+            wal_watermark: inner.agg.max_folded(),
+            deployments: inner.deployments.clone(),
+            rollups: inner.agg.rollups().clone(),
+        };
+        inner.snapshots.save(ae, &state)?;
+        inner.appends_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Merges sealed WAL segments, dropping duplicated frames; every
+    /// unique record is preserved. Returns segment files removed.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors while rewriting.
+    pub fn compact(&self) -> Result<usize, DurableError> {
+        let mut inner = self.lock();
+        inner.wal.compact()
+    }
+
+    /// Signed settlement statements for every tenant with usage, in
+    /// tenant order.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Attestation`] if quoting fails.
+    pub fn settlements(
+        &self,
+        ae: &AccountingEnclave,
+    ) -> Result<Vec<SignedSettlement>, DurableError> {
+        let inner = self.lock();
+        inner
+            .agg
+            .statements()
+            .into_iter()
+            .map(|s| SignedSettlement::sign(s, ae))
+            .collect()
+    }
+
+    /// Current per-tenant rollups (cloned).
+    pub fn rollups(&self) -> BTreeMap<String, TenantRollup> {
+        self.lock().agg.rollups().clone()
+    }
+
+    /// Every unique record, re-read from disk in log order.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn read_all_records(&self) -> Result<Vec<UsageRecord>, DurableError> {
+        self.lock().wal.read_all()
+    }
+
+    /// Unique records currently in the WAL.
+    pub fn record_count(&self) -> usize {
+        self.lock().wal.len()
+    }
+}
+
+/// Restore-time integrity check: the rollups rebuilt from WAL replay
+/// must dominate the sealed ones (the seal only ever covers durable,
+/// fsynced records, so falling short means acknowledged usage
+/// vanished from the log).
+fn check_rollups(
+    sealed: &BTreeMap<String, TenantRollup>,
+    rebuilt: &BTreeMap<String, TenantRollup>,
+) -> Result<(), DurableError> {
+    for (tenant, s) in sealed {
+        let r = rebuilt.get(tenant).cloned().unwrap_or_default();
+        if r.requests < s.requests
+            || r.total_nano() < s.total_nano()
+            || r.memory_integral < s.memory_integral
+            || r.integral_remainder < s.integral_remainder
+        {
+            return Err(DurableError::Corrupt(format!(
+                "write-ahead log is missing accounted records for tenant \
+                 {tenant}: sealed rollup covers {} requests / {} nano-credits, \
+                 replay reproduced {} / {}",
+                s.requests,
+                s.total_nano(),
+                r.requests,
+                r.total_nano()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee::{Deployment, ResourceUsageLog};
+    use acctee_sgx::crypto::sha256;
+    use acctee_sgx::{Measurement, Quote};
+
+    fn signed(session: u64) -> SignedLog {
+        SignedLog {
+            log: ResourceUsageLog {
+                weighted_instructions: 100 + session,
+                peak_memory_bytes: 65_536,
+                memory_integral: (u128::from(session) << 18) + 3,
+                io_bytes_in: 4,
+                io_bytes_out: 2,
+                module_hash: sha256(b"m"),
+                session_id: session,
+            },
+            quote: Quote {
+                mrenclave: Measurement(sha256(b"ae")),
+                report_data: [1u8; 64],
+                platform: "ae-host".into(),
+                signature: sha256(b"sig"),
+            },
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "acctee-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let dir = tmpdir("reopen");
+        let dep = Deployment::new(0xd0);
+        let ae = dep.infrastructure().accounting_enclave();
+        let pricing = dep.infrastructure().pricing;
+        {
+            let (d, rec) = Durable::open(&dir, DurableOptions::default(), ae, pricing).unwrap();
+            assert_eq!(rec.records_replayed, 0);
+            assert!(!rec.snapshot_restored);
+            d.record_deploy(1, Level::LoopBased, b"mod".to_vec(), ae)
+                .unwrap();
+            for s in 1..=5 {
+                d.ensure_lease(s, ae).unwrap();
+                d.append_usage("acme", &signed(s), ae).unwrap();
+            }
+            d.checkpoint(ae).unwrap();
+        }
+        let (d, rec) = Durable::open(&dir, DurableOptions::default(), ae, pricing).unwrap();
+        assert_eq!(rec.records_replayed, 5);
+        assert!(rec.snapshot_restored);
+        assert_eq!(rec.deployments.len(), 1);
+        assert_eq!(rec.next_deploy, 2);
+        // The sealed lease dominates the WAL high-water mark.
+        assert!(rec.next_session > 5);
+        assert_eq!(d.rollups()["acme"].requests, 5);
+        assert_eq!(d.lookup(3).unwrap().unwrap(), signed(3));
+        assert!(d.lookup(99).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lease_never_reissues_after_unlogged_sessions() {
+        // Sessions that die before logging still burn their ids: the
+        // lease covers them, so a restart starts past the lease even
+        // though the WAL never saw them.
+        let dir = tmpdir("lease");
+        let dep = Deployment::new(0xd1);
+        let ae = dep.infrastructure().accounting_enclave();
+        let pricing = dep.infrastructure().pricing;
+        let lease_extent;
+        {
+            let opts = DurableOptions::default();
+            lease_extent = opts.session_lease;
+            let (d, _) = Durable::open(&dir, opts, ae, pricing).unwrap();
+            // Allocate (and lease) ids 1..=3 but never log them.
+            for s in 1..=3 {
+                d.ensure_lease(s, ae).unwrap();
+            }
+        }
+        let (_, rec) = Durable::open(&dir, DurableOptions::default(), ae, pricing).unwrap();
+        // Restart resumes past the sealed lease, not at 1.
+        assert!(rec.next_session >= lease_extent, "{}", rec.next_session);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_acknowledged_records_are_detected() {
+        let dir = tmpdir("missing");
+        let dep = Deployment::new(0xd2);
+        let ae = dep.infrastructure().accounting_enclave();
+        let pricing = dep.infrastructure().pricing;
+        {
+            let (d, _) = Durable::open(&dir, DurableOptions::default(), ae, pricing).unwrap();
+            for s in 1..=4 {
+                d.append_usage("acme", &signed(s), ae).unwrap();
+            }
+            d.checkpoint(ae).unwrap();
+        }
+        // Delete the WAL wholesale: the sealed rollups now claim
+        // usage the log cannot reproduce.
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            if entry.file_name().to_string_lossy().ends_with(".log") {
+                std::fs::remove_file(entry.path()).unwrap();
+            }
+        }
+        assert!(matches!(
+            Durable::open(&dir, DurableOptions::default(), ae, pricing),
+            Err(DurableError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn settlements_match_replayed_invoices() {
+        let dir = tmpdir("settle");
+        let dep = Deployment::new(0xd3);
+        let ae = dep.infrastructure().accounting_enclave();
+        let pricing = dep.infrastructure().pricing;
+        let (d, _) = Durable::open(&dir, DurableOptions::default(), ae, pricing).unwrap();
+        let mut expected = 0u128;
+        for s in 1..=7 {
+            let tenant = if s % 2 == 0 { "even" } else { "odd" };
+            expected += d.append_usage(tenant, &signed(s), ae).unwrap().total();
+        }
+        let settlements = d.settlements(ae).unwrap();
+        assert_eq!(settlements.len(), 2);
+        let total: u128 = settlements.iter().map(|s| s.statement.total_nano()).sum();
+        assert_eq!(total, expected);
+        for s in &settlements {
+            s.verify(&dep.authority, ae.measurement())
+                .expect("settlement verifies");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_append_is_refused_at_the_facade() {
+        let dir = tmpdir("dup");
+        let dep = Deployment::new(0xd4);
+        let ae = dep.infrastructure().accounting_enclave();
+        let pricing = dep.infrastructure().pricing;
+        let (d, _) = Durable::open(&dir, DurableOptions::default(), ae, pricing).unwrap();
+        d.append_usage("acme", &signed(1), ae).unwrap();
+        assert!(matches!(
+            d.append_usage("acme", &signed(1), ae),
+            Err(DurableError::DuplicateSession(1))
+        ));
+        // The refused append folded nothing.
+        assert_eq!(d.rollups()["acme"].requests, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

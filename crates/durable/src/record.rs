@@ -1,0 +1,374 @@
+//! Canonical on-disk encoding of one accounted usage record.
+//!
+//! A [`UsageRecord`] is the durable unit the write-ahead log stores:
+//! the tenant that was billed plus the accounting enclave's
+//! [`SignedLog`]. The encoding follows the same conventions as the
+//! wire protocol in `acctee-net` — explicit version tag, little-endian
+//! fixed-width integers, `u32` length prefixes on variable fields, a
+//! total decoder that never panics and rejects trailing bytes — but is
+//! its own format: the WAL must be able to evolve (or stay frozen)
+//! independently of the wire protocol version.
+//!
+//! The log fields are written in exactly the order
+//! [`ResourceUsageLog::binding`] hashes them, so the canonical
+//! encoding and the binding preimage cannot silently diverge: a
+//! decoded record re-binds to the identical digest, which the
+//! round-trip tests below pin.
+
+use acctee::{ResourceUsageLog, SignedLog};
+use acctee_sgx::crypto::Digest;
+use acctee_sgx::{Measurement, Quote};
+
+use crate::DurableError;
+
+/// Version tag leading every encoded record.
+pub const RECORD_VERSION: u16 = 1;
+
+/// Upper bound on any length prefix inside a record (tenant and
+/// platform names); hostile lengths beyond it are rejected before any
+/// allocation.
+const MAX_FIELD: u32 = 1 << 16;
+
+/// One accounted request, as persisted: the billed tenant plus the
+/// signed resource usage log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageRecord {
+    /// The tenant the invoice was folded under.
+    pub tenant: String,
+    /// The accounting enclave's signed log.
+    pub signed: SignedLog,
+}
+
+// ------------------------------------------------------------ encoder
+
+pub(crate) struct Enc(pub Vec<u8>);
+
+impl Enc {
+    pub(crate) fn new() -> Enc {
+        Enc(Vec::new())
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u128(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
+        self.0.extend_from_slice(bytes);
+    }
+
+    /// `u32` length prefix + bytes.
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        self.u32(bytes.len() as u32);
+        self.raw(bytes);
+    }
+}
+
+// ------------------------------------------------------------ decoder
+
+/// Bounds-checked total decoder: every read is checked against the
+/// remaining input and returns [`DurableError::Decode`] instead of
+/// panicking on hostile bytes.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurableError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DurableError::Decode("record truncated".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, DurableError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, DurableError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DurableError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, DurableError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u128(&mut self) -> Result<u128, DurableError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn digest(&mut self) -> Result<Digest, DurableError> {
+        Ok(self.take(32)?.try_into().unwrap())
+    }
+
+    /// Exactly `n` raw bytes, no length prefix.
+    pub(crate) fn raw(&mut self, n: usize) -> Result<&'a [u8], DurableError> {
+        self.take(n)
+    }
+
+    /// Length-prefixed byte string, with the length checked against
+    /// both [`MAX_FIELD`] and the remaining input before allocating.
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, DurableError> {
+        let len = self.u32()?;
+        if len > MAX_FIELD {
+            return Err(DurableError::Decode(format!(
+                "field length {len} too large"
+            )));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, DurableError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| DurableError::Decode("field is not UTF-8".into()))
+    }
+
+    /// Rejects trailing bytes: a canonical record decodes completely.
+    pub(crate) fn finish(&self) -> Result<(), DurableError> {
+        if self.pos != self.buf.len() {
+            return Err(DurableError::Decode(format!(
+                "{} trailing bytes after record",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------- record codec
+
+pub(crate) fn put_log(e: &mut Enc, log: &ResourceUsageLog) {
+    // Field order is the binding-preimage order of
+    // `ResourceUsageLog::binding` — keep the two in lockstep.
+    e.u64(log.weighted_instructions);
+    e.u64(log.peak_memory_bytes);
+    e.u128(log.memory_integral);
+    e.u64(log.io_bytes_in);
+    e.u64(log.io_bytes_out);
+    e.raw(&log.module_hash);
+    e.u64(log.session_id);
+}
+
+pub(crate) fn get_log(d: &mut Dec) -> Result<ResourceUsageLog, DurableError> {
+    Ok(ResourceUsageLog {
+        weighted_instructions: d.u64()?,
+        peak_memory_bytes: d.u64()?,
+        memory_integral: d.u128()?,
+        io_bytes_in: d.u64()?,
+        io_bytes_out: d.u64()?,
+        module_hash: d.digest()?,
+        session_id: d.u64()?,
+    })
+}
+
+pub(crate) fn put_quote(e: &mut Enc, quote: &Quote) {
+    e.raw(&quote.mrenclave.0);
+    e.raw(&quote.report_data);
+    e.bytes(quote.platform.as_bytes());
+    e.raw(&quote.signature);
+}
+
+pub(crate) fn get_quote(d: &mut Dec) -> Result<Quote, DurableError> {
+    Ok(Quote {
+        mrenclave: Measurement(d.digest()?),
+        report_data: {
+            let mut rd = [0u8; 64];
+            rd.copy_from_slice(d.take(64)?);
+            rd
+        },
+        platform: d.string()?,
+        signature: d.digest()?,
+    })
+}
+
+/// Encodes a record into its canonical byte form (the WAL frame
+/// payload).
+pub fn encode_record(rec: &UsageRecord) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u16(RECORD_VERSION);
+    e.bytes(rec.tenant.as_bytes());
+    put_log(&mut e, &rec.signed.log);
+    put_quote(&mut e, &rec.signed.quote);
+    e.0
+}
+
+/// Decodes a canonical record; total, never panics.
+///
+/// # Errors
+///
+/// [`DurableError::Decode`] on a version mismatch, truncation,
+/// hostile length, non-UTF-8 text or trailing bytes.
+pub fn decode_record(buf: &[u8]) -> Result<UsageRecord, DurableError> {
+    let mut d = Dec::new(buf);
+    let version = d.u16()?;
+    if version != RECORD_VERSION {
+        return Err(DurableError::Decode(format!(
+            "unsupported record version {version}"
+        )));
+    }
+    let tenant = d.string()?;
+    let log = get_log(&mut d)?;
+    let quote = get_quote(&mut d)?;
+    d.finish()?;
+    Ok(UsageRecord {
+        tenant,
+        signed: SignedLog { log, quote },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee_sgx::crypto::sha256;
+
+    pub(crate) fn sample_log(session_id: u64) -> ResourceUsageLog {
+        ResourceUsageLog {
+            weighted_instructions: 123_456,
+            peak_memory_bytes: 65_536,
+            memory_integral: (77u128 << 64) | 0xdead_beef,
+            io_bytes_in: 42,
+            io_bytes_out: 7,
+            module_hash: sha256(b"module"),
+            session_id,
+        }
+    }
+
+    fn sample(session_id: u64) -> UsageRecord {
+        UsageRecord {
+            tenant: "tenant-a".into(),
+            signed: SignedLog {
+                log: sample_log(session_id),
+                quote: Quote {
+                    mrenclave: Measurement(sha256(b"ae")),
+                    report_data: [9u8; 64],
+                    platform: "ae-host".into(),
+                    signature: sha256(b"sig"),
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let rec = sample(17);
+        let back = decode_record(&encode_record(&rec)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn encoding_and_binding_preimage_never_diverge() {
+        // The satellite bugfix pin: encode → decode → binding must be
+        // the identity for every representable log, including extreme
+        // field values, so no sub-field can be dropped or reordered by
+        // the on-disk format without the binding (what the enclave
+        // signed) catching it.
+        let extremes = [
+            ResourceUsageLog::default(),
+            sample_log(u64::MAX),
+            ResourceUsageLog {
+                weighted_instructions: u64::MAX,
+                peak_memory_bytes: u64::MAX,
+                memory_integral: u128::MAX,
+                io_bytes_in: u64::MAX,
+                io_bytes_out: u64::MAX,
+                module_hash: [0xff; 32],
+                session_id: u64::MAX,
+            },
+            ResourceUsageLog {
+                memory_integral: 1,
+                ..ResourceUsageLog::default()
+            },
+        ];
+        for log in extremes {
+            let rec = UsageRecord {
+                tenant: "t".into(),
+                signed: SignedLog {
+                    log,
+                    quote: sample(0).signed.quote,
+                },
+            };
+            let back = decode_record(&encode_record(&rec)).unwrap();
+            assert_eq!(back.signed.log, log);
+            assert_eq!(back.signed.log.binding(), log.binding());
+        }
+    }
+
+    #[test]
+    fn adjacent_field_swap_changes_the_encoding() {
+        // io_bytes_in and io_bytes_out are adjacent same-width fields;
+        // a swapped encoding must not round-trip to the same binding.
+        let mut a = sample(1);
+        a.signed.log.io_bytes_in = 3;
+        a.signed.log.io_bytes_out = 4;
+        let mut b = a.clone();
+        b.signed.log.io_bytes_in = 4;
+        b.signed.log.io_bytes_out = 3;
+        assert_ne!(encode_record(&a), encode_record(&b));
+        assert_ne!(a.signed.log.binding(), b.signed.log.binding());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_record(&sample(5));
+        for n in 0..bytes.len() {
+            assert!(
+                decode_record(&bytes[..n]).is_err(),
+                "prefix of {n} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_record(&sample(5));
+        bytes.push(0);
+        assert!(matches!(
+            decode_record(&bytes),
+            Err(DurableError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_before_allocation() {
+        let mut e = Enc::new();
+        e.u16(RECORD_VERSION);
+        e.u32(u32::MAX); // tenant "length"
+        assert!(decode_record(&e.0).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode_record(&sample(5));
+        bytes[0] = 0xfe;
+        bytes[1] = 0xff;
+        assert!(decode_record(&bytes).is_err());
+    }
+}

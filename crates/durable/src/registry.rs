@@ -1,0 +1,506 @@
+//! Sealed deployment registry: the control-plane state that must
+//! survive a crash, snapshotted with the accounting enclave's sealing
+//! key.
+//!
+//! The snapshot holds everything replaying the WAL cannot recover on
+//! its own: deployed module bytes (so workloads come back without a
+//! re-deploy), the deploy-id high-water mark, the **session lease**
+//! (an upper bound on every session id ever handed out, so restart
+//! never re-issues one — even ids burned by requests that failed
+//! before logging), and the billing rollups as an integrity
+//! cross-check against the replayed log.
+//!
+//! Snapshots are sealed with `acctee-sgx` sealing under a stream
+//! cipher, so **nonce reuse is catastrophic**. Each snapshot file
+//! carries a monotonic sequence number and its nonce is derived from
+//! that sequence alone; the store burns a sequence number the moment a
+//! temp file exists on disk (a crashed save still consumed its nonce),
+//! so `seal` is never called twice with the same nonce for one
+//! enclave.
+//!
+//! Saves are atomic: write `registry-NNNNNNNN.seal.tmp`, fsync,
+//! rename into place, fsync the directory. The previous snapshot is
+//! kept as a fallback until the next save. A snapshot that fails to
+//! unseal was sealed by a *different* enclave (wrong seed / foreign
+//! state directory) and is refused with a clean
+//! [`DurableError::ForeignSnapshot`], never a panic.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use acctee::AccountingEnclave;
+use acctee_instrument::Level;
+use acctee_sgx::crypto::sha256;
+
+use crate::billing::TenantRollup;
+use crate::record::{Dec, Enc};
+use crate::DurableError;
+
+/// Magic bytes opening every snapshot file.
+const SNAPSHOT_MAGIC: [u8; 4] = *b"ASNP";
+/// Snapshot container version.
+const SNAPSHOT_VERSION: u16 = 1;
+/// Upper bound on a deployed module (matches the wire protocol's
+/// tolerance for module uploads).
+const MAX_MODULE: u32 = 64 << 20;
+
+/// One deployment as persisted: enough to re-instrument and reload
+/// the workload on startup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployRecord {
+    /// The id handed to the client at deploy time.
+    pub deploy_id: u64,
+    /// Instrumentation level the module was deployed with.
+    pub level: Level,
+    /// Original (uninstrumented) module bytes.
+    pub module: Vec<u8>,
+}
+
+/// The control-plane state inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistryState {
+    /// Next deploy id to hand out.
+    pub next_deploy: u64,
+    /// Strict upper bound on every session id handed out so far;
+    /// restart resumes from here (or past the WAL's high-water mark,
+    /// whichever is greater).
+    pub session_lease: u64,
+    /// Highest session id folded into `rollups` at seal time. Only
+    /// records the WAL held *durably* at the preceding fsync are ever
+    /// covered, so on restore the replayed rollups must dominate
+    /// these.
+    pub wal_watermark: u64,
+    /// Deployments, by deploy id.
+    pub deployments: Vec<DeployRecord>,
+    /// Billing rollups at seal time (integrity cross-check).
+    pub rollups: BTreeMap<String, TenantRollup>,
+}
+
+fn level_byte(level: Level) -> u8 {
+    match level {
+        Level::Naive => 0,
+        Level::FlowBased => 1,
+        Level::LoopBased => 2,
+    }
+}
+
+fn level_from_byte(b: u8) -> Result<Level, DurableError> {
+    match b {
+        0 => Ok(Level::Naive),
+        1 => Ok(Level::FlowBased),
+        2 => Ok(Level::LoopBased),
+        other => Err(DurableError::Decode(format!(
+            "unknown instrumentation level {other}"
+        ))),
+    }
+}
+
+impl RegistryState {
+    /// Serialises to the canonical plaintext that gets sealed.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u16(SNAPSHOT_VERSION);
+        e.u64(self.next_deploy);
+        e.u64(self.session_lease);
+        e.u64(self.wal_watermark);
+        e.u32(self.deployments.len() as u32);
+        for d in &self.deployments {
+            e.u64(d.deploy_id);
+            e.u8(level_byte(d.level));
+            // Module bytes can exceed the generic field bound, so the
+            // length is written raw and checked against MAX_MODULE.
+            e.u32(d.module.len() as u32);
+            e.raw(&d.module);
+        }
+        e.u32(self.rollups.len() as u32);
+        for (tenant, rollup) in &self.rollups {
+            e.bytes(tenant.as_bytes());
+            rollup.encode(&mut e);
+        }
+        e.0
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<RegistryState, DurableError> {
+        let mut d = Dec::new(buf);
+        let version = d.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(DurableError::Decode(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let next_deploy = d.u64()?;
+        let session_lease = d.u64()?;
+        let wal_watermark = d.u64()?;
+        let n_deploys = d.u32()?;
+        let mut deployments = Vec::new();
+        for _ in 0..n_deploys {
+            let deploy_id = d.u64()?;
+            let level = level_from_byte(d.u8()?)?;
+            let len = d.u32()?;
+            if len > MAX_MODULE {
+                return Err(DurableError::Decode(format!(
+                    "module of {len} bytes exceeds the snapshot bound"
+                )));
+            }
+            let module = d.raw(len as usize)?.to_vec();
+            deployments.push(DeployRecord {
+                deploy_id,
+                level,
+                module,
+            });
+        }
+        let n_rollups = d.u32()?;
+        let mut rollups = BTreeMap::new();
+        for _ in 0..n_rollups {
+            let tenant = d.string()?;
+            let rollup = TenantRollup::decode(&mut d)?;
+            rollups.insert(tenant, rollup);
+        }
+        d.finish()?;
+        Ok(RegistryState {
+            next_deploy,
+            session_lease,
+            wal_watermark,
+            deployments,
+            rollups,
+        })
+    }
+}
+
+/// Derives the sealing nonce for snapshot sequence `seq`: unique per
+/// sequence, and sequences are never reused (see [`SnapshotStore`]).
+fn snapshot_nonce(seq: u64) -> [u8; 16] {
+    let mut payload = Vec::with_capacity(32);
+    payload.extend_from_slice(b"acctee-registry-nonce-v1");
+    payload.extend_from_slice(&seq.to_le_bytes());
+    let digest = sha256(&payload);
+    let mut nonce = [0u8; 16];
+    nonce.copy_from_slice(&digest[..16]);
+    nonce
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("registry-{seq:08}.seal"))
+}
+
+fn parse_snapshot_seq(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("registry-")?;
+    let stem = stem
+        .strip_suffix(".seal.tmp")
+        .or_else(|| stem.strip_suffix(".seal"))?;
+    stem.parse().ok()
+}
+
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Manages the sealed snapshot files in a state directory.
+pub struct SnapshotStore {
+    dir: PathBuf,
+    /// Highest sequence number ever observed on disk — counting temp
+    /// files from crashed saves, whose nonces are burned.
+    last_seq: u64,
+}
+
+impl SnapshotStore {
+    /// Opens the store, scanning for the sequence high-water mark and
+    /// sweeping temp files from crashed saves (their sequence numbers
+    /// stay burned so their nonces are never reused).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn open(dir: &Path) -> Result<SnapshotStore, DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let mut last_seq = 0u64;
+        let mut tmps = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(seq) = parse_snapshot_seq(&name) {
+                last_seq = last_seq.max(seq);
+                if name.ends_with(".tmp") {
+                    tmps.push(entry.path());
+                }
+            }
+        }
+        for tmp in tmps {
+            let _ = std::fs::remove_file(tmp);
+        }
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+            last_seq,
+        })
+    }
+
+    /// Loads the newest snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::ForeignSnapshot`] when the newest snapshot was
+    /// sealed by a different enclave (wrong seed for this state
+    /// directory); [`DurableError::Corrupt`] on a malformed container;
+    /// I/O errors.
+    pub fn load(&self, ae: &AccountingEnclave) -> Result<Option<RegistryState>, DurableError> {
+        let mut seqs: Vec<u64> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".seal") {
+                    parse_snapshot_seq(&name)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        seqs.sort_unstable();
+        let Some(&seq) = seqs.last() else {
+            return Ok(None);
+        };
+        let path = snapshot_path(&self.dir, seq);
+        let bytes = std::fs::read(&path)?;
+        let mut d = Dec::new(&bytes);
+        let magic = d.raw(4)?;
+        let version = d.u16()?;
+        if magic != SNAPSHOT_MAGIC || version != SNAPSHOT_VERSION {
+            return Err(DurableError::Corrupt(format!(
+                "{}: bad snapshot container",
+                path.display()
+            )));
+        }
+        let mut nonce = [0u8; 16];
+        nonce.copy_from_slice(d.raw(16)?);
+        let ct_len = d.u32()?;
+        let ciphertext = d.raw(ct_len as usize)?.to_vec();
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(d.raw(32)?);
+        d.finish()
+            .map_err(|_| DurableError::Corrupt(format!("{}: trailing bytes", path.display())))?;
+        if nonce != snapshot_nonce(seq) {
+            return Err(DurableError::Corrupt(format!(
+                "{}: nonce does not match its sequence number",
+                path.display()
+            )));
+        }
+        let sealed = acctee_sgx::seal::Sealed {
+            nonce,
+            ciphertext,
+            tag,
+        };
+        let Some(plain) = ae.unseal_state(&sealed) else {
+            return Err(DurableError::ForeignSnapshot(format!(
+                "{}: sealed by a different enclave — this state directory \
+                 belongs to another deployment seed",
+                path.display()
+            )));
+        };
+        Ok(Some(RegistryState::decode(&plain)?))
+    }
+
+    /// Seals and atomically persists `state` as the next snapshot,
+    /// pruning all but the immediate predecessor.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn save(
+        &mut self,
+        ae: &AccountingEnclave,
+        state: &RegistryState,
+    ) -> Result<(), DurableError> {
+        // Burn the sequence number *before* sealing: if the save
+        // crashes after the temp file exists, open() will still see
+        // the sequence and never reuse its nonce.
+        self.last_seq += 1;
+        let seq = self.last_seq;
+        let sealed = ae.seal_state(snapshot_nonce(seq), &state.encode());
+        let mut e = Enc::new();
+        e.raw(&SNAPSHOT_MAGIC);
+        e.u16(SNAPSHOT_VERSION);
+        e.raw(&sealed.nonce);
+        e.u32(sealed.ciphertext.len() as u32);
+        e.raw(&sealed.ciphertext);
+        e.raw(&sealed.tag);
+
+        let final_path = snapshot_path(&self.dir, seq);
+        let tmp_path = self.dir.join(format!("registry-{seq:08}.seal.tmp"));
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&e.0)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir);
+
+        // Keep seq and its predecessor; prune older snapshots.
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.filter_map(|e| e.ok()) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(s) = parse_snapshot_seq(&name) {
+                    if name.ends_with(".seal") && s + 1 < seq {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Highest sequence number observed or written.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee::Deployment;
+
+    fn state() -> RegistryState {
+        let mut rollups = BTreeMap::new();
+        rollups.insert(
+            "acme".to_string(),
+            TenantRollup {
+                requests: 3,
+                weighted_instructions: 1 << 40,
+                peak_memory_max: 65_536,
+                memory_integral: (1 << 50) + 9,
+                io_bytes: 123,
+                compute_nano: 4,
+                memory_nano: 5,
+                io_nano: 6,
+                integral_remainder: 7,
+            },
+        );
+        RegistryState {
+            next_deploy: 4,
+            session_lease: 4096,
+            wal_watermark: 17,
+            deployments: vec![DeployRecord {
+                deploy_id: 1,
+                level: Level::LoopBased,
+                module: b"\0asm fake module".to_vec(),
+            }],
+            rollups,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "acctee-reg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn state_codec_round_trips() {
+        let s = state();
+        assert_eq!(RegistryState::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn every_level_round_trips() {
+        for level in [Level::Naive, Level::FlowBased, Level::LoopBased] {
+            assert_eq!(level_from_byte(level_byte(level)).unwrap(), level);
+        }
+        assert!(level_from_byte(9).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trips_through_sealing() {
+        let dir = tmpdir("roundtrip");
+        let dep = Deployment::new(0x5ea1);
+        let ae = dep.infrastructure().accounting_enclave();
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.load(ae).unwrap().is_none());
+        store.save(ae, &state()).unwrap();
+        let back = store.load(ae).unwrap().expect("snapshot present");
+        assert_eq!(back, state());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_snapshot_wins_and_older_are_pruned() {
+        let dir = tmpdir("newest");
+        let dep = Deployment::new(0x5ea1);
+        let ae = dep.infrastructure().accounting_enclave();
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        for lease in [100u64, 200, 300, 400] {
+            store
+                .save(
+                    ae,
+                    &RegistryState {
+                        session_lease: lease,
+                        ..RegistryState::default()
+                    },
+                )
+                .unwrap();
+        }
+        let back = store.load(ae).unwrap().unwrap();
+        assert_eq!(back.session_lease, 400);
+        // Only the newest and its predecessor remain.
+        let remaining: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(remaining.len(), 2, "{remaining:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_save_burns_its_nonce() {
+        let dir = tmpdir("burned");
+        let dep = Deployment::new(0x5ea1);
+        let ae = dep.infrastructure().accounting_enclave();
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.save(ae, &state()).unwrap();
+        }
+        // Simulate a crash mid-save: a temp file for sequence 2 exists
+        // but was never renamed.
+        std::fs::write(dir.join("registry-00000002.seal.tmp"), b"garbage").unwrap();
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        // The temp file is swept, but its sequence number stays
+        // burned: the next save uses sequence 3, never reusing the
+        // nonce that sealed the crashed attempt.
+        assert_eq!(store.last_seq(), 2);
+        store.save(ae, &state()).unwrap();
+        assert!(snapshot_path(&dir, 3).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_snapshot_is_refused_cleanly() {
+        let dir = tmpdir("foreign");
+        let dep = Deployment::new(0x5ea1);
+        let ae = dep.infrastructure().accounting_enclave();
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        store.save(ae, &state()).unwrap();
+        // A different seed derives a different sealing key.
+        let other = Deployment::new(0xf0e1);
+        let other_ae = other.infrastructure().accounting_enclave();
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.load(other_ae),
+            Err(DurableError::ForeignSnapshot(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_nonces_are_distinct_per_sequence() {
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..1000 {
+            assert!(seen.insert(snapshot_nonce(seq)));
+        }
+    }
+}

@@ -12,10 +12,17 @@
 //!                                          print the signed log
 //! acctee serve --listen ADDR               attested network server
 //!              [--log-level L]             structured stderr logging
+//!              [--state-dir DIR]           durable WAL + sealed registry
+//!              [--fsync always|every=N|never]
 //! acctee deploy <in> --connect ADDR        deploy over the network
 //! acctee invoke <in> --connect ADDR [--invoke F] [--arg V]*
 //!                                          deploy + attested invoke,
 //!                                          log verified client-side
+//! acctee fetch-log --connect ADDR --session N
+//!                                          re-fetch a verified log
+//! acctee settle --state-dir DIR [--seed S] offline: verify the WAL,
+//!                                          print signed settlements
+//! acctee replay --state-dir DIR [--seed S] offline: audit every record
 //! acctee stats --connect ADDR              live server stats
 //!              [--prom] [--watch SECS]     Prometheus text / refresh
 //! acctee top --connect ADDR [--watch SECS] per-tenant usage table
@@ -39,6 +46,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use acctee::{Deployment, InstrumentationCache, InstrumentationEnclave, Level, PricingModel};
+use acctee_durable::{Durable, DurableOptions, FsyncPolicy};
 use acctee_instrument::{instrument, WeightTable};
 use acctee_interp::{Config, Engine, Imports, Instance, ProfilingObserver, Value};
 use acctee_net::{Client, InvokeSpec, IoMode, Server, ServerConfig, TrustAnchor};
@@ -118,6 +126,9 @@ struct Opts {
     io_timeout_ms: u64,
     io_mode: IoMode,
     shards: usize,
+    state_dir: Option<String>,
+    fsync: FsyncPolicy,
+    session: Option<u64>,
     repeat: usize,
     out: Option<String>,
     log_level: Option<String>,
@@ -149,6 +160,9 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         io_timeout_ms: 5000,
         io_mode: IoMode::default(),
         shards: 8,
+        state_dir: None,
+        fsync: FsyncPolicy::Always,
+        session: None,
         repeat: 1,
         out: None,
         log_level: None,
@@ -196,6 +210,14 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                 o.io_mode = IoMode::parse(&v).ok_or_else(|| format!("--io: unknown mode `{v}`"))?;
             }
             "--shards" => o.shards = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--state-dir" => o.state_dir = Some(want(&mut it)?),
+            "--fsync" => {
+                let v = want(&mut it)?;
+                o.fsync = FsyncPolicy::parse(&v).ok_or_else(|| {
+                    format!("--fsync: unknown policy `{v}` (always|every=N|never)")
+                })?;
+            }
+            "--session" => o.session = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?),
             "--repeat" => o.repeat = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
             "--out" => o.out = Some(want(&mut it)?),
             "--log-level" => o.log_level = Some(want(&mut it)?),
@@ -269,7 +291,8 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
         "help" => {
             println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account,");
-            println!("          serve, deploy, invoke, stats, top, recent, shutdown");
+            println!("          serve, deploy, invoke, fetch-log, settle, replay,");
+            println!("          stats, top, recent, shutdown");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
             println!("                   --engine tree|bytecode|regs (default tree)");
             println!("                   --cache-capacity N (bound the instrumentation cache)");
@@ -279,9 +302,14 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("                   --tenant-inflight N --seed S --engine E");
             println!("                   --request-deadline-ms N --io-timeout-ms N");
             println!("                   --log-level off|error|warn|info|debug|trace");
+            println!("                   --state-dir DIR (durable WAL + sealed registry)");
+            println!("                   --fsync always|every=N|never (default always)");
             println!("deploy/invoke:     --connect ADDR --seed S --level L [--out FILE]");
             println!("                   invoke also: --invoke F --arg V --input STR --tenant T");
             println!("                   --repeat N (pipeline N invokes on one connection)");
+            println!("fetch-log:         --connect ADDR --session N (verified log by id)");
+            println!("settle:            --state-dir DIR [--seed S] (offline signed bill)");
+            println!("replay:            --state-dir DIR [--seed S] (audit the usage WAL)");
             println!("stats:             --connect ADDR [--prom] [--watch SECS]");
             println!("top:               --connect ADDR [--watch SECS]");
             println!("recent:            --connect ADDR [--limit N]");
@@ -473,6 +501,9 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
         "serve" => cmd_serve(opts),
         "deploy" => cmd_deploy(opts),
         "invoke" => cmd_invoke(opts),
+        "fetch-log" => cmd_fetch_log(opts),
+        "settle" => cmd_settle(opts),
+        "replay" => cmd_replay(opts),
         "stats" => cmd_stats(opts),
         "top" => cmd_top(opts),
         "recent" => cmd_recent(opts),
@@ -516,6 +547,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         cache_capacity: opts.cache_capacity,
         io_mode: opts.io_mode,
         shards: opts.shards,
+        state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
+        fsync: opts.fsync,
     };
     let server = Server::bind(addr, config).map_err(|e| e.to_string())?;
     // Scripts scrape this line for the ephemeral port; flush so it is
@@ -609,6 +642,139 @@ fn cmd_invoke(opts: &Opts) -> Result<(), String> {
     println!(
         "  invoice:               {} nano-credits",
         outcome.invoice_total
+    );
+    Ok(())
+}
+
+fn cmd_fetch_log(opts: &Opts) -> Result<(), String> {
+    let session_id = opts
+        .session
+        .ok_or("--session N is required (the session id from the invoke)")?;
+    let mut client = connect_client(opts)?;
+    let signed = client.fetch_log(session_id).map_err(|e| e.to_string())?;
+    let log = &signed.log;
+    println!("signed resource usage log (verified over the wire):");
+    println!("  session id:            {}", log.session_id);
+    println!("  weighted instructions: {}", log.weighted_instructions);
+    println!("  peak memory:           {} B", log.peak_memory_bytes);
+    println!("  memory integral:       {}", log.memory_integral);
+    println!(
+        "  io:                    {} in / {} out",
+        log.io_bytes_in, log.io_bytes_out
+    );
+    Ok(())
+}
+
+/// Reconstructs the deployment from the seed and opens the state
+/// directory offline — the same enclave identity the server used, so
+/// sealed snapshots unseal and every stored quote verifies.
+fn open_durable_offline(opts: &Opts) -> Result<(Deployment, Durable), String> {
+    let dir = opts
+        .state_dir
+        .as_deref()
+        .ok_or("--state-dir DIR is required")?;
+    let dep = Deployment::new(opts.seed);
+    let infra = dep.infrastructure();
+    let (durable, recovery) = Durable::open(
+        std::path::Path::new(dir),
+        DurableOptions {
+            fsync: FsyncPolicy::Never, // read-mostly; nothing to protect
+            ..DurableOptions::default()
+        },
+        infra.accounting_enclave(),
+        infra.pricing,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "replayed {} usage records ({} duplicate frames dropped, {} torn bytes discarded)",
+        recovery.records_replayed, recovery.duplicates_dropped, recovery.torn_bytes_discarded
+    );
+    if recovery.snapshot_restored {
+        println!(
+            "sealed registry restored: {} deployments, next session {}",
+            recovery.deployments.len(),
+            recovery.next_session
+        );
+    }
+    Ok((dep, durable))
+}
+
+fn cmd_settle(opts: &Opts) -> Result<(), String> {
+    let (dep, durable) = open_durable_offline(opts)?;
+    let infra = dep.infrastructure();
+    let ae = infra.accounting_enclave();
+    // Verify every stored record's enclave signature and re-price it;
+    // the signed statements must match these sums exactly.
+    let mut invoice_totals: std::collections::BTreeMap<String, u128> = Default::default();
+    for rec in durable.read_all_records().map_err(|e| e.to_string())? {
+        dep.workload_provider()
+            .verify_log(&rec.signed)
+            .map_err(|e| format!("session {}: {e}", rec.signed.log.session_id))?;
+        *invoice_totals.entry(rec.tenant).or_default() +=
+            infra.pricing.invoice(&rec.signed.log).total();
+    }
+    let settlements = durable.settlements(ae).map_err(|e| e.to_string())?;
+    for signed in &settlements {
+        signed
+            .verify(&dep.authority, ae.measurement())
+            .map_err(|e| e.to_string())?;
+        let s = &signed.statement;
+        let expected = invoice_totals.get(&s.tenant).copied().unwrap_or_default();
+        if s.total_nano() != expected {
+            return Err(format!(
+                "settlement drift for {}: statement {} vs summed invoices {}",
+                s.tenant,
+                s.total_nano(),
+                expected
+            ));
+        }
+        println!(
+            "tenant {:<16} {:>6} requests  {:>14} nano-credits  (compute {} / memory {} / io {}, remainder {}/2^20, through session {})",
+            s.tenant,
+            s.requests,
+            s.total_nano(),
+            s.compute_nano,
+            s.memory_nano,
+            s.io_nano,
+            s.integral_remainder,
+            s.upto_session
+        );
+    }
+    println!(
+        "settlement verified: {} tenants, every statement enclave-signed and equal to its summed per-request invoices",
+        settlements.len()
+    );
+    Ok(())
+}
+
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let (dep, durable) = open_durable_offline(opts)?;
+    let pricing = dep.infrastructure().pricing;
+    let records = durable.read_all_records().map_err(|e| e.to_string())?;
+    let mut total = 0u128;
+    println!(
+        "{:>10}  {:<16} {:>12} {:>12} {:>14}",
+        "session", "tenant", "instructions", "peak B", "nano-credits"
+    );
+    for rec in &records {
+        dep.workload_provider()
+            .verify_log(&rec.signed)
+            .map_err(|e| format!("session {}: {e}", rec.signed.log.session_id))?;
+        let inv = pricing.invoice(&rec.signed.log).total();
+        total += inv;
+        println!(
+            "{:>10}  {:<16} {:>12} {:>12} {:>14}",
+            rec.signed.log.session_id,
+            rec.tenant,
+            rec.signed.log.weighted_instructions,
+            rec.signed.log.peak_memory_bytes,
+            inv
+        );
+    }
+    println!(
+        "{} records, all enclave signatures verified, {} nano-credits total",
+        records.len(),
+        total
     );
     Ok(())
 }

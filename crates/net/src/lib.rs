@@ -33,6 +33,7 @@ pub mod server;
 pub mod stats;
 pub mod wire;
 
+pub use acctee_durable::{Durable, DurableOptions, FsyncPolicy, SignedSettlement};
 pub use client::{
     Client, Connection, DeployHandle, InvokeOutcome, InvokeSpec, NetError, TrustAnchor,
 };

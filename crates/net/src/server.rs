@@ -64,6 +64,7 @@ use std::os::unix::net::UnixStream;
 
 use acctee::enclave::LoadedWorkload;
 use acctee::{Deployment, SignedLog};
+use acctee_durable::{Durable, DurableOptions, FsyncPolicy};
 use acctee_interp::Engine;
 use acctee_telemetry::logging;
 
@@ -147,6 +148,13 @@ pub struct ServerConfig {
     pub io_mode: IoMode,
     /// Lock shards for deployments / in-flight counts / retained logs.
     pub shards: usize,
+    /// Durable state directory (`None` = in-memory only). When set,
+    /// signed usage logs are write-ahead logged before responses leave
+    /// the server, deployments and id high-water marks are sealed, and
+    /// a restart recovers all of it (DESIGN.md §15).
+    pub state_dir: Option<std::path::PathBuf>,
+    /// When WAL appends reach disk (only meaningful with `state_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +170,8 @@ impl Default for ServerConfig {
             cache_capacity: None,
             io_mode: IoMode::default(),
             shards: 8,
+            state_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -273,6 +283,9 @@ struct Shared {
     wakes: Mutex<Vec<UnixStream>>,
     /// The telemetry plane behind `Stats`/`Health`/`Recent`.
     stats: ServerStats,
+    /// The durable control plane (WAL + sealed registry + billing);
+    /// `None` when serving without a state directory.
+    durable: Option<Durable>,
 }
 
 impl Shared {
@@ -344,14 +357,62 @@ impl Server {
         dep.set_time_budget(config.request_deadline);
         let stats = ServerStats::new(config.workers.max(1) as u32, config.queue_depth as u32);
         let shards = config.shards.max(1);
+        let deployments = ShardMap::new(shards);
+        let mut next_deploy = 1u64;
+        let mut next_session = 1u64;
+        let durable = match &config.state_dir {
+            Some(dir) => {
+                let opts = DurableOptions {
+                    fsync: config.fsync,
+                    ..DurableOptions::default()
+                };
+                let infra = dep.infrastructure();
+                let (durable, recovery) =
+                    Durable::open(dir, opts, infra.accounting_enclave(), infra.pricing)
+                        .map_err(std::io::Error::other)?;
+                // Rehydrate sealed deployments: re-instrument and
+                // reload each module so pre-crash deploy ids keep
+                // serving invokes. Determinism makes this exact — the
+                // same module and level reproduce the same workload.
+                for rec in &recovery.deployments {
+                    let (bytes, evidence) = dep
+                        .instrument(&rec.module, rec.level)
+                        .map_err(std::io::Error::other)?;
+                    let workload = dep
+                        .infrastructure()
+                        .load(&bytes, &evidence)
+                        .map_err(std::io::Error::other)?;
+                    deployments
+                        .lock(&rec.deploy_id)
+                        .insert(rec.deploy_id, Arc::new(Deployed { workload }));
+                }
+                next_deploy = recovery.next_deploy;
+                next_session = recovery.next_session;
+                logging::info(
+                    LOG,
+                    "durable state recovered",
+                    &[
+                        ("state_dir", dir.display().to_string()),
+                        ("records", recovery.records_replayed.to_string()),
+                        ("duplicates", recovery.duplicates_dropped.to_string()),
+                        ("torn_bytes", recovery.torn_bytes_discarded.to_string()),
+                        ("deployments", recovery.deployments.len().to_string()),
+                        ("next_session", next_session.to_string()),
+                        ("fsync", config.fsync.name()),
+                    ],
+                );
+                Some(durable)
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 dep,
                 local_addr,
-                deployments: ShardMap::new(shards),
-                next_deploy: AtomicU64::new(1),
-                next_session: AtomicU64::new(1),
+                deployments,
+                next_deploy: AtomicU64::new(next_deploy),
+                next_session: AtomicU64::new(next_session),
                 logs: (0..shards)
                     .map(|_| Mutex::new(LogStore::default()))
                     .collect(),
@@ -362,6 +423,7 @@ impl Server {
                 #[cfg(target_os = "linux")]
                 wakes: Mutex::new(Vec::new()),
                 stats,
+                durable,
                 config,
             }),
         })
@@ -390,12 +452,24 @@ impl Server {
             ],
         );
         #[cfg(target_os = "linux")]
-        if shared.config.io_mode == IoMode::Event {
+        let evented = shared.config.io_mode == IoMode::Event;
+        #[cfg(not(target_os = "linux"))]
+        let evented = false;
+        if evented {
+            #[cfg(target_os = "linux")]
             run_event(&shared, &listener);
-            logging::info(LOG, "drained", &[]);
-            return;
+        } else {
+            run_thread(&shared, &listener);
         }
-        run_thread(&shared, &listener);
+        // Final checkpoint on a clean drain: fsync the WAL and seal
+        // the registry so the next open restores fully regardless of
+        // the fsync policy in force while serving.
+        if let Some(durable) = &shared.durable {
+            let ae = shared.dep.infrastructure().accounting_enclave();
+            if let Err(e) = durable.checkpoint(ae) {
+                logging::error(LOG, "final checkpoint failed", &[("error", e.to_string())]);
+            }
+        }
         logging::info(LOG, "drained", &[]);
     }
 
@@ -1163,11 +1237,24 @@ fn handle_request(shared: &Shared, req: Request, trace: &mut ReqTrace) -> Respon
             ..
         } => handle_invoke(shared, deploy_id, &func, &args, &input, &tenant, trace),
         Request::FetchLog { session_id } => {
-            let logs = lock_or_recover(shared.log_shard(session_id));
-            match logs.by_session.get(&session_id) {
-                Some(log) => Response::LogOk { log: log.clone() },
-                None => Response::Error {
-                    message: format!("no log retained for session {session_id}"),
+            let hit = lock_or_recover(shared.log_shard(session_id))
+                .by_session
+                .get(&session_id)
+                .cloned();
+            match hit {
+                Some(log) => Response::LogOk { log },
+                // Ring-buffer miss: fall back to the write-ahead log,
+                // which retains every accounted session (including
+                // pre-restart ones the in-memory ring never saw).
+                None => match shared.durable.as_ref().map(|d| d.lookup(session_id)) {
+                    Some(Ok(Some(log))) => Response::LogOk { log },
+                    Some(Err(e)) => {
+                        logging::error(LOG, "wal lookup failed", &[("error", e.to_string())]);
+                        error_resp(e)
+                    }
+                    Some(Ok(None)) | None => Response::Error {
+                        message: format!("no log retained for session {session_id}"),
+                    },
                 },
             }
         }
@@ -1250,6 +1337,21 @@ fn handle_deploy(
         .deployments
         .lock(&deploy_id)
         .insert(deploy_id, Arc::new(Deployed { workload }));
+    // Persist before acknowledging: a deploy id the client saw must
+    // survive a restart. On failure the in-memory insert is rolled
+    // back so the maps never advertise an unrecoverable deployment.
+    if let Some(durable) = &shared.durable {
+        if let Err(e) = durable.record_deploy(
+            deploy_id,
+            level,
+            module.to_vec(),
+            shared.dep.infrastructure().accounting_enclave(),
+        ) {
+            shared.deployments.lock(&deploy_id).remove(&deploy_id);
+            logging::error(LOG, "deploy not persisted", &[("error", e.to_string())]);
+            return error_resp(format!("deployment not persisted: {e}"));
+        }
+    }
     Response::DeployOk {
         deploy_id,
         module: bytes,
@@ -1305,6 +1407,18 @@ fn handle_invoke(
         };
     };
     let session_id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    // Cover the id with the sealed session lease *before* executing:
+    // once leased, a restart can never re-issue it — even if this
+    // request dies before its log is appended. Cheap in the common
+    // case (one lock, no I/O until allocation nears the lease edge).
+    if let Some(durable) = &shared.durable {
+        if let Err(e) =
+            durable.ensure_lease(session_id, shared.dep.infrastructure().accounting_enclave())
+        {
+            logging::error(LOG, "session lease failed", &[("error", e.to_string())]);
+            return error_resp(format!("session lease not persisted: {e}"));
+        }
+    }
     let execute_started = Instant::now();
     let result = shared.dep.infrastructure().execute_billed(
         &deployed.workload,
@@ -1320,6 +1434,22 @@ fn handle_invoke(
     match result {
         Ok((outcome, invoice)) => {
             trace.session_id = session_id;
+            // Durability before acknowledgment: the signed log is
+            // appended to the WAL (and fsynced, under `always`) before
+            // the response leaves the server. If the record cannot be
+            // persisted the invoke fails closed — billing for usage
+            // the log would forget is exactly what this plane exists
+            // to prevent.
+            if let Some(durable) = &shared.durable {
+                if let Err(e) = durable.append_usage(
+                    tenant,
+                    &outcome.log,
+                    shared.dep.infrastructure().accounting_enclave(),
+                ) {
+                    logging::error(LOG, "usage not persisted", &[("error", e.to_string())]);
+                    return error_resp(format!("usage record not persisted: {e}"));
+                }
+            }
             shared.stats.tenant_served(
                 tenant,
                 outcome.log.log.weighted_instructions,

@@ -117,6 +117,60 @@ LATS="$(sed -n 's/^acctee_net_request_latency_seconds_count{kind="invoke"} //p' 
 wait "$SERVE_PID"
 rm -f "$SERVE_LOG" "$PROM"
 
+echo "==> durable crate clippy gate (deny warnings)"
+cargo clippy --offline -q -p acctee-durable --all-targets -- -D warnings
+
+echo "==> durable kill-and-restart smoke (--state-dir, kill -9, fetch-log, settle)"
+STATE_DIR="$(mktemp -d)"
+SERVE_LOG="$(mktemp)"
+"$ACCTEE_BIN" serve --listen 127.0.0.1:0 --state-dir "$STATE_DIR" --fsync always \
+    >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    if [ -n "$ADDR" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "durable server never reported its address"; kill "$SERVE_PID"; exit 1; }
+OUT="$("$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 20)" \
+    && grep -q "verified" <<<"$OUT" \
+    || { echo "durable invoke failed"; kill "$SERVE_PID"; exit 1; }
+SESSION="$(sed -n 's/^  session id: *//p' <<<"$OUT")"
+[ -n "$SESSION" ] || { echo "invoke output carried no session id"; kill "$SERVE_PID"; exit 1; }
+# kill -9: no drain, no checkpoint. With --fsync always the record
+# must already be on disk.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+: >"$SERVE_LOG"
+"$ACCTEE_BIN" serve --listen 127.0.0.1:0 --state-dir "$STATE_DIR" --fsync always \
+    >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    if [ -n "$ADDR" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never reported its address"; kill "$SERVE_PID"; exit 1; }
+# The pre-crash record must come back over the wire, signature intact,
+OUT="$("$ACCTEE_BIN" fetch-log --connect "$ADDR" --session "$SESSION")" \
+    && grep -q "verified" <<<"$OUT" \
+    || { echo "pre-crash log not recovered after kill -9"; kill "$SERVE_PID"; exit 1; }
+# and new sessions must never reuse pre-crash ids.
+OUT="$("$ACCTEE_BIN" invoke examples/demo.wat --connect "$ADDR" --invoke fib --arg 10)" \
+    || { echo "post-restart invoke failed"; kill "$SERVE_PID"; exit 1; }
+SESSION2="$(sed -n 's/^  session id: *//p' <<<"$OUT")"
+[ "${SESSION2:-0}" -gt "$SESSION" ] \
+    || { echo "session id $SESSION2 not above pre-crash $SESSION"; kill "$SERVE_PID"; exit 1; }
+"$ACCTEE_BIN" shutdown --connect "$ADDR"
+wait "$SERVE_PID"
+# Offline settlement over the surviving state dir: every record
+# re-verified, signed statements equal to the summed invoices.
+"$ACCTEE_BIN" settle --state-dir "$STATE_DIR" | grep -q "settlement verified" \
+    || { echo "offline settlement failed"; exit 1; }
+rm -rf "$STATE_DIR" "$SERVE_LOG"
+
 echo "==> net load-generator smoke incl. load-shed case (BENCH_net.json)"
 cargo run --offline --release -q -p acctee-bench --bin net -- 8 8 --out /tmp/BENCH_net.json
 for key in throughput_rps p50_us p99_us shed_rate; do
