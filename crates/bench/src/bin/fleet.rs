@@ -1,0 +1,338 @@
+//! Fleet coordination bench: a multi-process loopback campaign and a
+//! crash-resume drill, emitting `BENCH_fleet.json`.
+//!
+//! Two phases:
+//!
+//! * **throughput** — an in-process coordinator farms the campaign to
+//!   real `acctee fleet work` child processes (one of them a
+//!   result-flipping cheater). Measures units/s, the verification
+//!   overhead actually paid (redundant executions per unit), and the
+//!   detection rate against the injected dishonest worker.
+//! * **resume** — the coordinator itself runs as a child process and
+//!   is killed with SIGKILL mid-campaign, then restarted on the same
+//!   state directory and port while the workers ride out the outage on
+//!   their reconnect budget. The journal is then audited: zero lost
+//!   units, zero double-credited units.
+//!
+//! Usage: `fleet [workers] [units] [--out FILE]`
+//! (defaults: workers=8 — at least 8 per the acceptance bar —
+//! units=64, out=BENCH_fleet.json).
+
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use acctee_fleet::{Coordinator, FleetConfig, Journal, UnitSpec, WorkloadKind};
+use acctee_net::wire;
+
+const SEED: u64 = 0xacc7ee;
+
+/// The `acctee` CLI lives next to this bench bin in the cargo target
+/// directory; worker (and phase-2 coordinator) processes exec it.
+fn acctee_bin() -> PathBuf {
+    let me = std::env::current_exe().expect("current_exe");
+    let bin = me.parent().expect("target dir").join("acctee");
+    assert!(
+        bin.exists(),
+        "{} not found — build it first: cargo build --release -p acctee-fleet",
+        bin.display()
+    );
+    bin
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acctee-bench-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_worker_proc(bin: &Path, addr: SocketAddr, name: &str, behavior: &str) -> Child {
+    Command::new(bin)
+        .args([
+            "fleet",
+            "work",
+            "--connect",
+            &addr.to_string(),
+            "--name",
+            name,
+            "--behavior",
+            behavior,
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker process")
+}
+
+/// One unattested status probe — the same frames `acctee fleet status`
+/// sends. Returns None while the coordinator is down (phase 2 polls
+/// straight through the kill window).
+fn probe_status(addr: SocketAddr) -> Option<wire::FleetReport> {
+    let timeout = Duration::from_secs(2);
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    wire::write_request(&mut stream, &wire::Request::FleetStatus).ok()?;
+    match wire::read_response(&mut stream).ok()? {
+        wire::Response::FleetStatusOk { fleet } => Some(fleet),
+        _ => None,
+    }
+}
+
+struct ThroughputResult {
+    wall_s: f64,
+    report: wire::FleetReport,
+    steals: u64,
+}
+
+/// Phase 1: in-process coordinator, `workers` child processes of which
+/// exactly one flips results.
+fn run_throughput(workers: usize, units: u64) -> ThroughputResult {
+    let bin = acctee_bin();
+    let state_dir = tmpdir("throughput");
+    let config = FleetConfig {
+        seed: SEED,
+        state_dir: state_dir.clone(),
+        redundancy: 0.10,
+        probation_checks: 1,
+        ..FleetConfig::default()
+    };
+    let specs = UnitSpec::campaign(units, WorkloadKind::SubsetSum, 12, SEED);
+    let coordinator = Coordinator::open("127.0.0.1:0", config, &specs).expect("open coordinator");
+    let (addr, handle) = coordinator.spawn().expect("spawn coordinator");
+    let started = Instant::now();
+    let mut children: Vec<Child> = (0..workers.saturating_sub(1))
+        .map(|i| spawn_worker_proc(&bin, addr, &format!("honest-{i}"), "honest"))
+        .collect();
+    children.push(spawn_worker_proc(&bin, addr, "cheat-0", "flip"));
+    assert!(
+        handle.wait_done(Duration::from_secs(600)),
+        "throughput campaign stalled"
+    );
+    let wall_s = started.elapsed().as_secs_f64();
+    // Let every worker observe campaign-done and exit before the
+    // listener goes away, so none burns its reconnect budget.
+    for c in &mut children {
+        let _ = c.wait();
+    }
+    let report = handle.report();
+    let steals = handle.steals();
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    ThroughputResult {
+        wall_s,
+        report,
+        steals,
+    }
+}
+
+fn spawn_coordinator_proc(bin: &Path, addr: SocketAddr, state_dir: &Path, units: u64) -> Child {
+    Command::new(bin)
+        .args([
+            "fleet",
+            "coordinate",
+            "--listen",
+            &addr.to_string(),
+            "--state-dir",
+            &state_dir.display().to_string(),
+            "--units",
+            &units.to_string(),
+            "--workload",
+            "subsetsum",
+            "--unit-count",
+            "16",
+            "--redundancy",
+            "0.2",
+            "--probation",
+            "1",
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator process")
+}
+
+struct ResumeResult {
+    units: u64,
+    completed_at_kill: u64,
+    lost_units: u64,
+    double_credited: u64,
+}
+
+/// Phase 2: coordinator as a child process, SIGKILLed mid-campaign and
+/// restarted on the same state dir and port.
+fn run_resume(worker_count: usize, units: u64) -> ResumeResult {
+    let bin = acctee_bin();
+    let state_dir = tmpdir("resume");
+    // Pre-pick a port so the restarted coordinator can rebind it; the
+    // std listener sets SO_REUSEADDR, so the TIME_WAIT tail from the
+    // killed process does not block the rebind.
+    let addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().expect("probe addr")
+    };
+    let mut coordinator = spawn_coordinator_proc(&bin, addr, &state_dir, units);
+    let mut workers: Vec<Child> = (0..worker_count)
+        .map(|i| spawn_worker_proc(&bin, addr, &format!("resume-{i}"), "honest"))
+        .collect();
+    // Let the campaign make real progress, then pull the plug.
+    let kill_at = units / 4;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let completed_at_kill = loop {
+        assert!(Instant::now() < deadline, "resume phase 1 never progressed");
+        if let Some(r) = probe_status(addr) {
+            if r.completed >= kill_at {
+                break r.completed;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(
+        completed_at_kill < units,
+        "campaign finished before the kill landed — deepen the units"
+    );
+    coordinator.kill().expect("SIGKILL coordinator");
+    let _ = coordinator.wait();
+    // Restart on the same state dir and port; workers are still alive,
+    // retrying inside their reconnect budget. The coordinator process
+    // exits by itself once the resumed campaign completes and the
+    // statements are printed, so its exit *is* the done signal.
+    let mut coordinator = spawn_coordinator_proc(&bin, addr, &state_dir, units);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let status = loop {
+        assert!(Instant::now() < deadline, "resumed campaign stalled");
+        if let Some(status) = coordinator.try_wait().expect("try_wait coordinator") {
+            break status;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "resumed coordinator failed: {status}");
+    // Workers exit on their next pull seeing campaign-done; if one
+    // missed the window before the coordinator exited, don't let it
+    // sit out its reconnect budget.
+    let grace = Instant::now() + Duration::from_secs(3);
+    while Instant::now() < grace && workers.iter_mut().any(|w| w.try_wait().unwrap().is_none()) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    for w in &mut workers {
+        if w.try_wait().unwrap().is_none() {
+            let _ = w.kill();
+        }
+        let _ = w.wait();
+    }
+    // Audit the journal the restarted coordinator left behind.
+    let (_, replay) = Journal::open(&state_dir).expect("reopen journal");
+    assert_eq!(replay.units.len() as u64, units, "campaign shrank");
+    let lost_units = replay.units.iter().filter(|u| u.done.is_none()).count() as u64;
+    let credited = replay.credited_pairs();
+    let mut sessions: Vec<u64> = credited
+        .iter()
+        .map(|(_, r)| r.signed.log.session_id)
+        .collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    let double_credited = (credited.len() - sessions.len()) as u64 + replay.duplicate_done_dropped;
+    let _ = std::fs::remove_dir_all(&state_dir);
+    ResumeResult {
+        units,
+        completed_at_kill,
+        lost_units,
+        double_credited,
+    }
+}
+
+fn main() {
+    let mut workers = 8usize;
+    let mut units = 64u64;
+    let mut out = String::from("BENCH_fleet.json");
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a value"),
+            _ => positional.push(a),
+        }
+    }
+    if let Some(v) = positional.first().and_then(|a| a.parse().ok()) {
+        workers = v;
+    }
+    if let Some(v) = positional.get(1).and_then(|a| a.parse().ok()) {
+        units = v;
+    }
+    assert!(workers >= 2, "need at least 2 workers (1 honest + 1 cheat)");
+
+    let t = run_throughput(workers, units);
+    let r = &t.report;
+    let units_per_sec = r.completed as f64 / t.wall_s.max(f64::MIN_POSITIVE);
+    // Verification overhead = redundant executions per campaign unit:
+    // each scheduled spot check is one extra full execution.
+    let verification_overhead = r.checks_scheduled as f64 / r.units_total.max(1) as f64;
+    let injected_cheaters = 1u64;
+    let quarantined = r.workers.iter().filter(|w| w.quarantined).count() as u64;
+    let detection_rate = quarantined.min(injected_cheaters) as f64 / injected_cheaters as f64;
+    println!("# fleet throughput (workers={workers}, units={units})");
+    println!(
+        "campaign  {:>6.1} units/s   {} units in {:.2}s   {} spot checks ({} mismatched)",
+        units_per_sec, r.completed, t.wall_s, r.checks_scheduled, r.checks_mismatched
+    );
+    println!(
+        "overhead  {:.3} redundant executions/unit   {} redispatched   {} steals",
+        verification_overhead, r.redispatched, t.steals
+    );
+    println!(
+        "cheater   injected {injected_cheaters}   quarantined {quarantined}   detection rate {detection_rate:.2}"
+    );
+
+    let resume = run_resume(4, units.clamp(16, 48));
+    println!(
+        "# fleet resume (SIGKILL at {} completed units)",
+        resume.completed_at_kill
+    );
+    println!(
+        "resume    {} units   lost {}   double-credited {}",
+        resume.units, resume.lost_units, resume.double_credited
+    );
+
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"suite\": \"fleet\",");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"units\": {units},");
+    let _ = writeln!(s, "  \"units_per_sec\": {units_per_sec:.2},");
+    let _ = writeln!(
+        s,
+        "  \"verification_overhead\": {verification_overhead:.4},"
+    );
+    let _ = writeln!(
+        s,
+        "  \"redundancy_percent\": {:.2},",
+        verification_overhead * 100.0
+    );
+    let _ = writeln!(s, "  \"checks_scheduled\": {},", r.checks_scheduled);
+    let _ = writeln!(s, "  \"checks_mismatched\": {},", r.checks_mismatched);
+    let _ = writeln!(s, "  \"redispatched\": {},", r.redispatched);
+    let _ = writeln!(s, "  \"steals\": {},", t.steals);
+    let _ = writeln!(s, "  \"injected_cheaters\": {injected_cheaters},");
+    let _ = writeln!(s, "  \"quarantined\": {quarantined},");
+    let _ = writeln!(s, "  \"detection_rate\": {detection_rate:.2},");
+    let _ = writeln!(s, "  \"resume_units\": {},", resume.units);
+    let _ = writeln!(
+        s,
+        "  \"resume_completed_at_kill\": {},",
+        resume.completed_at_kill
+    );
+    let _ = writeln!(s, "  \"resume_lost_units\": {},", resume.lost_units);
+    let _ = writeln!(
+        s,
+        "  \"resume_double_credited\": {}",
+        resume.double_credited
+    );
+    s.push_str("}\n");
+    std::fs::write(&out, &s).expect("write BENCH_fleet.json");
+    println!("# -> {out}");
+}

@@ -28,6 +28,16 @@
 //! acctee top --connect ADDR [--watch SECS] per-tenant usage table
 //! acctee recent --connect ADDR [--limit N] flight-recorder records
 //! acctee shutdown --connect ADDR           drain and stop a server
+//! acctee fleet coordinate --listen ADDR --state-dir DIR
+//!              [--units N] [--workload subsetsum|msieve] [--unit-count C]
+//!              [--redundancy F] [--probation N] [--deadline-ms N]
+//!              [--rate R] [--bonus B]       run a campaign: attested
+//!                                          workers, durable dispatch,
+//!                                          spot checks, signed payouts
+//! acctee fleet work --connect ADDR --name N
+//!              [--capacity C] [--behavior honest|flip|inflate|slow|rogue]
+//!                                          serve a coordinator as a node
+//! acctee fleet status --connect ADDR       campaign progress snapshot
 //! ```
 //!
 //! Arguments of the invoked function are parsed against its signature
@@ -47,9 +57,13 @@ use std::sync::Arc;
 
 use acctee::{Deployment, InstrumentationCache, InstrumentationEnclave, Level, PricingModel};
 use acctee_durable::{Durable, DurableOptions, FsyncPolicy};
+use acctee_fleet::{
+    run_worker, Behavior, Coordinator, FleetConfig, ReconcileConfig, UnitSpec, WorkerConfig,
+    WorkerExit, WorkloadKind,
+};
 use acctee_instrument::{instrument, WeightTable};
 use acctee_interp::{Config, Engine, Imports, Instance, ProfilingObserver, Value};
-use acctee_net::{Client, InvokeSpec, IoMode, Server, ServerConfig, TrustAnchor};
+use acctee_net::{wire, Client, InvokeSpec, IoMode, Server, ServerConfig, TrustAnchor};
 use acctee_sgx::{AttestationAuthority, Platform};
 use acctee_telemetry::{CollectingSink, Telemetry};
 use acctee_wasm::decode::decode_module;
@@ -135,6 +149,17 @@ struct Opts {
     prom: bool,
     watch_secs: Option<u64>,
     limit: u32,
+    units: u64,
+    workload: String,
+    unit_count: u32,
+    redundancy: f64,
+    probation: u32,
+    deadline_ms: u64,
+    name: String,
+    behavior: String,
+    capacity: u32,
+    rate: u128,
+    bonus: u128,
     rest: Vec<String>,
 }
 
@@ -169,6 +194,17 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
         prom: false,
         watch_secs: None,
         limit: 32,
+        units: 32,
+        workload: "subsetsum".into(),
+        unit_count: 8,
+        redundancy: 0.05,
+        probation: 1,
+        deadline_ms: 10_000,
+        name: "node".into(),
+        behavior: "honest".into(),
+        capacity: 2,
+        rate: 3,
+        bonus: 0,
         rest: Vec::new(),
     };
     let mut it = argv.iter();
@@ -226,6 +262,19 @@ fn parse_opts(argv: &[String]) -> Result<Opts, String> {
                 o.watch_secs = Some(want(&mut it)?.parse().map_err(|e| format!("{e}"))?);
             }
             "--limit" => o.limit = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--units" => o.units = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--workload" => o.workload = want(&mut it)?,
+            "--unit-count" => o.unit_count = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--redundancy" => o.redundancy = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--probation" => o.probation = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--deadline-ms" => {
+                o.deadline_ms = want(&mut it)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--name" => o.name = want(&mut it)?,
+            "--behavior" => o.behavior = want(&mut it)?,
+            "--capacity" => o.capacity = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--rate" => o.rate = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
+            "--bonus" => o.bonus = want(&mut it)?.parse().map_err(|e| format!("{e}"))?,
             other => o.rest.push(other.to_string()),
         }
     }
@@ -292,7 +341,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("acctee — WebAssembly two-way sandbox with trusted resource accounting");
             println!("commands: wat2wasm, wasm2wat, validate, instrument, run, account,");
             println!("          serve, deploy, invoke, fetch-log, settle, replay,");
-            println!("          stats, top, recent, shutdown");
+            println!("          stats, top, recent, shutdown, fleet");
             println!("run/account flags: --invoke F --arg V --input STR --fuel N --level L");
             println!("                   --engine tree|bytecode|regs (default tree)");
             println!("                   --cache-capacity N (bound the instrumentation cache)");
@@ -313,6 +362,13 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("stats:             --connect ADDR [--prom] [--watch SECS]");
             println!("top:               --connect ADDR [--watch SECS]");
             println!("recent:            --connect ADDR [--limit N]");
+            println!("fleet coordinate:  --listen ADDR --state-dir DIR [--units N]");
+            println!("                   --workload subsetsum|msieve --unit-count C");
+            println!("                   --redundancy F --probation N --deadline-ms N");
+            println!("                   --rate R --bonus B --seed S");
+            println!("fleet work:        --connect ADDR --name N [--capacity C]");
+            println!("                   --behavior honest|flip|inflate|slow|rogue");
+            println!("fleet status:      --connect ADDR");
             Ok(())
         }
         "wat2wasm" => {
@@ -513,6 +569,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
             println!("server draining");
             Ok(())
         }
+        "fleet" => cmd_fleet(opts),
         other => Err(format!("unknown command {other:?}; try `acctee help`")),
     }
 }
@@ -933,6 +990,160 @@ fn cmd_recent(opts: &Opts) -> Result<(), String> {
     }
     if records.is_empty() {
         println!("(flight recorder is empty)");
+    }
+    Ok(())
+}
+
+fn cmd_fleet(opts: &Opts) -> Result<(), String> {
+    match opts.rest.first().map(String::as_str) {
+        Some("coordinate") => cmd_fleet_coordinate(opts),
+        Some("work") => cmd_fleet_work(opts),
+        Some("status") => cmd_fleet_status(opts),
+        _ => Err("usage: acctee fleet <coordinate|work|status> ...".into()),
+    }
+}
+
+fn cmd_fleet_coordinate(opts: &Opts) -> Result<(), String> {
+    let addr = opts.listen.as_deref().ok_or("--listen ADDR is required")?;
+    let state_dir = opts
+        .state_dir
+        .as_deref()
+        .ok_or("--state-dir DIR is required")?;
+    let kind = WorkloadKind::parse(&opts.workload)
+        .ok_or_else(|| format!("--workload: unknown workload `{}`", opts.workload))?;
+    let specs = UnitSpec::campaign(opts.units, kind, opts.unit_count, opts.seed);
+    let config = FleetConfig {
+        seed: opts.seed,
+        state_dir: std::path::PathBuf::from(state_dir),
+        redundancy: opts.redundancy,
+        probation_checks: opts.probation,
+        deadline_ms: opts.deadline_ms,
+        io_timeout: std::time::Duration::from_millis(opts.io_timeout_ms),
+        ..FleetConfig::default()
+    };
+    let coordinator = Coordinator::open(addr, config, &specs).map_err(|e| e.to_string())?;
+    let (bound, handle) = coordinator.spawn().map_err(|e| e.to_string())?;
+    // Scripts scrape this line for the ephemeral port; flush so it is
+    // visible before the campaign loop starts.
+    println!("listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let mut last = 0u64;
+    loop {
+        if handle.wait_done(std::time::Duration::from_secs(2)) {
+            break;
+        }
+        let r = handle.report();
+        if r.completed != last {
+            last = r.completed;
+            println!(
+                "progress: {}/{} units ({} pending, {} in flight, {} checks, {} redispatched)",
+                r.completed,
+                r.units_total,
+                r.pending,
+                r.inflight,
+                r.checks_scheduled,
+                r.redispatched
+            );
+            let _ = std::io::stdout().flush();
+        }
+    }
+    let r = handle.report();
+    println!(
+        "campaign complete: {}/{} units, {} spot checks ({} mismatched), {} redispatched, {} rejected",
+        r.completed, r.units_total, r.checks_scheduled, r.checks_mismatched, r.redispatched, r.rejected
+    );
+    for w in &r.workers {
+        if w.quarantined {
+            println!("quarantined: {}", w.name);
+        }
+    }
+    let statements = handle
+        .reconcile(&ReconcileConfig {
+            rate: opts.rate,
+            bonus_pool: opts.bonus,
+            ..ReconcileConfig::default()
+        })
+        .map_err(|e| e.to_string())?;
+    // Verify out-of-band what any node could: rebuild the trust anchor
+    // from the seed and check each signed statement.
+    let dep = Deployment::new(opts.seed);
+    let ae = dep.infrastructure().accounting_enclave().measurement();
+    for s in &statements {
+        s.verify(&dep.authority, ae).map_err(|e| e.to_string())?;
+        let st = &s.statement;
+        println!(
+            "statement {:<12} {:>4} credited  {:>12} wic  {:>14} nano paid  {:>10} bonus  (enclave-signed, verified)",
+            st.worker, st.units_credited, st.weighted_instructions, st.paid_nano, st.bonus_nano
+        );
+    }
+    handle.stop();
+    Ok(())
+}
+
+fn cmd_fleet_work(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .connect
+        .as_deref()
+        .ok_or("--connect ADDR is required")?;
+    let behavior = Behavior::parse(&opts.behavior)
+        .ok_or_else(|| format!("--behavior: unknown behavior `{}`", opts.behavior))?;
+    let cfg = WorkerConfig {
+        behavior,
+        capacity: opts.capacity,
+        ..WorkerConfig::new(&opts.name, opts.seed)
+    };
+    let summary = run_worker(addr, &cfg).map_err(|e| e.to_string())?;
+    match &summary.exit {
+        WorkerExit::CampaignDone => println!("campaign done"),
+        WorkerExit::Quarantined(reason) => println!("quarantined: {reason}"),
+        WorkerExit::Rejected(reason) => println!("join rejected: {reason}"),
+    }
+    println!(
+        "worker {}: {} completed, {} trapped, {} stale, {} rejected",
+        opts.name, summary.completed, summary.trapped, summary.stale, summary.rejected
+    );
+    Ok(())
+}
+
+fn cmd_fleet_status(opts: &Opts) -> Result<(), String> {
+    let addr = opts
+        .connect
+        .as_deref()
+        .ok_or("--connect ADDR is required")?;
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let timeout = std::time::Duration::from_millis(opts.io_timeout_ms);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    wire::write_request(&mut stream, &wire::Request::FleetStatus).map_err(|e| e.to_string())?;
+    let fleet = match wire::read_response(&mut stream).map_err(|e| e.to_string())? {
+        wire::Response::FleetStatusOk { fleet } => fleet,
+        wire::Response::Error { message } => return Err(message),
+        other => return Err(format!("unexpected response: {other:?}")),
+    };
+    println!(
+        "campaign: {}/{} units complete  {} pending  {} in flight  done={}",
+        fleet.completed, fleet.units_total, fleet.pending, fleet.inflight, fleet.done
+    );
+    println!(
+        "checks: {} scheduled, {} mismatched;  {} redispatched, {} rejected",
+        fleet.checks_scheduled, fleet.checks_mismatched, fleet.redispatched, fleet.rejected
+    );
+    println!(
+        "{:<16} {:>10} {:>9}  QUARANTINED",
+        "WORKER", "COMPLETED", "INFLIGHT"
+    );
+    for w in &fleet.workers {
+        println!(
+            "{:<16} {:>10} {:>9}  {}",
+            w.name,
+            w.completed,
+            w.inflight,
+            if w.quarantined { "yes" } else { "no" }
+        );
+    }
+    if fleet.workers.is_empty() {
+        println!("(no workers joined yet)");
     }
     Ok(())
 }

@@ -1,0 +1,684 @@
+//! The coordinator's durable job queue: a single append-only journal
+//! of campaign-changing events, following the `acctee-durable` WAL
+//! discipline (CRC-framed records, fsync-before-ack, torn-tail
+//! truncation, exactly-once replay).
+//!
+//! On-disk layout: one file `fleet.log` opening with a 6-byte header
+//! (`AFLJ` magic + `u16` version) followed by frames:
+//!
+//! ```text
+//! u32 payload_len | u32 crc32(payload) | payload (u8 kind + body)
+//! ```
+//!
+//! Event kinds:
+//!
+//! | kind | event | body |
+//! |------|-------|------|
+//! | 1 | unit added | unit id, workload tag, count, seed, deadline-ms |
+//! | 2 | check scheduled | unit id (one extra execution required) |
+//! | 3 | verified submission | unit id, worker, first result, canonical [`UsageRecord`] |
+//! | 4 | unit done | unit id, credited session ids |
+//! | 5 | node quarantined | worker, reason |
+//! | 6 | session lease | high watermark |
+//!
+//! Every append fsyncs before returning — the coordinator writes the
+//! event *then* acknowledges the worker, so an acknowledged submission
+//! is on disk by construction. Replay tolerates exactly one torn frame
+//! at the tail (a crash mid-append: the event was never acknowledged,
+//! dropping it is correct) and refuses anything else as corruption.
+//! Duplicate submissions (same session id) and duplicate unit-done
+//! frames are dropped first-wins and counted, so a doubled frame can
+//! never double-credit a unit.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use acctee_durable::{decode_record, encode_record, UsageRecord};
+
+use crate::unit::{UnitSpec, WorkloadKind};
+use crate::FleetError;
+
+/// Magic bytes opening the journal file.
+const JOURNAL_MAGIC: [u8; 4] = *b"AFLJ";
+/// Journal format version.
+const JOURNAL_VERSION: u16 = 1;
+/// Bytes of file header (magic + version).
+const FILE_HEADER: usize = 6;
+/// Bytes of frame header (length + CRC).
+const FRAME_HEADER: usize = 8;
+/// Upper bound on a frame payload; anything larger is corruption.
+const MAX_FRAME: u32 = 16 << 20;
+
+const EV_UNIT_ADDED: u8 = 1;
+const EV_CHECK_SCHEDULED: u8 = 2;
+const EV_SUBMISSION: u8 = 3;
+const EV_UNIT_DONE: u8 = 4;
+const EV_QUARANTINE: u8 = 5;
+const EV_SESSION_LEASE: u8 = 6;
+
+// -------------------------------------------------------------- crc32
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the same framing
+/// checksum the durable WAL uses.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ----------------------------------------------------------- replay
+
+/// One verified, journaled submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalSubmission {
+    /// The node that executed it.
+    pub worker: String,
+    /// First returned value (what redundancy compares, alongside the
+    /// signed counters inside the record).
+    pub result: i64,
+    /// The worker enclave's signed usage record (tenant = worker).
+    pub record: UsageRecord,
+}
+
+/// A unit's replayed state.
+#[derive(Debug, Clone)]
+pub struct JournalUnit {
+    /// The rebuildable spec.
+    pub spec: UnitSpec,
+    /// Per-unit execution budget (milliseconds).
+    pub deadline_ms: u64,
+    /// Extra executions scheduled (spot checks + tie-breaks): the unit
+    /// needs `1 + checks` verified executions to complete.
+    pub checks: u32,
+    /// Verified submissions, in journal order.
+    pub submissions: Vec<JournalSubmission>,
+    /// Credited session ids once complete.
+    pub done: Option<Vec<u64>>,
+}
+
+impl JournalUnit {
+    /// Executions this unit requires in total.
+    pub fn needed(&self) -> u32 {
+        1 + self.checks
+    }
+}
+
+/// Everything replay recovered (and tolerated) from the journal.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Units in creation order.
+    pub units: Vec<JournalUnit>,
+    /// Quarantined node names with reasons.
+    pub quarantined: HashMap<String, String>,
+    /// Session-id lease high watermark (0 when none leased).
+    pub session_floor: u64,
+    /// Bytes of torn tail truncated.
+    pub torn_bytes_discarded: u64,
+    /// Duplicate submission frames dropped (same session id).
+    pub duplicate_submissions_dropped: u64,
+    /// Duplicate unit-done frames dropped (first wins) — the
+    /// double-credit audit: any resumption bug that completed a unit
+    /// twice shows up here as a nonzero count.
+    pub duplicate_done_dropped: u64,
+}
+
+impl JournalReplay {
+    /// The `(worker, record)` pairs actually credited: for every
+    /// completed unit, the submissions whose session ids the unit-done
+    /// event names. This is the reconciliation input and the audit
+    /// surface — each session id appears at most once by construction.
+    pub fn credited_pairs(&self) -> Vec<(String, UsageRecord)> {
+        let mut out = Vec::new();
+        for u in &self.units {
+            let Some(sessions) = &u.done else { continue };
+            for s in sessions {
+                if let Some(sub) = u
+                    .submissions
+                    .iter()
+                    .find(|sub| sub.record.signed.log.session_id == *s)
+                {
+                    out.push((sub.worker.clone(), sub.record.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------- journal
+
+/// The append side of the fleet journal.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FleetError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FleetError::Corrupt("event body truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FleetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FleetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FleetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, FleetError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, FleetError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| FleetError::Corrupt("event string not UTF-8".into()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl Journal {
+    /// Opens (creating if needed) `fleet.log` in `dir` and replays it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`FleetError::Corrupt`] when acknowledged data is
+    /// missing or undecodable (a bad frame anywhere but the tail).
+    pub fn open(dir: &Path) -> Result<(Journal, JournalReplay), FleetError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("fleet.log");
+        let mut replay = JournalReplay::default();
+        let mut good_end = FILE_HEADER;
+        let fresh = !path.exists();
+        if fresh {
+            let mut f = File::create(&path)?;
+            let mut h = Vec::with_capacity(FILE_HEADER);
+            h.extend_from_slice(&JOURNAL_MAGIC);
+            h.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            f.write_all(&h)?;
+            f.sync_all()?;
+        } else {
+            let bytes = std::fs::read(&path)?;
+            good_end = Journal::replay_bytes(&bytes, &mut replay)?;
+            if (good_end as u64) < bytes.len() as u64 {
+                replay.torn_bytes_discarded = (bytes.len() - good_end) as u64;
+            }
+        }
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(good_end as u64)?;
+        let mut journal = Journal { file, path };
+        use std::io::Seek;
+        journal.file.seek(std::io::SeekFrom::End(0))?;
+        if replay.torn_bytes_discarded > 0 {
+            journal.file.sync_all()?;
+        }
+        Ok((journal, replay))
+    }
+
+    /// Walks frames, filling `replay`; returns the offset after the
+    /// last good frame.
+    fn replay_bytes(bytes: &[u8], replay: &mut JournalReplay) -> Result<usize, FleetError> {
+        if bytes.len() < FILE_HEADER
+            || bytes[..4] != JOURNAL_MAGIC
+            || bytes[4..6] != JOURNAL_VERSION.to_le_bytes()
+        {
+            return Err(FleetError::Corrupt("bad journal header".into()));
+        }
+        let mut index: HashMap<u64, usize> = HashMap::new(); // unit id -> units idx
+        let mut sessions_seen: std::collections::HashSet<u64> = Default::default();
+        let mut pos = FILE_HEADER;
+        while pos < bytes.len() {
+            let frame_ok = bytes.len() - pos >= FRAME_HEADER;
+            let (len, crc) = if frame_ok {
+                (
+                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()),
+                    u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()),
+                )
+            } else {
+                (0, 0)
+            };
+            let start = pos + FRAME_HEADER;
+            let end = start + len as usize;
+            let complete = frame_ok && len <= MAX_FRAME && end <= bytes.len();
+            if !complete || crc32(&bytes[start..end]) != crc {
+                // Torn tail from a crash mid-append: the event was
+                // never acknowledged, so dropping it is correct. A bad
+                // frame *followed by good data* would be acknowledged
+                // history gone missing — but a short/CRC-failing frame
+                // can only be the physical tail of the file here, so
+                // the distinction the WAL draws between segments does
+                // not arise: everything from `pos` on is discarded.
+                return Ok(pos);
+            }
+            Journal::replay_event(&bytes[start..end], replay, &mut index, &mut sessions_seen)?;
+            pos = end;
+        }
+        Ok(pos)
+    }
+
+    fn replay_event(
+        payload: &[u8],
+        replay: &mut JournalReplay,
+        index: &mut HashMap<u64, usize>,
+        sessions_seen: &mut std::collections::HashSet<u64>,
+    ) -> Result<(), FleetError> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let kind = r.u8()?;
+        match kind {
+            EV_UNIT_ADDED => {
+                let id = r.u64()?;
+                let tag = r.u8()?;
+                let count = r.u32()?;
+                let seed = r.u64()?;
+                let deadline_ms = r.u64()?;
+                let workload = WorkloadKind::from_tag(tag)
+                    .ok_or_else(|| FleetError::Corrupt(format!("unknown workload tag {tag}")))?;
+                if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(id) {
+                    slot.insert(replay.units.len());
+                    replay.units.push(JournalUnit {
+                        spec: UnitSpec {
+                            id,
+                            kind: workload,
+                            count,
+                            seed,
+                        },
+                        deadline_ms,
+                        checks: 0,
+                        submissions: Vec::new(),
+                        done: None,
+                    });
+                }
+            }
+            EV_CHECK_SCHEDULED => {
+                let id = r.u64()?;
+                let idx = *index
+                    .get(&id)
+                    .ok_or_else(|| FleetError::Corrupt(format!("check for unknown unit {id}")))?;
+                replay.units[idx].checks += 1;
+            }
+            EV_SUBMISSION => {
+                let id = r.u64()?;
+                let worker = r.str()?;
+                let result = r.i64()?;
+                let rec_len = r.u32()? as usize;
+                let rec_bytes = r.take(rec_len)?;
+                let record = decode_record(rec_bytes)
+                    .map_err(|e| FleetError::Corrupt(format!("submission record: {e}")))?;
+                let idx = *index.get(&id).ok_or_else(|| {
+                    FleetError::Corrupt(format!("submission for unknown unit {id}"))
+                })?;
+                if sessions_seen.insert(record.signed.log.session_id) {
+                    replay.units[idx].submissions.push(JournalSubmission {
+                        worker,
+                        result,
+                        record,
+                    });
+                } else {
+                    replay.duplicate_submissions_dropped += 1;
+                }
+            }
+            EV_UNIT_DONE => {
+                let id = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > payload.len() {
+                    return Err(FleetError::Corrupt("hostile session count".into()));
+                }
+                let mut sessions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sessions.push(r.u64()?);
+                }
+                let idx = *index
+                    .get(&id)
+                    .ok_or_else(|| FleetError::Corrupt(format!("done for unknown unit {id}")))?;
+                if replay.units[idx].done.is_none() {
+                    replay.units[idx].done = Some(sessions);
+                } else {
+                    replay.duplicate_done_dropped += 1;
+                }
+            }
+            EV_QUARANTINE => {
+                let worker = r.str()?;
+                let reason = r.str()?;
+                replay.quarantined.entry(worker).or_insert(reason);
+            }
+            EV_SESSION_LEASE => {
+                let upto = r.u64()?;
+                replay.session_floor = replay.session_floor.max(upto);
+            }
+            other => {
+                return Err(FleetError::Corrupt(format!("unknown event kind {other}")));
+            }
+        }
+        if !r.done() {
+            return Err(FleetError::Corrupt(format!(
+                "event kind {kind} carries trailing bytes"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Appends one frame and fsyncs — when this returns, the event is
+    /// on disk, so the caller may acknowledge it.
+    fn append(&mut self, payload: &[u8]) -> Result<(), FleetError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Journals a new campaign unit.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the fsynced append (as for every event below).
+    pub fn unit_added(&mut self, spec: &UnitSpec, deadline_ms: u64) -> Result<(), FleetError> {
+        let mut p = vec![EV_UNIT_ADDED];
+        p.extend_from_slice(&spec.id.to_le_bytes());
+        p.push(spec.kind.tag());
+        p.extend_from_slice(&spec.count.to_le_bytes());
+        p.extend_from_slice(&spec.seed.to_le_bytes());
+        p.extend_from_slice(&deadline_ms.to_le_bytes());
+        self.append(&p)
+    }
+
+    /// Journals one extra required execution for a unit (spot-check
+    /// sample, probation coverage, or mismatch tie-break).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn check_scheduled(&mut self, unit_id: u64) -> Result<(), FleetError> {
+        let mut p = vec![EV_CHECK_SCHEDULED];
+        p.extend_from_slice(&unit_id.to_le_bytes());
+        self.append(&p)
+    }
+
+    /// Journals a verified submission (write *before* acking).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn submission(
+        &mut self,
+        unit_id: u64,
+        worker: &str,
+        result: i64,
+        record: &UsageRecord,
+    ) -> Result<(), FleetError> {
+        let mut p = vec![EV_SUBMISSION];
+        p.extend_from_slice(&unit_id.to_le_bytes());
+        put_str(&mut p, worker);
+        p.extend_from_slice(&result.to_le_bytes());
+        let rec = encode_record(record);
+        p.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+        p.extend_from_slice(&rec);
+        self.append(&p)
+    }
+
+    /// Journals a unit's completion with its credited session ids.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn unit_done(&mut self, unit_id: u64, sessions: &[u64]) -> Result<(), FleetError> {
+        let mut p = vec![EV_UNIT_DONE];
+        p.extend_from_slice(&unit_id.to_le_bytes());
+        p.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+        for s in sessions {
+            p.extend_from_slice(&s.to_le_bytes());
+        }
+        self.append(&p)
+    }
+
+    /// Journals a node quarantine.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn quarantine(&mut self, worker: &str, reason: &str) -> Result<(), FleetError> {
+        let mut p = vec![EV_QUARANTINE];
+        put_str(&mut p, worker);
+        put_str(&mut p, reason);
+        self.append(&p)
+    }
+
+    /// Journals a session-id lease high watermark: ids below `upto`
+    /// may be handed out without further journaling, so a restarted
+    /// coordinator (resuming from the watermark) never re-issues one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn session_lease(&mut self, upto: u64) -> Result<(), FleetError> {
+        let mut p = vec![EV_SESSION_LEASE];
+        p.extend_from_slice(&upto.to_le_bytes());
+        self.append(&p)
+    }
+
+    /// The journal file path (tests cut its tail to simulate crashes).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acctee::{ResourceUsageLog, SignedLog};
+    use acctee_sgx::crypto::sha256;
+    use acctee_sgx::{Measurement, Quote};
+
+    fn rec(session: u64) -> UsageRecord {
+        UsageRecord {
+            tenant: "node-a".into(),
+            signed: SignedLog {
+                log: ResourceUsageLog {
+                    weighted_instructions: session * 7,
+                    peak_memory_bytes: 65_536,
+                    memory_integral: u128::from(session) << 10,
+                    io_bytes_in: 0,
+                    io_bytes_out: 0,
+                    module_hash: sha256(b"m"),
+                    session_id: session,
+                },
+                quote: Quote {
+                    mrenclave: Measurement(sha256(b"ae")),
+                    report_data: [9u8; 64],
+                    platform: "ae-host".into(),
+                    signature: sha256(b"sig"),
+                },
+            },
+        }
+    }
+
+    fn spec(id: u64) -> UnitSpec {
+        UnitSpec {
+            id,
+            kind: WorkloadKind::SubsetSum,
+            count: 6,
+            seed: 40 + id,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "acctee-fleet-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn events_replay_in_order() {
+        let dir = tmpdir("replay");
+        {
+            let (mut j, fresh) = Journal::open(&dir).unwrap();
+            assert!(fresh.units.is_empty());
+            j.unit_added(&spec(0), 500).unwrap();
+            j.unit_added(&spec(1), 500).unwrap();
+            j.check_scheduled(1).unwrap();
+            j.submission(0, "node-a", 42, &rec(10)).unwrap();
+            j.unit_done(0, &[10]).unwrap();
+            j.quarantine("node-b", "counter mismatch").unwrap();
+            j.session_lease(1024).unwrap();
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.units.len(), 2);
+        assert_eq!(replay.units[0].spec, spec(0));
+        assert_eq!(replay.units[0].needed(), 1);
+        assert_eq!(replay.units[0].done, Some(vec![10]));
+        assert_eq!(replay.units[0].submissions.len(), 1);
+        assert_eq!(replay.units[0].submissions[0].record, rec(10));
+        assert_eq!(replay.units[1].needed(), 2);
+        assert_eq!(replay.units[1].done, None);
+        assert_eq!(
+            replay.quarantined.get("node-b").map(String::as_str),
+            Some("counter mismatch")
+        );
+        assert_eq!(replay.session_floor, 1024);
+        assert_eq!(replay.torn_bytes_discarded, 0);
+        let pairs = replay.credited_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, "node-a");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let dir = tmpdir("torn");
+        let path = {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.unit_added(&spec(0), 500).unwrap();
+            j.submission(0, "node-a", 1, &rec(5)).unwrap();
+            j.path().to_path_buf()
+        };
+        let full = std::fs::read(&path).unwrap();
+        // Find where the submission frame starts: after header +
+        // unit-added frame.
+        let unit_frame_len = {
+            let len = u32::from_le_bytes(full[FILE_HEADER..FILE_HEADER + 4].try_into().unwrap());
+            FRAME_HEADER + len as usize
+        };
+        let sub_start = FILE_HEADER + unit_frame_len;
+        for cut in sub_start + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (mut j, replay) = Journal::open(&dir).unwrap();
+            assert_eq!(replay.units.len(), 1, "cut at {cut}");
+            assert!(replay.units[0].submissions.is_empty(), "cut at {cut}");
+            assert_eq!(replay.torn_bytes_discarded, (cut - sub_start) as u64);
+            // Appending resumes cleanly from the truncated tail.
+            j.submission(0, "node-a", 1, &rec(5)).unwrap();
+            drop(j);
+            let (_, replay) = Journal::open(&dir).unwrap();
+            assert_eq!(replay.units[0].submissions.len(), 1);
+            std::fs::write(&path, &full).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn doubled_frames_never_double_credit() {
+        let dir = tmpdir("double");
+        let path = {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.unit_added(&spec(0), 500).unwrap();
+            j.submission(0, "node-a", 1, &rec(5)).unwrap();
+            j.unit_done(0, &[5]).unwrap();
+            j.path().to_path_buf()
+        };
+        // Double the submission + done frames, as a crashed rewrite
+        // might: replay must keep exactly one of each.
+        let full = std::fs::read(&path).unwrap();
+        let unit_frame_len = {
+            let len = u32::from_le_bytes(full[FILE_HEADER..FILE_HEADER + 4].try_into().unwrap());
+            FRAME_HEADER + len as usize
+        };
+        let mut doubled = full.clone();
+        doubled.extend_from_slice(&full[FILE_HEADER + unit_frame_len..]);
+        std::fs::write(&path, &doubled).unwrap();
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.units[0].submissions.len(), 1);
+        assert_eq!(replay.units[0].done, Some(vec![5]));
+        assert_eq!(replay.duplicate_submissions_dropped, 1);
+        assert_eq!(replay.duplicate_done_dropped, 1);
+        assert_eq!(replay.credited_pairs().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_is_refused() {
+        let dir = tmpdir("header");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.unit_added(&spec(0), 500).unwrap();
+        }
+        let path = dir.join("fleet.log");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Journal::open(&dir), Err(FleetError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+}

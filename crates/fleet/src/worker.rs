@@ -1,0 +1,408 @@
+//! A fleet worker node: joins a coordinator with an attested channel
+//! handshake, pulls work units, executes them inside its own
+//! accounting enclave and submits signed logs back.
+//!
+//! The sandbox runs both ways here too: the *worker* verifies the
+//! coordinator's instrumentation evidence before executing (so a
+//! malicious coordinator cannot push uninstrumented or tampered code
+//! into the node's enclave), and the *coordinator* verifies the
+//! worker's signed log before crediting (so a malicious node cannot
+//! bill for work it did not do). Per-unit deadlines are enforced
+//! in-enclave by the interpreter's `DeadlineExceeded` trap — the same
+//! plumbing every accounted execution uses — and reported back as a
+//! trapped submission for re-dispatch.
+//!
+//! [`Behavior`] exists for experiments: the bench and the end-to-end
+//! tests inject dishonest nodes to measure the coordinator's detection
+//! rate. A production worker is always [`Behavior::Honest`].
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use acctee::{AccTeeError, Deployment};
+use acctee_interp::Value;
+use acctee_net::wire::{self, FleetAck, FleetSubmission, FleetUnit};
+use acctee_net::{Request, Response};
+
+use crate::FleetError;
+
+/// How the node behaves — honest, or one of the attack models the
+/// coordinator must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Executes faithfully.
+    Honest,
+    /// Executes faithfully (so its log is genuine and verifies) but
+    /// lies about the *result*. This is the attack only redundant
+    /// execution catches: results are not bound into the signed log.
+    FlipResult,
+    /// Executes faithfully but inflates the weighted instruction count
+    /// in the log to claim more reimbursement. Caught immediately by
+    /// log verification — the quote no longer binds the log.
+    InflateWic,
+    /// Honest but sleepy: stalls before submitting, to exercise the
+    /// coordinator's straggler handling.
+    Slow(u64),
+    /// Runs a modified enclave (different attestation seed): its
+    /// quotes do not verify and it must be rejected at join.
+    RogueEnclave,
+}
+
+impl Behavior {
+    /// Parses a `--behavior` flag value.
+    pub fn parse(s: &str) -> Option<Behavior> {
+        match s {
+            "honest" => Some(Behavior::Honest),
+            "flip" => Some(Behavior::FlipResult),
+            "inflate" => Some(Behavior::InflateWic),
+            "slow" => Some(Behavior::Slow(500)),
+            "rogue" => Some(Behavior::RogueEnclave),
+            _ => None,
+        }
+    }
+}
+
+/// Worker identity and pacing.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Node name (unique per fleet; doubles as the reimbursement
+    /// payee).
+    pub name: String,
+    /// Attestation seed — must match the coordinator's.
+    pub seed: u64,
+    /// Attack model (Honest in production).
+    pub behavior: Behavior,
+    /// Units requested per pull.
+    pub capacity: u32,
+    /// Idle poll interval when no work was granted (milliseconds).
+    pub poll_ms: u64,
+    /// Total budget for connect retries, covering coordinator
+    /// restarts (milliseconds).
+    pub connect_budget_ms: u64,
+}
+
+impl WorkerConfig {
+    /// A default-paced worker named `name`.
+    pub fn new(name: &str, seed: u64) -> WorkerConfig {
+        WorkerConfig {
+            name: name.to_string(),
+            seed,
+            behavior: Behavior::Honest,
+            capacity: 2,
+            poll_ms: 50,
+            connect_budget_ms: 60_000,
+        }
+    }
+}
+
+/// Why the worker's run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The coordinator reported the campaign complete.
+    CampaignDone,
+    /// The coordinator quarantined this node.
+    Quarantined(String),
+    /// The coordinator refused the join handshake.
+    Rejected(String),
+}
+
+/// What the worker did before exiting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Why the run ended.
+    pub exit: WorkerExit,
+    /// Accepted completed submissions.
+    pub completed: u64,
+    /// Trapped submissions (deadline and otherwise).
+    pub trapped: u64,
+    /// Submissions acknowledged stale.
+    pub stale: u64,
+    /// Submissions rejected by verification.
+    pub rejected: u64,
+    /// Trap reasons, in order (tests assert the deadline wording).
+    pub trap_reasons: Vec<String>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    worker_id: u64,
+}
+
+/// Connects, runs the attested join handshake, returns the session.
+fn connect(addr: &str, cfg: &WorkerConfig, dep: &Deployment) -> Result<Conn, WorkerJoinError> {
+    let deadline = Instant::now() + Duration::from_millis(cfg.connect_budget_ms);
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(WorkerJoinError::Fleet(FleetError::Io(e)));
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5_000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(5_000)));
+    let mut s = stream;
+    wire::write_request(
+        &mut s,
+        &Request::FleetHello {
+            worker: cfg.name.clone(),
+        },
+    )
+    .map_err(io_err)?;
+    let nonce = match wire::read_response(&mut s).map_err(wire_err)? {
+        Response::FleetChallenge { nonce } => nonce,
+        Response::Error { message } => return Err(WorkerJoinError::Refused(message)),
+        other => return Err(unexpected(&other)),
+    };
+    let quote = dep
+        .infrastructure()
+        .accounting_enclave()
+        .attest_channel(&nonce)
+        .map_err(|e| {
+            WorkerJoinError::Fleet(FleetError::Protocol(format!("quoting failed: {e}")))
+        })?;
+    wire::write_request(
+        &mut s,
+        &Request::FleetJoin {
+            worker: cfg.name.clone(),
+            quote,
+        },
+    )
+    .map_err(io_err)?;
+    match wire::read_response(&mut s).map_err(wire_err)? {
+        Response::FleetWelcome { worker_id } => Ok(Conn {
+            stream: s,
+            worker_id,
+        }),
+        Response::Error { message } => Err(WorkerJoinError::Refused(message)),
+        other => Err(unexpected(&other)),
+    }
+}
+
+enum WorkerJoinError {
+    /// The coordinator said no (bad quote, quarantine).
+    Refused(String),
+    /// Transport or protocol failure — worth retrying.
+    Fleet(FleetError),
+}
+
+fn io_err(e: std::io::Error) -> WorkerJoinError {
+    WorkerJoinError::Fleet(FleetError::Io(e))
+}
+
+fn wire_err(e: acctee_net::WireError) -> WorkerJoinError {
+    WorkerJoinError::Fleet(FleetError::Protocol(e.to_string()))
+}
+
+fn unexpected(resp: &Response) -> WorkerJoinError {
+    WorkerJoinError::Fleet(FleetError::Protocol(format!(
+        "unexpected response: {resp:?}"
+    )))
+}
+
+/// Runs a worker against the coordinator at `addr` until the campaign
+/// completes, the node is quarantined, or the join is refused.
+///
+/// # Errors
+///
+/// Transport failures that outlive the reconnect budget.
+pub fn run_worker(addr: &str, cfg: &WorkerConfig) -> Result<WorkerSummary, FleetError> {
+    // A rogue enclave seeds its attestation universe differently:
+    // everything it quotes is garbage to the coordinator's authority.
+    let seed = match cfg.behavior {
+        Behavior::RogueEnclave => cfg.seed ^ 0x0bad,
+        _ => cfg.seed,
+    };
+    let mut dep = Deployment::new(seed);
+    let mut summary = WorkerSummary {
+        exit: WorkerExit::CampaignDone,
+        completed: 0,
+        trapped: 0,
+        stale: 0,
+        rejected: 0,
+        trap_reasons: Vec::new(),
+    };
+    let budget = Duration::from_millis(cfg.connect_budget_ms);
+    let overall = Instant::now();
+    'reconnect: loop {
+        let mut conn = match connect(addr, cfg, &dep) {
+            Ok(c) => c,
+            Err(WorkerJoinError::Refused(message)) => {
+                summary.exit = if message.contains("quarantin") {
+                    WorkerExit::Quarantined(message)
+                } else {
+                    WorkerExit::Rejected(message)
+                };
+                return Ok(summary);
+            }
+            Err(WorkerJoinError::Fleet(e)) => {
+                if overall.elapsed() >= budget {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(250));
+                continue 'reconnect;
+            }
+        };
+        loop {
+            if wire::write_request(
+                &mut conn.stream,
+                &Request::FleetPull {
+                    worker_id: conn.worker_id,
+                    capacity: cfg.capacity,
+                },
+            )
+            .is_err()
+            {
+                continue 'reconnect;
+            }
+            let (units, done) = match wire::read_response(&mut conn.stream) {
+                Ok(Response::FleetAssign { units, done }) => (units, done),
+                Ok(Response::Error { message }) => {
+                    if message.contains("quarantin") {
+                        summary.exit = WorkerExit::Quarantined(message);
+                        return Ok(summary);
+                    }
+                    continue 'reconnect;
+                }
+                _ => continue 'reconnect,
+            };
+            if done {
+                summary.exit = WorkerExit::CampaignDone;
+                return Ok(summary);
+            }
+            if units.is_empty() {
+                std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+                continue;
+            }
+            for unit in units {
+                let submission = execute_unit(&mut dep, cfg.behavior, &unit, &mut summary);
+                if let Behavior::Slow(ms) = cfg.behavior {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                if wire::write_request(
+                    &mut conn.stream,
+                    &Request::FleetSubmit {
+                        worker_id: conn.worker_id,
+                        unit_id: unit.unit_id,
+                        session_id: unit.session_id,
+                        submission,
+                    },
+                )
+                .is_err()
+                {
+                    continue 'reconnect;
+                }
+                match wire::read_response(&mut conn.stream) {
+                    Ok(Response::FleetAckOk { ack }) => match ack {
+                        FleetAck::Accepted => {}
+                        FleetAck::Stale => summary.stale += 1,
+                        FleetAck::Rejected { .. } => summary.rejected += 1,
+                        FleetAck::Quarantined { reason } => {
+                            summary.exit = WorkerExit::Quarantined(reason);
+                            return Ok(summary);
+                        }
+                    },
+                    Ok(_) => continue 'reconnect,
+                    Err(_) => continue 'reconnect,
+                }
+            }
+        }
+    }
+}
+
+/// Verifies the unit's evidence, executes it under the dispatched
+/// deadline, and shapes the submission according to the behavior.
+fn execute_unit(
+    dep: &mut Deployment,
+    behavior: Behavior,
+    unit: &FleetUnit,
+    summary: &mut WorkerSummary,
+) -> FleetSubmission {
+    // Two-way check, worker side: never execute unverified code. The
+    // load below re-verifies inside the enclave; this explicit check
+    // keeps the failure observable as a refusal rather than a trap.
+    if let Err(e) = dep
+        .workload_provider()
+        .verify_evidence(&unit.module, &unit.evidence)
+    {
+        return FleetSubmission::Trapped {
+            reason: format!("evidence rejected by worker: {e}"),
+        };
+    }
+    dep.set_time_budget(Some(Duration::from_millis(unit.deadline_ms.max(1))));
+    let loaded = match dep.infrastructure().load(&unit.module, &unit.evidence) {
+        Ok(l) => l,
+        Err(e) => {
+            return FleetSubmission::Trapped {
+                reason: format!("load failed: {e}"),
+            }
+        }
+    };
+    let outcome =
+        dep.infrastructure()
+            .execute_billed(&loaded, &unit.func, &[], b"", unit.session_id);
+    match outcome {
+        Ok((out, _invoice)) => {
+            summary.completed += 1;
+            let mut results = out.results;
+            let mut log = out.log;
+            match behavior {
+                Behavior::FlipResult => {
+                    // Genuine execution, genuine log — flipped answer.
+                    if let Some(v) = results.first_mut() {
+                        *v = match *v {
+                            Value::I32(x) => Value::I32(x ^ 1),
+                            Value::I64(x) => Value::I64(x ^ 1),
+                            Value::F32(x) => Value::F32(-x),
+                            Value::F64(x) => Value::F64(-x),
+                        };
+                    } else {
+                        results.push(Value::I64(1));
+                    }
+                }
+                Behavior::InflateWic => {
+                    // Bill for ten times the work. The quote binds the
+                    // original counters, so verification fails.
+                    log.log.weighted_instructions =
+                        log.log.weighted_instructions.saturating_mul(10);
+                }
+                _ => {}
+            }
+            FleetSubmission::Completed {
+                results,
+                log: Box::new(log),
+            }
+        }
+        Err(AccTeeError::Trap(t)) => {
+            summary.trapped += 1;
+            let reason = format!("workload trapped: {t}");
+            summary.trap_reasons.push(reason.clone());
+            FleetSubmission::Trapped { reason }
+        }
+        Err(e) => {
+            summary.trapped += 1;
+            let reason = format!("execution failed: {e}");
+            summary.trap_reasons.push(reason.clone());
+            FleetSubmission::Trapped { reason }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_flags_parse() {
+        assert_eq!(Behavior::parse("honest"), Some(Behavior::Honest));
+        assert_eq!(Behavior::parse("flip"), Some(Behavior::FlipResult));
+        assert_eq!(Behavior::parse("inflate"), Some(Behavior::InflateWic));
+        assert_eq!(Behavior::parse("slow"), Some(Behavior::Slow(500)));
+        assert_eq!(Behavior::parse("rogue"), Some(Behavior::RogueEnclave));
+        assert_eq!(Behavior::parse("helpful"), None);
+    }
+}

@@ -566,6 +566,11 @@ fn unexpected(wanted: &str, got: &Response) -> NetError {
         Response::StatsTextOk { .. } => "StatsTextOk",
         Response::HealthOk { .. } => "HealthOk",
         Response::RecentOk { .. } => "RecentOk",
+        Response::FleetChallenge { .. } => "FleetChallenge",
+        Response::FleetWelcome { .. } => "FleetWelcome",
+        Response::FleetAssign { .. } => "FleetAssign",
+        Response::FleetAckOk { .. } => "FleetAckOk",
+        Response::FleetStatusOk { .. } => "FleetStatusOk",
     };
     NetError::Protocol(format!("expected {wanted}, got {got}"))
 }

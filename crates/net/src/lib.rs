@@ -42,4 +42,6 @@ pub use stats::{
     CacheStats, FlightRecorder, HealthReport, LatencySummary, RequestOutcome, RequestRecord,
     ServerStats, StatsSnapshot, TenantStats,
 };
-pub use wire::{Request, Response, WireError};
+pub use wire::{
+    FleetAck, FleetReport, FleetSubmission, FleetUnit, FleetWorkerRow, Request, Response, WireError,
+};

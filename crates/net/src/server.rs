@@ -1206,6 +1206,11 @@ fn kind_of(req: &Request) -> &'static str {
         Request::Stats { .. } => "stats",
         Request::Health => "health",
         Request::Recent { .. } => "recent",
+        Request::FleetHello { .. }
+        | Request::FleetJoin { .. }
+        | Request::FleetPull { .. }
+        | Request::FleetSubmit { .. }
+        | Request::FleetStatus => "fleet",
     }
 }
 
@@ -1300,6 +1305,16 @@ fn handle_request(shared: &Shared, req: Request, trace: &mut ReqTrace) -> Respon
                 .stats
                 .recorder
                 .recent(limit.min(RECENT_LIMIT_CAP) as usize),
+        },
+        // Fleet coordination frames are answered by a fleet
+        // coordinator (`acctee fleet coordinate`), not the serving
+        // plane.
+        Request::FleetHello { .. }
+        | Request::FleetJoin { .. }
+        | Request::FleetPull { .. }
+        | Request::FleetSubmit { .. }
+        | Request::FleetStatus => Response::Error {
+            message: "this endpoint is a serving node, not a fleet coordinator".into(),
         },
     }
 }

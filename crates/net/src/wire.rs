@@ -43,8 +43,10 @@ use crate::stats::{
 pub const MAGIC: [u8; 4] = *b"ACNT";
 /// Current protocol version. Version 2 added client trace ids on
 /// `Deploy`/`Invoke` and the `Stats`/`Health`/`Recent` telemetry
-/// frames.
-pub const WIRE_VERSION: u16 = 2;
+/// frames. Version 3 added the fleet coordination frames
+/// (`FleetHello` .. `FleetStatus`) for distributed volunteer
+/// campaigns.
+pub const WIRE_VERSION: u16 = 3;
 /// Upper bound on a frame payload (modules included).
 pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
 
@@ -56,6 +58,11 @@ const REQ_SHUTDOWN: u8 = 0x05;
 const REQ_STATS: u8 = 0x06;
 const REQ_HEALTH: u8 = 0x07;
 const REQ_RECENT: u8 = 0x08;
+const REQ_FLEET_HELLO: u8 = 0x09;
+const REQ_FLEET_JOIN: u8 = 0x0a;
+const REQ_FLEET_PULL: u8 = 0x0b;
+const REQ_FLEET_SUBMIT: u8 = 0x0c;
+const REQ_FLEET_STATUS: u8 = 0x0d;
 
 const RESP_ATTEST_OK: u8 = 0x81;
 const RESP_DEPLOY_OK: u8 = 0x82;
@@ -68,6 +75,114 @@ const RESP_STATS_OK: u8 = 0x88;
 const RESP_STATS_TEXT_OK: u8 = 0x89;
 const RESP_HEALTH_OK: u8 = 0x8a;
 const RESP_RECENT_OK: u8 = 0x8b;
+const RESP_FLEET_CHALLENGE: u8 = 0x8c;
+const RESP_FLEET_WELCOME: u8 = 0x8d;
+const RESP_FLEET_ASSIGN: u8 = 0x8e;
+const RESP_FLEET_ACK: u8 = 0x8f;
+const RESP_FLEET_STATUS_OK: u8 = 0x90;
+
+/// One dispatched work unit: the coordinator's instrumented module
+/// plus the evidence the worker's accounting enclave verifies before
+/// executing (the two-way sandbox, now over the network). The session
+/// id is coordinator-assigned and unique per dispatch attempt, so the
+/// signed log that comes back is bound to exactly this assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetUnit {
+    /// Campaign-unique unit id.
+    pub unit_id: u64,
+    /// Session id the worker must execute under (anti-replay key for
+    /// both the coordinator's journal and the escrow).
+    pub session_id: u64,
+    /// Exported function to invoke.
+    pub func: String,
+    /// Instrumented module binary.
+    pub module: Vec<u8>,
+    /// Instrumentation-enclave evidence over `module`.
+    pub evidence: InstrumentationEvidence,
+    /// Worker-side execution budget in milliseconds: the worker's AE
+    /// runs the unit under `Config::time_budget`, so an over-budget
+    /// unit traps with `DeadlineExceeded` instead of hanging the node.
+    pub deadline_ms: u64,
+}
+
+/// What a worker reports back for a dispatched unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetSubmission {
+    /// The unit executed inside the worker's accounting enclave.
+    Completed {
+        /// Returned values.
+        results: Vec<Value>,
+        /// The worker AE's signed resource-usage log (boxed: a signed
+        /// log dwarfs the other variants).
+        log: Box<SignedLog>,
+    },
+    /// Execution trapped (deadline exceeded, fuel, …); the coordinator
+    /// re-dispatches.
+    Trapped {
+        /// Trap description.
+        reason: String,
+    },
+}
+
+/// The coordinator's verdict on a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetAck {
+    /// Verified and recorded.
+    Accepted,
+    /// The assignment is no longer live (unit already completed
+    /// elsewhere after a steal or re-dispatch); nothing was credited.
+    Stale,
+    /// The submission failed verification or referenced no live
+    /// assignment.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// The submitting node is quarantined; it should stop pulling.
+    Quarantined {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Per-node row in a fleet status report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetWorkerRow {
+    /// Node name (from its join).
+    pub name: String,
+    /// Verified completions credited to this node.
+    pub completed: u64,
+    /// Assignments currently outstanding on this node.
+    pub inflight: u32,
+    /// Whether the node is quarantined.
+    pub quarantined: bool,
+}
+
+/// A point-in-time campaign snapshot (the `acctee fleet status` view).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetReport {
+    /// Work units in the campaign.
+    pub units_total: u64,
+    /// Units whose required executions are all verified.
+    pub completed: u64,
+    /// Dispatch tickets waiting for a worker.
+    pub pending: u64,
+    /// Assignments currently outstanding.
+    pub inflight: u64,
+    /// Units selected for redundant spot-check execution.
+    pub checks_scheduled: u64,
+    /// Spot-check pairs whose signed counters or results disagreed.
+    pub checks_mismatched: u64,
+    /// Assignments re-dispatched after a deadline trap or straggler
+    /// timeout.
+    pub redispatched: u64,
+    /// Submissions rejected by log verification.
+    pub rejected: u64,
+    /// Whether every unit is complete.
+    pub done: bool,
+    /// Per-node rows.
+    pub workers: Vec<FleetWorkerRow>,
+}
 
 /// Why a frame failed to decode (or the transport failed).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +287,41 @@ pub enum Request {
         /// Maximum records to return.
         limit: u32,
     },
+    /// A worker announces itself to a fleet coordinator and asks for
+    /// an attestation challenge.
+    FleetHello {
+        /// Node name (also its platform name for attestation).
+        worker: String,
+    },
+    /// The worker answers the challenge: a quote from its accounting
+    /// enclave binding the coordinator's nonce.
+    FleetJoin {
+        /// Node name (must match the hello on this connection).
+        worker: String,
+        /// AE quote over `channel_binding(nonce)`.
+        quote: Quote,
+    },
+    /// An attested worker asks for up to `capacity` work units.
+    FleetPull {
+        /// Membership id from the welcome.
+        worker_id: u64,
+        /// How many units the node is willing to queue locally.
+        capacity: u32,
+    },
+    /// A worker reports the outcome of one assignment.
+    FleetSubmit {
+        /// Membership id from the welcome.
+        worker_id: u64,
+        /// The assignment's unit id.
+        unit_id: u64,
+        /// The assignment's session id (binds the submission to one
+        /// dispatch attempt).
+        session_id: u64,
+        /// The outcome.
+        submission: FleetSubmission,
+    },
+    /// Campaign progress snapshot (unauthenticated read-only view).
+    FleetStatus,
 }
 
 /// A server-to-client message.
@@ -239,6 +389,34 @@ pub enum Response {
     RecentOk {
         /// Flight-recorder records.
         records: Vec<RequestRecord>,
+    },
+    /// The coordinator's attestation challenge for a joining worker.
+    FleetChallenge {
+        /// Fresh nonce the worker's AE must bind.
+        nonce: [u8; 32],
+    },
+    /// The worker's quote verified; it is now a fleet member.
+    FleetWelcome {
+        /// Membership id for pulls and submits on any connection.
+        worker_id: u64,
+    },
+    /// Work units granted to a pull (possibly none).
+    FleetAssign {
+        /// Granted assignments, to execute in order.
+        units: Vec<FleetUnit>,
+        /// `true` once the campaign is complete — the worker should
+        /// exit instead of polling again.
+        done: bool,
+    },
+    /// Verdict on a submission.
+    FleetAckOk {
+        /// The coordinator's decision.
+        ack: FleetAck,
+    },
+    /// The campaign snapshot.
+    FleetStatusOk {
+        /// Point-in-time campaign state.
+        fleet: FleetReport,
     },
 }
 
@@ -388,6 +566,63 @@ fn put_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) {
     }
 }
 
+fn put_fleet_unit(out: &mut Vec<u8>, u: &FleetUnit) {
+    out.extend_from_slice(&u.unit_id.to_le_bytes());
+    out.extend_from_slice(&u.session_id.to_le_bytes());
+    put_bytes(out, u.func.as_bytes());
+    put_bytes(out, &u.module);
+    put_evidence(out, &u.evidence);
+    out.extend_from_slice(&u.deadline_ms.to_le_bytes());
+}
+
+fn put_fleet_submission(out: &mut Vec<u8>, s: &FleetSubmission) {
+    match s {
+        FleetSubmission::Completed { results, log } => {
+            out.push(0);
+            put_values(out, results);
+            put_signed_log(out, log);
+        }
+        FleetSubmission::Trapped { reason } => {
+            out.push(1);
+            put_bytes(out, reason.as_bytes());
+        }
+    }
+}
+
+fn put_fleet_ack(out: &mut Vec<u8>, a: &FleetAck) {
+    match a {
+        FleetAck::Accepted => out.push(0),
+        FleetAck::Stale => out.push(1),
+        FleetAck::Rejected { reason } => {
+            out.push(2);
+            put_bytes(out, reason.as_bytes());
+        }
+        FleetAck::Quarantined { reason } => {
+            out.push(3);
+            put_bytes(out, reason.as_bytes());
+        }
+    }
+}
+
+fn put_fleet_report(out: &mut Vec<u8>, r: &FleetReport) {
+    out.extend_from_slice(&r.units_total.to_le_bytes());
+    out.extend_from_slice(&r.completed.to_le_bytes());
+    out.extend_from_slice(&r.pending.to_le_bytes());
+    out.extend_from_slice(&r.inflight.to_le_bytes());
+    out.extend_from_slice(&r.checks_scheduled.to_le_bytes());
+    out.extend_from_slice(&r.checks_mismatched.to_le_bytes());
+    out.extend_from_slice(&r.redispatched.to_le_bytes());
+    out.extend_from_slice(&r.rejected.to_le_bytes());
+    out.push(u8::from(r.done));
+    out.extend_from_slice(&(r.workers.len() as u32).to_le_bytes());
+    for w in &r.workers {
+        put_bytes(out, w.name.as_bytes());
+        out.extend_from_slice(&w.completed.to_le_bytes());
+        out.extend_from_slice(&w.inflight.to_le_bytes());
+        out.push(u8::from(w.quarantined));
+    }
+}
+
 fn put_health(out: &mut Vec<u8>, h: &HealthReport) {
     out.push(u8::from(h.healthy));
     out.push(u8::from(h.draining));
@@ -478,6 +713,36 @@ pub fn encode_request_into(out: &mut Vec<u8>, req: &Request) {
             p.extend_from_slice(&limit.to_le_bytes());
             REQ_RECENT
         }
+        Request::FleetHello { worker } => {
+            put_bytes(p, worker.as_bytes());
+            REQ_FLEET_HELLO
+        }
+        Request::FleetJoin { worker, quote } => {
+            put_bytes(p, worker.as_bytes());
+            put_quote(p, quote);
+            REQ_FLEET_JOIN
+        }
+        Request::FleetPull {
+            worker_id,
+            capacity,
+        } => {
+            p.extend_from_slice(&worker_id.to_le_bytes());
+            p.extend_from_slice(&capacity.to_le_bytes());
+            REQ_FLEET_PULL
+        }
+        Request::FleetSubmit {
+            worker_id,
+            unit_id,
+            session_id,
+            submission,
+        } => {
+            p.extend_from_slice(&worker_id.to_le_bytes());
+            p.extend_from_slice(&unit_id.to_le_bytes());
+            p.extend_from_slice(&session_id.to_le_bytes());
+            put_fleet_submission(p, submission);
+            REQ_FLEET_SUBMIT
+        }
+        Request::FleetStatus => REQ_FLEET_STATUS,
     };
     end_frame(p, start, kind);
 }
@@ -552,6 +817,30 @@ pub fn encode_response_into(out: &mut Vec<u8>, resp: &Response) {
                 put_record(p, r);
             }
             RESP_RECENT_OK
+        }
+        Response::FleetChallenge { nonce } => {
+            p.extend_from_slice(nonce);
+            RESP_FLEET_CHALLENGE
+        }
+        Response::FleetWelcome { worker_id } => {
+            p.extend_from_slice(&worker_id.to_le_bytes());
+            RESP_FLEET_WELCOME
+        }
+        Response::FleetAssign { units, done } => {
+            p.extend_from_slice(&(units.len() as u32).to_le_bytes());
+            for u in units {
+                put_fleet_unit(p, u);
+            }
+            p.push(u8::from(*done));
+            RESP_FLEET_ASSIGN
+        }
+        Response::FleetAckOk { ack } => {
+            put_fleet_ack(p, ack);
+            RESP_FLEET_ACK
+        }
+        Response::FleetStatusOk { fleet } => {
+            put_fleet_report(p, fleet);
+            RESP_FLEET_STATUS_OK
         }
     };
     end_frame(p, start, kind);
@@ -838,6 +1127,78 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn fleet_unit(&mut self) -> Result<FleetUnit, WireError> {
+        Ok(FleetUnit {
+            unit_id: self.u64()?,
+            session_id: self.u64()?,
+            func: self.string()?,
+            module: self.bytes()?,
+            evidence: self.evidence()?,
+            deadline_ms: self.u64()?,
+        })
+    }
+
+    fn fleet_submission(&mut self) -> Result<FleetSubmission, WireError> {
+        match self.u8()? {
+            0 => Ok(FleetSubmission::Completed {
+                results: self.values()?,
+                log: Box::new(self.signed_log()?),
+            }),
+            1 => Ok(FleetSubmission::Trapped {
+                reason: self.string()?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn fleet_ack(&mut self) -> Result<FleetAck, WireError> {
+        match self.u8()? {
+            0 => Ok(FleetAck::Accepted),
+            1 => Ok(FleetAck::Stale),
+            2 => Ok(FleetAck::Rejected {
+                reason: self.string()?,
+            }),
+            3 => Ok(FleetAck::Quarantined {
+                reason: self.string()?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn fleet_report(&mut self) -> Result<FleetReport, WireError> {
+        let units_total = self.u64()?;
+        let completed = self.u64()?;
+        let pending = self.u64()?;
+        let inflight = self.u64()?;
+        let checks_scheduled = self.u64()?;
+        let checks_mismatched = self.u64()?;
+        let redispatched = self.u64()?;
+        let rejected = self.u64()?;
+        let done = self.boolean()?;
+        let n = self.count(17)?; // row: name length + 8 + 4 + 1
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            workers.push(FleetWorkerRow {
+                name: self.string()?,
+                completed: self.u64()?,
+                inflight: self.u32()?,
+                quarantined: self.boolean()?,
+            });
+        }
+        Ok(FleetReport {
+            units_total,
+            completed,
+            pending,
+            inflight,
+            checks_scheduled,
+            checks_mismatched,
+            redispatched,
+            rejected,
+            done,
+            workers,
+        })
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.rest.is_empty() {
             Ok(())
@@ -940,6 +1301,24 @@ fn decode_request_payload(kind: u8, payload: &[u8]) -> Result<Request, WireError
         },
         REQ_HEALTH => Request::Health,
         REQ_RECENT => Request::Recent { limit: c.u32()? },
+        REQ_FLEET_HELLO => Request::FleetHello {
+            worker: c.string()?,
+        },
+        REQ_FLEET_JOIN => Request::FleetJoin {
+            worker: c.string()?,
+            quote: c.quote()?,
+        },
+        REQ_FLEET_PULL => Request::FleetPull {
+            worker_id: c.u64()?,
+            capacity: c.u32()?,
+        },
+        REQ_FLEET_SUBMIT => Request::FleetSubmit {
+            worker_id: c.u64()?,
+            unit_id: c.u64()?,
+            session_id: c.u64()?,
+            submission: c.fleet_submission()?,
+        },
+        REQ_FLEET_STATUS => Request::FleetStatus,
         other => return Err(WireError::UnknownKind(other)),
     };
     c.finish()?;
@@ -1041,6 +1420,25 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
             }
             Response::RecentOk { records }
         }
+        RESP_FLEET_CHALLENGE => Response::FleetChallenge { nonce: c.digest()? },
+        RESP_FLEET_WELCOME => Response::FleetWelcome {
+            worker_id: c.u64()?,
+        },
+        RESP_FLEET_ASSIGN => {
+            let n = c.count(89)?; // unit: 3×u64 + 2×length + evidence floor
+            let mut units = Vec::with_capacity(n);
+            for _ in 0..n {
+                units.push(c.fleet_unit()?);
+            }
+            let done = c.boolean()?;
+            Response::FleetAssign { units, done }
+        }
+        RESP_FLEET_ACK => Response::FleetAckOk {
+            ack: c.fleet_ack()?,
+        },
+        RESP_FLEET_STATUS_OK => Response::FleetStatusOk {
+            fleet: c.fleet_report()?,
+        },
         other => return Err(WireError::UnknownKind(other)),
     };
     c.finish()?;
@@ -1261,6 +1659,128 @@ mod tests {
             records: vec![record(), record()],
         });
         rt_response(&Response::RecentOk { records: vec![] });
+    }
+
+    fn fleet_unit() -> FleetUnit {
+        FleetUnit {
+            unit_id: 42,
+            session_id: 1077,
+            func: "run".into(),
+            module: vec![0, 97, 115, 109, 7],
+            evidence: evidence(),
+            deadline_ms: 2500,
+        }
+    }
+
+    #[test]
+    fn every_fleet_request_round_trips() {
+        rt_request(&Request::FleetHello {
+            worker: "node-07".into(),
+        });
+        rt_request(&Request::FleetJoin {
+            worker: "node-07".into(),
+            quote: quote(),
+        });
+        rt_request(&Request::FleetPull {
+            worker_id: 9,
+            capacity: 4,
+        });
+        rt_request(&Request::FleetSubmit {
+            worker_id: 9,
+            unit_id: 42,
+            session_id: 1077,
+            submission: FleetSubmission::Completed {
+                results: vec![Value::I64(-7)],
+                log: Box::new(signed_log()),
+            },
+        });
+        rt_request(&Request::FleetSubmit {
+            worker_id: 9,
+            unit_id: 43,
+            session_id: 1078,
+            submission: FleetSubmission::Trapped {
+                reason: "deadline exceeded".into(),
+            },
+        });
+        rt_request(&Request::FleetStatus);
+    }
+
+    #[test]
+    fn every_fleet_response_round_trips() {
+        rt_response(&Response::FleetChallenge { nonce: [3; 32] });
+        rt_response(&Response::FleetWelcome { worker_id: 12 });
+        rt_response(&Response::FleetAssign {
+            units: vec![fleet_unit(), fleet_unit()],
+            done: false,
+        });
+        rt_response(&Response::FleetAssign {
+            units: vec![],
+            done: true,
+        });
+        for ack in [
+            FleetAck::Accepted,
+            FleetAck::Stale,
+            FleetAck::Rejected {
+                reason: "log failed verification".into(),
+            },
+            FleetAck::Quarantined {
+                reason: "spot-check mismatch".into(),
+            },
+        ] {
+            rt_response(&Response::FleetAckOk { ack });
+        }
+        rt_response(&Response::FleetStatusOk {
+            fleet: FleetReport {
+                units_total: 200,
+                completed: 150,
+                pending: 30,
+                inflight: 20,
+                checks_scheduled: 11,
+                checks_mismatched: 1,
+                redispatched: 2,
+                rejected: 3,
+                done: false,
+                workers: vec![FleetWorkerRow {
+                    name: "node-01".into(),
+                    completed: 75,
+                    inflight: 2,
+                    quarantined: true,
+                }],
+            },
+        });
+    }
+
+    #[test]
+    fn fleet_truncations_error_never_panic() {
+        let frames = [
+            encode_request(&Request::FleetSubmit {
+                worker_id: 1,
+                unit_id: 2,
+                session_id: 3,
+                submission: FleetSubmission::Completed {
+                    results: vec![Value::I64(5)],
+                    log: Box::new(signed_log()),
+                },
+            }),
+            encode_response(&Response::FleetAssign {
+                units: vec![fleet_unit()],
+                done: false,
+            }),
+        ];
+        for cut in 1..frames[0].len() {
+            assert!(read_request(&mut &frames[0][..cut]).is_err());
+        }
+        for cut in 1..frames[1].len() {
+            assert!(read_response(&mut &frames[1][..cut]).is_err());
+        }
+        // Hostile unit count in an assign payload: truncation, not OOM.
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC);
+        f.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        f.push(0x8e); // RESP_FLEET_ASSIGN
+        f.extend_from_slice(&4u32.to_le_bytes());
+        f.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(read_response(&mut f.as_slice()), Err(WireError::Truncated));
     }
 
     #[test]

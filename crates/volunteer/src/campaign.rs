@@ -395,6 +395,26 @@ mod tests {
     }
 
     #[test]
+    fn zero_unit_campaign_is_a_clean_no_op() {
+        // An empty task list must not panic (the round-robin indexing
+        // and majority vote both divide by counts) and must produce an
+        // all-zero report in both server modes, with every volunteer
+        // present on the (all-zero) leaderboard.
+        let (authority, ie, provider, volunteers) = standard_environment(3, 2);
+        for mode in [ServerMode::Redundancy { replicas: 2 }, ServerMode::AccTee] {
+            let r = run_campaign(&[], &volunteers, mode, &authority, &ie, &provider);
+            assert_eq!(r.executions, 0);
+            assert_eq!(r.correct_accepted, 0);
+            assert_eq!(r.wrong_accepted, 0);
+            assert_eq!(r.unresolved, 0);
+            assert_eq!(r.rejected_submissions, 0);
+            assert_eq!(r.leaderboard().len(), volunteers.len());
+            assert!(r.credit.values().all(|c| *c == 0));
+            assert!((r.overcredit_fraction() - 0.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn leaderboard_sorts_by_credit() {
         let mut rep = CampaignReport::default();
         rep.credit.insert("a".into(), 10);

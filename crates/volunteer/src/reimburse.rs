@@ -100,6 +100,42 @@ impl Escrow {
     }
 }
 
+/// Splits a fixed bounty among participants proportional to their
+/// weights, conserving every nano-token: the shares always sum to
+/// exactly `bounty` (or to 0 when every weight is 0 — an unearned
+/// bounty stays in the pool).
+///
+/// Integer division alone under-pays by up to `weights.len() - 1`
+/// nano-tokens; the remainder is apportioned by largest fractional
+/// part (ties broken by position), the classic largest-remainder
+/// method, so rounding can never mint or burn tokens and a
+/// participant's share is within one nano-token of exact
+/// proportionality.
+pub fn split_bounty(bounty: u128, weights: &[u64]) -> Vec<u128> {
+    let total: u128 = weights.iter().map(|w| u128::from(*w)).sum();
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut shares: Vec<(usize, u128, u128)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let scaled = bounty * u128::from(*w);
+            (i, scaled / total, scaled % total)
+        })
+        .collect();
+    let floor_sum: u128 = shares.iter().map(|(_, q, _)| q).sum();
+    let mut remainder = bounty - floor_sum;
+    shares.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    let mut out = vec![0u128; weights.len()];
+    for (i, quotient, _) in shares {
+        let extra = u128::from(remainder > 0);
+        remainder -= extra;
+        out[i] = quotient + extra;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +198,67 @@ mod tests {
         assert!(bigger
             .release(dep.workload_provider(), "worker-1", &outcome.log)
             .is_ok());
+    }
+
+    #[test]
+    fn duplicate_submission_under_a_different_name_is_still_replay() {
+        // A log is paid once per *session*, not once per claimant: the
+        // same verified log resubmitted under another worker's name is
+        // a replay, and the second claimant's balance stays zero.
+        let mut dep = Deployment::new(64);
+        let (b, e) = deployment_and_log(&mut dep);
+        let outcome = dep.execute(&b, &e, "run", &[], b"").expect("execute");
+        let mut escrow = Escrow::new(1 << 40, 3);
+        let paid = escrow
+            .release(dep.workload_provider(), "honest", &outcome.log)
+            .unwrap();
+        let remaining = escrow.remaining();
+        assert_eq!(
+            escrow.release(dep.workload_provider(), "copycat", &outcome.log),
+            Err(PaymentError::Replay)
+        );
+        assert_eq!(escrow.balance("copycat"), 0);
+        assert_eq!(escrow.balance("honest"), paid);
+        assert_eq!(escrow.remaining(), remaining, "replay released nothing");
+    }
+
+    #[test]
+    fn split_bounty_conserves_every_nano_token() {
+        // 100 does not divide by 3: naive division loses 1 nano-token.
+        let shares = split_bounty(100, &[1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u128>(), 100);
+        assert_eq!(shares.iter().filter(|s| **s == 34).count(), 1);
+        assert_eq!(shares.iter().filter(|s| **s == 33).count(), 2);
+        // Adversarial widths: shares stay within one token of exact.
+        let weights = [7, 13, 1, 999_999, 42];
+        let bounty = 1_000_003u128;
+        let shares = split_bounty(bounty, &weights);
+        assert_eq!(shares.iter().sum::<u128>(), bounty);
+        let total: u128 = weights.iter().map(|w| u128::from(*w)).sum();
+        for (s, w) in shares.iter().zip(weights) {
+            let exact = bounty * u128::from(w) / total;
+            assert!(*s == exact || *s == exact + 1, "{s} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn split_bounty_remainder_favours_largest_fraction() {
+        // 10 over weights 2:3:5 is exact. At 11 the raw shares are
+        // 2.2 / 3.3 / 5.5, so the one leftover token goes to the
+        // largest fractional part: the weight-5 participant.
+        assert_eq!(split_bounty(10, &[2, 3, 5]), vec![2, 3, 5]);
+        assert_eq!(split_bounty(11, &[2, 3, 5]), vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn split_bounty_degenerate_inputs() {
+        assert_eq!(split_bounty(1000, &[]), Vec::<u128>::new());
+        assert_eq!(split_bounty(1000, &[0, 0]), vec![0, 0]);
+        assert_eq!(split_bounty(0, &[1, 2]), vec![0, 0]);
+        assert_eq!(split_bounty(7, &[0, 1, 0]), vec![0, 7, 0]);
+        // One token, many claimants: exactly one gets it.
+        let shares = split_bounty(1, &[5, 5, 5, 5]);
+        assert_eq!(shares.iter().sum::<u128>(), 1);
     }
 
     #[test]

@@ -201,4 +201,56 @@ else
     echo "    (host_cores=$CORES in committed run: 4w>=2x1w scaling gate skipped)"
 fi
 
+echo "==> fleet crate clippy gate (deny warnings)"
+cargo clippy --offline -q -p acctee-fleet --all-targets -- -D warnings
+
+echo "==> fleet loopback smoke (3 workers, 1 injected cheater, must detect)"
+FLEET_DIR="$(mktemp -d)"
+COORD_LOG="$(mktemp)"
+"$ACCTEE_BIN" fleet coordinate --listen 127.0.0.1:0 --state-dir "$FLEET_DIR" \
+    --units 12 --unit-count 10 --redundancy 0.25 --probation 1 >"$COORD_LOG" 2>&1 &
+COORD_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^listening on //p' "$COORD_LOG")"
+    if [ -n "$ADDR" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "coordinator never reported its address"; kill "$COORD_PID"; exit 1; }
+"$ACCTEE_BIN" fleet work --connect "$ADDR" --name smoke-h0 --behavior honest >/dev/null 2>&1 &
+W0=$!
+"$ACCTEE_BIN" fleet work --connect "$ADDR" --name smoke-h1 --behavior honest >/dev/null 2>&1 &
+W1=$!
+"$ACCTEE_BIN" fleet work --connect "$ADDR" --name smoke-cheat --behavior flip >/dev/null 2>&1 &
+W2=$!
+"$ACCTEE_BIN" fleet status --connect "$ADDR" | grep -q "campaign:" \
+    || { echo "fleet status probe failed"; kill "$COORD_PID" "$W0" "$W1" "$W2" 2>/dev/null; exit 1; }
+wait "$COORD_PID"   # exits 0 only after the campaign completes and every statement verifies
+grep -q "campaign complete" "$COORD_LOG" || { echo "campaign never completed"; exit 1; }
+grep -q "quarantined: smoke-cheat" "$COORD_LOG" \
+    || { echo "injected cheater was not detected"; cat "$COORD_LOG"; exit 1; }
+grep -q "enclave-signed, verified" "$COORD_LOG" \
+    || { echo "no verified reimbursement statements"; cat "$COORD_LOG"; exit 1; }
+# Workers exit on their next pull; don't let a straggler sit out its
+# reconnect budget against the now-gone coordinator.
+sleep 1
+kill "$W0" "$W1" "$W2" 2>/dev/null || true
+wait "$W0" "$W1" "$W2" 2>/dev/null || true
+rm -rf "$FLEET_DIR" "$COORD_LOG"
+
+echo "==> fleet multi-process bench incl. SIGKILL resume (BENCH_fleet.json)"
+cargo run --offline --release -q -p acctee-bench --bin fleet -- 8 48 --out /tmp/BENCH_fleet.json
+for f in /tmp/BENCH_fleet.json BENCH_fleet.json; do
+    for key in units_per_sec verification_overhead redundancy_percent detection_rate \
+               injected_cheaters quarantined resume_lost_units resume_double_credited; do
+        grep -q "\"$key\"" "$f" || { echo "$f missing $key"; exit 1; }
+    done
+done
+grep -q '"detection_rate": 1.00' /tmp/BENCH_fleet.json \
+    || { echo "fleet bench did not detect the injected cheater"; exit 1; }
+grep -q '"resume_lost_units": 0,' /tmp/BENCH_fleet.json \
+    || { echo "fleet resume lost units"; exit 1; }
+grep -q '"resume_double_credited": 0' /tmp/BENCH_fleet.json \
+    || { echo "fleet resume double-credited units"; exit 1; }
+
 echo "==> all green"
